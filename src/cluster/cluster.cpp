@@ -1,0 +1,120 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nti::cluster {
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  RngStream root(cfg_.seed);
+  medium_ = std::make_unique<net::Medium>(engine_, cfg_.medium, root.fork("medium"));
+
+  RngStream scatter = root.fork("scatter");
+  for (int i = 0; i < cfg_.num_nodes; ++i) {
+    node::NodeConfig nc;
+    nc.node_id = i;
+    nc.osc = cfg_.osc_base;
+    nc.osc.offset_ppm = (scatter.next_double() * 2.0 - 1.0) * cfg_.osc_offset_spread_ppm;
+    nc.cpu = cfg_.cpu;
+    nc.comco = cfg_.comco;
+    nc.mode = cfg_.mode;
+    if (std::find(cfg_.gps_nodes.begin(), cfg_.gps_nodes.end(), i) !=
+        cfg_.gps_nodes.end()) {
+      nc.gps = cfg_.gps_base;
+    }
+    nodes_.push_back(std::make_unique<node::NodeCard>(engine_, *medium_, nc, root));
+    syncs_.push_back(std::make_unique<csa::SyncNode>(*nodes_.back(), cfg_.sync,
+                                                     cfg_.num_nodes));
+  }
+
+  if (cfg_.background_load > 0.0) {
+    net::TrafficConfig tc;
+    tc.offered_load = cfg_.background_load;
+    tc.frame_bytes = cfg_.background_frame_bytes;
+    traffic_.push_back(std::make_unique<net::TrafficGenerator>(
+        engine_, *medium_, tc, root.fork("traffic")));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::start() {
+  // Clock states are non-negative; advance simulated time past the scatter
+  // so "UTC now - jitter" cannot go below zero at cold start.
+  const SimTime base =
+      SimTime::epoch() + cfg_.initial_offset_spread + Duration::ms(1);
+  if (engine_.now() < base) engine_.run_until(base);
+
+  RngStream init(cfg_.seed ^ 0x1717A711DEAD5EEDULL);
+  for (int i = 0; i < cfg_.num_nodes; ++i) {
+    const Duration jitter =
+        init.uniform(-cfg_.initial_offset_spread, cfg_.initial_offset_spread);
+    // Cold-start clock value: "UTC now" plus the node's scatter; the
+    // initial accuracy must cover that scatter to keep the containment
+    // invariant from the very first instant.
+    const Duration value = (engine_.now() - SimTime::epoch()) + jitter;
+    const Duration alpha0 = cfg_.initial_offset_spread + Duration::us(1);
+    sync(i).start(value, alpha0);
+  }
+}
+
+ProbeSample Cluster::probe() {
+  const SimTime t = engine_.now();
+  ProbeSample s;
+  s.t = t;
+  const Duration truth = t - SimTime::epoch();
+
+  Duration min_c = Duration::max(), max_c = -Duration::max();
+  Duration worst_acc = Duration::zero();
+  std::int64_t alpha_acc = 0;
+  for (auto& n : nodes_) {
+    const Duration c = n->true_clock(t);
+    min_c = std::min(min_c, c);
+    max_c = std::max(max_c, c);
+    worst_acc = std::max(worst_acc, (c - truth).abs());
+
+    // Containment check against the node's *own* advertised interval.
+    const auto iv = syncs_[static_cast<std::size_t>(n->id())]->current_interval(t);
+    alpha_acc += (iv.alpha_minus() + iv.alpha_plus()).count_ps() / 2;
+    if (truth < iv.lower() || truth > iv.upper()) ++violations_;
+  }
+  s.precision = max_c - min_c;
+  s.worst_accuracy = worst_acc;
+  s.mean_alpha = Duration::ps(alpha_acc / cfg_.num_nodes);
+  return s;
+}
+
+void Cluster::run(Duration total, Duration warmup, Duration probe_period) {
+  const SimTime t0 = engine_.now();
+  const SimTime t_end = t0 + total;
+  SimTime t_probe = t0 + warmup;
+  while (t_probe <= t_end) {
+    engine_.run_until(t_probe);
+    const ProbeSample s = probe();
+    precision_.add(s.precision);
+    accuracy_.add(s.worst_accuracy);
+    alpha_.add(s.mean_alpha);
+    ++probes_;
+    t_probe += probe_period;
+  }
+  engine_.run_until(t_end);
+}
+
+double Cluster::max_rate_spread_ppm(SimTime t) {
+  double lo = 1e9, hi = -1e9;
+  for (auto& n : nodes_) {
+    // Effective logical clock rate = oscillator rate error adjusted by the
+    // node's STEP deviation from nominal.
+    const double osc_err = n->oscillator().true_rate_error(t);
+    const double nominal = static_cast<double>(
+        utcsu::Ltu::nominal_step(n->oscillator().nominal_hz()));
+    const double step_ratio =
+        static_cast<double>(n->chip().ltu().step()) / nominal;
+    const double rate = (1.0 + osc_err) * step_ratio - 1.0;
+    lo = std::min(lo, rate);
+    hi = std::max(hi, rate);
+  }
+  return (hi - lo) * 1e6;
+}
+
+}  // namespace nti::cluster

@@ -1,0 +1,170 @@
+#include "comco/comco.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nti::comco {
+
+using module::Addr;
+using module::kHeaderBytes;
+
+Comco::Comco(sim::Engine& engine, module::Nti& nti, net::Medium& medium,
+             ComcoConfig cfg, RngStream rng)
+    : engine_(engine),
+      nti_(nti),
+      medium_(medium),
+      port_(medium.attach()),
+      cfg_(cfg),
+      rng_(rng) {
+  port_.on_wire_start = [this](SimTime wire_start,
+                               const std::shared_ptr<net::Frame>& frame) {
+    assert(!tx_pending_.empty());
+    PendingTx tx = tx_pending_.front();
+    tx_pending_.pop_front();
+
+    const Addr hdr = module::Nti::tx_header_addr(tx.tx_slot);
+    const Duration byte_time = medium_.byte_time();
+    const auto preamble = static_cast<std::int64_t>(medium_.config().preamble_bytes);
+    const Duration fifo_lead =
+        cfg_.fifo_lead_base + rng_.uniform(Duration::zero(), cfg_.fifo_lead_jitter);
+    const auto wire_time_of = [&](Addr offset) {
+      return wire_start + byte_time * (preamble + static_cast<std::int64_t>(offset));
+    };
+
+    // DMA read of the trigger word: leads its wire instant by the FIFO
+    // fill.  This is where the TRANSMIT trigger fires in the CPLD.  The
+    // word's content is kept for the frame assembly below -- the
+    // controller reads each header word exactly once, so the bulk fetch
+    // must NOT touch this offset again (a second read would re-trigger
+    // and re-sample the stamp ~16 byte-times later).
+    const SimTime t_trigger =
+        wire_time_of(nti_.program().tx_trigger_offset) - fifo_lead;
+    auto trigger_word = std::make_shared<std::uint32_t>(0);
+    engine_.schedule_at(t_trigger, [this, hdr, t_trigger, trigger_word] {
+      *trigger_word =
+          nti_.comco_read32(t_trigger, hdr + nti_.program().tx_trigger_offset);
+      last_tx_trigger_ = t_trigger;
+    });
+
+    // Remaining header + payload fetch; the mapped words now return the
+    // UTCSU's freshly sampled transmit stamp, which thereby rides out in
+    // the packet (transparent mapping, Fig. 3).
+    const SimTime t_fill = wire_time_of(nti_.program().tx_map_alpha + 4) - fifo_lead;
+    engine_.schedule_at(t_fill, [this, hdr, tx, fp = frame, t_fill, trigger_word] {
+      fp->bytes.resize(kHeaderBytes + tx.data_len);
+      for (Addr off = 0; off < kHeaderBytes; off += 4) {
+        const std::uint32_t w = off == nti_.program().tx_trigger_offset
+                                    ? *trigger_word
+                                    : nti_.comco_read32(t_fill, hdr + off);
+        fp->bytes[off + 0] = static_cast<std::uint8_t>(w);
+        fp->bytes[off + 1] = static_cast<std::uint8_t>(w >> 8);
+        fp->bytes[off + 2] = static_cast<std::uint8_t>(w >> 16);
+        fp->bytes[off + 3] = static_cast<std::uint8_t>(w >> 24);
+      }
+      for (std::size_t i = 0; i < tx.data_len; i += 4) {
+        const std::uint32_t w =
+            nti_.comco_read32(t_fill, tx.data_addr + static_cast<Addr>(i));
+        for (std::size_t b = 0; b < 4 && i + b < tx.data_len; ++b) {
+          fp->bytes[kHeaderBytes + i + b] = static_cast<std::uint8_t>(w >> (8 * b));
+        }
+      }
+    });
+
+    // Transmit-complete interrupt once the frame has left the wire.
+    const Duration air = medium_.frame_air_time(frame->bytes.size());
+    engine_.schedule_at(wire_start + air + cfg_.completion_delay, [this, tx] {
+      if (on_tx_complete) on_tx_complete(tx.tx_slot);
+    });
+  };
+
+  port_.on_tx_abort = [this](const net::Frame&) {
+    assert(!tx_pending_.empty());
+    const PendingTx tx = tx_pending_.front();
+    tx_pending_.pop_front();
+    if (on_tx_abort) on_tx_abort(tx.tx_slot);
+  };
+
+  port_.on_frame = [this](std::shared_ptr<const net::Frame> frame,
+                          const net::RxTiming& timing) {
+    handle_rx(std::move(frame), timing);
+  };
+}
+
+void Comco::transmit(int tx_slot, Addr data_addr, std::size_t data_len) {
+  const Duration latency =
+      cfg_.cmd_latency_base + rng_.uniform(Duration::zero(), cfg_.cmd_latency_jitter);
+  engine_.schedule_in(latency, [this, tx_slot, data_addr, data_len] {
+    tx_pending_.push_back({tx_slot, data_addr, data_len});
+    net::Frame frame;
+    frame.bytes.assign(kHeaderBytes + data_len, 0);  // filled at DMA time
+    medium_.transmit(port_, std::move(frame));
+  });
+}
+
+void Comco::provision_rx(int rx_slot, Addr data_addr, std::size_t capacity) {
+  rx_ring_.push_back({rx_slot, data_addr, capacity});
+}
+
+void Comco::handle_rx(std::shared_ptr<const net::Frame> frame,
+                      const net::RxTiming& timing) {
+  if (frame->bytes.size() < kHeaderBytes) return;  // runt: controller drops
+  if (rx_ring_.empty()) {
+    ++rx_overruns_;  // "no resources" in 82596 terms
+    return;
+  }
+  const RxSlot slot = rx_ring_.front();
+  rx_ring_.pop_front();
+
+  const Addr hdr = module::Nti::rx_header_addr(slot.slot);
+  const Duration byte_time = timing.byte_time;
+  const auto preamble = static_cast<std::int64_t>(medium_.config().preamble_bytes);
+  const Duration arb =
+      cfg_.rx_arb_base + rng_.uniform(Duration::zero(), cfg_.rx_arb_jitter);
+  const auto byte_received_at = [=](Addr offset) {
+    return timing.rx_start + byte_time * (preamble + static_cast<std::int64_t>(offset) + 4);
+  };
+
+  // Early header burst: bytes 0x00..0x1C drain to memory as soon as the
+  // trigger word is complete and the controller wins the bus.  The write
+  // of offset 0x1C fires RECEIVE in the CPLD.
+  const Addr rx_trig = nti_.program().rx_trigger_offset;
+  const SimTime t_hdr = byte_received_at(rx_trig) + arb;
+  engine_.schedule_at(t_hdr, [this, hdr, fp = frame, rx_trig, t_hdr] {
+    for (Addr off = 0; off <= rx_trig; off += 4) {
+      std::uint32_t w = 0;
+      for (std::size_t b = 0; b < 4; ++b) {
+        w |= std::uint32_t{fp->bytes[off + b]} << (8 * b);
+      }
+      nti_.comco_write32(t_hdr, hdr + off, w);
+      if (off == rx_trig) last_rx_trigger_ = t_hdr;
+    }
+  });
+
+  // Remainder of header + payload after frame end.
+  const std::size_t payload_len =
+      std::min(frame->bytes.size() - kHeaderBytes, slot.capacity);
+  const SimTime t_rest = timing.rx_end + arb;
+  engine_.schedule_at(t_rest, [this, hdr, fp = frame, slot, payload_len, rx_trig, t_rest] {
+    for (Addr off = rx_trig + 4; off < kHeaderBytes; off += 4) {
+      std::uint32_t w = 0;
+      for (std::size_t b = 0; b < 4; ++b) {
+        w |= std::uint32_t{fp->bytes[off + b]} << (8 * b);
+      }
+      nti_.comco_write32(t_rest, hdr + off, w);
+    }
+    for (std::size_t i = 0; i < payload_len; i += 4) {
+      std::uint32_t w = 0;
+      for (std::size_t b = 0; b < 4 && i + b < payload_len; ++b) {
+        w |= std::uint32_t{fp->bytes[kHeaderBytes + i + b]} << (8 * b);
+      }
+      nti_.comco_write32(t_rest, slot.data_addr + static_cast<Addr>(i), w);
+    }
+  });
+
+  engine_.schedule_at(timing.rx_end + cfg_.completion_delay,
+                      [this, slot, payload_len] {
+                        if (on_rx_complete) on_rx_complete(slot.slot, payload_len);
+                      });
+}
+
+}  // namespace nti::comco

@@ -1,0 +1,110 @@
+// COMCO: communications coprocessor model (Intel 82596CA-class).
+//
+// The COMCO moves packet data between NTI memory and the network
+// independently of the CPU via DMA (paper Fig. 2).  What matters for clock
+// synchronization is *when* it touches the supervised header words:
+//
+//   TX: the controller prefetches the transmit header/data into its FIFO
+//   shortly before and during wire transmission.  The read of header
+//   offset 0x14 (the trigger word) therefore leads its bytes' wire time by
+//   the FIFO fill level -- a data-dependent lead with bounded jitter.
+//   That jitter is the transmit half of the residual uncertainty epsilon.
+//
+//   RX: incoming bytes drain from the FIFO into memory once the controller
+//   wins bus arbitration; the write of receive-header offset 0x1C lags the
+//   corresponding wire time by the arbitration delay.  That jitter is the
+//   receive half of epsilon.
+//
+// Everything else (command latency, completion interrupts, rx descriptor
+// ring, frame filtering left to software, footnote-4 discard semantics) is
+// modeled so the driver above sees a realistic controller.
+//
+// Wire header layout used by the driver (64-byte header, Fig. 7):
+//   0x00  dest MAC (6 B, broadcast)     0x14  trigger word (don't care)
+//   0x06  src MAC (node id)             0x18  TX timestamp   (mapped)
+//   0x0C  ethertype                     0x1C  TX macrostamp  (mapped; RX
+//   0x0E  payload length                       trigger on write)
+//                                       0x20  TX alpha       (mapped)
+//   0x24..0x3F unused on the wire; the receiver's CPU saves the RX stamp
+//   there (kRxSave* in nti/memmap.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "net/medium.hpp"
+#include "nti/nti.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::comco {
+
+inline constexpr std::uint16_t kEthertypeCsp = 0x88F7;
+
+struct ComcoConfig {
+  Duration cmd_latency_base = Duration::us(6);   ///< CA strobe -> DMA starts
+  Duration cmd_latency_jitter = Duration::us(4);
+  Duration fifo_lead_base = Duration::us(3);     ///< header-read lead vs wire
+  Duration fifo_lead_jitter = Duration::ns(150); ///< TX half of epsilon
+  Duration rx_arb_base = Duration::ns(200);      ///< bus arbitration for writes
+  Duration rx_arb_jitter = Duration::ns(250);    ///< RX half of epsilon
+  Duration completion_delay = Duration::us(2);   ///< frame end -> IRQ callback
+};
+
+class Comco {
+ public:
+  Comco(sim::Engine& engine, module::Nti& nti, net::Medium& medium,
+        ComcoConfig cfg, RngStream rng);
+
+  /// Transmit the CSP prepared by the driver in `tx_slot`'s header plus
+  /// `data_len` payload bytes at `data_addr` (NTI data-buffer space).
+  void transmit(int tx_slot, module::Addr data_addr, std::size_t data_len);
+
+  /// Provision a receive descriptor: header slot + payload buffer.
+  void provision_rx(int rx_slot, module::Addr data_addr, std::size_t capacity);
+
+  /// Completion callbacks (the CPU model wraps these in ISR latency).
+  std::function<void(int tx_slot)> on_tx_complete;
+  std::function<void(int rx_slot, std::size_t payload_len)> on_rx_complete;
+  std::function<void(int tx_slot)> on_tx_abort;
+
+  std::uint64_t rx_overruns() const { return rx_overruns_; }
+  net::MacPort& port() { return port_; }
+
+  /// Ground-truth instants of the last trigger-word accesses; experiment
+  /// probes read these to compute epsilon exactly (not visible to the
+  /// synchronization software).
+  SimTime last_tx_trigger_time() const { return last_tx_trigger_; }
+  SimTime last_rx_trigger_time() const { return last_rx_trigger_; }
+
+ private:
+  struct RxSlot {
+    int slot;
+    module::Addr data_addr;
+    std::size_t capacity;
+  };
+  struct PendingTx {
+    int tx_slot;
+    module::Addr data_addr;
+    std::size_t data_len;
+  };
+
+  void handle_rx(std::shared_ptr<const net::Frame> frame,
+                 const net::RxTiming& timing);
+
+  sim::Engine& engine_;
+  module::Nti& nti_;
+  net::Medium& medium_;
+  net::MacPort& port_;
+  ComcoConfig cfg_;
+  RngStream rng_;
+  std::deque<RxSlot> rx_ring_;
+  std::deque<PendingTx> tx_pending_;  ///< matched to wire starts in order
+  std::uint64_t rx_overruns_ = 0;
+  SimTime last_tx_trigger_ = SimTime::epoch();
+  SimTime last_rx_trigger_ = SimTime::epoch();
+};
+
+}  // namespace nti::comco

@@ -1,0 +1,38 @@
+#include "common/checksum.hpp"
+
+namespace nti {
+
+std::uint8_t time_checksum8(std::uint64_t ntp56) {
+  // CRC-8 over the seven time bytes.  (A ones'-complement byte sum cannot
+  // distinguish a 0x00 byte from 0xFF -- arithmetic mod 255 -- so it would
+  // miss exactly the all-bits-of-one-byte corruptions a glitched bus
+  // produces; the CRC detects any single corrupted byte.)
+  std::uint8_t bytes[7];
+  for (int i = 0; i < 7; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(ntp56 >> (8 * i));
+  }
+  return crc8(bytes);
+}
+
+std::uint8_t crc8(std::span<const std::uint8_t> data) {
+  std::uint8_t crc = 0;
+  for (const std::uint8_t byte : data) {
+    crc = static_cast<std::uint8_t>(crc ^ byte);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x80u) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07u)
+                          : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::uint16_t blocksum16(std::span<const std::uint32_t> words) {
+  std::uint32_t sum = 0;
+  for (const std::uint32_t w : words) {
+    sum += (w & 0xFFFFu) + (w >> 16);
+  }
+  while (sum > 0xFFFF) sum = (sum & 0xFFFFu) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+}  // namespace nti

@@ -1,0 +1,26 @@
+// Checksums used by the UTCSU.
+//
+// The macrostamp carries an 8-bit checksum "protecting the entire time
+// information" (paper Sec. 3.3); the BTU additionally computes block sums
+// and signatures over register snapshots for self-checking operation.  The
+// ASIC's exact polynomial is not published; we use a CRC-8 (poly 0x07,
+// detecting any single corrupted byte and all bursts <= 8 bits) for both
+// the macrostamp checksum and the BTU signatures, and document it here as
+// part of the simulated register interface.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nti {
+
+/// CRC-8 over the 7 bytes of a 56-bit NTP time value.
+std::uint8_t time_checksum8(std::uint64_t ntp56);
+
+/// CRC-8/ATM (poly x^8+x^2+x+1 = 0x07, init 0x00) over an arbitrary buffer.
+std::uint8_t crc8(std::span<const std::uint8_t> data);
+
+/// Incremental 16-bit block sum used by the BTU over register snapshots.
+std::uint16_t blocksum16(std::span<const std::uint32_t> words);
+
+}  // namespace nti

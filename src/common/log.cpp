@@ -1,0 +1,25 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace nti {
+
+std::uint32_t Log::mask_ = 0;
+
+void Log::enable(LogCat cat) { mask_ |= static_cast<std::uint32_t>(cat); }
+void Log::disable(LogCat cat) { mask_ &= ~static_cast<std::uint32_t>(cat); }
+void Log::enable_all() { mask_ = ~0u; }
+bool Log::enabled(LogCat cat) { return (mask_ & static_cast<std::uint32_t>(cat)) != 0; }
+
+void Log::trace(LogCat cat, SimTime now, const char* fmt, ...) {
+  if (!enabled(cat)) return;
+  std::fprintf(stderr, "[%14.9f] ", now.to_sec_f());
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace nti

@@ -1,0 +1,43 @@
+// Minimal leveled trace facility.
+//
+// The simulation is deterministic, so a trace of "what happened when" is the
+// primary debugging tool.  Output is off by default (benches and tests stay
+// quiet); enable per-category via Log::enable().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/time_types.hpp"
+
+namespace nti {
+
+enum class LogCat : std::uint32_t {
+  kSim = 1u << 0,
+  kUtcsu = 1u << 1,
+  kNti = 1u << 2,
+  kComco = 1u << 3,
+  kNet = 1u << 4,
+  kGps = 1u << 5,
+  kNode = 1u << 6,
+  kCsa = 1u << 7,
+  kCluster = 1u << 8,
+};
+
+class Log {
+ public:
+  static void enable(LogCat cat);
+  static void disable(LogCat cat);
+  static void enable_all();
+  static bool enabled(LogCat cat);
+
+  /// printf-style trace line, prefixed with the simulated time.
+  static void trace(LogCat cat, SimTime now, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+ private:
+  static std::uint32_t mask_;
+};
+
+}  // namespace nti

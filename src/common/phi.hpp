@@ -1,0 +1,115 @@
+// Phi: the UTCSU's internal time representation.
+//
+// The UTCSU's adder-based clock sums a programmable augend in multiples of
+// 2^-51 s (~ 0.44 fs) into a 91-bit register on every oscillator tick
+// (paper Sec. 3.3).  We call one 2^-51 s unit a "phi".  The full register is
+// modeled with unsigned 128-bit arithmetic; the architecturally visible
+// 56-bit NTP time (32-bit seconds, 24-bit fraction) is a bit-field view of
+// the top of the register, exactly as in the ASIC.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <compare>
+
+#include "common/time_types.hpp"
+
+namespace nti {
+
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+/// Signed span measured in phi units (2^-51 s).
+class PhiDelta;
+
+/// Unsigned clock state in phi units (2^-51 s).  One second == 2^51 phi.
+class Phi {
+ public:
+  static constexpr int kFracBits = 51;                 ///< phi bits per second
+  static constexpr u128 kPerSec = u128{1} << kFracBits;
+
+  constexpr Phi() = default;
+  static constexpr Phi raw(u128 v) { return Phi{v}; }
+  static constexpr Phi from_sec(std::uint64_t s) { return Phi{u128{s} << kFracBits}; }
+
+  /// Exact conversion from picoseconds: phi = ps * 2^51 / 10^12 (rounded).
+  /// A clock state is non-negative by contract; a negative input would
+  /// silently wrap to an astronomically large state (and e.g. make every
+  /// duty timer fire immediately), so it is rejected here.
+  static constexpr Phi from_duration(Duration d) {
+    assert(d.count_ps() >= 0 && "clock states are non-negative");
+    const u128 ps = static_cast<u128>(d.count_ps());
+    return Phi{(ps * kPerSec + 500'000'000'000ULL) / 1'000'000'000'000ULL};
+  }
+
+  /// Rounded conversion back to picoseconds.
+  constexpr Duration to_duration() const {
+    const u128 ps = (v_ * 1'000'000'000'000ULL + (kPerSec >> 1)) >> kFracBits;
+    return Duration::ps(static_cast<std::int64_t>(ps));
+  }
+
+  constexpr double to_sec_f() const {
+    return static_cast<double>(v_) / static_cast<double>(kPerSec);
+  }
+
+  constexpr u128 raw_value() const { return v_; }
+  constexpr std::uint64_t whole_seconds() const { return static_cast<std::uint64_t>(v_ >> kFracBits); }
+
+  /// The 24-bit NTP fraction-of-second (granularity 2^-24 s ~ 59.6 ns).
+  constexpr std::uint32_t frac24() const {
+    return static_cast<std::uint32_t>((v_ >> (kFracBits - 24)) & 0xFF'FFFFu);
+  }
+
+  constexpr auto operator<=>(const Phi&) const = default;
+  constexpr Phi operator+(Phi o) const { return Phi{v_ + o.v_}; }
+  constexpr Phi& operator+=(Phi o) { v_ += o.v_; return *this; }
+  constexpr Phi operator*(std::uint64_t k) const { return Phi{v_ * k}; }
+  friend constexpr PhiDelta operator-(Phi a, Phi b);
+  constexpr Phi plus(PhiDelta d) const;  // defined below
+
+ private:
+  constexpr explicit Phi(u128 v) : v_(v) {}
+  u128 v_ = 0;
+};
+
+class PhiDelta {
+ public:
+  constexpr PhiDelta() = default;
+  static constexpr PhiDelta raw(i128 v) { return PhiDelta{v}; }
+  static constexpr PhiDelta from_duration(Duration d) {
+    const bool neg = d.count_ps() < 0;
+    const u128 mag = Phi::from_duration(neg ? -d : d).raw_value();
+    return PhiDelta{neg ? -static_cast<i128>(mag) : static_cast<i128>(mag)};
+  }
+  constexpr Duration to_duration() const {
+    const bool neg = v_ < 0;
+    const u128 mag = static_cast<u128>(neg ? -v_ : v_);
+    const Duration d = Phi::raw(mag).to_duration();
+    return neg ? -d : d;
+  }
+  constexpr double to_sec_f() const {
+    return (v_ < 0 ? -1.0 : 1.0) *
+           static_cast<double>(static_cast<u128>(v_ < 0 ? -v_ : v_)) /
+           static_cast<double>(Phi::kPerSec);
+  }
+  constexpr i128 raw_value() const { return v_; }
+  constexpr auto operator<=>(const PhiDelta&) const = default;
+  constexpr PhiDelta operator+(PhiDelta o) const { return PhiDelta{v_ + o.v_}; }
+  constexpr PhiDelta operator-(PhiDelta o) const { return PhiDelta{v_ - o.v_}; }
+  constexpr PhiDelta operator-() const { return PhiDelta{-v_}; }
+  constexpr PhiDelta operator/(std::int64_t k) const { return PhiDelta{v_ / k}; }
+
+ private:
+  constexpr explicit PhiDelta(i128 v) : v_(v) {}
+  i128 v_ = 0;
+};
+
+constexpr PhiDelta operator-(Phi a, Phi b) {
+  return PhiDelta::raw(static_cast<i128>(a.v_) - static_cast<i128>(b.v_));
+}
+
+constexpr Phi Phi::plus(PhiDelta d) const {
+  return Phi{static_cast<u128>(static_cast<i128>(v_) + d.raw_value())};
+}
+
+}  // namespace nti

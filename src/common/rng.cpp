@@ -1,0 +1,91 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace nti {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+RngStream::RngStream(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+RngStream RngStream::fork(std::string_view name) const {
+  return RngStream(fnv1a(name, seed_ ^ 0xA5A5A5A5DEADBEEFULL));
+}
+
+RngStream RngStream::fork(std::string_view name, std::uint64_t index) const {
+  std::uint64_t h = fnv1a(name, seed_ ^ 0xA5A5A5A5DEADBEEFULL);
+  h ^= index + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return RngStream(h);
+}
+
+std::uint64_t RngStream::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double RngStream::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection-free Lemire reduction is overkill here; modulo bias is
+  // negligible for the span sizes used (all << 2^64).
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+Duration RngStream::uniform(Duration lo, Duration hi) {
+  return Duration::ps(uniform_int(lo.count_ps(), hi.count_ps()));
+}
+
+double RngStream::normal(double mean, double stddev) {
+  // Box-Muller; draw until u1 is nonzero to avoid log(0).
+  double u1 = 0.0;
+  do { u1 = next_double(); } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double RngStream::exponential(double mean) {
+  double u = 0.0;
+  do { u = next_double(); } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+bool RngStream::chance(double probability) {
+  return next_double() < probability;
+}
+
+}  // namespace nti

@@ -1,0 +1,47 @@
+// Deterministic random-number streams.
+//
+// Every stochastic element of the simulation (oscillator wander, COMCO FIFO
+// jitter, MAC backoff, ISR latency, GPS faults) draws from a named child
+// stream forked off one root seed.  Forking is by hashing the parent state
+// with the stream name, so adding a new consumer never perturbs the draws
+// seen by existing consumers — a prerequisite for reproducible experiments
+// and for bisecting behavioural changes across revisions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/time_types.hpp"
+
+namespace nti {
+
+/// xoshiro256** seeded via SplitMix64; cheap to copy, no global state.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed);
+
+  /// Child stream derived from this stream's seed and a stable name.
+  RngStream fork(std::string_view name) const;
+  /// Child stream derived from a name plus an index (e.g. per node).
+  RngStream fork(std::string_view name, std::uint64_t index) const;
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1).
+  double next_double();
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform duration in [lo, hi].
+  Duration uniform(Duration lo, Duration hi);
+  /// Standard normal via Box-Muller (no caching: stateless per call pair).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Exponential with the given mean.
+  double exponential(double mean);
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace nti

@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace nti {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::min() {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.front();
+}
+
+double SampleSet::max() {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.back();
+}
+
+double SampleSet::mean() const {
+  if (xs_.empty()) return 0.0;
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) / static_cast<double>(xs_.size());
+}
+
+double SampleSet::percentile(double p) {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const auto idx = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(idx);
+  if (idx + 1 >= xs_.size()) return xs_.back();
+  return xs_[idx] * (1.0 - frac) + xs_[idx + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {}
+
+void Histogram::add(double x) {
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                              static_cast<double>(bins_.size()));
+    ++bins_[std::min(idx, bins_.size() - 1)];
+  }
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  const std::size_t peak = std::max<std::size_t>(
+      1, *std::max_element(bins_.begin(), bins_.end()));
+  std::string out;
+  const double bin_w = (hi_ - lo_) / static_cast<double>(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    char head[64];
+    std::snprintf(head, sizeof head, "%12.3g |", lo_ + bin_w * static_cast<double>(i));
+    out += head;
+    out.append(bins_[i] * width / peak, '#');
+    char tail[32];
+    std::snprintf(tail, sizeof tail, " %zu\n", bins_[i]);
+    out += tail;
+  }
+  return out;
+}
+
+}  // namespace nti

@@ -1,0 +1,75 @@
+// Small statistics helpers used by the measurement probes and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace nti {
+
+/// Welford running statistics over double-valued samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void add(Duration d) { add(static_cast<double>(d.count_ps())); }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample reservoir with exact percentiles (stores everything; the
+/// experiment runs here are short enough that this is the simplest correct
+/// choice, and exactness matters for worst-case precision claims).
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  void add(Duration d) { add(static_cast<double>(d.count_ps())); }
+
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double min();
+  double max();
+  double mean() const;
+  /// p in [0,100]; nearest-rank percentile.
+  double percentile(double p);
+  /// Convenience: max as a Duration when samples were Durations (ps).
+  Duration max_duration() { return Duration::ps(static_cast<std::int64_t>(max())); }
+  Duration mean_duration() const { return Duration::ps(static_cast<std::int64_t>(mean())); }
+  Duration percentile_duration(double p) { return Duration::ps(static_cast<std::int64_t>(percentile(p))); }
+
+ private:
+  void ensure_sorted();
+  std::vector<double> xs_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width histogram for distribution shape reporting in benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::string ascii(std::size_t width = 50) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> bins_;
+  std::size_t underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace nti

@@ -1,0 +1,35 @@
+#include "common/time_types.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nti {
+
+Duration Duration::from_sec_f(double seconds) {
+  return Duration::ps(static_cast<std::int64_t>(std::llround(seconds * 1e12)));
+}
+
+std::string Duration::str() const {
+  char buf[64];
+  const double a = std::fabs(static_cast<double>(ps_));
+  if (a >= 1e12) {
+    std::snprintf(buf, sizeof buf, "%.6f s", static_cast<double>(ps_) * 1e-12);
+  } else if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", static_cast<double>(ps_) * 1e-9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", static_cast<double>(ps_) * 1e-6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3f ns", static_cast<double>(ps_) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld ps", static_cast<long long>(ps_));
+  }
+  return buf;
+}
+
+std::string SimTime::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.9f s", to_sec_f());
+  return buf;
+}
+
+}  // namespace nti

@@ -1,0 +1,89 @@
+// Strong time types for the NTI simulation.
+//
+// All "real time t" in the paper (UTC as observed by an omniscient outside
+// observer) is represented as SimTime: a count of picoseconds since the
+// simulation epoch.  Picosecond resolution is two orders of magnitude finer
+// than the UTCSU's own granularity (2^-24 s ~ 60 ns) and three orders finer
+// than the 1 us precision target, so quantization of the substrate never
+// masks the effects under study.  int64 picoseconds covers +/- 106 days.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace nti {
+
+/// A signed span of simulated real time, in picoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration ps(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration ns(std::int64_t v) { return Duration{v * 1'000}; }
+  static constexpr Duration us(std::int64_t v) { return Duration{v * 1'000'000}; }
+  static constexpr Duration ms(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+  static constexpr Duration sec(std::int64_t v) { return Duration{v * 1'000'000'000'000}; }
+  /// Nearest-picosecond conversion from floating-point seconds.
+  static Duration from_sec_f(double seconds);
+
+  constexpr std::int64_t count_ps() const { return ps_; }
+  constexpr double to_sec_f() const { return static_cast<double>(ps_) * 1e-12; }
+  constexpr double to_us_f() const { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double to_ns_f() const { return static_cast<double>(ps_) * 1e-3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration{ps_ + o.ps_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ps_ - o.ps_}; }
+  constexpr Duration operator-() const { return Duration{-ps_}; }
+  constexpr Duration& operator+=(Duration o) { ps_ += o.ps_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ps_ -= o.ps_; return *this; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ps_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ps_ / k}; }
+  constexpr std::int64_t operator/(Duration o) const { return ps_ / o.ps_; }
+  constexpr Duration abs() const { return Duration{ps_ < 0 ? -ps_ : ps_}; }
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() { return Duration{std::numeric_limits<std::int64_t>::max()}; }
+
+  std::string str() const;  ///< Human-readable, auto-scaled unit.
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ps_(v) {}
+  std::int64_t ps_ = 0;
+};
+
+/// A point in simulated real time: picoseconds since the simulation epoch.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime from_ps(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime epoch() { return SimTime{0}; }
+  /// Sentinel "never": later than any schedulable time.
+  static constexpr SimTime never() { return SimTime{std::numeric_limits<std::int64_t>::max()}; }
+
+  constexpr std::int64_t count_ps() const { return ps_; }
+  constexpr double to_sec_f() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(Duration d) const { return SimTime{ps_ + d.count_ps()}; }
+  constexpr SimTime operator-(Duration d) const { return SimTime{ps_ - d.count_ps()}; }
+  constexpr Duration operator-(SimTime o) const { return Duration::ps(ps_ - o.ps_); }
+  constexpr SimTime& operator+=(Duration d) { ps_ += d.count_ps(); return *this; }
+
+  std::string str() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t v) : ps_(v) {}
+  std::int64_t ps_ = 0;
+};
+
+namespace literals {
+constexpr Duration operator""_ps(unsigned long long v) { return Duration::ps(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ns(unsigned long long v) { return Duration::ns(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return Duration::us(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return Duration::ms(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return Duration::sec(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace nti

@@ -1,0 +1,73 @@
+// CSP payload: the software-defined part of a clock synchronization packet.
+//
+// In hardware mode the authoritative time/accuracy interval travels in the
+// *header* (inserted by the CPLD/UTCSU transparent mapping); the payload
+// carries round bookkeeping, the software-sampled interval used by the
+// purely-software baseline, and rate-synchronization data.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace nti::csa {
+
+enum class CspKind : std::uint8_t {
+  kSync = 0,     ///< periodic round broadcast
+  kRttProbe = 1, ///< round-trip delay measurement request
+  kRttReply = 2, ///< reply carrying the probe's stamps
+};
+
+struct CspPayload {
+  CspKind kind = CspKind::kSync;
+  std::uint8_t src = 0;
+  std::uint16_t round = 0;
+  /// Software-sampled stamp at packet assembly (baseline comparison).
+  std::uint32_t sw_timestamp = 0;
+  std::uint32_t sw_macrostamp = 0;
+  std::uint32_t sw_alpha = 0;
+  /// Rate synchronization: the sender's current STEP register, so peers
+  /// can translate observed clock speed into augend terms.
+  std::uint64_t step = 0;
+  /// RTT handshake: echoed stamps (reply only).
+  std::uint32_t echo_timestamp = 0;
+  std::uint32_t echo_macrostamp = 0;
+  std::uint32_t probe_id = 0;
+
+  static constexpr std::size_t kWireSize = 40;
+
+  std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> out(kWireSize, 0);
+    out[0] = static_cast<std::uint8_t>(kind);
+    out[1] = src;
+    std::memcpy(&out[2], &round, 2);
+    std::memcpy(&out[4], &sw_timestamp, 4);
+    std::memcpy(&out[8], &sw_macrostamp, 4);
+    std::memcpy(&out[12], &sw_alpha, 4);
+    std::memcpy(&out[16], &step, 8);
+    std::memcpy(&out[24], &echo_timestamp, 4);
+    std::memcpy(&out[28], &echo_macrostamp, 4);
+    std::memcpy(&out[32], &probe_id, 4);
+    return out;
+  }
+
+  static std::optional<CspPayload> decode(std::span<const std::uint8_t> in) {
+    if (in.size() < kWireSize) return std::nullopt;
+    CspPayload p;
+    p.kind = static_cast<CspKind>(in[0]);
+    p.src = in[1];
+    std::memcpy(&p.round, &in[2], 2);
+    std::memcpy(&p.sw_timestamp, &in[4], 4);
+    std::memcpy(&p.sw_macrostamp, &in[8], 4);
+    std::memcpy(&p.sw_alpha, &in[12], 4);
+    std::memcpy(&p.step, &in[16], 8);
+    std::memcpy(&p.echo_timestamp, &in[24], 4);
+    std::memcpy(&p.echo_macrostamp, &in[28], 4);
+    std::memcpy(&p.probe_id, &in[32], 4);
+    return p;
+  }
+};
+
+}  // namespace nti::csa

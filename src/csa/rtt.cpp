@@ -1,0 +1,93 @@
+#include "csa/rtt.hpp"
+
+#include "nti/memmap.hpp"
+#include "utcsu/regs.hpp"
+#include "utcsu/stamp.hpp"
+
+namespace nti::csa {
+
+namespace uc = nti::utcsu;
+using module::kCpuUtcsuBase;
+
+RttMeasurer::RttMeasurer(node::NodeCard& card) : card_(card) {
+  chained_ = card_.driver().on_csp;
+  card_.driver().on_csp = [this](const node::RxCsp& rx) { handle(rx); };
+}
+
+void RttMeasurer::handle(const node::RxCsp& rx) {
+  const auto payload = CspPayload::decode(rx.payload);
+  if (!payload) return;
+  switch (payload->kind) {
+    case CspKind::kRttProbe:
+      reply_to_probe(rx, *payload);
+      return;
+    case CspKind::kRttReply:
+      record_reply(rx, *payload);
+      return;
+    default:
+      if (chained_) chained_(rx);
+      return;
+  }
+}
+
+void RttMeasurer::send_probe() {
+  CspPayload p;
+  p.kind = CspKind::kRttProbe;
+  p.src = static_cast<std::uint8_t>(card_.id());
+  p.probe_id = next_probe_++;
+  outstanding_probe_ = p.probe_id;
+  probe_t1_.reset();  // read back lazily once the transmission happened
+  card_.driver().send_csp(p.encode());
+  ++probes_sent_;
+}
+
+void RttMeasurer::reply_to_probe(const node::RxCsp& rx, const CspPayload& p) {
+  if (!rx.rx_stamp_valid) return;  // nothing trustworthy to echo
+  CspPayload reply;
+  reply.kind = CspKind::kRttReply;
+  reply.src = static_cast<std::uint8_t>(card_.id());
+  reply.probe_id = p.probe_id;
+  reply.echo_timestamp = rx.rx_raw_timestamp;
+  reply.echo_macrostamp = rx.rx_raw_macrostamp;
+  card_.driver().send_csp(reply.encode());
+  ++replies_sent_;
+}
+
+void RttMeasurer::record_reply(const node::RxCsp& rx, const CspPayload& p) {
+  if (p.probe_id != outstanding_probe_) return;
+  if (!rx.rx_stamp_valid || !rx.tx_stamp.checksum_ok) return;
+
+  if (!probe_t1_) {
+    // The SSU TX registers still hold the probe's transmit stamp, provided
+    // no other transmission interleaved (true for the ping-pong usage in
+    // the benches; a production driver would latch T1 in the tx-complete
+    // ISR).
+    const SimTime now = card_.cpu().engine().now();
+    auto& nti = card_.nti();
+    const module::Addr ssu_base =
+        kCpuUtcsuBase + uc::kRegSsuBase +
+        static_cast<module::Addr>(nti.ssu_index()) * uc::kSsuStride;
+    const auto t1 = uc::decode_stamp(
+        nti.cpu_read32(now, ssu_base + uc::kSsuTxTimestamp),
+        nti.cpu_read32(now, ssu_base + uc::kSsuTxMacro),
+        nti.cpu_read32(now, ssu_base + uc::kSsuTxAlpha));
+    if (!t1.checksum_ok) return;
+    probe_t1_ = t1.time();
+  }
+
+  const Duration t1 = *probe_t1_;
+  const Duration t2 = uc::decode_stamp(p.echo_timestamp, p.echo_macrostamp, 0).time();
+  const Duration t3 = rx.tx_stamp.time();
+  const Duration t4 = rx.rx_stamp.time();
+
+  RttResult r;
+  r.probe_id = p.probe_id;
+  r.peer = rx.src_node;
+  r.round_trip = (t2 - t1) + (t4 - t3);
+  r.delay_estimate = r.round_trip / 2;
+  r.offset_estimate = ((t2 - t1) - (t4 - t3)) / 2;
+  delays_.add(r.delay_estimate);
+  if (on_result) on_result(r);
+}
+
+}  // namespace nti::csa

@@ -1,0 +1,66 @@
+// Round-trip transmission-delay measurement (paper Sec. 2: "our ambitious
+// goal of a 1 us-range precision/accuracy makes it inevitable to employ an
+// accurate round-trip-based transmission delay measurement").
+//
+// Four hardware stamps per handshake, NTP-style but at trigger precision:
+//   T1  prober's SSU TX stamp of the probe        (read back after send)
+//   T2  responder's SSU RX stamp of the probe     (echoed in the reply)
+//   T3  responder's SSU TX stamp of the reply     (in the reply header)
+//   T4  prober's SSU RX stamp of the reply
+// Then delay = ((T2-T1) + (T4-T3)) / 2, with the asymmetry bounded by the
+// (tiny) trigger jitter rather than by interrupt latencies -- this is what
+// lets the bounds [delay_min, delay_max] in SyncConfig be set tight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "common/time_types.hpp"
+#include "node/node_card.hpp"
+#include "csa/payload.hpp"
+
+namespace nti::csa {
+
+struct RttResult {
+  std::uint32_t probe_id = 0;
+  int peer = -1;
+  Duration delay_estimate;   ///< ((T2-T1)+(T4-T3))/2
+  Duration offset_estimate;  ///< ((T2-T1)-(T4-T3))/2, NTP-style
+  Duration round_trip;       ///< (T2-T1)+(T4-T3)
+};
+
+/// Installs itself by *chaining* onto the driver's CSP callback: RTT kinds
+/// are consumed, everything else is forwarded to the previously installed
+/// handler (so it composes with a running SyncNode; install after it).
+class RttMeasurer {
+ public:
+  explicit RttMeasurer(node::NodeCard& card);
+
+  /// Broadcast a probe; every peer's RttMeasurer replies.
+  void send_probe();
+
+  std::function<void(const RttResult&)> on_result;
+
+  SampleSet& delays() { return delays_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t replies_sent() const { return replies_sent_; }
+
+ private:
+  void handle(const node::RxCsp& rx);
+  void reply_to_probe(const node::RxCsp& rx, const CspPayload& p);
+  void record_reply(const node::RxCsp& rx, const CspPayload& p);
+
+  node::NodeCard& card_;
+  std::function<void(const node::RxCsp&)> chained_;
+  std::uint32_t next_probe_ = 1;
+  /// T1 of the outstanding probe (tx stamp read back after transmission).
+  std::optional<Duration> probe_t1_;
+  std::uint32_t outstanding_probe_ = 0;
+  SampleSet delays_;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t replies_sent_ = 0;
+};
+
+}  // namespace nti::csa

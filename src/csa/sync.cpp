@@ -1,0 +1,474 @@
+#include "csa/sync.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nti/memmap.hpp"
+#include "utcsu/regs.hpp"
+#include "utcsu/stamp.hpp"
+
+namespace nti::csa {
+
+using module::kCpuUtcsuBase;
+namespace uc = nti::utcsu;
+
+namespace {
+
+/// Duration -> 16-bit accuracy units (2^-24 s), rounded up, saturating.
+std::uint16_t to_alpha_units(Duration d) {
+  if (d <= Duration::zero()) return 0;
+  const std::int64_t units = ((d.count_ps() << 24) + 999'999'999'999LL) / 1'000'000'000'000LL;
+  return static_cast<std::uint16_t>(std::min<std::int64_t>(units, 0xFFFF));
+}
+
+Duration scaled_ppm(Duration base, double ppm) {
+  return Duration::from_sec_f(base.to_sec_f() * ppm * 1e-6);
+}
+
+}  // namespace
+
+SyncNode::SyncNode(node::NodeCard& card, SyncConfig cfg, int num_nodes)
+    : card_(card), cfg_(cfg), n_(num_nodes) {}
+
+Duration SyncNode::send_time_of_round(std::uint32_t k) const {
+  return cfg_.round_period * static_cast<std::int64_t>(k) +
+         cfg_.send_stagger_slot * card_.id();
+}
+
+Duration SyncNode::resync_time_of_round(std::uint32_t k) const {
+  return cfg_.round_period * static_cast<std::int64_t>(k) + cfg_.resync_offset;
+}
+
+void SyncNode::write_duty(int timer, Duration clock_value) {
+  const SimTime now = card_.cpu().engine().now();
+  const Phi phi = Phi::from_duration(clock_value);
+  const module::Addr base = kCpuUtcsuBase + uc::kRegDutyBase +
+                            static_cast<module::Addr>(timer) * uc::kDutyStride;
+  card_.nti().cpu_write32(now, base + uc::kDutyCompareLo, phi.frac24());
+  card_.nti().cpu_write32(now, base + uc::kDutyCompareHi,
+                          static_cast<std::uint32_t>(phi.whole_seconds() & 0xFF'FFFF));
+  card_.nti().cpu_write32(now, base + uc::kDutyCtrl, 1);
+}
+
+void SyncNode::set_lambdas(double rho_ppm, std::int64_t extra_shrink_minus,
+                           std::int64_t extra_shrink_plus) {
+  const SimTime now = card_.cpu().engine().now();
+  const auto step = static_cast<double>(card_.chip().ltu().step());
+  const auto base = static_cast<std::int64_t>(std::llround(step * rho_ppm * 1e-6));
+  card_.nti().cpu_write32(now, kCpuUtcsuBase + uc::kRegLambdaMinus,
+                          static_cast<std::uint32_t>(base - extra_shrink_minus));
+  card_.nti().cpu_write32(now, kCpuUtcsuBase + uc::kRegLambdaPlus,
+                          static_cast<std::uint32_t>(base - extra_shrink_plus));
+}
+
+void SyncNode::start(Duration value, Duration alpha0, std::uint32_t first_round) {
+  auto& nti = card_.nti();
+  const SimTime now = card_.cpu().engine().now();
+
+  // Initialize clock + accuracies atomically (SYNCRUN-style start).
+  const Phi phi = Phi::from_duration(value);
+  const u128 raw = phi.raw_value();
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegTimeSet0,
+                  static_cast<std::uint32_t>(raw));
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegTimeSet1,
+                  static_cast<std::uint32_t>(raw >> 32));
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegTimeSet2,
+                  static_cast<std::uint32_t>(raw >> 64));
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetMinus, to_alpha_units(alpha0));
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetPlus, to_alpha_units(alpha0));
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlApplyTimeSet);
+  set_lambdas(cfg_.rho_bound_ppm, 0, 0);
+
+  card_.driver().on_csp = [this](const node::RxCsp& rx) { handle_csp(rx); };
+  card_.driver().on_duty = [this](int timer) { on_duty_timer(timer); };
+  card_.driver().enable_int_sources(uc::int_bit(uc::IntSource::kDuty0, 0) |
+                                    uc::int_bit(uc::IntSource::kDuty0, 1) |
+                                    uc::int_bit(uc::IntSource::kDuty0, 2));
+
+  if (auto* gps = card_.gps_receiver(); gps != nullptr && cfg_.gps_validation) {
+    gps->on_serial = [this](const gps::PpsEvent& ev) {
+      const SimTime t = card_.cpu().engine().now();
+      auto& nt = card_.nti();
+      const module::Addr gpu = kCpuUtcsuBase + uc::kRegGpuBase;  // GPU 0
+      const std::uint32_t status = nt.cpu_read32(t, gpu + uc::kGpuStatus);
+      if (!(status & 1u)) return;  // pulse lost (fault) -- no capture
+      const auto stamp = uc::decode_stamp(
+          nt.cpu_read32(t, gpu + uc::kGpuTimestamp),
+          nt.cpu_read32(t, gpu + uc::kGpuMacro),
+          nt.cpu_read32(t, gpu + uc::kGpuAlpha));
+      nt.cpu_write32(t, gpu + uc::kGpuStatus, 3u);  // ack valid+overrun
+      if (!stamp.checksum_ok) return;
+      gps_fix_.clock_at_pps = stamp.time();
+      gps_fix_.utc_second = ev.labeled_second;
+      gps_fix_.claimed_acc = ev.claimed_accuracy;
+      gps_fix_.taken_at = t;
+      gps_fix_.fresh = true;
+    };
+  }
+
+  round_ = first_round;
+  running_ = true;
+  arm_round_timers();
+}
+
+void SyncNode::schedule_leap(bool insert, std::uint64_t at_utc_second) {
+  const SimTime now = card_.cpu().engine().now();
+  auto& nti = card_.nti();
+  // Stage the compare value in duty timer 3 (without arming its
+  // interrupt), then strobe the leap control bit.
+  const module::Addr base =
+      kCpuUtcsuBase + uc::kRegDutyBase + 3 * uc::kDutyStride;
+  nti.cpu_write32(now, base + uc::kDutyCompareLo, 0);
+  nti.cpu_write32(now, base + uc::kDutyCompareHi,
+                  static_cast<std::uint32_t>(at_utc_second & 0xFF'FFFF));
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl,
+                  insert ? uc::kCtrlLeapInsert : uc::kCtrlLeapDelete);
+}
+
+void SyncNode::arm_round_timers() {
+  write_duty(0, send_time_of_round(round_));
+  write_duty(1, resync_time_of_round(round_));
+}
+
+void SyncNode::on_duty_timer(int timer) {
+  if (!running_) return;
+  switch (timer) {
+    case 0: do_send(); break;
+    case 1: do_resync(); break;
+    case 2:
+      // Amortization finished: withdraw the extra shrink terms.
+      set_lambdas(cfg_.rho_bound_ppm, 0, 0);
+      break;
+    default: break;
+  }
+}
+
+void SyncNode::do_send() {
+  const SimTime now = card_.cpu().engine().now();
+  auto& nti = card_.nti();
+  CspPayload p;
+  p.kind = CspKind::kSync;
+  p.src = static_cast<std::uint8_t>(card_.id());
+  p.round = static_cast<std::uint16_t>(round_);
+  // Software-sampled interval at assembly (step 1 of Sec. 3.1) -- this is
+  // what a purely software approach has to work with.
+  p.sw_timestamp = nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegTimestamp);
+  p.sw_macrostamp = nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegMacrostamp);
+  p.sw_alpha = (nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegAlphaMinus) << 16) |
+               (nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegAlphaPlus) & 0xFFFF);
+  p.step = card_.chip().ltu().step();
+  const auto bytes = p.encode();
+  card_.driver().send_csp(bytes);
+}
+
+void SyncNode::handle_csp(const node::RxCsp& rx) {
+  if (!running_) return;
+  const auto payload = CspPayload::decode(rx.payload);
+  if (!payload || payload->kind != CspKind::kSync) return;
+  if (payload->round != (round_ & 0xFFFF)) {
+    ++csps_late_;
+    return;
+  }
+
+  Duration remote_t, remote_am, remote_ap, local_r;
+  if (cfg_.use_hw_stamps) {
+    if (!rx.rx_stamp_valid || !rx.tx_stamp.checksum_ok) {
+      ++csps_invalid_;
+      return;
+    }
+    remote_t = rx.tx_stamp.time();
+    remote_am = rx.tx_stamp.acc_minus();
+    remote_ap = rx.tx_stamp.acc_plus();
+    local_r = rx.rx_stamp.time();
+  } else {
+    const auto sw = uc::decode_stamp(payload->sw_timestamp,
+                                     payload->sw_macrostamp, payload->sw_alpha);
+    if (!sw.checksum_ok) {
+      ++csps_invalid_;
+      return;
+    }
+    remote_t = sw.time();
+    remote_am = sw.acc_minus();
+    remote_ap = sw.acc_plus();
+    local_r = cfg_.sw_rx_at_task ? rx.rx_clock_task : rx.rx_clock_isr;
+  }
+
+  // Delay compensation: t at the local rx event lies within
+  // [T - a- + d_min, T + a+ + d_max], widened by the stamp granularity.
+  const Duration lo0 = remote_t - remote_am + cfg_.delay_min - cfg_.granularity;
+  const Duration hi0 = remote_t + remote_ap + cfg_.delay_max + cfg_.granularity;
+
+  // Drift compensation: shift to the resync point kP + Delta, enlarging by
+  // the drift bound over the locally measured elapsed time.
+  const Duration sigma = resync_time_of_round(round_) - local_r;
+  if (sigma < Duration::zero()) {
+    ++csps_late_;  // arrived after (or during) our resynchronization
+    return;
+  }
+  const Duration margin = scaled_ppm(sigma, cfg_.rho_bound_ppm) + cfg_.granularity;
+  // The interval's *reference point* is the best point estimate of the
+  // peer's clock translated to the resync instant.  It must NOT be the
+  // interval midpoint: the edges inherit the peer's asymmetric
+  // post-amortization accuracies, and a midpoint-based reference would
+  // feed that asymmetry back into the next round's corrections (a
+  // self-sustaining multi-us correction treadmill -- observed in
+  // bring-up; see DESIGN.md S4).
+  const Duration mean_delay = cfg_.delay_min + (cfg_.delay_max - cfg_.delay_min) / 2;
+  const Duration peer_ref = remote_t + mean_delay + sigma;
+  const interval::AccInterval pre = interval::AccInterval::from_edges(
+      lo0 + sigma - margin, hi0 + sigma + margin, peer_ref);
+
+  PeerObs ob;
+  ob.preprocessed = pre;
+  ob.remote_time = remote_t;
+  ob.local_time = local_r;
+  ob.remote_step = payload->step;
+  obs_[rx.src_node] = ob;
+}
+
+std::optional<interval::AccInterval> SyncNode::gps_interval(Duration at_clock) {
+  if (!gps_fix_.fresh) return std::nullopt;
+  const SimTime now = card_.cpu().engine().now();
+  if (now - gps_fix_.taken_at > cfg_.round_period * 2) return std::nullopt;
+  const Duration utc_at_pps = Duration::sec(static_cast<std::int64_t>(gps_fix_.utc_second));
+  const Duration elapsed = at_clock - gps_fix_.clock_at_pps;
+  const Duration ref = utc_at_pps + elapsed;
+  const Duration margin = gps_fix_.claimed_acc + scaled_ppm(elapsed, cfg_.rho_bound_ppm) +
+                          cfg_.granularity * 2;
+  return interval::AccInterval(ref, margin, margin);
+}
+
+void SyncNode::do_resync() {
+  const SimTime now = card_.cpu().engine().now();
+  auto& nti = card_.nti();
+  const Duration c_resync = resync_time_of_round(round_);
+
+  RoundReport report;
+  report.round = round_;
+
+  // Own interval at the resync point: the ACU has been deteriorating since
+  // the last round, read it fresh.
+  const Duration own_am = Duration::ps(
+      (static_cast<std::int64_t>(nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegAlphaMinus)) *
+       1'000'000'000'000LL) >> 24);
+  const Duration own_ap = Duration::ps(
+      (static_cast<std::int64_t>(nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegAlphaPlus)) *
+       1'000'000'000'000LL) >> 24);
+
+  std::vector<interval::AccInterval> xs;
+  xs.emplace_back(c_resync, own_am, own_ap);
+  for (const auto& [peer, ob] : obs_) xs.push_back(ob.preprocessed);
+  report.intervals_used = static_cast<int>(xs.size());
+
+  std::optional<interval::AccInterval> fused;
+  switch (cfg_.convergence) {
+    case Convergence::kMarzullo:
+      fused = interval::marzullo(xs, cfg_.fault_tolerance);
+      if (!fused) fused = interval::ft_edge_fusion(xs, cfg_.fault_tolerance);
+      break;
+    case Convergence::kOA:
+      fused = interval::ft_edge_fusion(xs, cfg_.fault_tolerance);
+      break;
+    case Convergence::kFTA: {
+      std::vector<Duration> refs;
+      refs.reserve(xs.size());
+      Duration max_alpha = Duration::zero();
+      for (const auto& x : xs) {
+        refs.push_back(x.ref());
+        max_alpha = std::max(max_alpha, std::max(x.alpha_minus(), x.alpha_plus()));
+      }
+      if (const auto avg = interval::fault_tolerant_average(refs, cfg_.fault_tolerance)) {
+        fused = interval::AccInterval(*avg, max_alpha, max_alpha);
+      }
+      break;
+    }
+  }
+  interval::AccInterval result = fused.value_or(xs.front());
+
+  // Interval-based clock validation [Sch94]: a (possibly faulty) GPS
+  // interval is adopted only when consistent with the validation interval.
+  if (auto g = gps_interval(c_resync)) {
+    report.gps_offered = true;
+    if (const auto both = interval::intersect(*g, result)) {
+      result = *both;
+      report.gps_accepted = true;
+    }
+  }
+
+  // New clock value: this is where "orthogonal accuracy" earns its name --
+  // *precision* comes from a fault-tolerant midpoint over the reference
+  // points (the classic Welch-Lynch family), while *accuracy* is
+  // maintained by the interval fusion above.  The point estimate is
+  // clamped into the fused interval so it can never leave the region that
+  // provably contains t.
+  Duration m;
+  switch (cfg_.convergence) {
+    case Convergence::kOA: {
+      std::vector<Duration> refs;
+      refs.reserve(xs.size());
+      for (const auto& x : xs) refs.push_back(x.ref());
+      std::sort(refs.begin(), refs.end());
+      const auto f = static_cast<std::size_t>(cfg_.fault_tolerance);
+      if (refs.size() >= 2 * f + 1) {
+        const Duration lo_ref = refs[f];
+        const Duration hi_ref = refs[refs.size() - 1 - f];
+        m = lo_ref + (hi_ref - lo_ref) / 2;
+      } else {
+        m = result.midpoint();
+      }
+      m = std::clamp(m, result.lower(), result.upper());
+      break;
+    }
+    case Convergence::kMarzullo:
+    case Convergence::kFTA:
+      m = result.midpoint();
+      break;
+  }
+  const Duration d = m - c_resync;
+  report.correction = d;
+
+  // Stage the post-adjustment accuracies: they must contain t for every
+  // clock value the slew passes through (see DESIGN.md / utcsu/acu.hpp).
+  const Duration slack = cfg_.granularity;
+  const Duration am_set = (m - result.lower()) +
+                          (d < Duration::zero() ? -d : Duration::zero()) + slack;
+  const Duration ap_set = (result.upper() - m) +
+                          (d > Duration::zero() ? d : Duration::zero()) + slack;
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetMinus, to_alpha_units(am_set));
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetPlus, to_alpha_units(ap_set));
+
+  if (d.abs() > cfg_.hard_set_threshold || !cfg_.use_amortization) {
+    // Cold-start escape hatch: one hard state set, then normal rounds.
+    const Duration clock_now = card_.driver().read_clock(now);
+    const Phi target = Phi::from_duration(m + (clock_now - c_resync));
+    const u128 raw = target.raw_value();
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegTimeSet0, static_cast<std::uint32_t>(raw));
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegTimeSet1, static_cast<std::uint32_t>(raw >> 32));
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegTimeSet2, static_cast<std::uint32_t>(raw >> 64));
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlApplyTimeSet);
+  } else if (d != Duration::zero()) {
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlApplyAccSet);
+    // Continuous amortization: slew at (1 +- amort_rate) x nominal speed
+    // until the offset is absorbed.
+    const std::uint64_t step = card_.chip().ltu().step();
+    const auto dpt = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(static_cast<double>(step) * cfg_.amort_rate)));
+    const u128 d_phi_mag = Phi::from_duration(d.abs()).raw_value();
+    const auto ticks = static_cast<std::uint64_t>(d_phi_mag / dpt) + 1;
+    const std::uint64_t amort_step = d > Duration::zero() ? step + dpt : step - dpt;
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAmortStepLo,
+                    static_cast<std::uint32_t>(amort_step));
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAmortStepHi,
+                    static_cast<std::uint32_t>(amort_step >> 32));
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAmortTicksLo,
+                    static_cast<std::uint32_t>(ticks));
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAmortTicksHi,
+                    static_cast<std::uint32_t>(ticks >> 32));
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlStartAmort);
+    // While amortizing, drain the transient accuracy term on the side the
+    // clock moves away from (the ACU zero-masks any overshoot).
+    if (d > Duration::zero()) {
+      set_lambdas(cfg_.rho_bound_ppm, 0, static_cast<std::int64_t>(dpt));
+    } else {
+      set_lambdas(cfg_.rho_bound_ppm, static_cast<std::int64_t>(dpt), 0);
+    }
+    // Duty timer 2 marks the end of amortization (restore lambdas there).
+    const Duration amort_len = Phi::raw(u128{amort_step} * ticks).to_duration();
+    const Duration clock_now = card_.driver().read_clock(now);
+    write_duty(2, clock_now + amort_len);
+  } else {
+    nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlApplyAccSet);
+  }
+  cum_corr_ += d;
+
+  if (cfg_.rate_sync) apply_rate_sync(report);
+
+  report.alpha_minus_after = am_set;
+  report.alpha_plus_after = ap_set;
+  if (on_round) on_round(report);
+
+  // Bookkeeping for future rate estimates, then advance.
+  for (const auto& [peer, ob] : obs_) {
+    rate_hist_[peer].push_back({round_, ob.remote_time, ob.local_time, cum_corr_});
+  }
+  obs_.clear();
+  ++round_;
+  arm_round_timers();
+}
+
+void SyncNode::apply_rate_sync(RoundReport& report) {
+  // Estimate each peer's clock speed relative to ours over a multi-round
+  // baseline (stamp noise over one round is the same order as the drift
+  // being corrected), correcting the local elapsed time for the state
+  // adjustments we applied in between (they are not oscillator drift).
+  //
+  // Guard: while state corrections are still large (cold start), peers'
+  // own amortization slews pollute the elapsed-time ratios; a bad rate
+  // adjustment would exceed the deterioration bound and endanger the
+  // containment invariant, so skip those rounds entirely.
+  if (report.correction.abs() > Duration::us(50)) return;
+  // Adjust only once per baseline window: STEP is then constant across
+  // each measurement window, so the ratio cleanly reflects the *current*
+  // relative rate.  (Adjusting every round against a multi-round baseline
+  // is delayed feedback -- it oscillates and slowly walks the ensemble
+  // rate away from nominal; we measured exactly that during bring-up.)
+  const auto baseline = static_cast<std::uint32_t>(cfg_.rate_baseline_rounds);
+  if (round_ % baseline != 0) return;
+  std::vector<double> ratios;
+  for (const auto& [peer, ob] : obs_) {
+    auto& hist = rate_hist_[peer];
+    while (hist.size() > 2 * static_cast<std::size_t>(baseline)) hist.pop_front();
+    const RateSample* base = nullptr;
+    for (const auto& smp : hist) {
+      if (round_ - smp.round >= baseline) base = &smp;
+    }
+    if (base == nullptr) continue;
+    const double corr_between = (cum_corr_ - base->cum_corr).to_sec_f();
+    const double dt_remote = (ob.remote_time - base->remote_time).to_sec_f();
+    const double dt_local =
+        (ob.local_time - base->local_time).to_sec_f() - corr_between;
+    if (dt_local <= 0.5 * cfg_.round_period.to_sec_f()) continue;  // bogus
+    ratios.push_back(dt_remote / dt_local);
+  }
+  if (ratios.empty()) return;
+  ratios.push_back(1.0);  // our own clock is a candidate too
+  std::sort(ratios.begin(), ratios.end());
+  const int f = cfg_.fault_tolerance;
+  if (static_cast<int>(ratios.size()) < 2 * f + 1) return;
+  const double lo = ratios[static_cast<std::size_t>(f)];
+  const double hi = ratios[ratios.size() - 1 - static_cast<std::size_t>(f)];
+  const double target = 0.5 * (lo + hi);  // fault-tolerant midpoint of rates
+
+  double adj = cfg_.rate_gain * (target - 1.0);
+  // Per-round clamp: never steer faster than a quarter of the advertised
+  // drift bound, so a mis-estimate stays covered by the ACU deterioration.
+  const double clamp =
+      std::min(cfg_.rate_max_adj_ppm, cfg_.rho_bound_ppm / 4.0) * 1e-6;
+  adj = std::clamp(adj, -clamp, clamp);
+  if (adj == 0.0) return;
+
+  const SimTime now = card_.cpu().engine().now();
+  const std::uint64_t step = card_.chip().ltu().step();
+  const auto new_step = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(step) * (1.0 + adj)));
+  card_.nti().cpu_write32(now, kCpuUtcsuBase + uc::kRegStepLo,
+                          static_cast<std::uint32_t>(new_step));
+  card_.nti().cpu_write32(now, kCpuUtcsuBase + uc::kRegStepHi,
+                          static_cast<std::uint32_t>(new_step >> 32));
+  report.rate_adj_ppm = adj * 1e6;
+}
+
+interval::AccInterval SyncNode::current_interval(SimTime now) {
+  auto& nti = card_.nti();
+  const Duration c = card_.driver().read_clock(now);
+  const Duration am = Duration::ps(
+      (static_cast<std::int64_t>(nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegAlphaMinus)) *
+       1'000'000'000'000LL) >> 24);
+  const Duration ap = Duration::ps(
+      (static_cast<std::int64_t>(nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegAlphaPlus)) *
+       1'000'000'000'000LL) >> 24);
+  return {c, am, ap};
+}
+
+}  // namespace nti::csa

@@ -1,0 +1,183 @@
+// Interval-based clock synchronization: the generic round algorithm of
+// [SS97] (paper Sec. 2) running on top of the NTI hardware.
+//
+// Per node p, each round k:
+//   1. when C_p = kP (+ a per-node stagger slot to decongest the medium):
+//      broadcast a CSP; the NTI inserts [C, alpha-, alpha+] on the fly;
+//   2. on CSP reception: *delay compensation* (enlarge by the transmission
+//      delay bounds) and *drift compensation* (shift to the resync point,
+//      enlarging by the drift bound over the local elapsed time);
+//   3. when C_p = kP + Delta: apply the convergence function to the set of
+//      preprocessed intervals (plus the own interval), then enforce the
+//      result: state via continuous amortization, accuracies via the ACU,
+//      rate via the rate-synchronization update on STEP.
+//
+// Convergence functions provided:
+//   kMarzullo  M_f intersection [Mar84]
+//   kOA        orthogonal-accuracy / fault-tolerant edge fusion (see
+//              interval/interval.hpp and DESIGN.md §4)
+//   kFTA       fault-tolerant average on reference points (the CSU-class
+//              baseline [KO87], wrapped in intervals for comparability)
+//
+// External synchronization: nodes with a GPS receiver maintain a UTC
+// interval from (GPU-stamped 1pps, serial second label, claimed accuracy)
+// and run interval-based *clock validation* [Sch94]: the GPS interval is
+// used only when consistent with the internally-derived validation
+// interval, so a faulty receiver degrades accuracy but never correctness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time_types.hpp"
+#include "interval/interval.hpp"
+#include "node/node_card.hpp"
+#include "csa/payload.hpp"
+
+namespace nti::csa {
+
+enum class Convergence { kMarzullo, kOA, kFTA };
+
+struct SyncConfig {
+  Duration round_period = Duration::sec(1);      ///< P
+  Duration resync_offset = Duration::ms(250);    ///< Delta
+  Duration send_stagger_slot = Duration::ms(2);  ///< per-node send offset
+  int fault_tolerance = 0;                       ///< f
+  Convergence convergence = Convergence::kOA;
+
+  /// Transmission delay bounds between stamp triggers (delay compensation).
+  /// The *constant* part is dominated by the byte offset between the TX
+  /// trigger word (0x14, read ~FIFO-lead early) and the RX trigger word
+  /// (0x1C, written after arbitration): ~20 byte-times at 10 Mbit/s minus
+  /// the FIFO lead, i.e. ~13 us for the default CpldProgram/ComcoConfig.
+  /// Only the residual *uncertainty* (FIFO + arbitration jitter, < 1 us)
+  /// costs precision.  These bounds are exactly what the paper's
+  /// round-trip delay measurement calibrates (Sec. 2); csa::RttMeasurer
+  /// reproduces that measurement and these defaults match it.
+  Duration delay_min = Duration::from_sec_f(12.5e-6);
+  Duration delay_max = Duration::from_sec_f(13.6e-6);
+
+  /// Drift bound used for compensation & ACU deterioration, in ppm.
+  double rho_bound_ppm = 2.0;
+  /// Additional per-stamp uncertainty: clock granularity (2^-24 s) and the
+  /// synchronizer stages; added on both sides during preprocessing.
+  Duration granularity = Duration::ns(60);
+
+  /// Continuous amortization slew rate (fraction of nominal speed).
+  double amort_rate = 2e-3;
+  /// Ablation switch: apply corrections as hard state sets instead of
+  /// continuous amortization.  Backward corrections then make the clock
+  /// jump backwards -- the non-monotonicity the UTCSU's amortization
+  /// hardware exists to prevent (paper Secs. 3.3, 5).
+  bool use_amortization = true;
+  /// Corrections larger than this are applied as a hard state set (only
+  /// ever expected at cold start).
+  Duration hard_set_threshold = Duration::ms(50);
+
+  bool rate_sync = true;
+  double rate_gain = 0.7;          ///< fraction of estimated skew corrected
+  double rate_max_adj_ppm = 50.0;  ///< clamp per round
+  /// Rounds of baseline for rate estimation.  One round of hardware-stamp
+  /// noise (~0.3 us) over P = 1 s is ~0.3 ppm -- the same order as the
+  /// drift being corrected -- so estimates are taken against samples this
+  /// many rounds old, dividing the noise accordingly.
+  int rate_baseline_rounds = 8;
+
+  bool gps_validation = true;      ///< use GPS when the node has a receiver
+  bool use_hw_stamps = true;       ///< false => software-mode baseline
+
+  /// Which timestamp the software-mode baseline uses on the receive side.
+  bool sw_rx_at_task = true;       ///< task-level read (vs ISR-level)
+};
+
+/// Per-round diagnostics exposed to experiments.
+struct RoundReport {
+  std::uint32_t round = 0;
+  int intervals_used = 0;
+  Duration correction;             ///< signed state adjustment
+  Duration alpha_minus_after;
+  Duration alpha_plus_after;
+  bool gps_offered = false;
+  bool gps_accepted = false;
+  double rate_adj_ppm = 0.0;
+};
+
+class SyncNode {
+ public:
+  SyncNode(node::NodeCard& card, SyncConfig cfg, int num_nodes);
+
+  /// Set the local interval clock to `value` with accuracy +-alpha0 and
+  /// begin round execution with round `first_round`.
+  void start(Duration value, Duration alpha0, std::uint32_t first_round = 1);
+
+  /// Called after every resynchronization.
+  std::function<void(const RoundReport&)> on_round;
+
+  /// Arm a hardware leap-second correction: when the local clock reaches
+  /// UTC second `at_utc_second`, one second is inserted (or deleted).
+  /// Duty timer 3 carries the compare value, per the register-map
+  /// convention (paper Sec. 3.3: duty timers are used "to insert/delete
+  /// leap seconds").  Every node arms the same UTC second, so the whole
+  /// ensemble leaps within its mutual precision.
+  void schedule_leap(bool insert, std::uint64_t at_utc_second);
+
+  const SyncConfig& config() const { return cfg_; }
+  std::uint32_t round() const { return round_; }
+  std::uint64_t csps_late() const { return csps_late_; }
+  std::uint64_t csps_invalid() const { return csps_invalid_; }
+
+  /// Current locally-believed interval (for examples / probes).
+  interval::AccInterval current_interval(SimTime now);
+
+ private:
+  struct PeerObs {
+    interval::AccInterval preprocessed;  ///< expressed at the resync point
+    Duration remote_time;                ///< raw remote stamp (rate sync)
+    Duration local_time;                 ///< raw local rx stamp (rate sync)
+    std::uint64_t remote_step = 0;
+  };
+  struct RateSample {
+    std::uint32_t round = 0;
+    Duration remote_time;
+    Duration local_time;
+    Duration cum_corr;  ///< local corrections applied up to this sample
+  };
+  struct GpsFix {
+    Duration clock_at_pps;      ///< local clock at the 1pps capture
+    std::uint64_t utc_second = 0;
+    Duration claimed_acc;
+    SimTime taken_at;
+    bool fresh = false;
+  };
+
+  void arm_round_timers();
+  void on_duty_timer(int timer);
+  void handle_csp(const node::RxCsp& rx);
+  void do_send();
+  void do_resync();
+  void apply_rate_sync(RoundReport& report);
+  std::optional<interval::AccInterval> gps_interval(Duration at_clock);
+  void write_duty(int timer, Duration clock_value);
+  void set_lambdas(double rho_ppm, std::int64_t extra_shrink_minus,
+                   std::int64_t extra_shrink_plus);
+  Duration send_time_of_round(std::uint32_t k) const;
+  Duration resync_time_of_round(std::uint32_t k) const;
+
+  node::NodeCard& card_;
+  SyncConfig cfg_;
+  int n_;
+  std::uint32_t round_ = 0;
+  bool running_ = false;
+  std::map<int, PeerObs> obs_;                  ///< current round, by peer id
+  std::map<int, std::deque<RateSample>> rate_hist_;  ///< per-peer baselines
+  GpsFix gps_fix_{};
+  std::uint64_t csps_late_ = 0;
+  std::uint64_t csps_invalid_ = 0;
+  Duration cum_corr_;  ///< sum of applied state corrections
+};
+
+}  // namespace nti::csa

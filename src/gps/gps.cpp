@@ -1,0 +1,82 @@
+#include "gps/gps.hpp"
+
+#include <cmath>
+
+namespace nti::gps {
+
+GpsReceiver::GpsReceiver(sim::Engine& engine, GpsConfig cfg, RngStream rng)
+    : engine_(engine), cfg_(cfg), rng_(rng) {}
+
+void GpsReceiver::start() {
+  running_ = true;
+  // First pulse at the next whole second strictly after "now".
+  const std::uint64_t k =
+      static_cast<std::uint64_t>(engine_.now().count_ps() / 1'000'000'000'000LL) + 1;
+  schedule_second(k);
+}
+
+const FaultWindow* GpsReceiver::active_fault(SimTime t, FaultKind kind) const {
+  for (const auto& f : cfg_.faults) {
+    if (f.kind == kind && t >= f.start && t < f.end) return &f;
+  }
+  return nullptr;
+}
+
+PpsEvent GpsReceiver::make_event(std::uint64_t k) {
+  const SimTime nominal = SimTime::epoch() + Duration::sec(static_cast<std::int64_t>(k));
+  // Sawtooth: the receiver quantizes the pulse to its internal oscillator
+  // grid; modeled as a triangle wave over a ~17 s beat period.
+  const double phase = static_cast<double>(k % 17) / 17.0;
+  const double tri = 2.0 * std::fabs(phase - 0.5) - 0.5;  // in [-0.5, 0.5]
+  Duration err = cfg_.static_offset +
+                 Duration::from_sec_f(tri * cfg_.sawtooth_amplitude.to_sec_f()) +
+                 Duration::from_sec_f(rng_.normal(0.0, cfg_.noise_sigma.to_sec_f()));
+
+  PpsEvent ev;
+  ev.labeled_second = k;
+  ev.claimed_accuracy = cfg_.claimed_accuracy;
+  ev.emitted = true;
+
+  if (const auto* f = active_fault(nominal, FaultKind::kOmission)) {
+    (void)f;
+    ev.emitted = false;
+  }
+  if (const auto* f = active_fault(nominal, FaultKind::kOffsetSpike)) {
+    err += f->magnitude;
+  }
+  if (const auto* f = active_fault(nominal, FaultKind::kStuck)) {
+    const double secs = (nominal - f->start).to_sec_f();
+    err += Duration::from_sec_f(secs * f->ramp_per_sec.to_sec_f());
+  }
+  if (const auto* f = active_fault(nominal, FaultKind::kRamp)) {
+    const double secs = (nominal - f->start).to_sec_f();
+    err += Duration::from_sec_f(secs * f->ramp_per_sec.to_sec_f());
+  }
+  if (const auto* f = active_fault(nominal, FaultKind::kWrongSecond)) {
+    ev.labeled_second = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(k) + f->label_offset);
+  }
+
+  ev.true_time = nominal + err;
+  return ev;
+}
+
+void GpsReceiver::schedule_second(std::uint64_t k) {
+  const SimTime nominal = SimTime::epoch() + Duration::sec(static_cast<std::int64_t>(k));
+  engine_.schedule_at(nominal - Duration::ms(500), [this, k] {
+    if (!running_) return;
+    const PpsEvent ev = make_event(k);
+    if (ev.emitted) {
+      engine_.schedule_at(ev.true_time, [this, ev] {
+        ++emitted_;
+        if (on_pps) on_pps(ev.true_time);
+      });
+      engine_.schedule_at(ev.true_time + cfg_.serial_delay, [this, ev] {
+        if (on_serial) on_serial(ev);
+      });
+    }
+    schedule_second(k + 1);
+  });
+}
+
+}  // namespace nti::gps

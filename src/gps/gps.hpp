@@ -1,0 +1,93 @@
+// GPS timing receiver model (paper Secs. 1, 3.3, 5).
+//
+// A mid-1990s timing receiver emits a 1pps pulse marking each UTC second
+// plus a serial message labeling the pulse.  The model produces:
+//   * per-pulse error = static offset (antenna cable) + quantization
+//     sawtooth (the receiver aligns the pulse to its internal clock grid)
+//     + white noise;
+//   * the [HS97] failure catalogue observed in the authors' two-month
+//     six-receiver evaluation: offset spikes, pulse omissions, stuck
+//     (free-running) pulses, wrongly labeled seconds, slow ramps.  The
+//     interval-based clock *validation* of [Sch94] is exactly the defense
+//     the paper proposes against these, and experiment E6 drives each
+//     fault class through that code path.
+//
+// Simulation epoch == UTC second 0, so "truth" is trivially available to
+// the experiment probes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::gps {
+
+enum class FaultKind {
+  kOffsetSpike,   ///< pulses displaced by `magnitude` during the window
+  kOmission,      ///< pulses missing during the window
+  kStuck,         ///< receiver free-runs: error ramps at `ramp_per_sec`
+  kWrongSecond,   ///< serial label off by `label_offset` seconds
+  kRamp,          ///< slow error ramp (failing oscillator discipline)
+};
+
+struct FaultWindow {
+  FaultKind kind;
+  SimTime start;
+  SimTime end;
+  Duration magnitude = Duration::zero();      ///< spike displacement
+  Duration ramp_per_sec = Duration::zero();   ///< stuck/ramp growth rate
+  std::int64_t label_offset = 0;              ///< wrong-second shift
+};
+
+struct GpsConfig {
+  Duration static_offset = Duration::ns(40);      ///< cable/antenna delay
+  Duration sawtooth_amplitude = Duration::ns(52); ///< internal-grid quantization
+  Duration noise_sigma = Duration::ns(25);
+  /// Accuracy bound the receiver *claims* per pulse (what the validation
+  /// interval is built from); honest receivers satisfy it, faulty ones not.
+  Duration claimed_accuracy = Duration::ns(300);
+  Duration serial_delay = Duration::ms(80);       ///< pulse -> serial message
+  std::vector<FaultWindow> faults;
+};
+
+/// One pulse event as seen by the node software: the hardware timestamp is
+/// taken by the UTCSU GPU; the label arrives later over the serial line.
+struct PpsEvent {
+  SimTime true_time;          ///< when the pulse physically occurred
+  std::uint64_t labeled_second;  ///< from the (possibly faulty) serial message
+  Duration claimed_accuracy;  ///< receiver's per-pulse claim
+  bool emitted;               ///< false when omitted by a fault
+};
+
+class GpsReceiver {
+ public:
+  GpsReceiver(sim::Engine& engine, GpsConfig cfg, RngStream rng);
+
+  /// Fired at each physical pulse instant (wire this to Utcsu::pps_pulse).
+  std::function<void(SimTime pulse_time)> on_pps;
+  /// Fired when the serial message for second k arrives.
+  std::function<void(const PpsEvent&)> on_serial;
+
+  void start();
+  void stop() { running_ = false; }
+
+  const GpsConfig& config() const { return cfg_; }
+  std::uint64_t pulses_emitted() const { return emitted_; }
+
+ private:
+  void schedule_second(std::uint64_t k);
+  PpsEvent make_event(std::uint64_t k);
+  const FaultWindow* active_fault(SimTime t, FaultKind kind) const;
+
+  sim::Engine& engine_;
+  GpsConfig cfg_;
+  RngStream rng_;
+  bool running_ = false;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace nti::gps

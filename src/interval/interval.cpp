@@ -1,0 +1,137 @@
+#include "interval/interval.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace nti::interval {
+
+AccInterval::AccInterval(Duration ref, Duration alpha_minus, Duration alpha_plus)
+    : ref_(ref), am_(alpha_minus), ap_(alpha_plus) {
+  assert(alpha_minus >= Duration::zero() && alpha_plus >= Duration::zero());
+}
+
+AccInterval AccInterval::from_edges(Duration lo, Duration hi) {
+  assert(lo <= hi);
+  const Duration mid = lo + (hi - lo) / 2;
+  return AccInterval(mid, mid - lo, hi - mid);
+}
+
+AccInterval AccInterval::from_edges(Duration lo, Duration hi, Duration ref) {
+  assert(lo <= ref && ref <= hi);
+  return AccInterval(ref, ref - lo, hi - ref);
+}
+
+AccInterval AccInterval::enlarged(Duration grow_minus, Duration grow_plus) const {
+  assert(grow_minus >= Duration::zero() && grow_plus >= Duration::zero());
+  return AccInterval(ref_, am_ + grow_minus, ap_ + grow_plus);
+}
+
+AccInterval AccInterval::shifted(Duration dt) const {
+  return AccInterval(ref_ + dt, am_, ap_);
+}
+
+AccInterval AccInterval::with_ref(Duration new_ref) const {
+  assert(contains(new_ref));
+  return AccInterval(new_ref, new_ref - lower(), upper() - new_ref);
+}
+
+std::string AccInterval::str() const {
+  return "[" + lower().str() + ", " + upper().str() + "] @ " + ref_.str();
+}
+
+std::optional<AccInterval> intersect(const AccInterval& a, const AccInterval& b) {
+  const Duration lo = std::max(a.lower(), b.lower());
+  const Duration hi = std::min(a.upper(), b.upper());
+  if (lo > hi) return std::nullopt;
+  return AccInterval::from_edges(lo, hi);
+}
+
+AccInterval hull(const AccInterval& a, const AccInterval& b) {
+  return AccInterval::from_edges(std::min(a.lower(), b.lower()),
+                                 std::max(a.upper(), b.upper()));
+}
+
+std::optional<AccInterval> marzullo(std::span<const AccInterval> xs, int f) {
+  if (xs.empty()) return std::nullopt;
+  const int n = static_cast<int>(xs.size());
+  const int quorum = n - f;
+  if (quorum <= 0) return std::nullopt;
+
+  // Sweep over edge events; +1 at a lower edge, -1 just past an upper edge.
+  // type 0 (open) sorts before type 1 (close) at equal position so that a
+  // point shared by a closing and an opening interval counts both.
+  struct Edge {
+    Duration pos;
+    int type;  // 0 = lower, 1 = upper
+  };
+  std::vector<Edge> edges;
+  edges.reserve(xs.size() * 2);
+  for (const auto& x : xs) {
+    edges.push_back({x.lower(), 0});
+    edges.push_back({x.upper(), 1});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return a.type < b.type;
+  });
+
+  int count = 0;
+  bool found = false;
+  Duration best_lo, best_hi;
+  for (const Edge& e : edges) {
+    if (e.type == 0) {
+      ++count;
+      if (count >= quorum && !found) {
+        best_lo = e.pos;
+        found = true;
+      }
+    } else {
+      if (count >= quorum) best_hi = e.pos;  // last position before quorum lost
+      --count;
+    }
+  }
+  if (!found) return std::nullopt;
+  return AccInterval::from_edges(best_lo, best_hi);
+}
+
+std::optional<AccInterval> ft_edge_fusion(std::span<const AccInterval> xs, int f) {
+  const int n = static_cast<int>(xs.size());
+  if (n < 2 * f + 1) return std::nullopt;
+
+  std::vector<Duration> lowers, uppers;
+  lowers.reserve(xs.size());
+  uppers.reserve(xs.size());
+  for (const auto& x : xs) {
+    lowers.push_back(x.lower());
+    uppers.push_back(x.upper());
+  }
+  std::sort(lowers.begin(), lowers.end());
+  std::sort(uppers.begin(), uppers.end());
+
+  // Up to f faulty intervals can push their lower edge arbitrarily high (or
+  // low); discarding the f largest lower edges guarantees the surviving
+  // maximum lower edge came from a correct node, and since every correct
+  // interval contains t, max-correct-lower <= t.  Dually for uppers.
+  const Duration lo = lowers[static_cast<std::size_t>(n - 1 - f)];
+  const Duration hi = uppers[static_cast<std::size_t>(f)];
+  if (lo > hi) {
+    // Inconsistent inputs beyond the fault assumption; fall back to the
+    // hull of the trimmed edges so the caller can still make progress.
+    return AccInterval::from_edges(hi, lo);
+  }
+  return AccInterval::from_edges(lo, hi);
+}
+
+std::optional<Duration> fault_tolerant_average(std::span<const Duration> xs, int f) {
+  const int n = static_cast<int>(xs.size());
+  if (n < 2 * f + 1) return std::nullopt;
+  std::vector<Duration> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  std::int64_t acc = 0;
+  const int kept = n - 2 * f;
+  for (int i = f; i < n - f; ++i) acc += v[static_cast<std::size_t>(i)].count_ps();
+  return Duration::ps(acc / kept);
+}
+
+}  // namespace nti::interval

@@ -1,0 +1,90 @@
+// Accuracy intervals and interval fusion (paper Sec. 2).
+//
+// Real time t is represented by an accuracy interval A = [C - a_minus,
+// C + a_plus] around the local clock value C, with the invariant t in A.
+// Nodes exchange these intervals in CSPs; convergence functions fuse a set
+// of (preprocessed) intervals into a new, smaller interval that still
+// contains t despite up to f faulty inputs.
+//
+// Clock values here are logical durations since the common clock epoch,
+// held in picoseconds.  Accuracies are non-negative durations.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace nti::interval {
+
+/// An accuracy interval: clock reference value plus asymmetric accuracies.
+class AccInterval {
+ public:
+  AccInterval() = default;
+  /// Construct from reference and accuracies (both must be >= 0).
+  AccInterval(Duration ref, Duration alpha_minus, Duration alpha_plus);
+  /// Construct from edges (lo <= hi); reference defaults to the midpoint.
+  static AccInterval from_edges(Duration lo, Duration hi);
+  static AccInterval from_edges(Duration lo, Duration hi, Duration ref);
+  /// Degenerate interval (a point).
+  static AccInterval point(Duration ref) { return AccInterval(ref, Duration::zero(), Duration::zero()); }
+
+  Duration ref() const { return ref_; }
+  Duration alpha_minus() const { return am_; }
+  Duration alpha_plus() const { return ap_; }
+  Duration lower() const { return ref_ - am_; }
+  Duration upper() const { return ref_ + ap_; }
+  Duration length() const { return am_ + ap_; }
+  Duration midpoint() const { return lower() + (upper() - lower()) / 2; }
+
+  bool contains(Duration t) const { return lower() <= t && t <= upper(); }
+  bool intersects(const AccInterval& o) const {
+    return lower() <= o.upper() && o.lower() <= upper();
+  }
+
+  /// Enlarge both edges (delay/drift deterioration).  Negative growth is a
+  /// contract violation and asserts.
+  AccInterval enlarged(Duration grow_minus, Duration grow_plus) const;
+  /// Shift the whole interval (reference and edges) by dt.
+  AccInterval shifted(Duration dt) const;
+  /// Same edges, new reference point (must lie within the interval).
+  AccInterval with_ref(Duration new_ref) const;
+
+  std::string str() const;
+
+ private:
+  Duration ref_;
+  Duration am_;  ///< alpha_minus >= 0
+  Duration ap_;  ///< alpha_plus  >= 0
+};
+
+/// Exact intersection; nullopt when disjoint.  The reference of the result
+/// is the midpoint of the intersection.
+std::optional<AccInterval> intersect(const AccInterval& a, const AccInterval& b);
+
+/// Smallest interval containing both (convex hull).
+AccInterval hull(const AccInterval& a, const AccInterval& b);
+
+/// Marzullo's fault-tolerant fusion M_f: the smallest interval containing
+/// every point that lies in at least (n - f) of the n input intervals
+/// [Mar84].  Returns nullopt when no point achieves the quorum (more than
+/// f inputs are mutually inconsistent).
+std::optional<AccInterval> marzullo(std::span<const AccInterval> xs, int f);
+
+/// Fault-tolerant edge selection: the fused lower edge is the (f+1)-th
+/// smallest... specifically, sort lower edges descending and take the
+/// (f+1)-th (so up to f arbitrarily large faulty lower edges are ignored);
+/// dually for the upper edge.  This is the interval analogue of the
+/// fault-tolerant midpoint family and the core of the orthogonal-accuracy
+/// convergence function OA [Sch97b] (see DESIGN.md §4 for the
+/// reconstruction note).  Requires n >= 2f + 1.
+std::optional<AccInterval> ft_edge_fusion(std::span<const AccInterval> xs, int f);
+
+/// Fault-tolerant average of the reference points after discarding the f
+/// smallest and f largest (the CSU/FTA baseline of [KO87], lifted to a
+/// degenerate interval).  Requires n >= 2f + 1.
+std::optional<Duration> fault_tolerant_average(std::span<const Duration> xs, int f);
+
+}  // namespace nti::interval

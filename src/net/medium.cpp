@@ -1,0 +1,168 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nti::net {
+
+Medium::Medium(sim::Engine& engine, MediumConfig cfg, RngStream rng)
+    : engine_(engine), cfg_(cfg), rng_(rng) {
+  byte_time_ = Duration::ps(static_cast<std::int64_t>(8.0 * 1e12 / cfg_.bit_rate_hz));
+}
+
+MacPort& Medium::attach() {
+  auto port = std::make_unique<MacPort>();
+  port->station_ = static_cast<int>(ports_.size());
+  ports_.push_back(std::move(port));
+  return *ports_.back();
+}
+
+Duration Medium::frame_air_time(std::size_t frame_bytes) const {
+  return byte_time_ * static_cast<std::int64_t>(frame_bytes + static_cast<std::size_t>(cfg_.preamble_bytes));
+}
+
+void Medium::transmit(MacPort& port, Frame frame) {
+  if (port.queue_.size() >= cfg_.tx_queue_cap) {
+    // Transmit-ring overflow: a saturated channel cannot drain offered
+    // load; real controllers tail-drop exactly like this.
+    ++queue_drops_;
+    return;
+  }
+  frame.src_station = port.station_;
+  frame.id = next_frame_id_++;
+  port.queue_.push_back(std::move(frame));
+  try_start(static_cast<std::size_t>(port.station_));
+}
+
+void Medium::try_start(std::size_t port_idx) {
+  const SimTime now = engine_.now();
+  MacPort& port = *ports_[port_idx];
+  if (port.queue_.empty() || port.backing_off_) return;
+  if (carrier(now) || contention_scheduled_) {
+    // 1-persistent: wait for the wire to clear, then contend.
+    if (!contention_scheduled_) start_contention_round(busy_until_ + cfg_.inter_frame_gap);
+    return;
+  }
+  // Idle medium: sole transmitter (simultaneous same-instant requests are
+  // serialized by event order; the second sees carrier).
+  begin_transmission(port_idx);
+}
+
+void Medium::start_contention_round(SimTime when) {
+  contention_scheduled_ = true;
+  engine_.schedule_at(when, [this] {
+    contention_scheduled_ = false;
+    std::vector<std::size_t> waiting;
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+      if (!ports_[i]->queue_.empty()) waiting.push_back(i);
+    }
+    if (waiting.empty()) return;
+    if (carrier(engine_.now())) {  // someone grabbed it meanwhile
+      start_contention_round(busy_until_ + cfg_.inter_frame_gap);
+      return;
+    }
+    if (waiting.size() == 1) {
+      begin_transmission(waiting[0]);
+      return;
+    }
+    // Collision resolution by binary exponential backoff, resolved
+    // analytically: repeat draws until a unique minimum slot emerges; each
+    // non-unique round costs (min_slot + 1) slot times of jam/retry.
+    SimTime start = engine_.now();
+    while (true) {
+      std::int64_t min_slot = -1;
+      std::size_t winner = 0;
+      int winners = 0;
+      for (const std::size_t idx : waiting) {
+        MacPort& p = *ports_[idx];
+        const int exp = std::min(1 + p.attempts_, cfg_.max_backoff_exp);
+        const std::int64_t slot = rng_.uniform_int(0, (std::int64_t{1} << exp) - 1);
+        if (min_slot < 0 || slot < min_slot) {
+          min_slot = slot;
+          winner = idx;
+          winners = 1;
+        } else if (slot == min_slot) {
+          ++winners;
+        }
+      }
+      if (winners == 1) {
+        start += cfg_.slot_time * min_slot;
+        begin_transmission(winner, start);
+        return;
+      }
+      ++collisions_;
+      start += cfg_.slot_time * (min_slot + 1);
+      bool someone_aborted = false;
+      for (const std::size_t idx : waiting) {
+        MacPort& p = *ports_[idx];
+        if (++p.attempts_ >= cfg_.max_attempts) {
+          Frame dropped = std::move(p.queue_.front());
+          p.queue_.erase(p.queue_.begin());
+          p.attempts_ = 0;
+          if (p.on_tx_abort) p.on_tx_abort(dropped);
+          someone_aborted = true;
+        }
+      }
+      if (someone_aborted) {
+        std::erase_if(waiting, [this](std::size_t idx) {
+          return ports_[idx]->queue_.empty();
+        });
+        if (waiting.empty()) return;
+        if (waiting.size() == 1) {
+          begin_transmission(waiting[0], start);
+          return;
+        }
+      }
+    }
+  });
+}
+
+void Medium::begin_transmission(std::size_t port_idx) {
+  begin_transmission(port_idx, engine_.now());
+}
+
+void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
+  MacPort& port = *ports_[port_idx];
+  assert(!port.queue_.empty());
+  // Move the frame into shared ownership: several delivery events need it.
+  auto frame = std::make_shared<Frame>(std::move(port.queue_.front()));
+  port.queue_.erase(port.queue_.begin());
+  port.attempts_ = 0;
+
+  const Duration air = frame_air_time(frame->bytes.size());
+  busy_until_ = wire_start + air;
+
+  engine_.schedule_at(wire_start, [&port, frame, wire_start] {
+    if (port.on_wire_start) port.on_wire_start(wire_start, frame);
+  });
+
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (i == port_idx) continue;
+    MacPort& rx = *ports_[i];
+    const auto hops = static_cast<std::int64_t>(
+        i > port_idx ? i - port_idx : port_idx - i);
+    const Duration prop = cfg_.propagation_per_station * hops;
+    RxTiming timing;
+    timing.wire_start = wire_start;
+    timing.rx_start = wire_start + prop;
+    timing.rx_end = timing.rx_start + air;
+    timing.byte_time = byte_time_;
+    engine_.schedule_at(timing.rx_start, [&rx, frame, timing] {
+      if (rx.on_frame) rx.on_frame(frame, timing);
+    });
+  }
+  ++frames_delivered_;
+
+  // Once the wire clears, let any queued stations contend again.
+  if (!contention_scheduled_) {
+    bool anyone_waiting = false;
+    for (const auto& p : ports_) {
+      if (!p->queue_.empty() && p.get() != &port) anyone_waiting = true;
+    }
+    if (anyone_waiting || !port.queue_.empty()) {
+      start_contention_round(busy_until_ + cfg_.inter_frame_gap);
+    }
+  }
+}
+
+}  // namespace nti::net

@@ -1,0 +1,128 @@
+// Shared broadcast medium with CSMA/CD MAC (10 Mbit/s Ethernet-class).
+//
+// The paper targets class (II) systems: LANs on a shared broadcast channel
+// with "almost deterministic propagation delays but considerable medium
+// access uncertainty" (Sec. 1).  This model produces exactly those two
+// components:
+//   * propagation: fixed per-station-pair delay (cable position);
+//   * medium access: 1-persistent CSMA/CD with binary exponential backoff;
+//     under load, the time from transmit request to wire start is the
+//     dominant, highly variable term that software timestamping (step 1 of
+//     the Sec. 3.1 sequence) cannot avoid but DMA-trigger timestamping
+//     (step 4) does.
+//
+// The byte stream itself is not simulated; a frame is an opaque payload
+// plus exact wire timing: every byte's on-wire instant is computable from
+// wire_start, so the COMCO models can place their DMA accesses correctly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::net {
+
+struct MediumConfig {
+  double bit_rate_hz = 10e6;               ///< 10 Mbit/s Ethernet
+  std::size_t tx_queue_cap = 64;           ///< per-station ring; excess dropped
+  Duration slot_time = Duration::us(51);   ///< 512 bit times @10 Mbit (51.2 us)
+  Duration inter_frame_gap = Duration::us(9);  ///< 96 bit times (9.6 us)
+  int preamble_bytes = 8;
+  int max_backoff_exp = 10;
+  int max_attempts = 16;
+  Duration propagation_per_station = Duration::ns(50);  ///< ~10 m cable per drop
+};
+
+struct Frame {
+  int src_station = -1;
+  std::vector<std::uint8_t> bytes;  ///< header + payload as laid out in memory
+  std::uint64_t id = 0;             ///< unique per transmission (diagnostics)
+};
+
+/// Timing handed to receivers along with the frame.
+struct RxTiming {
+  SimTime wire_start;  ///< first preamble bit on the wire at the sender
+  SimTime rx_start;    ///< first bit at this receiver (after propagation)
+  SimTime rx_end;      ///< last bit at this receiver
+  Duration byte_time;  ///< serialization time of one byte
+};
+
+class Medium;
+
+/// One station's attachment point.  The owner (a COMCO model) implements
+/// the callbacks; transmission is requested through the port and the MAC
+/// state machine inside Medium does carrier sense / backoff.
+class MacPort {
+ public:
+  /// Called when the MAC wins the medium and the first preamble bit goes
+  /// on the wire.  The COMCO uses it to schedule its DMA fetches at their
+  /// modeled times and fill in the frame bytes.  The frame is shared with
+  /// the receivers, which by construction only consume bytes at DMA-write
+  /// instants that lie after the sender's DMA-read instants; callbacks
+  /// keep the shared_ptr alive across their scheduled events.
+  std::function<void(SimTime wire_start, const std::shared_ptr<Frame>&)> on_wire_start;
+  /// Called at every other station when the first bit arrives (rx_start);
+  /// the receiver schedules its own byte-accurate memory writes from the
+  /// timing info.
+  std::function<void(std::shared_ptr<const Frame>, const RxTiming&)> on_frame;
+  /// Called when the MAC gives up after max_attempts collisions.
+  std::function<void(const Frame&)> on_tx_abort;
+
+  int station() const { return station_; }
+
+ private:
+  friend class Medium;
+  int station_ = -1;
+  std::vector<Frame> queue_;  ///< FIFO of frames awaiting transmission
+  int attempts_ = 0;
+  bool backing_off_ = false;
+};
+
+class Medium {
+ public:
+  Medium(sim::Engine& engine, MediumConfig cfg, RngStream rng);
+
+  /// Attach a new station; the returned port is owned by the Medium (stable
+  /// address for the lifetime of the Medium).
+  MacPort& attach();
+
+  /// Enqueue a frame for transmission from the given port.
+  void transmit(MacPort& port, Frame frame);
+
+  /// True while a frame occupies the wire.
+  bool carrier(SimTime now) const { return now < busy_until_; }
+
+  Duration byte_time() const { return byte_time_; }
+  Duration frame_air_time(std::size_t frame_bytes) const;
+  const MediumConfig& config() const { return cfg_; }
+
+  /// Counters for the medium-access experiments.
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t collisions() const { return collisions_; }
+  std::uint64_t queue_drops() const { return queue_drops_; }
+
+ private:
+  void try_start(std::size_t port_idx);
+  void start_contention_round(SimTime when);
+  void begin_transmission(std::size_t port_idx);
+  void begin_transmission(std::size_t port_idx, SimTime wire_start);
+
+  sim::Engine& engine_;
+  MediumConfig cfg_;
+  RngStream rng_;
+  Duration byte_time_;
+  std::vector<std::unique_ptr<MacPort>> ports_;
+  SimTime busy_until_ = SimTime::epoch();
+  bool contention_scheduled_ = false;
+  std::uint64_t next_frame_id_ = 1;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t queue_drops_ = 0;
+};
+
+}  // namespace nti::net

@@ -1,0 +1,26 @@
+#include "net/traffic.hpp"
+
+namespace nti::net {
+
+TrafficGenerator::TrafficGenerator(sim::Engine& engine, Medium& medium,
+                                   TrafficConfig cfg, RngStream rng)
+    : engine_(engine), medium_(medium), port_(medium.attach()), cfg_(cfg), rng_(rng) {
+  // Poisson arrivals with mean inter-arrival chosen so that
+  // offered_load = air_time / mean_gap.
+  const double air_sec = medium_.frame_air_time(cfg_.frame_bytes).to_sec_f();
+  mean_gap_sec_ = cfg_.offered_load > 0 ? air_sec / cfg_.offered_load : 0.0;
+  if (cfg_.offered_load > 0) schedule_next();
+}
+
+void TrafficGenerator::schedule_next() {
+  const Duration gap = Duration::from_sec_f(rng_.exponential(mean_gap_sec_));
+  engine_.schedule_in(gap, [this] {
+    Frame f;
+    f.bytes.assign(cfg_.frame_bytes, 0xBB);
+    medium_.transmit(port_, std::move(f));
+    ++sent_;
+    schedule_next();
+  });
+}
+
+}  // namespace nti::net

@@ -1,0 +1,41 @@
+// Background traffic generator.
+//
+// The medium-access uncertainty that dominates software-timestamped clock
+// synchronization only appears under load (paper Secs. 1, 3.1).  This
+// generator attaches ordinary stations that emit Poisson frame arrivals of
+// configurable size, producing the contention the experiments sweep over.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "net/medium.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::net {
+
+struct TrafficConfig {
+  double offered_load = 0.2;        ///< fraction of channel capacity
+  std::size_t frame_bytes = 512;    ///< payload size per background frame
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(sim::Engine& engine, Medium& medium, TrafficConfig cfg,
+                   RngStream rng);
+
+  std::uint64_t frames_sent() const { return sent_; }
+
+ private:
+  void schedule_next();
+
+  sim::Engine& engine_;
+  Medium& medium_;
+  MacPort& port_;
+  TrafficConfig cfg_;
+  RngStream rng_;
+  double mean_gap_sec_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace nti::net

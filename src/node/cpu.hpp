@@ -1,0 +1,73 @@
+// CPU / interrupt model (MVME-162-class board running pSOS+m, paper Sec. 4).
+//
+// What matters for clock synchronization is the *latency distribution* of
+// getting from a hardware event to the instruction that reads a clock:
+//   * ISR dispatch: base + jitter, occasionally stretched by code sections
+//     executing with interrupts disabled (paper Sec. 3.1: "seriously
+//     impaired by code segments with interrupts disabled");
+//   * task level: ISR -> task wakeup through the kernel scheduler, an order
+//     of magnitude larger and heavily load-dependent.
+// These two draws are exactly the difference between the software,
+// interrupt-based, and hardware timestamping methods compared in E4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::node {
+
+struct CpuConfig {
+  Duration isr_base = Duration::us(12);
+  Duration isr_jitter = Duration::us(10);
+  double int_disabled_prob = 0.08;           ///< P(hit a masked section)
+  Duration int_disabled_max = Duration::us(60);
+  Duration task_base = Duration::us(80);     ///< ISR -> task-level handover
+  Duration task_jitter = Duration::us(500);
+};
+
+class Cpu {
+ public:
+  Cpu(sim::Engine& engine, CpuConfig cfg, RngStream rng)
+      : engine_(engine), cfg_(cfg), rng_(rng) {}
+
+  /// Deliver a vectored interrupt; `isr` runs after the dispatch latency.
+  void request_interrupt(std::uint8_t vector) {
+    const Duration latency = draw_isr_latency();
+    engine_.schedule_in(latency, [this, vector] {
+      if (isr) isr(vector);
+    });
+  }
+
+  /// Handler installed by the driver.
+  std::function<void(std::uint8_t vector)> isr;
+
+  /// Schedule work at task level (through the kernel scheduler).
+  void defer_to_task(std::function<void()> fn) {
+    engine_.schedule_in(draw_task_latency(), std::move(fn));
+  }
+
+  Duration draw_isr_latency() {
+    Duration d = cfg_.isr_base + rng_.uniform(Duration::zero(), cfg_.isr_jitter);
+    if (rng_.chance(cfg_.int_disabled_prob)) {
+      d += rng_.uniform(Duration::zero(), cfg_.int_disabled_max);
+    }
+    return d;
+  }
+
+  Duration draw_task_latency() {
+    return cfg_.task_base + rng_.uniform(Duration::zero(), cfg_.task_jitter);
+  }
+
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  sim::Engine& engine_;
+  CpuConfig cfg_;
+  RngStream rng_;
+};
+
+}  // namespace nti::node

@@ -1,0 +1,245 @@
+#include "node/driver.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+#include "utcsu/regs.hpp"
+
+namespace nti::node {
+
+using module::Addr;
+using module::kCpuUtcsuBase;
+
+namespace {
+// Data-buffer carving inside the 60 KB Data Buffers region (Fig. 6):
+// 128 x 256 B transmit buffers, then 16 x 256 B receive buffers.
+constexpr Addr kTxDataStride = 256;
+constexpr Addr kRxDataStride = 256;
+constexpr Addr kRxDataBase = module::kDataBufferBase + 128 * kTxDataStride;
+
+Addr tx_data_addr(int slot) {
+  return module::kDataBufferBase + static_cast<Addr>(slot) * kTxDataStride;
+}
+Addr rx_data_addr(int slot) {
+  return kRxDataBase + static_cast<Addr>(slot) * kRxDataStride;
+}
+
+// Header-word offsets used by the driver's frame layout (see comco.hpp).
+constexpr Addr kHdrDest = 0x00;
+constexpr Addr kHdrSrc = 0x08;
+constexpr Addr kHdrTypeLen = 0x0C;
+constexpr Addr kHdrSeq = 0x10;
+}  // namespace
+
+CiDriver::CiDriver(Cpu& cpu, module::Nti& nti, comco::Comco& comco, int node_id,
+                   StampMode mode)
+    : cpu_(cpu), nti_(nti), comco_(comco), node_id_(node_id), mode_(mode) {
+  // Wire the NTI's vectored interrupt through the CPU dispatch model.
+  nti_.on_irq = [this](std::uint8_t vector) { cpu_.request_interrupt(vector); };
+  cpu_.isr = [this](std::uint8_t vector) { isr_nti(vector); };
+
+  // COMCO completion interrupts (separate line on the MVME-162).
+  comco_.on_rx_complete = [this](int slot, std::size_t len) {
+    cpu_.engine().schedule_in(cpu_.draw_isr_latency(),
+                              [this, slot, len] { isr_rx_complete(slot, len); });
+  };
+  comco_.on_tx_abort = [this](int) { ++stats_.tx_aborts; };
+
+  const SimTime now = cpu_.engine().now();
+  // Program the NTI: vector base, enable the module interrupt logic.
+  nti_.io_write16(module::kIoVectorBase, 0x40);
+  nti_.io_write16(module::kIoIntEnable, 1);
+  // Unmask the RECEIVE interrupt of our SSU in the UTCSU (read-modify-
+  // write: a gateway node runs several drivers against one chip).
+  const std::uint32_t rx_bit =
+      utcsu::int_bit(utcsu::IntSource::kSsuRx0, nti_.ssu_index());
+  const std::uint32_t cur =
+      nti_.cpu_read32(now, kCpuUtcsuBase + utcsu::kRegIntEnable);
+  nti_.cpu_write32(now, kCpuUtcsuBase + utcsu::kRegIntEnable, cur | rx_bit);
+
+  for (int slot = 0; slot < kRxRingDepth; ++slot) provision(slot);
+}
+
+void CiDriver::provision(int rx_slot) {
+  comco_.provision_rx(rx_slot, rx_data_addr(rx_slot), kRxDataStride);
+}
+
+Duration CiDriver::read_clock(SimTime now) {
+  const std::uint32_t ts = nti_.cpu_read32(now, kCpuUtcsuBase + utcsu::kRegTimestamp);
+  const std::uint32_t macro =
+      nti_.cpu_read32(now, kCpuUtcsuBase + utcsu::kRegMacrostamp);
+  return utcsu::decode_stamp(ts, macro, 0).time();
+}
+
+void CiDriver::send_csp(std::span<const std::uint8_t> payload) {
+  const SimTime now = cpu_.engine().now();
+  const int slot = alloc_tx_slot();
+  const Addr hdr = module::Nti::tx_header_addr(slot);
+  nti_.cpu_write32(now, hdr + kHdrDest, 0xFFFF'FFFF);
+  nti_.cpu_write32(now, hdr + kHdrDest + 4, 0xFFFF'FFFF);
+  nti_.cpu_write32(now, hdr + kHdrSrc, static_cast<std::uint32_t>(node_id_));
+  nti_.cpu_write32(now, hdr + kHdrTypeLen,
+                   comco::kEthertypeCsp |
+                       (static_cast<std::uint32_t>(payload.size()) << 16));
+  nti_.cpu_write32(now, hdr + kHdrSeq, seq_++);
+  const Addr data = tx_data_addr(slot);
+  for (std::size_t i = 0; i < payload.size(); i += 4) {
+    std::uint32_t w = 0;
+    for (std::size_t b = 0; b < 4 && i + b < payload.size(); ++b) {
+      w |= std::uint32_t{payload[i + b]} << (8 * b);
+    }
+    nti_.cpu_write32(now, data + static_cast<Addr>(i), w);
+  }
+  comco_.transmit(slot, data, payload.size());
+  ++stats_.csp_sent;
+}
+
+void CiDriver::send_data(std::uint16_t ethertype, std::size_t payload_bytes) {
+  const SimTime now = cpu_.engine().now();
+  const int slot = alloc_tx_slot();
+  const Addr hdr = module::Nti::tx_header_addr(slot);
+  nti_.cpu_write32(now, hdr + kHdrDest, 0xFFFF'FFFF);
+  nti_.cpu_write32(now, hdr + kHdrSrc, static_cast<std::uint32_t>(node_id_));
+  nti_.cpu_write32(now, hdr + kHdrTypeLen,
+                   std::uint32_t{ethertype} |
+                       (static_cast<std::uint32_t>(payload_bytes) << 16));
+  nti_.cpu_write32(now, hdr + kHdrSeq, seq_++);
+  comco_.transmit(slot, tx_data_addr(slot), payload_bytes);
+}
+
+void CiDriver::isr_nti(std::uint8_t vector) {
+  const SimTime now = cpu_.engine().now();
+  Log::trace(LogCat::kNode, now, "node%d isr_nti vector=0x%02x", node_id_, vector);
+  if (vector & 1u) {  // INTN: a receive stamp is waiting in the SSU
+    const int ssu = nti_.ssu_index();
+    const Addr ssu_base = kCpuUtcsuBase + utcsu::kRegSsuBase +
+                          static_cast<Addr>(ssu) * utcsu::kSsuStride;
+    const std::uint32_t status = nti_.cpu_read32(now, ssu_base + utcsu::kSsuStatus);
+    if (status & utcsu::kSsuStatusRxOverrun) {
+      // A back-to-back frame overwrote an unread stamp (footnote 4): the
+      // older packet's stamp is gone.  The latched header base still
+      // matches the *latest* stamp, so we proceed with that one.
+      ++stats_.stamps_lost_overrun;
+    }
+    Log::trace(LogCat::kNode, now, "node%d INTN ssu_status=0x%x", node_id_, status);
+    if (status & utcsu::kSsuStatusRxValid) {
+      // Move the stamp out of the SSU before the next CSP overwrites it,
+      // and associate it with its packet via the Receive-Header-Base latch
+      // (paper Sec. 3.4).  It is parked in driver RAM rather than in the
+      // header itself: the COMCO's end-of-frame burst still writes the
+      // remaining header words and would clobber anything stored there.
+      const std::uint16_t base64 = nti_.io_read16(module::kIoRxHeaderBase);
+      const Addr hdr = static_cast<Addr>(base64) << 6;
+      SavedStamp saved;
+      saved.timestamp = nti_.cpu_read32(now, ssu_base + utcsu::kSsuRxTimestamp);
+      saved.macrostamp = nti_.cpu_read32(now, ssu_base + utcsu::kSsuRxMacro);
+      saved.alpha = nti_.cpu_read32(now, ssu_base + utcsu::kSsuRxAlpha);
+      saved_stamps_[hdr] = saved;
+      // Ack the SSU and the UTCSU interrupt source.
+      nti_.cpu_write32(now, ssu_base + utcsu::kSsuStatus,
+                       utcsu::kSsuStatusRxValid | utcsu::kSsuStatusRxOverrun);
+      nti_.cpu_write32(now, kCpuUtcsuBase + utcsu::kRegIntAck,
+                       utcsu::int_bit(utcsu::IntSource::kSsuRx0, ssu));
+    }
+  }
+  if (demux_timers && (vector & (2u | 4u))) {  // INTT / INTA demux (primary driver only)
+    const std::uint32_t status =
+        nti_.cpu_read32(now, kCpuUtcsuBase + utcsu::kRegIntStatus);
+    std::uint32_t ack = 0;
+    for (int i = 0; i < utcsu::kNumDutyTimers; ++i) {
+      const std::uint32_t bit = utcsu::int_bit(utcsu::IntSource::kDuty0, i);
+      if (status & bit) {
+        ack |= bit;
+        if (on_duty) on_duty(i);
+      }
+    }
+    for (int i = 0; i < utcsu::kNumGpu; ++i) {
+      const std::uint32_t bit = utcsu::int_bit(utcsu::IntSource::kGpu0, i);
+      if (status & bit) {
+        ack |= bit;
+        if (on_gps) on_gps(i);
+      }
+    }
+    if (ack != 0) {
+      nti_.cpu_write32(now, kCpuUtcsuBase + utcsu::kRegIntAck, ack);
+    }
+  }
+  // Re-enable the NTI interrupt logic just before "returning" (Sec. 3.4).
+  nti_.io_write16(module::kIoIntEnable, 1);
+}
+
+void CiDriver::enable_int_sources(std::uint32_t bits) {
+  const SimTime now = cpu_.engine().now();
+  const std::uint32_t cur =
+      nti_.cpu_read32(now, kCpuUtcsuBase + utcsu::kRegIntEnable);
+  nti_.cpu_write32(now, kCpuUtcsuBase + utcsu::kRegIntEnable, cur | bits);
+}
+
+void CiDriver::isr_rx_complete(int rx_slot, std::size_t payload_len) {
+  const SimTime now = cpu_.engine().now();
+  Log::trace(LogCat::kNode, now, "node%d rx_complete slot=%d len=%zu", node_id_,
+             rx_slot, payload_len);
+  const Addr hdr = module::Nti::rx_header_addr(rx_slot);
+  const std::uint32_t type_len = nti_.cpu_read32(now, hdr + kHdrTypeLen);
+  const auto ethertype = static_cast<std::uint16_t>(type_len & 0xFFFF);
+
+  if (ethertype != comco::kEthertypeCsp) {
+    // KI / NI data (or background noise): consume and discard any stamp
+    // the hardware took for it -- the footnote-4 discard path.
+    ++stats_.non_csp_received;
+    saved_stamps_.erase(hdr);
+    provision(rx_slot);
+    return;
+  }
+
+  RxCsp csp;
+  csp.src_node = static_cast<int>(nti_.cpu_read32(now, hdr + kHdrSrc));
+  csp.rx_clock_isr = read_clock(now);
+  csp.tx_stamp = utcsu::decode_stamp(
+      nti_.cpu_read32(now, hdr + nti_.program().tx_map_timestamp),
+      nti_.cpu_read32(now, hdr + nti_.program().tx_map_macrostamp),
+      nti_.cpu_read32(now, hdr + nti_.program().tx_map_alpha));
+  if (const auto it = saved_stamps_.find(hdr); it != saved_stamps_.end()) {
+    csp.rx_raw_timestamp = it->second.timestamp;
+    csp.rx_raw_macrostamp = it->second.macrostamp;
+    csp.rx_stamp = utcsu::decode_stamp(it->second.timestamp,
+                                       it->second.macrostamp, it->second.alpha);
+    csp.rx_stamp_valid = csp.rx_stamp.checksum_ok;
+    if (!csp.rx_stamp.checksum_ok) ++stats_.checksum_failures;
+    // Freshness check: if this packet's own stamp was lost (late INTN ISR
+    // after a back-to-back burst), a leftover entry from the *previous*
+    // occupant of this header slot could still be parked here.  A stamp
+    // taken more than one frame-plus-ISR window ago cannot belong to this
+    // packet; using it would corrupt the drift compensation by seconds.
+    const Duration age = csp.rx_clock_isr - csp.rx_stamp.time();
+    if (age < Duration::zero() || age > Duration::ms(50)) {
+      csp.rx_stamp_valid = false;
+      ++stats_.stamps_stale;
+    }
+    saved_stamps_.erase(it);
+  }
+
+  const std::uint32_t wire_len = type_len >> 16;
+  const std::size_t len = std::min<std::size_t>(payload_len, wire_len);
+  csp.payload.resize(len);
+  const Addr data = rx_data_addr(rx_slot);
+  for (std::size_t i = 0; i < len; i += 4) {
+    const std::uint32_t w = nti_.cpu_read32(now, data + static_cast<Addr>(i));
+    for (std::size_t b = 0; b < 4 && i + b < len; ++b) {
+      csp.payload[i + b] = static_cast<std::uint8_t>(w >> (8 * b));
+    }
+  }
+  provision(rx_slot);
+  ++stats_.csp_received;
+
+  // Hand over to the CI client at task level (where the sync algorithm
+  // runs under pSOS+m); record both clock readings for the baselines.
+  cpu_.defer_to_task([this, csp = std::move(csp)]() mutable {
+    const SimTime task_now = cpu_.engine().now();
+    csp.rx_clock_task = read_clock(task_now);
+    csp.delivered_at = task_now;
+    if (on_csp) on_csp(csp);
+  });
+}
+
+}  // namespace nti::node

@@ -1,0 +1,132 @@
+// COMCO driver: the pSOS+m add-on of paper Sec. 4 (Fig. 9).
+//
+// The driver multiplexes three message-passing interfaces onto one COMCO:
+//   KI  kernel interface   (pSOS+m remote objects / RPC)
+//   NI  network interface  (pNA+ TCP/IP sockets)
+//   CI  clock interface    (clock synchronization packets)
+// Only CI frames are CSPs and carry hardware stamps, but *every* received
+// frame lands in a receive-header slot and therefore fires the RECEIVE
+// trigger -- the driver must consume the stamp and discard it for non-CSP
+// frames, exactly the footnote-4 situation the Receive-Header-Base
+// register exists for.
+//
+// Interrupt flow on reception:
+//   1. RECEIVE trigger -> UTCSU INTN -> NTI vectored IRQ -> isr_nti():
+//      read Receive Header Base, read SSU RX stamp registers, park the
+//      stamp in driver RAM keyed by the header address, ack, re-enable.
+//      If a second trigger beat the ISR (back-to-back frames), the SSU
+//      overrun bit is set and the *older* stamp is unrecoverable: that
+//      packet is delivered with rx_stamp_valid = false.
+//   2. COMCO rx-complete IRQ -> isr_rx(): parse the header, pick up the
+//      saved stamp, hand the CSP to the CI client (or count KI/NI data).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "comco/comco.hpp"
+#include "node/cpu.hpp"
+#include "nti/nti.hpp"
+#include "utcsu/stamp.hpp"
+
+namespace nti::node {
+
+/// Where timestamps are taken; selects the paper's Sec. 5 method ladder.
+enum class StampMode {
+  kHardware,   ///< NTI DMA triggers (the paper's contribution)
+  kInterrupt,  ///< clock read in the completion ISRs (CSU-class, [KO87])
+  kSoftware,   ///< clock read at task level (purely software approaches)
+};
+
+struct RxCsp {
+  std::vector<std::uint8_t> payload;
+  int src_node = -1;
+  utcsu::DecodedStamp tx_stamp;   ///< sender's stamp from the wire (HW mode)
+  utcsu::DecodedStamp rx_stamp;   ///< local SSU stamp (HW mode)
+  bool rx_stamp_valid = false;
+  std::uint32_t rx_raw_timestamp = 0;   ///< raw register words of rx_stamp
+  std::uint32_t rx_raw_macrostamp = 0;  ///< (echoed verbatim by RTT replies)
+  Duration rx_clock_isr;          ///< local clock read in the rx ISR
+  Duration rx_clock_task;         ///< local clock read at task level
+  SimTime delivered_at;           ///< sim time of CI delivery (task level)
+};
+
+struct DriverStats {
+  std::uint64_t csp_sent = 0;
+  std::uint64_t csp_received = 0;
+  std::uint64_t non_csp_received = 0;
+  std::uint64_t stamps_lost_overrun = 0;
+  std::uint64_t stamps_stale = 0;  ///< leftover stamp from a reused rx slot
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t tx_aborts = 0;
+};
+
+class CiDriver {
+ public:
+  CiDriver(Cpu& cpu, module::Nti& nti, comco::Comco& comco, int node_id,
+           StampMode mode = StampMode::kHardware);
+
+  /// Send a CSP carrying `payload`.  In HW mode the transmit stamp is
+  /// inserted on the fly by the CPLD/UTCSU; in software mode the caller is
+  /// expected to have embedded its own clock reading in the payload.
+  void send_csp(std::span<const std::uint8_t> payload);
+
+  /// Send an ordinary data frame on behalf of KI or NI (exercises the
+  /// discard path at every receiver).
+  void send_data(std::uint16_t ethertype, std::size_t payload_bytes);
+
+  /// CI client callback (the clock synchronization algorithm).
+  std::function<void(const RxCsp&)> on_csp;
+  /// Duty-timer interrupt (INTT) demultiplexed to the timer index.
+  std::function<void(int timer)> on_duty;
+  /// GPS 1pps capture interrupt (INTA) demultiplexed to the GPU index.
+  std::function<void(int gpu)> on_gps;
+
+  /// Unmask additional UTCSU interrupt sources (duty timers, GPUs).
+  void enable_int_sources(std::uint32_t bits);
+
+  /// Whether this driver demultiplexes duty-timer / GPS interrupts.  On a
+  /// gateway node several drivers share one UTCSU; exactly one of them
+  /// (the primary) must own the INTT/INTA demux, or they race to ack the
+  /// same status bits.
+  bool demux_timers = true;
+
+  const DriverStats& stats() const { return stats_; }
+  int node_id() const { return node_id_; }
+  StampMode mode() const { return mode_; }
+
+  /// Clock helper: full 56-bit time via the atomic timestamp+macrostamp
+  /// register pair, as driver software would read it.
+  Duration read_clock(SimTime now);
+
+ private:
+  void isr_nti(std::uint8_t vector);
+  void isr_rx_complete(int rx_slot, std::size_t payload_len);
+  void provision(int rx_slot);
+  int alloc_tx_slot() { return tx_next_++ % module::kNumTxHeaders; }
+
+  struct SavedStamp {
+    std::uint32_t timestamp = 0;
+    std::uint32_t macrostamp = 0;
+    std::uint32_t alpha = 0;
+  };
+
+  Cpu& cpu_;
+  module::Nti& nti_;
+  comco::Comco& comco_;
+  int node_id_;
+  StampMode mode_;
+  DriverStats stats_;
+  /// Stamps parked by the INTN ISR, keyed by receive-header address, until
+  /// the rx-complete ISR picks them up (see isr_nti for why they cannot
+  /// live in the header itself).
+  std::map<module::Addr, SavedStamp> saved_stamps_;
+  int tx_next_ = 0;
+  std::uint32_t seq_ = 0;
+  static constexpr int kRxRingDepth = 16;
+};
+
+}  // namespace nti::node

@@ -1,0 +1,26 @@
+#include "node/gateway.hpp"
+
+#include <cassert>
+
+namespace nti::node {
+
+GatewayPort::GatewayPort(NodeCard& card, net::Medium& second_medium,
+                         int ssu_index, RngStream rng,
+                         comco::ComcoConfig comco_cfg, CpuConfig cpu_cfg) {
+  assert(ssu_index >= 1 && ssu_index < utcsu::kNumSsu &&
+         "SSU 0 belongs to the primary port");
+  nti_ = std::make_unique<module::Nti>(card.chip(), module::CpldProgram{},
+                                       ssu_index);
+  comco_ = std::make_unique<comco::Comco>(card.cpu().engine(), *nti_,
+                                          second_medium, comco_cfg,
+                                          rng.fork("gw-comco",
+                                                   static_cast<std::uint64_t>(ssu_index)));
+  cpu_ = std::make_unique<Cpu>(card.cpu().engine(), cpu_cfg,
+                               rng.fork("gw-cpu",
+                                        static_cast<std::uint64_t>(ssu_index)));
+  driver_ = std::make_unique<CiDriver>(*cpu_, *nti_, *comco_, card.id());
+  // The primary driver owns the duty-timer/GPS demux (see driver.hpp).
+  driver_->demux_timers = false;
+}
+
+}  // namespace nti::node

@@ -1,0 +1,41 @@
+// Gateway port: a second network attachment served by the SAME UTCSU.
+//
+// The paper provides six SSUs "to facilitate fault-tolerant (redundant)
+// communications architectures or gateway nodes" (Sec. 3.3) and notes that
+// WANs-of-LANs work "provided that all gateway nodes are also equipped
+// with the NTI" (footnote 2).  A GatewayPort bundles the extra decode
+// context: its own NTI memory/CPLD instance bound to a chosen SSU, its own
+// COMCO on the second medium, its own CPU context and driver.  The primary
+// driver keeps ownership of the duty-timer/GPS interrupt demux.
+#pragma once
+
+#include <memory>
+
+#include "comco/comco.hpp"
+#include "net/medium.hpp"
+#include "node/cpu.hpp"
+#include "node/driver.hpp"
+#include "node/node_card.hpp"
+
+namespace nti::node {
+
+class GatewayPort {
+ public:
+  /// Attach `card` to `second_medium` through SSU `ssu_index` (1..5; SSU 0
+  /// belongs to the card's primary port).
+  GatewayPort(NodeCard& card, net::Medium& second_medium, int ssu_index,
+              RngStream rng,
+              comco::ComcoConfig comco_cfg = {}, CpuConfig cpu_cfg = {});
+
+  CiDriver& driver() { return *driver_; }
+  comco::Comco& comco() { return *comco_; }
+  module::Nti& nti() { return *nti_; }
+
+ private:
+  std::unique_ptr<module::Nti> nti_;
+  std::unique_ptr<comco::Comco> comco_;
+  std::unique_ptr<Cpu> cpu_;
+  std::unique_ptr<CiDriver> driver_;
+};
+
+}  // namespace nti::node

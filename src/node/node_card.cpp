@@ -1,0 +1,25 @@
+#include "node/node_card.hpp"
+
+namespace nti::node {
+
+NodeCard::NodeCard(sim::Engine& engine, net::Medium& medium,
+                   const NodeConfig& cfg, RngStream rng)
+    : cfg_(cfg) {
+  const auto uid = static_cast<std::uint64_t>(cfg.node_id);
+  osc_ = osc::make_oscillator(cfg.osc, rng.fork("osc", uid));
+  utcsu_ = std::make_unique<utcsu::Utcsu>(engine, *osc_, cfg.utcsu);
+  nti_ = std::make_unique<module::Nti>(*utcsu_);
+  comco_ = std::make_unique<comco::Comco>(engine, *nti_, medium, cfg.comco,
+                                          rng.fork("comco", uid));
+  cpu_ = std::make_unique<Cpu>(engine, cfg.cpu, rng.fork("cpu", uid));
+  driver_ = std::make_unique<CiDriver>(*cpu_, *nti_, *comco_, cfg.node_id, cfg.mode);
+
+  if (cfg.gps) {
+    gps_ = std::make_unique<gps::GpsReceiver>(engine, *cfg.gps, rng.fork("gps", uid));
+    // 1pps wired to GPU 0 of the UTCSU (front-panel D-sub, Sec. 3.2).
+    gps_->on_pps = [this](SimTime t) { utcsu_->pps_pulse(0, t); };
+    gps_->start();
+  }
+}
+
+}  // namespace nti::node

@@ -1,0 +1,63 @@
+// NodeCard: one complete node of Fig. 2 -- CPU + memory + UTCSU + COMCO
+// (+ optionally a GPS receiver), wired together the way the MVME-162 +
+// NTI MA-Module + 82596CA system of Sec. 4 is.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "comco/comco.hpp"
+#include "gps/gps.hpp"
+#include "net/medium.hpp"
+#include "node/cpu.hpp"
+#include "node/driver.hpp"
+#include "nti/nti.hpp"
+#include "osc/oscillator.hpp"
+#include "sim/engine.hpp"
+#include "utcsu/utcsu.hpp"
+
+namespace nti::node {
+
+struct NodeConfig {
+  int node_id = 0;
+  osc::OscConfig osc = osc::OscConfig::tcxo();
+  utcsu::UtcsuConfig utcsu{};
+  comco::ComcoConfig comco{};
+  CpuConfig cpu{};
+  StampMode mode = StampMode::kHardware;
+  std::optional<gps::GpsConfig> gps;  ///< present => node has a receiver
+};
+
+class NodeCard {
+ public:
+  NodeCard(sim::Engine& engine, net::Medium& medium, const NodeConfig& cfg,
+           RngStream rng);
+
+  int id() const { return cfg_.node_id; }
+  const NodeConfig& config() const { return cfg_; }
+
+  osc::Oscillator& oscillator() { return *osc_; }
+  utcsu::Utcsu& chip() { return *utcsu_; }
+  module::Nti& nti() { return *nti_; }
+  comco::Comco& comco() { return *comco_; }
+  Cpu& cpu() { return *cpu_; }
+  CiDriver& driver() { return *driver_; }
+  gps::GpsReceiver* gps_receiver() { return gps_ ? gps_.get() : nullptr; }
+  bool has_gps() const { return gps_ != nullptr; }
+
+  /// Ground truth for experiment probes: the node's clock value at real
+  /// time t (what the SNU would snapshot on a simultaneous HWSNAP pulse).
+  Duration true_clock(SimTime t) { return utcsu_->clock_duration(t); }
+
+ private:
+  NodeConfig cfg_;
+  std::unique_ptr<osc::Oscillator> osc_;
+  std::unique_ptr<utcsu::Utcsu> utcsu_;
+  std::unique_ptr<module::Nti> nti_;
+  std::unique_ptr<comco::Comco> comco_;
+  std::unique_ptr<Cpu> cpu_;
+  std::unique_ptr<CiDriver> driver_;
+  std::unique_ptr<gps::GpsReceiver> gps_;
+};
+
+}  // namespace nti::node

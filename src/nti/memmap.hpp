@@ -1,0 +1,56 @@
+// NTI memory map (paper Sec. 3.4, Figs. 6-8).
+//
+// The NTI memory (two 64K x 16 SRAMs = 256 KB) is mapped twice: once for
+// plain CPU accesses and once for COMCO accesses, where the CPLD decoding
+// logic adds the timestamping side effects.  Section split per Fig. 6:
+//   System Structures  184 KB   COMCO command interface & descriptors
+//   Data Buffers        60 KB   ordinary packet payload
+//   Receive Headers      4 KB   64 headers x 64 B (special on COMCO write)
+//   Transmit Headers     8 KB   128 headers x 64 B (special on COMCO read)
+#pragma once
+
+#include <cstdint>
+
+namespace nti::module {
+
+using Addr = std::uint32_t;
+
+inline constexpr Addr kMemBytes = 256 * 1024;
+
+inline constexpr Addr kSystemStructBase = 0x00000;
+inline constexpr Addr kDataBufferBase = 0x2E000;   // 184 KB in
+inline constexpr Addr kRxHeaderBase = 0x3D000;     // 4 KB region
+inline constexpr Addr kTxHeaderBase = 0x3E000;     // 8 KB region
+inline constexpr Addr kHeaderBytes = 64;
+inline constexpr int kNumRxHeaders = 64;
+inline constexpr int kNumTxHeaders = 128;
+
+// CPU view: the UTCSU's 512-byte register window follows the memory region.
+inline constexpr Addr kCpuUtcsuBase = 0x40000;
+
+// Offsets inside a 64-byte header supervised by the CPLD (Fig. 7).  The
+// trigger offset and the mapping offsets are independently configurable in
+// the CPLD (paper Sec. 5: "two independently configurable addresses");
+// these are the defaults programmed for the Intel 82596CA.
+struct CpldProgram {
+  Addr tx_trigger_offset = 0x14;   ///< COMCO read here -> TRANSMIT trigger
+  Addr tx_map_timestamp = 0x18;    ///< reads return UTCSU TX stamp regs
+  Addr tx_map_macrostamp = 0x1C;
+  Addr tx_map_alpha = 0x20;
+  Addr rx_trigger_offset = 0x1C;   ///< COMCO write here -> RECEIVE trigger
+};
+
+// Software-conventional locations where the CPU stores the receive stamp
+// into the "unused portion of the receive buffer" (paper Sec. 3.1) after
+// reading it from the SSU registers in the ISR.
+inline constexpr Addr kRxSaveTimestamp = 0x24;
+inline constexpr Addr kRxSaveMacrostamp = 0x28;
+inline constexpr Addr kRxSaveAlpha = 0x2C;
+
+// I/O-space register offsets (256-byte M-Module I/O space, Fig. 8).
+inline constexpr Addr kIoRxHeaderBase = 0x00;  ///< RO; latched on RECEIVE
+inline constexpr Addr kIoVectorBase = 0x02;    ///< RW; interrupt vector base
+inline constexpr Addr kIoIntEnable = 0x04;     ///< W; re-enable NTI interrupts
+inline constexpr Addr kIoSprom = 0xFE;         ///< serial PROM access byte
+
+}  // namespace nti::module

@@ -1,0 +1,155 @@
+#include "nti/nti.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace nti::module {
+namespace {
+std::uint32_t load32(const std::vector<std::uint8_t>& mem, Addr a) {
+  std::uint32_t v;
+  std::memcpy(&v, &mem[a], 4);  // host little-endian == M68k driver handles
+  return v;                     // byte order; the model stays byte-exact
+}
+void store32(std::vector<std::uint8_t>& mem, Addr a, std::uint32_t v) {
+  std::memcpy(&mem[a], &v, 4);
+}
+}  // namespace
+
+Nti::Nti(utcsu::Utcsu& chip, CpldProgram program, int ssu_index)
+    : chip_(chip), program_(program), ssu_(ssu_index), mem_(kMemBytes, 0) {
+  chip_.add_int_line_listener([this](utcsu::IntLine line, bool level) {
+    utcsu_line_changed(line, level);
+  });
+}
+
+// ------------------------------------------------------------- CPU side ---
+
+std::uint32_t Nti::cpu_read32(SimTime t, Addr addr) {
+  last_bus_time_ = t;
+  if (addr >= kCpuUtcsuBase) {
+    return chip_.bus_read(t, addr - kCpuUtcsuBase);
+  }
+  assert(addr + 4 <= kMemBytes);
+  return load32(mem_, addr);
+}
+
+void Nti::cpu_write32(SimTime t, Addr addr, std::uint32_t value) {
+  last_bus_time_ = t;
+  if (addr >= kCpuUtcsuBase) {
+    chip_.bus_write(t, addr - kCpuUtcsuBase, value);
+    return;
+  }
+  assert(addr + 4 <= kMemBytes);
+  store32(mem_, addr, value);
+}
+
+std::uint8_t Nti::cpu_read8(SimTime t, Addr addr) {
+  last_bus_time_ = t;
+  assert(addr < kMemBytes);
+  return mem_[addr];
+}
+
+void Nti::cpu_write8(SimTime t, Addr addr, std::uint8_t value) {
+  last_bus_time_ = t;
+  assert(addr < kMemBytes);
+  mem_[addr] = value;
+}
+
+// ----------------------------------------------------------- COMCO side ---
+
+std::uint32_t Nti::comco_read32(SimTime t, Addr addr) {
+  last_bus_time_ = t;
+  assert(addr + 4 <= kMemBytes);
+  if (in_tx_headers(addr)) {
+    const Addr offset = addr & (kHeaderBytes - 1);
+    if (offset == program_.tx_trigger_offset) {
+      // The decoding logic raises TRANSMIT while the COMCO's read cycle is
+      // on the bus; the UTCSU samples at the following oscillator edge.
+      chip_.trigger_transmit(ssu_, t);
+      return load32(mem_, addr);
+    }
+    // Transparent mapping: these header words *are* the UTCSU's sampled
+    // transmit stamp registers, so the stamp rides out in the packet
+    // without any CPU involvement (paper Fig. 3).
+    if (offset == program_.tx_map_timestamp) {
+      return chip_.ssu_tx(ssu_).timestamp;
+    }
+    if (offset == program_.tx_map_macrostamp) {
+      return chip_.ssu_tx(ssu_).macrostamp;
+    }
+    if (offset == program_.tx_map_alpha) {
+      return chip_.ssu_tx(ssu_).alpha;
+    }
+  }
+  return load32(mem_, addr);
+}
+
+void Nti::comco_write32(SimTime t, Addr addr, std::uint32_t value) {
+  last_bus_time_ = t;
+  assert(addr + 4 <= kMemBytes);
+  store32(mem_, addr, value);
+  if (in_rx_headers(addr)) {
+    const Addr offset = addr & (kHeaderBytes - 1);
+    if (offset == program_.rx_trigger_offset) {
+      chip_.trigger_receive(ssu_, t);
+      // Latch the header base so the ISR can associate the sampled stamp
+      // with the right packet even under back-to-back reception
+      // (paper Sec. 3.4, footnote 4).
+      rx_header_base_ = static_cast<std::uint16_t>((addr & ~(kHeaderBytes - 1)) >> 6);
+    }
+  }
+}
+
+// -------------------------------------------------------------- I/O space --
+
+std::uint16_t Nti::io_read16(Addr offset) {
+  switch (offset) {
+    case kIoRxHeaderBase:
+      return rx_header_base_;
+    case kIoVectorBase:
+      return vector_base_;
+    case kIoSprom:
+      return sprom_.access_read();
+    default:
+      return 0;
+  }
+}
+
+void Nti::io_write16(Addr offset, std::uint16_t value) {
+  switch (offset) {
+    case kIoVectorBase:
+      vector_base_ = static_cast<std::uint8_t>(value & 0xF8);  // low 3 bits carry line state
+      break;
+    case kIoIntEnable:
+      int_enabled_ = (value & 1u) != 0;
+      if (int_enabled_) maybe_fire();
+      break;
+    case kIoSprom:
+      sprom_.access_write(static_cast<std::uint8_t>(value));
+      break;
+    default:
+      break;
+  }
+}
+
+// ------------------------------------------------------------- interrupts --
+
+void Nti::utcsu_line_changed(utcsu::IntLine line, bool level) {
+  line_[static_cast<std::size_t>(line)] = level;
+  if (level) maybe_fire();
+}
+
+void Nti::maybe_fire() {
+  if (!int_enabled_) return;
+  if (!(line_[0] || line_[1] || line_[2])) return;
+  // One-shot: the module holds off further interrupts until the ISR
+  // re-enables via kIoIntEnable (paper Sec. 3.4).
+  int_enabled_ = false;
+  const std::uint8_t vector = static_cast<std::uint8_t>(
+      vector_base_ | (line_[0] ? 1u : 0u)        // INTN
+      | (line_[1] ? 2u : 0u)                     // INTT
+      | (line_[2] ? 4u : 0u));                   // INTA
+  if (on_irq) on_irq(vector);
+}
+
+}  // namespace nti::module

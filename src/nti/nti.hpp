@@ -1,0 +1,85 @@
+// The NTI MA-Module (paper Sec. 3.2, Fig. 4).
+//
+// Composition: UTCSU-ASIC + 256 KB SRAM + CPLD decoding/glue logic + S-PROM,
+// behind the MA-Module bus interface.  Everything architecturally visible
+// is modeled:
+//   * dual-mapped memory: the same SRAM reached via a CPU region (plain)
+//     and a COMCO region, where the CPLD adds the timestamping side effects
+//     (Sec. 3.1): TRANSMIT trigger + transparent stamp mapping on transmit-
+//     header reads, RECEIVE trigger + Receive-Header-Base latch on receive-
+//     header writes;
+//   * interrupt logic: the three UTCSU lines (INTN/INTT/INTA) are folded
+//     onto the single vectorized M-Module interrupt; the final vector
+//     includes the three line states; firing disables further interrupts
+//     until software re-enables via the Dis/Enable register (Fig. 8);
+//   * I/O space: Receive Header Base, Vector Base, Dis/Enable, S-PROM.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nti/memmap.hpp"
+#include "nti/sprom.hpp"
+#include "utcsu/utcsu.hpp"
+
+namespace nti::module {
+
+class Nti {
+ public:
+  /// `ssu_index` selects which of the six UTCSU SSUs this module's COMCO
+  /// port is wired to (gateway nodes instantiate several COMCOs).
+  Nti(utcsu::Utcsu& chip, CpldProgram program = {}, int ssu_index = 0);
+
+  // ---- CPU-side bus (memory space) --------------------------------------
+  std::uint32_t cpu_read32(SimTime t, Addr addr);
+  void cpu_write32(SimTime t, Addr addr, std::uint32_t value);
+  std::uint8_t cpu_read8(SimTime t, Addr addr);
+  void cpu_write8(SimTime t, Addr addr, std::uint8_t value);
+
+  // ---- COMCO-side bus (memory space with CPLD side effects) -------------
+  std::uint32_t comco_read32(SimTime t, Addr addr);
+  void comco_write32(SimTime t, Addr addr, std::uint32_t value);
+
+  // ---- I/O space ---------------------------------------------------------
+  std::uint16_t io_read16(Addr offset);
+  void io_write16(Addr offset, std::uint16_t value);
+
+  /// Asserted interrupt: the carrier board delivers `vector` to the CPU.
+  std::function<void(std::uint8_t vector)> on_irq;
+
+  /// Interrupt-enable state (the ISR re-enables just before returning).
+  bool interrupts_enabled() const { return int_enabled_; }
+
+  utcsu::Utcsu& chip() { return chip_; }
+  const CpldProgram& program() const { return program_; }
+  int ssu_index() const { return ssu_; }
+
+  /// Address helpers for drivers.
+  static Addr tx_header_addr(int slot) {
+    return kTxHeaderBase + static_cast<Addr>(slot) * kHeaderBytes;
+  }
+  static Addr rx_header_addr(int slot) {
+    return kRxHeaderBase + static_cast<Addr>(slot) * kHeaderBytes;
+  }
+
+ private:
+  void utcsu_line_changed(utcsu::IntLine line, bool level);
+  void maybe_fire();
+  bool in_tx_headers(Addr a) const { return a >= kTxHeaderBase && a < kTxHeaderBase + kNumTxHeaders * kHeaderBytes; }
+  bool in_rx_headers(Addr a) const { return a >= kRxHeaderBase && a < kRxHeaderBase + kNumRxHeaders * kHeaderBytes; }
+
+  utcsu::Utcsu& chip_;
+  CpldProgram program_;
+  int ssu_;
+  std::vector<std::uint8_t> mem_;
+  Sprom sprom_;
+
+  std::uint16_t rx_header_base_ = 0;  ///< latched on RECEIVE trigger
+  std::uint8_t vector_base_ = 0x40;
+  bool int_enabled_ = false;
+  bool line_[3] = {false, false, false};
+  SimTime last_bus_time_ = SimTime::epoch();
+};
+
+}  // namespace nti::module

@@ -1,0 +1,45 @@
+#include "nti/sprom.hpp"
+
+#include <numeric>
+
+namespace nti::module {
+
+Sprom::Sprom() {
+  // ID record layout (simplified MUMM format):
+  //   0x00..0x01  sync word 0x5346 ("SF")
+  //   0x02..0x03  module id
+  //   0x04..0x05  revision
+  //   0x06..0x0D  vendor string
+  //   0xFF        two's-complement checksum over 0x00..0xFE
+  rom_[0x00] = 0x53;
+  rom_[0x01] = 0x46;
+  rom_[0x02] = static_cast<std::uint8_t>(kNtiModuleId >> 8);
+  rom_[0x03] = static_cast<std::uint8_t>(kNtiModuleId & 0xFF);
+  rom_[0x04] = static_cast<std::uint8_t>(kNtiRevision >> 8);
+  rom_[0x05] = static_cast<std::uint8_t>(kNtiRevision & 0xFF);
+  const char vendor[] = "TUW-SYNC";
+  for (std::size_t i = 0; i < sizeof(vendor) - 1; ++i) {
+    rom_[0x06 + i] = static_cast<std::uint8_t>(vendor[i]);
+  }
+  std::uint8_t sum = 0;
+  for (std::size_t i = 0; i < 0xFF; ++i) sum = static_cast<std::uint8_t>(sum + rom_[i]);
+  rom_[0xFF] = static_cast<std::uint8_t>(0x100 - sum);
+}
+
+std::uint8_t Sprom::access_read() { return rom_[cursor_++]; }
+
+std::uint16_t Sprom::module_id() const {
+  return static_cast<std::uint16_t>((rom_[0x02] << 8) | rom_[0x03]);
+}
+
+std::uint16_t Sprom::revision() const {
+  return static_cast<std::uint16_t>((rom_[0x04] << 8) | rom_[0x05]);
+}
+
+bool Sprom::checksum_ok() const {
+  std::uint8_t sum = 0;
+  for (const std::uint8_t b : rom_) sum = static_cast<std::uint8_t>(sum + b);
+  return sum == 0;
+}
+
+}  // namespace nti::module

@@ -1,0 +1,33 @@
+// Serial PROM carrying M-Module identification (MUMM spec [MM96]).
+//
+// The real device is bit-serial behind one access byte in I/O space; the
+// model keeps the one-byte window semantics: writing the access byte sets
+// the read address, reading returns the addressed PROM byte.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace nti::module {
+
+class Sprom {
+ public:
+  Sprom();
+
+  std::uint8_t access_read();
+  void access_write(std::uint8_t addr) { cursor_ = addr; }
+
+  /// Fields per the M-Module ID record.
+  std::uint16_t module_id() const;
+  std::uint16_t revision() const;
+  bool checksum_ok() const;
+
+  static constexpr std::uint16_t kNtiModuleId = 0x4E54;  // "NT"
+  static constexpr std::uint16_t kNtiRevision = 0x0100;  // v1.0
+
+ private:
+  std::array<std::uint8_t, 256> rom_{};
+  std::uint8_t cursor_ = 0;
+};
+
+}  // namespace nti::module

@@ -1,0 +1,45 @@
+// libnti umbrella header: everything a downstream user needs.
+//
+// Layering (bottom to top):
+//   common/   time types, fixed point, RNG, stats
+//   sim/      discrete-event engine
+//   osc/      oscillator models
+//   interval/ accuracy-interval arithmetic & fusion
+//   utcsu/    the UTCSU-ASIC model
+//   nti/      the NTI MA-Module (memory map, CPLD, interrupts)
+//   net/      CSMA/CD broadcast medium
+//   comco/    Ethernet coprocessor (82596CA-class)
+//   gps/      GPS timing receiver (+ fault injection)
+//   node/     CPU/ISR model and the KI/NI/CI driver
+//   csa/      interval-based clock synchronization algorithms
+//   cluster/  multi-node scenarios and measurement probes
+#pragma once
+
+#include "common/checksum.hpp"
+#include "common/log.hpp"
+#include "common/phi.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/time_types.hpp"
+#include "sim/engine.hpp"
+#include "sim/periodic.hpp"
+#include "osc/oscillator.hpp"
+#include "interval/interval.hpp"
+#include "utcsu/regs.hpp"
+#include "utcsu/stamp.hpp"
+#include "utcsu/utcsu.hpp"
+#include "nti/memmap.hpp"
+#include "nti/nti.hpp"
+#include "nti/sprom.hpp"
+#include "net/medium.hpp"
+#include "net/traffic.hpp"
+#include "comco/comco.hpp"
+#include "gps/gps.hpp"
+#include "node/cpu.hpp"
+#include "node/driver.hpp"
+#include "node/gateway.hpp"
+#include "node/node_card.hpp"
+#include "csa/payload.hpp"
+#include "csa/rtt.hpp"
+#include "csa/sync.hpp"
+#include "cluster/cluster.hpp"

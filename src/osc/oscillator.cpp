@@ -1,0 +1,172 @@
+#include "osc/oscillator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace nti::osc {
+namespace {
+constexpr i128 kAsPerPs = 1'000'000;  // attoseconds per picosecond
+constexpr double kAsPerSec = 1e18;
+
+i128 to_as(SimTime t) { return static_cast<i128>(t.count_ps()) * kAsPerPs; }
+SimTime from_as(i128 as) {
+  // Round toward +inf so that time_of_tick never reports a time strictly
+  // before the tick's true instant (keeps ticks_at(time_of_tick(n)) == n).
+  const i128 ps = (as + kAsPerPs - 1) / kAsPerPs;
+  return SimTime::from_ps(static_cast<std::int64_t>(ps));
+}
+}  // namespace
+
+OscConfig OscConfig::ideal(double hz) {
+  OscConfig c;
+  c.nominal_hz = hz;
+  c.rho_max_ppm = 0.001;  // algorithms still need a nonzero bound
+  return c;
+}
+
+OscConfig OscConfig::tcxo(double hz) {
+  OscConfig c;
+  c.nominal_hz = hz;
+  c.offset_ppm = 0.0;  // set per instance by the scenario builder
+  c.aging_ppm_per_day = 0.005;
+  c.wander_sigma_ppb = 0.3;
+  c.wander_bound_ppm = 0.5;
+  c.temp_coeff_ppm = 0.2;
+  c.temp_period = Duration::sec(600);
+  c.rho_max_ppm = 2.0;
+  return c;
+}
+
+OscConfig OscConfig::ocxo(double hz) {
+  OscConfig c;
+  c.nominal_hz = hz;
+  c.aging_ppm_per_day = 0.0005;
+  c.wander_sigma_ppb = 0.02;
+  c.wander_bound_ppm = 0.01;
+  c.temp_coeff_ppm = 0.002;
+  c.temp_period = Duration::sec(600);
+  c.rho_max_ppm = 0.05;
+  return c;
+}
+
+OscConfig OscConfig::cheap_xo(double hz) {
+  OscConfig c;
+  c.nominal_hz = hz;
+  c.aging_ppm_per_day = 0.1;
+  c.wander_sigma_ppb = 5.0;
+  c.wander_bound_ppm = 10.0;
+  c.temp_coeff_ppm = 5.0;
+  c.temp_period = Duration::sec(300);
+  c.rho_max_ppm = 100.0;
+  return c;
+}
+
+OscConfig OscConfig::gps_reference(double hz) {
+  OscConfig c;
+  c.nominal_hz = hz;
+  c.wander_sigma_ppb = 0.001;
+  c.wander_bound_ppm = 0.0005;
+  c.rho_max_ppm = 0.001;
+  return c;
+}
+
+QuartzOscillator::QuartzOscillator(OscConfig cfg, RngStream rng)
+    : cfg_(cfg), rng_(rng) {
+  assert(cfg_.nominal_hz >= 1e6 && cfg_.nominal_hz <= 20e6 &&
+         "UTCSU accepts 1..20 MHz oscillators");
+  append_segment();
+}
+
+double QuartzOscillator::sample_rho(double t_sec) {
+  // Random-walk wander, clamped.
+  wander_ppm_ += rng_.normal(0.0, cfg_.wander_sigma_ppb * 1e-3);
+  wander_ppm_ = std::clamp(wander_ppm_, -cfg_.wander_bound_ppm, cfg_.wander_bound_ppm);
+  const double aging = cfg_.aging_ppm_per_day * (t_sec / 86400.0);
+  const double temp =
+      cfg_.temp_coeff_ppm *
+      std::sin(2.0 * std::numbers::pi * t_sec / cfg_.temp_period.to_sec_f());
+  return (cfg_.offset_ppm + aging + wander_ppm_ + temp) * 1e-6;
+}
+
+void QuartzOscillator::append_segment() {
+  Segment s{};
+  if (segs_.empty()) {
+    s.start_as = 0;
+    s.start_tick = 0;
+  } else {
+    const Segment& prev = segs_.back();
+    s.start_as = prev.start_as + prev.period_as * static_cast<i128>(prev.n_ticks);
+    s.start_tick = prev.start_tick + prev.n_ticks;
+  }
+  const double t_sec = static_cast<double>(s.start_as) / kAsPerSec;
+  s.rho = sample_rho(t_sec);
+  const double freq = cfg_.nominal_hz * (1.0 + s.rho);
+  s.period_as = static_cast<i128>(std::llround(kAsPerSec / freq));
+  // Whole number of nominal ticks per segment; at least one.
+  s.n_ticks = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(cfg_.segment_len.to_sec_f() * cfg_.nominal_hz));
+  segs_.push_back(s);
+}
+
+void QuartzOscillator::extend_to_time(i128 t_as) {
+  while (true) {
+    const Segment& last = segs_.back();
+    const i128 end = last.start_as + last.period_as * static_cast<i128>(last.n_ticks);
+    if (end > t_as) return;
+    append_segment();
+  }
+}
+
+void QuartzOscillator::extend_to_tick(std::uint64_t n) {
+  while (segs_.back().start_tick + segs_.back().n_ticks < n) append_segment();
+}
+
+const QuartzOscillator::Segment& QuartzOscillator::segment_for_time(i128 t_as) {
+  extend_to_time(t_as);
+  // Locality: most queries are monotone in time; try the cached cursor.
+  if (cursor_ >= segs_.size()) cursor_ = segs_.size() - 1;
+  while (segs_[cursor_].start_as > t_as && cursor_ > 0) --cursor_;
+  while (cursor_ + 1 < segs_.size() && segs_[cursor_ + 1].start_as <= t_as) ++cursor_;
+  return segs_[cursor_];
+}
+
+const QuartzOscillator::Segment& QuartzOscillator::segment_for_tick(std::uint64_t n) {
+  extend_to_tick(n);
+  if (cursor_ >= segs_.size()) cursor_ = segs_.size() - 1;
+  while (segs_[cursor_].start_tick >= n && cursor_ > 0) --cursor_;
+  while (cursor_ + 1 < segs_.size() && segs_[cursor_ + 1].start_tick < n) ++cursor_;
+  return segs_[cursor_];
+}
+
+std::uint64_t QuartzOscillator::ticks_at(SimTime t) {
+  if (t.count_ps() <= 0) return 0;
+  const i128 t_as = to_as(t);
+  const Segment& s = segment_for_time(t_as);
+  // Ticks within this segment: k-th tick of the segment fires at
+  // start + k*period (k = 1..n_ticks); count those with firing time <= t.
+  const i128 elapsed = t_as - s.start_as;
+  std::uint64_t k = static_cast<std::uint64_t>(elapsed / s.period_as);
+  k = std::min<std::uint64_t>(k, s.n_ticks);
+  return s.start_tick + k;
+}
+
+SimTime QuartzOscillator::time_of_tick(std::uint64_t n) {
+  if (n == 0) return SimTime::epoch();
+  const Segment& s = segment_for_tick(n);
+  const i128 t_as =
+      s.start_as + s.period_as * static_cast<i128>(n - s.start_tick);
+  return from_as(t_as);
+}
+
+double QuartzOscillator::true_rate_error(SimTime t) {
+  const Segment& s = segment_for_time(to_as(t));
+  return s.rho;
+}
+
+std::unique_ptr<Oscillator> make_oscillator(const OscConfig& cfg, RngStream rng) {
+  return std::make_unique<QuartzOscillator>(cfg, rng);
+}
+
+}  // namespace nti::osc

@@ -1,0 +1,118 @@
+// Oscillator models.
+//
+// The UTCSU's clock is paced by an on-board TCXO/OCXO or an external
+// reference (paper Sec. 3.2).  For the simulation, an oscillator is a
+// *monotone phase function*: how many rising edges have occurred by real
+// time t, and, inversely, at what real time tick n occurs.  The inverse is
+// what lets the UTCSU model schedule duty-timer events without simulating
+// individual ticks (DESIGN.md §4, lazy clock evaluation).
+//
+// Frequency error model (all deterministic under a seed):
+//   rho(t) = offset + aging*t + wander(t) + temp_coeff * temp_dev(t)
+// realized as piecewise-constant frequency over short segments, each a
+// whole number of ticks, so phase is continuous and exactly invertible.
+// Segment periods are held in integer attoseconds (1e-18 s): relative
+// quantization at 10 MHz is 1e-11, two orders below the best oscillator
+// stability we model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/phi.hpp"  // for the i128 wide-integer alias
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+
+namespace nti::osc {
+
+class Oscillator {
+ public:
+  virtual ~Oscillator() = default;
+
+  /// Nominal frequency in Hz.  The UTCSU accepts 1..20 MHz (paper Sec. 3.3).
+  virtual double nominal_hz() const = 0;
+
+  /// Number of ticks in the half-open interval (epoch, t].
+  virtual std::uint64_t ticks_at(SimTime t) = 0;
+
+  /// Real time of tick n (n >= 1).  Inverse of ticks_at:
+  ///   ticks_at(time_of_tick(n)) == n, and time_of_tick(ticks_at(t)) <= t.
+  virtual SimTime time_of_tick(std::uint64_t n) = 0;
+
+  /// Manufacturer bound on |d(phase error)/dt| in parts per million; this is
+  /// the rho_max the synchronization algorithms are configured with.
+  virtual double rho_max_ppm() const = 0;
+
+  /// Nominal tick period (used for synchronizer-uncertainty modeling).
+  Duration nominal_period() const {
+    return Duration::ps(static_cast<std::int64_t>(1e12 / nominal_hz()));
+  }
+
+  /// True instantaneous fractional frequency error at time t (observer-only;
+  /// the algorithms never see this — it exists for experiment ground truth).
+  virtual double true_rate_error(SimTime t) = 0;
+};
+
+/// Configuration for the stochastic quartz model.
+struct OscConfig {
+  double nominal_hz = 10e6;
+  double offset_ppm = 0.0;          ///< static manufacturing offset
+  double aging_ppm_per_day = 0.0;   ///< linear aging
+  double wander_sigma_ppb = 0.0;    ///< random-walk step (per segment)
+  double wander_bound_ppm = 0.0;    ///< clamp on the random-walk component
+  double temp_coeff_ppm = 0.0;      ///< amplitude of the temperature-induced
+                                    ///  sinusoidal frequency deviation
+  Duration temp_period = Duration::sec(300);
+  double rho_max_ppm = 10.0;        ///< spec-sheet bound handed to algorithms
+  Duration segment_len = Duration::ms(10);
+
+  /// Factory presets mirroring the hardware choices in the paper.
+  static OscConfig ideal(double hz = 10e6);
+  static OscConfig tcxo(double hz = 10e6);       ///< on-board default
+  static OscConfig ocxo(double hz = 10e6);       ///< ovenized option
+  static OscConfig cheap_xo(double hz = 10e6);   ///< uncompensated crystal
+  static OscConfig gps_reference(double hz = 10e6);  ///< external 10 MHz input
+};
+
+/// Piecewise-linear stochastic oscillator; segments are generated lazily
+/// and cached, so arbitrarily long runs cost memory proportional to
+/// simulated time / segment_len only for the time actually queried.
+class QuartzOscillator final : public Oscillator {
+ public:
+  QuartzOscillator(OscConfig cfg, RngStream rng);
+
+  double nominal_hz() const override { return cfg_.nominal_hz; }
+  std::uint64_t ticks_at(SimTime t) override;
+  SimTime time_of_tick(std::uint64_t n) override;
+  double rho_max_ppm() const override { return cfg_.rho_max_ppm; }
+  double true_rate_error(SimTime t) override;
+
+  const OscConfig& config() const { return cfg_; }
+
+ private:
+  struct Segment {
+    i128 start_as;            ///< segment start, attoseconds since epoch
+    std::uint64_t start_tick; ///< ticks elapsed at segment start
+    std::uint64_t n_ticks;    ///< ticks in this segment
+    i128 period_as;           ///< tick period, attoseconds
+    double rho;               ///< fractional frequency error this segment
+  };
+
+  void extend_to_time(i128 t_as);
+  void extend_to_tick(std::uint64_t n);
+  void append_segment();
+  double sample_rho(double t_sec);
+  const Segment& segment_for_time(i128 t_as);
+  const Segment& segment_for_tick(std::uint64_t n);
+
+  OscConfig cfg_;
+  RngStream rng_;
+  std::vector<Segment> segs_;
+  double wander_ppm_ = 0.0;
+  std::size_t cursor_ = 0;  ///< locality cache for sequential queries
+};
+
+std::unique_ptr<Oscillator> make_oscillator(const OscConfig& cfg, RngStream rng);
+
+}  // namespace nti::osc

@@ -1,0 +1,52 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace nti::sim {
+
+EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
+  auto state = std::make_shared<detail::EventState>();
+  state->when = (t < now_) ? now_ : t;
+  state->seq = next_seq_++;
+  state->fn = std::move(fn);
+  queue_.push(state);
+  ++live_;
+  return EventHandle{state};
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    StatePtr s = queue_.top();
+    queue_.pop();
+    --live_;
+    if (s->cancelled) continue;
+    now_ = s->when;
+    s->fired = true;
+    ++executed_;
+    // Move the closure out so re-entrant scheduling from inside the handler
+    // cannot alias the state we are executing.
+    EventFn fn = std::move(s->fn);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(SimTime limit) {
+  while (!queue_.empty() && queue_.top()->when <= limit) {
+    if (!step()) break;
+  }
+  // Drain any cancelled heads so events_pending() is meaningful.
+  while (!queue_.empty() && queue_.top()->cancelled) {
+    queue_.pop();
+    --live_;
+  }
+  if (now_ < limit) now_ = limit;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace nti::sim

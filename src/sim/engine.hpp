@@ -1,0 +1,97 @@
+// Deterministic discrete-event simulation engine.
+//
+// This is the substrate every hardware model runs on.  Properties the rest
+// of the system relies on:
+//   * events at equal times fire in scheduling order (stable tie-break via
+//     a monotone sequence number), so runs are bit-reproducible;
+//   * cancellation is O(1) (lazy: a cancelled event is skipped when popped);
+//   * the engine never advances past the time of the event being executed,
+//     so a handler observing now() sees exactly its own firing time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace nti::sim {
+
+using EventFn = std::function<void()>;
+
+namespace detail {
+struct EventState {
+  SimTime when;
+  std::uint64_t seq = 0;
+  EventFn fn;
+  bool cancelled = false;
+  bool fired = false;
+};
+}  // namespace detail
+
+/// Cancellation token for a scheduled event.  Default-constructed handles
+/// are inert; cancelling an already-fired or cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() {
+    if (auto s = state_.lock()) s->cancelled = true;
+  }
+  bool pending() const {
+    const auto s = state_.lock();
+    return s && !s->cancelled && !s->fired;
+  }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::weak_ptr<detail::EventState> s) : state_(std::move(s)) {}
+  std::weak_ptr<detail::EventState> state_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `t` (clamped to now() if in
+  /// the past — "immediately" — so hardware models may schedule zero-delay
+  /// follow-ups without special-casing).
+  EventHandle schedule_at(SimTime t, EventFn fn);
+  /// Schedule `fn` after a non-negative delay.
+  EventHandle schedule_in(Duration d, EventFn fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Execute the next event if any; returns false when the queue is empty.
+  bool step();
+  /// Run events with firing time <= `limit`; afterwards now() == limit
+  /// (time advances to the horizon even if the queue drains early).
+  void run_until(SimTime limit);
+  /// Run until the queue is empty.
+  void run();
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t events_pending() const { return live_; }
+
+ private:
+  using StatePtr = std::shared_ptr<detail::EventState>;
+  struct Compare {
+    bool operator()(const StatePtr& a, const StatePtr& b) const {
+      if (a->when != b->when) return a->when > b->when;  // min-heap on time
+      return a->seq > b->seq;                            // FIFO among equals
+    }
+  };
+
+  SimTime now_ = SimTime::epoch();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;  // scheduled, not yet fired (cancelled still counted until popped)
+  std::priority_queue<StatePtr, std::vector<StatePtr>, Compare> queue_;
+};
+
+}  // namespace nti::sim

@@ -1,0 +1,49 @@
+// Periodic task helper built on the engine.
+//
+// Fires strictly on the grid `start + k*period` in simulated real time (no
+// drift accumulation from handler latency).  Used for probe sampling and
+// for environmental processes (temperature, load generators) — NOT for the
+// clock-synchronization rounds themselves, which are driven by UTCSU duty
+// timers off each node's own (drifting) clock, as in the real system.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace nti::sim {
+
+class PeriodicTask {
+ public:
+  /// `fn(k)` is invoked with the firing index k = 0, 1, 2, ...
+  PeriodicTask(Engine& eng, SimTime start, Duration period,
+               std::function<void(std::uint64_t)> fn)
+      : eng_(eng), start_(start), period_(period), fn_(std::move(fn)) {
+    arm();
+  }
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop() { handle_.cancel(); }
+
+ private:
+  void arm() {
+    handle_ = eng_.schedule_at(start_ + period_ * static_cast<std::int64_t>(k_), [this] {
+      const std::uint64_t k = k_++;
+      arm();  // re-arm first so fn_ may stop() us
+      fn_(k);
+    });
+  }
+
+  Engine& eng_;
+  SimTime start_;
+  Duration period_;
+  std::function<void(std::uint64_t)> fn_;
+  std::uint64_t k_ = 0;
+  EventHandle handle_;
+};
+
+}  // namespace nti::sim

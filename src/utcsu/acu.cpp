@@ -1,0 +1,37 @@
+#include "utcsu/acu.hpp"
+
+#include <algorithm>
+
+namespace nti::utcsu {
+
+void AccuracyCell::advance(std::uint64_t n) {
+  if (n <= last_tick_) return;
+  const std::uint64_t k = n - last_tick_;
+  last_tick_ = n;
+  // Saturating signed update.  k * |lambda| stays far below 2^63 for any
+  // plausible deterioration rate and query spacing; clamp defends the rest.
+  acc_ += lambda_ * static_cast<std::int64_t>(k);
+  acc_ = std::clamp<std::int64_t>(acc_, 0, static_cast<std::int64_t>(kSaturation));
+}
+
+std::uint16_t AccuracyCell::read_at_tick(std::uint64_t n) {
+  advance(n);
+  return static_cast<std::uint16_t>(static_cast<std::uint64_t>(acc_) >> kAlphaShift);
+}
+
+std::uint64_t AccuracyCell::raw_at_tick(std::uint64_t n) {
+  advance(n);
+  return static_cast<std::uint64_t>(acc_);
+}
+
+void AccuracyCell::set(std::uint64_t tick_now, std::uint16_t units) {
+  advance(tick_now);
+  acc_ = static_cast<std::int64_t>(std::uint64_t{units} << kAlphaShift);
+}
+
+void AccuracyCell::set_lambda(std::uint64_t tick_now, std::int64_t lambda) {
+  advance(tick_now);
+  lambda_ = lambda;
+}
+
+}  // namespace nti::utcsu

@@ -1,0 +1,81 @@
+// ACU: accuracy units (paper Sec. 3.3).
+//
+// Two additional adder-based "clocks", driven by the same oscillator,
+// hold the local accuracies alpha- and alpha+ and automatically
+// *deteriorate* them (grow them by LAMBDA per tick) to account for the
+// maximum oscillator drift between resynchronizations.  Architecturally
+// visible properties modeled:
+//   * 16-bit read value in units of 2^-24 s (~60 ns), the clock granularity;
+//   * wrap-around suppression: the accumulator saturates at 0xFFFF instead
+//     of wrapping (a stale accuracy must never *shrink* silently);
+//   * zero-masking during continuous amortization: while the clock slews
+//     toward the new value, one bound shrinks (negative lambda) and is
+//     clamped at zero rather than going negative;
+//   * atomic (re)initialization in conjunction with the LTU clock register.
+#pragma once
+
+#include <cstdint>
+
+#include "common/phi.hpp"
+#include "osc/oscillator.hpp"
+
+namespace nti::utcsu {
+
+/// One deteriorating accuracy accumulator.
+class AccuracyCell {
+ public:
+  static constexpr int kAlphaShift = Phi::kFracBits - 24;  ///< phi per 2^-24 s
+  static constexpr std::uint64_t kPhiPerUnit = 1ull << kAlphaShift;
+  static constexpr std::uint64_t kSaturation = 0xFFFFull << kAlphaShift;
+
+  /// Current 16-bit accuracy value at tick n.
+  std::uint16_t read_at_tick(std::uint64_t n);
+  /// Raw accumulator (phi units), saturated, at tick n.
+  std::uint64_t raw_at_tick(std::uint64_t n);
+
+  void set(std::uint64_t tick_now, std::uint16_t units);
+  /// Deterioration augend per tick, in 2^-51 s; negative shrinks (clamped 0).
+  void set_lambda(std::uint64_t tick_now, std::int64_t lambda);
+  std::int64_t lambda() const { return lambda_; }
+
+ private:
+  void advance(std::uint64_t n);
+  std::int64_t acc_ = 0;       ///< phi units; clamped to [0, kSaturation]
+  std::int64_t lambda_ = 0;    ///< phi per tick
+  std::uint64_t last_tick_ = 0;
+};
+
+/// The pair alpha- / alpha+ plus staged set registers.
+class Acu {
+ public:
+  explicit Acu(osc::Oscillator& oscillator) : osc_(oscillator) {}
+
+  AccuracyCell& minus() { return minus_; }
+  AccuracyCell& plus() { return plus_; }
+
+  std::uint16_t alpha_minus(SimTime t) { return minus_.read_at_tick(osc_.ticks_at(t)); }
+  std::uint16_t alpha_plus(SimTime t) { return plus_.read_at_tick(osc_.ticks_at(t)); }
+
+  /// Packed [31:16]=alpha-, [15:0]=alpha+ as captured by the stamp units.
+  std::uint32_t packed_at_tick(std::uint64_t n) {
+    return (std::uint32_t{minus_.read_at_tick(n)} << 16) | plus_.read_at_tick(n);
+  }
+
+  /// Staged values written via kRegAccSet*, applied atomically with the LTU
+  /// state by the ApplyTimeSet strobe.
+  void stage(std::uint16_t am, std::uint16_t ap) { staged_minus_ = am; staged_plus_ = ap; }
+  void apply_staged(SimTime t) {
+    const std::uint64_t n = osc_.ticks_at(t);
+    minus_.set(n, staged_minus_);
+    plus_.set(n, staged_plus_);
+  }
+
+ private:
+  osc::Oscillator& osc_;
+  AccuracyCell minus_;
+  AccuracyCell plus_;
+  std::uint16_t staged_minus_ = 0;
+  std::uint16_t staged_plus_ = 0;
+};
+
+}  // namespace nti::utcsu

@@ -1,0 +1,145 @@
+#include "utcsu/ltu.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace nti::utcsu {
+namespace {
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+/// ceil((target - from) / rate) for Phi quantities; rate > 0.
+std::uint64_t ticks_to_reach(Phi from, Phi target, std::uint64_t rate) {
+  if (from >= target) return 0;
+  const u128 gap = target.raw_value() - from.raw_value();
+  return static_cast<std::uint64_t>((gap + rate - 1) / rate);
+}
+}  // namespace
+
+Ltu::Ltu(osc::Oscillator& oscillator, Phi initial)
+    : osc_(oscillator), state_(initial), step_(nominal_step(oscillator.nominal_hz())) {}
+
+std::uint64_t Ltu::nominal_step(double f_osc_hz) {
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(Phi::kPerSec) / f_osc_hz));
+}
+
+void Ltu::advance_to_tick(std::uint64_t n) {
+  while (last_tick_ < n) {
+    const bool amortizing_now = amort_ticks_left_ > 0;
+    const std::uint64_t rate = amortizing_now ? amort_step_ : step_;
+    std::uint64_t k = n - last_tick_;
+    if (amortizing_now && amort_ticks_left_ < k) k = amort_ticks_left_;
+
+    // Apply a pending leap exactly at the tick where the clock first
+    // reaches the armed clock value.
+    bool leap_now = false;
+    if (leap_armed_ && rate > 0 && state_ < leap_at_) {
+      const std::uint64_t to_leap = ticks_to_reach(state_, leap_at_, rate);
+      if (to_leap <= k) {
+        k = to_leap;
+        leap_now = true;
+      }
+    } else if (leap_armed_ && state_ >= leap_at_) {
+      leap_now = true;  // already past the armed value: apply before advancing
+      k = 0;
+    }
+
+    state_ += Phi::raw(u128{rate} * k);
+    last_tick_ += k;
+    if (amortizing_now) amort_ticks_left_ -= k;
+
+    if (leap_now) {
+      leap_armed_ = false;
+      if (leap_insert_) {
+        state_ += Phi::from_sec(1);
+      } else {
+        assert(state_.whole_seconds() >= 1 && "leap delete before 1 s of clock time");
+        state_ = state_.plus(PhiDelta::raw(-static_cast<i128>(Phi::kPerSec)));
+      }
+    }
+    if (k == 0 && !leap_now) break;  // rate 0 and nothing to do: clock halted
+  }
+}
+
+Phi Ltu::read(SimTime t) {
+  advance_to_tick(osc_.ticks_at(t));
+  return state_;
+}
+
+Phi Ltu::value_at_tick(std::uint64_t n) {
+  if (n <= last_tick_) return state_;
+  // Project under the current rate regime without committing the advance:
+  // captures sample a couple of ticks in the future (synchronizer stages)
+  // and must not block subsequent reads of earlier ticks.
+  Phi v = state_;
+  std::uint64_t at = last_tick_;
+  std::uint64_t amort_left = amort_ticks_left_;
+  while (at < n) {
+    const std::uint64_t rate = amort_left > 0 ? amort_step_ : step_;
+    std::uint64_t k = n - at;
+    if (amort_left > 0 && amort_left < k) k = amort_left;
+    v += Phi::raw(u128{rate} * k);
+    at += k;
+    if (amort_left > 0) amort_left -= k;
+    if (k == 0) break;
+  }
+  return v;
+}
+
+std::uint64_t Ltu::capture_tick(SimTime t, int synchronizer_stages) const {
+  return osc_.ticks_at(t) + static_cast<std::uint64_t>(synchronizer_stages);
+}
+
+void Ltu::set_step(SimTime t, std::uint64_t new_step) {
+  advance_to_tick(osc_.ticks_at(t));
+  step_ = new_step;
+}
+
+void Ltu::set_state(SimTime t, Phi value) {
+  advance_to_tick(osc_.ticks_at(t));
+  state_ = value;
+  amort_ticks_left_ = 0;
+}
+
+void Ltu::start_amortization(SimTime t, std::uint64_t amort_step, std::uint64_t ticks) {
+  advance_to_tick(osc_.ticks_at(t));
+  amort_step_ = amort_step;
+  amort_ticks_left_ = ticks;
+}
+
+void Ltu::abort_amortization(SimTime t) {
+  advance_to_tick(osc_.ticks_at(t));
+  amort_ticks_left_ = 0;
+}
+
+void Ltu::arm_leap(bool insert, Phi at) {
+  leap_armed_ = true;
+  leap_insert_ = insert;
+  leap_at_ = at;
+}
+
+std::uint64_t Ltu::tick_reaching(Phi target) const {
+  if (state_ >= target) return last_tick_;
+  Phi v = state_;
+  std::uint64_t at = last_tick_;
+  std::uint64_t amort_left = amort_ticks_left_;
+
+  if (amort_left > 0) {
+    if (amort_step_ == 0) {
+      // Clock halted for the amortization phase; target reached afterwards.
+      at += amort_left;
+      amort_left = 0;
+    } else {
+      const std::uint64_t need = ticks_to_reach(v, target, amort_step_);
+      if (need <= amort_left) return at + need;
+      v += Phi::raw(u128{amort_step_} * amort_left);
+      at += amort_left;
+      amort_left = 0;
+    }
+  }
+  if (step_ == 0) return kNever;
+  return at + ticks_to_reach(v, target, step_);
+}
+
+}  // namespace nti::utcsu

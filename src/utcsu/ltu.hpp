@@ -1,0 +1,88 @@
+// LTU: the adder-based local clock (paper Sec. 3.3).
+//
+// Instead of a counter, the UTCSU sums a programmable augend (STEP, in
+// multiples of 2^-51 s) into a 91-bit register on every oscillator tick.
+// Consequences faithfully modeled here:
+//   * rate is adjustable in steps of f_osc * 2^-51 s/s (~ 10 ns/s);
+//   * state adjustment happens by *continuous amortization*: the augend is
+//     temporarily switched to AMORT_STEP for a programmed number of ticks,
+//     so the clock never jumps and stays monotone when amortizing forward
+//     or slewing backward with AMORT_STEP > 0;
+//   * leap seconds insert/delete a whole second at a programmed instant.
+//
+// The model is *lazy*: no per-tick work.  State is the register value at a
+// known tick index; any query advances it by closed-form arithmetic using
+// the oscillator's phase function (DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+
+#include "common/phi.hpp"
+#include "common/time_types.hpp"
+#include "osc/oscillator.hpp"
+
+namespace nti::utcsu {
+
+class Ltu {
+ public:
+  /// The clock starts at `initial` and runs with the nominal augend for the
+  /// oscillator's nominal frequency: STEP = round(2^51 / f_osc).
+  Ltu(osc::Oscillator& oscillator, Phi initial);
+
+  /// Nominal augend for a given oscillator frequency.
+  static std::uint64_t nominal_step(double f_osc_hz);
+
+  // -- reads ---------------------------------------------------------------
+  /// Clock value at real time `t` (advances internal state; monotone in t).
+  Phi read(SimTime t);
+  /// Clock value exactly at oscillator tick n (n >= tick of last update).
+  Phi value_at_tick(std::uint64_t n);
+  /// Tick at which a capture triggered at real time `t` samples the clock:
+  /// the trigger passes a 1- or 2-stage synchronizer and is acted upon at
+  /// the following oscillator edge (uncertainty <= stages / f_osc).
+  std::uint64_t capture_tick(SimTime t, int synchronizer_stages) const;
+
+  // -- rate ---------------------------------------------------------------
+  std::uint64_t step() const { return step_; }
+  /// Change the augend (takes effect from the current tick onward).
+  /// `t` tells the model "now" so earlier ticks keep the old rate.
+  void set_step(SimTime t, std::uint64_t new_step);
+
+  // -- state --------------------------------------------------------------
+  /// Hard set (initialization / SYNCRUN only; sync rounds use amortization).
+  void set_state(SimTime t, Phi value);
+  /// Begin continuous amortization: run with `amort_step` for `ticks` ticks.
+  void start_amortization(SimTime t, std::uint64_t amort_step, std::uint64_t ticks);
+  void abort_amortization(SimTime t);
+  bool amortizing() const { return amort_ticks_left_ > 0; }
+  std::uint64_t amort_ticks_left() const { return amort_ticks_left_; }
+
+  /// Arm a +/-1 s leap correction to be applied at clock value `at`.
+  /// (In hardware a duty timer fires the strobe; the model folds the
+  /// comparison into the advance logic so it is exact.)
+  void arm_leap(bool insert, Phi at);
+  bool leap_pending() const { return leap_armed_; }
+
+  // -- projection (duty timers) --------------------------------------------
+  /// Earliest tick n (>= current tick) with value_at_tick(n) >= target,
+  /// accounting for a currently running amortization phase.  Returns 0 if
+  /// the target is already reached.
+  std::uint64_t tick_reaching(Phi target) const;
+
+  osc::Oscillator& oscillator() const { return osc_; }
+
+ private:
+  void advance_to_tick(std::uint64_t n);
+
+  osc::Oscillator& osc_;
+  Phi state_;                   ///< register value at tick last_tick_
+  std::uint64_t last_tick_ = 0;
+  std::uint64_t step_;
+  std::uint64_t amort_step_ = 0;
+  std::uint64_t amort_ticks_left_ = 0;
+  bool leap_armed_ = false;
+  bool leap_insert_ = true;
+  Phi leap_at_{};
+};
+
+}  // namespace nti::utcsu

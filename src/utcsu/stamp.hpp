@@ -1,0 +1,76 @@
+// Time/accuracy-stamp register formats (paper Sec. 3.3).
+//
+// A capture latches three 32-bit registers:
+//   timestamp  = [31:24] seconds mod 256 | [23:0] fraction (2^-24 s units)
+//   macrostamp = [31: 8] seconds / 256   | [ 7:0] checksum over the 56-bit time
+//   alpha      = [31:16] alpha-          | [15:0] alpha+   (2^-24 s units)
+// The timestamp alone wraps every 256 s; together with the macrostamp the
+// full 56-bit NTP time is recovered, protected by the checksum.  The stamp
+// quantizes to 2^-24 s (~59.6 ns): this is the clock granularity G whose
+// effect on achievable precision experiment E3 measures.
+#pragma once
+
+#include <cstdint>
+
+#include "common/checksum.hpp"
+#include "common/phi.hpp"
+
+namespace nti::utcsu {
+
+struct StampRegs {
+  std::uint32_t timestamp = 0;
+  std::uint32_t macrostamp = 0;
+  std::uint32_t alpha = 0;
+  bool valid = false;
+};
+
+inline std::uint64_t ntp56_of(Phi time) {
+  return (time.whole_seconds() << 24) | time.frac24();
+}
+
+inline StampRegs pack_stamp(Phi time, std::uint16_t alpha_minus, std::uint16_t alpha_plus) {
+  const std::uint64_t sec = time.whole_seconds();
+  const std::uint64_t ntp56 = ntp56_of(time);
+  StampRegs r;
+  r.timestamp = (static_cast<std::uint32_t>(sec & 0xFF) << 24) | time.frac24();
+  r.macrostamp = (static_cast<std::uint32_t>((sec >> 8) & 0xFF'FFFF) << 8) |
+                 time_checksum8(ntp56);
+  r.alpha = (std::uint32_t{alpha_minus} << 16) | alpha_plus;
+  r.valid = true;
+  return r;
+}
+
+/// Software-side view of a decoded stamp.
+struct DecodedStamp {
+  std::uint64_t seconds = 0;
+  std::uint32_t frac24 = 0;
+  std::uint16_t alpha_minus = 0;
+  std::uint16_t alpha_plus = 0;
+  bool checksum_ok = false;
+
+  Phi to_phi() const {
+    return Phi::raw((u128{seconds} << Phi::kFracBits) |
+                    (u128{frac24} << (Phi::kFracBits - 24)));
+  }
+  Duration time() const { return to_phi().to_duration(); }
+  Duration acc_minus() const {
+    return Duration::ps((std::int64_t{alpha_minus} * 1'000'000'000'000LL) >> 24);
+  }
+  Duration acc_plus() const {
+    return Duration::ps((std::int64_t{alpha_plus} * 1'000'000'000'000LL) >> 24);
+  }
+};
+
+inline DecodedStamp decode_stamp(std::uint32_t timestamp, std::uint32_t macrostamp,
+                                 std::uint32_t alpha) {
+  DecodedStamp d;
+  d.seconds = (std::uint64_t{macrostamp >> 8} << 8) | (timestamp >> 24);
+  d.frac24 = timestamp & 0xFF'FFFF;
+  d.alpha_minus = static_cast<std::uint16_t>(alpha >> 16);
+  d.alpha_plus = static_cast<std::uint16_t>(alpha & 0xFFFF);
+  const std::uint64_t ntp56 = (d.seconds << 24) | d.frac24;
+  d.checksum_ok = time_checksum8(ntp56) == (macrostamp & 0xFF);
+  return d;
+}
+
+}  // namespace nti::utcsu

@@ -1,0 +1,411 @@
+#include "utcsu/utcsu.hpp"
+
+#include <cassert>
+
+namespace nti::utcsu {
+namespace {
+constexpr u128 kStateMask91 = (u128{1} << 91) - 1;
+}
+
+Utcsu::Utcsu(sim::Engine& engine, osc::Oscillator& oscillator, UtcsuConfig cfg)
+    : engine_(engine),
+      osc_(oscillator),
+      ltu_(oscillator, cfg.initial_time),
+      acu_(oscillator),
+      reliable_(cfg.reliable_pin),
+      step_shadow_(Ltu::nominal_step(oscillator.nominal_hz())) {}
+
+// ---------------------------------------------------------------- capture --
+
+StampRegs Utcsu::capture(SimTime t) {
+  const std::uint64_t tick = ltu_.capture_tick(t, stages());
+  const Phi v = ltu_.value_at_tick(tick);
+  const std::uint32_t packed = acu_.packed_at_tick(tick);
+  return pack_stamp(v, static_cast<std::uint16_t>(packed >> 16),
+                    static_cast<std::uint16_t>(packed & 0xFFFF));
+}
+
+StampRegs Utcsu::sample_now(SimTime t) {
+  // Synchronous bus access: no synchronizer stages, sample at the last
+  // completed oscillator edge.
+  const std::uint64_t tick = osc_.ticks_at(t);
+  const Phi v = ltu_.read(t);
+  const std::uint32_t packed = acu_.packed_at_tick(tick);
+  return pack_stamp(v, static_cast<std::uint16_t>(packed >> 16),
+                    static_cast<std::uint16_t>(packed & 0xFFFF));
+}
+
+// ----------------------------------------------------------- input pins ----
+
+void Utcsu::trigger_transmit(int ssu, SimTime t) {
+  auto& st = ssu_status_[static_cast<std::size_t>(ssu)];
+  if (st & kSsuStatusTxValid) st |= kSsuStatusTxOverrun;
+  ssu_tx_[static_cast<std::size_t>(ssu)] = capture(t);
+  st |= kSsuStatusTxValid;
+  raise_int(int_bit(IntSource::kSsuTx0, ssu));
+}
+
+void Utcsu::trigger_receive(int ssu, SimTime t) {
+  auto& st = ssu_status_[static_cast<std::size_t>(ssu)];
+  if (st & kSsuStatusRxValid) st |= kSsuStatusRxOverrun;
+  ssu_rx_[static_cast<std::size_t>(ssu)] = capture(t);
+  st |= kSsuStatusRxValid;
+  raise_int(int_bit(IntSource::kSsuRx0, ssu));
+}
+
+void Utcsu::pps_pulse(int gpu, SimTime t) {
+  auto& st = gpu_status_[static_cast<std::size_t>(gpu)];
+  if (st & 1u) st |= 2u;
+  gpu_[static_cast<std::size_t>(gpu)] = capture(t);
+  st |= 1u;
+  raise_int(int_bit(IntSource::kGpu0, gpu));
+}
+
+void Utcsu::app_pulse(int apu, SimTime t) {
+  auto& st = apu_status_[static_cast<std::size_t>(apu)];
+  if (st & 1u) st |= 2u;
+  apu_[static_cast<std::size_t>(apu)] = capture(t);
+  st |= 1u;
+  raise_int(int_bit(IntSource::kApu0, apu));
+}
+
+void Utcsu::hw_snapshot(SimTime t) {
+  if (snap_status_ & 1u) snap_status_ |= 2u;
+  snap_ = capture(t);
+  snap_status_ |= 1u;  // polled, no interrupt (see regs.hpp)
+}
+
+void Utcsu::sync_run(SimTime t) { apply_time_set(t); }
+
+void Utcsu::apply_time_set(SimTime t) {
+  const u128 raw = (u128{time_set_[2]} << 64) | (u128{time_set_[1]} << 32) |
+                   u128{time_set_[0]};
+  ltu_.set_state(t, Phi::raw(raw & kStateMask91));
+  acu_.apply_staged(t);
+  rearm_duty_timers(t);
+}
+
+// ------------------------------------------------------------ interrupts ---
+
+IntLine Utcsu::line_of_bit(int bit) {
+  if (bit < 12) return IntLine::kIntN;   // SSU rx/tx
+  if (bit < 20) return IntLine::kIntT;   // duty timers
+  return IntLine::kIntA;                 // GPU / APU
+}
+
+void Utcsu::raise_int(std::uint32_t bit) {
+  int_status_ |= bit;
+  update_lines();
+}
+
+bool Utcsu::line_level(IntLine line) const {
+  return line_level_[static_cast<std::size_t>(line)];
+}
+
+void Utcsu::update_lines() {
+  const std::uint32_t pending = int_status_ & int_enable_;
+  bool level[3] = {false, false, false};
+  for (int bit = 0; bit < 32; ++bit) {
+    if (pending & (1u << bit)) {
+      level[static_cast<std::size_t>(line_of_bit(bit))] = true;
+    }
+  }
+  for (int l = 0; l < 3; ++l) {
+    const auto idx = static_cast<std::size_t>(l);
+    if (level[idx] != line_level_[idx]) {
+      line_level_[idx] = level[idx];
+      if (on_int_line) on_int_line(static_cast<IntLine>(l), level[idx]);
+      for (const auto& fn : listeners_) fn(static_cast<IntLine>(l), level[idx]);
+    }
+  }
+}
+
+// ------------------------------------------------------------ duty timers --
+
+Phi Utcsu::duty_target(const DutyTimer& d, SimTime t) {
+  // 48-bit compare: seconds mod 2^24 and frac24.  Extend with the current
+  // epoch of the clock; a compare value that already passed fires
+  // immediately (documented deviation from wait-for-wrap hardware, see
+  // utcsu/regs.hpp).
+  const Phi now = ltu_.read(t);
+  const std::uint64_t sec_now = now.whole_seconds();
+  const std::uint64_t sec_base = sec_now & ~0xFF'FFFFull;
+  const std::uint64_t sec = sec_base | (d.compare_hi & 0xFF'FFFF);
+  return Phi::raw((u128{sec} << Phi::kFracBits) |
+                  (u128{d.compare_lo & 0xFF'FFFF} << (Phi::kFracBits - 24)));
+}
+
+void Utcsu::schedule_duty(int idx, SimTime t) {
+  auto& d = duty_[static_cast<std::size_t>(idx)];
+  d.event.cancel();
+  if (!d.armed) return;
+  const Phi target = duty_target(d, t);
+  const std::uint64_t tick = ltu_.tick_reaching(target);
+  const SimTime when = (tick == 0 || ltu_.read(t) >= target)
+                           ? t
+                           : osc_.time_of_tick(tick);
+  d.event = engine_.schedule_at(when, [this, idx] {
+    auto& timer = duty_[static_cast<std::size_t>(idx)];
+    timer.armed = false;
+    timer.fired = true;
+    raise_int(int_bit(IntSource::kDuty0, idx));
+  });
+}
+
+void Utcsu::rearm_duty_timers(SimTime t) {
+  for (int i = 0; i < kNumDutyTimers; ++i) {
+    if (duty_[static_cast<std::size_t>(i)].armed) schedule_duty(i, t);
+  }
+}
+
+// -------------------------------------------------------------- bus (BIU) --
+
+std::uint32_t Utcsu::bus_read(SimTime t, RegOffset off) {
+  assert(off < kRegWindowBytes && (off & 3u) == 0);
+
+  // Stamp unit banks first (regular strides).
+  if (off >= kRegSsuBase && off < kRegSsuBase + kNumSsu * kSsuStride) {
+    const auto idx = (off - kRegSsuBase) / kSsuStride;
+    const auto sub = (off - kRegSsuBase) % kSsuStride;
+    const auto& rx = ssu_rx_[idx];
+    const auto& tx = ssu_tx_[idx];
+    switch (sub) {
+      case kSsuRxTimestamp: return rx.timestamp;
+      case kSsuRxMacro: return rx.macrostamp;
+      case kSsuRxAlpha: return rx.alpha;
+      case kSsuTxTimestamp: return tx.timestamp;
+      case kSsuTxMacro: return tx.macrostamp;
+      case kSsuTxAlpha: return tx.alpha;
+      case kSsuStatus: return ssu_status_[idx];
+      default: return 0;
+    }
+  }
+  if (off >= kRegGpuBase && off < kRegGpuBase + kNumGpu * kGpuStride) {
+    const auto idx = (off - kRegGpuBase) / kGpuStride;
+    const auto sub = (off - kRegGpuBase) % kGpuStride;
+    switch (sub) {
+      case kGpuTimestamp: return gpu_[idx].timestamp;
+      case kGpuMacro: return gpu_[idx].macrostamp;
+      case kGpuAlpha: return gpu_[idx].alpha;
+      case kGpuStatus: return gpu_status_[idx];
+      default: return 0;
+    }
+  }
+  if (off >= kRegApuBase && off < kRegApuBase + kNumApu * kApuStride) {
+    const auto idx = (off - kRegApuBase) / kApuStride;
+    const auto sub = (off - kRegApuBase) % kApuStride;
+    switch (sub) {
+      case kApuTimestamp: return apu_[idx].timestamp;
+      case kApuMacro: return apu_[idx].macrostamp;
+      case kApuAlpha: return apu_[idx].alpha;
+      case kApuStatus: return apu_status_[idx];
+      default: return 0;
+    }
+  }
+  if (off >= kRegDutyBase && off < kRegDutyBase + kNumDutyTimers * kDutyStride) {
+    const auto idx = (off - kRegDutyBase) / kDutyStride;
+    const auto sub = (off - kRegDutyBase) % kDutyStride;
+    const auto& d = duty_[idx];
+    switch (sub) {
+      case kDutyCompareLo: return static_cast<std::uint32_t>(d.compare_lo);
+      case kDutyCompareHi: return static_cast<std::uint32_t>(d.compare_hi);
+      case kDutyCtrl: return d.armed ? 1u : 0u;
+      case kDutyStatus: return d.fired ? 1u : 0u;
+      default: return 0;
+    }
+  }
+
+  switch (off) {
+    case kRegTimestamp: {
+      // Atomic read: latch the matching macrostamp for the follow-up read.
+      const StampRegs s = sample_now(t);
+      macro_shadow_ = s.macrostamp;
+      return s.timestamp;
+    }
+    case kRegMacrostamp:
+      return macro_shadow_;
+    case kRegStepLo:
+      return static_cast<std::uint32_t>(ltu_.step());
+    case kRegStepHi:
+      return static_cast<std::uint32_t>(ltu_.step() >> 32);
+    case kRegAmortStepLo:
+      return static_cast<std::uint32_t>(amort_step_shadow_);
+    case kRegAmortStepHi:
+      return static_cast<std::uint32_t>(amort_step_shadow_ >> 32);
+    case kRegAmortTicksLo:
+      return static_cast<std::uint32_t>(ltu_.amort_ticks_left());
+    case kRegAmortTicksHi:
+      return static_cast<std::uint32_t>(ltu_.amort_ticks_left() >> 32);
+    case kRegCtrl:
+      return ctrl_ & kCtrlReliableSync;  // strobes read back as 0
+    case kRegAlphaMinus:
+      return acu_.alpha_minus(t);
+    case kRegAlphaPlus:
+      return acu_.alpha_plus(t);
+    case kRegLambdaMinus:
+      return static_cast<std::uint32_t>(acu_.minus().lambda());
+    case kRegLambdaPlus:
+      return static_cast<std::uint32_t>(acu_.plus().lambda());
+    case kRegIntStatus:
+      return int_status_;
+    case kRegIntEnable:
+      return int_enable_;
+    case kRegBtuChecksum:
+      return time_checksum8(ntp56_of(ltu_.read(t)));
+    case kRegBtuBlocksum: {
+      const StampRegs s = sample_now(t);
+      const std::uint32_t words[4] = {s.timestamp, s.macrostamp, s.alpha,
+                                      static_cast<std::uint32_t>(ltu_.step())};
+      return blocksum16(words);
+    }
+    case kRegBtuSignature: {
+      const StampRegs s = sample_now(t);
+      const std::uint8_t bytes[8] = {
+          static_cast<std::uint8_t>(s.timestamp), static_cast<std::uint8_t>(s.timestamp >> 8),
+          static_cast<std::uint8_t>(s.timestamp >> 16), static_cast<std::uint8_t>(s.timestamp >> 24),
+          static_cast<std::uint8_t>(s.macrostamp), static_cast<std::uint8_t>(s.macrostamp >> 8),
+          static_cast<std::uint8_t>(s.macrostamp >> 16), static_cast<std::uint8_t>(s.macrostamp >> 24)};
+      return crc8(bytes);
+    }
+    case kRegBtuSelftest:
+      return 1;  // the modeled datapath always passes; fault injection for
+                 // self-checking tests happens above this layer
+    case kRegSnapTimestamp:
+      return snap_.timestamp;
+    case kRegSnapMacro:
+      return snap_.macrostamp;
+    case kRegSnapAlpha:
+      return snap_.alpha;
+    case kRegSnapStatus:
+      return snap_status_;
+    case kRegIdVersion:
+      return kIdVersionValue;
+    default:
+      return 0;
+  }
+}
+
+void Utcsu::bus_write(SimTime t, RegOffset off, std::uint32_t value) {
+  assert(off < kRegWindowBytes && (off & 3u) == 0);
+
+  if (off >= kRegSsuBase && off < kRegSsuBase + kNumSsu * kSsuStride) {
+    const auto idx = (off - kRegSsuBase) / kSsuStride;
+    if ((off - kRegSsuBase) % kSsuStride == kSsuStatus) {
+      ssu_status_[idx] &= ~value;  // write-1-to-clear
+    }
+    return;
+  }
+  if (off >= kRegGpuBase && off < kRegGpuBase + kNumGpu * kGpuStride) {
+    const auto idx = (off - kRegGpuBase) / kGpuStride;
+    if ((off - kRegGpuBase) % kGpuStride == kGpuStatus) gpu_status_[idx] &= ~value;
+    return;
+  }
+  if (off >= kRegApuBase && off < kRegApuBase + kNumApu * kApuStride) {
+    const auto idx = (off - kRegApuBase) / kApuStride;
+    if ((off - kRegApuBase) % kApuStride == kApuStatus) apu_status_[idx] &= ~value;
+    return;
+  }
+  if (off >= kRegDutyBase && off < kRegDutyBase + kNumDutyTimers * kDutyStride) {
+    const auto idx = (off - kRegDutyBase) / kDutyStride;
+    const auto sub = (off - kRegDutyBase) % kDutyStride;
+    auto& d = duty_[idx];
+    switch (sub) {
+      case kDutyCompareLo: d.compare_lo = value & 0xFF'FFFF; break;
+      case kDutyCompareHi: d.compare_hi = value & 0xFF'FFFF; break;
+      case kDutyCtrl:
+        d.armed = (value & 1u) != 0;
+        if (d.armed) {
+          d.fired = false;
+          schedule_duty(static_cast<int>(idx), t);
+        } else {
+          d.event.cancel();
+        }
+        break;
+      case kDutyStatus:
+        if (value & 1u) d.fired = false;
+        break;
+      default: break;
+    }
+    return;
+  }
+
+  switch (off) {
+    case kRegStepLo:
+      step_shadow_ = (step_shadow_ & ~0xFFFF'FFFFull) | value;
+      break;
+    case kRegStepHi:
+      step_shadow_ = (step_shadow_ & 0xFFFF'FFFFull) | (std::uint64_t{value} << 32);
+      ltu_.set_step(t, step_shadow_);  // hi write commits
+      rearm_duty_timers(t);
+      break;
+    case kRegAmortStepLo:
+      amort_step_shadow_ = (amort_step_shadow_ & ~0xFFFF'FFFFull) | value;
+      break;
+    case kRegAmortStepHi:
+      amort_step_shadow_ =
+          (amort_step_shadow_ & 0xFFFF'FFFFull) | (std::uint64_t{value} << 32);
+      break;
+    case kRegAmortTicksLo:
+      amort_ticks_shadow_ = (amort_ticks_shadow_ & ~0xFFFF'FFFFull) | value;
+      break;
+    case kRegAmortTicksHi:
+      amort_ticks_shadow_ =
+          (amort_ticks_shadow_ & 0xFFFF'FFFFull) | (std::uint64_t{value} << 32);
+      break;
+    case kRegTimeSet0: time_set_[0] = value; break;
+    case kRegTimeSet1: time_set_[1] = value; break;
+    case kRegTimeSet2: time_set_[2] = value; break;
+    case kRegCtrl:
+      ctrl_ = value;
+      if (value & kCtrlApplyTimeSet) apply_time_set(t);
+      if (value & kCtrlApplyAccSet) acu_.apply_staged(t);
+      if (value & kCtrlStartAmort) {
+        ltu_.start_amortization(t, amort_step_shadow_, amort_ticks_shadow_);
+        rearm_duty_timers(t);
+      }
+      if (value & kCtrlAbortAmort) {
+        ltu_.abort_amortization(t);
+        rearm_duty_timers(t);
+      }
+      if (value & kCtrlLeapInsert) {
+        ltu_.arm_leap(true, duty_target(duty_[3], t));
+      }
+      if (value & kCtrlLeapDelete) {
+        ltu_.arm_leap(false, duty_target(duty_[3], t));
+      }
+      reliable_ = (value & kCtrlReliableSync) != 0;
+      break;
+    case kRegAccSetMinus:
+    case kRegAccSetPlus: {
+      // Stage; applied with ApplyTimeSet / SYNCRUN.  Keep both halves.
+      if (off == kRegAccSetMinus) {
+        staged_acc_minus_ = static_cast<std::uint16_t>(value);
+      } else {
+        staged_acc_plus_ = static_cast<std::uint16_t>(value);
+      }
+      acu_.stage(staged_acc_minus_, staged_acc_plus_);
+      break;
+    }
+    case kRegLambdaMinus:
+      acu_.minus().set_lambda(osc_.ticks_at(t), static_cast<std::int32_t>(value));
+      break;
+    case kRegLambdaPlus:
+      acu_.plus().set_lambda(osc_.ticks_at(t), static_cast<std::int32_t>(value));
+      break;
+    case kRegIntEnable:
+      int_enable_ = value;
+      update_lines();
+      break;
+    case kRegIntAck:
+      int_status_ &= ~value;
+      update_lines();
+      break;
+    case kRegSnapStatus:
+      snap_status_ &= ~value;
+      break;
+    default:
+      break;  // writes to RO / unmapped space are ignored, as on the ASIC
+  }
+}
+
+}  // namespace nti::utcsu

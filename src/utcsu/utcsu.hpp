@@ -1,0 +1,148 @@
+// UTCSU: the Universal Time Coordinated Synchronization Unit.
+//
+// Composite register-accurate model of the ASIC (paper Sec. 3.3, Fig. 5):
+//   BIU  bus interface           -> bus_read / bus_write (32-bit regs)
+//   LTU  adder-based local clock -> utcsu/ltu.hpp
+//   ACU  accuracy deterioration  -> utcsu/acu.hpp
+//   SSU  6x CSP send/receive time/accuracy stamps (trigger inputs)
+//   GPU  3x GPS 1pps time/accuracy stamps
+//   APU  9x application time/accuracy stamps
+//   duty timers (8x, 48-bit compare) with interrupt on fire
+//   ITU  interrupt status/enable/ack, mapped to INTN / INTT / INTA pins
+//   BTU  built-in test (checksums/blocksums/signatures)
+//   SNU  snapshot unit (HWSNAP input, SYNCRUN restart)
+//
+// All external event inputs (triggers, pulses) pass a one- or two-stage
+// synchronizer and are acted upon at the following oscillator edge, which
+// introduces the <= stages/f_osc timing uncertainty stated in the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/phi.hpp"
+#include "osc/oscillator.hpp"
+#include "sim/engine.hpp"
+#include "utcsu/acu.hpp"
+#include "utcsu/ltu.hpp"
+#include "utcsu/regs.hpp"
+#include "utcsu/stamp.hpp"
+
+namespace nti::utcsu {
+
+struct UtcsuConfig {
+  Phi initial_time{};         ///< clock register at power-up
+  bool reliable_pin = true;   ///< two-stage synchronizers (paper Sec. 3.3)
+};
+
+class Utcsu {
+ public:
+  Utcsu(sim::Engine& engine, osc::Oscillator& oscillator, UtcsuConfig cfg);
+
+  // ---- hardware input pins -------------------------------------------
+  /// TRANSMIT[i] trigger from the NTI decoding logic (paper Sec. 3.1).
+  void trigger_transmit(int ssu, SimTime t);
+  /// RECEIVE[i] trigger from the NTI decoding logic.
+  void trigger_receive(int ssu, SimTime t);
+  /// 1PPS[i] pulse from a GPS receiver.
+  void pps_pulse(int gpu, SimTime t);
+  /// APP[i] application timestamp input.
+  void app_pulse(int apu, SimTime t);
+  /// HWSNAP: snapshot the local time/accuracy (evaluation support).
+  void hw_snapshot(SimTime t);
+  /// SYNCRUN: apply the staged TimeSet/AccSet atomically (system start).
+  void sync_run(SimTime t);
+
+  /// Level-change callback for the three interrupt output pins; the NTI
+  /// CPLD connects here.  Called only on actual level transitions.
+  std::function<void(IntLine, bool level)> on_int_line;
+  /// Additional listeners (a gateway node wires several NTI decode
+  /// contexts to one UTCSU -- the six SSUs exist exactly for that).
+  void add_int_line_listener(std::function<void(IntLine, bool)> fn) {
+    listeners_.push_back(std::move(fn));
+  }
+
+  // ---- bus interface (BIU) --------------------------------------------
+  std::uint32_t bus_read(SimTime t, RegOffset offset);
+  void bus_write(SimTime t, RegOffset offset, std::uint32_t value);
+
+  // ---- typed convenience API (what a driver would wrap around the bus;
+  //      provided so examples/tests read naturally) ----------------------
+  Phi clock(SimTime t) { return ltu_.read(t); }
+  Duration clock_duration(SimTime t) { return ltu_.read(t).to_duration(); }
+  /// Atomic {time, alpha-, alpha+} read (one synchronized sample point).
+  StampRegs sample_now(SimTime t);
+  StampRegs ssu_rx(int ssu) const { return ssu_rx_[static_cast<std::size_t>(ssu)]; }
+  StampRegs ssu_tx(int ssu) const { return ssu_tx_[static_cast<std::size_t>(ssu)]; }
+  StampRegs gpu_stamp(int gpu) const { return gpu_[static_cast<std::size_t>(gpu)]; }
+  StampRegs apu_stamp(int apu) const { return apu_[static_cast<std::size_t>(apu)]; }
+  StampRegs snapshot() const { return snap_; }
+
+  Ltu& ltu() { return ltu_; }
+  Acu& acu() { return acu_; }
+  osc::Oscillator& oscillator() { return osc_; }
+  sim::Engine& engine() { return engine_; }
+
+  /// Interrupt status (mirrors kRegIntStatus).
+  std::uint32_t int_status() const { return int_status_; }
+  bool line_level(IntLine line) const;
+
+  /// Re-arm all duty-timer projections; invoked internally after any rate
+  /// or state change (exposed for tests).
+  void rearm_duty_timers(SimTime t);
+
+ private:
+  struct DutyTimer {
+    std::uint64_t compare_lo = 0;  ///< frac24
+    std::uint64_t compare_hi = 0;  ///< seconds (48-bit compare total)
+    bool armed = false;
+    bool fired = false;
+    sim::EventHandle event;
+  };
+
+  int stages() const { return reliable_ ? 2 : 1; }
+  StampRegs capture(SimTime t);
+  void raise_int(std::uint32_t bit);
+  void update_lines();
+  static IntLine line_of_bit(int bit);
+  void schedule_duty(int idx, SimTime t);
+  Phi duty_target(const DutyTimer& d, SimTime t);
+  void apply_time_set(SimTime t);
+
+  sim::Engine& engine_;
+  osc::Oscillator& osc_;
+  Ltu ltu_;
+  Acu acu_;
+  bool reliable_;
+
+  std::array<StampRegs, kNumSsu> ssu_rx_{};
+  std::array<StampRegs, kNumSsu> ssu_tx_{};
+  std::array<std::uint32_t, kNumSsu> ssu_status_{};
+  std::array<StampRegs, kNumGpu> gpu_{};
+  std::array<std::uint32_t, kNumGpu> gpu_status_{};
+  std::array<StampRegs, kNumApu> apu_{};
+  std::array<std::uint32_t, kNumApu> apu_status_{};
+  StampRegs snap_{};
+  std::uint32_t snap_status_ = 0;
+
+  std::array<DutyTimer, kNumDutyTimers> duty_{};
+
+  std::uint32_t int_status_ = 0;
+  std::uint32_t int_enable_ = 0;
+  std::array<bool, 3> line_level_{};
+  std::vector<std::function<void(IntLine, bool)>> listeners_;
+
+  // BIU latches / staged values
+  std::uint32_t macro_shadow_ = 0;   ///< latched by kRegTimestamp read
+  std::uint64_t step_shadow_;        ///< STEP write staging (lo then hi commits)
+  std::uint64_t amort_step_shadow_ = 0;
+  std::uint64_t amort_ticks_shadow_ = 0;
+  std::array<std::uint32_t, 3> time_set_{};  ///< staged 91-bit state
+  std::uint16_t staged_acc_minus_ = 0;
+  std::uint16_t staged_acc_plus_ = 0;
+  std::uint32_t ctrl_ = 0;
+};
+
+}  // namespace nti::utcsu

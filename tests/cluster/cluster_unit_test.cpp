@@ -1,0 +1,121 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nti::cluster {
+namespace {
+
+ClusterConfig cfg_of(int n) {
+  ClusterConfig c;
+  c.num_nodes = n;
+  c.seed = 9;
+  return c;
+}
+
+TEST(ClusterUnit, BuildsRequestedTopology) {
+  Cluster cl(cfg_of(5));
+  EXPECT_EQ(cl.size(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(cl.node(i).id(), i);
+    EXPECT_FALSE(cl.node(i).has_gps());
+  }
+}
+
+TEST(ClusterUnit, GpsNodesGetReceivers) {
+  auto c = cfg_of(4);
+  c.gps_nodes = {1, 3};
+  Cluster cl(c);
+  EXPECT_FALSE(cl.node(0).has_gps());
+  EXPECT_TRUE(cl.node(1).has_gps());
+  EXPECT_FALSE(cl.node(2).has_gps());
+  EXPECT_TRUE(cl.node(3).has_gps());
+}
+
+TEST(ClusterUnit, OscillatorOffsetsWithinSpread) {
+  auto c = cfg_of(8);
+  c.osc_offset_spread_ppm = 3.0;
+  Cluster cl(c);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_LE(std::abs(cl.node(i).config().osc.offset_ppm), 3.0) << i;
+  }
+}
+
+TEST(ClusterUnit, StartInitializesClocksNearSimTime) {
+  auto c = cfg_of(3);
+  c.initial_offset_spread = Duration::us(200);
+  Cluster cl(c);
+  cl.start();
+  const SimTime t = cl.engine().now();
+  const Duration truth = t - SimTime::epoch();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_LE((cl.node(i).true_clock(t) - truth).abs(), Duration::us(201)) << i;
+  }
+}
+
+TEST(ClusterUnit, ProbeBeforeDivergenceIsTight) {
+  Cluster cl(cfg_of(3));
+  cl.start();
+  const auto p = cl.probe();
+  EXPECT_LE(p.precision, Duration::us(1001));     // within 2x initial spread
+  EXPECT_LE(p.worst_accuracy, Duration::us(501));
+}
+
+TEST(ClusterUnit, RunAccumulatesSamples) {
+  Cluster cl(cfg_of(2));
+  cl.start();
+  cl.run(Duration::sec(3), Duration::sec(1), Duration::ms(100));
+  EXPECT_EQ(cl.probes_taken(), 21u);  // [1 s, 3 s] at 100 ms
+  EXPECT_EQ(cl.precision_samples().count(), 21u);
+}
+
+TEST(ClusterUnit, DeterministicAcrossInstances) {
+  auto run = [] {
+    Cluster cl(cfg_of(3));
+    cl.start();
+    cl.run(Duration::sec(4), Duration::sec(2));
+    return cl.precision_samples().max();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(ClusterUnit, SeedChangesOutcome) {
+  auto run = [](std::uint64_t seed) {
+    auto c = cfg_of(3);
+    c.seed = seed;
+    Cluster cl(c);
+    cl.start();
+    cl.run(Duration::sec(4), Duration::sec(2));
+    return cl.precision_samples().max();
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(ClusterUnit, BackgroundTrafficFlows) {
+  auto c = cfg_of(2);
+  c.background_load = 0.2;
+  Cluster cl(c);
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(3));
+  std::uint64_t noise = 0;
+  for (int i = 0; i < 2; ++i) noise += cl.node(i).driver().stats().non_csp_received;
+  EXPECT_GT(noise, 50u);
+}
+
+TEST(ClusterUnit, HwSnapshotAgreesWithTrueClock) {
+  // The SNU register path quantizes to the stamp granularity but must
+  // agree with the observer's exact view.
+  Cluster cl(cfg_of(2));
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::ms(500));
+  const SimTime t = cl.engine().now();
+  cl.node(0).chip().hw_snapshot(t);
+  const auto s = cl.node(0).chip().snapshot();
+  ASSERT_TRUE(s.valid);
+  const auto d = utcsu::decode_stamp(s.timestamp, s.macrostamp, s.alpha);
+  ASSERT_TRUE(d.checksum_ok);
+  // Synchronizer (2 ticks) + granularity tolerance.
+  EXPECT_LE((d.time() - cl.node(0).true_clock(t)).abs(), Duration::ns(300));
+}
+
+}  // namespace
+}  // namespace nti::cluster

@@ -1,0 +1,162 @@
+#include "comco/comco.hpp"
+
+#include <gtest/gtest.h>
+
+#include "osc/oscillator.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::comco {
+namespace {
+
+using module::Addr;
+using module::Nti;
+
+// Two full NTI+COMCO stations on one medium.
+struct Station {
+  Station(sim::Engine& engine, net::Medium& medium, std::uint64_t seed)
+      : osc(osc::OscConfig::ideal(10e6), RngStream(seed)),
+        chip(engine, osc, utcsu::UtcsuConfig{}),
+        nti(chip),
+        comco(engine, nti, medium, ComcoConfig{}, RngStream(seed ^ 0xC0)) {}
+
+  osc::QuartzOscillator osc;
+  utcsu::Utcsu chip;
+  Nti nti;
+  Comco comco;
+};
+
+struct Fixture {
+  sim::Engine engine;
+  net::Medium medium{engine, net::MediumConfig{}, RngStream(7)};
+  Station a{engine, medium, 1};
+  Station b{engine, medium, 2};
+
+  /// Prepare a transmit header+payload on station `s` and send it.
+  void send(Station& s, int tx_slot, std::uint32_t marker, std::size_t len) {
+    const SimTime now = engine.now();
+    const Addr hdr = Nti::tx_header_addr(tx_slot);
+    s.nti.cpu_write32(now, hdr + 0x00, 0xFFFFFFFF);
+    s.nti.cpu_write32(now, hdr + 0x0C, kEthertypeCsp | (static_cast<std::uint32_t>(len) << 16));
+    const Addr data = module::kDataBufferBase;
+    s.nti.cpu_write32(now, data, marker);
+    s.comco.transmit(tx_slot, data, len);
+  }
+};
+
+TEST(Comco, EndToEndTransferMovesBytes) {
+  Fixture f;
+  f.b.comco.provision_rx(0, module::kDataBufferBase + 0x1000, 256);
+  int rx_slot = -1;
+  std::size_t rx_len = 0;
+  f.b.comco.on_rx_complete = [&](int slot, std::size_t len) {
+    rx_slot = slot;
+    rx_len = len;
+  };
+  f.send(f.a, 0, 0xFEEDC0DE, 64);
+  f.engine.run();
+  ASSERT_EQ(rx_slot, 0);
+  EXPECT_EQ(rx_len, 64u);
+  // Payload word arrived in b's receive data buffer.
+  EXPECT_EQ(f.b.nti.cpu_read32(f.engine.now(), module::kDataBufferBase + 0x1000),
+            0xFEEDC0DEu);
+  // Header word (ethertype) landed in b's rx header slot 0.
+  EXPECT_EQ(f.b.nti.cpu_read32(f.engine.now(), Nti::rx_header_addr(0) + 0x0C) & 0xFFFF,
+            kEthertypeCsp);
+}
+
+TEST(Comco, TransmitStampRidesInPacket) {
+  Fixture f;
+  f.b.comco.provision_rx(0, module::kDataBufferBase + 0x1000, 256);
+  bool done = false;
+  f.b.comco.on_rx_complete = [&](int, std::size_t) { done = true; };
+  f.send(f.a, 0, 1, 64);
+  f.engine.run();
+  ASSERT_TRUE(done);
+  // The receiver's rx header now holds the sender's tx stamp at the mapped
+  // offsets -- and it must equal what the sender's SSU captured.
+  const auto tx = f.a.chip.ssu_tx(0);
+  ASSERT_TRUE(tx.valid);
+  const SimTime now = f.engine.now();
+  EXPECT_EQ(f.b.nti.cpu_read32(now, Nti::rx_header_addr(0) + 0x18), tx.timestamp);
+  EXPECT_EQ(f.b.nti.cpu_read32(now, Nti::rx_header_addr(0) + 0x1C), tx.macrostamp);
+  EXPECT_EQ(f.b.nti.cpu_read32(now, Nti::rx_header_addr(0) + 0x20), tx.alpha);
+  const auto d = utcsu::decode_stamp(tx.timestamp, tx.macrostamp, tx.alpha);
+  EXPECT_TRUE(d.checksum_ok);
+}
+
+TEST(Comco, ReceiveTriggerFiredDuringReception) {
+  Fixture f;
+  f.b.comco.provision_rx(0, module::kDataBufferBase + 0x1000, 256);
+  bool done = false;
+  f.b.comco.on_rx_complete = [&](int, std::size_t) { done = true; };
+  f.send(f.a, 0, 1, 64);
+  f.engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(f.b.chip.ssu_rx(0).valid);
+  // The RECEIVE trigger must happen after the TRANSMIT trigger, and the
+  // gap is bounded by frame air time + jitter (both triggers at fixed
+  // header offsets).
+  const Duration gap = f.b.comco.last_rx_trigger_time() - f.a.comco.last_tx_trigger_time();
+  EXPECT_GT(gap, Duration::zero());
+  EXPECT_LT(gap, Duration::us(100));
+}
+
+TEST(Comco, EpsilonBoundedByJitterBudget) {
+  // The transmission/reception uncertainty: variability of
+  // (rx_trigger - tx_trigger) over many packets.  Must stay within
+  // fifo_lead_jitter + rx_arb_jitter (the engineered bound, Sec. 3.1/4).
+  Fixture f;
+  Duration min_gap = Duration::sec(999), max_gap = -Duration::sec(999);
+  int received = 0;
+  for (int i = 0; i < 100; ++i) f.b.comco.provision_rx(i % 16, module::kDataBufferBase + 0x1000, 256);
+  f.b.comco.on_rx_complete = [&](int, std::size_t) {
+    const Duration gap =
+        f.b.comco.last_rx_trigger_time() - f.a.comco.last_tx_trigger_time();
+    min_gap = std::min(min_gap, gap);
+    max_gap = std::max(max_gap, gap);
+    ++received;
+  };
+  for (int i = 0; i < 100; ++i) {
+    f.engine.schedule_at(SimTime::epoch() + Duration::ms(i), [&f, i] {
+      f.send(f.a, i % 8, static_cast<std::uint32_t>(i), 64);
+    });
+  }
+  f.engine.run();
+  ASSERT_EQ(received, 100);
+  const ComcoConfig cfg;
+  const Duration budget = cfg.fifo_lead_jitter + cfg.rx_arb_jitter;
+  EXPECT_LE(max_gap - min_gap, budget);
+  EXPECT_GT(max_gap - min_gap, Duration::zero());  // jitter actually present
+}
+
+TEST(Comco, RxOverrunWhenNoDescriptors) {
+  Fixture f;
+  // No provision_rx on b.
+  f.send(f.a, 0, 1, 64);
+  f.engine.run();
+  EXPECT_EQ(f.b.comco.rx_overruns(), 1u);
+  EXPECT_FALSE(f.b.chip.ssu_rx(0).valid);  // dropped before any DMA write
+}
+
+TEST(Comco, TxCompleteReported) {
+  Fixture f;
+  f.b.comco.provision_rx(0, module::kDataBufferBase + 0x1000, 256);
+  int tx_done = -1;
+  f.a.comco.on_tx_complete = [&](int slot) { tx_done = slot; };
+  f.send(f.a, 5, 1, 64);
+  f.engine.run();
+  EXPECT_EQ(tx_done, 5);
+}
+
+TEST(Comco, PayloadClampedToCapacity) {
+  Fixture f;
+  f.b.comco.provision_rx(0, module::kDataBufferBase + 0x1000, 16);  // tiny
+  std::size_t rx_len = 0;
+  f.b.comco.on_rx_complete = [&](int, std::size_t len) { rx_len = len; };
+  f.send(f.a, 0, 1, 64);
+  f.engine.run();
+  EXPECT_EQ(rx_len, 16u);
+}
+
+}  // namespace
+}  // namespace nti::comco

@@ -1,0 +1,55 @@
+#include "common/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace nti {
+namespace {
+
+TEST(TimeChecksum, Deterministic) {
+  EXPECT_EQ(time_checksum8(0x0123456789ABCDull), time_checksum8(0x0123456789ABCDull));
+}
+
+TEST(TimeChecksum, DetectsSingleByteCorruption) {
+  const std::uint64_t v = 0x00DEADBEEF1234ull;
+  const std::uint8_t good = time_checksum8(v);
+  for (int byte = 0; byte < 7; ++byte) {
+    const std::uint64_t bad = v ^ (0xFFull << (8 * byte));
+    EXPECT_NE(time_checksum8(bad), good) << "byte " << byte;
+  }
+}
+
+TEST(TimeChecksum, DetectsSingleBitFlips) {
+  const std::uint64_t v = 0x00FACE0FF1CE42ull;
+  const std::uint8_t good = time_checksum8(v);
+  for (int bit = 0; bit < 56; ++bit) {
+    EXPECT_NE(time_checksum8(v ^ (1ull << bit)), good) << "bit " << bit;
+  }
+}
+
+TEST(Crc8, KnownVector) {
+  // CRC-8/ATM of "123456789" is 0xF4.
+  const std::array<std::uint8_t, 9> msg = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc8(msg), 0xF4);
+}
+
+TEST(Crc8, EmptyIsZero) {
+  EXPECT_EQ(crc8({}), 0);
+}
+
+TEST(Blocksum, FoldsCarries) {
+  const std::array<std::uint32_t, 2> words = {0xFFFF'FFFFu, 0x0000'0001u};
+  // 0xFFFF + 0xFFFF + 0x0001 = 0x1FFFF -> fold -> 0x0000 + carries.
+  EXPECT_LE(blocksum16(words), 0xFFFFu);
+  EXPECT_EQ(blocksum16(words), blocksum16(words));
+}
+
+TEST(Blocksum, OrderInsensitive) {
+  const std::array<std::uint32_t, 3> a = {1, 2, 3};
+  const std::array<std::uint32_t, 3> b = {3, 1, 2};
+  EXPECT_EQ(blocksum16(a), blocksum16(b));
+}
+
+}  // namespace
+}  // namespace nti

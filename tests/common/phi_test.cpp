@@ -1,0 +1,74 @@
+#include "common/phi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nti {
+namespace {
+
+TEST(Phi, SecondIs2Pow51) {
+  EXPECT_EQ(Phi::from_sec(1).raw_value(), u128{1} << 51);
+  EXPECT_EQ(Phi::from_sec(3).whole_seconds(), 3u);
+}
+
+TEST(Phi, DurationRoundTripExactSeconds) {
+  const Phi p = Phi::from_duration(Duration::sec(7));
+  EXPECT_EQ(p.whole_seconds(), 7u);
+  EXPECT_EQ(p.to_duration(), Duration::sec(7));
+}
+
+TEST(Phi, DurationRoundTripSubSecond) {
+  for (const auto ps : {std::int64_t{1}, std::int64_t{61'035}, std::int64_t{999'999'999'999}}) {
+    const Duration d = Duration::ps(ps);
+    const Duration back = Phi::from_duration(d).to_duration();
+    // One phi is ~0.44 fs, far below 1 ps, so round trips are exact in ps.
+    EXPECT_EQ(back, d) << ps;
+  }
+}
+
+TEST(Phi, Frac24MatchesGranularity) {
+  // 2^-24 s steps: half a unit must floor, a full unit must increment.
+  const Phi half = Phi::raw(u128{1} << (51 - 25));
+  EXPECT_EQ(half.frac24(), 0u);
+  const Phi unit = Phi::raw(u128{1} << (51 - 24));
+  EXPECT_EQ(unit.frac24(), 1u);
+}
+
+TEST(Phi, AdditionAndScaling) {
+  const Phi a = Phi::from_sec(1);
+  const Phi b = a * 3;
+  EXPECT_EQ(b.whole_seconds(), 3u);
+  EXPECT_EQ((a + b).whole_seconds(), 4u);
+}
+
+TEST(PhiDelta, SignedConversions) {
+  const PhiDelta neg = PhiDelta::from_duration(-Duration::us(5));
+  EXPECT_LT(neg.raw_value(), 0);
+  EXPECT_EQ(neg.to_duration(), -Duration::us(5));
+  EXPECT_NEAR(neg.to_sec_f(), -5e-6, 1e-12);
+}
+
+TEST(PhiDelta, DifferenceOfPhis) {
+  const Phi a = Phi::from_duration(Duration::ms(10));
+  const Phi b = Phi::from_duration(Duration::ms(4));
+  EXPECT_EQ((a - b).to_duration(), Duration::ms(6));
+  EXPECT_EQ((b - a).to_duration(), -Duration::ms(6));
+}
+
+TEST(PhiDelta, PlusAppliesSignedOffset) {
+  const Phi base = Phi::from_sec(10);
+  const Phi fwd = base.plus(PhiDelta::from_duration(Duration::ms(1)));
+  const Phi back = base.plus(PhiDelta::from_duration(-Duration::ms(1)));
+  EXPECT_EQ((fwd - base).to_duration(), Duration::ms(1));
+  EXPECT_EQ((base - back).to_duration(), Duration::ms(1));
+}
+
+TEST(Phi, NinetyOneBitHeadroom) {
+  // 91 bits at 2^-51 s per unit covers 2^40 s (~34,000 years): the state
+  // register never wraps within any simulation horizon.
+  const Phi big = Phi::from_sec(1ull << 39);
+  EXPECT_EQ(big.whole_seconds(), 1ull << 39);
+  EXPECT_LT(big.raw_value(), u128{1} << 91);
+}
+
+}  // namespace
+}  // namespace nti

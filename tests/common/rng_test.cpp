@@ -1,0 +1,102 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nti {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  RngStream a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  RngStream a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsStableAndIndependent) {
+  RngStream root(7);
+  RngStream a1 = root.fork("osc");
+  RngStream a2 = root.fork("osc");
+  RngStream b = root.fork("net");
+  EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  RngStream a3 = root.fork("osc");
+  EXPECT_NE(a3.next_u64(), b.next_u64());
+}
+
+TEST(Rng, IndexedForksDiffer) {
+  RngStream root(7);
+  EXPECT_NE(root.fork("node", 0).next_u64(), root.fork("node", 1).next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  RngStream r(99);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  RngStream r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDurationInRange) {
+  RngStream r(6);
+  const Duration lo = Duration::ns(-50), hi = Duration::ns(50);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = r.uniform(lo, hi);
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, hi);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  RngStream r(11);
+  double sum = 0, sumsq = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(2.0, 3.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Rng, ExponentialMean) {
+  RngStream r(13);
+  double sum = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  RngStream r(17);
+  int hits = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace nti

@@ -1,0 +1,72 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nti {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, AcceptsDurations) {
+  RunningStats s;
+  s.add(Duration::us(2));
+  s.add(Duration::us(4));
+  EXPECT_DOUBLE_EQ(s.mean(), 3e6);  // ps
+}
+
+TEST(SampleSet, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.02);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(SampleSet, AddAfterSortStillCorrect) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(9.0);  // invalidates cached sort
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSet, DurationHelpers) {
+  SampleSet s;
+  s.add(Duration::us(1));
+  s.add(Duration::us(3));
+  EXPECT_EQ(s.max_duration(), Duration::us(3));
+  EXPECT_EQ(s.mean_duration(), Duration::us(2));
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  const std::string art = h.ascii();
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nti

@@ -1,0 +1,64 @@
+#include "common/time_types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nti {
+namespace {
+
+using namespace nti::literals;
+
+TEST(Duration, UnitConstructorsAgree) {
+  EXPECT_EQ(Duration::ns(1).count_ps(), 1000);
+  EXPECT_EQ(Duration::us(1).count_ps(), 1'000'000);
+  EXPECT_EQ(Duration::ms(1).count_ps(), 1'000'000'000);
+  EXPECT_EQ(Duration::sec(1).count_ps(), 1'000'000'000'000);
+  EXPECT_EQ(1_us, Duration::ns(1000));
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(3_us + 2_us, 5_us);
+  EXPECT_EQ(3_us - 5_us, -(2_us));
+  EXPECT_EQ((2_us) * 3, 6_us);
+  EXPECT_EQ((6_us) / 3, 2_us);
+  EXPECT_EQ((6_us) / (2_us), 3);
+  EXPECT_EQ((-(7_ns)).abs(), 7_ns);
+}
+
+TEST(Duration, FloatRoundTrip) {
+  const Duration d = Duration::from_sec_f(1.5e-6);
+  EXPECT_EQ(d, Duration::ns(1500));
+  EXPECT_DOUBLE_EQ(d.to_us_f(), 1.5);
+}
+
+TEST(Duration, FromSecFNegative) {
+  EXPECT_EQ(Duration::from_sec_f(-2.5e-9), -Duration::ps(2500));
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(1_ns, 1_us);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(Duration::zero(), Duration::zero());
+}
+
+TEST(Duration, StrScalesUnits) {
+  EXPECT_EQ(Duration::ps(42).str(), "42 ps");
+  EXPECT_NE(Duration::ns(150).str().find("ns"), std::string::npos);
+  EXPECT_NE(Duration::ns(1500).str().find("us"), std::string::npos);  // 1.5 us
+  EXPECT_NE((2_ms).str().find("ms"), std::string::npos);
+  EXPECT_NE((3_s).str().find(" s"), std::string::npos);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = SimTime::epoch() + 5_us;
+  EXPECT_EQ(t.count_ps(), 5'000'000);
+  EXPECT_EQ(t - SimTime::epoch(), 5_us);
+  EXPECT_EQ((t + 1_us) - t, 1_us);
+  EXPECT_LT(t, t + 1_ps);
+}
+
+TEST(SimTime, NeverIsLaterThanEverything) {
+  EXPECT_GT(SimTime::never(), SimTime::epoch() + Duration::sec(1'000'000));
+}
+
+}  // namespace
+}  // namespace nti

@@ -1,0 +1,64 @@
+#include "csa/payload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nti::csa {
+namespace {
+
+CspPayload sample() {
+  CspPayload p;
+  p.kind = CspKind::kRttReply;
+  p.src = 7;
+  p.round = 0xBEEF;
+  p.sw_timestamp = 0x11223344;
+  p.sw_macrostamp = 0x55667788;
+  p.sw_alpha = 0x99AABBCC;
+  p.step = 0x0123456789ABCDEFull;
+  p.echo_timestamp = 0xDEADBEEF;
+  p.echo_macrostamp = 0xFEEDF00D;
+  p.probe_id = 42;
+  return p;
+}
+
+TEST(Payload, EncodeDecodeRoundTrip) {
+  const CspPayload p = sample();
+  const auto bytes = p.encode();
+  EXPECT_EQ(bytes.size(), CspPayload::kWireSize);
+  const auto d = CspPayload::decode(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, p.kind);
+  EXPECT_EQ(d->src, p.src);
+  EXPECT_EQ(d->round, p.round);
+  EXPECT_EQ(d->sw_timestamp, p.sw_timestamp);
+  EXPECT_EQ(d->sw_macrostamp, p.sw_macrostamp);
+  EXPECT_EQ(d->sw_alpha, p.sw_alpha);
+  EXPECT_EQ(d->step, p.step);
+  EXPECT_EQ(d->echo_timestamp, p.echo_timestamp);
+  EXPECT_EQ(d->echo_macrostamp, p.echo_macrostamp);
+  EXPECT_EQ(d->probe_id, p.probe_id);
+}
+
+TEST(Payload, ShortBufferRejected) {
+  const auto bytes = sample().encode();
+  for (std::size_t n = 0; n < CspPayload::kWireSize; ++n) {
+    EXPECT_FALSE(CspPayload::decode(std::span(bytes.data(), n)).has_value())
+        << "length " << n;
+  }
+}
+
+TEST(Payload, LongerBufferAccepted) {
+  auto bytes = sample().encode();
+  bytes.resize(bytes.size() + 17, 0xEE);  // receivers may pad
+  EXPECT_TRUE(CspPayload::decode(bytes).has_value());
+}
+
+TEST(Payload, DefaultIsSyncKind) {
+  CspPayload p;
+  const auto d = CspPayload::decode(p.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, CspKind::kSync);
+  EXPECT_EQ(d->round, 0);
+}
+
+}  // namespace
+}  // namespace nti::csa

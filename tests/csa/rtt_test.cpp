@@ -1,0 +1,114 @@
+#include "csa/rtt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "node/node_card.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::csa {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  net::Medium medium{engine, net::MediumConfig{}, RngStream(21)};
+  node::NodeCard a{engine, medium, make_cfg(0), RngStream(300)};
+  node::NodeCard b{engine, medium, make_cfg(1), RngStream(400)};
+  RttMeasurer rtt_a{a};
+  RttMeasurer rtt_b{b};
+
+  static node::NodeConfig make_cfg(int id) {
+    node::NodeConfig c;
+    c.node_id = id;
+    c.osc = osc::OscConfig::ideal(10e6);
+    return c;
+  }
+};
+
+TEST(Rtt, HandshakeCompletes) {
+  Fixture f;
+  int results = 0;
+  f.rtt_a.on_result = [&](const RttResult& r) {
+    EXPECT_EQ(r.peer, 1);
+    ++results;
+  };
+  f.rtt_a.send_probe();
+  f.engine.run();
+  EXPECT_EQ(results, 1);
+  EXPECT_EQ(f.rtt_b.replies_sent(), 1u);
+}
+
+TEST(Rtt, DelayEstimateMatchesTriggerGap) {
+  // With identical ideal clocks, the estimate must land on the true
+  // one-way trigger-to-trigger delay to within stamp granularity.
+  Fixture f;
+  RttResult got{};
+  f.rtt_a.on_result = [&](const RttResult& r) { got = r; };
+  f.rtt_a.send_probe();
+  f.engine.run();
+  // True one-way delay of the *probe*: receiver trigger - sender trigger.
+  const Duration truth =
+      f.b.comco().last_rx_trigger_time() - f.a.comco().last_tx_trigger_time();
+  // The reply leg has its own delay; the estimate is the average of both,
+  // so allow the jitter budget plus granularity on each of 4 stamps.
+  EXPECT_LE((got.delay_estimate - truth).abs(), Duration::us(1));
+  EXPECT_GT(got.delay_estimate, Duration::zero());
+}
+
+TEST(Rtt, OffsetNearZeroForAlignedClocks) {
+  Fixture f;
+  RttResult got{};
+  f.rtt_a.on_result = [&](const RttResult& r) { got = r; };
+  f.rtt_a.send_probe();
+  f.engine.run();
+  EXPECT_LE(got.offset_estimate.abs(), Duration::us(1));
+}
+
+TEST(Rtt, OffsetDetectsSkewedPeer) {
+  Fixture f;
+  // Skew b's clock by +1 ms; the NTP-style offset must see it.
+  f.b.chip().ltu().set_state(SimTime::epoch(),
+                             Phi::from_duration(Duration::ms(1)));
+  RttResult got{};
+  f.rtt_a.on_result = [&](const RttResult& r) { got = r; };
+  f.rtt_a.send_probe();
+  f.engine.run();
+  EXPECT_NEAR(got.offset_estimate.to_sec_f(), 1e-3, 5e-6);
+}
+
+TEST(Rtt, RepeatedProbesAccumulateSamples) {
+  Fixture f;
+  int done = 0;
+  f.rtt_a.on_result = [&](const RttResult&) { ++done; };
+  for (int i = 0; i < 20; ++i) {
+    f.engine.schedule_at(SimTime::epoch() + Duration::ms(i * 5),
+                         [&f] { f.rtt_a.send_probe(); });
+  }
+  f.engine.run();
+  EXPECT_EQ(done, 20);
+  EXPECT_EQ(f.rtt_a.delays().count(), 20u);
+  // All estimates positive and tightly clustered (hardware stamping).
+  EXPECT_GT(Duration::ps(static_cast<std::int64_t>(f.rtt_a.delays().min())),
+            Duration::zero());
+  EXPECT_LT(f.rtt_a.delays().max() - f.rtt_a.delays().min(), 1.5e6);  // ps
+}
+
+TEST(Rtt, ChainsToExistingHandler) {
+  Fixture f;
+  // A plain CSP (kind kSync) must pass through the RTT layer to whatever
+  // handler was installed underneath.
+  int sync_seen = 0;
+  // Install underneath: recreate the chain by setting the driver callback
+  // before a new measurer wraps it.
+  node::NodeCard c{f.engine, f.medium, Fixture::make_cfg(2), RngStream(500)};
+  c.driver().on_csp = [&](const node::RxCsp&) { ++sync_seen; };
+  RttMeasurer rtt_c(c);
+  CspPayload p;
+  p.kind = CspKind::kSync;
+  p.src = 0;
+  f.a.driver().send_csp(p.encode());
+  f.engine.run();
+  EXPECT_EQ(sync_seen, 1);
+}
+
+}  // namespace
+}  // namespace nti::csa

@@ -1,0 +1,178 @@
+#include "csa/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace nti::csa {
+namespace {
+
+cluster::ClusterConfig small_cfg() {
+  cluster::ClusterConfig c;
+  c.num_nodes = 4;
+  c.seed = 1234;
+  c.sync.fault_tolerance = 1;
+  return c;
+}
+
+TEST(Sync, RoundsExecutePeriodically) {
+  cluster::Cluster cl(small_cfg());
+  int rounds = 0;
+  cl.sync(0).on_round = [&](const RoundReport&) { ++rounds; };
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(5) + Duration::ms(500));
+  EXPECT_EQ(rounds, 5);
+  EXPECT_EQ(cl.sync(0).round(), 6u);
+}
+
+TEST(Sync, UsesAllPeersIntervals) {
+  cluster::Cluster cl(small_cfg());
+  RoundReport last{};
+  cl.sync(2).on_round = [&](const RoundReport& r) { last = r; };
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(3));
+  EXPECT_EQ(last.intervals_used, 4);  // 3 peers + own
+}
+
+TEST(Sync, PrecisionConvergesBelowInitialScatter) {
+  auto cfg = small_cfg();
+  cfg.initial_offset_spread = Duration::us(400);
+  cluster::Cluster cl(cfg);
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(4));
+  const auto probe = cl.probe();
+  EXPECT_LT(probe.precision, Duration::us(20));
+}
+
+TEST(Sync, ContainmentInvariantHolds) {
+  cluster::Cluster cl(small_cfg());
+  cl.start();
+  cl.run(Duration::sec(8), Duration::sec(0), Duration::ms(50));
+  EXPECT_GT(cl.probes_taken(), 100u);
+  EXPECT_EQ(cl.containment_violations(), 0u);
+}
+
+TEST(Sync, CorrectionsShrinkAfterConvergence) {
+  cluster::Cluster cl(small_cfg());
+  std::vector<Duration> corrections;
+  cl.sync(1).on_round = [&](const RoundReport& r) {
+    corrections.push_back(r.correction.abs());
+  };
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(10));
+  ASSERT_GE(corrections.size(), 8u);
+  // Late-round corrections are much smaller than the first one.
+  EXPECT_LT(corrections.back(), corrections.front() / 4 + Duration::us(2));
+  EXPECT_LT(corrections.back(), Duration::us(5));
+}
+
+TEST(Sync, AccuraciesSmallWithExternalSource) {
+  // With a GPS anchor the accuracy intervals sawtooth at the few-us level
+  // (paper Sec. 2: dynamically maintained intervals are small on average).
+  // Two receivers: with f = 1, a single tight interval is exactly what
+  // the fault-tolerant edge trimming discards (it cannot be trusted), so
+  // accuracy transport needs f + 1 externally-anchored inputs.
+  auto cfg = small_cfg();
+  cfg.gps_nodes = {0, 1};
+  cluster::Cluster cl(cfg);
+  cl.start();
+  cl.run(Duration::sec(10), Duration::sec(5));
+  EXPECT_LT(cl.alpha_samples().mean_duration(), Duration::us(50));
+}
+
+TEST(Sync, AccuracyGrowthBoundedWithoutExternalSource) {
+  // Internal-only synchronization cannot *improve* knowledge of UTC, so
+  // alpha legitimately never shrinks below the initial uncertainty -- but
+  // its growth must be bounded by the deterioration rate, and containment
+  // must hold throughout.
+  cluster::Cluster cl(small_cfg());
+  cl.start();
+  cl.run(Duration::sec(20), Duration::sec(1));
+  const Duration budget =
+      cl.node(0).config().utcsu.initial_time.to_duration()  // zero
+      + Duration::us(501)                                   // initial alpha
+      + Duration::from_sec_f(20.0 * 2.0e-6 * 3)             // rho_bound growth
+      + Duration::us(30);                                   // compensation slack
+  EXPECT_LT(cl.alpha_samples().max_duration(), budget);
+  EXPECT_EQ(cl.containment_violations(), 0u);
+}
+
+TEST(Sync, MarzulloConvergenceAlsoWorks) {
+  auto cfg = small_cfg();
+  cfg.sync.convergence = Convergence::kMarzullo;
+  cluster::Cluster cl(cfg);
+  cl.start();
+  cl.run(Duration::sec(6), Duration::sec(3));
+  EXPECT_LT(cl.precision_samples().max_duration(), Duration::us(20));
+  EXPECT_EQ(cl.containment_violations(), 0u);
+}
+
+TEST(Sync, FtaBaselineConverges) {
+  auto cfg = small_cfg();
+  cfg.sync.convergence = Convergence::kFTA;
+  cluster::Cluster cl(cfg);
+  cl.start();
+  cl.run(Duration::sec(6), Duration::sec(3));
+  EXPECT_LT(cl.precision_samples().max_duration(), Duration::us(50));
+}
+
+TEST(Sync, SoftwareModeConvergesCoarser) {
+  auto cfg = small_cfg();
+  cfg.sync.use_hw_stamps = false;
+  // Software stamping must budget for the full stack latency.
+  cfg.sync.delay_min = Duration::us(5);
+  cfg.sync.delay_max = Duration::ms(2);
+  cluster::Cluster cl(cfg);
+  cl.start();
+  cl.run(Duration::sec(8), Duration::sec(4));
+  // Still synchronizes...
+  EXPECT_LT(cl.precision_samples().max_duration(), Duration::ms(2));
+  // ...but orders of magnitude worse than hardware mode.
+  EXPECT_GT(cl.precision_samples().max_duration(), Duration::us(30));
+  EXPECT_EQ(cl.containment_violations(), 0u);
+}
+
+TEST(Sync, RateSyncReducesStepSpread) {
+  auto cfg = small_cfg();
+  cfg.osc_offset_spread_ppm = 5.0;
+  cfg.sync.rho_bound_ppm = 10.0;  // must cover the oscillator spread
+  cfg.sync.rate_sync = true;
+  cluster::Cluster cl(cfg);
+  cl.start();
+  const double before = cl.max_rate_spread_ppm(SimTime::epoch() + Duration::ms(1));
+  // Rate updates happen once per 8-round baseline window; give it a few.
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(50));
+  const double after = cl.max_rate_spread_ppm(cl.engine().now());
+  EXPECT_LT(after, before / 2);
+}
+
+TEST(Sync, GpsNodesPullClusterToUtc) {
+  auto cfg = small_cfg();
+  cfg.gps_nodes = {0, 1};  // f + 1 anchored inputs (see above)
+  cluster::Cluster cl(cfg);
+  bool accepted = false;
+  cl.sync(0).on_round = [&](const RoundReport& r) { accepted |= r.gps_accepted; };
+  cl.start();
+  cl.run(Duration::sec(10), Duration::sec(5));
+  EXPECT_TRUE(accepted);
+  // Worst |C - UTC| across the cluster ends up in the few-us range rather
+  // than drifting away (internal-only sync has no UTC anchor).
+  EXPECT_LT(cl.accuracy_samples().max_duration(), Duration::us(25));
+}
+
+TEST(Sync, LateCspsCounted) {
+  auto cfg = small_cfg();
+  // Resync almost immediately after sends: peers' packets often arrive
+  // after the resync point and must be discarded as late.
+  cfg.sync.resync_offset = Duration::ms(2);
+  cfg.sync.send_stagger_slot = Duration::us(500);
+  cluster::Cluster cl(cfg);
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(5));
+  std::uint64_t late = 0;
+  for (int i = 0; i < cl.size(); ++i) late += cl.sync(i).csps_late();
+  EXPECT_GT(late, 0u);
+}
+
+}  // namespace
+}  // namespace nti::csa

@@ -1,0 +1,156 @@
+#include "gps/gps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/engine.hpp"
+
+namespace nti::gps {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  GpsConfig cfg;
+
+  std::vector<SimTime> pulses;
+  std::vector<PpsEvent> serials;
+
+  void run(Duration horizon) {
+    GpsReceiver rx(engine, cfg, RngStream(5));
+    rx.on_pps = [&](SimTime t) { pulses.push_back(t); };
+    rx.on_serial = [&](const PpsEvent& e) { serials.push_back(e); };
+    rx.start();
+    engine.run_until(SimTime::epoch() + horizon);
+  }
+};
+
+TEST(Gps, OnePulsePerSecond) {
+  Fixture f;
+  f.run(Duration::sec(10) + Duration::ms(500));
+  EXPECT_EQ(f.pulses.size(), 10u);
+  EXPECT_EQ(f.serials.size(), 10u);
+}
+
+TEST(Gps, PulsesNearSecondBoundaries) {
+  Fixture f;
+  f.cfg.static_offset = Duration::ns(40);
+  f.run(Duration::sec(5) + Duration::ms(500));
+  for (std::size_t k = 0; k < f.pulses.size(); ++k) {
+    const double err =
+        f.pulses[k].to_sec_f() - static_cast<double>(k + 1);
+    EXPECT_LT(std::fabs(err), 500e-9) << "pulse " << k;
+  }
+}
+
+TEST(Gps, ErrorWithinClaimedAccuracyWhenHealthy) {
+  Fixture f;
+  f.run(Duration::sec(60) + Duration::ms(500));
+  for (std::size_t k = 0; k < f.pulses.size(); ++k) {
+    const double err = std::fabs(f.pulses[k].to_sec_f() - static_cast<double>(k + 1));
+    EXPECT_LE(err, f.cfg.claimed_accuracy.to_sec_f()) << "pulse " << k;
+  }
+}
+
+TEST(Gps, SerialLabelsMatchSeconds) {
+  Fixture f;
+  f.run(Duration::sec(5) + Duration::ms(500));
+  for (std::size_t i = 0; i < f.serials.size(); ++i) {
+    EXPECT_EQ(f.serials[i].labeled_second, i + 1);
+  }
+}
+
+TEST(Gps, SerialArrivesAfterPulse) {
+  Fixture f;
+  f.run(Duration::sec(3) + Duration::ms(500));
+  ASSERT_GE(f.serials.size(), 1u);
+  // Serial delay is 80 ms by default; all labels arrive within the second.
+  EXPECT_GT(f.serials[0].true_time + f.cfg.serial_delay,
+            f.serials[0].true_time);
+}
+
+TEST(Gps, OmissionFaultDropsPulses) {
+  Fixture f;
+  f.cfg.faults.push_back({FaultKind::kOmission,
+                          SimTime::epoch() + Duration::sec(3),
+                          SimTime::epoch() + Duration::sec(6)});
+  f.run(Duration::sec(10) + Duration::ms(500));
+  EXPECT_EQ(f.pulses.size(), 7u);  // seconds 3,4,5 omitted
+}
+
+TEST(Gps, OffsetSpikeDisplacesPulse) {
+  Fixture f;
+  f.cfg.noise_sigma = Duration::zero();
+  f.cfg.sawtooth_amplitude = Duration::zero();
+  f.cfg.static_offset = Duration::zero();
+  f.cfg.faults.push_back({FaultKind::kOffsetSpike,
+                          SimTime::epoch() + Duration::sec(2) - Duration::ms(1),
+                          SimTime::epoch() + Duration::sec(3) - Duration::ms(1),
+                          Duration::ms(5)});
+  f.run(Duration::sec(4) + Duration::ms(500));
+  ASSERT_GE(f.pulses.size(), 3u);
+  EXPECT_NEAR(f.pulses[0].to_sec_f(), 1.0, 1e-6);
+  EXPECT_NEAR(f.pulses[1].to_sec_f(), 2.005, 1e-6);  // spiked
+  EXPECT_NEAR(f.pulses[2].to_sec_f(), 3.0, 1e-6);
+}
+
+TEST(Gps, WrongSecondLabels) {
+  Fixture f;
+  f.cfg.faults.push_back({FaultKind::kWrongSecond,
+                          SimTime::epoch() + Duration::sec(2) - Duration::ms(1),
+                          SimTime::epoch() + Duration::sec(4) - Duration::ms(1),
+                          Duration::zero(), Duration::zero(), +1});
+  f.run(Duration::sec(5) + Duration::ms(500));
+  ASSERT_GE(f.serials.size(), 4u);
+  EXPECT_EQ(f.serials[0].labeled_second, 1u);
+  EXPECT_EQ(f.serials[1].labeled_second, 3u);  // mislabeled
+  EXPECT_EQ(f.serials[2].labeled_second, 4u);  // mislabeled
+  EXPECT_EQ(f.serials[3].labeled_second, 4u);  // healthy again
+}
+
+TEST(Gps, StuckFaultRampsError) {
+  Fixture f;
+  f.cfg.noise_sigma = Duration::zero();
+  f.cfg.sawtooth_amplitude = Duration::zero();
+  f.cfg.static_offset = Duration::zero();
+  FaultWindow w{FaultKind::kStuck, SimTime::epoch() + Duration::sec(1) - Duration::ms(1),
+                SimTime::epoch() + Duration::sec(100)};
+  w.ramp_per_sec = Duration::us(100);
+  f.cfg.faults.push_back(w);
+  f.run(Duration::sec(5) + Duration::ms(500));
+  ASSERT_GE(f.pulses.size(), 4u);
+  const double e1 = f.pulses[1].to_sec_f() - 2.0;
+  const double e3 = f.pulses[3].to_sec_f() - 4.0;
+  EXPECT_GT(e3, e1 + 150e-6);  // growing
+}
+
+TEST(Gps, DeterministicUnderSeed) {
+  GpsConfig cfg;
+  sim::Engine e1, e2;
+  std::vector<SimTime> p1, p2;
+  GpsReceiver r1(e1, cfg, RngStream(9));
+  GpsReceiver r2(e2, cfg, RngStream(9));
+  r1.on_pps = [&](SimTime t) { p1.push_back(t); };
+  r2.on_pps = [&](SimTime t) { p2.push_back(t); };
+  r1.start();
+  r2.start();
+  e1.run_until(SimTime::epoch() + Duration::sec(5));
+  e2.run_until(SimTime::epoch() + Duration::sec(5));
+  EXPECT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_EQ(p1[i], p2[i]);
+}
+
+TEST(Gps, StopHaltsPulses) {
+  sim::Engine engine;
+  GpsReceiver rx(engine, GpsConfig{}, RngStream(4));
+  int pulses = 0;
+  rx.on_pps = [&](SimTime) { ++pulses; };
+  rx.start();
+  engine.schedule_at(SimTime::epoch() + Duration::sec(3) + Duration::ms(100),
+                     [&] { rx.stop(); });
+  engine.run_until(SimTime::epoch() + Duration::sec(10));
+  EXPECT_LE(pulses, 4);
+}
+
+}  // namespace
+}  // namespace nti::gps

@@ -1,0 +1,92 @@
+// Integration: hardware leap-second insertion/deletion across a running
+// cluster (paper Sec. 3.3: duty timers are used "to insert/delete leap
+// seconds"; the LTU applies the correction in hardware).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace nti {
+namespace {
+
+cluster::ClusterConfig cfg4() {
+  cluster::ClusterConfig c;
+  c.num_nodes = 4;
+  c.seed = 1111;
+  c.sync.fault_tolerance = 1;
+  return c;
+}
+
+TEST(LeapSecond, WholeClusterInsertsTogether) {
+  cluster::Cluster cl(cfg4());
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(4));
+  // Without an external anchor the ensemble has a common-mode offset from
+  // UTC; the leap must add exactly one second on top of it.
+  std::vector<double> before(static_cast<std::size_t>(cl.size()));
+  for (int i = 0; i < cl.size(); ++i) {
+    before[static_cast<std::size_t>(i)] =
+        (cl.node(i).true_clock(cl.engine().now()) -
+         (cl.engine().now() - SimTime::epoch()))
+            .to_sec_f();
+  }
+  // Every node arms the same UTC second; each clock leaps when *it*
+  // reaches 6 s, i.e. all within the mutual precision of each other.
+  for (int i = 0; i < cl.size(); ++i) cl.sync(i).schedule_leap(true, 6);
+
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(7));
+  const SimTime t = cl.engine().now();
+  const Duration truth = t - SimTime::epoch();
+  for (int i = 0; i < cl.size(); ++i) {
+    const double err = (cl.node(i).true_clock(t) - truth).to_sec_f();
+    EXPECT_NEAR(err - before[static_cast<std::size_t>(i)], 1.0, 1e-4)
+        << "node " << i;
+  }
+  // Mutual precision is preserved through the leap.
+  EXPECT_LT(cl.probe().precision, Duration::us(10));
+}
+
+TEST(LeapSecond, DeletionRemovesOneSecond) {
+  cluster::Cluster cl(cfg4());
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(4));
+  std::vector<double> before(static_cast<std::size_t>(cl.size()));
+  for (int i = 0; i < cl.size(); ++i) {
+    before[static_cast<std::size_t>(i)] =
+        (cl.node(i).true_clock(cl.engine().now()) -
+         (cl.engine().now() - SimTime::epoch()))
+            .to_sec_f();
+  }
+  for (int i = 0; i < cl.size(); ++i) cl.sync(i).schedule_leap(false, 6);
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(8));
+  const SimTime t = cl.engine().now();
+  const Duration truth = t - SimTime::epoch();
+  for (int i = 0; i < cl.size(); ++i) {
+    const double err = (cl.node(i).true_clock(t) - truth).to_sec_f();
+    EXPECT_NEAR(err - before[static_cast<std::size_t>(i)], -1.0, 1e-4)
+        << "node " << i;
+  }
+  EXPECT_LT(cl.probe().precision, Duration::us(10));
+}
+
+TEST(LeapSecond, SyncKeepsRunningAfterLeap) {
+  cluster::Cluster cl(cfg4());
+  int rounds_after = 0;
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(4));
+  for (int i = 0; i < cl.size(); ++i) cl.sync(i).schedule_leap(true, 6);
+  cl.sync(0).on_round = [&](const csa::RoundReport& r) {
+    if (cl.engine().now() > SimTime::epoch() + Duration::sec(6)) {
+      ++rounds_after;
+      // Post-leap corrections stay in the normal sub-us regime: all
+      // clocks moved by exactly the same second.
+      EXPECT_LT(r.correction.abs(), Duration::us(50)) << "round " << r.round;
+    }
+  };
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(12));
+  EXPECT_GT(rounds_after, 3);
+}
+
+}  // namespace
+}  // namespace nti

@@ -1,0 +1,70 @@
+// Parameterized full-stack sweep: every (n, f, convergence-function)
+// combination must satisfy the two requirements of Sec. 2 --
+//   (P) precision: bounded mutual deviation, and
+//   (A) accuracy/containment: t inside every non-faulty interval --
+// end to end through the complete hardware model.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+
+namespace nti {
+namespace {
+
+struct SweepCase {
+  int n;
+  int f;
+  csa::Convergence conv;
+  double load;
+};
+
+class FullStackSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(FullStackSweep, PrecisionAndContainment) {
+  const SweepCase c = GetParam();
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = c.n;
+  cfg.seed = 0xABCD + static_cast<std::uint64_t>(c.n * 10 + c.f);
+  cfg.sync.fault_tolerance = c.f;
+  cfg.sync.convergence = c.conv;
+  cfg.background_load = c.load;
+  cluster::Cluster cl(cfg);
+  cl.start();
+  cl.run(Duration::sec(15), Duration::sec(8), Duration::ms(250));
+
+  // (P): the 1 us-range goal, with headroom for small n / high f.
+  EXPECT_LT(cl.precision_samples().max_duration(), Duration::us(10))
+      << "n=" << c.n << " f=" << c.f;
+  EXPECT_LT(cl.precision_samples().percentile_duration(90), Duration::us(5));
+  // (A): the containment invariant must never break.
+  EXPECT_EQ(cl.containment_violations(), 0u);
+}
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const char* conv = info.param.conv == csa::Convergence::kOA ? "OA"
+                     : info.param.conv == csa::Convergence::kMarzullo
+                         ? "Marzullo"
+                         : "FTA";
+  return "n" + std::to_string(info.param.n) + "_f" +
+         std::to_string(info.param.f) + "_" + conv +
+         (info.param.load > 0 ? "_loaded" : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FullStackSweep,
+    ::testing::Values(SweepCase{2, 0, csa::Convergence::kOA, 0.0},
+                      SweepCase{3, 0, csa::Convergence::kOA, 0.0},
+                      SweepCase{4, 1, csa::Convergence::kOA, 0.0},
+                      SweepCase{4, 1, csa::Convergence::kMarzullo, 0.0},
+                      SweepCase{4, 1, csa::Convergence::kFTA, 0.0},
+                      SweepCase{7, 2, csa::Convergence::kOA, 0.0},
+                      SweepCase{7, 2, csa::Convergence::kMarzullo, 0.0},
+                      SweepCase{10, 3, csa::Convergence::kOA, 0.0},
+                      SweepCase{16, 2, csa::Convergence::kOA, 0.0},
+                      SweepCase{4, 1, csa::Convergence::kOA, 0.3},
+                      SweepCase{8, 1, csa::Convergence::kOA, 0.3}),
+    case_name);
+
+}  // namespace
+}  // namespace nti

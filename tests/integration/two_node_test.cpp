@@ -1,0 +1,79 @@
+// Integration: the paper's two-node experiment (Sec. 4), end to end
+// through every layer: CSA -> driver -> COMCO -> CSMA/CD -> COMCO -> CPLD
+// triggers -> UTCSU stamps -> CSA.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace nti {
+namespace {
+
+cluster::ClusterConfig two_node_cfg() {
+  cluster::ClusterConfig c;
+  c.num_nodes = 2;
+  c.seed = 77;
+  c.sync.fault_tolerance = 0;
+  c.osc_offset_spread_ppm = 2.0;
+  c.initial_offset_spread = Duration::us(300);
+  return c;
+}
+
+TEST(TwoNode, EpsilonWellBelowOneMicrosecond) {
+  // The headline claim of Sec. 4: "preliminary experiments with a two-node
+  // system revealed a transmission/reception time uncertainty epsilon well
+  // below 1 us".  epsilon is the *variability* of the trigger-to-trigger
+  // delay, measured here from ground truth over many CSPs.
+  cluster::Cluster cl(two_node_cfg());
+  SampleSet gaps;
+  cl.start();
+  // Chain a ground-truth probe in front of the sync handler.
+  auto prev = cl.node(1).driver().on_csp;
+  cl.node(1).driver().on_csp = [&, prev](const node::RxCsp& rx) {
+    gaps.add(cl.node(1).comco().last_rx_trigger_time() -
+             cl.node(0).comco().last_tx_trigger_time());
+    prev(rx);
+  };
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(60));
+  ASSERT_GT(gaps.count(), 50u);
+  const Duration epsilon = Duration::ps(
+      static_cast<std::int64_t>(gaps.max() - gaps.min()));
+  EXPECT_LT(epsilon, Duration::us(1));
+  EXPECT_GT(epsilon, Duration::ns(10));  // jitter exists, it is not a constant
+}
+
+TEST(TwoNode, SynchronizesToMicrosecondRange) {
+  cluster::Cluster cl(two_node_cfg());
+  cl.start();
+  cl.run(Duration::sec(30), Duration::sec(10));
+  EXPECT_LT(cl.precision_samples().max_duration(), Duration::us(5));
+  EXPECT_EQ(cl.containment_violations(), 0u);
+}
+
+TEST(TwoNode, SurvivesBackgroundTraffic) {
+  auto cfg = two_node_cfg();
+  cfg.background_load = 0.3;
+  cluster::Cluster cl(cfg);
+  cl.start();
+  cl.run(Duration::sec(20), Duration::sec(10));
+  // Hardware stamping is immune to medium-access delays: precision holds
+  // even with 30% channel load.
+  EXPECT_LT(cl.precision_samples().max_duration(), Duration::us(5));
+  EXPECT_EQ(cl.containment_violations(), 0u);
+  // The background frames really did flow (and were discarded by the CI).
+  std::uint64_t noise = 0;
+  for (int i = 0; i < 2; ++i) noise += cl.node(i).driver().stats().non_csp_received;
+  EXPECT_GT(noise, 100u);
+}
+
+TEST(TwoNode, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    cluster::Cluster cl(two_node_cfg());
+    cl.start();
+    cl.run(Duration::sec(10), Duration::sec(5));
+    return cl.precision_samples().max();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace nti

@@ -1,0 +1,121 @@
+// Property-based tests of the fusion soundness invariant: whenever at
+// least n - f inputs contain the true value t, the fused interval must
+// also contain t (this is THE correctness property of interval-based
+// clock synchronization; everything else is performance).
+#include "interval/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nti::interval {
+namespace {
+
+struct FusionCase {
+  int n;
+  int f;
+  std::uint64_t seed;
+};
+
+class FusionProperty : public ::testing::TestWithParam<FusionCase> {};
+
+std::vector<AccInterval> random_instance(RngStream& rng, int n, int f,
+                                         Duration truth) {
+  std::vector<AccInterval> xs;
+  // n - f correct intervals: contain the truth with random widths/positions.
+  for (int i = 0; i < n - f; ++i) {
+    const Duration am = rng.uniform(Duration::ns(10), Duration::us(50));
+    const Duration ap = rng.uniform(Duration::ns(10), Duration::us(50));
+    xs.push_back(AccInterval::from_edges(truth - am, truth + ap));
+  }
+  // f faulty intervals: arbitrary garbage, possibly far away or inverted
+  // widths, possibly even containing the truth (a fault may look benign).
+  for (int i = 0; i < f; ++i) {
+    const Duration lo = rng.uniform(-Duration::ms(5), Duration::ms(5));
+    const Duration w = rng.uniform(Duration::ns(1), Duration::ms(1));
+    xs.emplace_back(AccInterval::from_edges(lo, lo + w));
+  }
+  // Shuffle by index swap so faulty positions vary.
+  for (std::size_t i = xs.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(xs[i - 1], xs[j]);
+  }
+  return xs;
+}
+
+TEST_P(FusionProperty, MarzulloContainsTruth) {
+  const auto [n, f, seed] = GetParam();
+  RngStream rng(seed);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Duration truth = rng.uniform(Duration::zero(), Duration::ms(1));
+    const auto xs = random_instance(rng, n, f, truth);
+    const auto m = marzullo(xs, f);
+    ASSERT_TRUE(m.has_value()) << "n=" << n << " f=" << f << " iter=" << iter;
+    EXPECT_TRUE(m->contains(truth))
+        << "n=" << n << " f=" << f << " iter=" << iter << " " << m->str();
+  }
+}
+
+TEST_P(FusionProperty, FtEdgeFusionContainsTruth) {
+  const auto [n, f, seed] = GetParam();
+  if (n < 2 * f + 1) GTEST_SKIP() << "edge fusion needs n >= 2f+1";
+  RngStream rng(seed ^ 0xF00Dull);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Duration truth = rng.uniform(Duration::zero(), Duration::ms(1));
+    const auto xs = random_instance(rng, n, f, truth);
+    const auto r = ft_edge_fusion(xs, f);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->contains(truth))
+        << "n=" << n << " f=" << f << " iter=" << iter << " " << r->str();
+  }
+}
+
+TEST_P(FusionProperty, FusionNeverWiderThanWorstCorrectPair) {
+  // Performance-flavoured sanity: with no faults, the fused width is never
+  // larger than the widest input (intersection can only shrink).
+  const auto [n, f, seed] = GetParam();
+  RngStream rng(seed ^ 0xBEEFull);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Duration truth = rng.uniform(Duration::zero(), Duration::ms(1));
+    const auto xs = random_instance(rng, n, 0, truth);
+    const auto m = marzullo(xs, 0);
+    ASSERT_TRUE(m.has_value());
+    Duration widest = Duration::zero();
+    for (const auto& x : xs) widest = std::max(widest, x.length());
+    EXPECT_LE(m->length(), widest);
+  }
+}
+
+TEST_P(FusionProperty, MarzulloInsideFtEdgeFusion) {
+  // M_f is the tightest f-tolerant fusion; the edge-fusion result must
+  // contain it whenever both exist.
+  const auto [n, f, seed] = GetParam();
+  if (n < 2 * f + 1) GTEST_SKIP();
+  RngStream rng(seed ^ 0xCAFEull);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Duration truth = rng.uniform(Duration::zero(), Duration::ms(1));
+    const auto xs = random_instance(rng, n, f, truth);
+    const auto m = marzullo(xs, f);
+    const auto e = ft_edge_fusion(xs, f);
+    if (!m || !e) continue;
+    if (e->lower() > e->upper()) continue;  // fallback case
+    EXPECT_GE(m->lower(), e->lower());
+    EXPECT_LE(m->upper(), e->upper());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FusionProperty,
+    ::testing::Values(FusionCase{3, 0, 1}, FusionCase{3, 1, 2},
+                      FusionCase{4, 1, 3}, FusionCase{5, 1, 4},
+                      FusionCase{7, 2, 5}, FusionCase{9, 2, 6},
+                      FusionCase{10, 3, 7}, FusionCase{16, 5, 8}),
+    [](const ::testing::TestParamInfo<FusionCase>& info) {
+      return "n" + std::to_string(info.param.n) + "_f" +
+             std::to_string(info.param.f);
+    });
+
+}  // namespace
+}  // namespace nti::interval

@@ -1,0 +1,136 @@
+#include "interval/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nti::interval {
+namespace {
+
+using nti::Duration;
+
+AccInterval iv(std::int64_t lo_us, std::int64_t hi_us) {
+  return AccInterval::from_edges(Duration::us(lo_us), Duration::us(hi_us));
+}
+
+TEST(AccInterval, ConstructionFromRefAndAlphas) {
+  const AccInterval a(Duration::us(10), Duration::us(2), Duration::us(3));
+  EXPECT_EQ(a.lower(), Duration::us(8));
+  EXPECT_EQ(a.upper(), Duration::us(13));
+  EXPECT_EQ(a.length(), Duration::us(5));
+}
+
+TEST(AccInterval, FromEdgesMidpointRef) {
+  const AccInterval a = iv(4, 10);
+  EXPECT_EQ(a.ref(), Duration::us(7));
+  EXPECT_EQ(a.midpoint(), Duration::us(7));
+}
+
+TEST(AccInterval, ContainsAndIntersects) {
+  const AccInterval a = iv(0, 10);
+  EXPECT_TRUE(a.contains(Duration::us(0)));
+  EXPECT_TRUE(a.contains(Duration::us(10)));
+  EXPECT_FALSE(a.contains(Duration::us(11)));
+  EXPECT_TRUE(a.intersects(iv(10, 20)));   // touching counts
+  EXPECT_FALSE(a.intersects(iv(11, 20)));
+}
+
+TEST(AccInterval, EnlargeAndShift) {
+  const AccInterval a = iv(5, 7).enlarged(Duration::us(1), Duration::us(2));
+  EXPECT_EQ(a.lower(), Duration::us(4));
+  EXPECT_EQ(a.upper(), Duration::us(9));
+  const AccInterval b = a.shifted(Duration::us(10));
+  EXPECT_EQ(b.lower(), Duration::us(14));
+  EXPECT_EQ(b.upper(), Duration::us(19));
+  EXPECT_EQ(b.ref() - a.ref(), Duration::us(10));
+}
+
+TEST(AccInterval, WithRefKeepsEdges) {
+  const AccInterval a = iv(0, 10).with_ref(Duration::us(2));
+  EXPECT_EQ(a.ref(), Duration::us(2));
+  EXPECT_EQ(a.alpha_minus(), Duration::us(2));
+  EXPECT_EQ(a.alpha_plus(), Duration::us(8));
+}
+
+TEST(Intersect, OverlapAndDisjoint) {
+  const auto both = intersect(iv(0, 10), iv(5, 20));
+  ASSERT_TRUE(both.has_value());
+  EXPECT_EQ(both->lower(), Duration::us(5));
+  EXPECT_EQ(both->upper(), Duration::us(10));
+  EXPECT_FALSE(intersect(iv(0, 4), iv(5, 9)).has_value());
+}
+
+TEST(Hull, CoversBoth) {
+  const AccInterval h = hull(iv(0, 2), iv(8, 9));
+  EXPECT_EQ(h.lower(), Duration::us(0));
+  EXPECT_EQ(h.upper(), Duration::us(9));
+}
+
+TEST(Marzullo, AllAgreeingGivesIntersection) {
+  const std::vector<AccInterval> xs = {iv(0, 10), iv(2, 12), iv(4, 14)};
+  const auto m = marzullo(xs, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->lower(), Duration::us(4));
+  EXPECT_EQ(m->upper(), Duration::us(10));
+}
+
+TEST(Marzullo, ToleratesOneOutlier) {
+  // Three good intervals around [4,10], one absurd outlier; f=1 must
+  // recover the consistent core.
+  const std::vector<AccInterval> xs = {iv(0, 10), iv(2, 12), iv(4, 14),
+                                       iv(100, 120)};
+  const auto m = marzullo(xs, 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->lower(), Duration::us(4));
+  EXPECT_EQ(m->upper(), Duration::us(10));
+}
+
+TEST(Marzullo, QuorumUnreachableReturnsNullopt) {
+  const std::vector<AccInterval> xs = {iv(0, 1), iv(10, 11), iv(20, 21)};
+  EXPECT_FALSE(marzullo(xs, 0).has_value());
+}
+
+TEST(Marzullo, TouchingEdgesCount) {
+  const std::vector<AccInterval> xs = {iv(0, 5), iv(5, 10)};
+  const auto m = marzullo(xs, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->lower(), Duration::us(5));
+  EXPECT_EQ(m->upper(), Duration::us(5));
+}
+
+TEST(FtEdgeFusion, RequiresQuorum) {
+  const std::vector<AccInterval> xs = {iv(0, 10), iv(1, 11)};
+  EXPECT_FALSE(ft_edge_fusion(xs, 1).has_value());  // n=2 < 2f+1=3
+}
+
+TEST(FtEdgeFusion, NoFaultsGivesIntersectionOfEdges) {
+  const std::vector<AccInterval> xs = {iv(0, 10), iv(2, 12), iv(4, 14)};
+  const auto r = ft_edge_fusion(xs, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lower(), Duration::us(4));
+  EXPECT_EQ(r->upper(), Duration::us(10));
+}
+
+TEST(FtEdgeFusion, DiscardsFaultyEdges) {
+  // One faulty interval pushed far right; with f=1 its edges are trimmed.
+  const std::vector<AccInterval> xs = {iv(0, 10), iv(2, 12), iv(500, 510)};
+  const auto r = ft_edge_fusion(xs, 1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lower(), Duration::us(2));   // max lower after dropping 500
+  EXPECT_EQ(r->upper(), Duration::us(12));  // min upper after dropping 10
+}
+
+TEST(FtaAverage, TrimsExtremes) {
+  const std::vector<Duration> xs = {Duration::us(1), Duration::us(10),
+                                    Duration::us(11), Duration::us(12),
+                                    Duration::us(1000)};
+  const auto avg = fault_tolerant_average(xs, 1);
+  ASSERT_TRUE(avg.has_value());
+  EXPECT_EQ(*avg, Duration::us(11));
+}
+
+TEST(FtaAverage, InsufficientInputs) {
+  const std::vector<Duration> xs = {Duration::us(1), Duration::us(2)};
+  EXPECT_FALSE(fault_tolerant_average(xs, 1).has_value());
+}
+
+}  // namespace
+}  // namespace nti::interval

@@ -1,0 +1,181 @@
+#include "net/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/traffic.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::net {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  MediumConfig cfg;
+  Medium medium{engine, cfg, RngStream(1)};
+};
+
+Frame make_frame(std::size_t n) {
+  Frame f;
+  f.bytes.assign(n, 0xAB);
+  return f;
+}
+
+TEST(Medium, ByteTimeAt10Mbit) {
+  Fixture f;
+  EXPECT_EQ(f.medium.byte_time(), Duration::ns(800));
+  // 64-byte frame + 8-byte preamble = 72 bytes = 57.6 us.
+  EXPECT_EQ(f.medium.frame_air_time(64), Duration::ns(57'600));
+}
+
+TEST(Medium, DeliversToAllOtherStations) {
+  Fixture f;
+  MacPort& a = f.medium.attach();
+  MacPort& b = f.medium.attach();
+  MacPort& c = f.medium.attach();
+  int b_got = 0, c_got = 0, a_got = 0;
+  a.on_frame = [&](auto, const RxTiming&) { ++a_got; };
+  b.on_frame = [&](auto, const RxTiming&) { ++b_got; };
+  c.on_frame = [&](auto, const RxTiming&) { ++c_got; };
+  f.medium.transmit(a, make_frame(64));
+  f.engine.run();
+  EXPECT_EQ(a_got, 0);  // no self-reception
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST(Medium, TimingFieldsConsistent) {
+  Fixture f;
+  MacPort& a = f.medium.attach();
+  MacPort& b = f.medium.attach();
+  RxTiming seen{};
+  SimTime wire_start = SimTime::never();
+  a.on_wire_start = [&](SimTime t, auto&) { wire_start = t; };
+  b.on_frame = [&](auto, const RxTiming& t) { seen = t; };
+  f.medium.transmit(a, make_frame(100));
+  f.engine.run();
+  ASSERT_NE(wire_start, SimTime::never());
+  EXPECT_EQ(seen.wire_start, wire_start);
+  EXPECT_EQ(seen.rx_start - seen.wire_start, f.cfg.propagation_per_station);
+  EXPECT_EQ(seen.rx_end - seen.rx_start, f.medium.frame_air_time(100));
+}
+
+TEST(Medium, PropagationScalesWithDistance) {
+  Fixture f;
+  MacPort& a = f.medium.attach();
+  (void)f.medium.attach();
+  MacPort& c = f.medium.attach();
+  RxTiming seen{};
+  c.on_frame = [&](auto, const RxTiming& t) { seen = t; };
+  f.medium.transmit(a, make_frame(64));
+  f.engine.run();
+  EXPECT_EQ(seen.rx_start - seen.wire_start, f.cfg.propagation_per_station * 2);
+}
+
+TEST(Medium, SecondSenderDefersWhileBusy) {
+  Fixture f;
+  MacPort& a = f.medium.attach();
+  MacPort& b = f.medium.attach();
+  MacPort& c = f.medium.attach();
+  std::vector<SimTime> starts;
+  a.on_wire_start = [&](SimTime t, auto&) { starts.push_back(t); };
+  b.on_wire_start = [&](SimTime t, auto&) { starts.push_back(t); };
+  c.on_frame = [](auto, const RxTiming&) {};
+  f.medium.transmit(a, make_frame(500));
+  f.engine.schedule_in(Duration::us(10), [&] {  // mid-transmission
+    f.medium.transmit(b, make_frame(64));
+  });
+  f.engine.run();
+  ASSERT_EQ(starts.size(), 2u);
+  // b must start after a's frame air time + inter-frame gap.
+  EXPECT_GE(starts[1], starts[0] + f.medium.frame_air_time(500) +
+                           f.cfg.inter_frame_gap);
+}
+
+TEST(Medium, SimultaneousRequestsBothEventuallyDeliver) {
+  Fixture f;
+  MacPort& a = f.medium.attach();
+  MacPort& b = f.medium.attach();
+  MacPort& c = f.medium.attach();
+  int got = 0;
+  c.on_frame = [&](auto, const RxTiming&) { ++got; };
+  f.engine.schedule_at(SimTime::epoch() + Duration::us(5), [&] {
+    f.medium.transmit(a, make_frame(64));
+    f.medium.transmit(b, make_frame(64));
+  });
+  f.engine.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(f.medium.frames_delivered(), 2u);
+}
+
+TEST(Medium, QueuedFramesFromOnePortStayFifo) {
+  Fixture f;
+  MacPort& a = f.medium.attach();
+  MacPort& b = f.medium.attach();
+  std::vector<std::uint8_t> firsts;
+  b.on_frame = [&](std::shared_ptr<const Frame> fr, const RxTiming&) {
+    firsts.push_back(fr->bytes[0]);
+  };
+  Frame f1;
+  f1.bytes.assign(64, 1);
+  Frame f2;
+  f2.bytes.assign(64, 2);
+  f.medium.transmit(a, std::move(f1));
+  f.medium.transmit(a, std::move(f2));
+  f.engine.run();
+  EXPECT_EQ(firsts, (std::vector<std::uint8_t>{1, 2}));
+}
+
+TEST(Medium, ContentionUnderLoadProducesCollisions) {
+  Fixture f;
+  // Many stations all transmitting at once repeatedly.
+  std::vector<MacPort*> ports;
+  std::uint64_t aborted = 0;
+  for (int i = 0; i < 8; ++i) {
+    ports.push_back(&f.medium.attach());
+    ports.back()->on_tx_abort = [&aborted](const Frame&) { ++aborted; };
+  }
+  for (int burst = 0; burst < 20; ++burst) {
+    f.engine.schedule_at(SimTime::epoch() + Duration::ms(burst), [&f, &ports] {
+      for (auto* p : ports) f.medium.transmit(*p, make_frame(64));
+    });
+  }
+  f.engine.run();
+  // Every frame is accounted for: delivered, or given up after 16 attempts
+  // (excessive-collision abort, as a real MAC does).
+  EXPECT_EQ(f.medium.frames_delivered() + aborted, 160u);
+  EXPECT_GE(f.medium.frames_delivered(), 140u);
+  EXPECT_GT(f.medium.collisions(), 0u);
+}
+
+TEST(Medium, TxQueueTailDropsWhenSaturated) {
+  sim::Engine engine;
+  MediumConfig mc;
+  mc.tx_queue_cap = 8;
+  Medium medium(engine, mc, RngStream(5));
+  MacPort& a = medium.attach();
+  (void)medium.attach();
+  // Enqueue far more than the ring holds while the wire is busy.
+  for (int i = 0; i < 100; ++i) medium.transmit(a, make_frame(1500));
+  EXPECT_GT(medium.queue_drops(), 80u);
+  engine.run();
+  // Everything that was accepted eventually goes out.
+  EXPECT_EQ(medium.frames_delivered() + medium.queue_drops(), 100u);
+}
+
+TEST(Traffic, OfferedLoadApproximatelyMet) {
+  sim::Engine engine;
+  MediumConfig mc;
+  Medium medium(engine, mc, RngStream(2));
+  (void)medium.attach();  // a listener so frames have a receiver
+  TrafficConfig tc;
+  tc.offered_load = 0.3;
+  tc.frame_bytes = 512;
+  TrafficGenerator gen(engine, medium, tc, RngStream(3));
+  engine.run_until(SimTime::epoch() + Duration::sec(2));
+  const double air = medium.frame_air_time(512).to_sec_f();
+  const double load = static_cast<double>(gen.frames_sent()) * air / 2.0;
+  EXPECT_NEAR(load, 0.3, 0.06);
+}
+
+}  // namespace
+}  // namespace nti::net

@@ -1,0 +1,76 @@
+#include "node/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::node {
+namespace {
+
+TEST(Cpu, IsrLatencyWithinConfiguredBounds) {
+  sim::Engine engine;
+  CpuConfig cfg;
+  Cpu cpu(engine, cfg, RngStream(3));
+  for (int i = 0; i < 5000; ++i) {
+    const Duration d = cpu.draw_isr_latency();
+    EXPECT_GE(d, cfg.isr_base);
+    EXPECT_LE(d, cfg.isr_base + cfg.isr_jitter + cfg.int_disabled_max);
+  }
+}
+
+TEST(Cpu, DisabledSectionsHitAtConfiguredRate) {
+  sim::Engine engine;
+  CpuConfig cfg;
+  cfg.int_disabled_prob = 0.25;
+  Cpu cpu(engine, cfg, RngStream(4));
+  int spikes = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (cpu.draw_isr_latency() > cfg.isr_base + cfg.isr_jitter) ++spikes;
+  }
+  // A spike is only *visible* when the extra draw exceeds the jitter; that
+  // still happens for most of the 25%.
+  EXPECT_NEAR(static_cast<double>(spikes) / n, 0.25, 0.07);
+}
+
+TEST(Cpu, RequestInterruptDispatchesAfterLatency) {
+  sim::Engine engine;
+  Cpu cpu(engine, CpuConfig{}, RngStream(5));
+  SimTime fired = SimTime::never();
+  std::uint8_t seen_vector = 0;
+  cpu.isr = [&](std::uint8_t v) {
+    fired = engine.now();
+    seen_vector = v;
+  };
+  cpu.request_interrupt(0x42);
+  engine.run();
+  ASSERT_NE(fired, SimTime::never());
+  EXPECT_EQ(seen_vector, 0x42);
+  EXPECT_GE(fired - SimTime::epoch(), CpuConfig{}.isr_base);
+}
+
+TEST(Cpu, TaskLatencyLargerThanIsr) {
+  sim::Engine engine;
+  CpuConfig cfg;
+  Cpu cpu(engine, cfg, RngStream(6));
+  RunningStats isr, task;
+  for (int i = 0; i < 2000; ++i) {
+    isr.add(cpu.draw_isr_latency());
+    task.add(cpu.draw_task_latency());
+  }
+  EXPECT_GT(task.mean(), isr.mean() * 3);
+}
+
+TEST(Cpu, DeferToTaskRunsLater) {
+  sim::Engine engine;
+  Cpu cpu(engine, CpuConfig{}, RngStream(7));
+  SimTime ran = SimTime::never();
+  cpu.defer_to_task([&] { ran = engine.now(); });
+  engine.run();
+  ASSERT_NE(ran, SimTime::never());
+  EXPECT_GE(ran - SimTime::epoch(), CpuConfig{}.task_base);
+}
+
+}  // namespace
+}  // namespace nti::node

@@ -1,0 +1,39 @@
+#include "nti/sprom.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nti::module {
+namespace {
+
+TEST(Sprom, IdentificationFields) {
+  Sprom rom;
+  EXPECT_EQ(rom.module_id(), Sprom::kNtiModuleId);
+  EXPECT_EQ(rom.revision(), Sprom::kNtiRevision);
+  EXPECT_TRUE(rom.checksum_ok());
+}
+
+TEST(Sprom, AccessByteSemantics) {
+  Sprom rom;
+  rom.access_write(0x02);
+  const std::uint8_t hi = rom.access_read();
+  const std::uint8_t lo = rom.access_read();  // cursor auto-increments
+  EXPECT_EQ((std::uint16_t{hi} << 8) | lo, Sprom::kNtiModuleId);
+}
+
+TEST(Sprom, SyncWordPresent) {
+  Sprom rom;
+  rom.access_write(0x00);
+  EXPECT_EQ(rom.access_read(), 0x53);  // 'S'
+  EXPECT_EQ(rom.access_read(), 0x46);  // 'F'
+}
+
+TEST(Sprom, CursorWraps) {
+  Sprom rom;
+  rom.access_write(0xFF);
+  (void)rom.access_read();             // checksum byte
+  rom.access_write(0x00);
+  EXPECT_EQ(rom.access_read(), 0x53);  // back at the start
+}
+
+}  // namespace
+}  // namespace nti::module

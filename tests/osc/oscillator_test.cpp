@@ -1,0 +1,111 @@
+#include "osc/oscillator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nti::osc {
+namespace {
+
+RngStream rng(std::uint64_t seed = 1) { return RngStream(seed); }
+
+TEST(Oscillator, IdealTickCountMatchesNominal) {
+  QuartzOscillator o(OscConfig::ideal(10e6), rng());
+  // 1 s at 10 MHz -> exactly 10^7 ticks.
+  EXPECT_EQ(o.ticks_at(SimTime::epoch() + Duration::sec(1)), 10'000'000u);
+}
+
+TEST(Oscillator, MonotoneTickCount) {
+  QuartzOscillator o(OscConfig::tcxo(10e6), rng(2));
+  std::uint64_t prev = 0;
+  for (int i = 1; i <= 2000; ++i) {
+    const std::uint64_t n =
+        o.ticks_at(SimTime::from_ps(std::int64_t{i} * 7'777'777));
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(Oscillator, InverseConsistency) {
+  QuartzOscillator o(OscConfig::tcxo(10e6), rng(3));
+  for (const std::uint64_t n : {1ull, 17ull, 999ull, 123'456ull, 10'000'000ull}) {
+    const SimTime t = o.time_of_tick(n);
+    EXPECT_EQ(o.ticks_at(t), n) << "tick " << n;
+    // Just before the tick the count must be lower.
+    EXPECT_LT(o.ticks_at(t - Duration::ps(1)), n) << "tick " << n;
+  }
+}
+
+TEST(Oscillator, TimeOfTickNeverBeforeQuery) {
+  QuartzOscillator o(OscConfig::tcxo(10e6), rng(4));
+  const SimTime t = SimTime::from_ps(123'456'789'000);
+  const std::uint64_t n = o.ticks_at(t);
+  EXPECT_LE(o.time_of_tick(n), t);
+}
+
+TEST(Oscillator, OffsetShiftsRate) {
+  OscConfig cfg = OscConfig::ideal(10e6);
+  cfg.offset_ppm = 10.0;  // fast by 10 ppm
+  QuartzOscillator o(cfg, rng(5));
+  const std::uint64_t n = o.ticks_at(SimTime::epoch() + Duration::sec(10));
+  // Expect ~10e7 * (1 + 1e-5) = 100,001,000 ticks.
+  EXPECT_NEAR(static_cast<double>(n), 100'001'000.0, 50.0);
+}
+
+TEST(Oscillator, WanderStaysWithinBound) {
+  OscConfig cfg = OscConfig::tcxo(10e6);
+  cfg.offset_ppm = 0.0;
+  cfg.temp_coeff_ppm = 0.0;
+  cfg.aging_ppm_per_day = 0.0;
+  cfg.wander_sigma_ppb = 50.0;  // aggressive walk to hit the clamp
+  cfg.wander_bound_ppm = 0.2;
+  QuartzOscillator o(cfg, rng(6));
+  for (int s = 1; s <= 60; ++s) {
+    const double err = o.true_rate_error(SimTime::epoch() + Duration::sec(s));
+    EXPECT_LE(std::fabs(err), 0.2e-6 * 1.001) << "t=" << s;
+  }
+}
+
+TEST(Oscillator, TemperatureInducesPeriodicDeviation) {
+  OscConfig cfg = OscConfig::ideal(10e6);
+  cfg.temp_coeff_ppm = 1.0;
+  cfg.temp_period = Duration::sec(100);
+  QuartzOscillator o(cfg, rng(7));
+  const double quarter = o.true_rate_error(SimTime::epoch() + Duration::sec(25));
+  const double three_q = o.true_rate_error(SimTime::epoch() + Duration::sec(75));
+  EXPECT_GT(quarter, 0.5e-6);   // near +peak
+  EXPECT_LT(three_q, -0.5e-6);  // near -peak
+}
+
+TEST(Oscillator, RhoMaxBoundsTrueError) {
+  // A long TCXO run must respect the configured spec-sheet bound.
+  OscConfig cfg = OscConfig::tcxo(10e6);
+  cfg.offset_ppm = 1.0;
+  QuartzOscillator o(cfg, rng(8));
+  for (int s = 0; s < 300; s += 7) {
+    EXPECT_LE(std::fabs(o.true_rate_error(SimTime::epoch() + Duration::sec(s))),
+              cfg.rho_max_ppm * 1e-6);
+  }
+}
+
+TEST(Oscillator, FrequencyRangeAsserted) {
+  EXPECT_DEATH(QuartzOscillator(OscConfig::ideal(100e6), rng()), "1..20 MHz");
+}
+
+TEST(Oscillator, TwentyMegahertzSupported) {
+  QuartzOscillator o(OscConfig::ideal(20e6), rng(9));
+  EXPECT_EQ(o.ticks_at(SimTime::epoch() + Duration::sec(1)), 20'000'000u);
+  EXPECT_EQ(o.nominal_period(), Duration::ns(50));
+}
+
+TEST(Oscillator, DeterministicUnderSeed) {
+  QuartzOscillator a(OscConfig::tcxo(10e6), rng(42));
+  QuartzOscillator b(OscConfig::tcxo(10e6), rng(42));
+  for (int s = 1; s <= 20; ++s) {
+    const SimTime t = SimTime::epoch() + Duration::sec(s);
+    EXPECT_EQ(a.ticks_at(t), b.ticks_at(t));
+  }
+}
+
+}  // namespace
+}  // namespace nti::osc

@@ -1,0 +1,119 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nti::sim {
+namespace {
+
+using namespace nti::literals;
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime::from_ps(300), [&] { order.push_back(3); });
+  e.schedule_at(SimTime::from_ps(100), [&] { order.push_back(1); });
+  e.schedule_at(SimTime::from_ps(200), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, FifoAmongEqualTimes) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(SimTime::from_ps(50), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NowMatchesFiringTime) {
+  Engine e;
+  SimTime seen;
+  e.schedule_at(SimTime::from_ps(12345), [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, SimTime::from_ps(12345));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  SimTime seen;
+  e.schedule_at(SimTime::from_ps(1000), [&] {
+    e.schedule_in(500_ps, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, SimTime::from_ps(1500));
+}
+
+TEST(Engine, PastSchedulesClampToNow) {
+  Engine e;
+  e.run_until(SimTime::from_ps(1000));
+  SimTime seen;
+  e.schedule_at(SimTime::from_ps(10), [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, SimTime::from_ps(1000));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  EventHandle h = e.schedule_at(SimTime::from_ps(100), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelAfterFireIsNoop) {
+  Engine e;
+  int runs = 0;
+  EventHandle h = e.schedule_at(SimTime::from_ps(100), [&] { ++runs; });
+  e.run();
+  h.cancel();  // must not crash or double-count
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Engine, RunUntilAdvancesTimeEvenWhenEmpty) {
+  Engine e;
+  e.run_until(SimTime::from_ps(777));
+  EXPECT_EQ(e.now(), SimTime::from_ps(777));
+}
+
+TEST(Engine, RunUntilDoesNotExecuteLaterEvents) {
+  Engine e;
+  bool ran = false;
+  e.schedule_at(SimTime::from_ps(2000), [&] { ran = true; });
+  e.run_until(SimTime::from_ps(1000));
+  EXPECT_FALSE(ran);
+  e.run_until(SimTime::from_ps(2000));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, ReentrantSchedulingFromHandler) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) e.schedule_in(10_ps, chain);
+  };
+  e.schedule_at(SimTime::from_ps(0), chain);
+  e.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(e.now(), SimTime::from_ps(40));
+}
+
+TEST(Engine, CountsExecutedAndPending) {
+  Engine e;
+  e.schedule_at(SimTime::from_ps(1), [] {});
+  e.schedule_at(SimTime::from_ps(2), [] {});
+  EXPECT_EQ(e.events_pending(), 2u);
+  e.run();
+  EXPECT_EQ(e.events_executed(), 2u);
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+}  // namespace
+}  // namespace nti::sim

@@ -1,0 +1,70 @@
+#include "sim/periodic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nti::sim {
+namespace {
+
+TEST(PeriodicTask, FiresOnTheGrid) {
+  Engine e;
+  std::vector<SimTime> fires;
+  PeriodicTask task(e, SimTime::from_ps(100), Duration::ps(50),
+                    [&](std::uint64_t) { fires.push_back(e.now()); });
+  e.run_until(SimTime::from_ps(300));
+  ASSERT_GE(fires.size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(fires[k], SimTime::from_ps(100 + 50 * static_cast<std::int64_t>(k)));
+  }
+}
+
+TEST(PeriodicTask, PassesFiringIndex) {
+  Engine e;
+  std::vector<std::uint64_t> ks;
+  PeriodicTask task(e, SimTime::epoch(), Duration::ps(10),
+                    [&](std::uint64_t k) { ks.push_back(k); });
+  e.run_until(SimTime::from_ps(35));
+  EXPECT_EQ(ks, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(PeriodicTask, StopFromInsideHandler) {
+  Engine e;
+  int fired = 0;
+  PeriodicTask task(e, SimTime::epoch(), Duration::ps(10), [&](std::uint64_t k) {
+    ++fired;
+    if (k == 2) task.stop();
+  });
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTask, DestructionCancels) {
+  Engine e;
+  int fired = 0;
+  {
+    PeriodicTask task(e, SimTime::epoch(), Duration::ps(10),
+                      [&](std::uint64_t) { ++fired; });
+    e.run_until(SimTime::from_ps(25));
+  }
+  e.run_until(SimTime::from_ps(1000));
+  EXPECT_EQ(fired, 3);  // 0, 10, 20 -- nothing after destruction
+}
+
+TEST(PeriodicTask, NoDriftAccumulation) {
+  // The k-th firing is start + k*period exactly, regardless of handler
+  // count -- no floating accumulation.
+  Engine e;
+  SimTime last;
+  std::uint64_t last_k = 0;
+  PeriodicTask task(e, SimTime::from_ps(7), Duration::ps(13),
+                    [&](std::uint64_t k) {
+                      last = e.now();
+                      last_k = k;
+                    });
+  e.run_until(SimTime::from_ps(13'000'007));
+  EXPECT_EQ(last.count_ps(), 7 + 13 * static_cast<std::int64_t>(last_k));
+}
+
+}  // namespace
+}  // namespace nti::sim

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "osc/oscillator.hpp"
+#include "sim/engine.hpp"
+#include "utcsu/utcsu.hpp"
+
+namespace nti::utcsu {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  osc::QuartzOscillator osc{osc::OscConfig::ideal(10e6), RngStream(1)};
+  Utcsu chip{engine, osc, UtcsuConfig{}};
+
+  void arm(int timer, Duration clock_value) {
+    const Phi phi = Phi::from_duration(clock_value);
+    const RegOffset base = kRegDutyBase + static_cast<RegOffset>(timer) * kDutyStride;
+    const SimTime now = engine.now();
+    chip.bus_write(now, base + kDutyCompareLo, phi.frac24());
+    chip.bus_write(now, base + kDutyCompareHi,
+                   static_cast<std::uint32_t>(phi.whole_seconds() & 0xFF'FFFF));
+    chip.bus_write(now, base + kDutyCtrl, 1);
+  }
+
+  bool fired(int timer) {
+    const RegOffset base = kRegDutyBase + static_cast<RegOffset>(timer) * kDutyStride;
+    return chip.bus_read(engine.now(), base + kDutyStatus) & 1u;
+  }
+};
+
+TEST(DutyTimer, FiresWhenClockReachesCompare) {
+  Fixture f;
+  f.chip.bus_write(SimTime::epoch(), kRegIntEnable, int_bit(IntSource::kDuty0, 0));
+  SimTime fire_time = SimTime::never();
+  f.chip.on_int_line = [&](IntLine line, bool level) {
+    if (line == IntLine::kIntT && level) fire_time = f.engine.now();
+  };
+  f.arm(0, Duration::ms(500));
+  f.engine.run_until(SimTime::epoch() + Duration::sec(1));
+  // Ideal oscillator: the clock reads 500 ms at real time ~500 ms.
+  ASSERT_NE(fire_time, SimTime::never());
+  EXPECT_NEAR(fire_time.to_sec_f(), 0.5, 1e-5);
+  EXPECT_TRUE(f.fired(0));
+}
+
+TEST(DutyTimer, FiringTracksRateChanges) {
+  Fixture f;
+  // Run the clock at half speed; a 500 ms compare then fires at ~1 s real.
+  const std::uint64_t half = Ltu::nominal_step(10e6) / 2;
+  f.chip.bus_write(SimTime::epoch(), kRegStepLo, static_cast<std::uint32_t>(half));
+  f.chip.bus_write(SimTime::epoch(), kRegStepHi, static_cast<std::uint32_t>(half >> 32));
+  f.chip.bus_write(SimTime::epoch(), kRegIntEnable, int_bit(IntSource::kDuty0, 1));
+  SimTime fire_time = SimTime::never();
+  f.chip.on_int_line = [&](IntLine line, bool level) {
+    if (line == IntLine::kIntT && level) fire_time = f.engine.now();
+  };
+  f.arm(1, Duration::ms(500));
+  f.engine.run_until(SimTime::epoch() + Duration::sec(2));
+  ASSERT_NE(fire_time, SimTime::never());
+  EXPECT_NEAR(fire_time.to_sec_f(), 1.0, 1e-4);
+}
+
+TEST(DutyTimer, RearmedOnStepChangeMidFlight) {
+  Fixture f;
+  f.chip.bus_write(SimTime::epoch(), kRegIntEnable, int_bit(IntSource::kDuty0, 0));
+  SimTime fire_time = SimTime::never();
+  f.chip.on_int_line = [&](IntLine line, bool level) {
+    if (line == IntLine::kIntT && level) fire_time = f.engine.now();
+  };
+  f.arm(0, Duration::ms(800));
+  // At 400 ms real time, double the clock speed: remaining 400 clock-ms
+  // take only 200 real-ms -> fire at ~600 ms.
+  f.engine.schedule_at(SimTime::epoch() + Duration::ms(400), [&f] {
+    const std::uint64_t dbl = Ltu::nominal_step(10e6) * 2;
+    f.chip.bus_write(f.engine.now(), kRegStepLo, static_cast<std::uint32_t>(dbl));
+    f.chip.bus_write(f.engine.now(), kRegStepHi, static_cast<std::uint32_t>(dbl >> 32));
+  });
+  f.engine.run_until(SimTime::epoch() + Duration::sec(1));
+  ASSERT_NE(fire_time, SimTime::never());
+  EXPECT_NEAR(fire_time.to_sec_f(), 0.6, 1e-3);
+}
+
+TEST(DutyTimer, PastCompareFiresImmediately) {
+  Fixture f;
+  f.engine.run_until(SimTime::epoch() + Duration::ms(100));
+  f.chip.bus_write(f.engine.now(), kRegIntEnable, int_bit(IntSource::kDuty0, 2));
+  bool fired = false;
+  f.chip.on_int_line = [&](IntLine line, bool level) {
+    if (line == IntLine::kIntT && level) fired = true;
+  };
+  f.arm(2, Duration::ms(50));  // already passed
+  f.engine.run_until(f.engine.now() + Duration::ms(1));
+  EXPECT_TRUE(fired);
+}
+
+TEST(DutyTimer, DisarmCancels) {
+  Fixture f;
+  f.arm(3, Duration::ms(100));
+  const RegOffset base = kRegDutyBase + 3 * kDutyStride;
+  f.chip.bus_write(f.engine.now(), base + kDutyCtrl, 0);  // disarm
+  f.engine.run_until(SimTime::epoch() + Duration::ms(200));
+  EXPECT_FALSE(f.fired(3));
+}
+
+TEST(DutyTimer, StatusIsWrite1Clear) {
+  Fixture f;
+  f.arm(0, Duration::ms(10));
+  f.engine.run_until(SimTime::epoch() + Duration::ms(20));
+  EXPECT_TRUE(f.fired(0));
+  f.chip.bus_write(f.engine.now(), kRegDutyBase + kDutyStatus, 1u);
+  EXPECT_FALSE(f.fired(0));
+}
+
+TEST(DutyTimer, EightTimersIndependent) {
+  Fixture f;
+  for (int i = 0; i < kNumDutyTimers; ++i) {
+    f.arm(i, Duration::ms(10 * (i + 1)));
+  }
+  f.engine.run_until(SimTime::epoch() + Duration::ms(45));
+  for (int i = 0; i < kNumDutyTimers; ++i) {
+    EXPECT_EQ(f.fired(i), i < 4) << "timer " << i;
+  }
+}
+
+TEST(DutyTimer, FiresThroughAmortization) {
+  Fixture f;
+  // Start a fast amortization, then arm a timer whose target falls inside
+  // the slew phase; the firing time must reflect the faster clock.
+  const std::uint64_t step = Ltu::nominal_step(10e6);
+  f.chip.bus_write(SimTime::epoch(), kRegAmortStepLo,
+                   static_cast<std::uint32_t>(step * 2));
+  f.chip.bus_write(SimTime::epoch(), kRegAmortStepHi,
+                   static_cast<std::uint32_t>((step * 2) >> 32));
+  f.chip.bus_write(SimTime::epoch(), kRegAmortTicksLo, 10'000'000);  // 1 s worth
+  f.chip.bus_write(SimTime::epoch(), kRegAmortTicksHi, 0);
+  f.chip.bus_write(SimTime::epoch(), kRegCtrl, kCtrlStartAmort);
+  f.arm(0, Duration::ms(600));
+  f.engine.run_until(SimTime::epoch() + Duration::sec(1));
+  // Clock runs 2x: reaches 600 ms at ~300 ms real time.
+  EXPECT_TRUE(f.fired(0));
+}
+
+}  // namespace
+}  // namespace nti::utcsu

@@ -1,0 +1,136 @@
+// Property sweeps over the lazy adder-clock arithmetic: for a matrix of
+// oscillator classes and rate regimes, the closed-form advance must agree
+// with the definitionally correct (but slow) per-tick evaluation, and the
+// duty-timer inversion must be exact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include <string>
+
+#include "osc/oscillator.hpp"
+#include "utcsu/ltu.hpp"
+
+namespace nti::utcsu {
+namespace {
+
+struct LtuCase {
+  const char* osc_kind;  // "ideal" | "tcxo" | "cheap"
+  double f_mhz;
+  double step_scale;     // STEP = nominal * scale
+  std::uint64_t seed;
+};
+
+osc::OscConfig config_of(const LtuCase& c) {
+  if (std::string(c.osc_kind) == "ideal") return osc::OscConfig::ideal(c.f_mhz * 1e6);
+  if (std::string(c.osc_kind) == "tcxo") return osc::OscConfig::tcxo(c.f_mhz * 1e6);
+  return osc::OscConfig::cheap_xo(c.f_mhz * 1e6);
+}
+
+class LtuProperty : public ::testing::TestWithParam<LtuCase> {};
+
+TEST_P(LtuProperty, ClosedFormMatchesPerTickSum) {
+  const LtuCase c = GetParam();
+  osc::QuartzOscillator osc(config_of(c), RngStream(c.seed));
+  Ltu ltu(osc, Phi::from_sec(3));
+  const auto step = static_cast<std::uint64_t>(
+      static_cast<double>(Ltu::nominal_step(c.f_mhz * 1e6)) * c.step_scale);
+  ltu.set_step(SimTime::epoch(), step);
+
+  // Reference: value(tick n) = initial + n * step (no amortization).
+  // Reads advance internal state, so probe in time order.
+  RngStream probe(c.seed ^ 0x9999);
+  std::vector<std::int64_t> times;
+  for (int i = 0; i < 50; ++i) times.push_back(probe.uniform_int(1, 2'000'000'000'000));
+  std::sort(times.begin(), times.end());
+  for (const std::int64_t ps : times) {
+    const SimTime t = SimTime::from_ps(ps);
+    const std::uint64_t n = osc.ticks_at(t);
+    const Phi expect = Phi::from_sec(3) + Phi::raw(u128{step} * n);
+    EXPECT_EQ(ltu.read(t).raw_value(), expect.raw_value()) << "t=" << ps;
+  }
+}
+
+TEST_P(LtuProperty, TickReachingIsExactInverse) {
+  const LtuCase c = GetParam();
+  osc::QuartzOscillator osc(config_of(c), RngStream(c.seed));
+  Ltu ltu(osc, Phi::from_sec(0));
+  const auto step = static_cast<std::uint64_t>(
+      static_cast<double>(Ltu::nominal_step(c.f_mhz * 1e6)) * c.step_scale);
+  ltu.set_step(SimTime::epoch(), step);
+
+  RngStream probe(c.seed ^ 0x7777);
+  for (int i = 0; i < 30; ++i) {
+    const Phi target = Phi::from_duration(
+        Duration::ps(probe.uniform_int(1'000'000, 900'000'000'000)));
+    const std::uint64_t n = ltu.tick_reaching(target);
+    EXPECT_GE(ltu.value_at_tick(n), target);
+    if (n > 0) EXPECT_LT(ltu.value_at_tick(n - 1), target);
+  }
+}
+
+TEST_P(LtuProperty, AmortizationConservesTotalAdjustment) {
+  const LtuCase c = GetParam();
+  osc::QuartzOscillator osc(config_of(c), RngStream(c.seed));
+  Ltu ltu(osc, Phi::from_sec(0));
+  const SimTime t0 = SimTime::epoch() + Duration::ms(10);
+  const Phi base = ltu.read(t0);
+  const std::uint64_t step = ltu.step();
+  const std::uint64_t dpt = std::max<std::uint64_t>(1, step / 777);
+  const std::uint64_t ticks = 1'000'000;
+  ltu.start_amortization(t0, step + dpt, ticks);
+  // Far beyond amortization end.
+  const SimTime t1 = t0 + Duration::sec(2);
+  const std::uint64_t n0 = osc.ticks_at(t0);
+  const std::uint64_t n1 = osc.ticks_at(t1);
+  const Phi got = ltu.read(t1);
+  const Phi expect =
+      base + Phi::raw(u128{step} * (n1 - n0) + u128{dpt} * ticks);
+  EXPECT_EQ(got.raw_value(), expect.raw_value());
+}
+
+TEST_P(LtuProperty, ReadsAreMonotoneAcrossRegimeChanges) {
+  const LtuCase c = GetParam();
+  osc::QuartzOscillator osc(config_of(c), RngStream(c.seed));
+  Ltu ltu(osc, Phi::from_sec(0));
+  RngStream chaos(c.seed ^ 0x5555);
+  Phi prev = ltu.read(SimTime::epoch());
+  SimTime t = SimTime::epoch();
+  for (int i = 0; i < 200; ++i) {
+    t += Duration::ps(chaos.uniform_int(1000, 30'000'000'000));
+    switch (chaos.uniform_int(0, 3)) {
+      case 0:
+        ltu.set_step(t, ltu.step() + static_cast<std::uint64_t>(chaos.uniform_int(-500, 500)));
+        break;
+      case 1:
+        ltu.start_amortization(t, ltu.step() + ltu.step() / 200,
+                               static_cast<std::uint64_t>(chaos.uniform_int(1, 200'000)));
+        break;
+      case 2:
+        ltu.abort_amortization(t);
+        break;
+      default:
+        break;
+    }
+    const Phi now = ltu.read(t);
+    EXPECT_GE(now.raw_value(), prev.raw_value()) << "i=" << i;
+    prev = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LtuProperty,
+    ::testing::Values(LtuCase{"ideal", 10, 1.0, 1}, LtuCase{"tcxo", 10, 1.0, 2},
+                      LtuCase{"cheap", 10, 1.0, 3}, LtuCase{"tcxo", 1, 1.0, 4},
+                      LtuCase{"tcxo", 20, 1.0, 5}, LtuCase{"tcxo", 10, 0.5, 6},
+                      LtuCase{"tcxo", 10, 2.0, 7}, LtuCase{"ideal", 14, 1.0, 8}),
+    [](const ::testing::TestParamInfo<LtuCase>& tpi) {
+      return std::string(tpi.param.osc_kind) + "_f" +
+             std::to_string(static_cast<int>(tpi.param.f_mhz)) + "_s" +
+             std::to_string(static_cast<int>(tpi.param.step_scale * 10)) + "_" +
+             std::to_string(tpi.param.seed);
+    });
+
+}  // namespace
+}  // namespace nti::utcsu

@@ -1,0 +1,167 @@
+#include "utcsu/ltu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "osc/oscillator.hpp"
+
+namespace nti::utcsu {
+namespace {
+
+osc::OscConfig ideal() { return osc::OscConfig::ideal(10e6); }
+
+struct Fixture {
+  osc::QuartzOscillator osc{ideal(), RngStream(1)};
+  Ltu ltu{osc, Phi::from_sec(0)};
+};
+
+SimTime at_sec(std::int64_t s) { return SimTime::epoch() + Duration::sec(s); }
+
+TEST(Ltu, NominalStepValue) {
+  // STEP = 2^51 / 10^7, about 225 x 10^6 phi per 100 ns tick.
+  EXPECT_EQ(Ltu::nominal_step(10e6), 225'179'981ull + 0u);
+  EXPECT_NEAR(static_cast<double>(Ltu::nominal_step(10e6)) * 10e6,
+              static_cast<double>(Phi::kPerSec), 1e7);
+}
+
+TEST(Ltu, TracksRealTimeWithIdealOscillator) {
+  Fixture f;
+  const Phi c = f.ltu.read(at_sec(10));
+  // 10 s of ideal ticks: |C - 10 s| below one tick quantum + STEP rounding.
+  const double err = std::abs(c.to_sec_f() - 10.0);
+  EXPECT_LT(err, 1e-6);
+}
+
+TEST(Ltu, MonotoneReads) {
+  Fixture f;
+  Phi prev = f.ltu.read(SimTime::epoch());
+  for (int i = 1; i < 500; ++i) {
+    const Phi c = f.ltu.read(SimTime::from_ps(std::int64_t{i} * 333'333'333));
+    EXPECT_GE(c.raw_value(), prev.raw_value());
+    prev = c;
+  }
+}
+
+TEST(Ltu, RateAdjustGranularity) {
+  // Changing STEP by 1 changes the rate by f_osc * 2^-51 s/s (~4.4 ns/s at
+  // 10 MHz): the paper's "fine-grained rate adjustable in steps of about
+  // 10 ns/s".  Compare two clocks on the same oscillator, one nudged by a
+  // single augend LSB.
+  Fixture f;
+  Ltu nudged(f.osc, Phi::from_sec(0));
+  nudged.set_step(SimTime::epoch(), Ltu::nominal_step(10e6) + 1);
+  const Phi a = f.ltu.read(at_sec(100));
+  const Phi b = nudged.read(at_sec(100));
+  const double gained = (b - a).to_sec_f();
+  const double expected = 100.0 * 10e6 / std::pow(2.0, 51);  // 100 s of +1 LSB
+  EXPECT_NEAR(gained, expected, expected * 0.01);
+}
+
+TEST(Ltu, SetStateJumps) {
+  Fixture f;
+  f.ltu.read(at_sec(1));
+  f.ltu.set_state(at_sec(1), Phi::from_sec(500));
+  const Phi c = f.ltu.read(at_sec(2));
+  EXPECT_NEAR(c.to_sec_f(), 501.0, 1e-5);
+}
+
+TEST(Ltu, AmortizationAppliesExactOffset) {
+  Fixture f;
+  f.ltu.read(at_sec(1));
+  // Absorb +1 ms by running 0.1% fast: extra = step/1000 per tick.
+  const std::uint64_t step = f.ltu.step();
+  const std::uint64_t extra = step / 1000;
+  const u128 want = Phi::from_duration(Duration::ms(1)).raw_value();
+  const auto ticks = static_cast<std::uint64_t>(want / extra);
+  f.ltu.start_amortization(at_sec(1), step + extra, ticks);
+  EXPECT_TRUE(f.ltu.amortizing());
+
+  // Amortization lasts ticks/10MHz ~ 1 s; read well past the end.
+  const Phi c = f.ltu.read(at_sec(5));
+  EXPECT_FALSE(f.ltu.amortizing());
+  const double err = c.to_sec_f() - (5.0 + 1e-3);
+  EXPECT_LT(std::abs(err), 5e-6);
+}
+
+TEST(Ltu, AmortizationKeepsClockMonotoneWhenSlowingDown) {
+  Fixture f;
+  f.ltu.read(at_sec(1));
+  const std::uint64_t step = f.ltu.step();
+  const std::uint64_t less = step / 500;
+  f.ltu.start_amortization(at_sec(1), step - less, 1'000'000);
+  Phi prev = f.ltu.read(at_sec(1));
+  for (int i = 0; i < 100; ++i) {
+    const Phi c = f.ltu.read(at_sec(1) + Duration::ms(5 * (i + 1)));
+    EXPECT_GE(c.raw_value(), prev.raw_value());
+    prev = c;
+  }
+}
+
+TEST(Ltu, AbortAmortizationStopsSlew) {
+  Fixture f;
+  const std::uint64_t step = f.ltu.step();
+  f.ltu.start_amortization(SimTime::epoch(), step * 2, 10'000'000);  // huge
+  f.ltu.read(at_sec(1));
+  f.ltu.abort_amortization(at_sec(1));
+  EXPECT_FALSE(f.ltu.amortizing());
+  const Phi c1 = f.ltu.read(at_sec(1));
+  const Phi c2 = f.ltu.read(at_sec(2));
+  EXPECT_NEAR((c2 - c1).to_sec_f(), 1.0, 1e-6);  // back to nominal rate
+}
+
+TEST(Ltu, LeapInsertAddsSecondAtArmedValue) {
+  Fixture f;
+  f.ltu.arm_leap(true, Phi::from_sec(5));
+  const Phi before = f.ltu.read(at_sec(4));
+  EXPECT_LT(before.whole_seconds(), 5u);
+  EXPECT_TRUE(f.ltu.leap_pending());
+  const Phi after = f.ltu.read(at_sec(6));
+  EXPECT_FALSE(f.ltu.leap_pending());
+  // Clock jumped from 5 to 6 exactly when it reached 5: at real time 6 it
+  // reads ~7 s.
+  EXPECT_NEAR(after.to_sec_f(), 7.0, 1e-5);
+}
+
+TEST(Ltu, LeapDeleteRemovesSecond) {
+  Fixture f;
+  f.ltu.arm_leap(false, Phi::from_sec(5));
+  const Phi after = f.ltu.read(at_sec(6));
+  EXPECT_NEAR(after.to_sec_f(), 5.0, 1e-5);
+}
+
+TEST(Ltu, TickReachingProjectsThroughAmortization) {
+  Fixture f;
+  const std::uint64_t step = f.ltu.step();
+  // Slew fast for 1e6 ticks then nominal; target beyond the slew phase.
+  f.ltu.start_amortization(SimTime::epoch(), step + step / 100, 1'000'000);
+  const std::uint64_t tick = f.ltu.tick_reaching(Phi::from_sec(2));
+  const SimTime when = f.osc.time_of_tick(tick);
+  const Phi at = f.ltu.value_at_tick(tick);
+  EXPECT_GE(at, Phi::from_sec(2));
+  // One tick earlier must be below target.
+  EXPECT_LT(f.ltu.value_at_tick(tick - 1), Phi::from_sec(2));
+  // Faster-than-nominal start -> reach 2 s slightly before real-time 2 s.
+  EXPECT_LT(when, at_sec(2));
+}
+
+TEST(Ltu, ValueAtTickDoesNotCommitFutureState) {
+  Fixture f;
+  const std::uint64_t now_tick = f.osc.ticks_at(at_sec(1));
+  f.ltu.read(at_sec(1));
+  const Phi future = f.ltu.value_at_tick(now_tick + 2);  // synchronizer peek
+  EXPECT_GT(future, f.ltu.read(at_sec(1)));
+  // A later normal read at the same instant is unaffected by the peek.
+  const Phi again = f.ltu.read(at_sec(1));
+  EXPECT_EQ(again.raw_value(), f.ltu.read(at_sec(1)).raw_value());
+}
+
+TEST(Ltu, CaptureTickAddsSynchronizerStages) {
+  Fixture f;
+  const SimTime t = at_sec(1) + Duration::ns(3);
+  EXPECT_EQ(f.ltu.capture_tick(t, 1), f.osc.ticks_at(t) + 1);
+  EXPECT_EQ(f.ltu.capture_tick(t, 2), f.osc.ticks_at(t) + 2);
+}
+
+}  // namespace
+}  // namespace nti::utcsu

@@ -1,0 +1,70 @@
+#include "utcsu/stamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nti::utcsu {
+namespace {
+
+TEST(Stamp, PackDecodeRoundTrip) {
+  const Phi t = Phi::from_duration(Duration::sec(1000) + Duration::us(123));
+  const StampRegs r = pack_stamp(t, 0x0042, 0x0017);
+  const DecodedStamp d = decode_stamp(r.timestamp, r.macrostamp, r.alpha);
+  EXPECT_TRUE(d.checksum_ok);
+  EXPECT_EQ(d.seconds, 1000u);
+  EXPECT_EQ(d.alpha_minus, 0x0042);
+  EXPECT_EQ(d.alpha_plus, 0x0017);
+  // Reconstructed time within one granularity unit (2^-24 s ~ 59.6 ns).
+  EXPECT_LE((d.time() - (Duration::sec(1000) + Duration::us(123))).abs(),
+            Duration::ns(60));
+}
+
+TEST(Stamp, TimestampWrapsEvery256Seconds) {
+  const StampRegs a = pack_stamp(Phi::from_sec(10), 0, 0);
+  const StampRegs b = pack_stamp(Phi::from_sec(10 + 256), 0, 0);
+  EXPECT_EQ(a.timestamp, b.timestamp);       // 32-bit stamp identical
+  EXPECT_NE(a.macrostamp, b.macrostamp);     // macrostamp disambiguates
+}
+
+TEST(Stamp, ChecksumCoversWholeTime) {
+  const StampRegs r = pack_stamp(Phi::from_sec(99), 1, 2);
+  // Corrupt the seconds carried in the macrostamp; decode must notice.
+  const DecodedStamp bad = decode_stamp(r.timestamp, r.macrostamp ^ 0x0100u, r.alpha);
+  EXPECT_FALSE(bad.checksum_ok);
+  // Corrupt the fraction in the timestamp; decode must notice too.
+  const DecodedStamp bad2 = decode_stamp(r.timestamp ^ 1u, r.macrostamp, r.alpha);
+  EXPECT_FALSE(bad2.checksum_ok);
+}
+
+TEST(Stamp, GranularityIsTwoToMinus24) {
+  // One fraction LSB = 2^-24 s.
+  const DecodedStamp a = decode_stamp(0x0000'0000, pack_stamp(Phi::raw(0), 0, 0).macrostamp, 0);
+  (void)a;
+  const Phi one_lsb = Phi::raw(u128{1} << (Phi::kFracBits - 24));
+  const StampRegs r = pack_stamp(one_lsb, 0, 0);
+  const DecodedStamp d = decode_stamp(r.timestamp, r.macrostamp, r.alpha);
+  EXPECT_EQ(d.frac24, 1u);
+  EXPECT_NEAR(d.time().to_sec_f(), std::pow(2.0, -24), 1e-12);
+}
+
+TEST(Stamp, AccuracyUnitConversion) {
+  DecodedStamp d;
+  d.alpha_minus = 1;  // one 2^-24 s unit
+  d.alpha_plus = 17;
+  EXPECT_NEAR(d.acc_minus().to_sec_f(), std::pow(2.0, -24), 1e-12);
+  EXPECT_NEAR(d.acc_plus().to_sec_f(), 17 * std::pow(2.0, -24), 1e-11);
+}
+
+TEST(Stamp, PhiReconstructionMatchesTruncation) {
+  const Phi t = Phi::from_duration(Duration::ms(123456));
+  const StampRegs r = pack_stamp(t, 0, 0);
+  const DecodedStamp d = decode_stamp(r.timestamp, r.macrostamp, r.alpha);
+  // to_phi truncates below 2^-24 s: difference in [0, 2^-24).
+  const PhiDelta diff = t - d.to_phi();
+  EXPECT_GE(diff.raw_value(), 0);
+  EXPECT_LT(diff.raw_value(), i128{1} << (Phi::kFracBits - 24));
+}
+
+}  // namespace
+}  // namespace nti::utcsu
