@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_convergence_funcs.dir/bench_e10_convergence_funcs.cpp.o"
+  "CMakeFiles/bench_e10_convergence_funcs.dir/bench_e10_convergence_funcs.cpp.o.d"
+  "bench_e10_convergence_funcs"
+  "bench_e10_convergence_funcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_convergence_funcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_medium_access.dir/bench_e11_medium_access.cpp.o"
+  "CMakeFiles/bench_e11_medium_access.dir/bench_e11_medium_access.cpp.o.d"
+  "bench_e11_medium_access"
+  "bench_e11_medium_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_medium_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

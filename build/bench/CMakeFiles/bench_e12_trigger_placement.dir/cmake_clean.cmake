@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_trigger_placement.dir/bench_e12_trigger_placement.cpp.o"
+  "CMakeFiles/bench_e12_trigger_placement.dir/bench_e12_trigger_placement.cpp.o.d"
+  "bench_e12_trigger_placement"
+  "bench_e12_trigger_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_trigger_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

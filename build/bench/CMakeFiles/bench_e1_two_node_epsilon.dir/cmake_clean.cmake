@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_two_node_epsilon.dir/bench_e1_two_node_epsilon.cpp.o"
+  "CMakeFiles/bench_e1_two_node_epsilon.dir/bench_e1_two_node_epsilon.cpp.o.d"
+  "bench_e1_two_node_epsilon"
+  "bench_e1_two_node_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_two_node_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_sixteen_node_precision.dir/bench_e2_sixteen_node_precision.cpp.o"
+  "CMakeFiles/bench_e2_sixteen_node_precision.dir/bench_e2_sixteen_node_precision.cpp.o.d"
+  "bench_e2_sixteen_node_precision"
+  "bench_e2_sixteen_node_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_sixteen_node_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_granularity_sweep.dir/bench_e3_granularity_sweep.cpp.o"
+  "CMakeFiles/bench_e3_granularity_sweep.dir/bench_e3_granularity_sweep.cpp.o.d"
+  "bench_e3_granularity_sweep"
+  "bench_e3_granularity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_granularity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_timestamp_methods.dir/bench_e4_timestamp_methods.cpp.o"
+  "CMakeFiles/bench_e4_timestamp_methods.dir/bench_e4_timestamp_methods.cpp.o.d"
+  "bench_e4_timestamp_methods"
+  "bench_e4_timestamp_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_timestamp_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

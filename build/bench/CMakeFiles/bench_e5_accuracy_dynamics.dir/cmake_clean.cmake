@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_accuracy_dynamics.dir/bench_e5_accuracy_dynamics.cpp.o"
+  "CMakeFiles/bench_e5_accuracy_dynamics.dir/bench_e5_accuracy_dynamics.cpp.o.d"
+  "bench_e5_accuracy_dynamics"
+  "bench_e5_accuracy_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_accuracy_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_rate_sync.dir/bench_e7_rate_sync.cpp.o"
+  "CMakeFiles/bench_e7_rate_sync.dir/bench_e7_rate_sync.cpp.o.d"
+  "bench_e7_rate_sync"
+  "bench_e7_rate_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_rate_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_adder_clock.dir/bench_e9_adder_clock.cpp.o"
+  "CMakeFiles/bench_e9_adder_clock.dir/bench_e9_adder_clock.cpp.o.d"
+  "bench_e9_adder_clock"
+  "bench_e9_adder_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_adder_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

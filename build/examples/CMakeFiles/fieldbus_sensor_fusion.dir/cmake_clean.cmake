@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldbus_sensor_fusion.dir/fieldbus_sensor_fusion.cpp.o"
+  "CMakeFiles/fieldbus_sensor_fusion.dir/fieldbus_sensor_fusion.cpp.o.d"
+  "fieldbus_sensor_fusion"
+  "fieldbus_sensor_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldbus_sensor_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

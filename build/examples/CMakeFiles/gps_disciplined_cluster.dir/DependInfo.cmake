@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gps_disciplined_cluster.cpp" "examples/CMakeFiles/gps_disciplined_cluster.dir/gps_disciplined_cluster.cpp.o" "gcc" "examples/CMakeFiles/gps_disciplined_cluster.dir/gps_disciplined_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/nti_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/csa/CMakeFiles/nti_csa.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/nti_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/nti_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/comco/CMakeFiles/nti_comco.dir/DependInfo.cmake"
+  "/root/repo/build/src/nti/CMakeFiles/nti_module.dir/DependInfo.cmake"
+  "/root/repo/build/src/utcsu/CMakeFiles/nti_utcsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/osc/CMakeFiles/nti_osc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nti_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gps/CMakeFiles/nti_gps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nti_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nti_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gps_disciplined_cluster.dir/gps_disciplined_cluster.cpp.o"
+  "CMakeFiles/gps_disciplined_cluster.dir/gps_disciplined_cluster.cpp.o.d"
+  "gps_disciplined_cluster"
+  "gps_disciplined_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps_disciplined_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

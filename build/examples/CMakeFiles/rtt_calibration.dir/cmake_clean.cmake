@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtt_calibration.dir/rtt_calibration.cpp.o"
+  "CMakeFiles/rtt_calibration.dir/rtt_calibration.cpp.o.d"
+  "rtt_calibration"
+  "rtt_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtt_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixteen_node_prototype.dir/sixteen_node_prototype.cpp.o"
+  "CMakeFiles/sixteen_node_prototype.dir/sixteen_node_prototype.cpp.o.d"
+  "sixteen_node_prototype"
+  "sixteen_node_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixteen_node_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

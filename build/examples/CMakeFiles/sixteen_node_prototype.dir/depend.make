@@ -1,0 +1,2 @@
+# Empty dependencies file for sixteen_node_prototype.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_of_lans.dir/wan_of_lans.cpp.o"
+  "CMakeFiles/wan_of_lans.dir/wan_of_lans.cpp.o.d"
+  "wan_of_lans"
+  "wan_of_lans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_of_lans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

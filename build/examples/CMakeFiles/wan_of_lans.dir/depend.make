@@ -1,0 +1,2 @@
+# Empty dependencies file for wan_of_lans.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("osc")
+subdirs("interval")
+subdirs("utcsu")
+subdirs("nti")
+subdirs("net")
+subdirs("comco")
+subdirs("gps")
+subdirs("node")
+subdirs("csa")
+subdirs("cluster")

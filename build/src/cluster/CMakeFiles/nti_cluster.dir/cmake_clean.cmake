@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/nti_cluster.dir/cluster.cpp.o.d"
+  "libnti_cluster.a"
+  "libnti_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

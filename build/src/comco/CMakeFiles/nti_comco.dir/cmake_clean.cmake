@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_comco.dir/comco.cpp.o"
+  "CMakeFiles/nti_comco.dir/comco.cpp.o.d"
+  "libnti_comco.a"
+  "libnti_comco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_comco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_common.dir/checksum.cpp.o"
+  "CMakeFiles/nti_common.dir/checksum.cpp.o.d"
+  "CMakeFiles/nti_common.dir/log.cpp.o"
+  "CMakeFiles/nti_common.dir/log.cpp.o.d"
+  "CMakeFiles/nti_common.dir/rng.cpp.o"
+  "CMakeFiles/nti_common.dir/rng.cpp.o.d"
+  "CMakeFiles/nti_common.dir/stats.cpp.o"
+  "CMakeFiles/nti_common.dir/stats.cpp.o.d"
+  "CMakeFiles/nti_common.dir/time_types.cpp.o"
+  "CMakeFiles/nti_common.dir/time_types.cpp.o.d"
+  "libnti_common.a"
+  "libnti_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

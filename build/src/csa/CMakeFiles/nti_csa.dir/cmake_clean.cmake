@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_csa.dir/rtt.cpp.o"
+  "CMakeFiles/nti_csa.dir/rtt.cpp.o.d"
+  "CMakeFiles/nti_csa.dir/sync.cpp.o"
+  "CMakeFiles/nti_csa.dir/sync.cpp.o.d"
+  "libnti_csa.a"
+  "libnti_csa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_csa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nti_csa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_gps.dir/gps.cpp.o"
+  "CMakeFiles/nti_gps.dir/gps.cpp.o.d"
+  "libnti_gps.a"
+  "libnti_gps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

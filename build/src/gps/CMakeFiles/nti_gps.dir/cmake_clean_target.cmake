@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnti_gps.a"
+)

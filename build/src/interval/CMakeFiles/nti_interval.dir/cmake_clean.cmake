@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_interval.dir/interval.cpp.o"
+  "CMakeFiles/nti_interval.dir/interval.cpp.o.d"
+  "libnti_interval.a"
+  "libnti_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

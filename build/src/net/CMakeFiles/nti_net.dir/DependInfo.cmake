@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/medium.cpp" "src/net/CMakeFiles/nti_net.dir/medium.cpp.o" "gcc" "src/net/CMakeFiles/nti_net.dir/medium.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/nti_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/nti_net.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nti_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nti_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

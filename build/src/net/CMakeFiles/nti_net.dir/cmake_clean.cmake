@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_net.dir/medium.cpp.o"
+  "CMakeFiles/nti_net.dir/medium.cpp.o.d"
+  "CMakeFiles/nti_net.dir/traffic.cpp.o"
+  "CMakeFiles/nti_net.dir/traffic.cpp.o.d"
+  "libnti_net.a"
+  "libnti_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_node.dir/driver.cpp.o"
+  "CMakeFiles/nti_node.dir/driver.cpp.o.d"
+  "CMakeFiles/nti_node.dir/gateway.cpp.o"
+  "CMakeFiles/nti_node.dir/gateway.cpp.o.d"
+  "CMakeFiles/nti_node.dir/node_card.cpp.o"
+  "CMakeFiles/nti_node.dir/node_card.cpp.o.d"
+  "libnti_node.a"
+  "libnti_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

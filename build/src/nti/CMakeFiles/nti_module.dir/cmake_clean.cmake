@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_module.dir/nti.cpp.o"
+  "CMakeFiles/nti_module.dir/nti.cpp.o.d"
+  "CMakeFiles/nti_module.dir/sprom.cpp.o"
+  "CMakeFiles/nti_module.dir/sprom.cpp.o.d"
+  "libnti_module.a"
+  "libnti_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_osc.dir/oscillator.cpp.o"
+  "CMakeFiles/nti_osc.dir/oscillator.cpp.o.d"
+  "libnti_osc.a"
+  "libnti_osc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_osc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

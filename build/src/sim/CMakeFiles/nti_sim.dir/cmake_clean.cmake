@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_sim.dir/engine.cpp.o"
+  "CMakeFiles/nti_sim.dir/engine.cpp.o.d"
+  "libnti_sim.a"
+  "libnti_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nti_utcsu.dir/acu.cpp.o"
+  "CMakeFiles/nti_utcsu.dir/acu.cpp.o.d"
+  "CMakeFiles/nti_utcsu.dir/ltu.cpp.o"
+  "CMakeFiles/nti_utcsu.dir/ltu.cpp.o.d"
+  "CMakeFiles/nti_utcsu.dir/utcsu.cpp.o"
+  "CMakeFiles/nti_utcsu.dir/utcsu.cpp.o.d"
+  "libnti_utcsu.a"
+  "libnti_utcsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nti_utcsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comco.dir/comco/comco_test.cpp.o"
+  "CMakeFiles/test_comco.dir/comco/comco_test.cpp.o.d"
+  "test_comco"
+  "test_comco.pdb"
+  "test_comco[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

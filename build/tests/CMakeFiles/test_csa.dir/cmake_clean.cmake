@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csa.dir/csa/payload_test.cpp.o"
+  "CMakeFiles/test_csa.dir/csa/payload_test.cpp.o.d"
+  "CMakeFiles/test_csa.dir/csa/rtt_test.cpp.o"
+  "CMakeFiles/test_csa.dir/csa/rtt_test.cpp.o.d"
+  "CMakeFiles/test_csa.dir/csa/sync_test.cpp.o"
+  "CMakeFiles/test_csa.dir/csa/sync_test.cpp.o.d"
+  "test_csa"
+  "test_csa.pdb"
+  "test_csa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

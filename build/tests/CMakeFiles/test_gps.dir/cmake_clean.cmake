@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gps.dir/gps/gps_test.cpp.o"
+  "CMakeFiles/test_gps.dir/gps/gps_test.cpp.o.d"
+  "test_gps"
+  "test_gps.pdb"
+  "test_gps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

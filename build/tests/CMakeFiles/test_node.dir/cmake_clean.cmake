@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node.dir/node/cpu_test.cpp.o"
+  "CMakeFiles/test_node.dir/node/cpu_test.cpp.o.d"
+  "CMakeFiles/test_node.dir/node/driver_test.cpp.o"
+  "CMakeFiles/test_node.dir/node/driver_test.cpp.o.d"
+  "CMakeFiles/test_node.dir/node/gateway_test.cpp.o"
+  "CMakeFiles/test_node.dir/node/gateway_test.cpp.o.d"
+  "test_node"
+  "test_node.pdb"
+  "test_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nti.dir/nti/nti_test.cpp.o"
+  "CMakeFiles/test_nti.dir/nti/nti_test.cpp.o.d"
+  "CMakeFiles/test_nti.dir/nti/sprom_test.cpp.o"
+  "CMakeFiles/test_nti.dir/nti/sprom_test.cpp.o.d"
+  "test_nti"
+  "test_nti.pdb"
+  "test_nti[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osc.dir/osc/oscillator_test.cpp.o"
+  "CMakeFiles/test_osc.dir/osc/oscillator_test.cpp.o.d"
+  "test_osc"
+  "test_osc.pdb"
+  "test_osc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

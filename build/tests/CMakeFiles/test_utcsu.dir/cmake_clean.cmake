@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utcsu.dir/utcsu/acu_test.cpp.o"
+  "CMakeFiles/test_utcsu.dir/utcsu/acu_test.cpp.o.d"
+  "CMakeFiles/test_utcsu.dir/utcsu/duty_timer_test.cpp.o"
+  "CMakeFiles/test_utcsu.dir/utcsu/duty_timer_test.cpp.o.d"
+  "CMakeFiles/test_utcsu.dir/utcsu/ltu_property_test.cpp.o"
+  "CMakeFiles/test_utcsu.dir/utcsu/ltu_property_test.cpp.o.d"
+  "CMakeFiles/test_utcsu.dir/utcsu/ltu_test.cpp.o"
+  "CMakeFiles/test_utcsu.dir/utcsu/ltu_test.cpp.o.d"
+  "CMakeFiles/test_utcsu.dir/utcsu/stamp_test.cpp.o"
+  "CMakeFiles/test_utcsu.dir/utcsu/stamp_test.cpp.o.d"
+  "CMakeFiles/test_utcsu.dir/utcsu/utcsu_test.cpp.o"
+  "CMakeFiles/test_utcsu.dir/utcsu/utcsu_test.cpp.o.d"
+  "test_utcsu"
+  "test_utcsu.pdb"
+  "test_utcsu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utcsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

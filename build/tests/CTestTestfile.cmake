@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_osc[1]_include.cmake")
+include("/root/repo/build/tests/test_interval[1]_include.cmake")
+include("/root/repo/build/tests/test_utcsu[1]_include.cmake")
+include("/root/repo/build/tests/test_nti[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_comco[1]_include.cmake")
+include("/root/repo/build/tests/test_gps[1]_include.cmake")
+include("/root/repo/build/tests/test_node[1]_include.cmake")
+include("/root/repo/build/tests/test_csa[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
