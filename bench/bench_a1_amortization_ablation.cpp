@@ -90,5 +90,17 @@ int main() {
   bench::verdict(ok,
                  "amortized clocks strictly monotone; stepping visibly breaks "
                  "monotonicity");
+
+  bench::BenchReport report("a1_amortization_ablation");
+  report.config("num_nodes", 4.0);
+  report.config("seed", 2024.0);
+  report.metric("nonmonotone_reads_amortized", amort.nonmonotone_reads);
+  report.metric("nonmonotone_reads_stepped", step.nonmonotone_reads);
+  report.metric("reads_sampled", amort.reads + step.reads);
+  report.metric("precision_max_amortized", amort.precision_max);
+  report.metric("precision_max_stepped", step.precision_max);
+  report.metric("containment_violations", amort.violations + step.violations);
+  report.pass(ok);
+  report.write();
   return ok ? 0 : 1;
 }

@@ -3,6 +3,13 @@
 // Every bench prints (1) the paper's claim, (2) the measured result from
 // the simulation, (3) a PASS/DEVIATION verdict on the claim's *shape*.
 // EXPERIMENTS.md aggregates these outputs.
+//
+// In addition to the human-readable report, every bench serializes its key
+// scalars through BenchReport into BENCH_<name>.json (schema:
+// {"bench": ..., "metrics": {...}, "config": {...}}) so the repo's perf
+// trajectory is machine-readable PR-over-PR.  Conventions: durations are
+// reported in microseconds under keys suffixed _us; counters are raw
+// counts; the verdict lands under metrics.pass (1/0).
 #pragma once
 
 #include <cstdio>
@@ -10,6 +17,8 @@
 
 #include "common/stats.hpp"
 #include "common/time_types.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace nti::bench {
 
@@ -38,5 +47,67 @@ inline std::string dist_summary(SampleSet& s) {
                 s.max_duration().str().c_str(), s.count());
   return buf;
 }
+
+/// Collects a bench's key scalars and writes BENCH_<name>.json on write()
+/// (or at destruction, if the bench exits early).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() {
+    if (!written_) write();
+  }
+
+  void config(const std::string& key, double v) { config_.add(key, v); }
+  void config(const std::string& key, const std::string& v) { config_.add(key, v); }
+  void config(const std::string& key, Duration d) { config_.add(key + "_us", d.to_us_f()); }
+
+  void metric(const std::string& key, double v) { metrics_.add(key, v); }
+  void metric(const std::string& key, std::uint64_t v) { metrics_.add(key, v); }
+  void metric(const std::string& key, Duration d) { metrics_.add(key + "_us", d.to_us_f()); }
+  /// Expands to <key>_{min,mean,p50,p99,max}_us plus <key>_n.  Samples must
+  /// be Duration-valued (picoseconds), as everywhere in the benches.
+  void distribution(const std::string& key, SampleSet& s) {
+    const SampleSummary sum = s.summary();
+    metrics_.add(key + "_min_us", sum.min * 1e-6);
+    metrics_.add(key + "_mean_us", sum.mean * 1e-6);
+    metrics_.add(key + "_p50_us", sum.p50 * 1e-6);
+    metrics_.add(key + "_p99_us", sum.p99 * 1e-6);
+    metrics_.add(key + "_max_us", sum.max * 1e-6);
+    metrics_.add(key + "_n", static_cast<std::uint64_t>(sum.n));
+  }
+  /// Fold a whole registry snapshot (engine/medium/csa/cluster counters)
+  /// into the metrics object.
+  void from_registry(const obs::MetricsRegistry& reg) {
+    for (const auto& m : reg.snapshot()) metrics_.add(m.name, m.value);
+  }
+  /// Record the bench verdict (also what the JSON trajectory trends on).
+  void pass(bool ok) { metrics_.add("pass", ok ? 1.0 : 0.0); }
+
+  /// Serialize to BENCH_<name>.json in the current working directory.
+  void write() {
+    written_ = true;
+    obs::JsonObject root;
+    root.add("bench", name_);
+    root.add_object("metrics", metrics_);
+    root.add_object("config", config_);
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string body = root.str();
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  obs::JsonObject metrics_;
+  obs::JsonObject config_;
+  bool written_ = false;
+};
 
 }  // namespace nti::bench

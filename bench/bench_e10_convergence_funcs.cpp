@@ -7,6 +7,8 @@
 // to trimming but with visibly worse precision (it cannot exploit
 // interval widths).  A no-fault control run calibrates the cost of
 // fault tolerance itself.
+#include <cctype>
+
 #include "bench_common.hpp"
 #include "nti_api.hpp"
 #include "sim/periodic.hpp"
@@ -79,12 +81,20 @@ int main() {
       {"Marzullo", csa::Convergence::kMarzullo, {}, {}},
       {"FTA", csa::Convergence::kFTA, {}, {}},
   };
+  bench::BenchReport report("e10_convergence_funcs");
+  report.config("num_nodes", 7.0);
+  report.config("fault_tolerance", 2.0);
+  report.config("seed", 1010.0);
   for (auto& r : rows) {
     r.clean = run_once(r.conv, false);
     r.faulty = run_once(r.conv, true);
     std::printf("  %-12s %-22s %-22s\n", r.name,
                 r.clean.precision_correct.str().c_str(),
                 r.faulty.precision_correct.str().c_str());
+    std::string key = r.name;
+    for (auto& c : key) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    report.metric(key + "_precision_clean", r.clean.precision_correct);
+    report.metric(key + "_precision_byzantine", r.faulty.precision_correct);
   }
 
   const bool oa_ok = rows[0].faulty.precision_correct < Duration::us(10);
@@ -94,5 +104,7 @@ int main() {
       rows[0].clean.precision_correct * 4 + Duration::us(2);
   bench::verdict(oa_ok && mz_ok && degradation_bounded,
                  "interval fusions hold low-us precision despite f=2 Byzantine");
+  report.pass(oa_ok && mz_ok);
+  report.write();
   return (oa_ok && mz_ok) ? 0 : 1;
 }

@@ -20,6 +20,9 @@ int main() {
 
   std::printf("  %-8s %-34s %-14s %s\n", "load", "MAC wait (p50 / p99 / max)",
               "hw epsilon", "collisions");
+  bench::BenchReport report("e11_medium_access");
+  report.config("csps", 2000.0);
+  report.config("sim_seconds", 11.0);
   bool hw_flat = true;
   Duration hw_eps_low, hw_eps_high;
   for (const double load : {0.0, 0.2, 0.4, 0.6}) {
@@ -78,6 +81,14 @@ int main() {
                   mac_wait.max_duration().str().c_str());
     std::printf("  %-8.1f %-34s %-14s %llu\n", load, waits, eps.str().c_str(),
                 static_cast<unsigned long long>(medium.collisions()));
+    char key[48];
+    std::snprintf(key, sizeof key, "load%02d", static_cast<int>(load * 100));
+    report.metric(std::string(key) + "_hw_epsilon", eps);
+    report.metric(std::string(key) + "_mac_wait_p99",
+                  mac_wait.percentile_duration(99));
+    report.metric(std::string(key) + "_collisions", medium.collisions());
+    report.metric(std::string(key) + "_frames_delivered", medium.frames_delivered());
+    report.metric(std::string(key) + "_tx_aborts", medium.tx_aborts());
     if (load == 0.0) hw_eps_low = eps;
     if (load == 0.6) {
       hw_eps_high = eps;
@@ -89,5 +100,8 @@ int main() {
   if (hw_eps_high > hw_eps_low * 2 + Duration::ns(100)) hw_flat = false;
   bench::verdict(hw_flat,
                  "MAC wait explodes with load while trigger epsilon stays sub-us");
+  report.metric("hw_epsilon_flat", hw_flat ? 1.0 : 0.0);
+  report.pass(hw_flat);
+  report.write();
   return hw_flat ? 0 : 1;
 }

@@ -13,11 +13,16 @@
 using namespace nti;
 
 int main() {
+  bench::BenchReport report("e1_two_node_epsilon");
   cluster::ClusterConfig cfg;
   cfg.num_nodes = 2;
   cfg.seed = 1;
   cfg.sync.round_period = Duration::ms(100);  // dense rounds: many samples
   cfg.sync.resync_offset = Duration::ms(50);
+  report.config("num_nodes", static_cast<double>(cfg.num_nodes));
+  report.config("seed", static_cast<double>(cfg.seed));
+  report.config("round_period", cfg.sync.round_period);
+  report.config("sim_seconds", 300.0);
   cluster::Cluster cl(cfg);
   cl.start();
 
@@ -53,5 +58,15 @@ int main() {
   bench::row("engineered jitter budget",
              (cc.fifo_lead_jitter + cc.rx_arb_jitter).str());
   bench::verdict(eps < Duration::us(1), "epsilon below 1 us");
+
+  // A final probe stamps the precision/accuracy-envelope scalars into the
+  // cluster registry so the JSON trajectory carries pi and alpha too.
+  cl.probe();
+  report.metric("epsilon", eps);
+  report.metric("stamp_epsilon", stamp_eps);
+  report.distribution("trigger_gap", truth_gap);
+  report.from_registry(cl.metrics());
+  report.pass(eps < Duration::us(1));
+  report.write();
   return eps < Duration::us(1) ? 0 : 1;
 }

@@ -19,7 +19,7 @@ struct Result {
   std::uint64_t violations;
 };
 
-Result run_once(csa::Convergence conv) {
+Result run_once(csa::Convergence conv, bench::BenchReport* rep = nullptr) {
   cluster::ClusterConfig cfg;
   cfg.num_nodes = 16;
   cfg.seed = 1616;
@@ -28,6 +28,13 @@ Result run_once(csa::Convergence conv) {
   cluster::Cluster cl(cfg);
   cl.start();
   cl.run(Duration::sec(300), Duration::sec(30), Duration::ms(250));
+  if (rep != nullptr) {
+    // Registry carries cluster.precision_us / precision_max_us /
+    // accuracy_worst_us scalars plus engine/medium/per-node sync counters.
+    rep->from_registry(cl.metrics());
+    rep->metric("alpha_minus_worst", cl.worst_alpha_minus());
+    rep->metric("alpha_plus_worst", cl.worst_alpha_plus());
+  }
   return {cl.precision_samples().max_duration(),
           cl.precision_samples().percentile_duration(99),
           cl.accuracy_samples().max_duration(),
@@ -40,7 +47,12 @@ int main() {
   bench::header("E2: 16-node prototype precision (5 simulated minutes)",
                 "worst-case precision/accuracy in the 1 us range (Secs. 1/4/6)");
 
-  const Result oa = run_once(csa::Convergence::kOA);
+  bench::BenchReport report("e2_sixteen_node_precision");
+  report.config("num_nodes", 16.0);
+  report.config("seed", 1616.0);
+  report.config("fault_tolerance", 2.0);
+  report.config("sim_seconds", 300.0);
+  const Result oa = run_once(csa::Convergence::kOA, &report);
   std::printf("  OA convergence (f = 2):\n");
   bench::row("precision max", oa.p_max.str());
   bench::row("precision p99", oa.p99.str());
@@ -62,5 +74,15 @@ int main() {
   // precision stays below 5 us and containment never breaks.
   const bool ok = oa.p_max < Duration::us(5) && oa.violations == 0;
   bench::verdict(ok, "16-node worst-case precision in the low-us range");
+
+  report.metric("precision_max", oa.p_max);
+  report.metric("precision_p99", oa.p99);
+  report.metric("accuracy_max", oa.acc_max);
+  report.metric("alpha_mean", oa.alpha_mean);
+  report.metric("containment_violations", oa.violations);
+  report.metric("precision_max_marzullo", mz.p_max);
+  report.metric("precision_max_fta", fta.p_max);
+  report.pass(ok);
+  report.write();
   return ok ? 0 : 1;
 }

@@ -26,6 +26,11 @@ int main() {
   bench::header("E3: precision vs oscillator frequency (4G + 10u law)",
                 "impairment ~ 4G + 10u, u = 1/f_osc; < 1 us needs f_osc > 14 MHz");
 
+  bench::BenchReport report("e3_granularity_sweep");
+  report.config("num_nodes", 4.0);
+  report.config("seed", 333.0);
+  report.config("sim_seconds", 60.0);
+
   struct Point {
     double f_mhz;
     Duration p_max;
@@ -49,6 +54,9 @@ int main() {
     cl.run(Duration::sec(60), Duration::sec(20), Duration::ms(200));
     const Point p{f_mhz, cl.precision_samples().max_duration(), tick};
     pts.push_back(p);
+    char key[48];
+    std::snprintf(key, sizeof key, "precision_max_%gmhz", f_mhz);
+    report.metric(key, p.p_max);
     std::printf("  %6.1f MHz %-12s %-14s %-14s  (violations: %llu)\n", f_mhz,
                 p.u.str().c_str(), p.p_max.str().c_str(),
                 cl.precision_samples().percentile_duration(99).str().c_str(),
@@ -85,5 +93,10 @@ int main() {
   bench::verdict(monotone_ok && budget_ok && bound_ok,
                  "monotone in u, within the 4G+10u envelope, budget met at "
                  ">= 14 MHz");
+  report.metric("impairment_at_14mhz", pts[4].p_max - pts.back().p_max);
+  report.metric("monotone_ok", monotone_ok ? 1.0 : 0.0);
+  report.metric("bound_ok", bound_ok ? 1.0 : 0.0);
+  report.pass(monotone_ok && budget_ok && bound_ok);
+  report.write();
   return (monotone_ok && budget_ok && bound_ok) ? 0 : 1;
 }

@@ -95,5 +95,15 @@ int main() {
               sw.to_us_f(), in.to_us_f(), hw.to_us_f());
   const bool ok = hw < Duration::us(1) && in > hw * 10 && sw > in * 5;
   bench::verdict(ok, "ordering software >> interrupt >> hardware, NTI < 1 us");
+
+  bench::BenchReport report("e4_timestamp_methods");
+  report.config("offered_load", tc.offered_load);
+  report.config("sim_seconds", 200.0);
+  report.metric("epsilon_software", sw);
+  report.metric("epsilon_interrupt", in);
+  report.metric("epsilon_hardware", hw);
+  report.distribution("hw_gap", eps_hw);
+  report.pass(ok);
+  report.write();
   return ok ? 0 : 1;
 }

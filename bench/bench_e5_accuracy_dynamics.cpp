@@ -65,5 +65,17 @@ int main() {
   bench::row("current precision", probe.precision.str());
   const bool ok = widths.mean_duration() < static_bound && gain > 1.0;
   bench::verdict(ok, "mean dynamic alpha below the static worst-case bound");
+
+  bench::BenchReport report("e5_accuracy_dynamics");
+  report.config("num_nodes", static_cast<double>(cfg.num_nodes));
+  report.config("seed", static_cast<double>(cfg.seed));
+  report.metric("alpha_mean", widths.mean_duration());
+  report.metric("alpha_peak", peak);
+  report.metric("static_bound", static_bound);
+  report.metric("dynamic_gain_x", gain);
+  report.distribution("alpha", widths);
+  report.from_registry(cl.metrics());
+  report.pass(ok);
+  report.write();
   return ok ? 0 : 1;
 }

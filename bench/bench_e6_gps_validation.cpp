@@ -15,6 +15,8 @@
 // The bench drives one failure class per run (two receivers, so anchored
 // edges survive f = 1 trimming) and checks each class lands on the right
 // side of that boundary.
+#include <cctype>
+
 #include "bench_common.hpp"
 #include "nti_api.hpp"
 
@@ -74,13 +76,33 @@ int main() {
   const Duration v_width_bound = Duration::us(30);
 
   bool all_ok = true;
+  bench::BenchReport report("e6_gps_validation");
+  report.config("num_nodes", 4.0);
+  report.config("seed", 66.0);
+  report.config("v_width_bound", v_width_bound);
   std::printf("  %-32s %-9s %-9s %-14s %-12s %s\n", "failure class", "offered",
               "accepted", "precision p90", "|C-UTC| max", "violations");
-  const auto print_row = [](const char* name, const Outcome& o) {
+  const auto print_row = [&report](const char* name, const Outcome& o) {
     std::printf("  %-32s %-9d %-9d %-14s %-12s %llu\n", name,
                 o.offered_in_window, o.accepted_in_window,
                 o.precision_p90.str().c_str(), o.accuracy_max.str().c_str(),
                 static_cast<unsigned long long>(o.violations));
+    // Per-class scalars in the JSON trajectory, keyed by a slug of the
+    // human-readable class name ("offset spike +5 ms (gross)" ->
+    // "offset_spike_5_ms_gross").
+    std::string key;
+    for (const char* p = name; *p != '\0'; ++p) {
+      if (std::isalnum(static_cast<unsigned char>(*p))) {
+        key += *p;
+      } else if (!key.empty() && key.back() != '_') {
+        key += '_';
+      }
+    }
+    if (!key.empty() && key.back() == '_') key.pop_back();
+    report.metric(key + "_accepted", static_cast<std::uint64_t>(o.accepted_in_window));
+    report.metric(key + "_offered", static_cast<std::uint64_t>(o.offered_in_window));
+    report.metric(key + "_accuracy_max", o.accuracy_max);
+    report.metric(key + "_violations", o.violations);
   };
 
   // --- gross faults: must be rejected, zero influence ----------------------
@@ -161,5 +183,7 @@ int main() {
                  "detectability boundary as designed: gross faults rejected "
                  "with zero influence, within-V faults and slow ramps cause "
                  "only bounded damage, healthy receivers accepted");
+  report.pass(all_ok);
+  report.write();
   return all_ok ? 0 : 1;
 }

@@ -77,5 +77,19 @@ int main() {
   const bool ok = on.spread_end_ppm < off.spread_end_ppm / 3.0 &&
                   on.precision_max < off.precision_max;
   bench::verdict(ok, "rate sync shrinks drift spread and improves precision");
+
+  bench::BenchReport report("e7_rate_sync");
+  report.config("num_nodes", 6.0);
+  report.config("seed", 777.0);
+  report.config("osc_offset_spread_ppm", 30.0);
+  report.metric("spread_end_ppm_off", off.spread_end_ppm);
+  report.metric("spread_end_ppm_on", on.spread_end_ppm);
+  report.metric("precision_max_off", off.precision_max);
+  report.metric("precision_max_on", on.precision_max);
+  report.metric("alpha_mean_off", off.alpha_mean);
+  report.metric("alpha_mean_on", on.alpha_mean);
+  report.metric("drift_spread_reduction_x", reduction);
+  report.pass(ok);
+  report.write();
   return ok ? 0 : 1;
 }

@@ -24,6 +24,9 @@ int main() {
 
   std::printf("  %-4s %-12s %-14s %-14s %-8s\n", "n", "epsilon", "LL bound",
               "precision max", "ratio");
+  bench::BenchReport report("e8_lower_bound");
+  report.config("seed", 888.0);
+  report.config("sim_seconds", 60.0);
   bool all_ok = true;
   for (const int n : {2, 4, 8}) {
     cluster::ClusterConfig cfg;
@@ -66,9 +69,17 @@ int main() {
     const Duration slack = bound + Duration::ns(60) * 4;
     if (achieved > slack * 8) all_ok = false;
     if (achieved < bound / 4) all_ok = false;
+
+    const std::string key = "n" + std::to_string(n);
+    report.metric(key + "_epsilon", eps);
+    report.metric(key + "_ll_bound", bound);
+    report.metric(key + "_precision_max", achieved);
+    report.metric(key + "_ratio", ratio);
   }
   bench::verdict(all_ok,
                  "achieved precision is the same order as the [LL84] floor "
                  "(typical-case max vs adversarial worst-case bound)");
+  report.pass(all_ok);
+  report.write();
   return all_ok ? 0 : 1;
 }

@@ -21,6 +21,8 @@ namespace {
 void functional_report() {
   bench::header("E9: adder-based clock properties",
                 "~10 ns/s rate steps, 60 ns stamps, hw amortization & leaps");
+  bench::BenchReport report("e9_adder_clock");
+  report.config("f_osc_mhz", 10.0);
 
   // Rate granularity at the two interesting frequencies.
   for (const double f : {10e6, 20e6}) {
@@ -28,6 +30,8 @@ void functional_report() {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.2f ns/s", step_ns_per_s);
     bench::row(f == 10e6 ? "rate step @ 10 MHz" : "rate step @ 20 MHz", buf);
+    report.metric(f == 10e6 ? "rate_step_10mhz_ns_per_s" : "rate_step_20mhz_ns_per_s",
+                  step_ns_per_s);
   }
 
   // Amortization exactness: absorb +137 us at 0.2% slew, measure residual.
@@ -47,6 +51,7 @@ void functional_report() {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.1f ns residual", residual * 1e9);
     bench::row("amortize +137 us @ 0.2% slew", buf);
+    report.metric("amortize_residual_ns", residual * 1e9);
   }
 
   // Leap second.
@@ -58,9 +63,12 @@ void functional_report() {
     char buf[64];
     std::snprintf(buf, sizeof buf, "reads %.6f s at real 3 s (expect 4)", v);
     bench::row("leap insert at clock = 2 s", buf);
+    report.metric("leap_read_at_3s_sec", v);
+    report.pass(std::abs(v - 4.0) < 1e-4);
   }
 
   bench::verdict(true, "see rows above; timing benchmarks follow");
+  report.write();
 }
 
 void BM_ClockRead(benchmark::State& state) {

@@ -34,6 +34,28 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     traffic_.push_back(std::make_unique<net::TrafficGenerator>(
         engine_, *medium_, tc, root.fork("traffic")));
   }
+
+  // Observability: every layer registers its counters into the cluster's
+  // registry (the Cluster owns all registered components, so lifetimes are
+  // safe by construction), and the optional trace ring is shared.
+  if (cfg_.trace_capacity > 0) {
+    trace_ = std::make_unique<obs::TraceRing>(cfg_.trace_capacity);
+    medium_->set_trace(trace_.get());
+    for (auto& s : syncs_) s->set_trace(trace_.get());
+    if (cfg_.trace_engine_events) engine_.set_trace(trace_.get());
+  }
+  engine_.register_metrics(metrics_, "sim.engine.");
+  medium_->register_metrics(metrics_, "net.medium.");
+  for (int i = 0; i < cfg_.num_nodes; ++i) {
+    syncs_[static_cast<std::size_t>(i)]->register_metrics(
+        metrics_, "csa.node" + std::to_string(i) + ".");
+  }
+  metrics_.add_counter("cluster.probes", &probes_);
+  metrics_.add_counter("cluster.containment_violations", &violations_);
+  metrics_.add_gauge("cluster.alpha_minus_worst_us",
+                     [this] { return worst_alpha_minus_.to_us_f(); });
+  metrics_.add_gauge("cluster.alpha_plus_worst_us",
+                     [this] { return worst_alpha_plus_.to_us_f(); });
 }
 
 Cluster::~Cluster() = default;
@@ -76,11 +98,19 @@ ProbeSample Cluster::probe() {
     // Containment check against the node's *own* advertised interval.
     const auto iv = syncs_[static_cast<std::size_t>(n->id())]->current_interval(t);
     alpha_acc += (iv.alpha_minus() + iv.alpha_plus()).count_ps() / 2;
+    s.alpha_minus_max = std::max(s.alpha_minus_max, iv.alpha_minus());
+    s.alpha_plus_max = std::max(s.alpha_plus_max, iv.alpha_plus());
     if (truth < iv.lower() || truth > iv.upper()) ++violations_;
   }
   s.precision = max_c - min_c;
   s.worst_accuracy = worst_acc;
   s.mean_alpha = Duration::ps(alpha_acc / cfg_.num_nodes);
+
+  worst_alpha_minus_ = std::max(worst_alpha_minus_, s.alpha_minus_max);
+  worst_alpha_plus_ = std::max(worst_alpha_plus_, s.alpha_plus_max);
+  metrics_.set_scalar("cluster.precision_us", s.precision.to_us_f());
+  metrics_.set_scalar_max("cluster.precision_max_us", s.precision.to_us_f());
+  metrics_.set_scalar_max("cluster.accuracy_worst_us", s.worst_accuracy.to_us_f());
   return s;
 }
 

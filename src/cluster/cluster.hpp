@@ -25,6 +25,8 @@
 #include "net/medium.hpp"
 #include "net/traffic.hpp"
 #include "node/node_card.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace nti::cluster {
@@ -53,6 +55,14 @@ struct ClusterConfig {
   /// Background KI/NI traffic as a fraction of channel capacity.
   double background_load = 0.0;
   std::size_t background_frame_bytes = 512;
+
+  /// Observability: capacity of the post-mortem trace ring (0 disables
+  /// tracing).  Frame tx/rx, accepted CSP stamps, and resyncs are traced;
+  /// set trace_engine_events to additionally trace every engine event
+  /// firing (very dense -- it evicts the interesting records quickly, so
+  /// it is separate).
+  std::size_t trace_capacity = 0;
+  bool trace_engine_events = false;
 };
 
 struct ProbeSample {
@@ -60,6 +70,8 @@ struct ProbeSample {
   Duration precision;       ///< max pairwise clock difference
   Duration worst_accuracy;  ///< max |C_p(t) - t|
   Duration mean_alpha;      ///< average interval half-width
+  Duration alpha_minus_max; ///< widest advertised alpha- across nodes
+  Duration alpha_plus_max;  ///< widest advertised alpha+ across nodes
 };
 
 class Cluster {
@@ -92,6 +104,15 @@ class Cluster {
   SampleSet& alpha_samples() { return alpha_; }
   std::uint64_t containment_violations() const { return violations_; }
   std::uint64_t probes_taken() const { return probes_; }
+  /// Worst-case accuracy envelope observed by any probe so far.
+  Duration worst_alpha_minus() const { return worst_alpha_minus_; }
+  Duration worst_alpha_plus() const { return worst_alpha_plus_; }
+
+  /// The cluster-wide metrics inventory: engine, medium, every sync node,
+  /// and the probe's precision/accuracy envelope scalars.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Post-mortem trace, or nullptr when cfg.trace_capacity == 0.
+  obs::TraceRing* trace() { return trace_.get(); }
 
   /// Ground-truth maximum pairwise oscillator rate difference right now
   /// (for the rate-synchronization experiment E7).
@@ -110,6 +131,10 @@ class Cluster {
   SampleSet alpha_;
   std::uint64_t violations_ = 0;
   std::uint64_t probes_ = 0;
+  Duration worst_alpha_minus_;
+  Duration worst_alpha_plus_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceRing> trace_;
 };
 
 }  // namespace nti::cluster

@@ -54,6 +54,18 @@ double SampleSet::percentile(double p) {
   return xs_[idx] * (1.0 - frac) + xs_[idx + 1] * frac;
 }
 
+SampleSummary SampleSet::summary() {
+  SampleSummary s;
+  s.n = xs_.size();
+  if (xs_.empty()) return s;
+  s.min = min();
+  s.mean = mean();
+  s.p50 = percentile(50);
+  s.p99 = percentile(99);
+  s.max = max();
+  return s;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), bins_(bins, 0) {}
 

@@ -31,6 +31,16 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Five-number summary of a SampleSet, for machine-readable reporting.
+struct SampleSummary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
 /// Sample reservoir with exact percentiles (stores everything; the
 /// experiment runs here are short enough that this is the simplest correct
 /// choice, and exactness matters for worst-case precision claims).
@@ -46,6 +56,8 @@ class SampleSet {
   double mean() const;
   /// p in [0,100]; nearest-rank percentile.
   double percentile(double p);
+  /// min/mean/p50/p99/max in one call (all zeros when empty).
+  SampleSummary summary();
   /// Convenience: max as a Duration when samples were Durations (ps).
   Duration max_duration() { return Duration::ps(static_cast<std::int64_t>(max())); }
   Duration mean_duration() const { return Duration::ps(static_cast<std::int64_t>(mean())); }

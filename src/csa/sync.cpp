@@ -13,14 +13,19 @@ namespace nti::csa {
 using module::kCpuUtcsuBase;
 namespace uc = nti::utcsu;
 
-namespace {
-
-/// Duration -> 16-bit accuracy units (2^-24 s), rounded up, saturating.
 std::uint16_t to_alpha_units(Duration d) {
   if (d <= Duration::zero()) return 0;
-  const std::int64_t units = ((d.count_ps() << 24) + 999'999'999'999LL) / 1'000'000'000'000LL;
-  return static_cast<std::uint16_t>(std::min<std::int64_t>(units, 0xFFFF));
+  // (ps << 24) overflows int64 for d >= ~0.55 s; a wrapped value would
+  // program a tiny ACCSET for a huge real uncertainty and break the
+  // containment invariant at cold start.  128-bit arithmetic saturates
+  // correctly instead.
+  const i128 units =
+      ((i128{d.count_ps()} << 24) + 999'999'999'999LL) / 1'000'000'000'000LL;
+  if (units >= 0xFFFF) return 0xFFFF;
+  return static_cast<std::uint16_t>(static_cast<std::int64_t>(units));
 }
+
+namespace {
 
 Duration scaled_ppm(Duration base, double ppm) {
   return Duration::from_sec_f(base.to_sec_f() * ppm * 1e-6);
@@ -225,6 +230,11 @@ void SyncNode::handle_csp(const node::RxCsp& rx) {
   ob.local_time = local_r;
   ob.remote_step = payload->step;
   obs_[rx.src_node] = ob;
+  ++csps_used_;
+  if (trace_ != nullptr) {
+    trace_->push(card_.cpu().engine().now(), obs::TraceType::kCspStamp,
+                 card_.id(), rx.src_node, remote_t.count_ps());
+  }
 }
 
 std::optional<interval::AccInterval> SyncNode::gps_interval(Duration at_clock) {
@@ -327,6 +337,10 @@ void SyncNode::do_resync() {
   }
   const Duration d = m - c_resync;
   report.correction = d;
+  if (d != Duration::zero()) ++state_corrections_;
+  if (trace_ != nullptr) {
+    trace_->push(now, obs::TraceType::kResync, card_.id(), round_, d.count_ps());
+  }
 
   // Stage the post-adjustment accuracies: they must contain t for every
   // clock value the slew passes through (see DESIGN.md / utcsu/acu.hpp).
@@ -393,8 +407,19 @@ void SyncNode::do_resync() {
     rate_hist_[peer].push_back({round_, ob.remote_time, ob.local_time, cum_corr_});
   }
   obs_.clear();
+  ++rounds_completed_;
   ++round_;
   arm_round_timers();
+}
+
+void SyncNode::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+  reg.add_counter(prefix + "rounds", &rounds_completed_);
+  reg.add_counter(prefix + "csps_used", &csps_used_);
+  reg.add_counter(prefix + "csps_late", &csps_late_);
+  reg.add_counter(prefix + "csps_invalid", &csps_invalid_);
+  reg.add_counter(prefix + "state_corrections", &state_corrections_);
+  reg.add_counter(prefix + "rate_adjustments", &rate_adjustments_);
+  reg.add_gauge(prefix + "cum_correction_us", [this] { return cum_corr_.to_us_f(); });
 }
 
 void SyncNode::apply_rate_sync(RoundReport& report) {
@@ -456,6 +481,7 @@ void SyncNode::apply_rate_sync(RoundReport& report) {
                           static_cast<std::uint32_t>(new_step));
   card_.nti().cpu_write32(now, kCpuUtcsuBase + uc::kRegStepHi,
                           static_cast<std::uint32_t>(new_step >> 32));
+  ++rate_adjustments_;
   report.rate_adj_ppm = adj * 1e6;
 }
 

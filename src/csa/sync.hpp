@@ -36,11 +36,19 @@
 #include "common/time_types.hpp"
 #include "interval/interval.hpp"
 #include "node/node_card.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "csa/payload.hpp"
 
 namespace nti::csa {
 
 enum class Convergence { kMarzullo, kOA, kFTA };
+
+/// Duration -> 16-bit ACCSET accuracy units (2^-24 s), rounded up,
+/// saturating at 0xFFFF.  Computed in 128-bit so large cold-start
+/// accuracies (>= ~0.55 s, where count_ps() << 24 would overflow int64)
+/// saturate instead of wrapping.
+std::uint16_t to_alpha_units(Duration d);
 
 struct SyncConfig {
   Duration round_period = Duration::sec(1);      ///< P
@@ -129,6 +137,18 @@ class SyncNode {
   std::uint32_t round() const { return round_; }
   std::uint64_t csps_late() const { return csps_late_; }
   std::uint64_t csps_invalid() const { return csps_invalid_; }
+  std::uint64_t csps_used() const { return csps_used_; }
+  std::uint64_t rounds_completed() const { return rounds_completed_; }
+  std::uint64_t state_corrections() const { return state_corrections_; }
+  std::uint64_t rate_adjustments() const { return rate_adjustments_; }
+
+  /// Export this node's round/CSP counters into `reg` under `prefix`
+  /// (e.g. "csa.node3."); the node must outlive snapshots of `reg`.
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
+  /// Record kCspStamp (accepted peer stamp) and kResync (applied round)
+  /// trace entries.  Borrowed, not owned; nullptr stops tracing.
+  void set_trace(obs::TraceRing* ring) { trace_ = ring; }
 
   /// Current locally-believed interval (for examples / probes).
   interval::AccInterval current_interval(SimTime now);
@@ -177,6 +197,11 @@ class SyncNode {
   GpsFix gps_fix_{};
   std::uint64_t csps_late_ = 0;
   std::uint64_t csps_invalid_ = 0;
+  std::uint64_t csps_used_ = 0;         ///< accepted peer observations
+  std::uint64_t rounds_completed_ = 0;  ///< resynchronizations executed
+  std::uint64_t state_corrections_ = 0; ///< rounds that applied a nonzero state adj
+  std::uint64_t rate_adjustments_ = 0;  ///< STEP updates from rate sync
+  obs::TraceRing* trace_ = nullptr;
   Duration cum_corr_;  ///< sum of applied state corrections
 };
 

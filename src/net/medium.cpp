@@ -99,6 +99,7 @@ void Medium::start_contention_round(SimTime when) {
           Frame dropped = std::move(p.queue_.front());
           p.queue_.erase(p.queue_.begin());
           p.attempts_ = 0;
+          ++tx_aborts_;
           if (p.on_tx_abort) p.on_tx_abort(dropped);
           someone_aborted = true;
         }
@@ -132,10 +133,18 @@ void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
   const Duration air = frame_air_time(frame->bytes.size());
   busy_until_ = wire_start + air;
 
-  engine_.schedule_at(wire_start, [&port, frame, wire_start] {
+  engine_.schedule_at(wire_start, [this, &port, frame, wire_start] {
+    if (trace_ != nullptr) {
+      trace_->push(wire_start, obs::TraceType::kFrameTx, port.station_,
+                   static_cast<std::int64_t>(frame->id),
+                   static_cast<std::int64_t>(frame->bytes.size()));
+    }
     if (port.on_wire_start) port.on_wire_start(wire_start, frame);
   });
 
+  // Delivery completes when the last receiver has the final bit; a frame
+  // with no receivers attached "delivers" when the wire clears.
+  SimTime delivered_at = busy_until_;
   for (std::size_t i = 0; i < ports_.size(); ++i) {
     if (i == port_idx) continue;
     MacPort& rx = *ports_[i];
@@ -147,11 +156,17 @@ void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
     timing.rx_start = wire_start + prop;
     timing.rx_end = timing.rx_start + air;
     timing.byte_time = byte_time_;
-    engine_.schedule_at(timing.rx_start, [&rx, frame, timing] {
+    delivered_at = std::max(delivered_at, timing.rx_end);
+    engine_.schedule_at(timing.rx_start, [this, &rx, frame, timing] {
+      if (trace_ != nullptr) {
+        trace_->push(timing.rx_start, obs::TraceType::kFrameRx, rx.station_,
+                     static_cast<std::int64_t>(frame->id),
+                     timing.rx_end.count_ps());
+      }
       if (rx.on_frame) rx.on_frame(frame, timing);
     });
   }
-  ++frames_delivered_;
+  engine_.schedule_at(delivered_at, [this] { ++frames_delivered_; });
 
   // Once the wire clears, let any queued stations contend again.
   if (!contention_scheduled_) {
@@ -163,6 +178,13 @@ void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
       start_contention_round(busy_until_ + cfg_.inter_frame_gap);
     }
   }
+}
+
+void Medium::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+  reg.add_counter(prefix + "frames_delivered", &frames_delivered_);
+  reg.add_counter(prefix + "collisions", &collisions_);
+  reg.add_counter(prefix + "queue_drops", &queue_drops_);
+  reg.add_counter(prefix + "tx_aborts", &tx_aborts_);
 }
 
 }  // namespace nti::net

@@ -23,6 +23,8 @@
 
 #include "common/rng.hpp"
 #include "common/time_types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace nti::net {
@@ -101,10 +103,25 @@ class Medium {
   Duration frame_air_time(std::size_t frame_bytes) const;
   const MediumConfig& config() const { return cfg_; }
 
-  /// Counters for the medium-access experiments.
+  /// Counters for the medium-access experiments.  frames_delivered counts
+  /// at *delivery time* -- the instant the last receiver has the full frame
+  /// (or the wire clears, for a frame with no receivers attached) -- not
+  /// when the transmission is scheduled, so a probe mid-flight never sees
+  /// a frame counted before anyone could have received it.
   std::uint64_t frames_delivered() const { return frames_delivered_; }
   std::uint64_t collisions() const { return collisions_; }
   std::uint64_t queue_drops() const { return queue_drops_; }
+  /// Frames abandoned after max_attempts collisions (excessive-collision
+  /// aborts; each one also invoked its port's on_tx_abort).
+  std::uint64_t tx_aborts() const { return tx_aborts_; }
+
+  /// Export the MAC counters into `reg` under `prefix` (e.g. "net.medium.");
+  /// the Medium must outlive snapshots of `reg`.
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
+  /// Record kFrameTx / kFrameRx trace entries.  Borrowed, not owned;
+  /// nullptr stops tracing.
+  void set_trace(obs::TraceRing* ring) { trace_ = ring; }
 
  private:
   void try_start(std::size_t port_idx);
@@ -123,6 +140,8 @@ class Medium {
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t collisions_ = 0;
   std::uint64_t queue_drops_ = 0;
+  std::uint64_t tx_aborts_ = 0;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace nti::net

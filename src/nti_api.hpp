@@ -2,6 +2,7 @@
 //
 // Layering (bottom to top):
 //   common/   time types, fixed point, RNG, stats
+//   obs/      observability: metrics registry, trace ring, JSON emission
 //   sim/      discrete-event engine
 //   osc/      oscillator models
 //   interval/ accuracy-interval arithmetic & fusion
@@ -21,6 +22,9 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/time_types.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/periodic.hpp"
 #include "osc/oscillator.hpp"

@@ -1,0 +1,89 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nti::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values (counters, counts) print exactly without a fraction;
+  // everything else gets enough digits to round-trip.
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonObject::add(const std::string& key, double v) {
+  fields_.emplace_back(key, json_number(v));
+}
+
+void JsonObject::add(const std::string& key, std::uint64_t v) {
+  fields_.emplace_back(key, std::to_string(v));
+}
+
+void JsonObject::add(const std::string& key, std::int64_t v) {
+  fields_.emplace_back(key, std::to_string(v));
+}
+
+void JsonObject::add(const std::string& key, bool v) {
+  fields_.emplace_back(key, v ? "true" : "false");
+}
+
+void JsonObject::add(const std::string& key, const std::string& v) {
+  fields_.emplace_back(key, "\"" + json_escape(v) + "\"");
+}
+
+void JsonObject::add(const std::string& key, const char* v) {
+  add(key, std::string(v));
+}
+
+void JsonObject::add_object(const std::string& key, const JsonObject& obj) {
+  fields_.emplace_back(key, obj.str());
+}
+
+void JsonObject::add_raw(const std::string& key, const std::string& json) {
+  fields_.emplace_back(key, json);
+}
+
+std::string JsonObject::str() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + json_escape(k) + "\": " + v;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace nti::obs

@@ -1,0 +1,44 @@
+// Minimal ordered JSON object writer (no external dependencies).
+//
+// Just enough for the observability layer's emission needs: flat or nested
+// objects with string/number values, insertion-ordered keys, valid JSON
+// output (numbers that are NaN/Inf are emitted as null so the files always
+// parse).  Not a parser, not a DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nti::obs {
+
+/// Escape a string for use inside JSON quotes.
+std::string json_escape(const std::string& s);
+/// Render a double as a JSON number (integral values without a fraction,
+/// NaN/Inf as null).
+std::string json_number(double v);
+
+class JsonObject {
+ public:
+  void add(const std::string& key, double v);
+  void add(const std::string& key, std::uint64_t v);
+  void add(const std::string& key, std::int64_t v);
+  void add(const std::string& key, bool v);
+  void add(const std::string& key, const std::string& v);
+  void add(const std::string& key, const char* v);
+  /// Nest a sub-object (rendered from its current contents).
+  void add_object(const std::string& key, const JsonObject& obj);
+  /// Splice a pre-rendered JSON value verbatim.
+  void add_raw(const std::string& key, const std::string& json);
+
+  bool empty() const { return fields_.empty(); }
+  std::size_t size() const { return fields_.size(); }
+
+  /// Render as {"k": v, ...} in insertion order.
+  std::string str() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> rendered value
+};
+
+}  // namespace nti::obs

@@ -1,0 +1,99 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/json.hpp"
+
+namespace nti::obs {
+
+MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name) {
+  for (auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::add_counter(std::string name, const std::uint64_t* value) {
+  assert(value != nullptr);
+  assert(find(name) == nullptr && "duplicate metric name");
+  Entry e;
+  e.name = std::move(name);
+  e.kind = Metric::Kind::kCounter;
+  e.counter = value;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::add_gauge(std::string name, std::function<double()> fn) {
+  assert(fn != nullptr);
+  assert(find(name) == nullptr && "duplicate metric name");
+  Entry e;
+  e.name = std::move(name);
+  e.kind = Metric::Kind::kGauge;
+  e.gauge = std::move(fn);
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::set_scalar(const std::string& name, double value) {
+  if (Entry* e = find(name)) {
+    assert(e->kind == Metric::Kind::kScalar && "kind mismatch on upsert");
+    e->scalar = value;
+    return;
+  }
+  Entry e;
+  e.name = name;
+  e.kind = Metric::Kind::kScalar;
+  e.scalar = value;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::set_scalar_max(const std::string& name, double value) {
+  if (const Entry* e = find(name)) {
+    value = std::max(value, e->scalar);
+  }
+  set_scalar(name, value);
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+double MetricsRegistry::eval(const Entry& e) const {
+  switch (e.kind) {
+    case Metric::Kind::kCounter: return static_cast<double>(*e.counter);
+    case Metric::Kind::kGauge: return e.gauge();
+    case Metric::Kind::kScalar: return e.scalar;
+  }
+  return 0.0;
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  const Entry* e = find(name);
+  return e ? eval(*e) : 0.0;
+}
+
+std::vector<Metric> MetricsRegistry::snapshot() const {
+  std::vector<Metric> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    out.push_back(Metric{e.name, eval(e), e.kind});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonObject obj;
+  for (const auto& m : snapshot()) obj.add(m.name, m.value);
+  return obj.str();
+}
+
+}  // namespace nti::obs

@@ -1,0 +1,76 @@
+// MetricsRegistry: the system-wide counters/gauges inventory.
+//
+// The paper's claims are quantitative (sub-us precision, bounded drop
+// rates), so every layer of the simulation exports its counters here and
+// benches serialize the registry into BENCH_<name>.json -- the repo's
+// perf/quality trajectory.  Three metric kinds:
+//   * counter -- a monotonically increasing std::uint64_t owned by the
+//     instrumented component; the registry stores a pointer and reads it
+//     lazily at snapshot time (zero cost on the hot path);
+//   * gauge   -- a callback evaluated at snapshot time (queue depths,
+//     envelope widths, anything derived);
+//   * scalar  -- a value pushed into the registry directly (probe results,
+//     per-round aggregates).
+//
+// Lifetime contract: registered pointers/callbacks must outlive every
+// snapshot() call.  The intended owner is the scenario object (Cluster, a
+// bench's main), which also owns the instrumented components.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace nti::obs {
+
+struct Metric {
+  enum class Kind { kCounter, kGauge, kScalar };
+  std::string name;
+  double value = 0.0;
+  Kind kind = Kind::kScalar;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register a monotone counter by address.  `name` must be unique; the
+  /// pointed-to value is read at snapshot time.
+  void add_counter(std::string name, const std::uint64_t* value);
+  /// Register a computed gauge.
+  void add_gauge(std::string name, std::function<double()> fn);
+  /// Set (upsert) a directly pushed scalar.
+  void set_scalar(const std::string& name, double value);
+  /// Upsert a scalar keeping the maximum seen so far (envelope tracking).
+  void set_scalar_max(const std::string& name, double value);
+
+  std::size_t size() const { return entries_.size(); }
+  bool contains(const std::string& name) const;
+  /// Current value of one metric (0.0 when absent).
+  double value(const std::string& name) const;
+
+  /// Evaluate every metric, sorted by name.
+  std::vector<Metric> snapshot() const;
+
+  /// One flat JSON object: {"name": value, ...}, sorted by name.
+  std::string to_json() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Metric::Kind kind;
+    const std::uint64_t* counter = nullptr;
+    std::function<double()> gauge;
+    double scalar = 0.0;
+  };
+  Entry* find(const std::string& name);
+  const Entry* find(const std::string& name) const;
+  double eval(const Entry& e) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace nti::obs

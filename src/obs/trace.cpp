@@ -1,0 +1,61 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nti::obs {
+
+const char* to_string(TraceType t) {
+  switch (t) {
+    case TraceType::kEventFired: return "event_fired";
+    case TraceType::kFrameTx: return "frame_tx";
+    case TraceType::kFrameRx: return "frame_rx";
+    case TraceType::kCspStamp: return "csp_stamp";
+    case TraceType::kResync: return "resync";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity) : buf_(std::max<std::size_t>(1, capacity)) {}
+
+void TraceRing::push(SimTime t, TraceType type, std::int32_t node, std::int64_t a,
+                     std::int64_t b) {
+  TraceRecord& r = buf_[head_];
+  r.t = t;
+  r.type = type;
+  r.node = node;
+  r.a = a;
+  r.b = b;
+  head_ = (head_ + 1) % buf_.size();
+  ++pushed_;
+}
+
+std::size_t TraceRing::size() const {
+  return pushed_ < buf_.size() ? static_cast<std::size_t>(pushed_) : buf_.size();
+}
+
+std::uint64_t TraceRing::overwritten() const {
+  return pushed_ - size();
+}
+
+const TraceRecord& TraceRing::at(std::size_t i) const {
+  assert(i < size());
+  if (pushed_ < buf_.size()) return buf_[i];
+  return buf_[(head_ + i) % buf_.size()];
+}
+
+void TraceRing::clear() {
+  head_ = 0;
+  pushed_ = 0;
+}
+
+void TraceRing::dump_csv(std::ostream& os) const {
+  os << "t_ps,type,node,a,b\n";
+  for (std::size_t i = 0; i < size(); ++i) {
+    const TraceRecord& r = at(i);
+    os << r.t.count_ps() << ',' << to_string(r.type) << ',' << r.node << ','
+       << r.a << ',' << r.b << '\n';
+  }
+}
+
+}  // namespace nti::obs

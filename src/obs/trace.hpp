@@ -1,0 +1,77 @@
+// TraceRing: bounded post-mortem trace of typed simulation records.
+//
+// Log::trace prints as it goes (useful live, useless after the fact); the
+// TraceRing instead *retains* the last N records of what the system did --
+// event firings, frame tx/rx, CSP stamps, resynchronizations -- so a sync
+// anomaly found at t = 290 s can be diagnosed from the records leading up
+// to it.  Fixed capacity, overwrite-oldest semantics, O(1) push, no
+// allocation after construction; records are POD so tracing the hot path
+// costs a few stores.
+//
+// Record field conventions (a/b are type-specific payloads):
+//   kEventFired  node = -1              a = event seq        b = 0
+//   kFrameTx     node = src station     a = frame id         b = frame bytes
+//   kFrameRx     node = rx station      a = frame id         b = rx_end ps
+//   kCspStamp    node = local node id   a = src node         b = remote stamp ps
+//   kResync      node = node id         a = round            b = correction ps
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace nti::obs {
+
+enum class TraceType : std::uint8_t {
+  kEventFired = 0,
+  kFrameTx = 1,
+  kFrameRx = 2,
+  kCspStamp = 3,
+  kResync = 4,
+};
+
+const char* to_string(TraceType t);
+
+struct TraceRecord {
+  SimTime t;
+  TraceType type = TraceType::kEventFired;
+  std::int32_t node = -1;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+class TraceRing {
+ public:
+  /// Capacity must be >= 1; storage is allocated once, up front.
+  explicit TraceRing(std::size_t capacity);
+
+  void push(SimTime t, TraceType type, std::int32_t node, std::int64_t a = 0,
+            std::int64_t b = 0);
+
+  std::size_t capacity() const { return buf_.size(); }
+  /// Records currently retained (<= capacity).
+  std::size_t size() const;
+  /// Total records ever pushed, including overwritten ones.
+  std::uint64_t total_pushed() const { return pushed_; }
+  /// Records lost to overwriting.
+  std::uint64_t overwritten() const;
+
+  /// i = 0 is the oldest retained record, size()-1 the newest.
+  const TraceRecord& at(std::size_t i) const;
+
+  void clear();
+
+  /// CSV dump (header + one row per retained record, oldest first):
+  /// t_ps,type,node,a,b
+  void dump_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TraceRecord> buf_;
+  std::size_t head_ = 0;     ///< next write position
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace nti::obs

@@ -11,7 +11,16 @@ EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
   state->fn = std::move(fn);
   queue_.push(state);
   ++live_;
+  if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
   return EventHandle{state};
+}
+
+void Engine::reap_cancelled_heads() {
+  while (!queue_.empty() && queue_.top()->cancelled) {
+    queue_.pop();
+    --live_;
+    ++cancelled_reaped_;
+  }
 }
 
 bool Engine::step() {
@@ -19,10 +28,17 @@ bool Engine::step() {
     StatePtr s = queue_.top();
     queue_.pop();
     --live_;
-    if (s->cancelled) continue;
+    if (s->cancelled) {
+      ++cancelled_reaped_;
+      continue;
+    }
     now_ = s->when;
     s->fired = true;
     ++executed_;
+    if (trace_ != nullptr) {
+      trace_->push(now_, obs::TraceType::kEventFired, -1,
+                   static_cast<std::int64_t>(s->seq));
+    }
     // Move the closure out so re-entrant scheduling from inside the handler
     // cannot alias the state we are executing.
     EventFn fn = std::move(s->fn);
@@ -33,13 +49,12 @@ bool Engine::step() {
 }
 
 void Engine::run_until(SimTime limit) {
-  while (!queue_.empty() && queue_.top()->when <= limit) {
+  for (;;) {
+    // Reap cancelled heads *before* inspecting the guard: a cancelled event
+    // with when <= limit must not admit a live event with when > limit.
+    reap_cancelled_heads();
+    if (queue_.empty() || queue_.top()->when > limit) break;
     if (!step()) break;
-  }
-  // Drain any cancelled heads so events_pending() is meaningful.
-  while (!queue_.empty() && queue_.top()->cancelled) {
-    queue_.pop();
-    --live_;
   }
   if (now_ < limit) now_ = limit;
 }
@@ -47,6 +62,15 @@ void Engine::run_until(SimTime limit) {
 void Engine::run() {
   while (step()) {
   }
+}
+
+void Engine::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+  reg.add_counter(prefix + "events_executed", &executed_);
+  reg.add_counter(prefix + "events_cancelled", &cancelled_reaped_);
+  reg.add_gauge(prefix + "events_pending",
+                [this] { return static_cast<double>(live_); });
+  reg.add_gauge(prefix + "queue_high_water",
+                [this] { return static_cast<double>(queue_hwm_); });
 }
 
 }  // namespace nti::sim

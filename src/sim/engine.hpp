@@ -6,7 +6,9 @@
 //     a monotone sequence number), so runs are bit-reproducible;
 //   * cancellation is O(1) (lazy: a cancelled event is skipped when popped);
 //   * the engine never advances past the time of the event being executed,
-//     so a handler observing now() sees exactly its own firing time.
+//     so a handler observing now() sees exactly its own firing time;
+//   * run_until(limit) never executes an event with when > limit, even when
+//     cancelled events sit between the queue head and the next live event.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +18,8 @@
 #include <vector>
 
 #include "common/time_types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nti::sim {
 
@@ -76,7 +80,20 @@ class Engine {
   void run();
 
   std::uint64_t events_executed() const { return executed_; }
+  /// Cancelled events reaped from the queue (lazy cancellation makes this
+  /// observable only at pop time).
+  std::uint64_t events_cancelled() const { return cancelled_reaped_; }
   std::size_t events_pending() const { return live_; }
+  /// Largest queue size ever observed (capacity planning / leak detection).
+  std::size_t queue_high_water() const { return queue_hwm_; }
+
+  /// Export the engine's counters into `reg` under `prefix` (e.g.
+  /// "sim.engine."); the engine must outlive snapshots of `reg`.
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
+  /// Record a kEventFired trace entry for every executed event.  The ring
+  /// is borrowed, not owned; pass nullptr to stop tracing.
+  void set_trace(obs::TraceRing* ring) { trace_ = ring; }
 
  private:
   using StatePtr = std::shared_ptr<detail::EventState>;
@@ -87,10 +104,16 @@ class Engine {
     }
   };
 
+  /// Pop cancelled events off the queue head so top() is a live event.
+  void reap_cancelled_heads();
+
   SimTime now_ = SimTime::epoch();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_reaped_ = 0;
   std::size_t live_ = 0;  // scheduled, not yet fired (cancelled still counted until popped)
+  std::size_t queue_hwm_ = 0;
+  obs::TraceRing* trace_ = nullptr;
   std::priority_queue<StatePtr, std::vector<StatePtr>, Compare> queue_;
 };
 

@@ -71,18 +71,45 @@ Phi Ltu::value_at_tick(std::uint64_t n) {
   if (n <= last_tick_) return state_;
   // Project under the current rate regime without committing the advance:
   // captures sample a couple of ticks in the future (synchronizer stages)
-  // and must not block subsequent reads of earlier ticks.
+  // and must not block subsequent reads of earlier ticks.  The projection
+  // must mirror advance_to_tick *including* an armed leap second --
+  // otherwise capture stamps taken within a few ticks of the leap boundary
+  // are off by a whole second versus the committed clock.
   Phi v = state_;
   std::uint64_t at = last_tick_;
   std::uint64_t amort_left = amort_ticks_left_;
+  bool leap_armed = leap_armed_;
   while (at < n) {
-    const std::uint64_t rate = amort_left > 0 ? amort_step_ : step_;
+    const bool amortizing_now = amort_left > 0;
+    const std::uint64_t rate = amortizing_now ? amort_step_ : step_;
     std::uint64_t k = n - at;
-    if (amort_left > 0 && amort_left < k) k = amort_left;
+    if (amortizing_now && amort_left < k) k = amort_left;
+
+    bool leap_now = false;
+    if (leap_armed && rate > 0 && v < leap_at_) {
+      const std::uint64_t to_leap = ticks_to_reach(v, leap_at_, rate);
+      if (to_leap <= k) {
+        k = to_leap;
+        leap_now = true;
+      }
+    } else if (leap_armed && v >= leap_at_) {
+      leap_now = true;
+      k = 0;
+    }
+
     v += Phi::raw(u128{rate} * k);
     at += k;
-    if (amort_left > 0) amort_left -= k;
-    if (k == 0) break;
+    if (amortizing_now) amort_left -= k;
+
+    if (leap_now) {
+      leap_armed = false;
+      if (leap_insert_) {
+        v += Phi::from_sec(1);
+      } else if (v.whole_seconds() >= 1) {
+        v = v.plus(PhiDelta::raw(-static_cast<i128>(Phi::kPerSec)));
+      }
+    }
+    if (k == 0 && !leap_now) break;  // rate 0 and nothing to do: clock halted
   }
   return v;
 }

@@ -174,5 +174,34 @@ TEST(Sync, LateCspsCounted) {
   EXPECT_GT(late, 0u);
 }
 
+// Regression: to_alpha_units computed (count_ps() << 24) in int64, which
+// wraps for durations >= ~0.55 s -- exactly the cold-start alpha0 range --
+// so a node could start out advertising a tiny (even zero) accuracy instead
+// of the intended huge one.  It must saturate at the 16-bit register max.
+TEST(Sync, AlphaUnitsSaturateForColdStartAccuracies) {
+  // 1 unit = 2^-24 s; exact conversions round up.
+  EXPECT_EQ(to_alpha_units(Duration::zero()), 0u);
+  EXPECT_EQ(to_alpha_units(Duration::ns(60)), 2u);  // 60 ns = 1.007 units
+  EXPECT_EQ(to_alpha_units(Duration::us(100)), 1678u);
+  // 0xFFFF units is ~3.9 ms: anything at or past that pins to the max.
+  EXPECT_EQ(to_alpha_units(Duration::ms(4)), 0xFFFFu);
+  // The overflow cases: >= ~0.55 s used to wrap through int64.
+  EXPECT_EQ(to_alpha_units(Duration::ms(600)), 0xFFFFu);
+  EXPECT_EQ(to_alpha_units(Duration::sec(1)), 0xFFFFu);
+  EXPECT_EQ(to_alpha_units(Duration::sec(300)), 0xFFFFu);
+}
+
+TEST(Sync, NodeCountersTrackRoundsAndCsps) {
+  cluster::Cluster cl(small_cfg());
+  cl.start();
+  cl.engine().run_until(SimTime::epoch() + Duration::sec(5));
+  for (int i = 0; i < cl.size(); ++i) {
+    const SyncNode& n = cl.sync(i);
+    EXPECT_GT(n.rounds_completed(), 0u);
+    // Every completed round fuses at least one peer CSP in a healthy net.
+    EXPECT_GE(n.csps_used(), n.rounds_completed());
+  }
+}
+
 }  // namespace
 }  // namespace nti::csa

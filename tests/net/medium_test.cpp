@@ -162,6 +162,49 @@ TEST(Medium, TxQueueTailDropsWhenSaturated) {
   EXPECT_EQ(medium.frames_delivered() + medium.queue_drops(), 100u);
 }
 
+// Regression: frames_delivered was bumped when the transmission was
+// *scheduled* (inside begin_transmission), not when the last receiver
+// actually finished the frame -- a mid-run probe over-reported throughput
+// by every frame still in the air.
+TEST(Medium, FramesDeliveredCountsAtDeliveryTime) {
+  Fixture f;
+  MacPort& a = f.medium.attach();
+  (void)f.medium.attach();
+  f.medium.transmit(a, make_frame(64));
+  // Transmission has begun (wire is busy) but no receiver has the frame.
+  EXPECT_EQ(f.medium.frames_delivered(), 0u);
+  f.engine.run();
+  EXPECT_EQ(f.medium.frames_delivered(), 1u);
+}
+
+TEST(Medium, ExcessiveCollisionsAbortAndCount) {
+  sim::Engine engine;
+  MediumConfig mc;
+  mc.max_backoff_exp = 0;  // every contender always draws slot 0
+  Medium medium(engine, mc, RngStream(7));
+  obs::MetricsRegistry reg;
+  medium.register_metrics(reg, "net.");
+  MacPort& a = medium.attach();
+  MacPort& b = medium.attach();
+  MacPort& c = medium.attach();
+  int a_aborts = 0, b_aborts = 0;
+  a.on_tx_abort = [&](const Frame&) { ++a_aborts; };
+  b.on_tx_abort = [&](const Frame&) { ++b_aborts; };
+  // c grabs the wire; a and b queue behind it and then collide forever
+  // (slot 0 vs slot 0) until both exhaust max_attempts and abort.
+  medium.transmit(c, make_frame(64));
+  medium.transmit(a, make_frame(64));
+  medium.transmit(b, make_frame(64));
+  engine.run();
+  EXPECT_EQ(a_aborts, 1);
+  EXPECT_EQ(b_aborts, 1);
+  EXPECT_EQ(medium.tx_aborts(), 2u);
+  EXPECT_EQ(medium.frames_delivered(), 1u);  // only c's frame made it out
+  EXPECT_GE(medium.collisions(), static_cast<std::uint64_t>(mc.max_attempts));
+  EXPECT_EQ(reg.value("net.tx_aborts"), 2.0);
+  EXPECT_EQ(reg.value("net.frames_delivered"), 1.0);
+}
+
 TEST(Traffic, OfferedLoadApproximatelyMet) {
   sim::Engine engine;
   MediumConfig mc;

@@ -1,0 +1,43 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace nti::obs {
+namespace {
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("x\ny"), "x\\ny");
+  EXPECT_EQ(json_escape(std::string("\x01")), "\\u0001");
+}
+
+TEST(Json, NumbersIntegralWithoutFractionAndNonFiniteAsNull) {
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(-7.0), "-7");
+  EXPECT_EQ(json_number(2.5), "2.5");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonObject obj;
+  obj.add("z", std::uint64_t{1});
+  obj.add("a", "text");
+  obj.add("ok", true);
+  EXPECT_EQ(obj.str(), "{\"z\": 1, \"a\": \"text\", \"ok\": true}");
+}
+
+TEST(Json, NestedObject) {
+  JsonObject inner;
+  inner.add("pi", 3.5);
+  JsonObject root;
+  root.add("bench", "e1");
+  root.add_object("metrics", inner);
+  EXPECT_EQ(root.str(), "{\"bench\": \"e1\", \"metrics\": {\"pi\": 3.5}}");
+}
+
+}  // namespace
+}  // namespace nti::obs

@@ -1,0 +1,73 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace nti::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterReadsLiveValue) {
+  MetricsRegistry reg;
+  std::uint64_t frames = 0;
+  reg.add_counter("net.frames", &frames);
+  EXPECT_EQ(reg.value("net.frames"), 0.0);
+  frames = 17;
+  EXPECT_EQ(reg.value("net.frames"), 17.0);  // no re-registration needed
+}
+
+TEST(MetricsRegistry, GaugeEvaluatesAtSnapshotTime) {
+  MetricsRegistry reg;
+  double depth = 1.5;
+  reg.add_gauge("queue.depth", [&depth] { return depth; });
+  depth = 42.0;
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].value, 42.0);
+  EXPECT_EQ(snap[0].kind, Metric::Kind::kGauge);
+}
+
+TEST(MetricsRegistry, ScalarUpsertsInPlace) {
+  MetricsRegistry reg;
+  reg.set_scalar("precision_us", 3.0);
+  reg.set_scalar("precision_us", 1.5);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.value("precision_us"), 1.5);
+}
+
+TEST(MetricsRegistry, ScalarMaxKeepsEnvelope) {
+  MetricsRegistry reg;
+  reg.set_scalar_max("worst", 3.0);
+  reg.set_scalar_max("worst", 1.0);  // smaller: ignored
+  EXPECT_EQ(reg.value("worst"), 3.0);
+  reg.set_scalar_max("worst", 9.0);
+  EXPECT_EQ(reg.value("worst"), 9.0);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByName) {
+  MetricsRegistry reg;
+  std::uint64_t a = 1, b = 2;
+  reg.add_counter("zzz", &a);
+  reg.add_counter("aaa", &b);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "aaa");
+  EXPECT_EQ(snap[1].name, "zzz");
+}
+
+TEST(MetricsRegistry, ValueOfUnknownNameIsZero) {
+  MetricsRegistry reg;
+  EXPECT_FALSE(reg.contains("nope"));
+  EXPECT_EQ(reg.value("nope"), 0.0);
+}
+
+TEST(MetricsRegistry, ToJsonIsFlatSortedObject) {
+  MetricsRegistry reg;
+  std::uint64_t n = 3;
+  reg.add_counter("b.count", &n);
+  reg.set_scalar("a.value", 2.5);
+  EXPECT_EQ(reg.to_json(), "{\"a.value\": 2.5, \"b.count\": 3}");
+}
+
+}  // namespace
+}  // namespace nti::obs

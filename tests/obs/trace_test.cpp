@@ -1,0 +1,71 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nti::obs {
+namespace {
+
+SimTime at_ps(std::int64_t ps) { return SimTime::from_ps(ps); }
+
+TEST(TraceRing, RetainsInOrderBelowCapacity) {
+  TraceRing ring(4);
+  ring.push(at_ps(10), TraceType::kEventFired, -1, 1);
+  ring.push(at_ps(20), TraceType::kFrameTx, 3, 7, 64);
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.at(0).t.count_ps(), 10);
+  EXPECT_EQ(ring.at(1).t.count_ps(), 20);
+  EXPECT_EQ(ring.at(1).type, TraceType::kFrameTx);
+  EXPECT_EQ(ring.at(1).node, 3);
+  EXPECT_EQ(ring.at(1).a, 7);
+  EXPECT_EQ(ring.at(1).b, 64);
+  EXPECT_EQ(ring.overwritten(), 0u);
+}
+
+TEST(TraceRing, OverwritesOldestWhenFull) {
+  TraceRing ring(3);
+  for (std::int64_t i = 0; i < 5; ++i)
+    ring.push(at_ps(i), TraceType::kEventFired, -1, i);
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total_pushed(), 5u);
+  EXPECT_EQ(ring.overwritten(), 2u);
+  // Oldest retained is record #2; newest is #4.
+  EXPECT_EQ(ring.at(0).a, 2);
+  EXPECT_EQ(ring.at(1).a, 3);
+  EXPECT_EQ(ring.at(2).a, 4);
+}
+
+TEST(TraceRing, ClearResetsRetainedAndCounters) {
+  TraceRing ring(2);
+  ring.push(at_ps(1), TraceType::kResync, 0, 1, -500);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total_pushed(), 0u);
+  ring.push(at_ps(2), TraceType::kCspStamp, 1, 0, 999);
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.at(0).type, TraceType::kCspStamp);
+}
+
+TEST(TraceRing, DumpCsvEmitsHeaderAndRowsOldestFirst) {
+  TraceRing ring(8);
+  ring.push(at_ps(100), TraceType::kFrameRx, 2, 5, 12345);
+  ring.push(at_ps(200), TraceType::kResync, 1, 3, -42);
+  std::ostringstream os;
+  ring.dump_csv(os);
+  EXPECT_EQ(os.str(),
+            "t_ps,type,node,a,b\n"
+            "100,frame_rx,2,5,12345\n"
+            "200,resync,1,3,-42\n");
+}
+
+TEST(TraceRing, TypeNames) {
+  EXPECT_STREQ(to_string(TraceType::kEventFired), "event_fired");
+  EXPECT_STREQ(to_string(TraceType::kFrameTx), "frame_tx");
+  EXPECT_STREQ(to_string(TraceType::kFrameRx), "frame_rx");
+  EXPECT_STREQ(to_string(TraceType::kCspStamp), "csp_stamp");
+  EXPECT_STREQ(to_string(TraceType::kResync), "resync");
+}
+
+}  // namespace
+}  // namespace nti::obs

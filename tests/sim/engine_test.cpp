@@ -105,6 +105,47 @@ TEST(Engine, ReentrantSchedulingFromHandler) {
   EXPECT_EQ(e.now(), SimTime::from_ps(40));
 }
 
+// Regression: run_until's stop guard inspected the raw queue head.  A
+// cancelled event with when <= limit at the head let step() run, and step()
+// -- after discarding the tombstone -- executed the next *live* event even
+// when its deadline was past the limit.
+TEST(Engine, RunUntilRespectsLimitWhenCancelledEventHeadsQueue) {
+  Engine e;
+  bool late_ran = false;
+  EventHandle a = e.schedule_at(SimTime::from_ps(100), [] {});
+  e.schedule_at(SimTime::from_ps(200), [&] { late_ran = true; });
+  a.cancel();
+  e.run_until(SimTime::from_ps(150));
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(e.now(), SimTime::from_ps(150));
+  e.run_until(SimTime::from_ps(200));
+  EXPECT_TRUE(late_ran);
+  EXPECT_EQ(e.events_cancelled(), 1u);
+}
+
+TEST(Engine, MetricsRegisterAndTrack) {
+  Engine e;
+  obs::MetricsRegistry reg;
+  e.register_metrics(reg, "sim.");
+  e.schedule_at(SimTime::from_ps(1), [] {});
+  e.schedule_at(SimTime::from_ps(2), [] {});
+  EXPECT_EQ(reg.value("sim.queue_high_water"), 2.0);
+  e.run();
+  EXPECT_EQ(reg.value("sim.events_executed"), 2.0);
+  EXPECT_EQ(reg.value("sim.events_pending"), 0.0);
+}
+
+TEST(Engine, TraceRecordsFiredEvents) {
+  Engine e;
+  obs::TraceRing ring(8);
+  e.set_trace(&ring);
+  e.schedule_at(SimTime::from_ps(5), [] {});
+  e.run();
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.at(0).type, obs::TraceType::kEventFired);
+  EXPECT_EQ(ring.at(0).t.count_ps(), 5);
+}
+
 TEST(Engine, CountsExecutedAndPending) {
   Engine e;
   e.schedule_at(SimTime::from_ps(1), [] {});

@@ -163,5 +163,27 @@ TEST(Ltu, CaptureTickAddsSynchronizerStages) {
   EXPECT_EQ(f.ltu.capture_tick(t, 2), f.osc.ticks_at(t) + 2);
 }
 
+// Regression: value_at_tick used to project under the current rate regime
+// only, ignoring an armed leap second -- a capture stamp taken near the
+// leap boundary disagreed with the committed clock by a whole second.
+TEST(Ltu, ValueAtTickProjectsArmedLeapInsert) {
+  Fixture f;
+  f.ltu.arm_leap(true, Phi::from_sec(5));
+  const Phi projected = f.ltu.value_at_tick(f.osc.ticks_at(at_sec(6)));
+  EXPECT_NEAR(projected.to_sec_f(), 7.0, 1e-5);
+  // The peek must not consume the armed leap...
+  EXPECT_TRUE(f.ltu.leap_pending());
+  // ...and the committed clock must agree with the projection exactly.
+  EXPECT_EQ(f.ltu.read(at_sec(6)).raw_value(), projected.raw_value());
+}
+
+TEST(Ltu, ValueAtTickProjectsArmedLeapDelete) {
+  Fixture f;
+  f.ltu.arm_leap(false, Phi::from_sec(5));
+  const Phi projected = f.ltu.value_at_tick(f.osc.ticks_at(at_sec(6)));
+  EXPECT_NEAR(projected.to_sec_f(), 5.0, 1e-5);
+  EXPECT_EQ(f.ltu.read(at_sec(6)).raw_value(), projected.raw_value());
+}
+
 }  // namespace
 }  // namespace nti::utcsu
