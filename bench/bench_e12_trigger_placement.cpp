@@ -18,7 +18,8 @@ using namespace nti;
 
 namespace {
 
-Duration measure_epsilon(Duration tx_jitter, Duration rx_jitter) {
+Duration measure_epsilon(Duration tx_jitter, Duration rx_jitter,
+                         bench::BenchReport* rep = nullptr) {
   cluster::ClusterConfig cfg;
   cfg.num_nodes = 2;
   cfg.seed = 12;
@@ -26,6 +27,13 @@ Duration measure_epsilon(Duration tx_jitter, Duration rx_jitter) {
   cfg.comco.rx_arb_jitter = rx_jitter;
   cfg.sync.round_period = Duration::ms(100);
   cfg.sync.resync_offset = Duration::ms(50);
+  if (rep != nullptr) {
+    // Default-jitter case only: record CSP lifecycle spans so the report
+    // carries the per-stage latency histograms and a Perfetto trace of the
+    // trigger placement under measurement.
+    cfg.enable_spans = true;
+    cfg.span_max_events = 20'000;
+  }
   cluster::Cluster cl(cfg);
   cl.start();
   SampleSet gaps;
@@ -36,6 +44,10 @@ Duration measure_epsilon(Duration tx_jitter, Duration rx_jitter) {
     prev(rx);
   };
   cl.engine().run_until(SimTime::epoch() + Duration::sec(60));
+  if (rep != nullptr) {
+    rep->from_registry(cl.metrics());
+    obs::write_chrome_trace("TRACE_e12_trigger_placement.json", *cl.spans());
+  }
   return Duration::ps(static_cast<std::int64_t>(gaps.max() - gaps.min()));
 }
 
@@ -63,7 +75,10 @@ int main() {
   report.config("seed", 12.0);
   bool additive_ok = true;
   for (const auto& c : cases) {
-    const Duration eps = measure_epsilon(c.tx, c.rx);
+    // Trace the default-jitter case (the one E1 runs with) in depth.
+    const bool traced =
+        c.tx == Duration::ns(150) && c.rx == Duration::ns(250);
+    const Duration eps = measure_epsilon(c.tx, c.rx, traced ? &report : nullptr);
     const Duration budget = c.tx + c.rx;
     std::printf("  %-22s %-22s %-12s %s\n", c.tx.str().c_str(),
                 c.rx.str().c_str(), eps.str().c_str(), budget.str().c_str());

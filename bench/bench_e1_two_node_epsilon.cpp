@@ -19,6 +19,13 @@ int main() {
   cfg.seed = 1;
   cfg.sync.round_period = Duration::ms(100);  // dense rounds: many samples
   cfg.sync.resync_offset = Duration::ms(50);
+  // Causal tracing + trajectory recording: spans feed per-stage latency
+  // histograms (into the JSON via the registry) and the Chrome trace
+  // export; the cap keeps the trace file Perfetto-sized while histograms
+  // keep accumulating over the full run.
+  cfg.enable_spans = true;
+  cfg.span_max_events = 20'000;
+  cfg.record_timeseries = true;
   report.config("num_nodes", static_cast<double>(cfg.num_nodes));
   report.config("seed", static_cast<double>(cfg.seed));
   report.config("round_period", cfg.sync.round_period);
@@ -41,7 +48,9 @@ int main() {
     prev(rx);
   };
 
-  cl.engine().run_until(SimTime::epoch() + Duration::sec(300));
+  // Periodic probing (instead of a bare run_until) drives the pi(t) /
+  // alpha(t) time-series recorder.
+  cl.run(Duration::sec(300), Duration::sec(20), Duration::ms(100));
 
   bench::header("E1: two-node epsilon (NTI hardware timestamping)",
                 "epsilon well below 1 us (Sec. 4)");
@@ -68,5 +77,18 @@ int main() {
   report.from_registry(cl.metrics());
   report.pass(eps < Duration::us(1));
   report.write();
+
+  // Artifacts: CSP lifecycle spans as a Perfetto-loadable Chrome trace,
+  // and the probe trajectories as CSV.
+  if (obs::write_chrome_trace("TRACE_e1_two_node_epsilon.json", *cl.spans())) {
+    bench::row("chrome trace", "TRACE_e1_two_node_epsilon.json (" +
+                                   std::to_string(cl.spans()->event_count()) +
+                                   " span events)");
+  }
+  if (cl.timeseries()->write_csv("TIMESERIES_e1_two_node_epsilon.csv")) {
+    bench::row("time series", "TIMESERIES_e1_two_node_epsilon.csv (" +
+                                  std::to_string(cl.timeseries()->rows()) +
+                                  " samples)");
+  }
   return eps < Duration::us(1) ? 0 : 1;
 }

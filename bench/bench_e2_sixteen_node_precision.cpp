@@ -25,15 +25,30 @@ Result run_once(csa::Convergence conv, bench::BenchReport* rep = nullptr) {
   cfg.seed = 1616;
   cfg.sync.fault_tolerance = 2;
   cfg.sync.convergence = conv;
+  if (rep != nullptr) {
+    // Reported run only: CSP lifecycle spans (per-stage latency histograms
+    // land under span.* in the registry snapshot below) and the pi(t) /
+    // alpha(t) trajectory recorder.  The event cap bounds memory; the
+    // histograms keep accumulating over the full 300 s.
+    cfg.enable_spans = true;
+    cfg.span_max_events = 50'000;
+    cfg.record_timeseries = true;
+  }
   cluster::Cluster cl(cfg);
   cl.start();
   cl.run(Duration::sec(300), Duration::sec(30), Duration::ms(250));
   if (rep != nullptr) {
     // Registry carries cluster.precision_us / precision_max_us /
-    // accuracy_worst_us scalars plus engine/medium/per-node sync counters.
+    // accuracy_worst_us scalars plus engine/medium/per-node sync counters
+    // and the span.stage.* latency histograms (p50/p99/max/count).
     rep->from_registry(cl.metrics());
     rep->metric("alpha_minus_worst", cl.worst_alpha_minus());
     rep->metric("alpha_plus_worst", cl.worst_alpha_plus());
+    if (cl.timeseries()->write_csv("TIMESERIES_e2_sixteen_node_precision.csv")) {
+      bench::row("time series",
+                 "TIMESERIES_e2_sixteen_node_precision.csv (" +
+                     std::to_string(cl.timeseries()->rows()) + " samples)");
+    }
   }
   return {cl.precision_samples().max_duration(),
           cl.precision_samples().percentile_duration(99),

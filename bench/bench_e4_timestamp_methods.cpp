@@ -36,6 +36,18 @@ int main() {
   node::NodeCard tx_node(engine, medium, make_cfg(0), root);
   node::NodeCard rx_node(engine, medium, make_cfg(1), root);
 
+  // Manual span wiring (this bench has no Cluster): the same collector is
+  // threaded through the medium and both cards, so the per-stage latency
+  // histograms and the Chrome trace cover the CSP stream under load.
+  // Background traffic bypasses the driver and stays untraced (trace 0).
+  obs::SpanCollector spans(50'000);
+  medium.set_spans(&spans);
+  tx_node.set_spans(&spans);
+  rx_node.set_spans(&spans);
+  obs::MetricsRegistry reg;
+  spans.register_metrics(reg, "span.");
+  medium.register_metrics(reg, "net.medium.");
+
   net::TrafficConfig tc;
   tc.offered_load = 0.4;
   net::TrafficGenerator traffic(engine, medium, tc, root.fork("traffic"));
@@ -103,7 +115,14 @@ int main() {
   report.metric("epsilon_interrupt", in);
   report.metric("epsilon_hardware", hw);
   report.distribution("hw_gap", eps_hw);
+  report.from_registry(reg);
   report.pass(ok);
   report.write();
+
+  if (obs::write_chrome_trace("TRACE_e4_timestamp_methods.json", spans)) {
+    bench::row("chrome trace", "TRACE_e4_timestamp_methods.json (" +
+                                   std::to_string(spans.event_count()) +
+                                   " span events)");
+  }
   return ok ? 0 : 1;
 }

@@ -44,6 +44,21 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     for (auto& s : syncs_) s->set_trace(trace_.get());
     if (cfg_.trace_engine_events) engine_.set_trace(trace_.get());
   }
+  if (cfg_.enable_spans) {
+    spans_ = std::make_unique<obs::SpanCollector>(cfg_.span_max_events);
+    medium_->set_spans(spans_.get());
+    for (auto& n : nodes_) n->set_spans(spans_.get());
+    for (auto& s : syncs_) s->set_spans(spans_.get());
+    spans_->register_metrics(metrics_, "span.");
+  }
+  if (cfg_.record_timeseries) {
+    std::vector<std::string> cols = {"pi_us", "accuracy_worst_us",
+                                     "alpha_minus_max_us", "alpha_plus_max_us"};
+    for (int i = 0; i < cfg_.num_nodes; ++i) {
+      cols.push_back("node" + std::to_string(i) + "_offset_us");
+    }
+    timeseries_ = std::make_unique<obs::TimeSeriesRecorder>(std::move(cols));
+  }
   engine_.register_metrics(metrics_, "sim.engine.");
   medium_->register_metrics(metrics_, "net.medium.");
   for (int i = 0; i < cfg_.num_nodes; ++i) {
@@ -89,11 +104,14 @@ ProbeSample Cluster::probe() {
   Duration min_c = Duration::max(), max_c = -Duration::max();
   Duration worst_acc = Duration::zero();
   std::int64_t alpha_acc = 0;
+  std::vector<double> offsets_us;
+  if (timeseries_ != nullptr) offsets_us.reserve(nodes_.size());
   for (auto& n : nodes_) {
     const Duration c = n->true_clock(t);
     min_c = std::min(min_c, c);
     max_c = std::max(max_c, c);
     worst_acc = std::max(worst_acc, (c - truth).abs());
+    if (timeseries_ != nullptr) offsets_us.push_back((c - truth).to_us_f());
 
     // Containment check against the node's *own* advertised interval.
     const auto iv = syncs_[static_cast<std::size_t>(n->id())]->current_interval(t);
@@ -108,6 +126,13 @@ ProbeSample Cluster::probe() {
 
   worst_alpha_minus_ = std::max(worst_alpha_minus_, s.alpha_minus_max);
   worst_alpha_plus_ = std::max(worst_alpha_plus_, s.alpha_plus_max);
+  if (timeseries_ != nullptr) {
+    std::vector<double> row = {s.precision.to_us_f(), s.worst_accuracy.to_us_f(),
+                               s.alpha_minus_max.to_us_f(),
+                               s.alpha_plus_max.to_us_f()};
+    row.insert(row.end(), offsets_us.begin(), offsets_us.end());
+    timeseries_->add_row(t.to_sec_f(), row);
+  }
   metrics_.set_scalar("cluster.precision_us", s.precision.to_us_f());
   metrics_.set_scalar_max("cluster.precision_max_us", s.precision.to_us_f());
   metrics_.set_scalar_max("cluster.accuracy_worst_us", s.worst_accuracy.to_us_f());

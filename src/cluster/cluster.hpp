@@ -26,6 +26,8 @@
 #include "net/traffic.hpp"
 #include "node/node_card.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -63,6 +65,17 @@ struct ClusterConfig {
   /// it is separate).
   std::size_t trace_capacity = 0;
   bool trace_engine_events = false;
+
+  /// Causal CSP-lifecycle spans (obs::SpanCollector) threaded through every
+  /// layer.  Per-stage latency histograms land in the metrics registry
+  /// under "span."; retained raw events (up to span_max_events) feed the
+  /// Chrome trace exporter.
+  bool enable_spans = false;
+  std::size_t span_max_events = std::size_t{1} << 20;
+
+  /// Record a pi(t) / alpha(t) / per-node-offset row on every probe into a
+  /// TimeSeriesRecorder (CSV export for plotting convergence trajectories).
+  bool record_timeseries = false;
 };
 
 struct ProbeSample {
@@ -113,6 +126,10 @@ class Cluster {
   obs::MetricsRegistry& metrics() { return metrics_; }
   /// Post-mortem trace, or nullptr when cfg.trace_capacity == 0.
   obs::TraceRing* trace() { return trace_.get(); }
+  /// CSP span collector, or nullptr when cfg.enable_spans == false.
+  obs::SpanCollector* spans() { return spans_.get(); }
+  /// Probe-driven time series, or nullptr when cfg.record_timeseries == false.
+  obs::TimeSeriesRecorder* timeseries() { return timeseries_.get(); }
 
   /// Ground-truth maximum pairwise oscillator rate difference right now
   /// (for the rate-synchronization experiment E7).
@@ -135,6 +152,8 @@ class Cluster {
   Duration worst_alpha_plus_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::TraceRing> trace_;
+  std::unique_ptr<obs::SpanCollector> spans_;
+  std::unique_ptr<obs::TimeSeriesRecorder> timeseries_;
 };
 
 }  // namespace nti::cluster

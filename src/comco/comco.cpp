@@ -40,7 +40,9 @@ Comco::Comco(sim::Engine& engine, module::Nti& nti, net::Medium& medium,
     const SimTime t_trigger =
         wire_time_of(nti_.program().tx_trigger_offset) - fifo_lead;
     auto trigger_word = std::make_shared<std::uint32_t>(0);
-    engine_.schedule_at(t_trigger, [this, hdr, t_trigger, trigger_word] {
+    engine_.schedule_at(t_trigger, [this, hdr, t_trigger, trigger_word,
+                                    trace = tx.trace] {
+      nti_.set_dma_trace(trace);
       *trigger_word =
           nti_.comco_read32(t_trigger, hdr + nti_.program().tx_trigger_offset);
       last_tx_trigger_ = t_trigger;
@@ -51,6 +53,7 @@ Comco::Comco(sim::Engine& engine, module::Nti& nti, net::Medium& medium,
     // the packet (transparent mapping, Fig. 3).
     const SimTime t_fill = wire_time_of(nti_.program().tx_map_alpha + 4) - fifo_lead;
     engine_.schedule_at(t_fill, [this, hdr, tx, fp = frame, t_fill, trigger_word] {
+      nti_.set_dma_trace(tx.trace);
       fp->bytes.resize(kHeaderBytes + tx.data_len);
       for (Addr off = 0; off < kHeaderBytes; off += 4) {
         const std::uint32_t w = off == nti_.program().tx_trigger_offset
@@ -90,13 +93,15 @@ Comco::Comco(sim::Engine& engine, module::Nti& nti, net::Medium& medium,
   };
 }
 
-void Comco::transmit(int tx_slot, Addr data_addr, std::size_t data_len) {
+void Comco::transmit(int tx_slot, Addr data_addr, std::size_t data_len,
+                     std::uint64_t trace) {
   const Duration latency =
       cfg_.cmd_latency_base + rng_.uniform(Duration::zero(), cfg_.cmd_latency_jitter);
-  engine_.schedule_in(latency, [this, tx_slot, data_addr, data_len] {
-    tx_pending_.push_back({tx_slot, data_addr, data_len});
+  engine_.schedule_in(latency, [this, tx_slot, data_addr, data_len, trace] {
+    tx_pending_.push_back({tx_slot, data_addr, data_len, trace});
     net::Frame frame;
     frame.bytes.assign(kHeaderBytes + data_len, 0);  // filled at DMA time
+    frame.trace_id = trace;
     medium_.transmit(port_, std::move(frame));
   });
 }
@@ -110,10 +115,16 @@ void Comco::handle_rx(std::shared_ptr<const net::Frame> frame,
   if (frame->bytes.size() < kHeaderBytes) return;  // runt: controller drops
   if (rx_ring_.empty()) {
     ++rx_overruns_;  // "no resources" in 82596 terms
+    if (spans_ != nullptr) {
+      spans_->record(frame->trace_id, obs::SpanStage::kDiscarded,
+                     timing.rx_start, port_.station(),
+                     static_cast<std::int64_t>(obs::DiscardReason::kRxOverrun));
+    }
     return;
   }
   const RxSlot slot = rx_ring_.front();
   rx_ring_.pop_front();
+  rx_trace_[slot.slot] = frame->trace_id;
 
   const Addr hdr = module::Nti::rx_header_addr(slot.slot);
   const Duration byte_time = timing.byte_time;
@@ -130,6 +141,7 @@ void Comco::handle_rx(std::shared_ptr<const net::Frame> frame,
   const Addr rx_trig = nti_.program().rx_trigger_offset;
   const SimTime t_hdr = byte_received_at(rx_trig) + arb;
   engine_.schedule_at(t_hdr, [this, hdr, fp = frame, rx_trig, t_hdr] {
+    nti_.set_dma_trace(fp->trace_id);
     for (Addr off = 0; off <= rx_trig; off += 4) {
       std::uint32_t w = 0;
       for (std::size_t b = 0; b < 4; ++b) {
@@ -145,6 +157,7 @@ void Comco::handle_rx(std::shared_ptr<const net::Frame> frame,
       std::min(frame->bytes.size() - kHeaderBytes, slot.capacity);
   const SimTime t_rest = timing.rx_end + arb;
   engine_.schedule_at(t_rest, [this, hdr, fp = frame, slot, payload_len, rx_trig, t_rest] {
+    nti_.set_dma_trace(fp->trace_id);
     for (Addr off = rx_trig + 4; off < kHeaderBytes; off += 4) {
       std::uint32_t w = 0;
       for (std::size_t b = 0; b < 4; ++b) {

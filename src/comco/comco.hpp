@@ -33,6 +33,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "net/medium.hpp"
@@ -60,7 +61,10 @@ class Comco {
 
   /// Transmit the CSP prepared by the driver in `tx_slot`'s header plus
   /// `data_len` payload bytes at `data_addr` (NTI data-buffer space).
-  void transmit(int tx_slot, module::Addr data_addr, std::size_t data_len);
+  /// `trace` is the CSP's span id (0 = untraced); it rides along as frame
+  /// metadata and arms the NTI's DMA-burst attribution.
+  void transmit(int tx_slot, module::Addr data_addr, std::size_t data_len,
+                std::uint64_t trace = 0);
 
   /// Provision a receive descriptor: header slot + payload buffer.
   void provision_rx(int rx_slot, module::Addr data_addr, std::size_t capacity);
@@ -72,6 +76,18 @@ class Comco {
 
   std::uint64_t rx_overruns() const { return rx_overruns_; }
   net::MacPort& port() { return port_; }
+
+  /// Record rx-overrun discards against the dropped frame's span.
+  /// Borrowed, not owned; nullptr disables.
+  void set_spans(obs::SpanCollector* spans) { spans_ = spans; }
+
+  /// Span id of the frame most recently delivered into `rx_slot` (0 when
+  /// untraced/unknown).  The driver reads this in its rx-complete path to
+  /// propagate the trace into the task-level CSP record.
+  std::uint64_t rx_trace(int rx_slot) const {
+    const auto it = rx_trace_.find(rx_slot);
+    return it != rx_trace_.end() ? it->second : 0;
+  }
 
   /// Ground-truth instants of the last trigger-word accesses; experiment
   /// probes read these to compute epsilon exactly (not visible to the
@@ -89,6 +105,7 @@ class Comco {
     int tx_slot;
     module::Addr data_addr;
     std::size_t data_len;
+    std::uint64_t trace;
   };
 
   void handle_rx(std::shared_ptr<const net::Frame> frame,
@@ -105,6 +122,8 @@ class Comco {
   std::uint64_t rx_overruns_ = 0;
   SimTime last_tx_trigger_ = SimTime::epoch();
   SimTime last_rx_trigger_ = SimTime::epoch();
+  obs::SpanCollector* spans_ = nullptr;
+  std::unordered_map<int, std::uint64_t> rx_trace_;  ///< rx_slot -> span id
 };
 
 }  // namespace nti::comco

@@ -12,9 +12,11 @@ void Log::disable(LogCat cat) { mask_ &= ~static_cast<std::uint32_t>(cat); }
 void Log::enable_all() { mask_ = ~0u; }
 bool Log::enabled(LogCat cat) { return (mask_ & static_cast<std::uint32_t>(cat)) != 0; }
 
+std::string format_ps(SimTime t) { return std::to_string(t.count_ps()); }
+
 void Log::trace(LogCat cat, SimTime now, const char* fmt, ...) {
   if (!enabled(cat)) return;
-  std::fprintf(stderr, "[%14.9f] ", now.to_sec_f());
+  std::fprintf(stderr, "[%14s ps] ", format_ps(now).c_str());
   va_list args;
   va_start(args, fmt);
   std::vfprintf(stderr, fmt, args);

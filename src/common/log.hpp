@@ -23,7 +23,14 @@ enum class LogCat : std::uint32_t {
   kNode = 1u << 6,
   kCsa = 1u << 7,
   kCluster = 1u << 8,
+  kObs = 1u << 9,  ///< observability layer (span lifecycle, exporters)
 };
+
+/// Canonical picosecond timestamp rendering, shared by the text log prefix,
+/// TraceRing::dump_csv and the span machinery: the plain integer picosecond
+/// count since simulation start.  One format everywhere means a span id seen
+/// in a kObs log line greps directly against the CSV/JSON artifacts.
+std::string format_ps(SimTime t);
 
 class Log {
  public:

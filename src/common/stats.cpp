@@ -47,11 +47,15 @@ double SampleSet::mean() const {
 double SampleSet::percentile(double p) {
   if (xs_.empty()) return 0.0;
   ensure_sorted();
-  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
-  const auto idx = static_cast<std::size_t>(rank);
-  const double frac = rank - static_cast<double>(idx);
-  if (idx + 1 >= xs_.size()) return xs_.back();
-  return xs_[idx] * (1.0 - frac) + xs_[idx + 1] * frac;
+  // Nearest-rank (as documented in stats.hpp): the p-th percentile is the
+  // smallest sample such that at least p% of the samples are <= it, i.e.
+  // element ceil(p/100 * n) of the sorted set (1-based).  No interpolation:
+  // every returned value is an actual sample, which is what worst-case
+  // precision/latency claims need.
+  const double n = static_cast<double>(xs_.size());
+  const double r = std::ceil(p / 100.0 * n);
+  const auto idx = static_cast<std::size_t>(std::max(r, 1.0)) - 1;
+  return xs_[std::min(idx, xs_.size() - 1)];
 }
 
 SampleSummary SampleSet::summary() {

@@ -169,10 +169,18 @@ void SyncNode::do_send() {
 
 void SyncNode::handle_csp(const node::RxCsp& rx) {
   if (!running_) return;
+  const auto discard = [&](obs::DiscardReason reason) {
+    if (spans_ != nullptr) {
+      spans_->record(rx.trace_id, obs::SpanStage::kDiscarded,
+                     card_.cpu().engine().now(), card_.id(),
+                     static_cast<std::int64_t>(reason));
+    }
+  };
   const auto payload = CspPayload::decode(rx.payload);
   if (!payload || payload->kind != CspKind::kSync) return;
   if (payload->round != (round_ & 0xFFFF)) {
     ++csps_late_;
+    discard(obs::DiscardReason::kLateRound);
     return;
   }
 
@@ -180,6 +188,7 @@ void SyncNode::handle_csp(const node::RxCsp& rx) {
   if (cfg_.use_hw_stamps) {
     if (!rx.rx_stamp_valid || !rx.tx_stamp.checksum_ok) {
       ++csps_invalid_;
+      discard(obs::DiscardReason::kInvalidStamp);
       return;
     }
     remote_t = rx.tx_stamp.time();
@@ -191,6 +200,7 @@ void SyncNode::handle_csp(const node::RxCsp& rx) {
                                      payload->sw_macrostamp, payload->sw_alpha);
     if (!sw.checksum_ok) {
       ++csps_invalid_;
+      discard(obs::DiscardReason::kInvalidStamp);
       return;
     }
     remote_t = sw.time();
@@ -209,6 +219,7 @@ void SyncNode::handle_csp(const node::RxCsp& rx) {
   const Duration sigma = resync_time_of_round(round_) - local_r;
   if (sigma < Duration::zero()) {
     ++csps_late_;  // arrived after (or during) our resynchronization
+    discard(obs::DiscardReason::kLateArrival);
     return;
   }
   const Duration margin = scaled_ppm(sigma, cfg_.rho_bound_ppm) + cfg_.granularity;
@@ -229,6 +240,7 @@ void SyncNode::handle_csp(const node::RxCsp& rx) {
   ob.remote_time = remote_t;
   ob.local_time = local_r;
   ob.remote_step = payload->step;
+  ob.trace_id = rx.trace_id;
   obs_[rx.src_node] = ob;
   ++csps_used_;
   if (trace_ != nullptr) {
@@ -268,7 +280,12 @@ void SyncNode::do_resync() {
 
   std::vector<interval::AccInterval> xs;
   xs.emplace_back(c_resync, own_am, own_ap);
-  for (const auto& [peer, ob] : obs_) xs.push_back(ob.preprocessed);
+  for (const auto& [peer, ob] : obs_) {
+    xs.push_back(ob.preprocessed);
+    if (spans_ != nullptr) {
+      spans_->record(ob.trace_id, obs::SpanStage::kFused, now, card_.id());
+    }
+  }
   report.intervals_used = static_cast<int>(xs.size());
 
   std::optional<interval::AccInterval> fused;
@@ -395,6 +412,14 @@ void SyncNode::do_resync() {
     nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlApplyAccSet);
   }
   cum_corr_ += d;
+  if (spans_ != nullptr) {
+    // Every CSP fused into this round contributed to the same applied
+    // correction; close each contributing span with the signed magnitude.
+    for (const auto& [peer, ob] : obs_) {
+      spans_->record(ob.trace_id, obs::SpanStage::kCorrectionApplied, now,
+                     card_.id(), d.count_ps());
+    }
+  }
 
   if (cfg_.rate_sync) apply_rate_sync(report);
 

@@ -37,6 +37,7 @@
 #include "interval/interval.hpp"
 #include "node/node_card.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "csa/payload.hpp"
 
@@ -150,6 +151,13 @@ class SyncNode {
   /// trace entries.  Borrowed, not owned; nullptr stops tracing.
   void set_trace(obs::TraceRing* ring) { trace_ = ring; }
 
+  /// Close out CSP spans at the algorithm layer: kDiscarded (late round,
+  /// invalid stamp, late arrival), kFused when a peer interval enters the
+  /// convergence function, kCorrectionApplied (detail = signed correction
+  /// in ps) when the resulting round correction is applied.  Borrowed, not
+  /// owned; nullptr disables.
+  void set_spans(obs::SpanCollector* spans) { spans_ = spans; }
+
   /// Current locally-believed interval (for examples / probes).
   interval::AccInterval current_interval(SimTime now);
 
@@ -159,6 +167,7 @@ class SyncNode {
     Duration remote_time;                ///< raw remote stamp (rate sync)
     Duration local_time;                 ///< raw local rx stamp (rate sync)
     std::uint64_t remote_step = 0;
+    std::uint64_t trace_id = 0;          ///< span of the CSP that carried it
   };
   struct RateSample {
     std::uint32_t round = 0;
@@ -202,6 +211,7 @@ class SyncNode {
   std::uint64_t state_corrections_ = 0; ///< rounds that applied a nonzero state adj
   std::uint64_t rate_adjustments_ = 0;  ///< STEP updates from rate sync
   obs::TraceRing* trace_ = nullptr;
+  obs::SpanCollector* spans_ = nullptr;
   Duration cum_corr_;  ///< sum of applied state corrections
 };
 

@@ -26,6 +26,11 @@ void Medium::transmit(MacPort& port, Frame frame) {
     // Transmit-ring overflow: a saturated channel cannot drain offered
     // load; real controllers tail-drop exactly like this.
     ++queue_drops_;
+    if (spans_ != nullptr) {
+      spans_->record(frame.trace_id, obs::SpanStage::kDiscarded, engine_.now(),
+                     port.station_,
+                     static_cast<std::int64_t>(obs::DiscardReason::kQueueDrop));
+    }
     return;
   }
   frame.src_station = port.station_;
@@ -100,6 +105,11 @@ void Medium::start_contention_round(SimTime when) {
           p.queue_.erase(p.queue_.begin());
           p.attempts_ = 0;
           ++tx_aborts_;
+          if (spans_ != nullptr) {
+            spans_->record(dropped.trace_id, obs::SpanStage::kDiscarded, start,
+                           p.station_,
+                           static_cast<std::int64_t>(obs::DiscardReason::kTxAbort));
+          }
           if (p.on_tx_abort) p.on_tx_abort(dropped);
           someone_aborted = true;
         }
@@ -139,6 +149,10 @@ void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
                    static_cast<std::int64_t>(frame->id),
                    static_cast<std::int64_t>(frame->bytes.size()));
     }
+    if (spans_ != nullptr) {
+      spans_->record(frame->trace_id, obs::SpanStage::kMediumAcquire, wire_start,
+                     port.station_);
+    }
     if (port.on_wire_start) port.on_wire_start(wire_start, frame);
   });
 
@@ -162,6 +176,10 @@ void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
         trace_->push(timing.rx_start, obs::TraceType::kFrameRx, rx.station_,
                      static_cast<std::int64_t>(frame->id),
                      timing.rx_end.count_ps());
+      }
+      if (spans_ != nullptr) {
+        spans_->record(frame->trace_id, obs::SpanStage::kOnWire, timing.rx_start,
+                       rx.station_);
       }
       if (rx.on_frame) rx.on_frame(frame, timing);
     });

@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "common/time_types.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -44,6 +45,9 @@ struct Frame {
   int src_station = -1;
   std::vector<std::uint8_t> bytes;  ///< header + payload as laid out in memory
   std::uint64_t id = 0;             ///< unique per transmission (diagnostics)
+  /// CSP span id (obs::SpanCollector), 0 for untraced frames (background
+  /// traffic, plain data).  Simulation metadata like `id`: never on the wire.
+  std::uint64_t trace_id = 0;
 };
 
 /// Timing handed to receivers along with the frame.
@@ -123,6 +127,11 @@ class Medium {
   /// nullptr stops tracing.
   void set_trace(obs::TraceRing* ring) { trace_ = ring; }
 
+  /// Record CSP span stages (kMediumAcquire at wire start on the sender,
+  /// kOnWire at each receiver's rx_start, kDiscarded for queue drops and
+  /// excessive-collision aborts).  Borrowed, not owned; nullptr disables.
+  void set_spans(obs::SpanCollector* spans) { spans_ = spans; }
+
  private:
   void try_start(std::size_t port_idx);
   void start_contention_round(SimTime when);
@@ -142,6 +151,7 @@ class Medium {
   std::uint64_t queue_drops_ = 0;
   std::uint64_t tx_aborts_ = 0;
   obs::TraceRing* trace_ = nullptr;
+  obs::SpanCollector* spans_ = nullptr;
 };
 
 }  // namespace nti::net

@@ -90,7 +90,9 @@ void CiDriver::send_csp(std::span<const std::uint8_t> payload) {
     }
     nti_.cpu_write32(now, data + static_cast<Addr>(i), w);
   }
-  comco_.transmit(slot, data, payload.size());
+  const std::uint64_t trace =
+      spans_ != nullptr ? spans_->begin_csp(node_id_, now) : 0;
+  comco_.transmit(slot, data, payload.size(), trace);
   ++stats_.csp_sent;
 }
 
@@ -130,6 +132,12 @@ void CiDriver::isr_nti(std::uint8_t vector) {
       // remaining header words and would clobber anything stored there.
       const std::uint16_t base64 = nti_.io_read16(module::kIoRxHeaderBase);
       const Addr hdr = static_cast<Addr>(base64) << 6;
+      if (spans_ != nullptr) {
+        const int rx_slot = static_cast<int>((hdr - module::kRxHeaderBase) /
+                                             module::kHeaderBytes);
+        spans_->record(comco_.rx_trace(rx_slot), obs::SpanStage::kIsrAssoc, now,
+                       node_id_);
+      }
       SavedStamp saved;
       saved.timestamp = nti_.cpu_read32(now, ssu_base + utcsu::kSsuRxTimestamp);
       saved.macrostamp = nti_.cpu_read32(now, ssu_base + utcsu::kSsuRxMacro);
@@ -194,6 +202,7 @@ void CiDriver::isr_rx_complete(int rx_slot, std::size_t payload_len) {
 
   RxCsp csp;
   csp.src_node = static_cast<int>(nti_.cpu_read32(now, hdr + kHdrSrc));
+  csp.trace_id = comco_.rx_trace(rx_slot);
   csp.rx_clock_isr = read_clock(now);
   csp.tx_stamp = utcsu::decode_stamp(
       nti_.cpu_read32(now, hdr + nti_.program().tx_map_timestamp),

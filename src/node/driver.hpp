@@ -44,6 +44,7 @@ enum class StampMode {
 struct RxCsp {
   std::vector<std::uint8_t> payload;
   int src_node = -1;
+  std::uint64_t trace_id = 0;     ///< CSP span id (0 when tracing is off)
   utcsu::DecodedStamp tx_stamp;   ///< sender's stamp from the wire (HW mode)
   utcsu::DecodedStamp rx_stamp;   ///< local SSU stamp (HW mode)
   bool rx_stamp_valid = false;
@@ -88,6 +89,11 @@ class CiDriver {
   /// Unmask additional UTCSU interrupt sources (duty timers, GPUs).
   void enable_int_sources(std::uint32_t bits);
 
+  /// Open a span per sent CSP (kSendRequest root) and record kIsrAssoc when
+  /// the INTN ISR parks a receive stamp.  Borrowed, not owned; nullptr
+  /// disables tracing (every transmit then carries trace id 0).
+  void set_spans(obs::SpanCollector* spans) { spans_ = spans; }
+
   /// Whether this driver demultiplexes duty-timer / GPS interrupts.  On a
   /// gateway node several drivers share one UTCSU; exactly one of them
   /// (the primary) must own the INTT/INTA demux, or they race to ack the
@@ -126,6 +132,7 @@ class CiDriver {
   std::map<module::Addr, SavedStamp> saved_stamps_;
   int tx_next_ = 0;
   std::uint32_t seq_ = 0;
+  obs::SpanCollector* spans_ = nullptr;
   static constexpr int kRxRingDepth = 16;
 };
 

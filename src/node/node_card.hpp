@@ -49,6 +49,16 @@ class NodeCard {
   /// time t (what the SNU would snapshot on a simultaneous HWSNAP pulse).
   Duration true_clock(SimTime t) { return utcsu_->clock_duration(t); }
 
+  /// Thread one SpanCollector through every CSP-touching layer of this
+  /// card (NTI CPLD triggers, COMCO DMA/overrun, driver send/ISR).  The
+  /// Medium and SyncNode are wired by the scenario owner.  Borrowed, not
+  /// owned; nullptr disables.
+  void set_spans(obs::SpanCollector* spans) {
+    nti_->set_spans(spans, cfg_.node_id);
+    comco_->set_spans(spans);
+    driver_->set_spans(spans);
+  }
+
  private:
   NodeConfig cfg_;
   std::unique_ptr<osc::Oscillator> osc_;

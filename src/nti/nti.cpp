@@ -66,6 +66,9 @@ std::uint32_t Nti::comco_read32(SimTime t, Addr addr) {
       // The decoding logic raises TRANSMIT while the COMCO's read cycle is
       // on the bus; the UTCSU samples at the following oscillator edge.
       chip_.trigger_transmit(ssu_, t);
+      if (spans_ != nullptr) {
+        spans_->record(dma_trace_, obs::SpanStage::kTxTrigger, t, node_id_);
+      }
       return load32(mem_, addr);
     }
     // Transparent mapping: these header words *are* the UTCSU's sampled
@@ -78,6 +81,11 @@ std::uint32_t Nti::comco_read32(SimTime t, Addr addr) {
       return chip_.ssu_tx(ssu_).macrostamp;
     }
     if (offset == program_.tx_map_alpha) {
+      // The alpha word is the semantic payload of the transparent stamp, so
+      // its fetch marks the insertion stage (one record per burst).
+      if (spans_ != nullptr) {
+        spans_->record(dma_trace_, obs::SpanStage::kTxStampInsert, t, node_id_);
+      }
       return chip_.ssu_tx(ssu_).alpha;
     }
   }
@@ -96,6 +104,9 @@ void Nti::comco_write32(SimTime t, Addr addr, std::uint32_t value) {
       // with the right packet even under back-to-back reception
       // (paper Sec. 3.4, footnote 4).
       rx_header_base_ = static_cast<std::uint16_t>((addr & ~(kHeaderBytes - 1)) >> 6);
+      if (spans_ != nullptr) {
+        spans_->record(dma_trace_, obs::SpanStage::kRxStamp, t, node_id_);
+      }
     }
   }
 }

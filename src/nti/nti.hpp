@@ -21,6 +21,7 @@
 
 #include "nti/memmap.hpp"
 #include "nti/sprom.hpp"
+#include "obs/span.hpp"
 #include "utcsu/utcsu.hpp"
 
 namespace nti::module {
@@ -55,6 +56,20 @@ class Nti {
   const CpldProgram& program() const { return program_; }
   int ssu_index() const { return ssu_; }
 
+  /// Observe CPLD-level CSP stages (kTxTrigger on the TRANSMIT trigger-word
+  /// read, kTxStampInsert on the mapped alpha-word fetch, kRxStamp on the
+  /// RECEIVE trigger-word write).  `node_id` tags the events; the collector
+  /// is borrowed, nullptr disables.
+  void set_spans(obs::SpanCollector* spans, int node_id) {
+    spans_ = spans;
+    node_id_ = node_id;
+  }
+  /// Arm the trace id the COMCO's next DMA burst belongs to (0 = untraced).
+  /// The CPLD cannot see trace ids -- the COMCO model sets this just before
+  /// replaying a burst's bus cycles, mirroring how the bursts are already
+  /// attributed to one frame at a time.
+  void set_dma_trace(std::uint64_t trace) { dma_trace_ = trace; }
+
   /// Address helpers for drivers.
   static Addr tx_header_addr(int slot) {
     return kTxHeaderBase + static_cast<Addr>(slot) * kHeaderBytes;
@@ -80,6 +95,10 @@ class Nti {
   bool int_enabled_ = false;
   bool line_[3] = {false, false, false};
   SimTime last_bus_time_ = SimTime::epoch();
+
+  obs::SpanCollector* spans_ = nullptr;
+  int node_id_ = -1;
+  std::uint64_t dma_trace_ = 0;  ///< trace of the burst on the COMCO bus
 };
 
 }  // namespace nti::module

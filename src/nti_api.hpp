@@ -22,8 +22,12 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/time_types.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/periodic.hpp"

@@ -1,0 +1,138 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace nti::obs {
+namespace {
+
+constexpr double kPsPerUs = 1e6;
+
+JsonObject metadata_event(const char* what, int tid, const std::string& name) {
+  JsonObject args;
+  args.add("name", name);
+  JsonObject ev;
+  ev.add("ph", "M");
+  ev.add("name", what);
+  ev.add("pid", std::int64_t{0});
+  ev.add("tid", std::int64_t{tid});
+  ev.add_object("args", args);
+  return ev;
+}
+
+JsonObject slice_event(const SpanEvent& ev) {
+  JsonObject args;
+  args.add("csp", ev.trace);
+  args.add("src", std::int64_t{ev.src});
+  if (ev.stage == SpanStage::kDiscarded) {
+    args.add("reason", to_string(static_cast<DiscardReason>(ev.detail)));
+  } else if (ev.detail != 0) {
+    args.add("detail", ev.detail);
+  }
+  JsonObject out;
+  out.add("ph", "X");
+  out.add("name", to_string(ev.stage));
+  out.add("cat", "csp");
+  out.add("pid", std::int64_t{0});
+  out.add("tid", std::int64_t{ev.node});
+  out.add("ts", static_cast<double>(ev.parent_ps) / kPsPerUs);
+  out.add("dur", static_cast<double>(ev.t_ps - ev.parent_ps) / kPsPerUs);
+  out.add_object("args", args);
+  return out;
+}
+
+JsonObject instant_event(const SpanEvent& ev) {
+  JsonObject args;
+  args.add("csp", ev.trace);
+  JsonObject out;
+  out.add("ph", "i");
+  out.add("name", to_string(ev.stage));
+  out.add("cat", "csp");
+  out.add("pid", std::int64_t{0});
+  out.add("tid", std::int64_t{ev.node});
+  out.add("ts", static_cast<double>(ev.t_ps) / kPsPerUs);
+  out.add("s", "t");
+  out.add_object("args", args);
+  return out;
+}
+
+/// phase is "s" (start), "t" (step) or "f" (finish).  The flow event binds
+/// to the slice enclosing `ts` on the same track, so anchor it at the
+/// slice's start instant (for the root instant, the event instant itself).
+JsonObject flow_event(const SpanEvent& ev, const char* phase, double ts_us) {
+  JsonObject out;
+  out.add("ph", phase);
+  out.add("name", "csp");
+  out.add("cat", "csp-flow");
+  out.add("id", ev.trace);
+  out.add("pid", std::int64_t{0});
+  out.add("tid", std::int64_t{ev.node});
+  out.add("ts", ts_us);
+  if (phase[0] == 'f') out.add("bp", "e");
+  return out;
+}
+
+}  // namespace
+
+void dump_chrome_trace(std::ostream& os, const SpanCollector& spans) {
+  const auto& events = spans.events();
+
+  // Track inventory and per-trace ordering (events are recorded in global
+  // chronological order, so per-trace order is positional).
+  std::set<std::int32_t> nodes;
+  std::map<std::uint64_t, std::vector<std::size_t>> by_trace;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    nodes.insert(events[i].node);
+    by_trace[events[i].trace].push_back(i);
+  }
+
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  const auto emit = [&](const JsonObject& ev) {
+    if (!first) os << ",\n  ";
+    else os << "\n  ";
+    first = false;
+    os << ev.str();
+  };
+
+  emit(metadata_event("process_name", 0, "nti-sim"));
+  for (const std::int32_t n : nodes) {
+    emit(metadata_event("thread_name", n, "node " + std::to_string(n)));
+  }
+
+  for (const auto& [trace, idxs] : by_trace) {
+    (void)trace;
+    for (std::size_t k = 0; k < idxs.size(); ++k) {
+      const SpanEvent& ev = events[idxs[k]];
+      const bool last = (k + 1 == idxs.size());
+      if (ev.parent_ps < 0) {
+        // Root (or unresolvable-parent) event: an instant marker.
+        emit(instant_event(ev));
+        emit(flow_event(ev, last ? "f" : (k == 0 ? "s" : "t"),
+                        static_cast<double>(ev.t_ps) / kPsPerUs));
+      } else {
+        emit(slice_event(ev));
+        emit(flow_event(ev, last ? "f" : (k == 0 ? "s" : "t"),
+                        static_cast<double>(ev.parent_ps) / kPsPerUs));
+      }
+    }
+  }
+
+  os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+}
+
+bool write_chrome_trace(const std::string& path, const SpanCollector& spans) {
+  std::ofstream f(path);
+  if (!f) return false;
+  dump_chrome_trace(f, spans);
+  return static_cast<bool>(f);
+}
+
+}  // namespace nti::obs

@@ -1,0 +1,33 @@
+// Chrome trace-event exporter for SpanCollector.
+//
+// Renders the retained span events as a Trace Event Format JSON object
+// ({"traceEvents": [...]}) loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.  Mapping:
+//   * one track (tid) per simulation node, all under pid 0 ("nti-sim"),
+//     named via ph:"M" thread_name/process_name metadata events;
+//   * every stage with a resolved parent becomes a ph:"X" duration slice
+//     on its node's track: ts = parent instant, dur = stage latency, both
+//     in microseconds (doubles, so the picosecond grid survives as the
+//     fractional part); args carry {csp, src, detail};
+//   * each CSP becomes one async flow (id = trace id): ph:"s" at the root
+//     kSendRequest instant, ph:"t" binding every slice, ph:"f" at the
+//     chronologically last event -- Perfetto draws the arrows that stitch
+//     tx_trigger on the sender to rx_stamp/fused/correction_applied on
+//     every receiver.
+// No dependencies beyond obs/json.hpp.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace nti::obs {
+
+class SpanCollector;
+
+/// Stream the full trace JSON ({"traceEvents": [...], ...}) to `os`.
+void dump_chrome_trace(std::ostream& os, const SpanCollector& spans);
+
+/// Convenience: dump_chrome_trace into `path`; false (no file) on error.
+bool write_chrome_trace(const std::string& path, const SpanCollector& spans);
+
+}  // namespace nti::obs

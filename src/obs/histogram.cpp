@@ -1,0 +1,69 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nti::obs {
+
+// Bucket 0 holds [0, 1); bucket 1 + e*8 + s holds
+// [2^e * (1 + s/8), 2^e * (1 + (s+1)/8)) for e in [0, 62], s in [0, 7].
+std::size_t LogHistogram::bucket_of(double v) {
+  if (v < 1.0) return 0;
+  int e = std::ilogb(v);
+  e = std::clamp(e, 0, 62);
+  const double base = std::ldexp(1.0, e);
+  auto sub = static_cast<int>((v / base - 1.0) * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return 1 + static_cast<std::size_t>(e) * kSubBuckets + static_cast<std::size_t>(sub);
+}
+
+double LogHistogram::bucket_mid(std::size_t idx) {
+  if (idx == 0) return 0.5;
+  const std::size_t e = (idx - 1) / kSubBuckets;
+  const std::size_t sub = (idx - 1) % kSubBuckets;
+  const double base = std::ldexp(1.0, static_cast<int>(e));
+  const double lo = base * (1.0 + static_cast<double>(sub) / kSubBuckets);
+  const double hi = base * (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+  return 0.5 * (lo + hi);
+}
+
+void LogHistogram::add(double v) {
+  if (v < 0.0) {
+    ++negatives_;
+    v = 0.0;
+  }
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++n_;
+  const std::size_t idx = bucket_of(v);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+}
+
+double LogHistogram::percentile(double p) const {
+  if (n_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest rank: the smallest bucket whose cumulative count reaches
+  // ceil(p/100 * n); p = 0 selects the first non-empty bucket.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n_))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) return std::clamp(bucket_mid(i), min_, max_);
+  }
+  return max_;
+}
+
+void LogHistogram::clear() {
+  buckets_.clear();
+  n_ = negatives_ = 0;
+  min_ = max_ = sum_ = 0.0;
+}
+
+}  // namespace nti::obs

@@ -1,0 +1,61 @@
+// LogHistogram: log-bucketed latency distribution for hot-path recording.
+//
+// The span layer records one stage duration per CSP per stage -- tens of
+// thousands of samples in a long run -- and the registry snapshots want
+// p50/p99/max out of them without retaining every sample (SampleSet) or
+// fixing a range up front (the fixed-width Histogram in common/stats.hpp).
+// Buckets are base-2 octaves split into 8 linear sub-buckets, so the
+// quantile estimate carries a bounded ~6% relative error while add() is a
+// handful of integer ops and the footprint is one counter per touched
+// bucket.  Values are unit-agnostic non-negative doubles; every user in
+// this repo feeds picosecond durations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace nti::obs {
+
+class LogHistogram {
+ public:
+  void add(double v);
+  void add(Duration d) { add(static_cast<double>(d.count_ps())); }
+
+  std::uint64_t count() const { return n_; }
+  /// Samples below zero (clamped into the first bucket; stage durations
+  /// are causal, so a nonzero value here flags an instrumentation bug).
+  std::uint64_t negatives() const { return negatives_; }
+  bool empty() const { return n_ == 0; }
+
+  // Exact extrema / mean (tracked outside the buckets).
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+
+  /// Nearest-rank percentile over the bucket counts, p in [0,100]; the
+  /// selected bucket's midpoint, clamped into [min(), max()].  0.0 when
+  /// empty.
+  double percentile(double p) const;
+
+  /// Buckets currently allocated (diagnostics).
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  void clear();
+
+ private:
+  static constexpr int kSubBuckets = 8;  // per octave
+  static std::size_t bucket_of(double v);
+  static double bucket_mid(std::size_t idx);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t n_ = 0;
+  std::uint64_t negatives_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace nti::obs

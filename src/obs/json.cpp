@@ -70,6 +70,10 @@ void JsonObject::add_object(const std::string& key, const JsonObject& obj) {
   fields_.emplace_back(key, obj.str());
 }
 
+void JsonObject::add_array(const std::string& key, const JsonArray& arr) {
+  fields_.emplace_back(key, arr.str());
+}
+
 void JsonObject::add_raw(const std::string& key, const std::string& json) {
   fields_.emplace_back(key, json);
 }
@@ -83,6 +87,29 @@ std::string JsonObject::str() const {
     out += "\"" + json_escape(k) + "\": " + v;
   }
   out += "}";
+  return out;
+}
+
+void JsonArray::add(double v) { items_.push_back(json_number(v)); }
+void JsonArray::add(std::uint64_t v) { items_.push_back(std::to_string(v)); }
+void JsonArray::add(std::int64_t v) { items_.push_back(std::to_string(v)); }
+
+void JsonArray::add(const std::string& v) {
+  items_.push_back("\"" + json_escape(v) + "\"");
+}
+
+void JsonArray::add_object(const JsonObject& obj) { items_.push_back(obj.str()); }
+void JsonArray::add_raw(const std::string& json) { items_.push_back(json); }
+
+std::string JsonArray::str() const {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& v : items_) {
+    if (!first) out += ", ";
+    first = false;
+    out += v;
+  }
+  out += "]";
   return out;
 }
 

@@ -18,6 +18,8 @@ std::string json_escape(const std::string& s);
 /// NaN/Inf as null).
 std::string json_number(double v);
 
+class JsonArray;
+
 class JsonObject {
  public:
   void add(const std::string& key, double v);
@@ -28,6 +30,8 @@ class JsonObject {
   void add(const std::string& key, const char* v);
   /// Nest a sub-object (rendered from its current contents).
   void add_object(const std::string& key, const JsonObject& obj);
+  /// Nest a sub-array (rendered from its current contents).
+  void add_array(const std::string& key, const JsonArray& arr);
   /// Splice a pre-rendered JSON value verbatim.
   void add_raw(const std::string& key, const std::string& json);
 
@@ -39,6 +43,26 @@ class JsonObject {
 
  private:
   std::vector<std::pair<std::string, std::string>> fields_;  // key -> rendered value
+};
+
+class JsonArray {
+ public:
+  void add(double v);
+  void add(std::uint64_t v);
+  void add(std::int64_t v);
+  void add(const std::string& v);
+  void add_object(const JsonObject& obj);
+  /// Splice a pre-rendered JSON value verbatim.
+  void add_raw(const std::string& json);
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Render as [v, ...] in insertion order.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> items_;  // rendered values
 };
 
 }  // namespace nti::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 
 namespace nti::obs {
@@ -54,6 +55,18 @@ void MetricsRegistry::set_scalar(const std::string& name, double value) {
   entries_.push_back(std::move(e));
 }
 
+void MetricsRegistry::add_histogram(std::string name, const LogHistogram* hist,
+                                    double scale) {
+  assert(hist != nullptr);
+  assert(find(name) == nullptr && "duplicate metric name");
+  Entry e;
+  e.name = std::move(name);
+  e.kind = Metric::Kind::kHistogram;
+  e.hist = hist;
+  e.hist_scale = scale;
+  entries_.push_back(std::move(e));
+}
+
 void MetricsRegistry::set_scalar_max(const std::string& name, double value) {
   if (const Entry* e = find(name)) {
     value = std::max(value, e->scalar);
@@ -70,20 +83,47 @@ double MetricsRegistry::eval(const Entry& e) const {
     case Metric::Kind::kCounter: return static_cast<double>(*e.counter);
     case Metric::Kind::kGauge: return e.gauge();
     case Metric::Kind::kScalar: return e.scalar;
+    case Metric::Kind::kHistogram: return static_cast<double>(e.hist->count());
   }
   return 0.0;
 }
 
+void MetricsRegistry::expand_histogram(const Entry& e, std::vector<Metric>& out) {
+  const LogHistogram& h = *e.hist;
+  out.push_back({e.name + ".p50", h.percentile(50) * e.hist_scale,
+                 Metric::Kind::kHistogram});
+  out.push_back({e.name + ".p99", h.percentile(99) * e.hist_scale,
+                 Metric::Kind::kHistogram});
+  out.push_back({e.name + ".max", h.max() * e.hist_scale,
+                 Metric::Kind::kHistogram});
+  out.push_back({e.name + ".count", static_cast<double>(h.count()),
+                 Metric::Kind::kHistogram});
+}
+
 double MetricsRegistry::value(const std::string& name) const {
-  const Entry* e = find(name);
-  return e ? eval(*e) : 0.0;
+  if (const Entry* e = find(name)) return eval(*e);
+  // Histogram sub-metric lookup by expanded name (`<base>.p99`, ...).
+  const auto dot = name.rfind('.');
+  if (dot == std::string::npos) return 0.0;
+  const Entry* base = find(name.substr(0, dot));
+  if (base == nullptr || base->kind != Metric::Kind::kHistogram) return 0.0;
+  const std::string leaf = name.substr(dot + 1);
+  if (leaf == "p50") return base->hist->percentile(50) * base->hist_scale;
+  if (leaf == "p99") return base->hist->percentile(99) * base->hist_scale;
+  if (leaf == "max") return base->hist->max() * base->hist_scale;
+  if (leaf == "count") return static_cast<double>(base->hist->count());
+  return 0.0;
 }
 
 std::vector<Metric> MetricsRegistry::snapshot() const {
   std::vector<Metric> out;
   out.reserve(entries_.size());
   for (const auto& e : entries_) {
-    out.push_back(Metric{e.name, eval(e), e.kind});
+    if (e.kind == Metric::Kind::kHistogram) {
+      expand_histogram(e, out);
+    } else {
+      out.push_back(Metric{e.name, eval(e), e.kind});
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const Metric& a, const Metric& b) { return a.name < b.name; });

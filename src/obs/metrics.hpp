@@ -3,14 +3,18 @@
 // The paper's claims are quantitative (sub-us precision, bounded drop
 // rates), so every layer of the simulation exports its counters here and
 // benches serialize the registry into BENCH_<name>.json -- the repo's
-// perf/quality trajectory.  Three metric kinds:
-//   * counter -- a monotonically increasing std::uint64_t owned by the
+// perf/quality trajectory.  Four metric kinds:
+//   * counter   -- a monotonically increasing std::uint64_t owned by the
 //     instrumented component; the registry stores a pointer and reads it
 //     lazily at snapshot time (zero cost on the hot path);
-//   * gauge   -- a callback evaluated at snapshot time (queue depths,
+//   * gauge     -- a callback evaluated at snapshot time (queue depths,
 //     envelope widths, anything derived);
-//   * scalar  -- a value pushed into the registry directly (probe results,
-//     per-round aggregates).
+//   * scalar    -- a value pushed into the registry directly (probe results,
+//     per-round aggregates);
+//   * histogram -- a pointer to a LogHistogram owned by the instrumented
+//     component; each snapshot expands it into <name>.{p50,p99,max,count}
+//     entries (scaled by the registration-time factor), so distribution
+//     shape rides into BENCH_*.json alongside the flat counters.
 //
 // Lifetime contract: registered pointers/callbacks must outlive every
 // snapshot() call.  The intended owner is the scenario object (Cluster, a
@@ -24,8 +28,10 @@
 
 namespace nti::obs {
 
+class LogHistogram;
+
 struct Metric {
-  enum class Kind { kCounter, kGauge, kScalar };
+  enum class Kind { kCounter, kGauge, kScalar, kHistogram };
   std::string name;
   double value = 0.0;
   Kind kind = Kind::kScalar;
@@ -46,13 +52,19 @@ class MetricsRegistry {
   void set_scalar(const std::string& name, double value);
   /// Upsert a scalar keeping the maximum seen so far (envelope tracking).
   void set_scalar_max(const std::string& name, double value);
+  /// Register a distribution by address.  Each snapshot expands it into
+  /// `<name>.p50`, `<name>.p99`, `<name>.max` and `<name>.count`, the
+  /// value entries multiplied by `scale` (e.g. 1e-6 for ps -> us, per the
+  /// repo's `_us` key convention).
+  void add_histogram(std::string name, const LogHistogram* hist, double scale = 1.0);
 
   std::size_t size() const { return entries_.size(); }
   bool contains(const std::string& name) const;
-  /// Current value of one metric (0.0 when absent).
+  /// Current value of one metric (0.0 when absent).  Histograms are
+  /// addressed by their expanded names (`<name>.p99`, ...).
   double value(const std::string& name) const;
 
-  /// Evaluate every metric, sorted by name.
+  /// Evaluate every metric, sorted by name (histograms expanded).
   std::vector<Metric> snapshot() const;
 
   /// One flat JSON object: {"name": value, ...}, sorted by name.
@@ -65,10 +77,13 @@ class MetricsRegistry {
     const std::uint64_t* counter = nullptr;
     std::function<double()> gauge;
     double scalar = 0.0;
+    const LogHistogram* hist = nullptr;
+    double hist_scale = 1.0;
   };
   Entry* find(const std::string& name);
   const Entry* find(const std::string& name) const;
   double eval(const Entry& e) const;
+  static void expand_histogram(const Entry& e, std::vector<Metric>& out);
 
   std::vector<Entry> entries_;
 };

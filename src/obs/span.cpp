@@ -1,0 +1,190 @@
+#include "obs/span.hpp"
+
+#include "common/log.hpp"
+
+namespace nti::obs {
+
+const char* to_string(SpanStage s) {
+  switch (s) {
+    case SpanStage::kSendRequest: return "send_request";
+    case SpanStage::kMediumAcquire: return "medium_acquire";
+    case SpanStage::kTxTrigger: return "tx_trigger";
+    case SpanStage::kTxStampInsert: return "tx_stamp_insert";
+    case SpanStage::kOnWire: return "on_wire";
+    case SpanStage::kRxStamp: return "rx_stamp";
+    case SpanStage::kIsrAssoc: return "isr_assoc";
+    case SpanStage::kFused: return "fused";
+    case SpanStage::kDiscarded: return "discarded";
+    case SpanStage::kCorrectionApplied: return "correction_applied";
+  }
+  return "?";
+}
+
+const char* to_string(DiscardReason r) {
+  switch (r) {
+    case DiscardReason::kQueueDrop: return "queue_drop";
+    case DiscardReason::kTxAbort: return "tx_abort";
+    case DiscardReason::kRxOverrun: return "rx_overrun";
+    case DiscardReason::kLateRound: return "late_round";
+    case DiscardReason::kInvalidStamp: return "invalid_stamp";
+    case DiscardReason::kLateArrival: return "late_arrival";
+  }
+  return "?";
+}
+
+SpanCollector::SpanCollector(std::size_t max_events) : max_events_(max_events) {}
+
+std::uint64_t SpanCollector::begin_csp(int src_node, SimTime t) {
+  const std::uint64_t id = next_id_++;
+  TraceState st;
+  st.src = src_node;
+  live_.emplace(id, st);
+  record(id, SpanStage::kSendRequest, t, src_node);
+  return id;
+}
+
+std::uint64_t SpanCollector::pair_key(int src, int dst, SpanStage s) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst) & 0xFFFF'FFu) << 16) |
+         static_cast<std::uint64_t>(s);
+}
+
+std::int64_t SpanCollector::resolve_parent(TraceState& st, SpanStage stage,
+                                           int node, std::int64_t t_ps) {
+  switch (stage) {
+    case SpanStage::kSendRequest:
+      st.send_request = t_ps;
+      return -1;
+    case SpanStage::kMediumAcquire:
+      st.medium_acquire = t_ps;
+      return st.send_request;
+    case SpanStage::kTxTrigger:
+      st.tx_trigger = t_ps;
+      return st.medium_acquire;
+    case SpanStage::kTxStampInsert:
+      st.tx_stamp_insert = t_ps;
+      return st.tx_trigger;
+    case SpanStage::kOnWire: {
+      st.rx[node].on_wire = t_ps;
+      return st.medium_acquire;
+    }
+    case SpanStage::kRxStamp: {
+      Branch& b = st.rx[node];
+      b.rx_stamp = t_ps;
+      return b.on_wire;
+    }
+    case SpanStage::kIsrAssoc: {
+      Branch& b = st.rx[node];
+      b.isr_assoc = t_ps;
+      return b.rx_stamp;
+    }
+    case SpanStage::kFused: {
+      Branch& b = st.rx[node];
+      b.fused = t_ps;
+      return b.isr_assoc;
+    }
+    case SpanStage::kDiscarded: {
+      // Discards happen on either side of the wire: tx-side (queue drop,
+      // tx abort) parent from the latest tx-side event, rx-side from the
+      // deepest rx-branch event reached.
+      if (node == st.src) {
+        if (st.medium_acquire >= 0) return st.medium_acquire;
+        return st.send_request;
+      }
+      const auto it = st.rx.find(node);
+      if (it == st.rx.end()) return st.send_request;
+      const Branch& b = it->second;
+      if (b.fused >= 0) return b.fused;
+      if (b.isr_assoc >= 0) return b.isr_assoc;
+      if (b.rx_stamp >= 0) return b.rx_stamp;
+      if (b.on_wire >= 0) return b.on_wire;
+      return st.send_request;
+    }
+    case SpanStage::kCorrectionApplied: {
+      const auto it = st.rx.find(node);
+      return it != st.rx.end() ? it->second.fused : -1;
+    }
+  }
+  return -1;
+}
+
+void SpanCollector::record(std::uint64_t trace, SpanStage stage, SimTime t,
+                           int node, std::int64_t detail) {
+  const auto it = live_.find(trace);
+  if (it == live_.end()) return;  // trace 0 / unknown: not a CSP span
+  TraceState& st = it->second;
+
+  SpanEvent ev;
+  ev.trace = trace;
+  ev.stage = stage;
+  ev.node = node;
+  ev.src = st.src;
+  ev.t_ps = t.count_ps();
+  ev.detail = detail;
+  ev.parent_ps = resolve_parent(st, stage, node, ev.t_ps);
+
+  if (ev.parent_ps >= 0) {
+    const auto delta = static_cast<double>(ev.t_ps - ev.parent_ps);
+    stage_hist_[static_cast<std::size_t>(stage)].add(delta);
+    pair_hist_[pair_key(st.src, node, stage)].add(delta);
+  }
+
+  if (events_.size() < max_events_) {
+    events_.push_back(ev);
+  } else {
+    ++dropped_;
+  }
+
+  // Correlate with the text-log stream: same pico-timestamp formatting,
+  // span id spelled out (enable LogCat::kObs to interleave).
+  if (Log::enabled(LogCat::kObs)) {
+    Log::trace(LogCat::kObs, t, "span %llu %s node=%d detail=%lld",
+               static_cast<unsigned long long>(trace), to_string(stage), node,
+               static_cast<long long>(detail));
+  }
+}
+
+std::vector<SpanEvent> SpanCollector::trace_events(std::uint64_t trace) const {
+  std::vector<SpanEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.trace == trace) out.push_back(ev);
+  }
+  return out;
+}
+
+const LogHistogram& SpanCollector::stage_histogram(SpanStage s) const {
+  return stage_hist_[static_cast<std::size_t>(s)];
+}
+
+const LogHistogram* SpanCollector::pair_histogram(int src, int dst,
+                                                  SpanStage s) const {
+  const auto it = pair_hist_.find(pair_key(src, dst, s));
+  return it != pair_hist_.end() ? &it->second : nullptr;
+}
+
+void SpanCollector::register_metrics(MetricsRegistry& reg,
+                                     const std::string& prefix) {
+  // kSendRequest is the root (no duration); every other stage exports its
+  // aggregate latency distribution, scaled ps -> us per repo convention.
+  for (std::size_t i = 1; i < kNumSpanStages; ++i) {
+    reg.add_histogram(prefix + "stage." + to_string(static_cast<SpanStage>(i)) + "_us",
+                      &stage_hist_[i], 1e-6);
+  }
+  reg.add_gauge(prefix + "spans_started",
+                [this] { return static_cast<double>(spans_started()); });
+  reg.add_gauge(prefix + "events_retained",
+                [this] { return static_cast<double>(events_.size()); });
+  reg.add_gauge(prefix + "events_dropped",
+                [this] { return static_cast<double>(dropped_); });
+}
+
+void SpanCollector::clear() {
+  events_.clear();
+  live_.clear();
+  pair_hist_.clear();
+  for (auto& h : stage_hist_) h.clear();
+  dropped_ = 0;
+  next_id_ = 1;
+}
+
+}  // namespace nti::obs

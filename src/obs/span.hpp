@@ -1,0 +1,158 @@
+// SpanCollector: causal CSP-lifecycle tracing.
+//
+// The paper's precision argument is a latency decomposition: every stage of
+// a CSP's life -- transmit trigger on the COMCO read of header offset 0x14,
+// transparent stamp insertion, medium access, propagation, receive trigger
+// on the write of 0x1C, ISR association, interval fusion, amortized
+// correction -- contributes a bounded term.  The SpanCollector attributes
+// end-to-end CSP delay to exactly those stages: the CI driver assigns a
+// trace id when it hands a CSP to the COMCO, the id rides along through the
+// MAC / DMA / ISR / fusion layers (never on the wire -- it is simulation
+// metadata, like net::Frame::id), and each layer records a typed stage
+// event with a picosecond timestamp.
+//
+// Stage taxonomy and parentage (the stage's duration is measured from its
+// parent event on the same trace; rx-side stages are per receiving node,
+// so one broadcast CSP forks into one branch per receiver):
+//
+//   stage               recorded by          parent            meaning
+//   send_request        node::CiDriver       (root)            CSP handed to COMCO
+//   medium_acquire      net::Medium          send_request      MAC won the wire
+//   tx_trigger          module::Nti          medium_acquire    COMCO read of TX trigger word
+//   tx_stamp_insert     module::Nti          tx_trigger        mapped stamp words fetched
+//   on_wire             net::Medium          medium_acquire    first bit at this receiver
+//   rx_stamp            module::Nti          on_wire           COMCO write of RX trigger word
+//   isr_assoc           node::CiDriver       rx_stamp          INTN ISR parked the stamp
+//   fused               csa::SyncNode        isr_assoc         interval entered convergence
+//   discarded           any layer            (varies)          left the pipeline (reason)
+//   correction_applied  csa::SyncNode        fused             resync correction applied
+//
+// Per-stage latency histograms (aggregate and per src->dst node pair) are
+// maintained incrementally on record(); raw events are retained (up to a
+// configurable cap) for the Chrome trace-event exporter
+// (obs/chrome_trace.hpp).  Everything is deterministic: ids are a simple
+// counter, no wall-clock anywhere.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time_types.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace nti::obs {
+
+enum class SpanStage : std::uint8_t {
+  kSendRequest = 0,
+  kMediumAcquire,
+  kTxTrigger,
+  kTxStampInsert,
+  kOnWire,
+  kRxStamp,
+  kIsrAssoc,
+  kFused,
+  kDiscarded,
+  kCorrectionApplied,
+};
+inline constexpr std::size_t kNumSpanStages = 10;
+
+const char* to_string(SpanStage s);
+
+/// Why a CSP left the pipeline early (SpanEvent::detail of kDiscarded).
+enum class DiscardReason : std::int64_t {
+  kQueueDrop = 1,    ///< MAC tx ring overflow (net::Medium)
+  kTxAbort = 2,      ///< gave up after max_attempts collisions
+  kRxOverrun = 3,    ///< COMCO rx descriptor ring empty
+  kLateRound = 4,    ///< CSP for a round we already left
+  kInvalidStamp = 5, ///< hardware/software stamp failed validation
+  kLateArrival = 6,  ///< arrived after the resync point
+};
+
+const char* to_string(DiscardReason r);
+
+struct SpanEvent {
+  std::uint64_t trace = 0;    ///< CSP trace id (begin_csp order, from 1)
+  SpanStage stage = SpanStage::kSendRequest;
+  std::int32_t node = -1;     ///< node the stage executed on
+  std::int32_t src = -1;      ///< originating (sender) node of the CSP
+  std::int64_t t_ps = 0;      ///< stage completion instant
+  std::int64_t parent_ps = -1; ///< parent event instant (-1: root / unknown)
+  std::int64_t detail = 0;    ///< stage-specific payload (reason, correction ps, ...)
+};
+
+class SpanCollector {
+ public:
+  /// `max_events` bounds the retained raw-event store (histograms keep
+  /// accumulating past the cap; dropped_events() counts the overflow).
+  explicit SpanCollector(std::size_t max_events = std::size_t{1} << 20);
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Open a span for a CSP originating at `src_node`; records the
+  /// kSendRequest root event and returns the trace id (never 0 -- 0 means
+  /// "no span" throughout the instrumentation).
+  std::uint64_t begin_csp(int src_node, SimTime t);
+
+  /// Record a stage event.  Unknown trace ids (e.g. 0) are ignored, so
+  /// instrumented layers can call unconditionally for non-CSP frames.
+  void record(std::uint64_t trace, SpanStage stage, SimTime t, int node,
+              std::int64_t detail = 0);
+
+  // ---- queries ------------------------------------------------------------
+  std::uint64_t spans_started() const { return next_id_ - 1; }
+  std::size_t event_count() const { return events_.size(); }
+  const SpanEvent& event(std::size_t i) const { return events_[i]; }
+  const std::vector<SpanEvent>& events() const { return events_; }
+  std::uint64_t dropped_events() const { return dropped_; }
+
+  /// All retained events of one trace, in recording order.
+  std::vector<SpanEvent> trace_events(std::uint64_t trace) const;
+
+  /// Aggregate per-stage latency distribution (nullptr-free; empty until
+  /// the stage has fired).  kSendRequest is the root and has no duration.
+  const LogHistogram& stage_histogram(SpanStage s) const;
+  /// Per node-pair distribution, or nullptr when the pair never fired the
+  /// stage.  For tx-side stages dst == src.
+  const LogHistogram* pair_histogram(int src, int dst, SpanStage s) const;
+
+  /// Export aggregate stage histograms plus span counters into `reg` under
+  /// `prefix` (e.g. "span."); this collector must outlive snapshots.
+  void register_metrics(MetricsRegistry& reg, const std::string& prefix);
+
+  void clear();
+
+ private:
+  // In-flight per-trace state used to resolve each stage's parent instant.
+  struct Branch {
+    std::int64_t on_wire = -1;
+    std::int64_t rx_stamp = -1;
+    std::int64_t isr_assoc = -1;
+    std::int64_t fused = -1;
+  };
+  struct TraceState {
+    std::int32_t src = -1;
+    std::int64_t send_request = -1;
+    std::int64_t medium_acquire = -1;
+    std::int64_t tx_trigger = -1;
+    std::int64_t tx_stamp_insert = -1;
+    std::map<std::int32_t, Branch> rx;  ///< keyed by receiving node
+  };
+
+  std::int64_t resolve_parent(TraceState& st, SpanStage stage, int node,
+                              std::int64_t t_ps);
+  static std::uint64_t pair_key(int src, int dst, SpanStage s);
+
+  std::size_t max_events_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::vector<SpanEvent> events_;
+  std::unordered_map<std::uint64_t, TraceState> live_;
+  LogHistogram stage_hist_[kNumSpanStages];
+  std::map<std::uint64_t, LogHistogram> pair_hist_;
+};
+
+}  // namespace nti::obs

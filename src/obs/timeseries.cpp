@@ -1,0 +1,48 @@
+#include "obs/timeseries.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+namespace nti::obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TimeSeriesRecorder::add_row(double t_sec, std::span<const double> values) {
+  assert(values.size() == columns_.size());
+  Row r;
+  r.t_sec = t_sec;
+  r.values.assign(values.begin(), values.end());
+  rows_.push_back(std::move(r));
+}
+
+double TimeSeriesRecorder::at(std::size_t row, std::size_t col) const {
+  assert(row < rows_.size() && col < columns_.size());
+  return rows_[row].values[col];
+}
+
+void TimeSeriesRecorder::dump_csv(std::ostream& os) const {
+  os << "t_s";
+  for (const auto& c : columns_) os << ',' << c;
+  os << '\n';
+  char buf[32];
+  for (const auto& r : rows_) {
+    std::snprintf(buf, sizeof buf, "%.9g", r.t_sec);
+    os << buf;
+    for (const double v : r.values) {
+      std::snprintf(buf, sizeof buf, "%.9g", v);
+      os << ',' << buf;
+    }
+    os << '\n';
+  }
+}
+
+bool TimeSeriesRecorder::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  dump_csv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace nti::obs

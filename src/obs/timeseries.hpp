@@ -1,0 +1,51 @@
+// TimeSeriesRecorder: sampled trajectories of the sync dynamics.
+//
+// The probe scalars in the registry only keep "latest" and "worst"; the
+// dynamics the paper (and ptp++/HyNTP-style evaluations) care about are
+// trajectories -- how pi(t) converges after cold start, how the alpha-/
+// alpha+ envelope breathes between resyncs, how each node's offset to the
+// reference wanders.  The recorder is a column-labeled append-only table
+// the Cluster probe drives once per sample, dumped as CSV (first column is
+// always t_s, the simulated-time abscissa in seconds).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nti::obs {
+
+class TimeSeriesRecorder {
+ public:
+  /// `columns` are the value-column labels (t_s is implicit, first).
+  explicit TimeSeriesRecorder(std::vector<std::string> columns);
+
+  std::size_t column_count() const { return columns_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Append one sample; `values.size()` must equal column_count().
+  void add_row(double t_sec, std::span<const double> values);
+
+  double at(std::size_t row, std::size_t col) const;
+  double t_at(std::size_t row) const { return rows_[row].t_sec; }
+
+  /// CSV: "t_s,<col0>,<col1>,..." header plus one row per sample, %.9g.
+  void dump_csv(std::ostream& os) const;
+  /// Convenience: dump_csv into `path`; false (and no file) on open error.
+  bool write_csv(const std::string& path) const;
+
+  void clear() { rows_.clear(); }
+
+ private:
+  struct Row {
+    double t_sec;
+    std::vector<double> values;
+  };
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace nti::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/log.hpp"
+
 namespace nti::obs {
 
 const char* to_string(TraceType t) {
@@ -53,7 +55,7 @@ void TraceRing::dump_csv(std::ostream& os) const {
   os << "t_ps,type,node,a,b\n";
   for (std::size_t i = 0; i < size(); ++i) {
     const TraceRecord& r = at(i);
-    os << r.t.count_ps() << ',' << to_string(r.type) << ',' << r.node << ','
+    os << format_ps(r.t) << ',' << to_string(r.type) << ',' << r.node << ','
        << r.a << ',' << r.b << '\n';
   }
 }

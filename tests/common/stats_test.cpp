@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 namespace nti {
 namespace {
 
@@ -34,9 +37,33 @@ TEST(SampleSet, ExactPercentiles) {
   for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
   EXPECT_DOUBLE_EQ(s.min(), 1.0);
   EXPECT_DOUBLE_EQ(s.max(), 100.0);
-  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
-  EXPECT_NEAR(s.percentile(99), 99.01, 0.02);
+  // Nearest-rank: element ceil(p/100 * 100) of the sorted set.
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
   EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+// Nearest-rank semantics pinned down for every n in 1..5: the returned value
+// is always an actual sample, p=0 yields the minimum, p=100 the maximum,
+// and p=50 on even n picks the lower of the two middle samples
+// (ceil(0.5 * n) is the n/2-th element, 1-based).
+TEST(SampleSet, NearestRankSmallN) {
+  for (int n = 1; n <= 5; ++n) {
+    SampleSet s;
+    for (int i = 1; i <= n; ++i) s.add(static_cast<double>(i * 10));
+    SCOPED_TRACE("n=" + std::to_string(n));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), static_cast<double>(n * 10));
+    const int median_rank = (n + 1) / 2;  // ceil(n/2)
+    EXPECT_DOUBLE_EQ(s.percentile(50), static_cast<double>(median_rank * 10));
+    // Every percentile is one of the samples, never interpolated.
+    for (const double p : {1.0, 25.0, 37.5, 60.0, 99.0}) {
+      const double v = s.percentile(p);
+      EXPECT_DOUBLE_EQ(v, std::round(v / 10.0) * 10.0);
+      EXPECT_GE(v, 10.0);
+      EXPECT_LE(v, static_cast<double>(n * 10));
+    }
+  }
 }
 
 TEST(SampleSet, AddAfterSortStillCorrect) {

@@ -1,0 +1,97 @@
+// Validates the Chrome trace-event exporter's JSON structure against what
+// Perfetto / chrome://tracing require: a traceEvents array, process/thread
+// metadata, "X" duration slices with µs timestamps, and s/t/f async flow
+// events stitching one CSP across tracks.
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/span.hpp"
+
+namespace nti::obs {
+namespace {
+
+SimTime at_us(std::int64_t us) { return SimTime::from_ps(us * 1'000'000); }
+
+std::string dump(const SpanCollector& sc) {
+  std::ostringstream os;
+  dump_chrome_trace(os, sc);
+  return os.str();
+}
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(ChromeTrace, EmptyCollectorIsStillValidJson) {
+  SpanCollector sc;
+  const std::string s = dump(sc);
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(s.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_EQ(s.back(), '\n');
+}
+
+TEST(ChromeTrace, FullCspProducesSlicesAndFlows) {
+  SpanCollector sc;
+  const std::uint64_t id = sc.begin_csp(0, at_us(100));
+  sc.record(id, SpanStage::kMediumAcquire, at_us(110), 0);
+  sc.record(id, SpanStage::kOnWire, at_us(112), 1);
+  sc.record(id, SpanStage::kTxTrigger, at_us(114), 0);
+  sc.record(id, SpanStage::kRxStamp, at_us(120), 1);
+  sc.record(id, SpanStage::kIsrAssoc, at_us(130), 1);
+  sc.record(id, SpanStage::kFused, at_us(200), 1);
+  const std::string s = dump(sc);
+
+  // Track metadata: one process plus a thread-name row per touched node.
+  EXPECT_NE(s.find("\"process_name\""), std::string::npos);
+  EXPECT_EQ(count_of(s, "\"thread_name\""), 2u);  // nodes 0 and 1
+
+  // The root is an instant, every non-root event a duration slice.
+  EXPECT_EQ(count_of(s, "\"ph\": \"i\""), 1u);
+  EXPECT_EQ(count_of(s, "\"ph\": \"X\""), 6u);
+  EXPECT_NE(s.find("\"name\": \"send_request\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\": \"medium_acquire\""), std::string::npos);
+
+  // Async flow: one start, one finish, the rest steps -- all id'd by trace.
+  EXPECT_EQ(count_of(s, "\"ph\": \"s\""), 1u);
+  EXPECT_EQ(count_of(s, "\"ph\": \"f\""), 1u);
+  EXPECT_EQ(count_of(s, "\"ph\": \"t\""), 5u);
+  EXPECT_NE(s.find("\"id\": 1"), std::string::npos);
+
+  // Timestamps are µs: medium_acquire spans 100us -> 110us, so its slice
+  // starts at its parent instant with a 10us duration.
+  EXPECT_NE(s.find("\"ts\": 100"), std::string::npos);
+  EXPECT_NE(s.find("\"dur\": 10"), std::string::npos);
+}
+
+TEST(ChromeTrace, DiscardCarriesReasonArg) {
+  SpanCollector sc;
+  const std::uint64_t id = sc.begin_csp(2, at_us(0));
+  sc.record(id, SpanStage::kDiscarded, at_us(3), 2,
+            static_cast<std::int64_t>(DiscardReason::kRxOverrun));
+  const std::string s = dump(sc);
+  EXPECT_NE(s.find("\"name\": \"discarded\""), std::string::npos);
+  EXPECT_NE(s.find("rx_overrun"), std::string::npos);
+}
+
+TEST(ChromeTrace, TwoTracesGetDistinctFlowIds) {
+  SpanCollector sc;
+  const std::uint64_t a = sc.begin_csp(0, at_us(1));
+  const std::uint64_t b = sc.begin_csp(1, at_us(2));
+  sc.record(a, SpanStage::kMediumAcquire, at_us(5), 0);
+  sc.record(b, SpanStage::kMediumAcquire, at_us(6), 1);
+  const std::string s = dump(sc);
+  EXPECT_NE(s.find("\"id\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"id\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nti::obs

@@ -1,0 +1,92 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nti::obs {
+namespace {
+
+TEST(LogHistogram, EmptyIsAllZero) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(LogHistogram, SingleSampleEveryPercentileIsIt) {
+  LogHistogram h;
+  h.add(1234.0);
+  EXPECT_EQ(h.count(), 1u);
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    // The bucket midpoint is clamped into [min, max], which for one sample
+    // collapses to the sample itself.
+    EXPECT_DOUBLE_EQ(h.percentile(p), 1234.0);
+  }
+}
+
+TEST(LogHistogram, ExactExtremaAndMean) {
+  LogHistogram h;
+  h.add(10.0);
+  h.add(20.0);
+  h.add(90.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 90.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 40.0);
+}
+
+TEST(LogHistogram, PercentileBoundedRelativeError) {
+  // 8 linear sub-buckets per octave -> worst-case half-bucket error of
+  // ~1/16 of the octave span; the header promises ~6% relative error.
+  LogHistogram h;
+  for (int i = 1; i <= 10'000; ++i) h.add(static_cast<double>(i));
+  const double p50 = h.percentile(50);
+  const double p99 = h.percentile(99);
+  EXPECT_NEAR(p50, 5000.0, 5000.0 * 0.07);
+  EXPECT_NEAR(p99, 9900.0, 9900.0 * 0.07);
+  // p=100 selects the top bucket's midpoint (clamped into [min, max]),
+  // so it carries the same bounded error -- max() is the exact extremum.
+  EXPECT_NEAR(h.percentile(100), 10'000.0, 10'000.0 * 0.07);
+  EXPECT_DOUBLE_EQ(h.max(), 10'000.0);
+}
+
+TEST(LogHistogram, PercentileMonotoneInP) {
+  LogHistogram h;
+  for (int i = 0; i < 1000; ++i) h.add(std::pow(1.01, i));
+  double prev = h.percentile(0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(LogHistogram, NegativesCountedAndClamped) {
+  LogHistogram h;
+  h.add(-5.0);  // instrumentation bug canary
+  h.add(3.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.negatives(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // the sample itself is clamped to zero
+}
+
+TEST(LogHistogram, DurationOverloadFeedsPs) {
+  LogHistogram h;
+  h.add(Duration::us(2));
+  EXPECT_DOUBLE_EQ(h.max(), 2e6);
+}
+
+TEST(LogHistogram, ClearResets) {
+  LogHistogram h;
+  h.add(7.0);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.negatives(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace nti::obs

@@ -1,0 +1,199 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace nti::obs {
+namespace {
+
+SimTime at_us(std::int64_t us) { return SimTime::from_ps(us * 1'000'000); }
+
+// Drives one synthetic CSP from node 0 to node 1 through the full stage
+// taxonomy, with distinct instants so every parent edge is checkable.
+std::uint64_t play_full_csp(SpanCollector& sc) {
+  const std::uint64_t id = sc.begin_csp(0, at_us(100));
+  sc.record(id, SpanStage::kMediumAcquire, at_us(110), 0);
+  // FIFO lead: the wire starts (and the receiver's on_wire fires) before
+  // the TX trigger word is read out of the FIFO.
+  sc.record(id, SpanStage::kOnWire, at_us(112), 1);
+  sc.record(id, SpanStage::kTxTrigger, at_us(114), 0);
+  sc.record(id, SpanStage::kTxStampInsert, at_us(115), 0);
+  sc.record(id, SpanStage::kRxStamp, at_us(120), 1);
+  sc.record(id, SpanStage::kIsrAssoc, at_us(130), 1);
+  sc.record(id, SpanStage::kFused, at_us(200), 1);
+  sc.record(id, SpanStage::kCorrectionApplied, at_us(200), 1, /*detail=*/-42);
+  return id;
+}
+
+TEST(SpanCollector, IdsStartAtOneAndZeroIsIgnored) {
+  SpanCollector sc;
+  EXPECT_EQ(sc.begin_csp(3, at_us(1)), 1u);
+  EXPECT_EQ(sc.begin_csp(3, at_us(2)), 2u);
+  EXPECT_EQ(sc.spans_started(), 2u);
+  // Unknown / sentinel traces never record: background frames carry 0.
+  sc.record(0, SpanStage::kOnWire, at_us(3), 1);
+  sc.record(999, SpanStage::kOnWire, at_us(3), 1);
+  EXPECT_EQ(sc.event_count(), 2u);  // just the two roots
+}
+
+TEST(SpanCollector, RootEventShape) {
+  SpanCollector sc;
+  const std::uint64_t id = sc.begin_csp(5, at_us(7));
+  const auto evs = sc.trace_events(id);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].stage, SpanStage::kSendRequest);
+  EXPECT_EQ(evs[0].node, 5);
+  EXPECT_EQ(evs[0].src, 5);
+  EXPECT_EQ(evs[0].t_ps, at_us(7).count_ps());
+  EXPECT_EQ(evs[0].parent_ps, -1);  // root
+}
+
+TEST(SpanCollector, ParentChainAcrossFullLifecycle) {
+  SpanCollector sc;
+  const std::uint64_t id = play_full_csp(sc);
+  const auto evs = sc.trace_events(id);
+  ASSERT_EQ(evs.size(), 9u);
+
+  auto find = [&](SpanStage s) -> const SpanEvent& {
+    for (const auto& e : evs)
+      if (e.stage == s) return e;
+    ADD_FAILURE() << "stage missing: " << to_string(s);
+    static SpanEvent none;
+    return none;
+  };
+  // Stage -> parent instant, per the taxonomy table in span.hpp.
+  EXPECT_EQ(find(SpanStage::kMediumAcquire).parent_ps, at_us(100).count_ps());
+  EXPECT_EQ(find(SpanStage::kTxTrigger).parent_ps, at_us(110).count_ps());
+  EXPECT_EQ(find(SpanStage::kTxStampInsert).parent_ps, at_us(114).count_ps());
+  EXPECT_EQ(find(SpanStage::kOnWire).parent_ps, at_us(110).count_ps());
+  EXPECT_EQ(find(SpanStage::kRxStamp).parent_ps, at_us(112).count_ps());
+  EXPECT_EQ(find(SpanStage::kIsrAssoc).parent_ps, at_us(120).count_ps());
+  EXPECT_EQ(find(SpanStage::kFused).parent_ps, at_us(130).count_ps());
+  EXPECT_EQ(find(SpanStage::kCorrectionApplied).parent_ps,
+            at_us(200).count_ps());
+  EXPECT_EQ(find(SpanStage::kCorrectionApplied).detail, -42);
+  // Every event carries the originating node.
+  for (const auto& e : evs) EXPECT_EQ(e.src, 0);
+}
+
+TEST(SpanCollector, StageHistogramsMeasureParentDeltas) {
+  SpanCollector sc;
+  play_full_csp(sc);
+  EXPECT_DOUBLE_EQ(sc.stage_histogram(SpanStage::kMediumAcquire).max(),
+                   10e6);  // 100us -> 110us
+  EXPECT_DOUBLE_EQ(sc.stage_histogram(SpanStage::kOnWire).max(), 2e6);
+  EXPECT_DOUBLE_EQ(sc.stage_histogram(SpanStage::kIsrAssoc).max(), 10e6);
+  EXPECT_DOUBLE_EQ(sc.stage_histogram(SpanStage::kCorrectionApplied).max(),
+                   0.0);  // co-timed with fused at the resync instant
+  EXPECT_EQ(sc.stage_histogram(SpanStage::kSendRequest).count(), 0u);  // root
+  // No stage duration may come out negative (causality canary).
+  for (std::size_t i = 0; i < kNumSpanStages; ++i) {
+    EXPECT_EQ(sc.stage_histogram(static_cast<SpanStage>(i)).negatives(), 0u);
+  }
+}
+
+TEST(SpanCollector, PairHistogramsKeyedSrcDst) {
+  SpanCollector sc;
+  play_full_csp(sc);
+  // rx-side stage: src 0 -> dst 1.
+  const LogHistogram* rx = sc.pair_histogram(0, 1, SpanStage::kRxStamp);
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->count(), 1u);
+  // tx-side stage: dst == src.
+  const LogHistogram* tx = sc.pair_histogram(0, 0, SpanStage::kTxTrigger);
+  ASSERT_NE(tx, nullptr);
+  EXPECT_EQ(tx->count(), 1u);
+  EXPECT_EQ(sc.pair_histogram(1, 0, SpanStage::kRxStamp), nullptr);
+}
+
+TEST(SpanCollector, BroadcastForksPerReceiverBranches) {
+  SpanCollector sc;
+  const std::uint64_t id = sc.begin_csp(0, at_us(0));
+  sc.record(id, SpanStage::kMediumAcquire, at_us(1), 0);
+  // Two receivers, interleaved: each rx stage resolves against its own
+  // node's branch, not the other receiver's.
+  sc.record(id, SpanStage::kOnWire, at_us(2), 1);
+  sc.record(id, SpanStage::kOnWire, at_us(3), 2);
+  sc.record(id, SpanStage::kRxStamp, at_us(10), 2);
+  sc.record(id, SpanStage::kRxStamp, at_us(20), 1);
+  const auto evs = sc.trace_events(id);
+  for (const auto& e : evs) {
+    if (e.stage != SpanStage::kRxStamp) continue;
+    if (e.node == 1) {
+      EXPECT_EQ(e.parent_ps, at_us(2).count_ps());
+    }
+    if (e.node == 2) {
+      EXPECT_EQ(e.parent_ps, at_us(3).count_ps());
+    }
+  }
+}
+
+TEST(SpanCollector, DiscardRecordsReason) {
+  SpanCollector sc;
+  const std::uint64_t id = sc.begin_csp(0, at_us(0));
+  sc.record(id, SpanStage::kDiscarded, at_us(5), 0,
+            static_cast<std::int64_t>(DiscardReason::kTxAbort));
+  const auto evs = sc.trace_events(id);
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[1].stage, SpanStage::kDiscarded);
+  EXPECT_EQ(static_cast<DiscardReason>(evs[1].detail),
+            DiscardReason::kTxAbort);
+  EXPECT_STREQ(to_string(DiscardReason::kTxAbort), "tx_abort");
+}
+
+TEST(SpanCollector, EventCapDropsRawButKeepsHistograms) {
+  SpanCollector sc(/*max_events=*/3);
+  play_full_csp(sc);  // 9 events total
+  EXPECT_EQ(sc.event_count(), 3u);
+  EXPECT_EQ(sc.dropped_events(), 6u);
+  // Histograms are unaffected by the raw-event cap.
+  EXPECT_EQ(sc.stage_histogram(SpanStage::kFused).count(), 1u);
+}
+
+TEST(SpanCollector, RegisterMetricsExposesHistogramsAndCounters) {
+  SpanCollector sc;
+  play_full_csp(sc);
+  MetricsRegistry reg;
+  sc.register_metrics(reg, "span.");
+  const auto snap = reg.snapshot();
+  auto value_of = [&](const std::string& name) -> double {
+    for (const auto& m : snap)
+      if (m.name == name) return m.value;
+    ADD_FAILURE() << "metric missing: " << name;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(value_of("span.spans_started"), 1.0);
+  EXPECT_DOUBLE_EQ(value_of("span.stage.isr_assoc_us.count"), 1.0);
+  // Histogram values are exported in microseconds (ps * 1e-6).
+  EXPECT_NEAR(value_of("span.stage.isr_assoc_us.max"), 10.0, 1e-9);
+  EXPECT_NEAR(value_of("span.stage.medium_acquire_us.p50"), 10.0, 0.7);
+}
+
+TEST(SpanCollector, ClearDropsLiveStateAndEvents) {
+  SpanCollector sc;
+  play_full_csp(sc);
+  sc.clear();
+  EXPECT_EQ(sc.event_count(), 0u);
+  EXPECT_EQ(sc.stage_histogram(SpanStage::kFused).count(), 0u);
+  // Post-clear recording on the dead trace is a no-op, not a crash.
+  sc.record(1, SpanStage::kFused, at_us(999), 1);
+  EXPECT_EQ(sc.event_count(), 0u);
+}
+
+TEST(SpanStageNames, Stable) {
+  EXPECT_STREQ(to_string(SpanStage::kSendRequest), "send_request");
+  EXPECT_STREQ(to_string(SpanStage::kMediumAcquire), "medium_acquire");
+  EXPECT_STREQ(to_string(SpanStage::kTxTrigger), "tx_trigger");
+  EXPECT_STREQ(to_string(SpanStage::kTxStampInsert), "tx_stamp_insert");
+  EXPECT_STREQ(to_string(SpanStage::kOnWire), "on_wire");
+  EXPECT_STREQ(to_string(SpanStage::kRxStamp), "rx_stamp");
+  EXPECT_STREQ(to_string(SpanStage::kIsrAssoc), "isr_assoc");
+  EXPECT_STREQ(to_string(SpanStage::kFused), "fused");
+  EXPECT_STREQ(to_string(SpanStage::kDiscarded), "discarded");
+  EXPECT_STREQ(to_string(SpanStage::kCorrectionApplied),
+               "correction_applied");
+}
+
+}  // namespace
+}  // namespace nti::obs

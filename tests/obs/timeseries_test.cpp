@@ -1,0 +1,59 @@
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace nti::obs {
+namespace {
+
+TEST(TimeSeriesRecorder, ColumnsAndRows) {
+  TimeSeriesRecorder rec({"pi_us", "alpha_us"});
+  EXPECT_EQ(rec.column_count(), 2u);
+  EXPECT_EQ(rec.rows(), 0u);
+  rec.add_row(1.5, std::array<double, 2>{0.25, 100.0});
+  rec.add_row(2.5, std::array<double, 2>{0.5, 99.0});
+  ASSERT_EQ(rec.rows(), 2u);
+  EXPECT_DOUBLE_EQ(rec.t_at(0), 1.5);
+  EXPECT_DOUBLE_EQ(rec.at(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(rec.at(1, 1), 99.0);
+}
+
+TEST(TimeSeriesRecorder, CsvSchemaHeaderPlusRows) {
+  TimeSeriesRecorder rec({"a", "b"});
+  rec.add_row(0.001, std::array<double, 2>{1.0, -2.5});
+  rec.add_row(10.0, std::array<double, 2>{3.25e-6, 4e9});
+  std::ostringstream os;
+  rec.dump_csv(os);
+  EXPECT_EQ(os.str(),
+            "t_s,a,b\n"
+            "0.001,1,-2.5\n"
+            "10,3.25e-06,4e+09\n");
+}
+
+TEST(TimeSeriesRecorder, WriteCsvRoundTrips) {
+  TimeSeriesRecorder rec({"x"});
+  rec.add_row(1.0, std::array<double, 1>{42.0});
+  const std::string path = ::testing::TempDir() + "nti_timeseries_test.csv";
+  ASSERT_TRUE(rec.write_csv(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "t_s,x\n1,42\n");
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesRecorder, ClearKeepsSchema) {
+  TimeSeriesRecorder rec({"x", "y", "z"});
+  rec.add_row(0.0, std::array<double, 3>{1, 2, 3});
+  rec.clear();
+  EXPECT_EQ(rec.rows(), 0u);
+  EXPECT_EQ(rec.column_count(), 3u);
+  EXPECT_EQ(rec.columns()[2], "z");
+}
+
+}  // namespace
+}  // namespace nti::obs

@@ -59,6 +59,23 @@ TEST(TraceRing, DumpCsvEmitsHeaderAndRowsOldestFirst) {
             "200,resync,1,3,-42\n");
 }
 
+// Regression: after the ring wraps, dump_csv must emit exactly the retained
+// records, oldest first, starting from the logical head -- not from physical
+// index 0 (which after wraparound holds a newer record).
+TEST(TraceRing, DumpCsvAfterWraparoundStartsAtOldest) {
+  TraceRing ring(3);
+  for (std::int64_t i = 0; i < 7; ++i)  // wraps twice: retains #4, #5, #6
+    ring.push(at_ps(1000 + i), TraceType::kEventFired, -1, i);
+  EXPECT_EQ(ring.overwritten(), 4u);
+  std::ostringstream os;
+  ring.dump_csv(os);
+  EXPECT_EQ(os.str(),
+            "t_ps,type,node,a,b\n"
+            "1004,event_fired,-1,4,0\n"
+            "1005,event_fired,-1,5,0\n"
+            "1006,event_fired,-1,6,0\n");
+}
+
 TEST(TraceRing, TypeNames) {
   EXPECT_STREQ(to_string(TraceType::kEventFired), "event_fired");
   EXPECT_STREQ(to_string(TraceType::kFrameTx), "frame_tx");

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fold every BENCH_<name>.json in a directory into one BENCH_SUMMARY.json.
+
+Each experiment bench writes a flat report (see bench/bench_common.hpp):
+
+    {"bench": "<name>", "metrics": {...}, "config": {...}}
+
+This script collects them into a single machine-consumable summary -- the
+repo's perf/quality trajectory snapshot -- keyed by bench name and sorted
+deterministically:
+
+    {
+      "benches": {"<name>": {"pass": true, "metrics": {...}, "config": {...}},
+                  ...},
+      "totals": {"count": N, "passed": N, "failed": ["<name>", ...]},
+      "artifacts": {"traces": [...], "timeseries": [...]}
+    }
+
+Usage: collect_bench.py [directory]   (default: current directory)
+Exit status: 0 when every collected bench passed, 1 otherwise (missing
+"pass" counts as a failure), 2 when no reports were found.
+"""
+import json
+import sys
+from pathlib import Path
+
+
+def collect(directory: Path) -> dict:
+    benches = {}
+    failed = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        if path.name == "BENCH_SUMMARY.json":
+            continue
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"collect_bench: skipping {path.name}: {err}", file=sys.stderr)
+            failed.append(path.stem.removeprefix("BENCH_"))
+            continue
+        name = report.get("bench", path.stem.removeprefix("BENCH_"))
+        metrics = report.get("metrics", {})
+        ok = metrics.get("pass") == 1
+        if not ok:
+            failed.append(name)
+        benches[name] = {
+            "pass": ok,
+            "metrics": dict(sorted(metrics.items())),
+            "config": dict(sorted(report.get("config", {}).items())),
+        }
+    return {
+        "benches": benches,
+        "totals": {
+            "count": len(benches),
+            "passed": len(benches) - len(failed),
+            "failed": sorted(failed),
+        },
+        "artifacts": {
+            "traces": sorted(p.name for p in directory.glob("TRACE_*.json")),
+            "timeseries": sorted(p.name for p in directory.glob("TIMESERIES_*.csv")),
+        },
+    }
+
+
+def main(argv: list) -> int:
+    directory = Path(argv[1]) if len(argv) > 1 else Path(".")
+    summary = collect(directory)
+    if not summary["benches"]:
+        print(f"collect_bench: no BENCH_*.json in {directory}", file=sys.stderr)
+        return 2
+    out = directory / "BENCH_SUMMARY.json"
+    out.write_text(json.dumps(summary, indent=1, sort_keys=False) + "\n")
+    totals = summary["totals"]
+    print(f"collect_bench: {out} ({totals['passed']}/{totals['count']} passed)")
+    if totals["failed"]:
+        print(f"collect_bench: FAILED: {', '.join(totals['failed'])}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
