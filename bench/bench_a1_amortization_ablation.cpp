@@ -8,6 +8,12 @@
 // sampled application timestamps go non-monotone -- poison for the event
 // ordering the introduction motivates.  Amortization keeps every clock
 // strictly monotone at identical synchronization quality.
+//
+// Both arms run as paired Monte-Carlo ensembles (same replica seeds, so
+// each replica compares amortized vs stepped under identical oscillator
+// draws; NTI_MC_REPLICAS / NTI_MC_THREADS override the defaults).  The
+// claim must hold in *every* replica: zero non-monotone reads amortized,
+// at least one non-monotone read stepped.
 #include "bench_common.hpp"
 #include "nti_api.hpp"
 #include "sim/periodic.hpp"
@@ -16,45 +22,57 @@ using namespace nti;
 
 namespace {
 
-struct Outcome {
-  std::uint64_t nonmonotone_reads = 0;
+struct ReadCounters {
+  std::uint64_t nonmonotone = 0;
   std::uint64_t reads = 0;
-  Duration precision_max;
-  std::uint64_t violations = 0;
 };
 
-Outcome run_once(bool amortize) {
+mc::EnsembleResult run_ensemble(bool amortize) {
   cluster::ClusterConfig cfg;
   cfg.num_nodes = 4;
-  cfg.seed = 2024;
   cfg.sync.fault_tolerance = 1;
   cfg.sync.use_amortization = amortize;
-  cluster::Cluster cl(cfg);
-  cl.start();
 
-  // An application reading the clock immediately before and after each
-  // resynchronization (the worst case for a stepped clock: back-to-back
-  // event timestamps straddling the correction).
-  Outcome out{};
-  for (int i = 0; i < 4; ++i) {
-    auto prev = cl.node(i).driver().on_duty;
-    cl.node(i).driver().on_duty = [prev, i, &cl, &out](int timer) {
-      if (timer != 1) {
-        prev(timer);
-        return;
-      }
-      const SimTime now = cl.engine().now();
-      const Duration before = cl.node(i).driver().read_clock(now);
-      prev(timer);  // the resynchronization applies its correction here
-      const Duration after = cl.node(i).driver().read_clock(now);
-      ++out.reads;
-      if (after < before) ++out.nonmonotone_reads;
-    };
-  }
-  cl.run(Duration::sec(60), Duration::sec(10), Duration::ms(200));
-  out.precision_max = cl.precision_samples().max_duration();
-  out.violations = cl.containment_violations();
-  return out;
+  mc::McConfig mcc = mc::apply_env({});
+  mcc.root_seed = 2024;
+  mcc.total = Duration::sec(60);
+  mcc.warmup = Duration::sec(10);
+  mcc.probe_period = Duration::ms(200);
+  mcc.keep_trajectories = false;
+
+  // Per-replica counters in a pre-sized slot array: each replica touches
+  // only its own index, so worker threads never contend.
+  auto counter_slots = std::make_shared<std::vector<ReadCounters>>(mcc.replicas);
+
+  mc::Runner runner(cfg, mcc);
+  runner.set_replica_hook([counter_slots](mc::ReplicaContext& ctx) {
+    ReadCounters& counters = (*counter_slots)[ctx.index()];
+    auto& cl = ctx.cluster();
+    // An application reading the clock immediately before and after each
+    // resynchronization (the worst case for a stepped clock: back-to-back
+    // event timestamps straddling the correction).
+    for (int i = 0; i < cl.size(); ++i) {
+      auto prev = cl.node(i).driver().on_duty;
+      cl.node(i).driver().on_duty = [prev, i, &cl, &counters](int timer) {
+        if (timer != 1) {
+          prev(timer);
+          return;
+        }
+        const SimTime now = cl.engine().now();
+        const Duration before = cl.node(i).driver().read_clock(now);
+        prev(timer);  // the resynchronization applies its correction here
+        const Duration after = cl.node(i).driver().read_clock(now);
+        ++counters.reads;
+        if (after < before) ++counters.nonmonotone;
+      };
+    }
+  });
+  runner.set_extractor([counter_slots](mc::ReplicaContext& ctx) {
+    const ReadCounters& counters = (*counter_slots)[ctx.index()];
+    ctx.metric("nonmonotone_reads", static_cast<double>(counters.nonmonotone));
+    ctx.metric("reads_sampled", static_cast<double>(counters.reads));
+  });
+  return runner.run();
 }
 
 }  // namespace
@@ -64,42 +82,46 @@ int main() {
                 "amortization keeps clocks monotone at equal sync quality "
                 "(Secs. 3.3, 5)");
 
-  const Outcome amort = run_once(true);
-  const Outcome step = run_once(false);
+  const mc::EnsembleResult amort = run_ensemble(true);
+  const mc::EnsembleResult step = run_ensemble(false);
 
-  char buf[96];
-  std::printf("  %-30s %-18s %-18s\n", "", "amortization", "hard stepping");
-  std::snprintf(buf, sizeof buf, "  %-30s %-18llu %-18llu", "non-monotone clock reads",
-                static_cast<unsigned long long>(amort.nonmonotone_reads),
-                static_cast<unsigned long long>(step.nonmonotone_reads));
-  std::puts(buf);
-  std::snprintf(buf, sizeof buf, "  %-30s %-18llu %-18llu", "clock reads sampled",
-                static_cast<unsigned long long>(amort.reads),
-                static_cast<unsigned long long>(step.reads));
-  std::puts(buf);
-  std::snprintf(buf, sizeof buf, "  %-30s %-18s %-18s", "precision max",
-                amort.precision_max.str().c_str(), step.precision_max.str().c_str());
-  std::puts(buf);
-  std::snprintf(buf, sizeof buf, "  %-30s %-18llu %-18llu", "containment violations",
-                static_cast<unsigned long long>(amort.violations),
-                static_cast<unsigned long long>(step.violations));
-  std::puts(buf);
+  bench::row("replicas x threads",
+             std::to_string(amort.replicas) + " x " +
+                 std::to_string(amort.threads_used) + "  (paired seeds)");
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%.0f | %.0f (ensemble totals)",
+                amort.stat("nonmonotone_reads")->mean *
+                    static_cast<double>(amort.replicas),
+                step.stat("nonmonotone_reads")->mean *
+                    static_cast<double>(step.replicas));
+  bench::row("non-monotone reads amortized|stepped", buf);
+  bench::row("precision max amortized",
+             bench::ensemble_summary(*amort.stat("precision_max_us")));
+  bench::row("precision max stepped",
+             bench::ensemble_summary(*step.stat("precision_max_us")));
+  snprintf(buf, sizeof buf, "%.0f | %.0f",
+           amort.stat("violations")->max, step.stat("violations")->max);
+  bench::row("containment violations max (amort|step)", buf);
 
-  const bool ok = amort.nonmonotone_reads == 0 && step.nonmonotone_reads > 0 &&
-                  amort.precision_max < step.precision_max * 2 + Duration::us(2);
+  // Every replica: amortized strictly monotone, stepped visibly broken,
+  // and sync quality comparable (ensemble means within 2x + 2 us).
+  const bool ok =
+      amort.stat("nonmonotone_reads")->max == 0.0 &&
+      step.stat("nonmonotone_reads")->min > 0.0 &&
+      amort.stat("precision_max_us")->mean <
+          step.stat("precision_max_us")->mean * 2.0 + 2.0;
   bench::verdict(ok,
-                 "amortized clocks strictly monotone; stepping visibly breaks "
-                 "monotonicity");
+                 "amortized clocks strictly monotone in every replica; "
+                 "stepping visibly breaks monotonicity in every replica");
 
   bench::BenchReport report("a1_amortization_ablation");
   report.config("num_nodes", 4.0);
-  report.config("seed", 2024.0);
-  report.metric("nonmonotone_reads_amortized", amort.nonmonotone_reads);
-  report.metric("nonmonotone_reads_stepped", step.nonmonotone_reads);
-  report.metric("reads_sampled", amort.reads + step.reads);
-  report.metric("precision_max_amortized", amort.precision_max);
-  report.metric("precision_max_stepped", step.precision_max);
-  report.metric("containment_violations", amort.violations + step.violations);
+  report.config("root_seed", 2024.0);
+  report.from_ensemble(amort);
+  report.ensemble("stepped.nonmonotone_reads", *step.stat("nonmonotone_reads"));
+  report.ensemble("stepped.precision_max_us", *step.stat("precision_max_us"));
+  report.ensemble("amortized.nonmonotone_reads",
+                  *amort.stat("nonmonotone_reads"));
   report.pass(ok);
   report.write();
   return ok ? 0 : 1;

@@ -17,6 +17,7 @@
 
 #include "common/stats.hpp"
 #include "common/time_types.hpp"
+#include "mc/runner.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -36,6 +37,14 @@ inline void row(const char* label, const std::string& value) {
 inline void verdict(bool ok, const char* what) {
   std::printf("--------------------------------------------------------------\n");
   std::printf("VERDICT: %s -- %s\n\n", ok ? "PASS" : "DEVIATION", what);
+}
+
+/// "mean x +- ci [min, max] (n=N)" row text for one ensemble statistic.
+inline std::string ensemble_summary(const mc::EnsembleStat& s, const char* unit = "us") {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "mean %.4g +- %.2g %s  [%.4g, %.4g] (n=%zu)",
+                s.mean, s.ci95, unit, s.min, s.max, s.n);
+  return buf;
 }
 
 inline std::string dist_summary(SampleSet& s) {
@@ -81,6 +90,29 @@ class BenchReport {
   /// into the metrics object.
   void from_registry(const obs::MetricsRegistry& reg) {
     for (const auto& m : reg.snapshot()) metrics_.add(m.name, m.value);
+  }
+  /// Emit one ensemble statistic as <key>.{mean,ci95,min,max}.
+  void ensemble(const std::string& key, const mc::EnsembleStat& s) {
+    metrics_.add(key + ".mean", s.mean);
+    metrics_.add(key + ".ci95", s.ci95);
+    metrics_.add(key + ".min", s.min);
+    metrics_.add(key + ".max", s.max);
+  }
+  /// Fold a whole Monte-Carlo ensemble into the metrics object: every
+  /// per-metric statistic (as <name>.{mean,ci95,min,max}) plus the merged
+  /// probe histograms.  Wall-clock throughput is deliberately left out so
+  /// the emitted JSON stays rerun-identical (bench_mc_scaling is the one
+  /// bench that reports it, explicitly).  The config object records the
+  /// replica/thread counts.
+  void from_ensemble(const mc::EnsembleResult& ens) {
+    for (const auto& [name, s] : ens.stats) ensemble(name, s);
+    metrics_.add("mc.precision_p99_us", ens.precision_hist.percentile(99));
+    metrics_.add("mc.precision_max_us", ens.precision_hist.max());
+    metrics_.add("mc.accuracy_p99_us", ens.accuracy_hist.percentile(99));
+    metrics_.add("mc.accuracy_max_us", ens.accuracy_hist.max());
+    metrics_.add("mc.probe_count", ens.precision_hist.count());
+    config_.add("mc_replicas", static_cast<std::uint64_t>(ens.replicas));
+    config_.add("mc_threads", static_cast<std::uint64_t>(ens.threads_used));
   }
   /// Record the bench verdict (also what the JSON trajectory trends on).
   void pass(bool ok) { metrics_.add("pass", ok ? 1.0 : 0.0); }

@@ -3,10 +3,14 @@
 // "A more thorough experimental evaluation ... will be conducted on a 16
 // node prototype distributed system consisting of four MVME-162 with four
 // NTIs each."  The paper's design target for this system is worst-case
-// precision/accuracy in the 1 us range (Secs. 1, 6).  This bench runs the
-// 16-node cluster for five simulated minutes and reports the precision and
-// accuracy distributions the SNU-style snapshot probe observes, plus the
-// per-convergence-function comparison on the identical seed.
+// precision/accuracy in the 1 us range (Secs. 1, 6).
+//
+// The headline OA run is a Monte-Carlo ensemble (default 16 replicas over
+// independently seeded oscillator draws / medium jitter; NTI_MC_REPLICAS
+// and NTI_MC_THREADS override), so the reported worst-case precision is a
+// worst case over the ensemble, with a 95% CI on the mean.  The
+// per-convergence-function comparison (Marzullo, FTA) runs smaller
+// ensembles on the same root seed for a paired comparison.
 #include "bench_common.hpp"
 #include "nti_api.hpp"
 
@@ -14,46 +18,75 @@ using namespace nti;
 
 namespace {
 
-struct Result {
-  Duration p_max, p99, acc_max, alpha_mean;
-  std::uint64_t violations;
-};
-
-Result run_once(csa::Convergence conv, bench::BenchReport* rep = nullptr) {
+cluster::ClusterConfig base_cfg(csa::Convergence conv) {
   cluster::ClusterConfig cfg;
   cfg.num_nodes = 16;
-  cfg.seed = 1616;
   cfg.sync.fault_tolerance = 2;
   cfg.sync.convergence = conv;
+  // The interval paradigm requires rho to dominate the true oscillator
+  // drift: the +-2 ppm manufacturing spread plus +-0.5 ppm TCXO wander
+  // leaves the default rho = 2 ppm with zero margin, which the Monte-Carlo
+  // ensemble exposed as containment violations on unlucky draws (the
+  // original single seed never hit it).  3 ppm restores the a-priori bound.
+  cfg.sync.rho_bound_ppm = 3.0;
+  return cfg;
+}
+
+mc::EnsembleResult run_ensemble(csa::Convergence conv,
+                                bench::BenchReport* rep) {
+  mc::McConfig mcc = mc::apply_env({});
+  mcc.root_seed = 1616;
+  mcc.total = Duration::sec(300);
+  mcc.warmup = Duration::sec(30);
+  mcc.probe_period = Duration::ms(250);
+  mcc.keep_trajectories = false;
+
+  cluster::ClusterConfig cfg = base_cfg(conv);
   if (rep != nullptr) {
-    // Reported run only: CSP lifecycle spans (per-stage latency histograms
-    // land under span.* in the registry snapshot below) and the pi(t) /
-    // alpha(t) trajectory recorder.  The event cap bounds memory; the
-    // histograms keep accumulating over the full 300 s.
+    // Every replica of the reported ensemble carries the CSP lifecycle
+    // spans + the pi(t)/alpha(t) recorder, but only replica 0 exports
+    // them: its registry snapshot (span.stage.* latency histograms,
+    // engine/medium/sync counters) folds into the bench JSON, and it
+    // writes the Chrome-trace/CSV artifacts.
     cfg.enable_spans = true;
     cfg.span_max_events = 50'000;
     cfg.record_timeseries = true;
   }
-  cluster::Cluster cl(cfg);
-  cl.start();
-  cl.run(Duration::sec(300), Duration::sec(30), Duration::ms(250));
+  mc::Runner runner(cfg, mcc);
   if (rep != nullptr) {
-    // Registry carries cluster.precision_us / precision_max_us /
-    // accuracy_worst_us scalars plus engine/medium/per-node sync counters
-    // and the span.stage.* latency histograms (p50/p99/max/count).
-    rep->from_registry(cl.metrics());
-    rep->metric("alpha_minus_worst", cl.worst_alpha_minus());
-    rep->metric("alpha_plus_worst", cl.worst_alpha_plus());
-    if (cl.timeseries()->write_csv("TIMESERIES_e2_sixteen_node_precision.csv")) {
-      bench::row("time series",
-                 "TIMESERIES_e2_sixteen_node_precision.csv (" +
-                     std::to_string(cl.timeseries()->rows()) + " samples)");
-    }
+    runner.set_extractor([rep](mc::ReplicaContext& ctx) {
+      if (ctx.index() != 0) return;
+      auto& cl = ctx.cluster();
+      rep->from_registry(cl.metrics());
+      rep->metric("alpha_minus_worst", cl.worst_alpha_minus());
+      rep->metric("alpha_plus_worst", cl.worst_alpha_plus());
+      if (obs::write_chrome_trace("TRACE_e2_sixteen_node_precision.json",
+                                  *cl.spans())) {
+        bench::row("chrome trace", "TRACE_e2_sixteen_node_precision.json (" +
+                                       std::to_string(cl.spans()->event_count()) +
+                                       " span events)");
+      }
+      if (cl.timeseries()->write_csv("TIMESERIES_e2_sixteen_node_precision.csv")) {
+        bench::row("time series",
+                   "TIMESERIES_e2_sixteen_node_precision.csv (" +
+                       std::to_string(cl.timeseries()->rows()) + " samples)");
+      }
+    });
   }
-  return {cl.precision_samples().max_duration(),
-          cl.precision_samples().percentile_duration(99),
-          cl.accuracy_samples().max_duration(),
-          cl.alpha_samples().mean_duration(), cl.containment_violations()};
+  return runner.run();
+}
+
+void ensemble_rows(const mc::EnsembleResult& ens) {
+  bench::row("precision max ensemble",
+             bench::ensemble_summary(*ens.stat("precision_max_us")));
+  bench::row("precision p99 ensemble",
+             bench::ensemble_summary(*ens.stat("precision_p99_us")));
+  bench::row("worst |C - UTC| (no GPS: drift-bounded)",
+             bench::ensemble_summary(*ens.stat("accuracy_max_us")));
+  bench::row("mean accuracy half-width alpha",
+             bench::ensemble_summary(*ens.stat("alpha_mean_us")));
+  bench::row("containment violations (ensemble max)",
+             std::to_string(ens.stat("violations")->max));
 }
 
 }  // namespace
@@ -64,39 +97,40 @@ int main() {
 
   bench::BenchReport report("e2_sixteen_node_precision");
   report.config("num_nodes", 16.0);
-  report.config("seed", 1616.0);
+  report.config("root_seed", 1616.0);
   report.config("fault_tolerance", 2.0);
   report.config("sim_seconds", 300.0);
-  const Result oa = run_once(csa::Convergence::kOA, &report);
-  std::printf("  OA convergence (f = 2):\n");
-  bench::row("precision max", oa.p_max.str());
-  bench::row("precision p99", oa.p99.str());
-  bench::row("worst |C - UTC| (no GPS: drift-bounded)", oa.acc_max.str());
-  bench::row("mean accuracy half-width alpha", oa.alpha_mean.str());
-  bench::row("containment violations", std::to_string(oa.violations));
 
-  const Result mz = run_once(csa::Convergence::kMarzullo);
+  const mc::EnsembleResult oa = run_ensemble(csa::Convergence::kOA, &report);
+  std::printf("  OA convergence (f = 2, %zu replicas x %zu threads):\n",
+              oa.replicas, oa.threads_used);
+  ensemble_rows(oa);
+
+  const mc::EnsembleResult mz = run_ensemble(csa::Convergence::kMarzullo, nullptr);
   std::printf("  Marzullo convergence (f = 2):\n");
-  bench::row("precision max", mz.p_max.str());
-  bench::row("containment violations", std::to_string(mz.violations));
+  bench::row("precision max ensemble",
+             bench::ensemble_summary(*mz.stat("precision_max_us")));
+  bench::row("containment violations (ensemble max)",
+             std::to_string(mz.stat("violations")->max));
 
-  const Result fta = run_once(csa::Convergence::kFTA);
+  const mc::EnsembleResult fta = run_ensemble(csa::Convergence::kFTA, nullptr);
   std::printf("  FTA baseline (f = 2):\n");
-  bench::row("precision max", fta.p_max.str());
+  bench::row("precision max ensemble",
+             bench::ensemble_summary(*fta.stat("precision_max_us")));
 
   // "1 us range" for the real testbed means low single-digit us given
   // epsilon ~0.4 us, 60 ns granularity, and 16 nodes; pass when worst-case
-  // precision stays below 5 us and containment never breaks.
-  const bool ok = oa.p_max < Duration::us(5) && oa.violations == 0;
+  // precision stays below 5 us in every replica and containment never
+  // breaks anywhere in the ensemble.
+  const bool ok = oa.stat("precision_max_us")->max < 5.0 &&
+                  oa.stat("violations")->max == 0.0;
   bench::verdict(ok, "16-node worst-case precision in the low-us range");
 
-  report.metric("precision_max", oa.p_max);
-  report.metric("precision_p99", oa.p99);
-  report.metric("accuracy_max", oa.acc_max);
-  report.metric("alpha_mean", oa.alpha_mean);
-  report.metric("containment_violations", oa.violations);
-  report.metric("precision_max_marzullo", mz.p_max);
-  report.metric("precision_max_fta", fta.p_max);
+  report.from_ensemble(oa);
+  report.ensemble("marzullo.precision_max_us", *mz.stat("precision_max_us"));
+  report.ensemble("fta.precision_max_us", *fta.stat("precision_max_us"));
+  report.metric("containment_violations_ensemble_max",
+                oa.stat("violations")->max);
   report.pass(ok);
   report.write();
   return ok ? 0 : 1;

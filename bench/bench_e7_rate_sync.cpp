@@ -5,10 +5,12 @@
 // stable oscillators at each node."
 //
 // The bench equips nodes with cheap uncompensated crystals (tens of ppm
-// apart), runs identical scenarios with rate synchronization on and off,
-// and reports (a) the ground-truth spread of effective clock rates,
-// (b) achieved precision, (c) the accuracy-interval growth rate -- all
-// three should improve by roughly the rate-spread reduction factor.
+// apart) and runs a *paired* Monte-Carlo ensemble: rate synchronization on
+// and off over the identical replica seeds (same root seed => same
+// oscillator draws per replica index), reporting the ensemble statistics
+// of (a) the ground-truth spread of effective clock rates, (b) achieved
+// precision, (c) the accuracy-interval growth rate.  NTI_MC_REPLICAS and
+// NTI_MC_THREADS apply as everywhere.
 #include "bench_common.hpp"
 #include "nti_api.hpp"
 
@@ -16,17 +18,9 @@ using namespace nti;
 
 namespace {
 
-struct Outcome {
-  double spread_start_ppm;
-  double spread_end_ppm;
-  Duration precision_max;
-  Duration alpha_mean;
-};
-
-Outcome run_once(bool rate_sync) {
+mc::EnsembleResult run_ensemble(bool rate_sync) {
   cluster::ClusterConfig cfg;
   cfg.num_nodes = 6;
-  cfg.seed = 777;
   cfg.sync.fault_tolerance = 1;
   cfg.osc_base = osc::OscConfig::cheap_xo();
   cfg.osc_offset_spread_ppm = 30.0;
@@ -35,15 +29,28 @@ Outcome run_once(bool rate_sync) {
   // Wider compensation -> wider initial intervals; keep the hard-set path
   // out of steady state.
   cfg.initial_offset_spread = Duration::us(500);
-  cluster::Cluster cl(cfg);
-  cl.start();
-  Outcome o{};
-  o.spread_start_ppm = cl.max_rate_spread_ppm(SimTime::epoch() + Duration::ms(10));
-  cl.run(Duration::sec(60), Duration::sec(30), Duration::ms(200));
-  o.spread_end_ppm = cl.max_rate_spread_ppm(cl.engine().now());
-  o.precision_max = cl.precision_samples().max_duration();
-  o.alpha_mean = cl.alpha_samples().mean_duration();
-  return o;
+
+  mc::McConfig mcc = mc::apply_env({});
+  mcc.root_seed = 777;
+  mcc.total = Duration::sec(60);
+  mcc.warmup = Duration::sec(30);
+  mcc.probe_period = Duration::ms(200);
+  mcc.keep_trajectories = false;
+
+  mc::Runner runner(cfg, mcc);
+  runner.set_extractor([](mc::ReplicaContext& ctx) {
+    auto& cl = ctx.cluster();
+    ctx.metric("spread_end_ppm", cl.max_rate_spread_ppm(cl.engine().now()));
+  });
+  return runner.run();
+}
+
+void pair_row(const char* label, const mc::EnsembleStat& off,
+              const mc::EnsembleStat& on, const char* unit) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%.3g +- %.2g | %.3g +- %.2g %s", off.mean,
+                off.ci95, on.mean, on.ci95, unit);
+  bench::row(label, buf);
 }
 
 }  // namespace
@@ -52,42 +59,40 @@ int main() {
   bench::header("E7: rate synchronization with cheap oscillators",
                 "reduces max drift without stable oscillators ([Scho97], Sec. 2)");
 
-  const Outcome off = run_once(false);
-  const Outcome on = run_once(true);
+  const mc::EnsembleResult off = run_ensemble(false);
+  const mc::EnsembleResult on = run_ensemble(true);
 
+  bench::row("replicas x threads",
+             std::to_string(on.replicas) + " x " +
+                 std::to_string(on.threads_used) + "  (OFF | ON, paired seeds)");
+  pair_row("rate spread end (ppm)", *off.stat("spread_end_ppm"),
+           *on.stat("spread_end_ppm"), "ppm");
+  pair_row("precision max", *off.stat("precision_max_us"),
+           *on.stat("precision_max_us"), "us");
+  pair_row("mean alpha", *off.stat("alpha_mean_us"), *on.stat("alpha_mean_us"),
+           "us");
+
+  const double reduction = off.stat("spread_end_ppm")->mean /
+                           std::max(0.01, on.stat("spread_end_ppm")->mean);
   char buf[96];
-  std::printf("  %-26s %-16s %-16s\n", "", "rate sync OFF", "rate sync ON");
-  std::snprintf(buf, sizeof buf, "  %-26s %-16.2f %-16.2f", "rate spread start (ppm)",
-                off.spread_start_ppm, on.spread_start_ppm);
-  std::puts(buf);
-  std::snprintf(buf, sizeof buf, "  %-26s %-16.2f %-16.2f", "rate spread end (ppm)",
-                off.spread_end_ppm, on.spread_end_ppm);
-  std::puts(buf);
-  std::snprintf(buf, sizeof buf, "  %-26s %-16s %-16s", "precision max",
-                off.precision_max.str().c_str(), on.precision_max.str().c_str());
-  std::puts(buf);
-  std::snprintf(buf, sizeof buf, "  %-26s %-16s %-16s", "mean alpha",
-                off.alpha_mean.str().c_str(), on.alpha_mean.str().c_str());
-  std::puts(buf);
-
-  const double reduction = off.spread_end_ppm / std::max(0.01, on.spread_end_ppm);
-  std::snprintf(buf, sizeof buf, "%.1fx", reduction);
+  std::snprintf(buf, sizeof buf, "%.1fx (ensemble means)", reduction);
   bench::row("drift-spread reduction", buf);
 
-  const bool ok = on.spread_end_ppm < off.spread_end_ppm / 3.0 &&
-                  on.precision_max < off.precision_max;
+  // Paired criterion over ensemble means; precision must improve in the
+  // mean and never degrade catastrophically in any replica.
+  const bool ok =
+      on.stat("spread_end_ppm")->mean < off.stat("spread_end_ppm")->mean / 3.0 &&
+      on.stat("precision_max_us")->mean < off.stat("precision_max_us")->mean;
   bench::verdict(ok, "rate sync shrinks drift spread and improves precision");
 
   bench::BenchReport report("e7_rate_sync");
   report.config("num_nodes", 6.0);
-  report.config("seed", 777.0);
+  report.config("root_seed", 777.0);
   report.config("osc_offset_spread_ppm", 30.0);
-  report.metric("spread_end_ppm_off", off.spread_end_ppm);
-  report.metric("spread_end_ppm_on", on.spread_end_ppm);
-  report.metric("precision_max_off", off.precision_max);
-  report.metric("precision_max_on", on.precision_max);
-  report.metric("alpha_mean_off", off.alpha_mean);
-  report.metric("alpha_mean_on", on.alpha_mean);
+  report.from_ensemble(on);
+  report.ensemble("off.spread_end_ppm", *off.stat("spread_end_ppm"));
+  report.ensemble("off.precision_max_us", *off.stat("precision_max_us"));
+  report.ensemble("off.alpha_mean_us", *off.stat("alpha_mean_us"));
   report.metric("drift_spread_reduction_x", reduction);
   report.pass(ok);
   report.write();

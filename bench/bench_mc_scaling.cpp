@@ -1,0 +1,103 @@
+// MC scaling: replicas/sec of the Monte-Carlo runner vs thread count.
+//
+// The ROADMAP's north star says campaigns should run "as fast as the
+// hardware allows": N independent replicas are embarrassingly parallel, so
+// replicas/sec should scale near-linearly with the thread count until the
+// core count is exhausted.  This bench runs a fixed 4-node scenario at 1,
+// 2, 4 and hardware-concurrency threads, reports replicas/sec for each
+// (into BENCH_mc_scaling.json, so the speedup rides the perf trajectory),
+// and cross-checks the determinism contract: the ensemble JSON must be
+// byte-identical across every thread count.
+//
+// On machines with fewer than 4 cores the speedup target is reported but
+// not enforced (time-sliced threads cannot beat sequential execution); the
+// byte-identity check is enforced everywhere.
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nti_api.hpp"
+
+using namespace nti;
+
+namespace {
+
+mc::EnsembleResult run_at(std::size_t threads, std::size_t replicas) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.sync.fault_tolerance = 1;
+
+  mc::McConfig mcc;
+  mcc.replicas = replicas;
+  mcc.threads = threads;
+  mcc.root_seed = 4242;
+  mcc.total = Duration::sec(60);
+  mcc.warmup = Duration::sec(10);
+  mcc.probe_period = Duration::ms(100);
+  mcc.keep_trajectories = false;
+  return mc::Runner(cfg, mcc).run();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t replicas =
+      mc::apply_env({}).replicas;  // NTI_MC_REPLICAS still applies
+
+  bench::header("MC scaling: replicas/sec vs thread count",
+                "independent replicas saturate all cores; output "
+                "byte-identical for any thread count");
+
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+
+  bench::BenchReport report("mc_scaling");
+  report.config("num_nodes", 4.0);
+  report.config("root_seed", 4242.0);
+  report.config("replicas", static_cast<double>(replicas));
+  report.config("hardware_concurrency", static_cast<double>(hw));
+
+  std::string reference_json;
+  bool bytes_identical = true;
+  double rps_1 = 0.0, rps_4 = 0.0;
+  for (const std::size_t t : thread_counts) {
+    const mc::EnsembleResult ens = run_at(t, replicas);
+    if (t == 1) {
+      rps_1 = ens.replicas_per_sec;
+      reference_json = ens.to_json();
+    } else if (ens.to_json() != reference_json) {
+      bytes_identical = false;
+    }
+    if (t == 4) rps_4 = ens.replicas_per_sec;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%.2f replicas/sec (%.2fs wall)",
+                  ens.replicas_per_sec, ens.wall_seconds);
+    bench::row(("threads = " + std::to_string(t)).c_str(), buf);
+    report.metric("replicas_per_sec_t" + std::to_string(t),
+                  ens.replicas_per_sec);
+  }
+
+  const double speedup_4v1 = rps_1 > 0.0 ? rps_4 / rps_1 : 0.0;
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.2fx (target >= 2.5x on >= 4 cores)",
+                speedup_4v1);
+  bench::row("speedup 4 threads vs 1", buf);
+  bench::row("ensemble JSON byte-identical",
+             bytes_identical ? "yes (all thread counts)" : "NO -- determinism bug");
+
+  const bool scaling_ok = hw < 4 || speedup_4v1 >= 2.5;
+  if (hw < 4) {
+    bench::row("scaling target", "skipped: fewer than 4 hardware threads");
+  }
+  const bool ok = bytes_identical && scaling_ok;
+  bench::verdict(ok, "parallel replication scales and stays deterministic");
+
+  report.metric("speedup_4v1", speedup_4v1);
+  report.metric("bytes_identical", bytes_identical ? std::uint64_t{1} : std::uint64_t{0});
+  report.metric("scaling_enforced", hw >= 4 ? std::uint64_t{1} : std::uint64_t{0});
+  report.pass(ok);
+  report.write();
+  return ok ? 0 : 1;
+}

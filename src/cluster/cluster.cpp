@@ -150,6 +150,7 @@ void Cluster::run(Duration total, Duration warmup, Duration probe_period) {
     accuracy_.add(s.worst_accuracy);
     alpha_.add(s.mean_alpha);
     ++probes_;
+    if (on_probe) on_probe(s);
     t_probe += probe_period;
   }
   engine_.run_until(t_end);

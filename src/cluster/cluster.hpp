@@ -111,6 +111,12 @@ class Cluster {
   /// One simultaneous snapshot (HWSNAP-equivalent) right now.
   ProbeSample probe();
 
+  /// Observer invoked by run() after every probe (post-warmup samples
+  /// only).  Chainable like the driver callbacks: capture the previous
+  /// value when composing.  The Monte-Carlo runner uses this to record
+  /// per-replica trajectories.
+  std::function<void(const ProbeSample&)> on_probe;
+
   // Aggregated results over the measurement window.
   SampleSet& precision_samples() { return precision_; }
   SampleSet& accuracy_samples() { return accuracy_; }

@@ -44,6 +44,23 @@ double SampleSet::mean() const {
   return std::accumulate(xs_.begin(), xs_.end(), 0.0) / static_cast<double>(xs_.size());
 }
 
+double SampleSet::variance() const {
+  // Welford over the stored samples: numerically stable regardless of the
+  // samples' magnitude (a two-pass sum-of-squares cancels catastrophically
+  // for picosecond-scale values with microsecond-scale spreads).
+  if (xs_.size() < 2) return 0.0;
+  RunningStats acc;
+  for (const double x : xs_) acc.add(x);
+  return acc.variance();
+}
+
+double SampleSet::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::ci95() const {
+  if (xs_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(xs_.size()));
+}
+
 double SampleSet::percentile(double p) {
   if (xs_.empty()) return 0.0;
   ensure_sorted();

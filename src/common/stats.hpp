@@ -54,6 +54,14 @@ class SampleSet {
   double min();
   double max();
   double mean() const;
+  /// Sample variance (n-1 denominator) via a single Welford pass -- no
+  /// two-pass cancellation.  0.0 for n < 2.
+  double variance() const;
+  /// Sample standard deviation; 0.0 for n < 2.
+  double stddev() const;
+  /// Half-width of the 95% confidence interval of the mean,
+  /// 1.96 * stddev / sqrt(n); 0.0 for n < 2.
+  double ci95() const;
   /// p in [0,100]; nearest-rank percentile.
   double percentile(double p);
   /// min/mean/p50/p99/max in one call (all zeros when empty).

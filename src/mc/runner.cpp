@@ -1,0 +1,229 @@
+#include "mc/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/json.hpp"
+
+namespace nti::mc {
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+McConfig apply_env(McConfig base) {
+  base.replicas = std::max<std::size_t>(1, env_size("NTI_MC_REPLICAS", base.replicas));
+  base.threads = env_size("NTI_MC_THREADS", base.threads);
+  return base;
+}
+
+std::uint64_t replica_seed(std::uint64_t root_seed, std::size_t index) {
+  return RngStream(root_seed).fork("replica", index).next_u64();
+}
+
+double ReplicaResult::metric(const std::string& name) const {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const auto& kv, const std::string& k) { return kv.first < k; });
+  return (it != metrics.end() && it->first == name) ? it->second : 0.0;
+}
+
+void ReplicaContext::metric(const std::string& name, double v) {
+  for (auto& kv : out_.metrics) {
+    if (kv.first == name) {
+      kv.second = v;
+      return;
+    }
+  }
+  out_.metrics.emplace_back(name, v);
+}
+
+ReplicaResult Runner::run_replica(std::size_t index) const {
+  cluster::ClusterConfig cfg = base_;
+  cfg.seed = replica_seed(mc_.root_seed, index);
+
+  ReplicaResult out;
+  out.index = index;
+  out.seed = cfg.seed;
+
+  cluster::Cluster cl(cfg);
+  // Base trajectory recording goes in before the hook so a hook chaining
+  // on_probe composes on top of it.
+  cl.on_probe = [this, &out](const cluster::ProbeSample& s) {
+    out.precision_hist.add(s.precision.to_us_f());
+    out.accuracy_hist.add(s.worst_accuracy.to_us_f());
+    if (mc_.keep_trajectories) out.trajectory.push_back(s);
+  };
+
+  ReplicaContext ctx(index, cl, out);
+  // Hook runs after start(): SyncNode::start installs the driver callbacks
+  // (on_csp/on_duty), so chaining instrumentation on top of them is only
+  // possible once the cluster is started -- the same order the single-seed
+  // benches always used.
+  cl.start();
+  if (hook_) hook_(ctx);
+  cl.run(mc_.total, mc_.warmup, mc_.probe_period);
+
+  out.probes = cl.probes_taken();
+  out.violations = cl.containment_violations();
+  ctx.metric("precision_mean_us", cl.precision_samples().mean() * 1e-6);
+  ctx.metric("precision_p99_us", cl.precision_samples().percentile(99) * 1e-6);
+  ctx.metric("precision_max_us", cl.precision_samples().max() * 1e-6);
+  ctx.metric("accuracy_max_us", cl.accuracy_samples().max() * 1e-6);
+  ctx.metric("alpha_mean_us", cl.alpha_samples().mean() * 1e-6);
+  ctx.metric("violations", static_cast<double>(out.violations));
+  if (extractor_) extractor_(ctx);
+
+  std::stable_sort(out.metrics.begin(), out.metrics.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+EnsembleResult Runner::run() {
+  const std::size_t n = mc_.replicas;
+  std::size_t threads =
+      mc_.threads != 0
+          ? mc_.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, n);
+
+  // Pre-sized slot array: replica i's result lands in slots[i] no matter
+  // which worker ran it or when it finished.
+  std::vector<ReplicaResult> slots(n);
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) slots[i] = run_replica(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([this, &next, &slots, n] {
+        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          slots[i] = run_replica(i);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  // Reduction strictly in slot (replica) order, single-threaded: histogram
+  // merges and Welford accumulation are order-sensitive in floating point,
+  // and this fixed order is what makes the output thread-count invariant.
+  EnsembleResult res;
+  res.replicas = n;
+  res.root_seed = mc_.root_seed;
+  res.threads_used = threads;
+  res.wall_seconds = wall.count();
+  res.replicas_per_sec =
+      wall.count() > 0.0 ? static_cast<double>(n) / wall.count() : 0.0;
+
+  std::vector<std::pair<std::string, SampleSet>> per_metric;
+  for (const ReplicaResult& r : slots) {
+    res.precision_hist.merge(r.precision_hist);
+    res.accuracy_hist.merge(r.accuracy_hist);
+    for (const auto& [name, value] : r.metrics) {
+      auto it = std::find_if(per_metric.begin(), per_metric.end(),
+                             [&](const auto& kv) { return kv.first == name; });
+      if (it == per_metric.end()) {
+        per_metric.emplace_back(name, SampleSet{});
+        it = std::prev(per_metric.end());
+      }
+      it->second.add(value);
+    }
+  }
+  std::sort(per_metric.begin(), per_metric.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  res.stats.reserve(per_metric.size());
+  for (auto& [name, samples] : per_metric) {
+    EnsembleStat s;
+    s.n = samples.count();
+    s.mean = samples.mean();
+    s.stddev = samples.stddev();
+    s.ci95 = samples.ci95();
+    s.min = samples.min();
+    s.max = samples.max();
+    res.stats.emplace_back(name, s);
+  }
+  res.replica_results = std::move(slots);
+  return res;
+}
+
+const EnsembleStat* EnsembleResult::stat(const std::string& name) const {
+  const auto it = std::lower_bound(
+      stats.begin(), stats.end(), name,
+      [](const auto& kv, const std::string& k) { return kv.first < k; });
+  return (it != stats.end() && it->first == name) ? &it->second : nullptr;
+}
+
+namespace {
+
+obs::JsonObject histogram_json(const obs::LogHistogram& h) {
+  obs::JsonObject o;
+  o.add("count", h.count());
+  o.add("mean", h.mean());
+  o.add("p50", h.percentile(50));
+  o.add("p99", h.percentile(99));
+  o.add("min", h.min());
+  o.add("max", h.max());
+  return o;
+}
+
+}  // namespace
+
+std::string EnsembleResult::to_json() const {
+  obs::JsonObject root;
+
+  obs::JsonObject mc;
+  mc.add("replicas", static_cast<std::uint64_t>(replicas));
+  mc.add("root_seed", root_seed);
+  root.add_object("mc", mc);
+
+  obs::JsonObject metrics;
+  for (const auto& [name, s] : stats) {
+    obs::JsonObject st;
+    st.add("n", static_cast<std::uint64_t>(s.n));
+    st.add("mean", s.mean);
+    st.add("stddev", s.stddev);
+    st.add("ci95", s.ci95);
+    st.add("min", s.min);
+    st.add("max", s.max);
+    metrics.add_object(name, st);
+  }
+  root.add_object("metrics", metrics);
+
+  obs::JsonObject hists;
+  hists.add_object("precision_us", histogram_json(precision_hist));
+  hists.add_object("accuracy_us", histogram_json(accuracy_hist));
+  root.add_object("histograms", hists);
+
+  obs::JsonArray reps;
+  for (const ReplicaResult& r : replica_results) {
+    obs::JsonObject rep;
+    rep.add("index", static_cast<std::uint64_t>(r.index));
+    rep.add("seed", r.seed);
+    rep.add("probes", r.probes);
+    rep.add("violations", r.violations);
+    obs::JsonObject rm;
+    for (const auto& [name, value] : r.metrics) rm.add(name, value);
+    rep.add_object("metrics", rm);
+    reps.add_object(rep);
+  }
+  root.add_array("replicas", reps);
+  return root.str();
+}
+
+}  // namespace nti::mc

@@ -1,0 +1,194 @@
+// Monte-Carlo replication runner.
+//
+// The paper's precision/accuracy claims are statistical: they hold over
+// ensembles of oscillator drifts, medium jitter and traffic patterns, not
+// over one lucky seed.  The runner executes N independent cluster replicas
+// -- each its own sim::Engine + cluster::Cluster, seeded via
+// RngStream::fork("replica", i) off one root seed -- across a std::thread
+// pool, and reduces the results into ensemble statistics (per-metric
+// mean/stddev/min/max plus 95% confidence intervals, and merged
+// obs::LogHistograms of the probe trajectories).
+//
+// Determinism is a hard contract: the ensemble output (to_json() and every
+// retained probe sample) is byte-identical for any thread count, including
+// --threads 1.  Two mechanisms guarantee this:
+//   1. replica seeding depends only on (root_seed, index), never on which
+//      thread picks the replica up or in what order replicas finish;
+//   2. results land in a pre-sized slot array indexed by replica and every
+//      reduction (histogram merges, Welford passes, JSON emission) walks
+//      the slots in replica order after all threads have joined, so even
+//      floating-point accumulation order is fixed.
+// Wall-clock throughput (replicas/sec) is measured but deliberately kept
+// out of the deterministic serialization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "obs/histogram.hpp"
+
+namespace nti::mc {
+
+struct McConfig {
+  /// Number of independent replicas (env override: NTI_MC_REPLICAS).
+  std::size_t replicas = 16;
+  /// Worker threads; 0 means std::thread::hardware_concurrency()
+  /// (env override: NTI_MC_THREADS).
+  std::size_t threads = 0;
+  /// Root seed; replica i runs with RngStream(root).fork("replica", i).
+  std::uint64_t root_seed = 1;
+
+  /// Per-replica simulation schedule (mirrors cluster::Cluster::run).
+  Duration total = Duration::sec(60);
+  Duration warmup = Duration::sec(10);
+  Duration probe_period = Duration::ms(100);
+
+  /// Retain every ProbeSample row per replica (the bit-reproducibility
+  /// tests compare them; long campaigns may turn this off).
+  bool keep_trajectories = true;
+};
+
+/// Apply the NTI_MC_REPLICAS / NTI_MC_THREADS env knobs on top of `base`.
+McConfig apply_env(McConfig base);
+
+/// The seed replica `index` runs with: first draw of
+/// RngStream(root_seed).fork("replica", index).
+std::uint64_t replica_seed(std::uint64_t root_seed, std::size_t index);
+
+/// One replica's reduced output.  Everything here is a pure function of
+/// (ClusterConfig, McConfig, index) -- no wall-clock, no thread identity.
+struct ReplicaResult {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t violations = 0;
+  /// Raw probe trajectory (empty when !keep_trajectories).
+  std::vector<cluster::ProbeSample> trajectory;
+  /// Named scalar metrics, sorted by name (default set plus anything the
+  /// replica hook / extractor contributed via ReplicaContext::metric).
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Per-replica probe distributions (merged into the ensemble in slot
+  /// order); values are microseconds.
+  obs::LogHistogram precision_hist;
+  obs::LogHistogram accuracy_hist;
+
+  /// Value of a named metric (0.0 when absent).
+  double metric(const std::string& name) const;
+};
+
+/// Per-replica view handed to the replica hook (pre-start) and the metric
+/// extractor (post-run).  Lives exactly as long as the replica's Cluster.
+class ReplicaContext {
+ public:
+  ReplicaContext(std::size_t index, cluster::Cluster& cl, ReplicaResult& out)
+      : index_(index), cluster_(cl), out_(out) {}
+  ReplicaContext(const ReplicaContext&) = delete;
+  ReplicaContext& operator=(const ReplicaContext&) = delete;
+
+  std::size_t index() const { return index_; }
+  cluster::Cluster& cluster() { return cluster_; }
+  /// Deterministic per-replica stream for scenario randomness installed by
+  /// hooks (fault injection schedules etc.); forked off the replica seed so
+  /// it never perturbs the cluster's own streams.
+  RngStream rng(std::string_view name) const {
+    return RngStream(out_.seed).fork(name);
+  }
+
+  /// Contribute a named scalar to the replica's metric set (and thus the
+  /// ensemble statistics).  Last write wins on duplicate names.
+  void metric(const std::string& name, double v);
+
+  /// Construct-and-own arbitrary per-replica state (sample sets, periodic
+  /// tasks, counters) that must outlive the hook call; destroyed after the
+  /// extractor runs, before the Cluster.
+  template <class T, class... Args>
+  T& retain(Args&&... args) {
+    auto p = std::make_shared<T>(std::forward<Args>(args)...);
+    T& ref = *p;
+    retained_.push_back(std::move(p));
+    return ref;
+  }
+
+ private:
+  friend class Runner;
+  std::size_t index_;
+  cluster::Cluster& cluster_;
+  ReplicaResult& out_;
+  std::vector<std::shared_ptr<void>> retained_;
+};
+
+/// Ensemble statistics of one metric across replicas.
+struct EnsembleStat {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample stddev (0 for n < 2)
+  double ci95 = 0.0;    ///< 1.96 * stddev / sqrt(n) (0 for n < 2)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct EnsembleResult {
+  std::size_t replicas = 0;
+  std::uint64_t root_seed = 0;
+  /// Slot-ordered per-replica outputs.
+  std::vector<ReplicaResult> replica_results;
+  /// Per-metric ensemble statistics, sorted by metric name.
+  std::vector<std::pair<std::string, EnsembleStat>> stats;
+  /// Probe distributions merged across replicas in slot order (values in
+  /// microseconds).
+  obs::LogHistogram precision_hist;
+  obs::LogHistogram accuracy_hist;
+
+  /// Wall-clock measurements -- informative only, excluded from to_json()
+  /// so the serialization stays byte-identical across thread counts.
+  double wall_seconds = 0.0;
+  double replicas_per_sec = 0.0;
+  std::size_t threads_used = 0;
+
+  /// Ensemble statistics of one metric (nullptr when absent).
+  const EnsembleStat* stat(const std::string& name) const;
+
+  /// Deterministic serialization of the whole ensemble (config, per-metric
+  /// stats, merged histograms, per-replica metric rows).  Byte-identical
+  /// for any thread count.
+  std::string to_json() const;
+};
+
+class Runner {
+ public:
+  /// Called per replica after Cluster::start() (so chaining the driver
+  /// callbacks SyncNode::start installs works), before the run: install
+  /// instrumentation, fault injection, probes.  Runs on a worker thread but
+  /// only ever touches its own replica's state.
+  using ReplicaHook = std::function<void(ReplicaContext&)>;
+  /// Called per replica after the run completes: read the cluster, push
+  /// scenario-specific metrics.
+  using MetricExtractor = std::function<void(ReplicaContext&)>;
+
+  Runner(cluster::ClusterConfig base, McConfig mc)
+      : base_(std::move(base)), mc_(mc) {}
+
+  const McConfig& config() const { return mc_; }
+  void set_replica_hook(ReplicaHook h) { hook_ = std::move(h); }
+  void set_extractor(MetricExtractor e) { extractor_ = std::move(e); }
+
+  /// Execute all replicas across the thread pool and reduce.
+  EnsembleResult run();
+
+ private:
+  ReplicaResult run_replica(std::size_t index) const;
+
+  cluster::ClusterConfig base_;
+  McConfig mc_;
+  ReplicaHook hook_;
+  MetricExtractor extractor_;
+};
+
+}  // namespace nti::mc

@@ -14,6 +14,7 @@
 //   node/     CPU/ISR model and the KI/NI/CI driver
 //   csa/      interval-based clock synchronization algorithms
 //   cluster/  multi-node scenarios and measurement probes
+//   mc/       parallel Monte-Carlo replication over clusters
 #pragma once
 
 #include "common/checksum.hpp"
@@ -51,3 +52,4 @@
 #include "csa/rtt.hpp"
 #include "csa/sync.hpp"
 #include "cluster/cluster.hpp"
+#include "mc/runner.hpp"

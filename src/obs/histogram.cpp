@@ -60,6 +60,26 @@ double LogHistogram::percentile(double p) const {
   return max_;
 }
 
+void LogHistogram::merge(const LogHistogram& other) {
+  negatives_ += other.negatives_;
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  n_ += other.n_;
+  sum_ += other.sum_;
+}
+
 void LogHistogram::clear() {
   buckets_.clear();
   n_ = negatives_ = 0;

@@ -43,6 +43,12 @@ class LogHistogram {
   /// Buckets currently allocated (diagnostics).
   std::size_t bucket_count() const { return buckets_.size(); }
 
+  /// Fold another histogram's samples into this one (bucket-wise count
+  /// addition; extrema/sum/negatives combined exactly).  Used by the
+  /// Monte-Carlo reduction, which merges per-replica histograms in replica
+  /// order so the floating-point `sum` accumulation stays deterministic.
+  void merge(const LogHistogram& other);
+
   void clear();
 
  private:

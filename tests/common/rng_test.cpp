@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 namespace nti {
 namespace {
 
@@ -32,6 +34,50 @@ TEST(Rng, ForkIsStableAndIndependent) {
 TEST(Rng, IndexedForksDiffer) {
   RngStream root(7);
   EXPECT_NE(root.fork("node", 0).next_u64(), root.fork("node", 1).next_u64());
+}
+
+// Property: the Monte-Carlo runner forks one sibling stream per replica
+// ("replica", i); the ensemble is only meaningful if siblings are pairwise
+// decorrelated from the very first draws.  Checked over the first 4 draws
+// of replica/0..63.
+TEST(Rng, SiblingStreamsPairwiseDifferInFirstFourDraws) {
+  RngStream root(42);
+  constexpr int kSiblings = 64;
+  constexpr int kDraws = 4;
+  std::array<std::array<std::uint64_t, kDraws>, kSiblings> draws{};
+  for (int i = 0; i < kSiblings; ++i) {
+    RngStream s = root.fork("replica", static_cast<std::uint64_t>(i));
+    for (int d = 0; d < kDraws; ++d) draws[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)] = s.next_u64();
+  }
+  for (int i = 0; i < kSiblings; ++i) {
+    for (int j = i + 1; j < kSiblings; ++j) {
+      EXPECT_NE(draws[static_cast<std::size_t>(i)], draws[static_cast<std::size_t>(j)])
+          << "siblings " << i << " and " << j
+          << " share their first " << kDraws << " draws";
+    }
+  }
+}
+
+// Property: re-forking with the same (name, index) is stable across calls
+// -- and across interleaved draws from the parent's other forks, since
+// forking hashes the parent's immutable seed, not its draw state.
+TEST(Rng, IndexedReforkStableAcrossCalls) {
+  RngStream root(42);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    RngStream first = root.fork("replica", i);
+    root.fork("other").next_u64();  // unrelated activity in between
+    RngStream second = root.fork("replica", i);
+    for (int d = 0; d < 8; ++d) {
+      ASSERT_EQ(first.next_u64(), second.next_u64()) << "index " << i;
+    }
+  }
+}
+
+// The stream name participates in the hash: same index under different
+// names must not collide.
+TEST(Rng, IndexedForkNameMatters) {
+  RngStream root(42);
+  EXPECT_NE(root.fork("replica", 3).next_u64(), root.fork("node", 3).next_u64());
 }
 
 TEST(Rng, DoubleInUnitInterval) {

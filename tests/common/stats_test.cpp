@@ -66,6 +66,53 @@ TEST(SampleSet, NearestRankSmallN) {
   }
 }
 
+// stddev/ci95 edge cases pinned down: n=0 and n=1 must both yield exactly
+// zero (no NaN from a 0/0, no garbage from an n-1 underflow).
+TEST(SampleSet, StddevAndCi95EdgeCases) {
+  SampleSet empty;
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ci95(), 0.0);
+
+  SampleSet one;
+  one.add(123.456);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(one.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(one.ci95(), 0.0);
+
+  SampleSet two;
+  two.add(1.0);
+  two.add(3.0);
+  // Sample variance of {1, 3} is 2; ci95 = 1.96 * sqrt(2) / sqrt(2) = 1.96.
+  EXPECT_DOUBLE_EQ(two.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(two.stddev(), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(two.ci95(), 1.96);
+}
+
+TEST(SampleSet, StddevMatchesRunningStats) {
+  SampleSet s;
+  RunningStats ref;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+    ref.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.variance(), ref.variance());
+  EXPECT_DOUBLE_EQ(s.stddev(), ref.stddev());
+}
+
+// The Welford path must not cancel catastrophically for large-offset
+// samples (picosecond magnitudes with microsecond spreads -- exactly the
+// regime the probes produce).  A naive sum-of-squares two-pass loses all
+// significant digits here.
+TEST(SampleSet, WelfordStableForLargeOffsets) {
+  SampleSet s;
+  const double base = 3e14;  // ~300 s in ps
+  for (const double d : {0.0, 1e6, 2e6, 3e6}) s.add(base + d);  // +- us spread
+  // Sample variance of {0, 1, 2, 3}e6 is 5/3 * 1e12.
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0 * 1e12, 1.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0) * 1e6, 1e-3);
+}
+
 TEST(SampleSet, AddAfterSortStillCorrect) {
   SampleSet s;
   s.add(5.0);

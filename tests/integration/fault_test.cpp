@@ -3,7 +3,11 @@
 // f > 0, clock validation).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "cluster/cluster.hpp"
+#include "mc/runner.hpp"
 #include "sim/periodic.hpp"
 
 namespace nti {
@@ -52,6 +56,82 @@ TEST(Faults, ByzantineNodeDoesNotBreakCorrectOnes) {
     precision.add(subset_precision(cl, correct));
   }
   EXPECT_LT(precision.max_duration(), Duration::us(10));
+}
+
+TEST(Faults, EnsembleByzantineContainmentHoldsOnNonFaultyNodes) {
+  // The single-seed Byzantine test above could be a lucky draw; across an
+  // ensemble of 8 independently seeded replicas -- each with node 4 yanked
+  // by +- milliseconds every 700 ms -- containment violations must stay
+  // zero on every non-faulty node in every replica.
+  cluster::ClusterConfig cfg = base_cfg(5, 1);
+
+  mc::McConfig mcc;
+  mcc.replicas = 8;
+  mcc.threads = 0;  // hardware concurrency
+  mcc.root_seed = 4242;
+  mcc.total = Duration::sec(10);
+  mcc.warmup = Duration::sec(5);
+  mcc.probe_period = Duration::ms(100);
+  mcc.keep_trajectories = false;
+
+  struct PerReplica {
+    std::uint64_t nonfaulty_violations = 0;
+    std::uint64_t checks = 0;
+  };
+  std::vector<PerReplica> slots(mcc.replicas);
+
+  mc::Runner runner(cfg, mcc);
+  runner.set_replica_hook([&slots](mc::ReplicaContext& ctx) {
+    auto& cl = ctx.cluster();
+    PerReplica& slot = slots[ctx.index()];
+    // Saboteur drawing its yanks from a per-replica stream (decorrelated
+    // across replicas, reproducible within one).
+    auto& chaos = ctx.retain<RngStream>(ctx.rng("chaos"));
+    ctx.retain<sim::PeriodicTask>(
+        cl.engine(), SimTime::epoch() + Duration::ms(350), Duration::ms(700),
+        [&cl, &chaos](std::uint64_t) {
+          auto& ltu = cl.node(4).chip().ltu();
+          const Duration yank = chaos.uniform(-Duration::ms(3), Duration::ms(3));
+          const SimTime now = cl.engine().now();
+          ltu.set_state(now,
+                        Phi::from_duration(cl.node(4).true_clock(now) + yank));
+        });
+    // Containment watchdog over the non-faulty subset, sampled densely
+    // (the cluster's own violations counter includes the faulty node, which
+    // is *expected* to break containment).
+    ctx.retain<sim::PeriodicTask>(
+        cl.engine(), SimTime::epoch() + Duration::sec(5), Duration::ms(100),
+        [&cl, &slot](std::uint64_t) {
+          const SimTime t = cl.engine().now();
+          const Duration truth = t - SimTime::epoch();
+          for (const int i : {0, 1, 2, 3}) {
+            const auto iv = cl.sync(i).current_interval(t);
+            ++slot.checks;
+            if (truth < iv.lower() || truth > iv.upper()) {
+              ++slot.nonfaulty_violations;
+            }
+          }
+        });
+  });
+  runner.set_extractor([&slots](mc::ReplicaContext& ctx) {
+    ctx.metric("nonfaulty_violations",
+               static_cast<double>(slots[ctx.index()].nonfaulty_violations));
+    ctx.metric("containment_checks",
+               static_cast<double>(slots[ctx.index()].checks));
+  });
+
+  const mc::EnsembleResult ens = runner.run();
+  const mc::EnsembleStat* violations = ens.stat("nonfaulty_violations");
+  const mc::EnsembleStat* checks = ens.stat("containment_checks");
+  ASSERT_NE(violations, nullptr);
+  ASSERT_NE(checks, nullptr);
+  EXPECT_GT(checks->min, 0.0);  // the watchdog actually ran in every replica
+  EXPECT_EQ(violations->max, 0.0)
+      << "a non-faulty node broke containment in at least one replica";
+  // The replicas genuinely differ (decorrelated saboteur + oscillators).
+  const mc::EnsembleStat* precision = ens.stat("precision_max_us");
+  ASSERT_NE(precision, nullptr);
+  EXPECT_GT(precision->stddev, 0.0);
 }
 
 TEST(Faults, TooManyFaultsAssumedZeroBreaks) {

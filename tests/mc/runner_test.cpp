@@ -1,0 +1,168 @@
+// Monte-Carlo runner: the determinism contract and the ensemble reduction.
+//
+// The hard contract under test: the ensemble output (serialized JSON and
+// every retained probe sample) is byte-identical for any thread count,
+// because replica seeding depends only on (root_seed, index) and every
+// reduction walks the pre-sized slot array in replica order.
+#include "mc/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace nti {
+namespace {
+
+cluster::ClusterConfig small_cfg() {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.sync.fault_tolerance = 0;
+  return cfg;
+}
+
+mc::McConfig small_mc(std::size_t threads, std::size_t replicas = 4) {
+  mc::McConfig mcc;
+  mcc.replicas = replicas;
+  mcc.threads = threads;
+  mcc.root_seed = 99;
+  mcc.total = Duration::sec(4);
+  mcc.warmup = Duration::sec(1);
+  mcc.probe_period = Duration::ms(100);
+  return mcc;
+}
+
+/// Exact integer serialization of a trajectory: any single-picosecond
+/// divergence between runs shows up as a string mismatch.
+std::string trajectory_bytes(const mc::ReplicaResult& r) {
+  std::string out;
+  char buf[160];
+  for (const cluster::ProbeSample& s : r.trajectory) {
+    std::snprintf(buf, sizeof buf, "%lld|%lld|%lld|%lld|%lld|%lld\n",
+                  static_cast<long long>((s.t - SimTime::epoch()).count_ps()),
+                  static_cast<long long>(s.precision.count_ps()),
+                  static_cast<long long>(s.worst_accuracy.count_ps()),
+                  static_cast<long long>(s.mean_alpha.count_ps()),
+                  static_cast<long long>(s.alpha_minus_max.count_ps()),
+                  static_cast<long long>(s.alpha_plus_max.count_ps()));
+    out += buf;
+  }
+  return out;
+}
+
+TEST(McRunner, EnsembleJsonByteIdenticalAcrossThreadCounts) {
+  const std::string json1 =
+      mc::Runner(small_cfg(), small_mc(1)).run().to_json();
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const std::string jsonN =
+        mc::Runner(small_cfg(), small_mc(threads)).run().to_json();
+    EXPECT_EQ(json1, jsonN) << "thread count " << threads
+                            << " changed the serialized ensemble";
+  }
+}
+
+TEST(McRunner, EveryProbeSampleByteIdenticalAcrossThreadCounts) {
+  const mc::EnsembleResult a = mc::Runner(small_cfg(), small_mc(1)).run();
+  const mc::EnsembleResult b = mc::Runner(small_cfg(), small_mc(4)).run();
+  ASSERT_EQ(a.replica_results.size(), b.replica_results.size());
+  for (std::size_t i = 0; i < a.replica_results.size(); ++i) {
+    ASSERT_FALSE(a.replica_results[i].trajectory.empty());
+    EXPECT_EQ(trajectory_bytes(a.replica_results[i]),
+              trajectory_bytes(b.replica_results[i]))
+        << "replica " << i;
+  }
+}
+
+TEST(McRunner, ReplicasAreDecorrelated) {
+  // Two replicas with different indices must produce different
+  // trajectories: same config, different fork("replica", i) seeds.
+  const mc::EnsembleResult ens = mc::Runner(small_cfg(), small_mc(1, 2)).run();
+  ASSERT_EQ(ens.replica_results.size(), 2u);
+  EXPECT_NE(ens.replica_results[0].seed, ens.replica_results[1].seed);
+  EXPECT_NE(trajectory_bytes(ens.replica_results[0]),
+            trajectory_bytes(ens.replica_results[1]));
+}
+
+TEST(McRunner, ReplicaSeedIsStableAndDistinct) {
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(mc::replica_seed(7, i), mc::replica_seed(7, i));
+    for (std::size_t j = i + 1; j < 64; ++j) {
+      EXPECT_NE(mc::replica_seed(7, i), mc::replica_seed(7, j));
+    }
+  }
+  EXPECT_NE(mc::replica_seed(7, 0), mc::replica_seed(8, 0));
+}
+
+TEST(McRunner, EnsembleStatsMatchManualReduction) {
+  const mc::EnsembleResult ens = mc::Runner(small_cfg(), small_mc(2)).run();
+  const mc::EnsembleStat* s = ens.stat("precision_max_us");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->n, ens.replicas);
+
+  SampleSet manual;
+  for (const mc::ReplicaResult& r : ens.replica_results) {
+    manual.add(r.metric("precision_max_us"));
+  }
+  EXPECT_DOUBLE_EQ(s->mean, manual.mean());
+  EXPECT_DOUBLE_EQ(s->stddev, manual.stddev());
+  EXPECT_DOUBLE_EQ(s->ci95, manual.ci95());
+  EXPECT_DOUBLE_EQ(s->min, manual.min());
+  EXPECT_DOUBLE_EQ(s->max, manual.max());
+  EXPECT_GT(s->max, 0.0);  // a real cluster never has perfectly equal clocks
+}
+
+TEST(McRunner, MergedHistogramCountsEveryProbe) {
+  const mc::EnsembleResult ens = mc::Runner(small_cfg(), small_mc(2)).run();
+  std::uint64_t probes = 0;
+  for (const mc::ReplicaResult& r : ens.replica_results) probes += r.probes;
+  EXPECT_EQ(ens.precision_hist.count(), probes);
+  EXPECT_EQ(ens.accuracy_hist.count(), probes);
+  EXPECT_GT(probes, 0u);
+}
+
+TEST(McRunner, HookAndExtractorRunOncePerReplica) {
+  std::atomic<int> hooks{0}, extracts{0};
+  mc::Runner runner(small_cfg(), small_mc(4, 6));
+  runner.set_replica_hook([&hooks](mc::ReplicaContext& ctx) {
+    ++hooks;
+    EXPECT_LT(ctx.index(), 6u);
+  });
+  runner.set_extractor([&extracts](mc::ReplicaContext& ctx) {
+    ++extracts;
+    ctx.metric("custom_metric", static_cast<double>(ctx.index()));
+  });
+  const mc::EnsembleResult ens = runner.run();
+  EXPECT_EQ(hooks.load(), 6);
+  EXPECT_EQ(extracts.load(), 6);
+  const mc::EnsembleStat* s = ens.stat("custom_metric");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->mean, 2.5);  // mean of 0..5
+  EXPECT_DOUBLE_EQ(s->min, 0.0);
+  EXPECT_DOUBLE_EQ(s->max, 5.0);
+}
+
+TEST(McRunner, ApplyEnvReadsKnobs) {
+  // Setting and clearing the knobs in-process keeps the test hermetic.
+  setenv("NTI_MC_REPLICAS", "7", 1);
+  setenv("NTI_MC_THREADS", "3", 1);
+  const mc::McConfig mcc = mc::apply_env({});
+  EXPECT_EQ(mcc.replicas, 7u);
+  EXPECT_EQ(mcc.threads, 3u);
+  unsetenv("NTI_MC_REPLICAS");
+  unsetenv("NTI_MC_THREADS");
+  const mc::McConfig dflt = mc::apply_env({});
+  EXPECT_EQ(dflt.replicas, 16u);
+  EXPECT_EQ(dflt.threads, 0u);
+}
+
+TEST(McRunner, ThreadsCappedByReplicas) {
+  mc::McConfig mcc = small_mc(16, 2);
+  const mc::EnsembleResult ens = mc::Runner(small_cfg(), mcc).run();
+  EXPECT_EQ(ens.threads_used, 2u);
+}
+
+}  // namespace
+}  // namespace nti

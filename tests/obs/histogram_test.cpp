@@ -79,6 +79,45 @@ TEST(LogHistogram, DurationOverloadFeedsPs) {
   EXPECT_DOUBLE_EQ(h.max(), 2e6);
 }
 
+TEST(LogHistogram, MergeEqualsSequentialAdds) {
+  // Merging per-replica histograms must be indistinguishable from having
+  // fed one histogram with all the samples (the MC ensemble reduction
+  // relies on this).
+  LogHistogram a, b, all;
+  for (const double v : {0.5, 3.0, 100.0, 1e6}) {
+    a.add(v);
+    all.add(v);
+  }
+  for (const double v : {-1.0, 7.0, 2e9}) {
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.negatives(), all.negatives());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  for (const double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram h, empty;
+  h.add(4.0);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 4.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+
+  LogHistogram target;
+  target.merge(h);  // merging into an empty histogram adopts the extrema
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.min(), 4.0);
+  EXPECT_DOUBLE_EQ(target.max(), 4.0);
+}
+
 TEST(LogHistogram, ClearResets) {
   LogHistogram h;
   h.add(7.0);
