@@ -32,13 +32,20 @@ struct Outcome {
   std::uint64_t violations = 0;
 };
 
-Outcome run_fault(std::vector<gps::FaultWindow> faults) {
+/// Wrap a single GPS-kind spec (hitting every receiver) into a plan.
+fault::FaultPlan plan_of(fault::FaultSpec spec) {
+  fault::FaultPlan p;
+  p.add(std::move(spec));
+  return p;
+}
+
+Outcome run_fault(fault::FaultPlan plan) {
   cluster::ClusterConfig cfg;
   cfg.num_nodes = 4;
   cfg.seed = 66;
   cfg.sync.fault_tolerance = 1;
   cfg.gps_nodes = {0, 1};  // f + 1 anchored inputs
-  cfg.gps_base.faults = std::move(faults);
+  cfg.faults = std::move(plan);
   cluster::Cluster cl(cfg);
   Outcome out;
   const SimTime w_start = SimTime::epoch() + Duration::sec(10);
@@ -107,16 +114,15 @@ int main() {
 
   // --- gross faults: must be rejected, zero influence ----------------------
   {
-    const Outcome o = run_fault(
-        {{gps::FaultKind::kOffsetSpike, f_start, f_end, Duration::ms(5)}});
+    const Outcome o = run_fault(plan_of(
+        fault::FaultSpec::gps_offset_spike(-1, Duration::ms(5), f_start, f_end)));
     print_row("offset spike +5 ms (gross)", o);
     if (o.accepted_in_window != 0 || o.violations != 0) all_ok = false;
     if (o.precision_p90 > Duration::us(8)) all_ok = false;
   }
   {
-    gps::FaultWindow w{gps::FaultKind::kWrongSecond, f_start, f_end};
-    w.label_offset = 1;
-    const Outcome o = run_fault({w});
+    const Outcome o = run_fault(
+        plan_of(fault::FaultSpec::gps_wrong_second(-1, 1, f_start, f_end)));
     print_row("wrong second label +1 s (gross)", o);
     if (o.accepted_in_window != 0 || o.violations != 0) all_ok = false;
   }
@@ -126,14 +132,14 @@ int main() {
   {
     // A spike larger than V but far below the gross level: with redundant
     // receivers V has tightened enough to catch even this.
-    const Outcome o = run_fault(
-        {{gps::FaultKind::kOffsetSpike, f_start, f_end, Duration::us(40)}});
+    const Outcome o = run_fault(plan_of(fault::FaultSpec::gps_offset_spike(
+        -1, Duration::us(40), f_start, f_end)));
     print_row("offset spike +40 us (outside tight V)", o);
     if (o.accepted_in_window != 0 || o.violations != 0) all_ok = false;
   }
   {
-    const Outcome o = run_fault(
-        {{gps::FaultKind::kOffsetSpike, f_start, f_end, Duration::us(4)}});
+    const Outcome o = run_fault(plan_of(
+        fault::FaultSpec::gps_offset_spike(-1, Duration::us(4), f_start, f_end)));
     print_row("offset spike +4 us (within V)", o);
     if (o.accepted_in_window == 0) all_ok = false;        // cannot be detected
     if (o.accuracy_max > v_width_bound) all_ok = false;   // ...but is bounded
@@ -146,25 +152,24 @@ int main() {
     // Achilles heel of consistency-based validation (and why [HS97]
     // advocates long-term receiver monitoring on top); the damage is
     // bounded by ramp_rate x fault_duration, not by V.
-    gps::FaultWindow w{gps::FaultKind::kStuck, f_start, f_end};
-    w.ramp_per_sec = Duration::us(2);
-    const Outcome o = run_fault({w});
+    const Outcome o = run_fault(plan_of(
+        fault::FaultSpec::gps_stuck(-1, Duration::us(2), f_start, f_end)));
     print_row("free-running +2 us/s (slow ramp)", o);
     if (o.accepted_in_window < o.offered_in_window) all_ok = false;  // tracked
     if (o.accuracy_max > Duration::us(2) * 12 + Duration::us(10)) all_ok = false;
   }
   {
     // A ramp faster than V's width per round escapes immediately.
-    gps::FaultWindow w{gps::FaultKind::kStuck, f_start, f_end};
-    w.ramp_per_sec = Duration::us(50);
-    const Outcome o = run_fault({w});
+    const Outcome o = run_fault(plan_of(
+        fault::FaultSpec::gps_stuck(-1, Duration::us(50), f_start, f_end)));
     print_row("free-running +50 us/s (fast ramp)", o);
     if (o.accepted_in_window != 0 || o.violations != 0) all_ok = false;
   }
 
   // --- omission: nothing to offer, internal sync carries through -----------
   {
-    const Outcome o = run_fault({{gps::FaultKind::kOmission, f_start, f_end}});
+    const Outcome o =
+        run_fault(plan_of(fault::FaultSpec::gps_omission(-1, f_start, f_end)));
     print_row("pulse omission", o);
     if (o.offered_in_window != 0 || o.violations != 0) all_ok = false;
     if (o.precision_p90 > Duration::us(8)) all_ok = false;
@@ -172,7 +177,7 @@ int main() {
 
   // --- healthy control: accepted, tight accuracy ---------------------------
   {
-    const Outcome o = run_fault({});
+    const Outcome o = run_fault(fault::FaultPlan{});
     print_row("healthy (control)", o);
     if (o.accepted_in_window < o.offered_in_window * 8 / 10) all_ok = false;
     if (o.violations != 0) all_ok = false;

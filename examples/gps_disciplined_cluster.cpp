@@ -22,10 +22,9 @@ int main() {
   cluster::Cluster cl(cfg);
 
   cluster::ClusterConfig cfg2 = cfg;
-  gps::FaultWindow w{gps::FaultKind::kOffsetSpike,
-                     SimTime::epoch() + Duration::sec(20),
-                     SimTime::epoch() + Duration::sec(35), Duration::ms(2)};
-  cfg2.gps_base.faults.push_back(w);
+  cfg2.faults.add(fault::FaultSpec::gps_offset_spike(
+      -1, Duration::ms(2), SimTime::epoch() + Duration::sec(20),
+      SimTime::epoch() + Duration::sec(35)));
 
   // Run A: both receivers healthy.
   cl.start();

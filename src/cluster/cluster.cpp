@@ -21,6 +21,13 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     if (std::find(cfg_.gps_nodes.begin(), cfg_.gps_nodes.end(), i) !=
         cfg_.gps_nodes.end()) {
       nc.gps = cfg_.gps_base;
+      // GPS-kind plan specs become receiver-level fault windows on the
+      // targeted node(s); node = -1 hits every receiver.
+      for (const fault::FaultSpec& s : cfg_.faults.specs) {
+        if (fault::is_gps_kind(s.kind) && (s.node < 0 || s.node == i)) {
+          nc.gps->faults.push_back(fault::to_gps_window(s));
+        }
+      }
     }
     nodes_.push_back(std::make_unique<node::NodeCard>(engine_, *medium_, nc, root));
     syncs_.push_back(std::make_unique<csa::SyncNode>(*nodes_.back(), cfg_.sync,
@@ -35,6 +42,16 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
         engine_, *medium_, tc, root.fork("traffic")));
   }
 
+  if (!cfg_.faults.empty()) {
+    injector_ = std::make_unique<fault::Injector>(engine_, cfg_.faults,
+                                                  root.fork("fault"));
+    injector_->attach_medium(*medium_);
+    for (int i = 0; i < cfg_.num_nodes; ++i) {
+      injector_->attach_node(i, *nodes_[static_cast<std::size_t>(i)],
+                             *syncs_[static_cast<std::size_t>(i)]);
+    }
+  }
+
   // Observability: every layer registers its counters into the cluster's
   // registry (the Cluster owns all registered components, so lifetimes are
   // safe by construction), and the optional trace ring is shared.
@@ -42,6 +59,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     trace_ = std::make_unique<obs::TraceRing>(cfg_.trace_capacity);
     medium_->set_trace(trace_.get());
     for (auto& s : syncs_) s->set_trace(trace_.get());
+    if (injector_ != nullptr) injector_->set_trace(trace_.get());
     if (cfg_.trace_engine_events) engine_.set_trace(trace_.get());
   }
   if (cfg_.enable_spans) {
@@ -65,6 +83,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     syncs_[static_cast<std::size_t>(i)]->register_metrics(
         metrics_, "csa.node" + std::to_string(i) + ".");
   }
+  if (injector_ != nullptr) injector_->register_metrics(metrics_, "fault.");
   metrics_.add_counter("cluster.probes", &probes_);
   metrics_.add_counter("cluster.containment_violations", &violations_);
   metrics_.add_gauge("cluster.alpha_minus_worst_us",
@@ -93,6 +112,9 @@ void Cluster::start() {
     const Duration alpha0 = cfg_.initial_offset_spread + Duration::us(1);
     sync(i).start(value, alpha0);
   }
+  // Arm after the sync nodes exist and run: windowed fault events may stop
+  // and cold-restart them.  schedule_at clamps past windows to now().
+  if (injector_ != nullptr) injector_->arm();
 }
 
 ProbeSample Cluster::probe() {

@@ -21,6 +21,7 @@
 
 #include "common/stats.hpp"
 #include "csa/sync.hpp"
+#include "fault/injector.hpp"
 #include "gps/gps.hpp"
 #include "net/medium.hpp"
 #include "net/traffic.hpp"
@@ -53,6 +54,14 @@ struct ClusterConfig {
   /// Node ids equipped with a GPS receiver.
   std::vector<int> gps_nodes{};
   gps::GpsConfig gps_base{};
+
+  /// Declarative fault scenario (fault::FaultPlan).  GPS-kind specs are
+  /// translated into per-receiver gps::FaultWindow entries (generalizing
+  /// gps_base.faults, which remains the raw mechanism-level knob); all
+  /// other kinds are enacted by the cluster-owned fault::Injector, armed
+  /// in start().  Randomness forks off `seed`, so plans are reproducible
+  /// and never perturb the cluster's other streams.
+  fault::FaultPlan faults{};
 
   /// Background KI/NI traffic as a fraction of channel capacity.
   double background_load = 0.0;
@@ -136,6 +145,8 @@ class Cluster {
   obs::SpanCollector* spans() { return spans_.get(); }
   /// Probe-driven time series, or nullptr when cfg.record_timeseries == false.
   obs::TimeSeriesRecorder* timeseries() { return timeseries_.get(); }
+  /// The fault injector, or nullptr when cfg.faults is empty.
+  fault::Injector* fault_injector() { return injector_.get(); }
 
   /// Ground-truth maximum pairwise oscillator rate difference right now
   /// (for the rate-synchronization experiment E7).
@@ -148,6 +159,7 @@ class Cluster {
   std::vector<std::unique_ptr<node::NodeCard>> nodes_;
   std::vector<std::unique_ptr<csa::SyncNode>> syncs_;
   std::vector<std::unique_ptr<net::TrafficGenerator>> traffic_;
+  std::unique_ptr<fault::Injector> injector_;
 
   SampleSet precision_;
   SampleSet accuracy_;

@@ -8,6 +8,23 @@ namespace nti::comco {
 using module::Addr;
 using module::kHeaderBytes;
 
+namespace {
+
+/// Byte `idx` of the frame as this receiver's DMA engine sees it: the
+/// shared payload, with the wire-level fault flip (net::Frame::corrupt_bit)
+/// applied on the fly.  The flip must happen here, at copy-in time, because
+/// the payload storage is shared by all receivers and is filled late by the
+/// sender's own DMA model -- mutating it would corrupt the sender too.
+std::uint8_t rx_byte(const net::Frame& f, std::size_t idx) {
+  std::uint8_t b = f.bytes[idx];
+  if (f.corrupt_bit >= 0 && static_cast<std::size_t>(f.corrupt_bit >> 3) == idx) {
+    b = static_cast<std::uint8_t>(b ^ (1u << (f.corrupt_bit & 7)));
+  }
+  return b;
+}
+
+}  // namespace
+
 Comco::Comco(sim::Engine& engine, module::Nti& nti, net::Medium& medium,
              ComcoConfig cfg, RngStream rng)
     : engine_(engine),
@@ -98,11 +115,19 @@ void Comco::transmit(int tx_slot, Addr data_addr, std::size_t data_len,
   const Duration latency =
       cfg_.cmd_latency_base + rng_.uniform(Duration::zero(), cfg_.cmd_latency_jitter);
   engine_.schedule_in(latency, [this, tx_slot, data_addr, data_len, trace] {
-    tx_pending_.push_back({tx_slot, data_addr, data_len, trace});
     net::Frame frame;
     frame.bytes.assign(kHeaderBytes + data_len, 0);  // filled at DMA time
     frame.trace_id = trace;
-    medium_.transmit(port_, std::move(frame));
+    // Enqueue with the medium *first*: a tail-dropped frame never gets a
+    // wire start, so pushing PendingTx unconditionally would desync the
+    // in-order matching in on_wire_start (every later frame would fetch
+    // the wrong header).  The wire-start callback always fires through the
+    // event queue, never synchronously, so the push ordering is safe.
+    if (!medium_.transmit(port_, std::move(frame))) {
+      if (on_tx_abort) on_tx_abort(tx_slot);
+      return;
+    }
+    tx_pending_.push_back({tx_slot, data_addr, data_len, trace});
   });
 }
 
@@ -145,7 +170,7 @@ void Comco::handle_rx(std::shared_ptr<const net::Frame> frame,
     for (Addr off = 0; off <= rx_trig; off += 4) {
       std::uint32_t w = 0;
       for (std::size_t b = 0; b < 4; ++b) {
-        w |= std::uint32_t{fp->bytes[off + b]} << (8 * b);
+        w |= std::uint32_t{rx_byte(*fp, off + b)} << (8 * b);
       }
       nti_.comco_write32(t_hdr, hdr + off, w);
       if (off == rx_trig) last_rx_trigger_ = t_hdr;
@@ -161,14 +186,14 @@ void Comco::handle_rx(std::shared_ptr<const net::Frame> frame,
     for (Addr off = rx_trig + 4; off < kHeaderBytes; off += 4) {
       std::uint32_t w = 0;
       for (std::size_t b = 0; b < 4; ++b) {
-        w |= std::uint32_t{fp->bytes[off + b]} << (8 * b);
+        w |= std::uint32_t{rx_byte(*fp, off + b)} << (8 * b);
       }
       nti_.comco_write32(t_rest, hdr + off, w);
     }
     for (std::size_t i = 0; i < payload_len; i += 4) {
       std::uint32_t w = 0;
       for (std::size_t b = 0; b < 4 && i + b < payload_len; ++b) {
-        w |= std::uint32_t{fp->bytes[kHeaderBytes + i + b]} << (8 * b);
+        w |= std::uint32_t{rx_byte(*fp, kHeaderBytes + i + b)} << (8 * b);
       }
       nti_.comco_write32(t_rest, slot.data_addr + static_cast<Addr>(i), w);
     }

@@ -112,6 +112,13 @@ void SyncNode::start(Duration value, Duration alpha0, std::uint32_t first_round)
     };
   }
 
+  // Re-entrant start (crash/restart): observations and rate baselines from
+  // before the outage reference a resync point seconds in the past; fusing
+  // or rate-estimating against them would corrupt the first round back.
+  obs_.clear();
+  rate_hist_.clear();
+  gps_fix_.fresh = false;
+
   round_ = first_round;
   running_ = true;
   arm_round_timers();

@@ -120,8 +120,18 @@ class SyncNode {
   SyncNode(node::NodeCard& card, SyncConfig cfg, int num_nodes);
 
   /// Set the local interval clock to `value` with accuracy +-alpha0 and
-  /// begin round execution with round `first_round`.
+  /// begin round execution with round `first_round`.  Re-entrant: calling
+  /// it on a stopped node re-initializes the clock and resumes rounds (the
+  /// crash/restart injection path -- a cold rejoin re-integrates through
+  /// normal CSA rounds, its initial alpha0 covering the cold-clock scatter).
   void start(Duration value, Duration alpha0, std::uint32_t first_round = 1);
+
+  /// Halt round execution (node crash): pending duty-timer events and
+  /// received CSPs become no-ops.  The UTCSU keeps free-running -- a dead
+  /// CPU does not stop the clock hardware -- so the ACU's deterioration
+  /// keeps the advertised interval honest while the node is down.
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
 
   /// Called after every resynchronization.
   std::function<void(const RoundReport&)> on_round;

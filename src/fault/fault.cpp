@@ -1,0 +1,259 @@
+#include "fault/fault.hpp"
+
+#include <cassert>
+
+namespace nti::fault {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kFrameLoss: return "frame_loss";
+    case Kind::kFrameCorrupt: return "frame_corrupt";
+    case Kind::kPartition: return "partition";
+    case Kind::kDelaySpike: return "delay_spike";
+    case Kind::kNodeCrash: return "node_crash";
+    case Kind::kBabblingIdiot: return "babbling_idiot";
+    case Kind::kMissedTrigger: return "missed_trigger";
+    case Kind::kStaleLatch: return "stale_latch";
+    case Kind::kClockYank: return "clock_yank";
+    case Kind::kFreqStep: return "freq_step";
+    case Kind::kGpsOffsetSpike: return "gps_offset_spike";
+    case Kind::kGpsOmission: return "gps_omission";
+    case Kind::kGpsStuck: return "gps_stuck";
+    case Kind::kGpsWrongSecond: return "gps_wrong_second";
+    case Kind::kGpsRamp: return "gps_ramp";
+  }
+  return "unknown";
+}
+
+FaultSpec FaultSpec::frame_loss(double rate, SimTime start, SimTime end,
+                                int rx_node) {
+  FaultSpec s;
+  s.kind = Kind::kFrameLoss;
+  s.rate = rate;
+  s.start = start;
+  s.end = end;
+  s.node = rx_node;
+  return s;
+}
+
+FaultSpec FaultSpec::frame_corrupt(double rate, SimTime start, SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kFrameCorrupt;
+  s.rate = rate;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::partition(std::vector<int> group, SimTime start,
+                               SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kPartition;
+  s.group = std::move(group);
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::delay_spike(double rate, Duration magnitude, SimTime start,
+                                 SimTime end, int rx_node) {
+  FaultSpec s;
+  s.kind = Kind::kDelaySpike;
+  s.rate = rate;
+  s.magnitude = magnitude;
+  s.start = start;
+  s.end = end;
+  s.node = rx_node;
+  return s;
+}
+
+FaultSpec FaultSpec::node_crash(int node, SimTime crash, SimTime restart,
+                                Duration cold_scatter) {
+  FaultSpec s;
+  s.kind = Kind::kNodeCrash;
+  s.node = node;
+  s.start = crash;
+  s.end = restart;
+  s.magnitude = cold_scatter;
+  return s;
+}
+
+FaultSpec FaultSpec::babbling_idiot(int node, SimTime start, SimTime end,
+                                    Duration gap, std::int64_t frame_bytes) {
+  FaultSpec s;
+  s.kind = Kind::kBabblingIdiot;
+  s.node = node;
+  s.start = start;
+  s.end = end;
+  s.period = gap;
+  s.param = frame_bytes;
+  return s;
+}
+
+FaultSpec FaultSpec::missed_trigger(double rate, int node, SimTime start,
+                                    SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kMissedTrigger;
+  s.rate = rate;
+  s.node = node;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::stale_latch(double rate, int node, SimTime start,
+                                 SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kStaleLatch;
+  s.rate = rate;
+  s.node = node;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::clock_yank(int node, Duration magnitude, Duration period,
+                                SimTime start, SimTime end, bool one_sided) {
+  FaultSpec s;
+  s.kind = Kind::kClockYank;
+  s.node = node;
+  s.magnitude = magnitude;
+  s.period = period;
+  s.start = start;
+  s.end = end;
+  s.param = one_sided ? 1 : 0;
+  return s;
+}
+
+FaultSpec FaultSpec::freq_step(int node, double ppm, SimTime start,
+                               SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kFreqStep;
+  s.node = node;
+  s.ppm = ppm;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::gps_offset_spike(int node, Duration magnitude,
+                                      SimTime start, SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kGpsOffsetSpike;
+  s.node = node;
+  s.magnitude = magnitude;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::gps_omission(int node, SimTime start, SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kGpsOmission;
+  s.node = node;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::gps_stuck(int node, Duration ramp_per_sec, SimTime start,
+                               SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kGpsStuck;
+  s.node = node;
+  s.period = ramp_per_sec;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::gps_wrong_second(int node, std::int64_t label_offset,
+                                      SimTime start, SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kGpsWrongSecond;
+  s.node = node;
+  s.param = label_offset;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::gps_ramp(int node, Duration ramp_per_sec, SimTime start,
+                              SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kGpsRamp;
+  s.node = node;
+  s.period = ramp_per_sec;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+bool is_gps_kind(Kind k) {
+  switch (k) {
+    case Kind::kGpsOffsetSpike:
+    case Kind::kGpsOmission:
+    case Kind::kGpsStuck:
+    case Kind::kGpsWrongSecond:
+    case Kind::kGpsRamp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+gps::FaultWindow to_gps_window(const FaultSpec& s) {
+  assert(is_gps_kind(s.kind));
+  gps::FaultWindow w{};
+  switch (s.kind) {
+    case Kind::kGpsOffsetSpike:
+      w.kind = gps::FaultKind::kOffsetSpike;
+      break;
+    case Kind::kGpsOmission:
+      w.kind = gps::FaultKind::kOmission;
+      break;
+    case Kind::kGpsStuck:
+      w.kind = gps::FaultKind::kStuck;
+      break;
+    case Kind::kGpsWrongSecond:
+      w.kind = gps::FaultKind::kWrongSecond;
+      break;
+    case Kind::kGpsRamp:
+      w.kind = gps::FaultKind::kRamp;
+      break;
+    default:
+      break;
+  }
+  w.start = s.start;
+  w.end = s.end;
+  w.magnitude = s.magnitude;
+  w.ramp_per_sec = s.period;
+  w.label_offset = s.param;
+  return w;
+}
+
+FaultSpec from_gps_window(int node, const gps::FaultWindow& w) {
+  switch (w.kind) {
+    case gps::FaultKind::kOffsetSpike:
+      return FaultSpec::gps_offset_spike(node, w.magnitude, w.start, w.end);
+    case gps::FaultKind::kOmission:
+      return FaultSpec::gps_omission(node, w.start, w.end);
+    case gps::FaultKind::kStuck:
+      return FaultSpec::gps_stuck(node, w.ramp_per_sec, w.start, w.end);
+    case gps::FaultKind::kWrongSecond:
+      return FaultSpec::gps_wrong_second(node, w.label_offset, w.start, w.end);
+    case gps::FaultKind::kRamp:
+      return FaultSpec::gps_ramp(node, w.ramp_per_sec, w.start, w.end);
+  }
+  return FaultSpec::gps_omission(node, w.start, w.end);
+}
+
+std::vector<const FaultSpec*> FaultPlan::of_kind(Kind k) const {
+  std::vector<const FaultSpec*> out;
+  for (const FaultSpec& s : specs) {
+    if (s.kind == k) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace nti::fault

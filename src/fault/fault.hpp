@@ -1,0 +1,153 @@
+// Unified deterministic fault-injection plans.
+//
+// The paper's whole point is *fault-tolerant* interval-based sync: stamp
+// checksums, interval-based clock validation, and convergence functions
+// that survive f faulty nodes.  A FaultPlan describes, declaratively, the
+// adverse conditions a scenario runs under -- one typed FaultSpec per
+// injected fault, each with a scheduled window and/or a stochastic rate --
+// across four layers of the system:
+//
+//   medium  frame loss, payload bit-flip corruption (caught by the stamp
+//           checksum), link partition of a station subset, delay spikes
+//   node    crash/restart with cold-clock rejoin, babbling-idiot flood
+//   comco   missed timestamp trigger, stale stamp latch
+//   clock   Byzantine clock yank, oscillator frequency step
+//
+// plus the GPS receiver fault catalogue ([HS97]) that gps::FaultWindow
+// already modeled; those specs translate into per-receiver windows so one
+// plan covers every fault source in a cluster.
+//
+// Determinism contract: a plan is pure data.  All randomness (loss draws,
+// corruption bit choice, yank magnitudes) is drawn by fault::Injector from
+// an RngStream forked off the owning cluster's seed, so (a) two runs of
+// the same seed inject identically, and (b) Monte-Carlo replicas -- which
+// differ in cluster seed by construction (mc::replica_seed) -- inject
+// decorrelated but individually reproducible fault sequences.  Adding a
+// fault plan never perturbs the cluster's other streams (named forks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.hpp"
+#include "gps/gps.hpp"
+
+namespace nti::fault {
+
+enum class Kind : std::uint8_t {
+  // -- medium layer --------------------------------------------------------
+  kFrameLoss = 0,   ///< per-receiver Bernoulli frame drop at `rate`
+  kFrameCorrupt,    ///< wire-level bit flip in the stamp words at `rate`
+  kPartition,       ///< stations in `group` cut off from the rest
+  kDelaySpike,      ///< extra rx delay `magnitude` with probability `rate`
+  // -- node layer ----------------------------------------------------------
+  kNodeCrash,       ///< CPU dead from start..end; cold-clock rejoin at end
+  kBabblingIdiot,   ///< node floods data frames every `period` in the window
+  // -- NTI/COMCO layer ------------------------------------------------------
+  kMissedTrigger,   ///< RECEIVE trigger lost: rx stamp never latched
+  kStaleLatch,      ///< SSU latch not updated: previous frame's stamp parked
+  // -- clock layer ----------------------------------------------------------
+  kClockYank,       ///< Byzantine: state yanked by +-`magnitude` every `period`
+  kFreqStep,        ///< logical-clock rate stepped by `ppm` over the window
+  // -- GPS receiver (generalizes gps::FaultWindow) ---------------------------
+  kGpsOffsetSpike,
+  kGpsOmission,
+  kGpsStuck,
+  kGpsWrongSecond,
+  kGpsRamp,
+};
+inline constexpr std::size_t kNumKinds = 15;
+
+const char* to_string(Kind k);
+
+/// One injected fault.  Fields are interpreted per kind (see the builder
+/// helpers below, which are the documented construction surface).
+struct FaultSpec {
+  Kind kind = Kind::kFrameLoss;
+  /// Target node/station; -1 targets the whole medium (medium-layer kinds)
+  /// or every node (comco/gps kinds).
+  int node = -1;
+  SimTime start = SimTime::epoch();
+  SimTime end = SimTime::never();
+  /// Per-event probability for stochastic kinds (loss, corruption, delay
+  /// spikes, missed trigger, stale latch), in [0, 1].
+  double rate = 0.0;
+  /// Amplitude: yank bound, delay spike size, GPS spike offset, crash
+  /// rejoin cold-clock scatter.
+  Duration magnitude = Duration::zero();
+  /// Cadence: yank period, babble inter-frame gap, GPS ramp rate per sec.
+  Duration period = Duration::zero();
+  /// Frequency step for kFreqStep, in ppm.
+  double ppm = 0.0;
+  /// Misc integer: GPS wrong-second label offset, babble frame bytes.
+  std::int64_t param = 0;
+  /// kPartition: the stations on the isolated side of the cut.
+  std::vector<int> group;
+
+  // ---- builders ----------------------------------------------------------
+  static FaultSpec frame_loss(double rate, SimTime start = SimTime::epoch(),
+                              SimTime end = SimTime::never(), int rx_node = -1);
+  static FaultSpec frame_corrupt(double rate, SimTime start = SimTime::epoch(),
+                                 SimTime end = SimTime::never());
+  static FaultSpec partition(std::vector<int> group, SimTime start, SimTime end);
+  static FaultSpec delay_spike(double rate, Duration magnitude,
+                               SimTime start = SimTime::epoch(),
+                               SimTime end = SimTime::never(), int rx_node = -1);
+  static FaultSpec node_crash(int node, SimTime crash, SimTime restart,
+                              Duration cold_scatter = Duration::us(300));
+  static FaultSpec babbling_idiot(int node, SimTime start, SimTime end,
+                                  Duration gap = Duration::us(600),
+                                  std::int64_t frame_bytes = 512);
+  static FaultSpec missed_trigger(double rate, int node = -1,
+                                  SimTime start = SimTime::epoch(),
+                                  SimTime end = SimTime::never());
+  static FaultSpec stale_latch(double rate, int node = -1,
+                               SimTime start = SimTime::epoch(),
+                               SimTime end = SimTime::never());
+  /// `one_sided` yanks by exactly +magnitude every period (a consistently
+  /// biased Byzantine clock); the default draws uniform +-magnitude.
+  static FaultSpec clock_yank(int node, Duration magnitude, Duration period,
+                              SimTime start = SimTime::epoch(),
+                              SimTime end = SimTime::never(),
+                              bool one_sided = false);
+  static FaultSpec freq_step(int node, double ppm, SimTime start,
+                             SimTime end = SimTime::never());
+  static FaultSpec gps_offset_spike(int node, Duration magnitude, SimTime start,
+                                    SimTime end);
+  static FaultSpec gps_omission(int node, SimTime start, SimTime end);
+  static FaultSpec gps_stuck(int node, Duration ramp_per_sec, SimTime start,
+                             SimTime end);
+  static FaultSpec gps_wrong_second(int node, std::int64_t label_offset,
+                                    SimTime start, SimTime end);
+  static FaultSpec gps_ramp(int node, Duration ramp_per_sec, SimTime start,
+                            SimTime end);
+};
+
+/// True for the kinds that translate into gps::FaultWindow.
+bool is_gps_kind(Kind k);
+
+/// Translate a GPS-kind spec into the receiver-level window (asserts on
+/// non-GPS kinds).
+gps::FaultWindow to_gps_window(const FaultSpec& s);
+
+/// Lift a legacy receiver-level window into a plan spec targeting `node`.
+FaultSpec from_gps_window(int node, const gps::FaultWindow& w);
+
+/// Thin compat alias for pre-plan call sites (the receiver-level window
+/// type remains the mechanism; the plan is the policy surface).
+using GpsFaultWindow = gps::FaultWindow;
+
+/// The declarative fault scenario handed to cluster::ClusterConfig.
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+  FaultPlan& add(FaultSpec s) {
+    specs.push_back(std::move(s));
+    return *this;
+  }
+  /// Specs of one kind (e.g. all partitions), preserving plan order.
+  std::vector<const FaultSpec*> of_kind(Kind k) const;
+};
+
+}  // namespace nti::fault

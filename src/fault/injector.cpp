@@ -1,0 +1,312 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/phi.hpp"
+
+namespace nti::fault {
+
+namespace {
+
+/// Corruptible wire region: the checksum-protected stamp words that the
+/// CPLD maps into the transmit header (tx_map_timestamp 0x18 through
+/// tx_map_alpha+3 = 0x23 would include the alpha word, which the checksum
+/// does NOT cover -- so flips are confined to the 64 time bits at byte
+/// offsets [0x18, 0x20), every one of which time_checksum8 detects).
+constexpr std::int64_t kStampBitBase = 0x18 * 8;
+constexpr std::int64_t kStampBits = 64;
+
+}  // namespace
+
+Injector::Injector(sim::Engine& engine, FaultPlan plan, RngStream rng)
+    : engine_(engine), plan_(std::move(plan)), rng_(rng) {
+  spec_rng_.reserve(plan_.specs.size());
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    spec_rng_.push_back(rng_.fork("spec", i));
+  }
+}
+
+void Injector::attach_medium(net::Medium& medium) {
+  medium_ = &medium;
+  medium.set_tap(this);
+}
+
+void Injector::attach_node(int node, node::NodeCard& card,
+                           csa::SyncNode& sync) {
+  nodes_[node] = NodeRef{&card, &sync};
+}
+
+bool Injector::in_group(const FaultSpec& s, int station) {
+  return std::find(s.group.begin(), s.group.end(), station) != s.group.end();
+}
+
+bool Injector::node_down(int node) const {
+  return node >= 0 && static_cast<std::size_t>(node) < down_.size() &&
+         down_[static_cast<std::size_t>(node)];
+}
+
+Injector::NodeRef& Injector::target(const FaultSpec& s) {
+  assert(nodes_.count(s.node) != 0 && "fault spec targets an unattached node");
+  return nodes_.at(s.node);
+}
+
+void Injector::trace_fault(obs::TraceType type, Kind k, int node,
+                           std::int64_t detail) {
+  if (trace_ == nullptr) return;
+  trace_->push(engine_.now(), type, node, static_cast<std::int64_t>(k), detail);
+}
+
+void Injector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& s = plan_.specs[i];
+    switch (s.kind) {
+      case Kind::kNodeCrash:
+        arm_crash(i);
+        break;
+      case Kind::kClockYank:
+        engine_.schedule_at(s.start, [this, i] { yank_tick(i); });
+        break;
+      case Kind::kFreqStep:
+        arm_freq_step(i);
+        break;
+      case Kind::kBabblingIdiot:
+        engine_.schedule_at(s.start, [this, i] { babble_tick(i, true); });
+        break;
+      case Kind::kPartition:
+        arm_window_markers(i, /*count_at_start=*/true);
+        break;
+      default:
+        // GPS kinds are enacted by the receiver model (Cluster translates
+        // them to gps::FaultWindow); trace + count their window edges here
+        // so the unified trace covers them too.  Stochastic medium/driver
+        // kinds need no scheduled events -- the tap / driver hooks consult
+        // the window per delivery, and each hit is individually visible as
+        // a kFrameDrop / kFaultInject record.
+        if (is_gps_kind(s.kind)) arm_window_markers(i, /*count_at_start=*/true);
+        break;
+    }
+  }
+  install_driver_hooks();
+}
+
+void Injector::arm_crash(std::size_t idx) {
+  const FaultSpec& spec = plan_.specs[idx];
+  engine_.schedule_at(spec.start, [this, idx] {
+    const FaultSpec& s = plan_.specs[idx];
+    NodeRef& nr = target(s);
+    nr.sync->stop();
+    if (static_cast<std::size_t>(s.node) >= down_.size()) {
+      down_.resize(static_cast<std::size_t>(s.node) + 1, false);
+    }
+    down_[static_cast<std::size_t>(s.node)] = true;
+    count(Kind::kNodeCrash);
+    trace_fault(obs::TraceType::kFaultInject, s.kind, s.node, 0);
+  });
+  if (spec.end == SimTime::never()) return;
+  engine_.schedule_at(spec.end, [this, idx] {
+    const FaultSpec& s = plan_.specs[idx];
+    NodeRef& nr = target(s);
+    down_[static_cast<std::size_t>(s.node)] = false;
+    // Cold rejoin: the rebooted CPU knows the time only roughly (battery
+    // RTC / neighbor hint), modeled as truth +- cold_scatter with an
+    // honest alpha0 covering the scatter.  Re-integration then happens
+    // through ordinary CSA rounds -- no special protocol.
+    const SimTime now = engine_.now();
+    const Duration truth = now - SimTime::epoch();
+    const Duration scatter = spec_rng_[idx].uniform(-s.magnitude, s.magnitude);
+    const Duration value = truth + scatter;
+    const Duration alpha0 = s.magnitude + Duration::us(2);
+    const Duration period = nr.sync->config().round_period;
+    const auto first_round =
+        static_cast<std::uint32_t>(value.count_ps() / period.count_ps()) + 2;
+    nr.sync->start(value, alpha0, first_round);
+    ++recoveries_;
+    trace_fault(obs::TraceType::kFaultClear, s.kind, s.node,
+                scatter.count_ps());
+  });
+}
+
+void Injector::yank_tick(std::size_t idx) {
+  const FaultSpec& s = plan_.specs[idx];
+  const SimTime now = engine_.now();
+  if (now >= s.end) {
+    ++recoveries_;
+    trace_fault(obs::TraceType::kFaultClear, s.kind, s.node, 0);
+    return;
+  }
+  NodeRef& nr = target(s);
+  const Duration yank = s.param != 0
+                            ? s.magnitude
+                            : spec_rng_[idx].uniform(-s.magnitude, s.magnitude);
+  nr.card->chip().ltu().set_state(
+      now, Phi::from_duration(nr.card->true_clock(now) + yank));
+  count(Kind::kClockYank);
+  trace_fault(obs::TraceType::kFaultInject, s.kind, s.node, yank.count_ps());
+  if (s.period <= Duration::zero()) return;  // one-shot yank
+  engine_.schedule_at(now + s.period, [this, idx] { yank_tick(idx); });
+}
+
+void Injector::arm_freq_step(std::size_t idx) {
+  const FaultSpec& spec = plan_.specs[idx];
+  engine_.schedule_at(spec.start, [this, idx] {
+    const FaultSpec& s = plan_.specs[idx];
+    auto& ltu = target(s).card->chip().ltu();
+    const double factor = 1.0 + s.ppm * 1e-6;
+    ltu.set_step(engine_.now(), static_cast<std::uint64_t>(std::llround(
+                                    static_cast<double>(ltu.step()) * factor)));
+    count(Kind::kFreqStep);
+    trace_fault(obs::TraceType::kFaultInject, s.kind, s.node,
+                std::llround(s.ppm * 1000.0));
+  });
+  if (spec.end == SimTime::never()) return;
+  engine_.schedule_at(spec.end, [this, idx] {
+    const FaultSpec& s = plan_.specs[idx];
+    auto& ltu = target(s).card->chip().ltu();
+    // Undo multiplicatively against the *current* STEP so legitimate rate-
+    // sync adjustments made during the window survive the restore.
+    const double factor = 1.0 + s.ppm * 1e-6;
+    ltu.set_step(engine_.now(), static_cast<std::uint64_t>(std::llround(
+                                    static_cast<double>(ltu.step()) / factor)));
+    ++recoveries_;
+    trace_fault(obs::TraceType::kFaultClear, s.kind, s.node,
+                std::llround(s.ppm * 1000.0));
+  });
+}
+
+void Injector::babble_tick(std::size_t idx, bool first) {
+  const FaultSpec& s = plan_.specs[idx];
+  const SimTime now = engine_.now();
+  if (now >= s.end) {
+    if (!first) {
+      ++recoveries_;
+      trace_fault(obs::TraceType::kFaultClear, s.kind, s.node, 0);
+    }
+    return;
+  }
+  if (first) trace_fault(obs::TraceType::kFaultInject, s.kind, s.node, s.param);
+  target(s).card->driver().send_data(0x0B0B,
+                                     static_cast<std::size_t>(s.param));
+  count(Kind::kBabblingIdiot);
+  if (s.period <= Duration::zero()) return;  // degenerate: single frame
+  engine_.schedule_at(now + s.period, [this, idx] { babble_tick(idx, false); });
+}
+
+void Injector::arm_window_markers(std::size_t idx, bool count_at_start) {
+  const FaultSpec& spec = plan_.specs[idx];
+  engine_.schedule_at(spec.start, [this, idx, count_at_start] {
+    const FaultSpec& s = plan_.specs[idx];
+    if (count_at_start) count(s.kind);
+    trace_fault(obs::TraceType::kFaultInject, s.kind, s.node, 0);
+  });
+  if (spec.end == SimTime::never()) return;
+  engine_.schedule_at(spec.end, [this, idx] {
+    const FaultSpec& s = plan_.specs[idx];
+    ++recoveries_;
+    trace_fault(obs::TraceType::kFaultClear, s.kind, s.node, 0);
+  });
+}
+
+void Injector::install_driver_hooks() {
+  for (auto& [node, ref] : nodes_) {
+    std::vector<std::size_t> miss, stale;
+    for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+      const FaultSpec& s = plan_.specs[i];
+      if (s.node >= 0 && s.node != node) continue;
+      if (s.kind == Kind::kMissedTrigger) miss.push_back(i);
+      if (s.kind == Kind::kStaleLatch) stale.push_back(i);
+    }
+    const int id = node;
+    if (!miss.empty()) {
+      ref.card->driver().fault_miss_trigger = [this, miss, id] {
+        const SimTime now = engine_.now();
+        for (const std::size_t i : miss) {
+          const FaultSpec& s = plan_.specs[i];
+          if (active(s, now) && spec_rng_[i].chance(s.rate)) {
+            count(Kind::kMissedTrigger);
+            trace_fault(obs::TraceType::kFaultInject, s.kind, id, 0);
+            return true;
+          }
+        }
+        return false;
+      };
+    }
+    if (!stale.empty()) {
+      ref.card->driver().fault_stale_latch = [this, stale, id] {
+        const SimTime now = engine_.now();
+        for (const std::size_t i : stale) {
+          const FaultSpec& s = plan_.specs[i];
+          if (active(s, now) && spec_rng_[i].chance(s.rate)) {
+            count(Kind::kStaleLatch);
+            trace_fault(obs::TraceType::kFaultInject, s.kind, id, 0);
+            return true;
+          }
+        }
+        return false;
+      };
+    }
+  }
+}
+
+obs::DiscardReason Injector::rx_drop(int src, int dst, const net::Frame&) {
+  if (node_down(src) || node_down(dst)) return obs::DiscardReason::kNodeDown;
+  const SimTime now = engine_.now();
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& s = plan_.specs[i];
+    if (!active(s, now)) continue;
+    if (s.kind == Kind::kPartition) {
+      if (in_group(s, src) != in_group(s, dst)) {
+        return obs::DiscardReason::kPartition;
+      }
+    } else if (s.kind == Kind::kFrameLoss) {
+      if ((s.node < 0 || s.node == dst) && spec_rng_[i].chance(s.rate)) {
+        count(Kind::kFrameLoss);
+        return obs::DiscardReason::kInjectedLoss;
+      }
+    }
+  }
+  return obs::DiscardReason::kNone;
+}
+
+Duration Injector::rx_extra_delay(int src, int dst) {
+  (void)src;
+  const SimTime now = engine_.now();
+  Duration extra = Duration::zero();
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& s = plan_.specs[i];
+    if (s.kind != Kind::kDelaySpike || !active(s, now)) continue;
+    if ((s.node < 0 || s.node == dst) && spec_rng_[i].chance(s.rate)) {
+      count(Kind::kDelaySpike);
+      extra = extra + s.magnitude;
+    }
+  }
+  return extra;
+}
+
+std::int64_t Injector::corrupt_bit(const net::Frame& f) {
+  const SimTime now = engine_.now();
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& s = plan_.specs[i];
+    if (s.kind != Kind::kFrameCorrupt || !active(s, now)) continue;
+    if (!spec_rng_[i].chance(s.rate)) continue;
+    if (f.bytes.size() < 0x20) return -1;  // runt: no stamp words on the wire
+    count(Kind::kFrameCorrupt);
+    return kStampBitBase + spec_rng_[i].uniform_int(0, kStampBits - 1);
+  }
+  return -1;
+}
+
+void Injector::register_metrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) {
+  for (std::size_t k = 0; k < kNumKinds; ++k) {
+    reg.add_counter(prefix + "injected." + to_string(static_cast<Kind>(k)),
+                    &counts_[k]);
+  }
+  reg.add_counter(prefix + "injections_total", &total_);
+  reg.add_counter(prefix + "recoveries", &recoveries_);
+}
+
+}  // namespace nti::fault

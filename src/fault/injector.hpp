@@ -1,0 +1,118 @@
+// fault::Injector: enacts a FaultPlan against a live cluster.
+//
+// One injector owns all fault mechanisms of a scenario:
+//   * as the Medium's MediumTap it decides, per delivery, about injected
+//     frame loss, partition cuts, node-down blackout and delay spikes, and
+//     picks the corruption bit for wire-level flips (always inside the
+//     checksum-protected stamp words 0x18..0x1F, so every injected flip is
+//     detectable by time_checksum8 -- the property the stamp checksum
+//     exists for);
+//   * scheduled engine events drive the windowed faults: node crash (stops
+//     the SyncNode; inbound/outbound frames blackholed) and cold-clock
+//     rejoin at restart, Byzantine clock yanks, oscillator frequency
+//     steps, babbling-idiot data floods;
+//   * closures installed on CiDriver enact the NTI/COMCO-layer faults
+//     (missed RECEIVE trigger, stale SSU latch);
+//   * GPS-kind specs are *not* enacted here -- the Cluster translates them
+//     into gps::FaultWindow on the targeted receivers -- but the injector
+//     still traces their window edges so the trace tells one story.
+//
+// Determinism: every stochastic choice draws from a per-spec RngStream
+// forked off the injector's stream (itself forked off the cluster seed),
+// in medium-event order, which the engine makes deterministic.  Same seed,
+// same plan => bit-identical injections.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+#include "csa/sync.hpp"
+#include "fault/fault.hpp"
+#include "net/medium.hpp"
+#include "node/node_card.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::fault {
+
+class Injector final : public net::MediumTap {
+ public:
+  Injector(sim::Engine& engine, FaultPlan plan, RngStream rng);
+
+  /// Install this injector as the medium's delivery tap.
+  void attach_medium(net::Medium& medium);
+  /// Register a node's card + sync algorithm as an injection target.
+  /// Station index == node id for cluster-attached node ports.
+  void attach_node(int node, node::NodeCard& card, csa::SyncNode& sync);
+
+  /// Schedule all windowed/periodic fault events and install the driver
+  /// hooks.  Call once, after every attach_* and after the SyncNodes have
+  /// started (Cluster::start does; schedule_at clamps past windows to now).
+  void arm();
+
+  /// Trace every injection/recovery as kFaultInject/kFaultClear records.
+  /// Borrowed, not owned; nullptr disables.
+  void set_trace(obs::TraceRing* ring) { trace_ = ring; }
+
+  /// Per-kind injection counters under `prefix` (e.g. "fault."):
+  /// `<prefix>injected.<kind>` plus `<prefix>injections_total` and
+  /// `<prefix>recoveries`.  The injector must outlive registry snapshots.
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
+  // -- MediumTap ----------------------------------------------------------
+  obs::DiscardReason rx_drop(int src, int dst, const net::Frame& f) override;
+  Duration rx_extra_delay(int src, int dst) override;
+  std::int64_t corrupt_bit(const net::Frame& f) override;
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t injections(Kind k) const {
+    return counts_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t total_injections() const { return total_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  bool node_down(int node) const;
+
+ private:
+  struct NodeRef {
+    node::NodeCard* card = nullptr;
+    csa::SyncNode* sync = nullptr;
+  };
+
+  static bool active(const FaultSpec& s, SimTime t) {
+    return t >= s.start && t < s.end;
+  }
+  static bool in_group(const FaultSpec& s, int station);
+  void count(Kind k) {
+    ++counts_[static_cast<std::size_t>(k)];
+    ++total_;
+  }
+  void trace_fault(obs::TraceType type, Kind k, int node, std::int64_t detail);
+  void arm_crash(std::size_t idx);
+  void arm_freq_step(std::size_t idx);
+  void arm_window_markers(std::size_t idx, bool count_at_start);
+  void yank_tick(std::size_t idx);
+  void babble_tick(std::size_t idx, bool first);
+  void install_driver_hooks();
+  NodeRef& target(const FaultSpec& s);
+
+  sim::Engine& engine_;
+  FaultPlan plan_;
+  RngStream rng_;
+  std::vector<RngStream> spec_rng_;  ///< one fork per spec, by plan index
+  net::Medium* medium_ = nullptr;
+  std::map<int, NodeRef> nodes_;
+  std::vector<bool> down_;  ///< indexed by node id (grown on demand)
+  std::array<std::uint64_t, kNumKinds> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t recoveries_ = 0;
+  bool armed_ = false;
+  obs::TraceRing* trace_ = nullptr;
+};
+
+}  // namespace nti::fault

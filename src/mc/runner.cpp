@@ -83,6 +83,11 @@ ReplicaResult Runner::run_replica(std::size_t index) const {
   ctx.metric("accuracy_max_us", cl.accuracy_samples().max() * 1e-6);
   ctx.metric("alpha_mean_us", cl.alpha_samples().mean() * 1e-6);
   ctx.metric("violations", static_cast<double>(out.violations));
+  if (auto* inj = cl.fault_injector(); inj != nullptr) {
+    ctx.metric("fault_injections",
+               static_cast<double>(inj->total_injections()));
+    ctx.metric("fault_recoveries", static_cast<double>(inj->recoveries()));
+  }
   if (extractor_) extractor_(ctx);
 
   std::stable_sort(out.metrics.begin(), out.metrics.end(),

@@ -21,22 +21,33 @@ Duration Medium::frame_air_time(std::size_t frame_bytes) const {
   return byte_time_ * static_cast<std::int64_t>(frame_bytes + static_cast<std::size_t>(cfg_.preamble_bytes));
 }
 
-void Medium::transmit(MacPort& port, Frame frame) {
+void Medium::record_drop(MacPort& station, const Frame& frame, SimTime t,
+                         obs::DiscardReason reason) {
+  ++station.drops_;
+  if (trace_ != nullptr) {
+    trace_->push(t, obs::TraceType::kFrameDrop, station.station_,
+                 static_cast<std::int64_t>(frame.id),
+                 static_cast<std::int64_t>(reason));
+  }
+  if (spans_ != nullptr) {
+    spans_->record(frame.trace_id, obs::SpanStage::kDiscarded, t,
+                   station.station_, static_cast<std::int64_t>(reason));
+  }
+}
+
+bool Medium::transmit(MacPort& port, Frame frame) {
+  frame.src_station = port.station_;
+  frame.id = next_frame_id_++;
   if (port.queue_.size() >= cfg_.tx_queue_cap) {
     // Transmit-ring overflow: a saturated channel cannot drain offered
     // load; real controllers tail-drop exactly like this.
     ++queue_drops_;
-    if (spans_ != nullptr) {
-      spans_->record(frame.trace_id, obs::SpanStage::kDiscarded, engine_.now(),
-                     port.station_,
-                     static_cast<std::int64_t>(obs::DiscardReason::kQueueDrop));
-    }
-    return;
+    record_drop(port, frame, engine_.now(), obs::DiscardReason::kQueueDrop);
+    return false;
   }
-  frame.src_station = port.station_;
-  frame.id = next_frame_id_++;
   port.queue_.push_back(std::move(frame));
   try_start(static_cast<std::size_t>(port.station_));
+  return true;
 }
 
 void Medium::try_start(std::size_t port_idx) {
@@ -105,11 +116,7 @@ void Medium::start_contention_round(SimTime when) {
           p.queue_.erase(p.queue_.begin());
           p.attempts_ = 0;
           ++tx_aborts_;
-          if (spans_ != nullptr) {
-            spans_->record(dropped.trace_id, obs::SpanStage::kDiscarded, start,
-                           p.station_,
-                           static_cast<std::int64_t>(obs::DiscardReason::kTxAbort));
-          }
+          record_drop(p, dropped, start, obs::DiscardReason::kTxAbort);
           if (p.on_tx_abort) p.on_tx_abort(dropped);
           someone_aborted = true;
         }
@@ -143,6 +150,19 @@ void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
   const Duration air = frame_air_time(frame->bytes.size());
   busy_until_ = wire_start + air;
 
+  // Wire-level fault tap: one bit flip per transmission (all receivers see
+  // the same corrupted signal on a shared bus).
+  if (tap_ != nullptr) {
+    frame->corrupt_bit = tap_->corrupt_bit(*frame);
+    if (frame->corrupt_bit >= 0) {
+      ++corrupted_frames_;
+      if (trace_ != nullptr) {
+        trace_->push(wire_start, obs::TraceType::kFaultInject, port.station_,
+                     static_cast<std::int64_t>(frame->id), frame->corrupt_bit);
+      }
+    }
+  }
+
   engine_.schedule_at(wire_start, [this, &port, frame, wire_start] {
     if (trace_ != nullptr) {
       trace_->push(wire_start, obs::TraceType::kFrameTx, port.station_,
@@ -165,9 +185,24 @@ void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
     const auto hops = static_cast<std::int64_t>(
         i > port_idx ? i - port_idx : port_idx - i);
     const Duration prop = cfg_.propagation_per_station * hops;
+    Duration extra = Duration::zero();
+    if (tap_ != nullptr) {
+      const obs::DiscardReason drop =
+          tap_->rx_drop(frame->src_station, rx.station_, *frame);
+      if (drop != obs::DiscardReason::kNone) {
+        switch (drop) {
+          case obs::DiscardReason::kPartition: ++partition_drops_; break;
+          case obs::DiscardReason::kNodeDown: ++node_down_drops_; break;
+          default: ++injected_losses_; break;
+        }
+        record_drop(rx, *frame, wire_start + prop, drop);
+        continue;
+      }
+      extra = tap_->rx_extra_delay(frame->src_station, rx.station_);
+    }
     RxTiming timing;
     timing.wire_start = wire_start;
-    timing.rx_start = wire_start + prop;
+    timing.rx_start = wire_start + prop + extra;
     timing.rx_end = timing.rx_start + air;
     timing.byte_time = byte_time_;
     delivered_at = std::max(delivered_at, timing.rx_end);
@@ -203,6 +238,15 @@ void Medium::register_metrics(obs::MetricsRegistry& reg, const std::string& pref
   reg.add_counter(prefix + "collisions", &collisions_);
   reg.add_counter(prefix + "queue_drops", &queue_drops_);
   reg.add_counter(prefix + "tx_aborts", &tx_aborts_);
+  reg.add_counter(prefix + "injected_losses", &injected_losses_);
+  reg.add_counter(prefix + "partition_drops", &partition_drops_);
+  reg.add_counter(prefix + "node_down_drops", &node_down_drops_);
+  reg.add_counter(prefix + "corrupted_frames", &corrupted_frames_);
+  for (const auto& p : ports_) {
+    reg.add_counter(
+        prefix + "station" + std::to_string(p->station_) + ".drops",
+        &p->drops_);
+  }
 }
 
 }  // namespace nti::net

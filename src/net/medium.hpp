@@ -48,6 +48,13 @@ struct Frame {
   /// CSP span id (obs::SpanCollector), 0 for untraced frames (background
   /// traffic, plain data).  Simulation metadata like `id`: never on the wire.
   std::uint64_t trace_id = 0;
+  /// Wire-level corruption: index of one flipped bit (-1 = clean).  Set by
+  /// the fault tap at wire start; since the medium is a shared bus, every
+  /// receiver sees the same flip.  The frame's `bytes` are filled *late*
+  /// (at the sender's DMA-fill instant) on shared storage, so the flip is
+  /// applied on the receive side, when the COMCO copies the byte into NTI
+  /// memory -- not by mutating the shared payload.
+  std::int64_t corrupt_bit = -1;
 };
 
 /// Timing handed to receivers along with the frame.
@@ -59,6 +66,24 @@ struct RxTiming {
 };
 
 class Medium;
+
+/// Fault-injection hook consulted by the Medium on every transmission.
+/// Implemented by fault::Injector; all methods must be deterministic given
+/// the simulation state (draws come from a forked RngStream, consulted in
+/// event order).  The default-free interface keeps net/ independent of the
+/// fault library.
+class MediumTap {
+ public:
+  virtual ~MediumTap() = default;
+  /// Per-receiver verdict: kNone delivers, anything else drops the frame at
+  /// `dst` with that reason (kInjectedLoss, kPartition, kNodeDown, ...).
+  virtual obs::DiscardReason rx_drop(int src, int dst, const Frame& f) = 0;
+  /// Extra receive-path delay at `dst` (zero for none): a delay spike.
+  virtual Duration rx_extra_delay(int src, int dst) = 0;
+  /// Wire-level corruption: bit index to flip in the frame, or -1 for a
+  /// clean transmission.  Consulted once per frame, at wire start.
+  virtual std::int64_t corrupt_bit(const Frame& f) = 0;
+};
 
 /// One station's attachment point.  The owner (a COMCO model) implements
 /// the callbacks; transmission is requested through the port and the MAC
@@ -80,6 +105,10 @@ class MacPort {
   std::function<void(const Frame&)> on_tx_abort;
 
   int station() const { return station_; }
+  /// Frames this station lost to any drop cause: its own tx-queue
+  /// overflows plus receive-side drops (injected loss, partition, node
+  /// down).  Every increment leaves a kFrameDrop trace record.
+  std::uint64_t drops() const { return drops_; }
 
  private:
   friend class Medium;
@@ -87,6 +116,7 @@ class MacPort {
   std::vector<Frame> queue_;  ///< FIFO of frames awaiting transmission
   int attempts_ = 0;
   bool backing_off_ = false;
+  std::uint64_t drops_ = 0;
 };
 
 class Medium {
@@ -97,8 +127,11 @@ class Medium {
   /// address for the lifetime of the Medium).
   MacPort& attach();
 
-  /// Enqueue a frame for transmission from the given port.
-  void transmit(MacPort& port, Frame frame);
+  /// Enqueue a frame for transmission from the given port.  Returns false
+  /// when the tx ring is full and the frame was tail-dropped -- the caller
+  /// must not expect a wire start for it (comco::Comco keeps its pending-tx
+  /// bookkeeping in sync through this).
+  bool transmit(MacPort& port, Frame frame);
 
   /// True while a frame occupies the wire.
   bool carrier(SimTime now) const { return now < busy_until_; }
@@ -118,6 +151,12 @@ class Medium {
   /// Frames abandoned after max_attempts collisions (excessive-collision
   /// aborts; each one also invoked its port's on_tx_abort).
   std::uint64_t tx_aborts() const { return tx_aborts_; }
+  /// Fault-tap drop tallies (zero without a tap): stochastic per-receiver
+  /// losses, partition cuts, crashed-node cuts, injected bit flips.
+  std::uint64_t injected_losses() const { return injected_losses_; }
+  std::uint64_t partition_drops() const { return partition_drops_; }
+  std::uint64_t node_down_drops() const { return node_down_drops_; }
+  std::uint64_t corrupted_frames() const { return corrupted_frames_; }
 
   /// Export the MAC counters into `reg` under `prefix` (e.g. "net.medium.");
   /// the Medium must outlive snapshots of `reg`.
@@ -132,7 +171,15 @@ class Medium {
   /// excessive-collision aborts).  Borrowed, not owned; nullptr disables.
   void set_spans(obs::SpanCollector* spans) { spans_ = spans; }
 
+  /// Install the fault-injection tap (loss / partition / delay spikes /
+  /// corruption).  Borrowed, not owned; nullptr removes it.
+  void set_tap(MediumTap* tap) { tap_ = tap; }
+
  private:
+  /// Common accounting for every frame lost at `station`: per-station drop
+  /// counter, kFrameDrop trace record, kDiscarded span stage.
+  void record_drop(MacPort& station, const Frame& frame, SimTime t,
+                   obs::DiscardReason reason);
   void try_start(std::size_t port_idx);
   void start_contention_round(SimTime when);
   void begin_transmission(std::size_t port_idx);
@@ -150,8 +197,13 @@ class Medium {
   std::uint64_t collisions_ = 0;
   std::uint64_t queue_drops_ = 0;
   std::uint64_t tx_aborts_ = 0;
+  std::uint64_t injected_losses_ = 0;
+  std::uint64_t partition_drops_ = 0;
+  std::uint64_t node_down_drops_ = 0;
+  std::uint64_t corrupted_frames_ = 0;
   obs::TraceRing* trace_ = nullptr;
   obs::SpanCollector* spans_ = nullptr;
+  MediumTap* tap_ = nullptr;
 };
 
 }  // namespace nti::net

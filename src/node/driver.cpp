@@ -142,7 +142,19 @@ void CiDriver::isr_nti(std::uint8_t vector) {
       saved.timestamp = nti_.cpu_read32(now, ssu_base + utcsu::kSsuRxTimestamp);
       saved.macrostamp = nti_.cpu_read32(now, ssu_base + utcsu::kSsuRxMacro);
       saved.alpha = nti_.cpu_read32(now, ssu_base + utcsu::kSsuRxAlpha);
-      saved_stamps_[hdr] = saved;
+      if (fault_stale_latch && have_last_latch_ && fault_stale_latch()) {
+        // Injected SSU latch failure: the registers still hold the previous
+        // capture, so that is what gets parked for this packet.
+        saved_stamps_[hdr] = last_latch_;
+      } else if (fault_miss_trigger && fault_miss_trigger()) {
+        // Injected lost RECEIVE trigger: no capture happened for this
+        // packet, nothing to park (the ISR still acks the spurious status).
+        saved_stamps_.erase(hdr);
+      } else {
+        saved_stamps_[hdr] = saved;
+      }
+      last_latch_ = saved;
+      have_last_latch_ = true;
       // Ack the SSU and the UTCSU interrupt source.
       nti_.cpu_write32(now, ssu_base + utcsu::kSsuStatus,
                        utcsu::kSsuStatusRxValid | utcsu::kSsuStatusRxOverrun);
@@ -208,6 +220,10 @@ void CiDriver::isr_rx_complete(int rx_slot, std::size_t payload_len) {
       nti_.cpu_read32(now, hdr + nti_.program().tx_map_timestamp),
       nti_.cpu_read32(now, hdr + nti_.program().tx_map_macrostamp),
       nti_.cpu_read32(now, hdr + nti_.program().tx_map_alpha));
+  // Wire corruption of the sender's mapped stamp words lands here: count it
+  // so transmission errors are never silently absorbed (the CSA separately
+  // discards the observation as invalid).
+  if (!csp.tx_stamp.checksum_ok) ++stats_.checksum_failures;
   if (const auto it = saved_stamps_.find(hdr); it != saved_stamps_.end()) {
     csp.rx_raw_timestamp = it->second.timestamp;
     csp.rx_raw_macrostamp = it->second.macrostamp;

@@ -94,6 +94,19 @@ class CiDriver {
   /// disables tracing (every transmit then carries trace id 0).
   void set_spans(obs::SpanCollector* spans) { spans_ = spans; }
 
+  /// NTI/COMCO-layer fault hooks (installed by fault::Injector; unset =
+  /// healthy hardware).  Consulted in the INTN ISR when a receive stamp is
+  /// waiting:
+  ///   fault_miss_trigger  true => the RECEIVE trigger was lost (CPLD glitch
+  ///     / race): the stamp is not parked, so the packet is delivered with
+  ///     rx_stamp_valid = false and the CSA discards it as invalid.
+  ///   fault_stale_latch  true => the SSU latch failed to update: the
+  ///     *previous* capture's registers are parked for this packet.  The
+  ///     driver's freshness check catches stale stamps older than one
+  ///     frame-plus-ISR window; younger ones model a genuinely faulty node.
+  std::function<bool()> fault_miss_trigger;
+  std::function<bool()> fault_stale_latch;
+
   /// Whether this driver demultiplexes duty-timer / GPS interrupts.  On a
   /// gateway node several drivers share one UTCSU; exactly one of them
   /// (the primary) must own the INTT/INTA demux, or they race to ack the
@@ -130,6 +143,8 @@ class CiDriver {
   /// the rx-complete ISR picks them up (see isr_nti for why they cannot
   /// live in the header itself).
   std::map<module::Addr, SavedStamp> saved_stamps_;
+  SavedStamp last_latch_{};   ///< previous capture (stale-latch injection)
+  bool have_last_latch_ = false;
   int tx_next_ = 0;
   std::uint32_t seq_ = 0;
   obs::SpanCollector* spans_ = nullptr;

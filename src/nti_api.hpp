@@ -13,6 +13,7 @@
 //   gps/      GPS timing receiver (+ fault injection)
 //   node/     CPU/ISR model and the KI/NI/CI driver
 //   csa/      interval-based clock synchronization algorithms
+//   fault/    unified deterministic fault-injection plans + injector
 //   cluster/  multi-node scenarios and measurement probes
 //   mc/       parallel Monte-Carlo replication over clusters
 #pragma once
@@ -51,5 +52,7 @@
 #include "csa/payload.hpp"
 #include "csa/rtt.hpp"
 #include "csa/sync.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "cluster/cluster.hpp"
 #include "mc/runner.hpp"

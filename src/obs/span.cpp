@@ -22,12 +22,16 @@ const char* to_string(SpanStage s) {
 
 const char* to_string(DiscardReason r) {
   switch (r) {
+    case DiscardReason::kNone: return "none";
     case DiscardReason::kQueueDrop: return "queue_drop";
     case DiscardReason::kTxAbort: return "tx_abort";
     case DiscardReason::kRxOverrun: return "rx_overrun";
     case DiscardReason::kLateRound: return "late_round";
     case DiscardReason::kInvalidStamp: return "invalid_stamp";
     case DiscardReason::kLateArrival: return "late_arrival";
+    case DiscardReason::kInjectedLoss: return "injected_loss";
+    case DiscardReason::kPartition: return "partition";
+    case DiscardReason::kNodeDown: return "node_down";
   }
   return "?";
 }

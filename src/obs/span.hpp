@@ -63,13 +63,18 @@ inline constexpr std::size_t kNumSpanStages = 10;
 const char* to_string(SpanStage s);
 
 /// Why a CSP left the pipeline early (SpanEvent::detail of kDiscarded).
+/// Also the per-receiver drop verdict of a net::MediumTap (kNone = deliver).
 enum class DiscardReason : std::int64_t {
+  kNone = 0,         ///< not discarded (MediumTap "deliver" verdict)
   kQueueDrop = 1,    ///< MAC tx ring overflow (net::Medium)
   kTxAbort = 2,      ///< gave up after max_attempts collisions
   kRxOverrun = 3,    ///< COMCO rx descriptor ring empty
   kLateRound = 4,    ///< CSP for a round we already left
   kInvalidStamp = 5, ///< hardware/software stamp failed validation
   kLateArrival = 6,  ///< arrived after the resync point
+  kInjectedLoss = 7, ///< fault injection: stochastic frame loss
+  kPartition = 8,    ///< fault injection: link partition cut this path
+  kNodeDown = 9,     ///< fault injection: station's node is crashed
 };
 
 const char* to_string(DiscardReason r);

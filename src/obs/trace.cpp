@@ -14,6 +14,9 @@ const char* to_string(TraceType t) {
     case TraceType::kFrameRx: return "frame_rx";
     case TraceType::kCspStamp: return "csp_stamp";
     case TraceType::kResync: return "resync";
+    case TraceType::kFrameDrop: return "frame_drop";
+    case TraceType::kFaultInject: return "fault_inject";
+    case TraceType::kFaultClear: return "fault_clear";
   }
   return "?";
 }

@@ -14,6 +14,9 @@
 //   kFrameRx     node = rx station      a = frame id         b = rx_end ps
 //   kCspStamp    node = local node id   a = src node         b = remote stamp ps
 //   kResync      node = node id         a = round            b = correction ps
+//   kFrameDrop   node = station         a = frame id         b = DiscardReason
+//   kFaultInject node = target node     a = fault::Kind      b = detail (ps/bit)
+//   kFaultClear  node = target node     a = fault::Kind      b = detail
 #pragma once
 
 #include <cstddef>
@@ -31,6 +34,9 @@ enum class TraceType : std::uint8_t {
   kFrameRx = 2,
   kCspStamp = 3,
   kResync = 4,
+  kFrameDrop = 5,
+  kFaultInject = 6,
+  kFaultClear = 7,
 };
 
 const char* to_string(TraceType t);

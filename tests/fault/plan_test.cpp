@@ -1,0 +1,112 @@
+// Unit tests for the declarative fault plan: builder field mapping, kind
+// queries, and the round-trip to the legacy gps::FaultWindow mechanism.
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+
+namespace nti::fault {
+namespace {
+
+const SimTime kT4 = SimTime::epoch() + Duration::sec(4);
+const SimTime kT9 = SimTime::epoch() + Duration::sec(9);
+
+TEST(FaultPlan, BuildersFillTheRightFields) {
+  const FaultSpec loss = FaultSpec::frame_loss(0.25, kT4, kT9, 2);
+  EXPECT_EQ(loss.kind, Kind::kFrameLoss);
+  EXPECT_DOUBLE_EQ(loss.rate, 0.25);
+  EXPECT_EQ(loss.node, 2);
+  EXPECT_EQ(loss.start, kT4);
+  EXPECT_EQ(loss.end, kT9);
+
+  const FaultSpec cut = FaultSpec::partition({3, 4}, kT4, kT9);
+  EXPECT_EQ(cut.kind, Kind::kPartition);
+  EXPECT_EQ(cut.group, (std::vector<int>{3, 4}));
+
+  const FaultSpec crash = FaultSpec::node_crash(1, kT4, kT9, Duration::us(250));
+  EXPECT_EQ(crash.kind, Kind::kNodeCrash);
+  EXPECT_EQ(crash.node, 1);
+  EXPECT_EQ(crash.magnitude, Duration::us(250));
+
+  const FaultSpec yank =
+      FaultSpec::clock_yank(4, Duration::ms(3), Duration::ms(700), kT4);
+  EXPECT_EQ(yank.kind, Kind::kClockYank);
+  EXPECT_EQ(yank.magnitude, Duration::ms(3));
+  EXPECT_EQ(yank.period, Duration::ms(700));
+  EXPECT_EQ(yank.end, SimTime::never());
+
+  const FaultSpec step = FaultSpec::freq_step(2, 1.5, kT4, kT9);
+  EXPECT_EQ(step.kind, Kind::kFreqStep);
+  EXPECT_DOUBLE_EQ(step.ppm, 1.5);
+
+  const FaultSpec babble =
+      FaultSpec::babbling_idiot(0, kT4, kT9, Duration::us(600), 256);
+  EXPECT_EQ(babble.kind, Kind::kBabblingIdiot);
+  EXPECT_EQ(babble.period, Duration::us(600));
+  EXPECT_EQ(babble.param, 256);
+
+  const FaultSpec miss = FaultSpec::missed_trigger(0.1);
+  EXPECT_EQ(miss.kind, Kind::kMissedTrigger);
+  EXPECT_EQ(miss.node, -1);  // every node by default
+  EXPECT_EQ(miss.start, SimTime::epoch());
+  EXPECT_EQ(miss.end, SimTime::never());
+}
+
+TEST(FaultPlan, OfKindPreservesPlanOrder) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.add(FaultSpec::frame_loss(0.1))
+      .add(FaultSpec::frame_corrupt(0.2))
+      .add(FaultSpec::frame_loss(0.3, kT4, kT9));
+  EXPECT_FALSE(plan.empty());
+  const auto losses = plan.of_kind(Kind::kFrameLoss);
+  ASSERT_EQ(losses.size(), 2u);
+  EXPECT_DOUBLE_EQ(losses[0]->rate, 0.1);
+  EXPECT_DOUBLE_EQ(losses[1]->rate, 0.3);
+  EXPECT_EQ(plan.of_kind(Kind::kNodeCrash).size(), 0u);
+}
+
+TEST(FaultPlan, GpsKindPredicate) {
+  EXPECT_TRUE(is_gps_kind(Kind::kGpsOffsetSpike));
+  EXPECT_TRUE(is_gps_kind(Kind::kGpsRamp));
+  EXPECT_FALSE(is_gps_kind(Kind::kFrameLoss));
+  EXPECT_FALSE(is_gps_kind(Kind::kClockYank));
+}
+
+TEST(FaultPlan, GpsWindowRoundTrip) {
+  gps::FaultWindow w{gps::FaultKind::kOffsetSpike, kT4, kT9, Duration::ms(5)};
+  const FaultSpec s = from_gps_window(3, w);
+  EXPECT_EQ(s.kind, Kind::kGpsOffsetSpike);
+  EXPECT_EQ(s.node, 3);
+  const gps::FaultWindow back = to_gps_window(s);
+  EXPECT_EQ(back.kind, w.kind);
+  EXPECT_EQ(back.start, w.start);
+  EXPECT_EQ(back.end, w.end);
+  EXPECT_EQ(back.magnitude, w.magnitude);
+
+  gps::FaultWindow stuck{gps::FaultKind::kStuck, kT4, kT9};
+  stuck.ramp_per_sec = Duration::us(7);
+  const gps::FaultWindow stuck2 = to_gps_window(from_gps_window(0, stuck));
+  EXPECT_EQ(stuck2.kind, gps::FaultKind::kStuck);
+  EXPECT_EQ(stuck2.ramp_per_sec, Duration::us(7));
+
+  gps::FaultWindow wrong{gps::FaultKind::kWrongSecond, kT4, kT9};
+  wrong.label_offset = -2;
+  const gps::FaultWindow wrong2 = to_gps_window(from_gps_window(0, wrong));
+  EXPECT_EQ(wrong2.kind, gps::FaultKind::kWrongSecond);
+  EXPECT_EQ(wrong2.label_offset, -2);
+
+  EXPECT_EQ(to_gps_window(FaultSpec::gps_omission(1, kT4, kT9)).kind,
+            gps::FaultKind::kOmission);
+  EXPECT_EQ(to_gps_window(FaultSpec::gps_ramp(1, Duration::ns(50), kT4, kT9))
+                .ramp_per_sec,
+            Duration::ns(50));
+}
+
+TEST(FaultPlan, ToStringCoversEveryKind) {
+  for (std::size_t k = 0; k < kNumKinds; ++k) {
+    EXPECT_STRNE(to_string(static_cast<Kind>(k)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace nti::fault

@@ -1,9 +1,11 @@
 // Integration: fault injection -- a Byzantine-faulty node and faulty GPS
 // receivers, exercising the fault-tolerance machinery (convergence with
-// f > 0, clock validation).
+// f > 0, clock validation).  All faults are declared through the unified
+// fault::FaultPlan on ClusterConfig (see docs/FAULTS.md); the Byzantine
+// saboteur is the kClockYank injector, the GPS failures are the GPS-kind
+// specs that translate onto the receivers.
 #include <gtest/gtest.h>
 
-#include <memory>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -13,12 +15,21 @@
 namespace nti {
 namespace {
 
+using fault::FaultSpec;
+
 cluster::ClusterConfig base_cfg(int n, int f) {
   cluster::ClusterConfig c;
   c.num_nodes = n;
   c.seed = 4242;
   c.sync.fault_tolerance = f;
   return c;
+}
+
+/// Node 4's clock yanked by +-3 ms every 700 ms -- the shared Byzantine
+/// saboteur of the tests below.
+FaultSpec byzantine_node4() {
+  return FaultSpec::clock_yank(4, Duration::ms(3), Duration::ms(700),
+                               SimTime::epoch() + Duration::ms(350));
 }
 
 /// Max pairwise clock difference over a subset of nodes.
@@ -34,20 +45,12 @@ Duration subset_precision(cluster::Cluster& cl, const std::vector<int>& ids) {
 }
 
 TEST(Faults, ByzantineNodeDoesNotBreakCorrectOnes) {
-  // Node 4's clock is yanked by +- milliseconds every 700 ms; with n = 5,
-  // f = 1 the four correct nodes must stay mutually synchronized.
-  cluster::Cluster cl(base_cfg(5, 1));
+  // With n = 5, f = 1 the four correct nodes must stay mutually
+  // synchronized despite the saboteur.
+  auto cfg = base_cfg(5, 1);
+  cfg.faults.add(byzantine_node4());
+  cluster::Cluster cl(cfg);
   cl.start();
-  RngStream chaos(999);
-  sim::PeriodicTask saboteur(
-      cl.engine(), SimTime::epoch() + Duration::ms(350), Duration::ms(700),
-      [&](std::uint64_t) {
-        auto& ltu = cl.node(4).chip().ltu();
-        const Duration yank = chaos.uniform(-Duration::ms(3), Duration::ms(3));
-        const SimTime now = cl.engine().now();
-        ltu.set_state(now, Phi::from_duration(
-                               cl.node(4).true_clock(now) + yank));
-      });
   SampleSet precision;
   const std::vector<int> correct = {0, 1, 2, 3};
   cl.engine().run_until(SimTime::epoch() + Duration::sec(5));
@@ -55,15 +58,18 @@ TEST(Faults, ByzantineNodeDoesNotBreakCorrectOnes) {
     cl.engine().run_until(cl.engine().now() + Duration::ms(100));
     precision.add(subset_precision(cl, correct));
   }
+  EXPECT_GT(cl.fault_injector()->injections(fault::Kind::kClockYank), 5u);
   EXPECT_LT(precision.max_duration(), Duration::us(10));
 }
 
 TEST(Faults, EnsembleByzantineContainmentHoldsOnNonFaultyNodes) {
   // The single-seed Byzantine test above could be a lucky draw; across an
-  // ensemble of 8 independently seeded replicas -- each with node 4 yanked
-  // by +- milliseconds every 700 ms -- containment violations must stay
-  // zero on every non-faulty node in every replica.
+  // ensemble of 8 independently seeded replicas containment violations
+  // must stay zero on every non-faulty node in every replica.  The plan
+  // rides in ClusterConfig, so each replica's injector forks off its own
+  // replica seed: decorrelated saboteurs for free.
   cluster::ClusterConfig cfg = base_cfg(5, 1);
+  cfg.faults.add(byzantine_node4());
 
   mc::McConfig mcc;
   mcc.replicas = 8;
@@ -77,6 +83,7 @@ TEST(Faults, EnsembleByzantineContainmentHoldsOnNonFaultyNodes) {
   struct PerReplica {
     std::uint64_t nonfaulty_violations = 0;
     std::uint64_t checks = 0;
+    std::uint64_t yanks = 0;
   };
   std::vector<PerReplica> slots(mcc.replicas);
 
@@ -84,18 +91,6 @@ TEST(Faults, EnsembleByzantineContainmentHoldsOnNonFaultyNodes) {
   runner.set_replica_hook([&slots](mc::ReplicaContext& ctx) {
     auto& cl = ctx.cluster();
     PerReplica& slot = slots[ctx.index()];
-    // Saboteur drawing its yanks from a per-replica stream (decorrelated
-    // across replicas, reproducible within one).
-    auto& chaos = ctx.retain<RngStream>(ctx.rng("chaos"));
-    ctx.retain<sim::PeriodicTask>(
-        cl.engine(), SimTime::epoch() + Duration::ms(350), Duration::ms(700),
-        [&cl, &chaos](std::uint64_t) {
-          auto& ltu = cl.node(4).chip().ltu();
-          const Duration yank = chaos.uniform(-Duration::ms(3), Duration::ms(3));
-          const SimTime now = cl.engine().now();
-          ltu.set_state(now,
-                        Phi::from_duration(cl.node(4).true_clock(now) + yank));
-        });
     // Containment watchdog over the non-faulty subset, sampled densely
     // (the cluster's own violations counter includes the faulty node, which
     // is *expected* to break containment).
@@ -114,6 +109,8 @@ TEST(Faults, EnsembleByzantineContainmentHoldsOnNonFaultyNodes) {
         });
   });
   runner.set_extractor([&slots](mc::ReplicaContext& ctx) {
+    slots[ctx.index()].yanks =
+        ctx.cluster().fault_injector()->injections(fault::Kind::kClockYank);
     ctx.metric("nonfaulty_violations",
                static_cast<double>(slots[ctx.index()].nonfaulty_violations));
     ctx.metric("containment_checks",
@@ -128,6 +125,7 @@ TEST(Faults, EnsembleByzantineContainmentHoldsOnNonFaultyNodes) {
   EXPECT_GT(checks->min, 0.0);  // the watchdog actually ran in every replica
   EXPECT_EQ(violations->max, 0.0)
       << "a non-faulty node broke containment in at least one replica";
+  for (const PerReplica& s : slots) EXPECT_GT(s.yanks, 5u);
   // The replicas genuinely differ (decorrelated saboteur + oscillators).
   const mc::EnsembleStat* precision = ens.stat("precision_max_us");
   ASSERT_NE(precision, nullptr);
@@ -135,20 +133,17 @@ TEST(Faults, EnsembleByzantineContainmentHoldsOnNonFaultyNodes) {
 }
 
 TEST(Faults, TooManyFaultsAssumedZeroBreaks) {
-  // Control experiment: with f = 0 the same saboteur corrupts everyone
-  // (the convergence function trusts all inputs).  This demonstrates the
-  // fault-tolerance parameter is load-bearing, not decorative.
-  cluster::Cluster cl(base_cfg(5, 0));
+  // Control experiment: with f = 0 a consistently biased saboteur corrupts
+  // everyone (the convergence function trusts all inputs).  This
+  // demonstrates the fault-tolerance parameter is load-bearing, not
+  // decorative.  One-sided yanks: symmetric ones partially cancel across
+  // rounds and muddy the control.
+  auto cfg = base_cfg(5, 0);
+  cfg.faults.add(FaultSpec::clock_yank(4, Duration::ms(2), Duration::ms(700),
+                                       SimTime::epoch() + Duration::ms(350),
+                                       SimTime::never(), /*one_sided=*/true));
+  cluster::Cluster cl(cfg);
   cl.start();
-  RngStream chaos(999);
-  sim::PeriodicTask saboteur(
-      cl.engine(), SimTime::epoch() + Duration::ms(350), Duration::ms(700),
-      [&](std::uint64_t) {
-        auto& ltu = cl.node(4).chip().ltu();
-        const SimTime now = cl.engine().now();
-        ltu.set_state(now, Phi::from_duration(
-                               cl.node(4).true_clock(now) + Duration::ms(2)));
-      });
   SampleSet precision;
   const std::vector<int> correct = {0, 1, 2, 3};
   cl.engine().run_until(SimTime::epoch() + Duration::sec(5));
@@ -162,12 +157,12 @@ TEST(Faults, TooManyFaultsAssumedZeroBreaks) {
 TEST(Faults, SpikingGpsRejectedByValidation) {
   auto cfg = base_cfg(4, 1);
   cfg.gps_nodes = {0, 1};  // f + 1 receivers (see sync_test.cpp rationale)
-  // Receiver delivers pulses 5 ms off for 10 s mid-run: classic [HS97]
-  // offset failure, far outside the claimed accuracy.
-  gps::FaultWindow w{gps::FaultKind::kOffsetSpike,
-                     SimTime::epoch() + Duration::sec(6),
-                     SimTime::epoch() + Duration::sec(16), Duration::ms(5)};
-  cfg.gps_base.faults.push_back(w);
+  // Receivers deliver pulses 5 ms off for 10 s mid-run: classic [HS97]
+  // offset failure, far outside the claimed accuracy.  node = -1 hits
+  // every receiver, matching the old gps_base.faults semantics.
+  cfg.faults.add(FaultSpec::gps_offset_spike(
+      -1, Duration::ms(5), SimTime::epoch() + Duration::sec(6),
+      SimTime::epoch() + Duration::sec(16)));
   cluster::Cluster cl(cfg);
   int offered = 0, accepted_during_fault = 0;
   cl.sync(0).on_round = [&](const csa::RoundReport& r) {
@@ -191,11 +186,9 @@ TEST(Faults, SpikingGpsRejectedByValidation) {
 TEST(Faults, WrongSecondLabelRejected) {
   auto cfg = base_cfg(4, 1);
   cfg.gps_nodes = {0};
-  gps::FaultWindow w{gps::FaultKind::kWrongSecond,
-                     SimTime::epoch() + Duration::sec(5),
-                     SimTime::epoch() + Duration::sec(15)};
-  w.label_offset = 1;  // a whole second off
-  cfg.gps_base.faults.push_back(w);
+  cfg.faults.add(FaultSpec::gps_wrong_second(
+      0, /*label_offset=*/1, SimTime::epoch() + Duration::sec(5),
+      SimTime::epoch() + Duration::sec(15)));
   cluster::Cluster cl(cfg);
   int accepted_during_fault = 0;
   cl.sync(0).on_round = [&](const csa::RoundReport& r) {
@@ -211,10 +204,9 @@ TEST(Faults, WrongSecondLabelRejected) {
 TEST(Faults, OmittedPulsesMerelyDegrade) {
   auto cfg = base_cfg(4, 1);
   cfg.gps_nodes = {0, 1};
-  gps::FaultWindow w{gps::FaultKind::kOmission,
-                     SimTime::epoch() + Duration::sec(5),
-                     SimTime::epoch() + Duration::sec(12)};
-  cfg.gps_base.faults.push_back(w);
+  cfg.faults.add(FaultSpec::gps_omission(-1,
+                                         SimTime::epoch() + Duration::sec(5),
+                                         SimTime::epoch() + Duration::sec(12)));
   cluster::Cluster cl(cfg);
   cl.start();
   cl.run(Duration::sec(16), Duration::sec(4));
@@ -228,10 +220,9 @@ TEST(Faults, OmittedPulsesMerelyDegrade) {
 TEST(Faults, HealthyGpsAcceptedAgainAfterFault) {
   auto cfg = base_cfg(4, 1);
   cfg.gps_nodes = {0};
-  gps::FaultWindow w{gps::FaultKind::kOffsetSpike,
-                     SimTime::epoch() + Duration::sec(5),
-                     SimTime::epoch() + Duration::sec(10), Duration::ms(2)};
-  cfg.gps_base.faults.push_back(w);
+  cfg.faults.add(FaultSpec::gps_offset_spike(
+      0, Duration::ms(2), SimTime::epoch() + Duration::sec(5),
+      SimTime::epoch() + Duration::sec(10)));
   cluster::Cluster cl(cfg);
   bool accepted_after = false;
   cl.sync(0).on_round = [&](const csa::RoundReport& r) {

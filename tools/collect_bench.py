@@ -13,8 +13,15 @@ deterministically:
       "benches": {"<name>": {"pass": true, "metrics": {...}, "config": {...}},
                   ...},
       "totals": {"count": N, "passed": N, "failed": ["<name>", ...]},
+      "resilience": {...},   # distilled from BENCH_e13_resilience.json
       "artifacts": {"traces": [...], "timeseries": [...]}
     }
+
+The "resilience" section (present only when the e13 fault-matrix bench ran)
+lifts the headline robustness figures to the summary's top level so the
+PR-over-PR trajectory trends them directly: baseline vs worst-cell
+precision, the degradation factor between them, per-cell p99s, and the
+crash-cell rejoin statistics.
 
 Usage: collect_bench.py [directory]   (default: current directory)
 Exit status: 0 when every collected bench passed, 1 otherwise (missing
@@ -23,6 +30,27 @@ Exit status: 0 when every collected bench passed, 1 otherwise (missing
 import json
 import sys
 from pathlib import Path
+
+
+def resilience_section(metrics: dict) -> dict:
+    """Distill the e13 fault-matrix metrics into a trajectory-friendly dict."""
+    baseline = metrics.get("baseline_p99_us")
+    worst = metrics.get("worst_p99_us")
+    section = {
+        "baseline_p99_us": baseline,
+        "worst_p99_us": worst,
+        "degradation_factor": (round(worst / baseline, 3)
+                               if baseline and worst else None),
+        "cells": {},
+        "crash": {},
+    }
+    for key, value in sorted(metrics.items()):
+        if key.startswith("l") and key.endswith(".precision_p99_us"):
+            cell = key.split(".", 1)[0]          # e.g. "l20_c10"
+            section["cells"][cell] = value
+        elif key.startswith("crash."):
+            section["crash"][key.removeprefix("crash.")] = value
+    return section
 
 
 def collect(directory: Path) -> dict:
@@ -47,7 +75,7 @@ def collect(directory: Path) -> dict:
             "metrics": dict(sorted(metrics.items())),
             "config": dict(sorted(report.get("config", {}).items())),
         }
-    return {
+    summary = {
         "benches": benches,
         "totals": {
             "count": len(benches),
@@ -59,6 +87,10 @@ def collect(directory: Path) -> dict:
             "timeseries": sorted(p.name for p in directory.glob("TIMESERIES_*.csv")),
         },
     }
+    if "e13_resilience" in benches:
+        summary["resilience"] = resilience_section(
+            benches["e13_resilience"]["metrics"])
+    return summary
 
 
 def main(argv: list) -> int:
