@@ -40,11 +40,13 @@ void functional_report() {
     utcsu::Ltu ltu(osc, Phi::from_sec(0));
     const SimTime t1 = SimTime::epoch() + Duration::sec(1);
     ltu.read(t1);
-    const std::uint64_t step = ltu.step();
+    const std::uint64_t step = ltu.step().magnitude();
     const std::uint64_t extra = step / 500;
     const u128 want = Phi::from_duration(Duration::us(137)).raw_value();
     const auto ticks = static_cast<std::uint64_t>(want / extra);
-    ltu.start_amortization(t1, step + extra, ticks);
+    ltu.start_amortization(
+        t1, RateStep::raw(static_cast<std::int64_t>(step + extra)),
+        TickCount::of(ticks));
     const Phi c = ltu.read(SimTime::epoch() + Duration::sec(3));
     const double residual =
         std::abs(c.to_sec_f() - (3.0 + 137e-6)) - 0.0;

@@ -101,7 +101,7 @@ int main() {
       p.kind = csa::CspKind::kSync;
       p.src = 3;
       p.round = static_cast<std::uint16_t>(a_syncs[3]->round());
-      p.step = gw.chip().ltu().step();
+      p.step = gw.chip().ltu().step().reg64();
       driver_b.send_csp(p.encode());
     }
     prev_duty(timer);

@@ -185,9 +185,9 @@ double Cluster::max_rate_spread_ppm(SimTime t) {
     // node's STEP deviation from nominal.
     const double osc_err = n->oscillator().true_rate_error(t);
     const double nominal = static_cast<double>(
-        utcsu::Ltu::nominal_step(n->oscillator().nominal_hz()));
+        utcsu::Ltu::nominal_step(n->oscillator().nominal_hz()).magnitude());
     const double step_ratio =
-        static_cast<double>(n->chip().ltu().step()) / nominal;
+        static_cast<double>(n->chip().ltu().step().magnitude()) / nominal;
     const double rate = (1.0 + osc_err) * step_ratio - 1.0;
     lo = std::min(lo, rate);
     hi = std::max(hi, rate);

@@ -32,8 +32,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "net/medium.hpp"
@@ -123,7 +123,8 @@ class Comco {
   SimTime last_tx_trigger_ = SimTime::epoch();
   SimTime last_rx_trigger_ = SimTime::epoch();
   obs::SpanCollector* spans_ = nullptr;
-  std::unordered_map<int, std::uint64_t> rx_trace_;  ///< rx_slot -> span id
+  // Ordered map: slot-keyed sweeps stay deterministic under any libstdc++.
+  std::map<int, std::uint64_t> rx_trace_;  ///< rx_slot -> span id
 };
 
 }  // namespace nti::comco

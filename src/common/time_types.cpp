@@ -26,6 +26,19 @@ std::string Duration::str() const {
   return buf;
 }
 
+AlphaUnits AlphaUnits::from_duration(Duration d) {
+  if (d <= Duration::zero()) return AlphaUnits::of(0);
+  // (ps << 24) overflows int64 for d >= ~0.55 s; a wrapped value would
+  // program a tiny ACCSET for a huge real uncertainty and break the
+  // containment invariant at cold start.  128-bit arithmetic saturates
+  // correctly instead.
+  using i128_t = __int128;
+  const i128_t units =
+      ((i128_t{d.count_ps()} << 24) + 999'999'999'999LL) / 1'000'000'000'000LL;
+  if (units >= kMax) return saturated();
+  return AlphaUnits::of(static_cast<std::uint16_t>(static_cast<std::int64_t>(units)));
+}
+
 std::string SimTime::str() const {
   char buf[48];
   std::snprintf(buf, sizeof buf, "t=%.9f s", to_sec_f());

@@ -78,6 +78,106 @@ class SimTime {
   std::int64_t ps_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Unit-safe wrappers for the deterministic clock core.
+//
+// The UTCSU model mixes three integer quantities that are all "just a
+// uint64_t" at the register level but must never be confused in arithmetic:
+// oscillator tick indices/counts, adder augends in 2^-51 s units, and
+// accuracy readings in 2^-24 s units.  Wrapping each in its own type turns
+// tick/rate/accuracy confusion into a compile error; tools/nti_lint.py
+// enforces the complementary rules the type system cannot (see
+// docs/STATIC_ANALYSIS.md).
+// ---------------------------------------------------------------------------
+
+/// A count of oscillator ticks: either an absolute tick index (rising edges
+/// since the simulation epoch) or a width in ticks.  The adder-based clock
+/// treats both identically, exactly like the hardware tick counter.
+class TickCount {
+ public:
+  constexpr TickCount() = default;
+  static constexpr TickCount of(std::uint64_t n) { return TickCount{n}; }
+  static constexpr TickCount zero() { return TickCount{0}; }
+  /// Sentinel "unreachable": later than any real tick (halted-clock case).
+  static constexpr TickCount never() {
+    return TickCount{std::numeric_limits<std::uint64_t>::max()};
+  }
+
+  constexpr std::uint64_t value() const { return n_; }
+  constexpr bool is_never() const { return n_ == never().n_; }
+
+  constexpr auto operator<=>(const TickCount&) const = default;
+  constexpr TickCount operator+(TickCount o) const { return TickCount{n_ + o.n_}; }
+  constexpr TickCount operator-(TickCount o) const { return TickCount{n_ - o.n_}; }
+  constexpr TickCount& operator+=(TickCount o) { n_ += o.n_; return *this; }
+  constexpr TickCount& operator-=(TickCount o) { n_ -= o.n_; return *this; }
+
+ private:
+  constexpr explicit TickCount(std::uint64_t n) : n_(n) {}
+  std::uint64_t n_ = 0;
+};
+
+/// An adder augend: clock advance per oscillator tick in 2^-51 s ("phi")
+/// units.  Signed so it also expresses the ACU deterioration rate LAMBDA,
+/// whose negative range shrinks an accuracy bound; the LTU STEP/AMORTSTEP
+/// registers only ever hold the non-negative range.
+class RateStep {
+ public:
+  constexpr RateStep() = default;
+  static constexpr RateStep raw(std::int64_t v) { return RateStep{v}; }
+  static constexpr RateStep zero() { return RateStep{0}; }
+
+  constexpr std::int64_t value() const { return v_; }
+  /// Register view: the 64-bit STEP/AMORTSTEP/LAMBDA bus encoding.
+  constexpr std::uint64_t reg64() const { return static_cast<std::uint64_t>(v_); }
+  constexpr bool negative() const { return v_ < 0; }
+  /// Magnitude in phi per tick (for tick arithmetic on a validated augend).
+  constexpr std::uint64_t magnitude() const {
+    return static_cast<std::uint64_t>(v_ < 0 ? -v_ : v_);
+  }
+
+  constexpr auto operator<=>(const RateStep&) const = default;
+  constexpr RateStep operator+(RateStep o) const { return RateStep{v_ + o.v_}; }
+  constexpr RateStep operator-(RateStep o) const { return RateStep{v_ - o.v_}; }
+  constexpr RateStep operator-() const { return RateStep{-v_}; }
+  constexpr RateStep operator/(std::int64_t k) const { return RateStep{v_ / k}; }
+  constexpr RateStep operator*(std::int64_t k) const { return RateStep{v_ * k}; }
+
+ private:
+  constexpr explicit RateStep(std::int64_t v) : v_(v) {}
+  std::int64_t v_ = 0;
+};
+
+/// A 16-bit accuracy reading/setting in 2^-24 s (~59.6 ns) units: the ACU
+/// ALPHA/ACCSET register format.  Saturates at 0xFFFF by construction --
+/// a stale accuracy must never silently shrink.
+class AlphaUnits {
+ public:
+  static constexpr std::uint16_t kMax = 0xFFFF;
+
+  constexpr AlphaUnits() = default;
+  static constexpr AlphaUnits of(std::uint16_t u) { return AlphaUnits{u}; }
+  static constexpr AlphaUnits saturated() { return AlphaUnits{kMax}; }
+  /// Round-up, saturating conversion from a real-time uncertainty: the
+  /// programmed bound must always contain the true one.  Non-positive
+  /// durations map to zero.
+  static AlphaUnits from_duration(Duration d);
+
+  constexpr std::uint16_t value() const { return u_; }
+  constexpr bool is_saturated() const { return u_ == kMax; }
+  /// Exact conversion to picoseconds (units * 10^12 >> 24, truncating --
+  /// the same rounding the stamp-decoding software path has always used).
+  constexpr Duration to_duration() const {
+    return Duration::ps((std::int64_t{u_} * 1'000'000'000'000LL) >> 24);
+  }
+
+  constexpr auto operator<=>(const AlphaUnits&) const = default;
+
+ private:
+  constexpr explicit AlphaUnits(std::uint16_t u) : u_(u) {}
+  std::uint16_t u_ = 0;
+};
+
 namespace literals {
 constexpr Duration operator""_ps(unsigned long long v) { return Duration::ps(static_cast<std::int64_t>(v)); }
 constexpr Duration operator""_ns(unsigned long long v) { return Duration::ns(static_cast<std::int64_t>(v)); }

@@ -13,20 +13,12 @@ namespace nti::csa {
 using module::kCpuUtcsuBase;
 namespace uc = nti::utcsu;
 
-std::uint16_t to_alpha_units(Duration d) {
-  if (d <= Duration::zero()) return 0;
-  // (ps << 24) overflows int64 for d >= ~0.55 s; a wrapped value would
-  // program a tiny ACCSET for a huge real uncertainty and break the
-  // containment invariant at cold start.  128-bit arithmetic saturates
-  // correctly instead.
-  const i128 units =
-      ((i128{d.count_ps()} << 24) + 999'999'999'999LL) / 1'000'000'000'000LL;
-  if (units >= 0xFFFF) return 0xFFFF;
-  return static_cast<std::uint16_t>(static_cast<std::int64_t>(units));
-}
+AlphaUnits to_alpha_units(Duration d) { return AlphaUnits::from_duration(d); }
 
 namespace {
 
+// nti-lint: allow(float): drift bounds are spec-sheet ppm figures; the
+// scaled margin is re-quantized to integer picoseconds immediately.
 Duration scaled_ppm(Duration base, double ppm) {
   return Duration::from_sec_f(base.to_sec_f() * ppm * 1e-6);
 }
@@ -56,11 +48,14 @@ void SyncNode::write_duty(int timer, Duration clock_value) {
   card_.nti().cpu_write32(now, base + uc::kDutyCtrl, 1);
 }
 
+// nti-lint: begin-allow(float): LAMBDA is derived once per round from the
+// ppm drift bound; the programmed register value is integer phi-per-tick.
 void SyncNode::set_lambdas(double rho_ppm, std::int64_t extra_shrink_minus,
                            std::int64_t extra_shrink_plus) {
   const SimTime now = card_.cpu().engine().now();
-  const auto step = static_cast<double>(card_.chip().ltu().step());
+  const auto step = static_cast<double>(card_.chip().ltu().step().value());
   const auto base = static_cast<std::int64_t>(std::llround(step * rho_ppm * 1e-6));
+  // nti-lint: end-allow(float)
   card_.nti().cpu_write32(now, kCpuUtcsuBase + uc::kRegLambdaMinus,
                           static_cast<std::uint32_t>(base - extra_shrink_minus));
   card_.nti().cpu_write32(now, kCpuUtcsuBase + uc::kRegLambdaPlus,
@@ -80,8 +75,10 @@ void SyncNode::start(Duration value, Duration alpha0, std::uint32_t first_round)
                   static_cast<std::uint32_t>(raw >> 32));
   nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegTimeSet2,
                   static_cast<std::uint32_t>(raw >> 64));
-  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetMinus, to_alpha_units(alpha0));
-  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetPlus, to_alpha_units(alpha0));
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetMinus,
+                  to_alpha_units(alpha0).value());
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetPlus,
+                  to_alpha_units(alpha0).value());
   nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlApplyTimeSet);
   set_lambdas(cfg_.rho_bound_ppm, 0, 0);
 
@@ -169,7 +166,7 @@ void SyncNode::do_send() {
   p.sw_macrostamp = nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegMacrostamp);
   p.sw_alpha = (nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegAlphaMinus) << 16) |
                (nti.cpu_read32(now, kCpuUtcsuBase + uc::kRegAlphaPlus) & 0xFFFF);
-  p.step = card_.chip().ltu().step();
+  p.step = card_.chip().ltu().step().reg64();
   const auto bytes = p.encode();
   card_.driver().send_csp(bytes);
 }
@@ -246,7 +243,7 @@ void SyncNode::handle_csp(const node::RxCsp& rx) {
   ob.preprocessed = pre;
   ob.remote_time = remote_t;
   ob.local_time = local_r;
-  ob.remote_step = payload->step;
+  ob.remote_step = RateStep::raw(static_cast<std::int64_t>(payload->step));
   ob.trace_id = rx.trace_id;
   obs_[rx.src_node] = ob;
   ++csps_used_;
@@ -373,8 +370,10 @@ void SyncNode::do_resync() {
                           (d < Duration::zero() ? -d : Duration::zero()) + slack;
   const Duration ap_set = (result.upper() - m) +
                           (d > Duration::zero() ? d : Duration::zero()) + slack;
-  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetMinus, to_alpha_units(am_set));
-  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetPlus, to_alpha_units(ap_set));
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetMinus,
+                  to_alpha_units(am_set).value());
+  nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegAccSetPlus,
+                  to_alpha_units(ap_set).value());
 
   if (d.abs() > cfg_.hard_set_threshold || !cfg_.use_amortization) {
     // Cold-start escape hatch: one hard state set, then normal rounds.
@@ -389,9 +388,13 @@ void SyncNode::do_resync() {
     nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlApplyAccSet);
     // Continuous amortization: slew at (1 +- amort_rate) x nominal speed
     // until the offset is absorbed.
-    const std::uint64_t step = card_.chip().ltu().step();
+    const std::uint64_t step = card_.chip().ltu().step().magnitude();
+    // nti-lint: begin-allow(float): amort_rate is a configuration fraction;
+    // dpt is re-quantized to an integer augend delta before it touches the
+    // LTU.
     const auto dpt = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(std::llround(static_cast<double>(step) * cfg_.amort_rate)));
+    // nti-lint: end-allow(float)
     const u128 d_phi_mag = Phi::from_duration(d.abs()).raw_value();
     const auto ticks = static_cast<std::uint64_t>(d_phi_mag / dpt) + 1;
     const std::uint64_t amort_step = d > Duration::zero() ? step + dpt : step - dpt;
@@ -472,6 +475,9 @@ void SyncNode::apply_rate_sync(RoundReport& report) {
   // rate away from nominal; we measured exactly that during bring-up.)
   const auto baseline = static_cast<std::uint32_t>(cfg_.rate_baseline_rounds);
   if (round_ % baseline != 0) return;
+  // nti-lint: begin-allow(float): rate estimation works on dimensionless
+  // elapsed-time ratios; the result is clamped and re-quantized to an
+  // integer STEP augend before it is written to the register.
   std::vector<double> ratios;
   for (const auto& [peer, ob] : obs_) {
     auto& hist = rate_hist_[peer];
@@ -506,7 +512,7 @@ void SyncNode::apply_rate_sync(RoundReport& report) {
   if (adj == 0.0) return;
 
   const SimTime now = card_.cpu().engine().now();
-  const std::uint64_t step = card_.chip().ltu().step();
+  const std::uint64_t step = card_.chip().ltu().step().magnitude();
   const auto new_step = static_cast<std::uint64_t>(
       std::llround(static_cast<double>(step) * (1.0 + adj)));
   card_.nti().cpu_write32(now, kCpuUtcsuBase + uc::kRegStepLo,
@@ -515,6 +521,7 @@ void SyncNode::apply_rate_sync(RoundReport& report) {
                           static_cast<std::uint32_t>(new_step >> 32));
   ++rate_adjustments_;
   report.rate_adj_ppm = adj * 1e6;
+  // nti-lint: end-allow(float)
 }
 
 interval::AccInterval SyncNode::current_interval(SimTime now) {

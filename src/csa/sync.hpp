@@ -45,11 +45,12 @@ namespace nti::csa {
 
 enum class Convergence { kMarzullo, kOA, kFTA };
 
-/// Duration -> 16-bit ACCSET accuracy units (2^-24 s), rounded up,
-/// saturating at 0xFFFF.  Computed in 128-bit so large cold-start
-/// accuracies (>= ~0.55 s, where count_ps() << 24 would overflow int64)
-/// saturate instead of wrapping.
-std::uint16_t to_alpha_units(Duration d);
+/// Duration -> ACCSET accuracy units (2^-24 s), rounded up, saturating at
+/// 0xFFFF.  Computed in 128-bit so large cold-start accuracies (>= ~0.55 s,
+/// where count_ps() << 24 would overflow int64) saturate instead of
+/// wrapping.  Thin alias for AlphaUnits::from_duration kept for the CSA
+/// call sites and their regression tests.
+AlphaUnits to_alpha_units(Duration d);
 
 struct SyncConfig {
   Duration round_period = Duration::sec(1);      ///< P
@@ -71,12 +72,16 @@ struct SyncConfig {
   Duration delay_max = Duration::from_sec_f(13.6e-6);
 
   /// Drift bound used for compensation & ACU deterioration, in ppm.
+  // nti-lint: allow(float): configuration bound in ppm; quantized to
+  // integer LAMBDA augends before reaching the ACU.
   double rho_bound_ppm = 2.0;
   /// Additional per-stamp uncertainty: clock granularity (2^-24 s) and the
   /// synchronizer stages; added on both sides during preprocessing.
   Duration granularity = Duration::ns(60);
 
   /// Continuous amortization slew rate (fraction of nominal speed).
+  // nti-lint: allow(float): configuration fraction; quantized to an integer
+  // AMORTSTEP augend before reaching the LTU.
   double amort_rate = 2e-3;
   /// Ablation switch: apply corrections as hard state sets instead of
   /// continuous amortization.  Backward corrections then make the clock
@@ -88,8 +93,11 @@ struct SyncConfig {
   Duration hard_set_threshold = Duration::ms(50);
 
   bool rate_sync = true;
+  // nti-lint: begin-allow(float): rate-sync tuning knobs are dimensionless
+  // gains/clamps; the adjustment is re-quantized to an integer STEP augend.
   double rate_gain = 0.7;          ///< fraction of estimated skew corrected
   double rate_max_adj_ppm = 50.0;  ///< clamp per round
+  // nti-lint: end-allow(float)
   /// Rounds of baseline for rate estimation.  One round of hardware-stamp
   /// noise (~0.3 us) over P = 1 s is ~0.3 ppm -- the same order as the
   /// drift being corrected -- so estimates are taken against samples this
@@ -112,6 +120,7 @@ struct RoundReport {
   Duration alpha_plus_after;
   bool gps_offered = false;
   bool gps_accepted = false;
+  // nti-lint: allow(float): diagnostic report value, not clock arithmetic.
   double rate_adj_ppm = 0.0;
 };
 
@@ -176,7 +185,7 @@ class SyncNode {
     interval::AccInterval preprocessed;  ///< expressed at the resync point
     Duration remote_time;                ///< raw remote stamp (rate sync)
     Duration local_time;                 ///< raw local rx stamp (rate sync)
-    std::uint64_t remote_step = 0;
+    RateStep remote_step;                ///< peer's advertised STEP augend
     std::uint64_t trace_id = 0;          ///< span of the CSP that carried it
   };
   struct RateSample {
@@ -201,6 +210,7 @@ class SyncNode {
   void apply_rate_sync(RoundReport& report);
   std::optional<interval::AccInterval> gps_interval(Duration at_clock);
   void write_duty(int timer, Duration clock_value);
+  // nti-lint: allow(float): ppm bound input; quantized in the definition.
   void set_lambdas(double rho_ppm, std::int64_t extra_shrink_minus,
                    std::int64_t extra_shrink_plus);
   Duration send_time_of_round(std::uint32_t k) const;

@@ -12,6 +12,8 @@ namespace nti::mc {
 namespace {
 
 std::size_t env_size(const char* name, std::size_t fallback) {
+  // nti-lint: allow(nondet): worker-pool sizing only; replica results are
+  // slot-ordered, so the thread count never changes any output byte.
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
@@ -106,6 +108,8 @@ EnsembleResult Runner::run() {
   // Pre-sized slot array: replica i's result lands in slots[i] no matter
   // which worker ran it or when it finished.
   std::vector<ReplicaResult> slots(n);
+  // nti-lint: allow(nondet): wall-clock throughput metric, reported only in
+  // the human-facing summary -- never part of deterministic results.
   const auto wall_start = std::chrono::steady_clock::now();
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) slots[i] = run_replica(i);
@@ -123,6 +127,7 @@ EnsembleResult Runner::run() {
     for (auto& th : pool) th.join();
   }
   const std::chrono::duration<double> wall =
+      // nti-lint: allow(nondet): see wall_start above.
       std::chrono::steady_clock::now() - wall_start;
 
   // Reduction strictly in slot (replica) order, single-threaded: histogram

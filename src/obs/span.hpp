@@ -37,7 +37,6 @@
 #include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time_types.hpp"
@@ -155,7 +154,9 @@ class SpanCollector {
   std::uint64_t next_id_ = 1;
   std::uint64_t dropped_ = 0;
   std::vector<SpanEvent> events_;
-  std::unordered_map<std::uint64_t, TraceState> live_;
+  // Ordered map: live-trace iteration must be id-ordered so any export or
+  // sweep over in-flight traces is independent of hash layout.
+  std::map<std::uint64_t, TraceState> live_;
   LogHistogram stage_hist_[kNumSpanStages];
   std::map<std::uint64_t, LogHistogram> pair_hist_;
 };

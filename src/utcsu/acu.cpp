@@ -10,27 +10,28 @@ void AccuracyCell::advance(std::uint64_t n) {
   last_tick_ = n;
   // Saturating signed update.  k * |lambda| stays far below 2^63 for any
   // plausible deterioration rate and query spacing; clamp defends the rest.
-  acc_ += lambda_ * static_cast<std::int64_t>(k);
+  acc_ += lambda_.value() * static_cast<std::int64_t>(k);
   acc_ = std::clamp<std::int64_t>(acc_, 0, static_cast<std::int64_t>(kSaturation));
 }
 
-std::uint16_t AccuracyCell::read_at_tick(std::uint64_t n) {
-  advance(n);
-  return static_cast<std::uint16_t>(static_cast<std::uint64_t>(acc_) >> kAlphaShift);
+AlphaUnits AccuracyCell::read_at_tick(TickCount n) {
+  advance(n.value());
+  return AlphaUnits::of(
+      static_cast<std::uint16_t>(static_cast<std::uint64_t>(acc_) >> kAlphaShift));
 }
 
-std::uint64_t AccuracyCell::raw_at_tick(std::uint64_t n) {
-  advance(n);
+std::uint64_t AccuracyCell::raw_at_tick(TickCount n) {
+  advance(n.value());
   return static_cast<std::uint64_t>(acc_);
 }
 
-void AccuracyCell::set(std::uint64_t tick_now, std::uint16_t units) {
-  advance(tick_now);
-  acc_ = static_cast<std::int64_t>(std::uint64_t{units} << kAlphaShift);
+void AccuracyCell::set(TickCount tick_now, AlphaUnits units) {
+  advance(tick_now.value());
+  acc_ = static_cast<std::int64_t>(std::uint64_t{units.value()} << kAlphaShift);
 }
 
-void AccuracyCell::set_lambda(std::uint64_t tick_now, std::int64_t lambda) {
-  advance(tick_now);
+void AccuracyCell::set_lambda(TickCount tick_now, RateStep lambda) {
+  advance(tick_now.value());
   lambda_ = lambda;
 }
 

@@ -12,6 +12,9 @@
 //     toward the new value, one bound shrinks (negative lambda) and is
 //     clamped at zero rather than going negative;
 //   * atomic (re)initialization in conjunction with the LTU clock register.
+//
+// Unit safety: tick indices are TickCount, deterioration rates RateStep,
+// and 16-bit accuracy values AlphaUnits (common/time_types.hpp).
 #pragma once
 
 #include <cstdint>
@@ -29,19 +32,19 @@ class AccuracyCell {
   static constexpr std::uint64_t kSaturation = 0xFFFFull << kAlphaShift;
 
   /// Current 16-bit accuracy value at tick n.
-  std::uint16_t read_at_tick(std::uint64_t n);
+  AlphaUnits read_at_tick(TickCount n);
   /// Raw accumulator (phi units), saturated, at tick n.
-  std::uint64_t raw_at_tick(std::uint64_t n);
+  std::uint64_t raw_at_tick(TickCount n);
 
-  void set(std::uint64_t tick_now, std::uint16_t units);
+  void set(TickCount tick_now, AlphaUnits units);
   /// Deterioration augend per tick, in 2^-51 s; negative shrinks (clamped 0).
-  void set_lambda(std::uint64_t tick_now, std::int64_t lambda);
-  std::int64_t lambda() const { return lambda_; }
+  void set_lambda(TickCount tick_now, RateStep lambda);
+  RateStep lambda() const { return lambda_; }
 
  private:
   void advance(std::uint64_t n);
-  std::int64_t acc_ = 0;       ///< phi units; clamped to [0, kSaturation]
-  std::int64_t lambda_ = 0;    ///< phi per tick
+  std::int64_t acc_ = 0;              ///< phi units; clamped to [0, kSaturation]
+  RateStep lambda_ = RateStep::zero();  ///< phi per tick
   std::uint64_t last_tick_ = 0;
 };
 
@@ -53,19 +56,24 @@ class Acu {
   AccuracyCell& minus() { return minus_; }
   AccuracyCell& plus() { return plus_; }
 
-  std::uint16_t alpha_minus(SimTime t) { return minus_.read_at_tick(osc_.ticks_at(t)); }
-  std::uint16_t alpha_plus(SimTime t) { return plus_.read_at_tick(osc_.ticks_at(t)); }
+  AlphaUnits alpha_minus(SimTime t) {
+    return minus_.read_at_tick(TickCount::of(osc_.ticks_at(t)));
+  }
+  AlphaUnits alpha_plus(SimTime t) {
+    return plus_.read_at_tick(TickCount::of(osc_.ticks_at(t)));
+  }
 
   /// Packed [31:16]=alpha-, [15:0]=alpha+ as captured by the stamp units.
-  std::uint32_t packed_at_tick(std::uint64_t n) {
-    return (std::uint32_t{minus_.read_at_tick(n)} << 16) | plus_.read_at_tick(n);
+  std::uint32_t packed_at_tick(TickCount n) {
+    return (std::uint32_t{minus_.read_at_tick(n).value()} << 16) |
+           plus_.read_at_tick(n).value();
   }
 
   /// Staged values written via kRegAccSet*, applied atomically with the LTU
   /// state by the ApplyTimeSet strobe.
-  void stage(std::uint16_t am, std::uint16_t ap) { staged_minus_ = am; staged_plus_ = ap; }
+  void stage(AlphaUnits am, AlphaUnits ap) { staged_minus_ = am; staged_plus_ = ap; }
   void apply_staged(SimTime t) {
-    const std::uint64_t n = osc_.ticks_at(t);
+    const TickCount n = TickCount::of(osc_.ticks_at(t));
     minus_.set(n, staged_minus_);
     plus_.set(n, staged_plus_);
   }
@@ -74,8 +82,8 @@ class Acu {
   osc::Oscillator& osc_;
   AccuracyCell minus_;
   AccuracyCell plus_;
-  std::uint16_t staged_minus_ = 0;
-  std::uint16_t staged_plus_ = 0;
+  AlphaUnits staged_minus_{};
+  AlphaUnits staged_plus_{};
 };
 
 }  // namespace nti::utcsu

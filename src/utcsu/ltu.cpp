@@ -2,11 +2,13 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace nti::utcsu {
 namespace {
-constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
 
 /// ceil((target - from) / rate) for Phi quantities; rate > 0.
 std::uint64_t ticks_to_reach(Phi from, Phi target, std::uint64_t rate) {
@@ -14,20 +16,44 @@ std::uint64_t ticks_to_reach(Phi from, Phi target, std::uint64_t rate) {
   const u128 gap = target.raw_value() - from.raw_value();
   return static_cast<std::uint64_t>((gap + rate - 1) / rate);
 }
+
 }  // namespace
 
 Ltu::Ltu(osc::Oscillator& oscillator, Phi initial)
     : osc_(oscillator), state_(initial), step_(nominal_step(oscillator.nominal_hz())) {}
 
-std::uint64_t Ltu::nominal_step(double f_osc_hz) {
-  return static_cast<std::uint64_t>(
-      std::llround(static_cast<double>(Phi::kPerSec) / f_osc_hz));
+// nti-lint: begin-allow(float): configuration boundary -- the augend is
+// derived once from the spec-sheet frequency; all tick arithmetic that
+// follows is exact integer math on the validated result.
+RateStep Ltu::nominal_step(double f_osc_hz) {
+  if (!std::isfinite(f_osc_hz) || f_osc_hz <= 0.0) {
+    const std::string msg = "Ltu::nominal_step: oscillator frequency must be a "
+                            "positive finite Hz value, got " +
+                            std::to_string(f_osc_hz);
+    std::fprintf(stderr, "nti: %s\n", msg.c_str());
+    throw std::invalid_argument(msg);
+  }
+  const double step = std::nearbyint(static_cast<double>(Phi::kPerSec) / f_osc_hz);
+  // The STEP register is 64 bits, and RateStep's signed domain is what the
+  // LTU adder accepts; a frequency below ~2.4e-4 Hz would overflow it (the
+  // old llround cast was UB there), one above 2^51 Hz rounds the augend to
+  // zero and silently halts the clock.
+  if (step < 1.0 ||
+      step > static_cast<double>(std::numeric_limits<std::int64_t>::max())) {
+    const std::string msg = "Ltu::nominal_step: augend for f_osc = " +
+                            std::to_string(f_osc_hz) +
+                            " Hz does not fit the STEP register";
+    std::fprintf(stderr, "nti: %s\n", msg.c_str());
+    throw std::invalid_argument(msg);
+  }
+  return RateStep::raw(std::llround(static_cast<double>(Phi::kPerSec) / f_osc_hz));
+  // nti-lint: end-allow(float)
 }
 
 void Ltu::advance_to_tick(std::uint64_t n) {
   while (last_tick_ < n) {
     const bool amortizing_now = amort_ticks_left_ > 0;
-    const std::uint64_t rate = amortizing_now ? amort_step_ : step_;
+    const std::uint64_t rate = amortizing_now ? amort_step_.magnitude() : step_.magnitude();
     std::uint64_t k = n - last_tick_;
     if (amortizing_now && amort_ticks_left_ < k) k = amort_ticks_left_;
 
@@ -67,7 +93,8 @@ Phi Ltu::read(SimTime t) {
   return state_;
 }
 
-Phi Ltu::value_at_tick(std::uint64_t n) {
+Phi Ltu::value_at_tick(TickCount tick) {
+  const std::uint64_t n = tick.value();
   if (n <= last_tick_) return state_;
   // Project under the current rate regime without committing the advance:
   // captures sample a couple of ticks in the future (synchronizer stages)
@@ -81,7 +108,7 @@ Phi Ltu::value_at_tick(std::uint64_t n) {
   bool leap_armed = leap_armed_;
   while (at < n) {
     const bool amortizing_now = amort_left > 0;
-    const std::uint64_t rate = amortizing_now ? amort_step_ : step_;
+    const std::uint64_t rate = amortizing_now ? amort_step_.magnitude() : step_.magnitude();
     std::uint64_t k = n - at;
     if (amortizing_now && amort_left < k) k = amort_left;
 
@@ -114,11 +141,13 @@ Phi Ltu::value_at_tick(std::uint64_t n) {
   return v;
 }
 
-std::uint64_t Ltu::capture_tick(SimTime t, int synchronizer_stages) const {
-  return osc_.ticks_at(t) + static_cast<std::uint64_t>(synchronizer_stages);
+TickCount Ltu::capture_tick(SimTime t, int synchronizer_stages) const {
+  return TickCount::of(osc_.ticks_at(t) +
+                       static_cast<std::uint64_t>(synchronizer_stages));
 }
 
-void Ltu::set_step(SimTime t, std::uint64_t new_step) {
+void Ltu::set_step(SimTime t, RateStep new_step) {
+  assert(!new_step.negative() && "STEP register holds a non-negative augend");
   advance_to_tick(osc_.ticks_at(t));
   step_ = new_step;
 }
@@ -129,10 +158,11 @@ void Ltu::set_state(SimTime t, Phi value) {
   amort_ticks_left_ = 0;
 }
 
-void Ltu::start_amortization(SimTime t, std::uint64_t amort_step, std::uint64_t ticks) {
+void Ltu::start_amortization(SimTime t, RateStep amort_step, TickCount ticks) {
+  assert(!amort_step.negative() && "AMORTSTEP register holds a non-negative augend");
   advance_to_tick(osc_.ticks_at(t));
   amort_step_ = amort_step;
-  amort_ticks_left_ = ticks;
+  amort_ticks_left_ = ticks.value();
 }
 
 void Ltu::abort_amortization(SimTime t) {
@@ -146,27 +176,27 @@ void Ltu::arm_leap(bool insert, Phi at) {
   leap_at_ = at;
 }
 
-std::uint64_t Ltu::tick_reaching(Phi target) const {
-  if (state_ >= target) return last_tick_;
+TickCount Ltu::tick_reaching(Phi target) const {
+  if (state_ >= target) return TickCount::of(last_tick_);
   Phi v = state_;
   std::uint64_t at = last_tick_;
   std::uint64_t amort_left = amort_ticks_left_;
 
   if (amort_left > 0) {
-    if (amort_step_ == 0) {
+    if (amort_step_ == RateStep::zero()) {
       // Clock halted for the amortization phase; target reached afterwards.
       at += amort_left;
       amort_left = 0;
     } else {
-      const std::uint64_t need = ticks_to_reach(v, target, amort_step_);
-      if (need <= amort_left) return at + need;
-      v += Phi::raw(u128{amort_step_} * amort_left);
+      const std::uint64_t need = ticks_to_reach(v, target, amort_step_.magnitude());
+      if (need <= amort_left) return TickCount::of(at + need);
+      v += Phi::raw(u128{amort_step_.magnitude()} * amort_left);
       at += amort_left;
       amort_left = 0;
     }
   }
-  if (step_ == 0) return kNever;
-  return at + ticks_to_reach(v, target, step_);
+  if (step_ == RateStep::zero()) return TickCount::never();
+  return TickCount::of(at + ticks_to_reach(v, target, step_.magnitude()));
 }
 
 }  // namespace nti::utcsu

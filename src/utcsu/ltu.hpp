@@ -13,6 +13,10 @@
 // The model is *lazy*: no per-tick work.  State is the register value at a
 // known tick index; any query advances it by closed-form arithmetic using
 // the oscillator's phase function (DESIGN.md §4).
+//
+// Unit safety: tick indices are TickCount and augends are RateStep (see
+// common/time_types.hpp); the raw-integer overloads are gone so rate/tick
+// confusion no longer compiles.
 #pragma once
 
 #include <cstdint>
@@ -29,33 +33,38 @@ class Ltu {
   /// oscillator's nominal frequency: STEP = round(2^51 / f_osc).
   Ltu(osc::Oscillator& oscillator, Phi initial);
 
-  /// Nominal augend for a given oscillator frequency.
-  static std::uint64_t nominal_step(double f_osc_hz);
+  /// Nominal augend for a given oscillator frequency.  Rejects (logged
+  /// std::invalid_argument) a non-positive/non-finite frequency and any
+  /// frequency whose rounded augend does not fit the 64-bit STEP register
+  /// or would halt the clock (rounds to zero) -- the old silent llround
+  /// cast turned those into UB or a frozen clock.
+  // nti-lint: allow(float): spec-sheet frequency input; quantized here.
+  static RateStep nominal_step(double f_osc_hz);
 
   // -- reads ---------------------------------------------------------------
   /// Clock value at real time `t` (advances internal state; monotone in t).
   Phi read(SimTime t);
   /// Clock value exactly at oscillator tick n (n >= tick of last update).
-  Phi value_at_tick(std::uint64_t n);
+  Phi value_at_tick(TickCount n);
   /// Tick at which a capture triggered at real time `t` samples the clock:
   /// the trigger passes a 1- or 2-stage synchronizer and is acted upon at
   /// the following oscillator edge (uncertainty <= stages / f_osc).
-  std::uint64_t capture_tick(SimTime t, int synchronizer_stages) const;
+  TickCount capture_tick(SimTime t, int synchronizer_stages) const;
 
   // -- rate ---------------------------------------------------------------
-  std::uint64_t step() const { return step_; }
+  RateStep step() const { return step_; }
   /// Change the augend (takes effect from the current tick onward).
   /// `t` tells the model "now" so earlier ticks keep the old rate.
-  void set_step(SimTime t, std::uint64_t new_step);
+  void set_step(SimTime t, RateStep new_step);
 
   // -- state --------------------------------------------------------------
   /// Hard set (initialization / SYNCRUN only; sync rounds use amortization).
   void set_state(SimTime t, Phi value);
   /// Begin continuous amortization: run with `amort_step` for `ticks` ticks.
-  void start_amortization(SimTime t, std::uint64_t amort_step, std::uint64_t ticks);
+  void start_amortization(SimTime t, RateStep amort_step, TickCount ticks);
   void abort_amortization(SimTime t);
   bool amortizing() const { return amort_ticks_left_ > 0; }
-  std::uint64_t amort_ticks_left() const { return amort_ticks_left_; }
+  TickCount amort_ticks_left() const { return TickCount::of(amort_ticks_left_); }
 
   /// Arm a +/-1 s leap correction to be applied at clock value `at`.
   /// (In hardware a duty timer fires the strobe; the model folds the
@@ -65,9 +74,10 @@ class Ltu {
 
   // -- projection (duty timers) --------------------------------------------
   /// Earliest tick n (>= current tick) with value_at_tick(n) >= target,
-  /// accounting for a currently running amortization phase.  Returns 0 if
-  /// the target is already reached.
-  std::uint64_t tick_reaching(Phi target) const;
+  /// accounting for a currently running amortization phase; the current
+  /// tick if the target is already reached, TickCount::never() if the
+  /// clock is halted short of it.
+  TickCount tick_reaching(Phi target) const;
 
   osc::Oscillator& oscillator() const { return osc_; }
 
@@ -77,8 +87,8 @@ class Ltu {
   osc::Oscillator& osc_;
   Phi state_;                   ///< register value at tick last_tick_
   std::uint64_t last_tick_ = 0;
-  std::uint64_t step_;
-  std::uint64_t amort_step_ = 0;
+  RateStep step_;
+  RateStep amort_step_ = RateStep::zero();
   std::uint64_t amort_ticks_left_ = 0;
   bool leap_armed_ = false;
   bool leap_insert_ = true;

@@ -13,12 +13,12 @@ Utcsu::Utcsu(sim::Engine& engine, osc::Oscillator& oscillator, UtcsuConfig cfg)
       ltu_(oscillator, cfg.initial_time),
       acu_(oscillator),
       reliable_(cfg.reliable_pin),
-      step_shadow_(Ltu::nominal_step(oscillator.nominal_hz())) {}
+      step_shadow_(Ltu::nominal_step(oscillator.nominal_hz()).reg64()) {}
 
 // ---------------------------------------------------------------- capture --
 
 StampRegs Utcsu::capture(SimTime t) {
-  const std::uint64_t tick = ltu_.capture_tick(t, stages());
+  const TickCount tick = ltu_.capture_tick(t, stages());
   const Phi v = ltu_.value_at_tick(tick);
   const std::uint32_t packed = acu_.packed_at_tick(tick);
   return pack_stamp(v, static_cast<std::uint16_t>(packed >> 16),
@@ -28,7 +28,7 @@ StampRegs Utcsu::capture(SimTime t) {
 StampRegs Utcsu::sample_now(SimTime t) {
   // Synchronous bus access: no synchronizer stages, sample at the last
   // completed oscillator edge.
-  const std::uint64_t tick = osc_.ticks_at(t);
+  const TickCount tick = TickCount::of(osc_.ticks_at(t));
   const Phi v = ltu_.read(t);
   const std::uint32_t packed = acu_.packed_at_tick(tick);
   return pack_stamp(v, static_cast<std::uint16_t>(packed >> 16),
@@ -140,10 +140,10 @@ void Utcsu::schedule_duty(int idx, SimTime t) {
   d.event.cancel();
   if (!d.armed) return;
   const Phi target = duty_target(d, t);
-  const std::uint64_t tick = ltu_.tick_reaching(target);
-  const SimTime when = (tick == 0 || ltu_.read(t) >= target)
+  const TickCount tick = ltu_.tick_reaching(target);
+  const SimTime when = (tick == TickCount::zero() || ltu_.read(t) >= target)
                            ? t
-                           : osc_.time_of_tick(tick);
+                           : osc_.time_of_tick(tick.value());
   d.event = engine_.schedule_at(when, [this, idx] {
     auto& timer = duty_[static_cast<std::size_t>(idx)];
     timer.armed = false;
@@ -225,27 +225,27 @@ std::uint32_t Utcsu::bus_read(SimTime t, RegOffset off) {
     case kRegMacrostamp:
       return macro_shadow_;
     case kRegStepLo:
-      return static_cast<std::uint32_t>(ltu_.step());
+      return static_cast<std::uint32_t>(ltu_.step().reg64());
     case kRegStepHi:
-      return static_cast<std::uint32_t>(ltu_.step() >> 32);
+      return static_cast<std::uint32_t>(ltu_.step().reg64() >> 32);
     case kRegAmortStepLo:
       return static_cast<std::uint32_t>(amort_step_shadow_);
     case kRegAmortStepHi:
       return static_cast<std::uint32_t>(amort_step_shadow_ >> 32);
     case kRegAmortTicksLo:
-      return static_cast<std::uint32_t>(ltu_.amort_ticks_left());
+      return static_cast<std::uint32_t>(ltu_.amort_ticks_left().value());
     case kRegAmortTicksHi:
-      return static_cast<std::uint32_t>(ltu_.amort_ticks_left() >> 32);
+      return static_cast<std::uint32_t>(ltu_.amort_ticks_left().value() >> 32);
     case kRegCtrl:
       return ctrl_ & kCtrlReliableSync;  // strobes read back as 0
     case kRegAlphaMinus:
-      return acu_.alpha_minus(t);
+      return acu_.alpha_minus(t).value();
     case kRegAlphaPlus:
-      return acu_.alpha_plus(t);
+      return acu_.alpha_plus(t).value();
     case kRegLambdaMinus:
-      return static_cast<std::uint32_t>(acu_.minus().lambda());
+      return static_cast<std::uint32_t>(acu_.minus().lambda().reg64());
     case kRegLambdaPlus:
-      return static_cast<std::uint32_t>(acu_.plus().lambda());
+      return static_cast<std::uint32_t>(acu_.plus().lambda().reg64());
     case kRegIntStatus:
       return int_status_;
     case kRegIntEnable:
@@ -255,7 +255,7 @@ std::uint32_t Utcsu::bus_read(SimTime t, RegOffset off) {
     case kRegBtuBlocksum: {
       const StampRegs s = sample_now(t);
       const std::uint32_t words[4] = {s.timestamp, s.macrostamp, s.alpha,
-                                      static_cast<std::uint32_t>(ltu_.step())};
+                                      static_cast<std::uint32_t>(ltu_.step().reg64())};
       return blocksum16(words);
     }
     case kRegBtuSignature: {
@@ -335,7 +335,7 @@ void Utcsu::bus_write(SimTime t, RegOffset off, std::uint32_t value) {
       break;
     case kRegStepHi:
       step_shadow_ = (step_shadow_ & 0xFFFF'FFFFull) | (std::uint64_t{value} << 32);
-      ltu_.set_step(t, step_shadow_);  // hi write commits
+      ltu_.set_step(t, RateStep::raw(static_cast<std::int64_t>(step_shadow_)));  // hi write commits
       rearm_duty_timers(t);
       break;
     case kRegAmortStepLo:
@@ -360,7 +360,9 @@ void Utcsu::bus_write(SimTime t, RegOffset off, std::uint32_t value) {
       if (value & kCtrlApplyTimeSet) apply_time_set(t);
       if (value & kCtrlApplyAccSet) acu_.apply_staged(t);
       if (value & kCtrlStartAmort) {
-        ltu_.start_amortization(t, amort_step_shadow_, amort_ticks_shadow_);
+        ltu_.start_amortization(t,
+                                RateStep::raw(static_cast<std::int64_t>(amort_step_shadow_)),
+                                TickCount::of(amort_ticks_shadow_));
         rearm_duty_timers(t);
       }
       if (value & kCtrlAbortAmort) {
@@ -383,14 +385,16 @@ void Utcsu::bus_write(SimTime t, RegOffset off, std::uint32_t value) {
       } else {
         staged_acc_plus_ = static_cast<std::uint16_t>(value);
       }
-      acu_.stage(staged_acc_minus_, staged_acc_plus_);
+      acu_.stage(AlphaUnits::of(staged_acc_minus_), AlphaUnits::of(staged_acc_plus_));
       break;
     }
     case kRegLambdaMinus:
-      acu_.minus().set_lambda(osc_.ticks_at(t), static_cast<std::int32_t>(value));
+      acu_.minus().set_lambda(TickCount::of(osc_.ticks_at(t)),
+                              RateStep::raw(static_cast<std::int32_t>(value)));
       break;
     case kRegLambdaPlus:
-      acu_.plus().set_lambda(osc_.ticks_at(t), static_cast<std::int32_t>(value));
+      acu_.plus().set_lambda(TickCount::of(osc_.ticks_at(t)),
+                             RateStep::raw(static_cast<std::int32_t>(value)));
       break;
     case kRegIntEnable:
       int_enable_ = value;

@@ -60,5 +60,75 @@ TEST(SimTime, NeverIsLaterThanEverything) {
   EXPECT_GT(SimTime::never(), SimTime::epoch() + Duration::sec(1'000'000));
 }
 
+TEST(TickCount, ArithmeticAndOrdering) {
+  const TickCount a = TickCount::of(100);
+  const TickCount b = TickCount::of(40);
+  EXPECT_EQ((a + b).value(), 140u);
+  EXPECT_EQ((a - b).value(), 60u);
+  TickCount c = a;
+  c += b;
+  c -= TickCount::of(1);
+  EXPECT_EQ(c.value(), 139u);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(TickCount::zero().value(), 0u);
+}
+
+TEST(TickCount, NeverIsLaterThanAnyRealTick) {
+  EXPECT_TRUE(TickCount::never().is_never());
+  EXPECT_FALSE(TickCount::of(0xFFFF'FFFF'FFFF'FFFEull).is_never());
+  EXPECT_GT(TickCount::never(), TickCount::of(0xFFFF'FFFF'FFFF'FFFEull));
+}
+
+TEST(RateStep, SignedArithmeticAndMagnitude) {
+  const RateStep s = RateStep::raw(1000);
+  EXPECT_EQ((s + RateStep::raw(24)).value(), 1024);
+  EXPECT_EQ((s - RateStep::raw(1)).value(), 999);
+  EXPECT_EQ((-s).value(), -1000);
+  EXPECT_EQ((s / 3).value(), 333);
+  EXPECT_EQ((s * 7).value(), 7000);
+  EXPECT_FALSE(s.negative());
+  EXPECT_TRUE((-s).negative());
+  EXPECT_EQ(s.magnitude(), 1000u);
+  EXPECT_EQ((-s).magnitude(), 1000u);
+  EXPECT_EQ(RateStep::zero().value(), 0);
+}
+
+TEST(RateStep, Reg64RoundTripsTheBusEncoding) {
+  // The register view is the plain two's-complement 64-bit encoding: a
+  // non-negative augend round-trips exactly through the lo/hi bus words.
+  const RateStep s = RateStep::raw(0x0000'0001'2345'6789LL);
+  EXPECT_EQ(s.reg64(), 0x0000'0001'2345'6789ull);
+  const std::uint64_t reg = s.reg64();
+  EXPECT_EQ(RateStep::raw(static_cast<std::int64_t>(reg)), s);
+}
+
+TEST(AlphaUnits, FromDurationRoundsUpAndSaturates) {
+  EXPECT_EQ(AlphaUnits::from_duration(Duration::zero()).value(), 0u);
+  EXPECT_EQ(AlphaUnits::from_duration(-Duration::ms(1)).value(), 0u);
+  // 1 unit = 2^-24 s ~ 59.6 ns: 60 ns rounds *up* to 2 units.
+  EXPECT_EQ(AlphaUnits::from_duration(Duration::ns(60)).value(), 2u);
+  // An exact multiple does not round up past itself.
+  const AlphaUnits u = AlphaUnits::of(1678);
+  EXPECT_EQ(AlphaUnits::from_duration(u.to_duration()).value(), 1678u);
+  // Saturation, including the >= ~0.55 s range that once wrapped in int64.
+  EXPECT_TRUE(AlphaUnits::from_duration(Duration::ms(4)).is_saturated());
+  EXPECT_TRUE(AlphaUnits::from_duration(Duration::sec(300)).is_saturated());
+  EXPECT_EQ(AlphaUnits::saturated().value(), AlphaUnits::kMax);
+}
+
+TEST(AlphaUnits, DurationRoundTripIsContainment) {
+  // from_duration(d).to_duration() >= d never under-represents an
+  // uncertainty, and to_duration -> from_duration is exact (identity).
+  for (const std::int64_t ps : {1LL, 59'604LL, 59'605LL, 1'000'000LL,
+                                123'456'789LL, 3'900'000'000LL}) {
+    const Duration d = Duration::ps(ps);
+    const AlphaUnits u = AlphaUnits::from_duration(d);
+    if (!u.is_saturated()) {
+      EXPECT_GE(u.to_duration() + Duration::ps(1), d) << ps;
+      EXPECT_EQ(AlphaUnits::from_duration(u.to_duration()), u) << ps;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nti

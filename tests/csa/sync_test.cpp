@@ -180,15 +180,15 @@ TEST(Sync, LateCspsCounted) {
 // of the intended huge one.  It must saturate at the 16-bit register max.
 TEST(Sync, AlphaUnitsSaturateForColdStartAccuracies) {
   // 1 unit = 2^-24 s; exact conversions round up.
-  EXPECT_EQ(to_alpha_units(Duration::zero()), 0u);
-  EXPECT_EQ(to_alpha_units(Duration::ns(60)), 2u);  // 60 ns = 1.007 units
-  EXPECT_EQ(to_alpha_units(Duration::us(100)), 1678u);
+  EXPECT_EQ(to_alpha_units(Duration::zero()).value(), 0u);
+  EXPECT_EQ(to_alpha_units(Duration::ns(60)).value(), 2u);  // 60 ns = 1.007 units
+  EXPECT_EQ(to_alpha_units(Duration::us(100)).value(), 1678u);
   // 0xFFFF units is ~3.9 ms: anything at or past that pins to the max.
-  EXPECT_EQ(to_alpha_units(Duration::ms(4)), 0xFFFFu);
+  EXPECT_EQ(to_alpha_units(Duration::ms(4)).value(), 0xFFFFu);
   // The overflow cases: >= ~0.55 s used to wrap through int64.
-  EXPECT_EQ(to_alpha_units(Duration::ms(600)), 0xFFFFu);
-  EXPECT_EQ(to_alpha_units(Duration::sec(1)), 0xFFFFu);
-  EXPECT_EQ(to_alpha_units(Duration::sec(300)), 0xFFFFu);
+  EXPECT_EQ(to_alpha_units(Duration::ms(600)).value(), 0xFFFFu);
+  EXPECT_EQ(to_alpha_units(Duration::sec(1)).value(), 0xFFFFu);
+  EXPECT_EQ(to_alpha_units(Duration::sec(300)).value(), 0xFFFFu);
 }
 
 TEST(Sync, NodeCountersTrackRoundsAndCsps) {

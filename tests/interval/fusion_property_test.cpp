@@ -112,9 +112,11 @@ INSTANTIATE_TEST_SUITE_P(
                       FusionCase{4, 1, 3}, FusionCase{5, 1, 4},
                       FusionCase{7, 2, 5}, FusionCase{9, 2, 6},
                       FusionCase{10, 3, 7}, FusionCase{16, 5, 8}),
-    [](const ::testing::TestParamInfo<FusionCase>& info) {
-      return "n" + std::to_string(info.param.n) + "_f" +
-             std::to_string(info.param.f);
+    // Not `info`: the INSTANTIATE_ macro expands around the lambda with its
+    // own `info` parameter, which -Wshadow (promoted by the lint wall) flags.
+    [](const ::testing::TestParamInfo<FusionCase>& tpi) {
+      return "n" + std::to_string(tpi.param.n) + "_f" +
+             std::to_string(tpi.param.f);
     });
 
 }  // namespace

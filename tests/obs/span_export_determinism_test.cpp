@@ -1,0 +1,110 @@
+// Regression: span export must be byte-identical across runs and across
+// independently-built collectors fed the same event sequence.  The live
+// per-trace state used to be an unordered_map, so anything iterating it
+// (or future exporters doing so) depended on hash layout; the container is
+// now ordered and this test pins the byte-identity contract end to end.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+
+namespace nti::obs {
+namespace {
+
+SimTime at_us(std::int64_t us) { return SimTime::from_ps(us * 1'000'000); }
+
+// Interleave many CSPs across several nodes so a hash-ordered live-trace
+// map would have plenty of opportunity to reorder anything derived from it.
+void play_interleaved(SpanCollector& sc) {
+  std::uint64_t ids[40] = {};
+  for (int i = 0; i < 40; ++i) {
+    const int src = i % 5;
+    ids[i] = sc.begin_csp(src, at_us(100 + i));
+  }
+  // Stages recorded out of begin order, fanning each CSP to two receivers.
+  for (int i = 39; i >= 0; --i) {
+    const int src = i % 5;
+    sc.record(ids[i], SpanStage::kMediumAcquire, at_us(200 + i), src);
+    for (int d = 1; d <= 2; ++d) {
+      const int dst = (src + d) % 5;
+      sc.record(ids[i], SpanStage::kOnWire, at_us(210 + i), dst);
+      sc.record(ids[i], SpanStage::kRxStamp, at_us(220 + i), dst);
+      sc.record(ids[i], SpanStage::kIsrAssoc, at_us(230 + i), dst);
+      if (i % 3 == 0) {
+        sc.record(ids[i], SpanStage::kDiscarded, at_us(240 + i), dst,
+                  static_cast<std::int64_t>(DiscardReason::kLateArrival));
+      } else {
+        sc.record(ids[i], SpanStage::kFused, at_us(240 + i), dst);
+        sc.record(ids[i], SpanStage::kCorrectionApplied, at_us(250 + i), dst,
+                  -7 * i);
+      }
+    }
+    sc.record(ids[i], SpanStage::kTxTrigger, at_us(205 + i), src);
+    sc.record(ids[i], SpanStage::kTxStampInsert, at_us(206 + i), src);
+  }
+}
+
+std::string chrome_json(const SpanCollector& sc) {
+  std::ostringstream os;
+  dump_chrome_trace(os, sc);
+  return os.str();
+}
+
+TEST(SpanExportDeterminism, ChromeTraceBytesIdenticalAcrossCollectors) {
+  SpanCollector a;
+  SpanCollector b;
+  play_interleaved(a);
+  play_interleaved(b);
+  const std::string ja = chrome_json(a);
+  ASSERT_FALSE(ja.empty());
+  EXPECT_EQ(ja, chrome_json(b));
+  // Re-exporting the same collector must also be stable (no internal
+  // mutation during export).
+  EXPECT_EQ(ja, chrome_json(a));
+}
+
+TEST(SpanExportDeterminism, MetricsSnapshotIdenticalAcrossCollectors) {
+  SpanCollector a;
+  SpanCollector b;
+  play_interleaved(a);
+  play_interleaved(b);
+  MetricsRegistry ra;
+  MetricsRegistry rb;
+  a.register_metrics(ra, "span.");
+  b.register_metrics(rb, "span.");
+  const std::string ja = ra.to_json();
+  const std::string jb = rb.to_json();
+  ASSERT_FALSE(ja.empty());
+  EXPECT_EQ(ja, jb);
+}
+
+TEST(SpanExportDeterminism, TraceEventsIdenticalAcrossCollectors) {
+  SpanCollector a;
+  SpanCollector b;
+  play_interleaved(a);
+  play_interleaved(b);
+  // Per-trace event sequences come back in recording order, field for
+  // field, regardless of how many other traces were interleaved.
+  for (std::uint64_t trace = 1; trace <= a.spans_started(); ++trace) {
+    const auto ea = a.trace_events(trace);
+    const auto eb = b.trace_events(trace);
+    ASSERT_GE(ea.size(), 2u) << "trace=" << trace;
+    ASSERT_EQ(ea.size(), eb.size()) << "trace=" << trace;
+    EXPECT_EQ(ea.front().stage, SpanStage::kSendRequest);
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].stage, eb[i].stage) << "trace=" << trace << " i=" << i;
+      EXPECT_EQ(ea[i].t_ps, eb[i].t_ps) << "trace=" << trace << " i=" << i;
+      EXPECT_EQ(ea[i].parent_ps, eb[i].parent_ps);
+      EXPECT_EQ(ea[i].node, eb[i].node);
+      EXPECT_EQ(ea[i].detail, eb[i].detail);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nti::obs

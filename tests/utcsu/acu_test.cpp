@@ -7,81 +7,89 @@
 namespace nti::utcsu {
 namespace {
 
+TickCount tick(std::uint64_t n) { return TickCount::of(n); }
+
 TEST(AccuracyCell, DeterioratesLinearly) {
   AccuracyCell c;
-  c.set(0, 0);
-  c.set_lambda(0, static_cast<std::int64_t>(AccuracyCell::kPhiPerUnit));  // 1 unit per tick
-  EXPECT_EQ(c.read_at_tick(5), 5);
-  EXPECT_EQ(c.read_at_tick(100), 100);
+  c.set(tick(0), AlphaUnits::of(0));
+  c.set_lambda(tick(0), RateStep::raw(static_cast<std::int64_t>(
+                            AccuracyCell::kPhiPerUnit)));  // 1 unit per tick
+  EXPECT_EQ(c.read_at_tick(tick(5)).value(), 5);
+  EXPECT_EQ(c.read_at_tick(tick(100)).value(), 100);
 }
 
 TEST(AccuracyCell, SetOverridesAccumulated) {
   AccuracyCell c;
-  c.set_lambda(0, static_cast<std::int64_t>(AccuracyCell::kPhiPerUnit));
-  c.read_at_tick(50);
-  c.set(50, 7);
-  EXPECT_EQ(c.read_at_tick(50), 7);
-  EXPECT_EQ(c.read_at_tick(53), 10);
+  c.set_lambda(tick(0), RateStep::raw(static_cast<std::int64_t>(
+                            AccuracyCell::kPhiPerUnit)));
+  c.read_at_tick(tick(50));
+  c.set(tick(50), AlphaUnits::of(7));
+  EXPECT_EQ(c.read_at_tick(tick(50)).value(), 7);
+  EXPECT_EQ(c.read_at_tick(tick(53)).value(), 10);
 }
 
 TEST(AccuracyCell, SaturatesInsteadOfWrapping) {
   // Wrap suppression (paper Sec. 3.3): a stale accuracy must never shrink.
   AccuracyCell c;
-  c.set(0, 0xFFFE);
-  c.set_lambda(0, static_cast<std::int64_t>(AccuracyCell::kPhiPerUnit) * 100);
-  EXPECT_EQ(c.read_at_tick(1'000'000), 0xFFFF);
-  EXPECT_EQ(c.read_at_tick(2'000'000), 0xFFFF);
+  c.set(tick(0), AlphaUnits::of(0xFFFE));
+  c.set_lambda(tick(0), RateStep::raw(static_cast<std::int64_t>(
+                            AccuracyCell::kPhiPerUnit)) * 100);
+  EXPECT_EQ(c.read_at_tick(tick(1'000'000)).value(), 0xFFFF);
+  EXPECT_TRUE(c.read_at_tick(tick(1'000'000)).is_saturated());
+  EXPECT_EQ(c.read_at_tick(tick(2'000'000)).value(), 0xFFFF);
 }
 
 TEST(AccuracyCell, ZeroMasksNegative) {
   // Zero-masking during amortization: a shrinking accuracy clamps at 0.
   AccuracyCell c;
-  c.set(0, 10);
-  c.set_lambda(0, -static_cast<std::int64_t>(AccuracyCell::kPhiPerUnit));
-  EXPECT_EQ(c.read_at_tick(5), 5);
-  EXPECT_EQ(c.read_at_tick(10), 0);
-  EXPECT_EQ(c.read_at_tick(100), 0);  // stays clamped, no wrap to 0xFFFF
+  c.set(tick(0), AlphaUnits::of(10));
+  c.set_lambda(tick(0), -RateStep::raw(static_cast<std::int64_t>(
+                            AccuracyCell::kPhiPerUnit)));
+  EXPECT_EQ(c.read_at_tick(tick(5)).value(), 5);
+  EXPECT_EQ(c.read_at_tick(tick(10)).value(), 0);
+  EXPECT_EQ(c.read_at_tick(tick(100)).value(), 0);  // stays clamped, no wrap to 0xFFFF
 }
 
 TEST(AccuracyCell, SubUnitLambdaAccumulates) {
   // Realistic deterioration: ~2 ppm of a 100 ns tick is far below one
   // 60 ns unit per tick; growth must still appear over enough ticks.
   AccuracyCell c;
-  c.set(0, 0);
+  c.set(tick(0), AlphaUnits::of(0));
   // 450 phi/tick (2 ppm at 10 MHz); one unit = 2^27 phi -> ~298k ticks/unit.
-  c.set_lambda(0, 450);
-  EXPECT_EQ(c.read_at_tick(100'000), 0);
-  EXPECT_GE(c.read_at_tick(10'000'000), 30);  // 1 s -> ~33 units (~2 us)
-  EXPECT_LE(c.read_at_tick(10'000'000), 36);
+  c.set_lambda(tick(0), RateStep::raw(450));
+  EXPECT_EQ(c.read_at_tick(tick(100'000)).value(), 0);
+  EXPECT_GE(c.read_at_tick(tick(10'000'000)).value(), 30);  // 1 s -> ~33 units (~2 us)
+  EXPECT_LE(c.read_at_tick(tick(10'000'000)).value(), 36);
 }
 
 TEST(Acu, PackedCombinesBothCells) {
   osc::QuartzOscillator osc(osc::OscConfig::ideal(10e6), RngStream(1));
   Acu acu(osc);
-  acu.minus().set(0, 0x1234);
-  acu.plus().set(0, 0x5678);
-  EXPECT_EQ(acu.packed_at_tick(0), 0x1234'5678u);
+  acu.minus().set(tick(0), AlphaUnits::of(0x1234));
+  acu.plus().set(tick(0), AlphaUnits::of(0x5678));
+  EXPECT_EQ(acu.packed_at_tick(tick(0)), 0x1234'5678u);
 }
 
 TEST(Acu, StagedApplyIsAtomicPair) {
   osc::QuartzOscillator osc(osc::OscConfig::ideal(10e6), RngStream(1));
   Acu acu(osc);
-  acu.stage(100, 200);
-  EXPECT_EQ(acu.alpha_minus(SimTime::epoch()), 0);  // not yet applied
+  acu.stage(AlphaUnits::of(100), AlphaUnits::of(200));
+  EXPECT_EQ(acu.alpha_minus(SimTime::epoch()).value(), 0);  // not yet applied
   acu.apply_staged(SimTime::epoch() + Duration::ms(1));
-  EXPECT_EQ(acu.alpha_minus(SimTime::epoch() + Duration::ms(1)), 100);
-  EXPECT_EQ(acu.alpha_plus(SimTime::epoch() + Duration::ms(1)), 200);
+  EXPECT_EQ(acu.alpha_minus(SimTime::epoch() + Duration::ms(1)).value(), 100);
+  EXPECT_EQ(acu.alpha_plus(SimTime::epoch() + Duration::ms(1)).value(), 200);
 }
 
 TEST(Acu, AlphaReadsTrackRealTime) {
   osc::QuartzOscillator osc(osc::OscConfig::ideal(10e6), RngStream(1));
   Acu acu(osc);
-  acu.stage(0, 0);
+  acu.stage(AlphaUnits::of(0), AlphaUnits::of(0));
   acu.apply_staged(SimTime::epoch());
-  const auto lambda = static_cast<std::int64_t>(AccuracyCell::kPhiPerUnit);  // 1 unit/tick
-  acu.minus().set_lambda(0, lambda);
+  const auto lambda = RateStep::raw(
+      static_cast<std::int64_t>(AccuracyCell::kPhiPerUnit));  // 1 unit/tick
+  acu.minus().set_lambda(tick(0), lambda);
   // After 1 ms at 10 MHz: 10,000 ticks -> 10,000 units.
-  EXPECT_EQ(acu.alpha_minus(SimTime::epoch() + Duration::ms(1)), 10'000);
+  EXPECT_EQ(acu.alpha_minus(SimTime::epoch() + Duration::ms(1)).value(), 10'000);
 }
 
 }  // namespace

@@ -46,7 +46,7 @@ TEST(DutyTimer, FiresWhenClockReachesCompare) {
 TEST(DutyTimer, FiringTracksRateChanges) {
   Fixture f;
   // Run the clock at half speed; a 500 ms compare then fires at ~1 s real.
-  const std::uint64_t half = Ltu::nominal_step(10e6) / 2;
+  const std::uint64_t half = Ltu::nominal_step(10e6).reg64() / 2;
   f.chip.bus_write(SimTime::epoch(), kRegStepLo, static_cast<std::uint32_t>(half));
   f.chip.bus_write(SimTime::epoch(), kRegStepHi, static_cast<std::uint32_t>(half >> 32));
   f.chip.bus_write(SimTime::epoch(), kRegIntEnable, int_bit(IntSource::kDuty0, 1));
@@ -71,7 +71,7 @@ TEST(DutyTimer, RearmedOnStepChangeMidFlight) {
   // At 400 ms real time, double the clock speed: remaining 400 clock-ms
   // take only 200 real-ms -> fire at ~600 ms.
   f.engine.schedule_at(SimTime::epoch() + Duration::ms(400), [&f] {
-    const std::uint64_t dbl = Ltu::nominal_step(10e6) * 2;
+    const std::uint64_t dbl = Ltu::nominal_step(10e6).reg64() * 2;
     f.chip.bus_write(f.engine.now(), kRegStepLo, static_cast<std::uint32_t>(dbl));
     f.chip.bus_write(f.engine.now(), kRegStepHi, static_cast<std::uint32_t>(dbl >> 32));
   });
@@ -126,7 +126,7 @@ TEST(DutyTimer, FiresThroughAmortization) {
   Fixture f;
   // Start a fast amortization, then arm a timer whose target falls inside
   // the slew phase; the firing time must reflect the faster clock.
-  const std::uint64_t step = Ltu::nominal_step(10e6);
+  const std::uint64_t step = Ltu::nominal_step(10e6).reg64();
   f.chip.bus_write(SimTime::epoch(), kRegAmortStepLo,
                    static_cast<std::uint32_t>(step * 2));
   f.chip.bus_write(SimTime::epoch(), kRegAmortStepHi,

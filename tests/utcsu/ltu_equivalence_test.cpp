@@ -1,0 +1,89 @@
+// Bit-equivalence pin against the pre-strong-typing implementation.
+//
+// The strong-typed LTU/ACU API (TickCount / RateStep / AlphaUnits) is a
+// pure re-typing: every recorded value below was captured from the raw
+// uint64_t implementation immediately before the migration, replaying the
+// exact same operation sequence on the same deterministic TCXO.  Any drift
+// in these comparisons means the refactor changed numeric behavior, which
+// it must never do.
+#include <gtest/gtest.h>
+
+#include "common/phi.hpp"
+#include "osc/oscillator.hpp"
+#include "utcsu/acu.hpp"
+#include "utcsu/ltu.hpp"
+
+namespace nti::utcsu {
+namespace {
+
+TEST(LtuEquivalence, RecordedVectorMatchesSeedImplementation) {
+  // Drifting (but deterministic) TCXO: the sequence exercises rate changes,
+  // amortization, both leap directions, synchronizer projection, and the
+  // duty-timer inversion -- each compared bit-for-bit.
+  osc::QuartzOscillator osc(osc::OscConfig::tcxo(10e6), RngStream(42));
+  Ltu ltu(osc, Phi::from_sec(5));
+  const SimTime e = SimTime::epoch();
+
+  EXPECT_EQ(ltu.read(e + Duration::sec(1)).raw_value(),
+            u128{0x002fffffffc7c480ull});
+  ltu.set_step(e + Duration::sec(1),
+               Ltu::nominal_step(10e6) + RateStep::raw(17));
+  EXPECT_EQ(ltu.read(e + Duration::sec(2)).raw_value(),
+            u128{0x0038000009b18780ull});
+
+  const RateStep step = ltu.step();
+  ltu.start_amortization(e + Duration::sec(2), step + step / 500,
+                         TickCount::of(2'000'000));
+  EXPECT_EQ(ltu.read(e + Duration::ms(2100)).raw_value(),
+            u128{0x0038cd35b2f916c0ull});
+  EXPECT_EQ(ltu.value_at_tick(
+                   TickCount::of(osc.ticks_at(e + Duration::ms(2150)) + 2))
+                .raw_value(),
+            u128{0x003933d0a2828f8aull});
+  EXPECT_EQ(ltu.read(e + Duration::sec(3)).raw_value(),
+            u128{0x004000d1ca954200ull});
+
+  ltu.arm_leap(true, Phi::from_sec(9));
+  EXPECT_EQ(ltu.read(e + Duration::sec(6)).raw_value(),
+            u128{0x006000d1e8528b00ull});
+  EXPECT_EQ(ltu.tick_reaching(Phi::from_sec(12)).value(), 0x03938700ull);
+
+  ltu.arm_leap(false, Phi::from_sec(13));
+  EXPECT_EQ(ltu.read(e + Duration::sec(9)).raw_value(),
+            u128{0x007000d2137bcd5eull});
+
+  ltu.set_step(e + Duration::sec(9),
+               Ltu::nominal_step(10e6) - RateStep::raw(31));
+  ltu.start_amortization(e + Duration::sec(9),
+                         ltu.step() - ltu.step() / 1000,
+                         TickCount::of(500'000));
+  EXPECT_EQ(ltu.read(e + Duration::sec(10)).raw_value(),
+            u128{0x007800b7c9ede9feull});
+  EXPECT_EQ(ltu.capture_tick(e + Duration::ms(10'500), 2).value(),
+            0x06422c43ull);
+  EXPECT_EQ(ltu.value_at_tick(ltu.capture_tick(e + Duration::ms(10'500), 2))
+                .raw_value(),
+            u128{0x007c00b7db6ca1daull});
+}
+
+TEST(AcuEquivalence, RecordedDeteriorationMatchesSeedImplementation) {
+  AccuracyCell c;
+  c.set(TickCount::of(0), AlphaUnits::of(3));
+  c.set_lambda(TickCount::of(0), RateStep::raw(450));
+  EXPECT_EQ(c.read_at_tick(TickCount::of(100'000)).value(), 0x0003);
+  EXPECT_EQ(c.read_at_tick(TickCount::of(10'000'000)).value(), 0x0024);
+  c.set_lambda(TickCount::of(10'000'000),
+               -RateStep::raw(static_cast<std::int64_t>(
+                   AccuracyCell::kPhiPerUnit)));
+  EXPECT_EQ(c.read_at_tick(TickCount::of(10'000'040)).value(), 0x0000);
+  EXPECT_EQ(c.read_at_tick(TickCount::of(20'000'000)).value(), 0x0000);
+  c.set(TickCount::of(20'000'000), AlphaUnits::of(0xFFF0));
+  c.set_lambda(TickCount::of(20'000'000),
+               RateStep::raw(static_cast<std::int64_t>(
+                   AccuracyCell::kPhiPerUnit)) * 7);
+  EXPECT_EQ(c.read_at_tick(TickCount::of(20'000'100)).value(), 0xFFFF);
+  EXPECT_EQ(c.raw_at_tick(TickCount::of(20'000'200)), 0x000007fff8000000ull);
+}
+
+}  // namespace
+}  // namespace nti::utcsu

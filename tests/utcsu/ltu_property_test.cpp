@@ -35,8 +35,9 @@ TEST_P(LtuProperty, ClosedFormMatchesPerTickSum) {
   osc::QuartzOscillator osc(config_of(c), RngStream(c.seed));
   Ltu ltu(osc, Phi::from_sec(3));
   const auto step = static_cast<std::uint64_t>(
-      static_cast<double>(Ltu::nominal_step(c.f_mhz * 1e6)) * c.step_scale);
-  ltu.set_step(SimTime::epoch(), step);
+      static_cast<double>(Ltu::nominal_step(c.f_mhz * 1e6).value()) *
+      c.step_scale);
+  ltu.set_step(SimTime::epoch(), RateStep::raw(static_cast<std::int64_t>(step)));
 
   // Reference: value(tick n) = initial + n * step (no amortization).
   // Reads advance internal state, so probe in time order.
@@ -57,16 +58,19 @@ TEST_P(LtuProperty, TickReachingIsExactInverse) {
   osc::QuartzOscillator osc(config_of(c), RngStream(c.seed));
   Ltu ltu(osc, Phi::from_sec(0));
   const auto step = static_cast<std::uint64_t>(
-      static_cast<double>(Ltu::nominal_step(c.f_mhz * 1e6)) * c.step_scale);
-  ltu.set_step(SimTime::epoch(), step);
+      static_cast<double>(Ltu::nominal_step(c.f_mhz * 1e6).value()) *
+      c.step_scale);
+  ltu.set_step(SimTime::epoch(), RateStep::raw(static_cast<std::int64_t>(step)));
 
   RngStream probe(c.seed ^ 0x7777);
   for (int i = 0; i < 30; ++i) {
     const Phi target = Phi::from_duration(
         Duration::ps(probe.uniform_int(1'000'000, 900'000'000'000)));
-    const std::uint64_t n = ltu.tick_reaching(target);
+    const TickCount n = ltu.tick_reaching(target);
     EXPECT_GE(ltu.value_at_tick(n), target);
-    if (n > 0) EXPECT_LT(ltu.value_at_tick(n - 1), target);
+    if (n > TickCount::zero()) {
+      EXPECT_LT(ltu.value_at_tick(n - TickCount::of(1)), target);
+    }
   }
 }
 
@@ -76,10 +80,12 @@ TEST_P(LtuProperty, AmortizationConservesTotalAdjustment) {
   Ltu ltu(osc, Phi::from_sec(0));
   const SimTime t0 = SimTime::epoch() + Duration::ms(10);
   const Phi base = ltu.read(t0);
-  const std::uint64_t step = ltu.step();
+  const std::uint64_t step = ltu.step().magnitude();
   const std::uint64_t dpt = std::max<std::uint64_t>(1, step / 777);
   const std::uint64_t ticks = 1'000'000;
-  ltu.start_amortization(t0, step + dpt, ticks);
+  ltu.start_amortization(t0,
+                         RateStep::raw(static_cast<std::int64_t>(step + dpt)),
+                         TickCount::of(ticks));
   // Far beyond amortization end.
   const SimTime t1 = t0 + Duration::sec(2);
   const std::uint64_t n0 = osc.ticks_at(t0);
@@ -101,11 +107,12 @@ TEST_P(LtuProperty, ReadsAreMonotoneAcrossRegimeChanges) {
     t += Duration::ps(chaos.uniform_int(1000, 30'000'000'000));
     switch (chaos.uniform_int(0, 3)) {
       case 0:
-        ltu.set_step(t, ltu.step() + static_cast<std::uint64_t>(chaos.uniform_int(-500, 500)));
+        ltu.set_step(t, ltu.step() + RateStep::raw(chaos.uniform_int(-500, 500)));
         break;
       case 1:
-        ltu.start_amortization(t, ltu.step() + ltu.step() / 200,
-                               static_cast<std::uint64_t>(chaos.uniform_int(1, 200'000)));
+        ltu.start_amortization(
+            t, ltu.step() + ltu.step() / 200,
+            TickCount::of(static_cast<std::uint64_t>(chaos.uniform_int(1, 200'000))));
         break;
       case 2:
         ltu.abort_amortization(t);

@@ -20,8 +20,8 @@ SimTime at_sec(std::int64_t s) { return SimTime::epoch() + Duration::sec(s); }
 
 TEST(Ltu, NominalStepValue) {
   // STEP = 2^51 / 10^7, about 225 x 10^6 phi per 100 ns tick.
-  EXPECT_EQ(Ltu::nominal_step(10e6), 225'179'981ull + 0u);
-  EXPECT_NEAR(static_cast<double>(Ltu::nominal_step(10e6)) * 10e6,
+  EXPECT_EQ(Ltu::nominal_step(10e6).value(), 225'179'981);
+  EXPECT_NEAR(static_cast<double>(Ltu::nominal_step(10e6).value()) * 10e6,
               static_cast<double>(Phi::kPerSec), 1e7);
 }
 
@@ -50,7 +50,7 @@ TEST(Ltu, RateAdjustGranularity) {
   // single augend LSB.
   Fixture f;
   Ltu nudged(f.osc, Phi::from_sec(0));
-  nudged.set_step(SimTime::epoch(), Ltu::nominal_step(10e6) + 1);
+  nudged.set_step(SimTime::epoch(), Ltu::nominal_step(10e6) + RateStep::raw(1));
   const Phi a = f.ltu.read(at_sec(100));
   const Phi b = nudged.read(at_sec(100));
   const double gained = (b - a).to_sec_f();
@@ -70,11 +70,11 @@ TEST(Ltu, AmortizationAppliesExactOffset) {
   Fixture f;
   f.ltu.read(at_sec(1));
   // Absorb +1 ms by running 0.1% fast: extra = step/1000 per tick.
-  const std::uint64_t step = f.ltu.step();
-  const std::uint64_t extra = step / 1000;
+  const RateStep step = f.ltu.step();
+  const RateStep extra = step / 1000;
   const u128 want = Phi::from_duration(Duration::ms(1)).raw_value();
-  const auto ticks = static_cast<std::uint64_t>(want / extra);
-  f.ltu.start_amortization(at_sec(1), step + extra, ticks);
+  const auto ticks = static_cast<std::uint64_t>(want / extra.magnitude());
+  f.ltu.start_amortization(at_sec(1), step + extra, TickCount::of(ticks));
   EXPECT_TRUE(f.ltu.amortizing());
 
   // Amortization lasts ticks/10MHz ~ 1 s; read well past the end.
@@ -87,9 +87,9 @@ TEST(Ltu, AmortizationAppliesExactOffset) {
 TEST(Ltu, AmortizationKeepsClockMonotoneWhenSlowingDown) {
   Fixture f;
   f.ltu.read(at_sec(1));
-  const std::uint64_t step = f.ltu.step();
-  const std::uint64_t less = step / 500;
-  f.ltu.start_amortization(at_sec(1), step - less, 1'000'000);
+  const RateStep step = f.ltu.step();
+  const RateStep less = step / 500;
+  f.ltu.start_amortization(at_sec(1), step - less, TickCount::of(1'000'000));
   Phi prev = f.ltu.read(at_sec(1));
   for (int i = 0; i < 100; ++i) {
     const Phi c = f.ltu.read(at_sec(1) + Duration::ms(5 * (i + 1)));
@@ -100,8 +100,8 @@ TEST(Ltu, AmortizationKeepsClockMonotoneWhenSlowingDown) {
 
 TEST(Ltu, AbortAmortizationStopsSlew) {
   Fixture f;
-  const std::uint64_t step = f.ltu.step();
-  f.ltu.start_amortization(SimTime::epoch(), step * 2, 10'000'000);  // huge
+  const RateStep step = f.ltu.step();
+  f.ltu.start_amortization(SimTime::epoch(), step * 2, TickCount::of(10'000'000));  // huge
   f.ltu.read(at_sec(1));
   f.ltu.abort_amortization(at_sec(1));
   EXPECT_FALSE(f.ltu.amortizing());
@@ -132,15 +132,16 @@ TEST(Ltu, LeapDeleteRemovesSecond) {
 
 TEST(Ltu, TickReachingProjectsThroughAmortization) {
   Fixture f;
-  const std::uint64_t step = f.ltu.step();
+  const RateStep step = f.ltu.step();
   // Slew fast for 1e6 ticks then nominal; target beyond the slew phase.
-  f.ltu.start_amortization(SimTime::epoch(), step + step / 100, 1'000'000);
-  const std::uint64_t tick = f.ltu.tick_reaching(Phi::from_sec(2));
-  const SimTime when = f.osc.time_of_tick(tick);
+  f.ltu.start_amortization(SimTime::epoch(), step + step / 100,
+                           TickCount::of(1'000'000));
+  const TickCount tick = f.ltu.tick_reaching(Phi::from_sec(2));
+  const SimTime when = f.osc.time_of_tick(tick.value());
   const Phi at = f.ltu.value_at_tick(tick);
   EXPECT_GE(at, Phi::from_sec(2));
   // One tick earlier must be below target.
-  EXPECT_LT(f.ltu.value_at_tick(tick - 1), Phi::from_sec(2));
+  EXPECT_LT(f.ltu.value_at_tick(tick - TickCount::of(1)), Phi::from_sec(2));
   // Faster-than-nominal start -> reach 2 s slightly before real-time 2 s.
   EXPECT_LT(when, at_sec(2));
 }
@@ -149,7 +150,7 @@ TEST(Ltu, ValueAtTickDoesNotCommitFutureState) {
   Fixture f;
   const std::uint64_t now_tick = f.osc.ticks_at(at_sec(1));
   f.ltu.read(at_sec(1));
-  const Phi future = f.ltu.value_at_tick(now_tick + 2);  // synchronizer peek
+  const Phi future = f.ltu.value_at_tick(TickCount::of(now_tick + 2));  // synchronizer peek
   EXPECT_GT(future, f.ltu.read(at_sec(1)));
   // A later normal read at the same instant is unaffected by the peek.
   const Phi again = f.ltu.read(at_sec(1));
@@ -159,8 +160,8 @@ TEST(Ltu, ValueAtTickDoesNotCommitFutureState) {
 TEST(Ltu, CaptureTickAddsSynchronizerStages) {
   Fixture f;
   const SimTime t = at_sec(1) + Duration::ns(3);
-  EXPECT_EQ(f.ltu.capture_tick(t, 1), f.osc.ticks_at(t) + 1);
-  EXPECT_EQ(f.ltu.capture_tick(t, 2), f.osc.ticks_at(t) + 2);
+  EXPECT_EQ(f.ltu.capture_tick(t, 1).value(), f.osc.ticks_at(t) + 1);
+  EXPECT_EQ(f.ltu.capture_tick(t, 2).value(), f.osc.ticks_at(t) + 2);
 }
 
 // Regression: value_at_tick used to project under the current rate regime
@@ -169,7 +170,8 @@ TEST(Ltu, CaptureTickAddsSynchronizerStages) {
 TEST(Ltu, ValueAtTickProjectsArmedLeapInsert) {
   Fixture f;
   f.ltu.arm_leap(true, Phi::from_sec(5));
-  const Phi projected = f.ltu.value_at_tick(f.osc.ticks_at(at_sec(6)));
+  const Phi projected =
+      f.ltu.value_at_tick(TickCount::of(f.osc.ticks_at(at_sec(6))));
   EXPECT_NEAR(projected.to_sec_f(), 7.0, 1e-5);
   // The peek must not consume the armed leap...
   EXPECT_TRUE(f.ltu.leap_pending());
@@ -180,7 +182,8 @@ TEST(Ltu, ValueAtTickProjectsArmedLeapInsert) {
 TEST(Ltu, ValueAtTickProjectsArmedLeapDelete) {
   Fixture f;
   f.ltu.arm_leap(false, Phi::from_sec(5));
-  const Phi projected = f.ltu.value_at_tick(f.osc.ticks_at(at_sec(6)));
+  const Phi projected =
+      f.ltu.value_at_tick(TickCount::of(f.osc.ticks_at(at_sec(6))));
   EXPECT_NEAR(projected.to_sec_f(), 5.0, 1e-5);
   EXPECT_EQ(f.ltu.read(at_sec(6)).raw_value(), projected.raw_value());
 }

@@ -111,9 +111,9 @@ TEST(Utcsu, StepWriteCommitsOnHighWord) {
   const std::uint64_t want = 0x0000'0001'2345'6789ull;
   f.chip.bus_write(f.at(1), kRegStepLo, static_cast<std::uint32_t>(want));
   // Low write alone must not take effect yet.
-  EXPECT_NE(f.chip.ltu().step(), want);
+  EXPECT_NE(f.chip.ltu().step().reg64(), want);
   f.chip.bus_write(f.at(1), kRegStepHi, static_cast<std::uint32_t>(want >> 32));
-  EXPECT_EQ(f.chip.ltu().step(), want);
+  EXPECT_EQ(f.chip.ltu().step().reg64(), want);
 }
 
 TEST(Utcsu, TimeSetAppliesAtomicallyWithAccuracies) {

@@ -23,10 +23,20 @@ PR-over-PR trajectory trends them directly: baseline vs worst-cell
 precision, the degradation factor between them, per-cell p99s, and the
 crash-cell rejoin statistics.
 
-Usage: collect_bench.py [directory]   (default: current directory)
-Exit status: 0 when every collected bench passed, 1 otherwise (missing
-"pass" counts as a failure), 2 when no reports were found.
+Usage: collect_bench.py [directory] [--expect name1,name2,...]
+(default directory: current directory)
+
+--expect declares the bench reports that MUST be present: a missing
+BENCH_<name>.json is reported by name and fails the run.  A silently
+missing report used to collapse into a smaller-but-green summary -- the
+worst failure mode for a trajectory file -- so absence is now as loud as a
+failing bench.
+
+Exit status: 0 when every collected bench passed and every expected report
+exists, 1 otherwise (missing "pass", a failed bench, or a missing expected
+report), 2 when no reports were found at all.
 """
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -53,7 +63,7 @@ def resilience_section(metrics: dict) -> dict:
     return section
 
 
-def collect(directory: Path) -> dict:
+def collect(directory: Path, expected: list) -> dict:
     benches = {}
     failed = []
     for path in sorted(directory.glob("BENCH_*.json")):
@@ -75,12 +85,17 @@ def collect(directory: Path) -> dict:
             "metrics": dict(sorted(metrics.items())),
             "config": dict(sorted(report.get("config", {}).items())),
         }
+    missing = sorted(set(expected) - set(benches))
+    for name in missing:
+        print(f"collect_bench: MISSING expected report BENCH_{name}.json "
+              f"in {directory}", file=sys.stderr)
     summary = {
         "benches": benches,
         "totals": {
             "count": len(benches),
             "passed": len(benches) - len(failed),
             "failed": sorted(failed),
+            "missing": missing,
         },
         "artifacts": {
             "traces": sorted(p.name for p in directory.glob("TRACE_*.json")),
@@ -94,17 +109,29 @@ def collect(directory: Path) -> dict:
 
 
 def main(argv: list) -> int:
-    directory = Path(argv[1]) if len(argv) > 1 else Path(".")
-    summary = collect(directory)
+    ap = argparse.ArgumentParser(
+        description="Fold BENCH_*.json reports into BENCH_SUMMARY.json")
+    ap.add_argument("directory", nargs="?", default=".", type=Path)
+    ap.add_argument("--expect", action="append", default=[],
+                    help="comma-separated bench names that must be present; "
+                         "repeatable")
+    args = ap.parse_args(argv[1:])
+    expected = [n for chunk in args.expect for n in chunk.split(",") if n]
+    summary = collect(args.directory, expected)
     if not summary["benches"]:
-        print(f"collect_bench: no BENCH_*.json in {directory}", file=sys.stderr)
+        print(f"collect_bench: no BENCH_*.json in {args.directory}",
+              file=sys.stderr)
         return 2
-    out = directory / "BENCH_SUMMARY.json"
+    out = args.directory / "BENCH_SUMMARY.json"
     out.write_text(json.dumps(summary, indent=1, sort_keys=False) + "\n")
     totals = summary["totals"]
     print(f"collect_bench: {out} ({totals['passed']}/{totals['count']} passed)")
     if totals["failed"]:
         print(f"collect_bench: FAILED: {', '.join(totals['failed'])}",
+              file=sys.stderr)
+        return 1
+    if totals["missing"]:
+        print(f"collect_bench: MISSING: {', '.join(totals['missing'])}",
               file=sys.stderr)
         return 1
     return 0

@@ -1,0 +1,598 @@
+#!/usr/bin/env python3
+"""nti-lint: repo-specific determinism & unit-safety lint for the NTI tree.
+
+The deterministic clock core must stay bit-reproducible and unit-safe, and
+those properties are invariants the compiler cannot check.  This tool walks
+``src/`` and enforces them as a ctest (label ``lint``); see
+docs/STATIC_ANALYSIS.md for the full contract.
+
+Rules (category in parentheses is the sanction key):
+
+  float     No ``double``/``float`` types in the deterministic clock core
+            (src/utcsu, src/csa, src/interval).  Real-valued configuration
+            inputs are allowed only behind an explicit sanction that states
+            where the value is re-quantized to integers.
+  nondet    No nondeterminism sources anywhere in src/: std::random_device,
+            rand()/srand(), time(NULL/nullptr/0), the std::chrono wall
+            clocks, getenv.
+  unordered No std::unordered_{map,set,multimap,multiset} anywhere in src/:
+            hash iteration order is layout-dependent and has already caused
+            export nondeterminism once.
+  offset    No raw hex literals in the *address* argument of bus_read /
+            bus_write / cpu_read32 / cpu_write32 calls, and no
+            ``<base> + 0x...`` address math; register offsets live in
+            src/nti/memmap.hpp and src/utcsu/regs.hpp as named constants.
+            (Write *values* are exempt: broadcast masks etc. are data.)
+  metric    Metric names registered via add_counter/add_gauge/
+            add_distribution and register_metrics prefixes must be
+            lowercase dotted snake_case, and full names must start with a
+            documented root (see METRIC_ROOTS / docs/OBSERVABILITY.md).
+
+Sanction grammar (reason text after ``:`` is mandatory -- an unexplained
+exemption is itself a defect):
+
+  // nti-lint: allow(CAT): reason           this line or the next line
+  // nti-lint: begin-allow(CAT): reason     region start
+  // nti-lint: end-allow(CAT)               region end
+  // nti-lint: allow-file(CAT): reason      whole file
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+
+Implementation note: the container has no libclang, so this is a line
+lexer, not a parser.  It strips string literals and comments before
+matching, and understands just enough argument structure for the offset
+rule.  That makes it conservative where it must be (sanctions are explicit)
+and cheap everywhere else.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+CATEGORIES = ("float", "nondet", "unordered", "offset", "metric")
+
+# Directories (relative to the repo root) whose files are linted at all.
+SRC_ROOT = "src"
+
+# The deterministic clock core: the only scope of the `float` rule.
+CLOCK_CORE_DIRS = ("src/utcsu", "src/csa", "src/interval")
+
+# Files allowed to define raw register offsets.
+OFFSET_HOME_FILES = ("src/nti/memmap.hpp", "src/utcsu/regs.hpp")
+
+# Documented metric-name roots (first dotted segment of a full name or of a
+# register_metrics prefix).  Extend here *and* in docs/STATIC_ANALYSIS.md.
+METRIC_ROOTS = {
+    "sim", "net", "fault", "cluster", "span", "csa",
+    "comco", "node", "gps", "mc", "obs",
+}
+
+CPP_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".h")
+
+SANCTION_RE = re.compile(
+    r"//\s*nti-lint:\s*"
+    r"(?P<kind>allow|begin-allow|end-allow|allow-file)"
+    r"\((?P<cat>[a-z]+)\)"
+    r"(?P<reason>:.*)?$"
+)
+
+FLOAT_RE = re.compile(r"\b(?:double|float)\b")
+NONDET_RE = re.compile(
+    r"std::random_device"
+    r"|\brandom_device\b"
+    r"|(?<![\w:])s?rand\s*\("
+    r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+    r"|std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+    r"|(?<![\w:])(?:std::)?getenv\b"
+)
+UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+HEX_RE = re.compile(r"0[xX][0-9a-fA-F'][0-9a-fA-F']*")
+BUS_CALL_RE = re.compile(r"\b(bus_read|bus_write|cpu_read32|cpu_write32)\s*\(")
+OFFSET_MATH_RE = re.compile(r"\bk\w*Base\s*\+\s*0[xX][0-9a-fA-F']+")
+METRIC_CALL_RE = re.compile(r"\b(add_counter|add_gauge|add_distribution)\s*\(")
+REGISTER_METRICS_RE = re.compile(r"\bregister_metrics\s*\(")
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_.<>]+$")  # <N> placeholders in docs
+STRING_LIT_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+class Violation:
+    def __init__(self, path: str, line: int, cat: str, message: str):
+        self.path = path
+        self.line = line
+        self.cat = cat
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.cat}] {self.message}"
+
+
+def strip_noncode(line: str, in_block_comment: bool):
+    """Split a physical line into comment-free views.
+
+    Returns (code, code_with_strings, comment, still_in_block):
+      code              literals masked with '#' -- for keyword rules, so a
+                        "double" inside a string never trips the float rule;
+      code_with_strings literals preserved -- for the metric-name check;
+      comment           the //-comment tail (for sanction parsing).
+    """
+    code = []
+    literal = []
+    comment = ""
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(code), "".join(literal), comment, True
+            i = end + 2
+            in_block_comment = False
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            comment = line[i:]
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if c == '"' or c == "'":
+            quote = c
+            code.append('"' if quote == '"' else " ")
+            literal.append(quote if quote == '"' else " ")
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                code.append("#")  # placeholder, keeps column math sane
+                literal.append(line[i] if quote == '"' else " ")
+                i += 1
+            if quote == '"':
+                code.append('"')
+                literal.append('"')
+            i += 1
+            continue
+        code.append(c)
+        literal.append(c)
+        i += 1
+    return "".join(code), "".join(literal), comment, in_block_comment
+
+
+def split_top_level_args(argtext: str):
+    """Split an argument list on top-level commas (parens/brackets nested)."""
+    args = []
+    depth = 0
+    current = []
+    for ch in argtext:
+        if ch in "([{<":
+            depth += 1
+        elif ch in ")]}>":
+            depth = max(0, depth - 1)
+        if ch == "," and depth == 0:
+            args.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    args.append("".join(current))
+    return args
+
+
+def extract_call_args(text: str, open_paren: int):
+    """Return (argtext, end_index) for the call whose '(' is at open_paren,
+    or (None, None) if the call does not close inside `text`."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i], i
+    return None, None
+
+
+class FileLinter:
+    def __init__(self, relpath: str, lines, repo_root: str):
+        self.relpath = relpath
+        self.lines = lines
+        self.repo_root = repo_root
+        self.violations = []
+        self.errors = []  # sanction-grammar problems (also fail the run)
+        # cat -> sanction state
+        self.file_allow = set()
+        self.region_allow = {}  # cat -> line where region began
+        self.next_line_allow = {}  # cat -> True (armed by a preceding allow)
+
+    def allowed(self, cat: str) -> bool:
+        return (
+            cat in self.file_allow
+            or cat in self.region_allow
+            or self.next_line_allow.get(cat, False)
+        )
+
+    def report(self, lineno: int, cat: str, message: str):
+        if not self.allowed(cat):
+            self.violations.append(
+                Violation(self.relpath, lineno, cat, message))
+
+    def handle_sanction(self, lineno: int, comment: str):
+        m = SANCTION_RE.search(comment)
+        if m is None:
+            if "nti-lint" in comment:
+                self.errors.append(Violation(
+                    self.relpath, lineno, "sanction",
+                    "unparseable nti-lint directive"))
+            return None
+        kind, cat, reason = m.group("kind"), m.group("cat"), m.group("reason")
+        if cat not in CATEGORIES:
+            self.errors.append(Violation(
+                self.relpath, lineno, "sanction",
+                f"unknown category '{cat}' (known: {', '.join(CATEGORIES)})"))
+            return None
+        if kind != "end-allow" and (reason is None or
+                                    len(reason.lstrip(': ').strip()) == 0):
+            self.errors.append(Violation(
+                self.relpath, lineno, "sanction",
+                f"{kind}({cat}) needs a ': reason' -- say why it is safe"))
+            return None
+        if kind == "allow-file":
+            self.file_allow.add(cat)
+        elif kind == "begin-allow":
+            if cat in self.region_allow:
+                self.errors.append(Violation(
+                    self.relpath, lineno, "sanction",
+                    f"nested begin-allow({cat}); already open at line "
+                    f"{self.region_allow[cat]}"))
+            self.region_allow[cat] = lineno
+        elif kind == "end-allow":
+            if cat not in self.region_allow:
+                self.errors.append(Violation(
+                    self.relpath, lineno, "sanction",
+                    f"end-allow({cat}) without matching begin-allow"))
+            else:
+                del self.region_allow[cat]
+        return (kind, cat)
+
+    # -- per-rule checks ----------------------------------------------------
+
+    def in_clock_core(self) -> bool:
+        return any(self.relpath == d or self.relpath.startswith(d + "/")
+                   for d in CLOCK_CORE_DIRS)
+
+    def is_offset_home(self) -> bool:
+        return self.relpath in OFFSET_HOME_FILES
+
+    def check_line(self, lineno: int, code: str):
+        if self.in_clock_core() and FLOAT_RE.search(code):
+            self.report(lineno, "float",
+                        "double/float in the deterministic clock core "
+                        "(re-quantize to integer units, or sanction with a "
+                        "reason)")
+        m = NONDET_RE.search(code)
+        if m:
+            self.report(lineno, "nondet",
+                        f"nondeterminism source '{m.group(0).strip()}'")
+        m = UNORDERED_RE.search(code)
+        if m:
+            self.report(lineno, "unordered",
+                        f"hash container '{m.group(0)}': iteration order "
+                        "depends on library layout; use std::map/std::set")
+
+    def check_offsets(self, joined: str, line_starts):
+        """Offset rule over the whole file text (calls span lines)."""
+        if self.is_offset_home():
+            return
+
+        def lineno_at(pos: int) -> int:
+            lo, hi = 0, len(line_starts) - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if line_starts[mid] <= pos:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return lo + 1
+
+        for m in BUS_CALL_RE.finditer(joined):
+            fn = m.group(1)
+            argtext, _ = extract_call_args(joined, m.end() - 1)
+            if argtext is None:
+                continue
+            args = split_top_level_args(argtext)
+            # Writes carry a data value as the last argument; only the
+            # address arguments are covered by the rule.
+            addr_args = args[:-1] if fn in ("bus_write", "cpu_write32") \
+                and len(args) >= 3 else args
+            for a in addr_args:
+                if HEX_RE.search(a):
+                    self._offset_report(lineno_at(m.start()), fn)
+                    break
+        for m in OFFSET_MATH_RE.finditer(joined):
+            self._offset_report(lineno_at(m.start()), "address math")
+
+    def _offset_report(self, lineno: int, where: str):
+        # Region/file sanctions work naturally; line sanctions anchor at the
+        # line the call starts on.
+        saved = self.next_line_allow
+        self.next_line_allow = self.line_allow_map.get(lineno, {})
+        self.report(lineno, "offset",
+                    f"raw hex register offset in {where}: name it in "
+                    "src/nti/memmap.hpp or src/utcsu/regs.hpp")
+        self.next_line_allow = saved
+
+    def check_metrics(self, joined: str, line_starts):
+        def lineno_at(pos: int) -> int:
+            lo, hi = 0, len(line_starts) - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if line_starts[mid] <= pos:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return lo + 1
+
+        def check_name(literal: str, lineno: int, is_prefix: bool):
+            name = literal.strip('"')
+            if name == "":
+                return
+            if not METRIC_NAME_RE.match(name):
+                self._metric_report(
+                    lineno,
+                    f'metric name "{name}" must be lowercase dotted '
+                    "snake_case")
+                return
+            # Only a name anchored at the start of the argument expression
+            # begins at a root boundary; a `prefix + "dotted.suffix"`
+            # literal is namespaced by its prefix.
+            if is_prefix:
+                root = name.split(".", 1)[0]
+                if root not in METRIC_ROOTS:
+                    self._metric_report(
+                        lineno,
+                        f'metric root "{root}." is not documented '
+                        f"(known: {', '.join(sorted(METRIC_ROOTS))}); add it "
+                        "to METRIC_ROOTS and docs/STATIC_ANALYSIS.md or fix "
+                        "the name")
+
+        for m in METRIC_CALL_RE.finditer(joined):
+            argtext, _ = extract_call_args(joined, m.end() - 1)
+            if argtext is None:
+                continue
+            args = split_top_level_args(argtext)
+            if not args:
+                continue
+            first = args[0].strip()
+            lit = STRING_LIT_RE.search(first)
+            if lit is None:
+                continue
+            # `"full.name"` is anchored; `prefix + "suffix"` is not.
+            check_name(lit.group(0), lineno_at(m.start()),
+                       is_prefix=first.startswith('"'))
+        for m in REGISTER_METRICS_RE.finditer(joined):
+            argtext, _ = extract_call_args(joined, m.end() - 1)
+            if argtext is None:
+                continue
+            for a in split_top_level_args(argtext):
+                lit = STRING_LIT_RE.search(a.strip())
+                if lit is not None:
+                    check_name(lit.group(0), lineno_at(m.start()),
+                               is_prefix=True)
+
+    def _metric_report(self, lineno: int, message: str):
+        saved = self.next_line_allow
+        self.next_line_allow = self.line_allow_map.get(lineno, {})
+        self.report(lineno, "metric", message)
+        self.next_line_allow = saved
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self):
+        in_block = False
+        stripped = []
+        with_strings = []
+        self.line_allow_map = {}  # lineno -> {cat: True}
+        pending = {}  # cat armed for the next code line
+        for idx, raw in enumerate(self.lines, start=1):
+            code, lit, comment, in_block = strip_noncode(raw, in_block)
+            self.next_line_allow = pending
+            sanction = None
+            if comment:
+                sanction = self.handle_sanction(idx, comment)
+            if sanction is not None and sanction[0] == "allow":
+                self.next_line_allow = dict(pending)
+                self.next_line_allow[sanction[1]] = True
+                pending = dict(pending)
+                pending[sanction[1]] = True
+            self.line_allow_map[idx] = dict(self.next_line_allow)
+            self.check_line(idx, code)
+            # A plain allow() covers its own line and the next *code* line:
+            # blank / pure-comment lines (multi-line sanction reasons) do
+            # not consume it.
+            if code.strip():
+                pending = {}
+            stripped.append(code)
+            with_strings.append(lit)
+
+        for cat, where in self.region_allow.items():
+            self.errors.append(Violation(
+                self.relpath, where, "sanction",
+                f"begin-allow({cat}) never closed"))
+
+        def starts_of(lines_list):
+            starts = [0]
+            for s in lines_list:
+                starts.append(starts[-1] + len(s) + 1)
+            return starts[:-1]
+
+        self.next_line_allow = {}
+        joined = "\n".join(stripped)
+        self.check_offsets(joined, starts_of(stripped))
+        joined_lit = "\n".join(with_strings)
+        self.check_metrics(joined_lit, starts_of(with_strings))
+        return self.violations, self.errors
+
+
+def lint_tree(root: str):
+    violations = []
+    errors = []
+    src = os.path.join(root, SRC_ROOT)
+    if not os.path.isdir(src):
+        print(f"nti-lint: no {SRC_ROOT}/ under {root}", file=sys.stderr)
+        return [], [Violation(root, 0, "config", "missing src tree")]
+    for dirpath, _, filenames in sorted(os.walk(src)):
+        for fn in sorted(filenames):
+            if not fn.endswith(CPP_EXTENSIONS):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, encoding="utf-8", errors="replace") as f:
+                lines = f.read().splitlines()
+            v, e = FileLinter(rel, lines, root).run()
+            violations.extend(v)
+            errors.extend(e)
+    return violations, errors
+
+
+# -- self-test ---------------------------------------------------------------
+
+FIXTURE_BAD_UTCSU = """\
+#include <cstdint>
+namespace nti::utcsu {
+double drift_estimate(double a) { return a * 1.5; }   // float violation
+std::uint32_t read_alpha(Bus& b) {
+  return b.bus_read(t, 0x38);                         // offset violation
+}
+std::uint64_t seed() {
+  std::random_device rd;                              // nondet violation
+  return rd();
+}
+}  // namespace nti::utcsu
+"""
+
+FIXTURE_BAD_OBS = """\
+#include <unordered_map>
+namespace nti::obs {
+std::unordered_map<int, int> table;                   // unordered violation
+void hook(MetricsRegistry& reg) {
+  reg.add_counter("Bogus.Name", &x);                  // metric casing
+  reg.add_counter("mystery.count", &y);               // metric root
+}
+}  // namespace nti::obs
+"""
+
+FIXTURE_GOOD_UTCSU = """\
+#include <cstdint>
+namespace nti::utcsu {
+// nti-lint: begin-allow(float): config boundary, quantized below.
+double nominal(double f) { return f; }
+// nti-lint: end-allow(float)
+std::uint32_t read_alpha(Bus& b) {
+  // nti-lint: allow(offset): fixture exercising the line sanction.
+  return b.bus_read(t, 0x38);
+}
+void broadcast(Bus& b) {
+  b.bus_write(t, kRegCtrl, 0xFFFF'FFFF);  // value arg: hex is fine
+}
+}  // namespace nti::utcsu
+"""
+
+FIXTURE_STRINGS = """\
+namespace nti::utcsu {
+// The word double in a comment is fine; so is "double" in a string.
+const char* kDoc = "double float 0x1234 unordered_map";
+/* block comment: double float rand( time(0) */
+}  // namespace nti::utcsu
+"""
+
+
+def self_test() -> int:
+    failures = []
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def put(rel, text):
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+
+        put("src/utcsu/bad.cpp", FIXTURE_BAD_UTCSU)
+        put("src/obs/bad.cpp", FIXTURE_BAD_OBS)
+        v, e = lint_tree(tmp)
+        cats = sorted(x.cat for x in v)
+        expect(e == [], f"seeded tree: sanction errors {[str(x) for x in e]}")
+        expect(cats.count("float") == 1, f"want 1 float violation, got {cats}")
+        expect(cats.count("offset") == 1, f"want 1 offset violation, got {cats}")
+        expect(cats.count("nondet") == 1, f"want 1 nondet violation, got {cats}")
+        expect(cats.count("unordered") >= 1,
+               f"want unordered violation, got {cats}")
+        expect(cats.count("metric") == 2, f"want 2 metric violations, got {cats}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def put(rel, text):
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+
+        put("src/utcsu/good.cpp", FIXTURE_GOOD_UTCSU)
+        put("src/utcsu/strings.cpp", FIXTURE_STRINGS)
+        v, e = lint_tree(tmp)
+        expect(v == [], f"clean tree: violations {[str(x) for x in v]}")
+        expect(e == [], f"clean tree: errors {[str(x) for x in e]}")
+
+    # Sanction grammar: a reasonless allow is an error.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "src", "utcsu")
+        os.makedirs(path, exist_ok=True)
+        with open(os.path.join(path, "x.cpp"), "w", encoding="utf-8") as f:
+            f.write("// nti-lint: allow(float)\ndouble d;\n")
+        v, e = lint_tree(tmp)
+        expect(len(e) == 1, f"want 1 grammar error, got {[str(x) for x in e]}")
+
+    if failures:
+        for f in failures:
+            print(f"nti-lint self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("nti-lint self-test: all checks passed")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in fixture suite and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    violations, errors = lint_tree(root)
+    for v in violations:
+        print(str(v))
+    for e in errors:
+        print(str(e))
+    if violations or errors:
+        n = len(violations) + len(errors)
+        print(f"nti-lint: {n} problem(s)", file=sys.stderr)
+        return 1
+    print("nti-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
