@@ -1,0 +1,144 @@
+// Reference path: the pre-slab discrete-event scheduler, kept verbatim so
+// bench_throughput can report the slab/heap engine's speedup against the
+// implementation it replaced (docs/PERFORMANCE.md).
+//
+// This is the shared_ptr design sim::Engine used before the indexed-heap
+// rewrite: one make_shared<EventState> per scheduled event, a
+// priority_queue of shared_ptrs ordered on (when, seq), weak_ptr handles,
+// lazy cancellation reaped at pop time.  Semantics are identical to
+// sim::Engine by construction -- same clamp-past-to-now, same FIFO
+// tie-break, same run_until guard -- which the bench asserts by comparing
+// executed-event counts on the same deterministic workload.
+//
+// Lives under bench/micro (not src/) deliberately: nti-lint's `alloc` rule
+// forbids per-event make_shared in production scheduler code, and this
+// file exists to stay slow.  Do not "optimize" it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace nti::bench::legacy {
+
+using EventFn = std::function<void()>;
+
+namespace detail {
+struct LegacyState {
+  SimTime when;
+  std::uint64_t seq = 0;
+  EventFn fn;
+  bool cancelled = false;
+  bool fired = false;
+};
+}  // namespace detail
+
+class LegacyEventHandle {
+ public:
+  LegacyEventHandle() = default;
+  void cancel() {
+    if (auto s = state_.lock()) s->cancelled = true;
+  }
+  bool pending() const {
+    const auto s = state_.lock();
+    return s && !s->cancelled && !s->fired;
+  }
+
+ private:
+  friend class LegacyEngine;
+  explicit LegacyEventHandle(std::weak_ptr<detail::LegacyState> s)
+      : state_(std::move(s)) {}
+  std::weak_ptr<detail::LegacyState> state_;
+};
+
+class LegacyEngine {
+ public:
+  LegacyEngine() = default;
+  LegacyEngine(const LegacyEngine&) = delete;
+  LegacyEngine& operator=(const LegacyEngine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  LegacyEventHandle schedule_at(SimTime t, EventFn fn) {
+    auto state = std::make_shared<detail::LegacyState>();
+    state->when = (t < now_) ? now_ : t;
+    state->seq = next_seq_++;
+    state->fn = std::move(fn);
+    queue_.push(state);
+    ++live_;
+    if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
+    return LegacyEventHandle{state};
+  }
+  LegacyEventHandle schedule_in(Duration d, EventFn fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  bool step() {
+    while (!queue_.empty()) {
+      StatePtr s = queue_.top();
+      queue_.pop();
+      --live_;
+      if (s->cancelled) {
+        ++cancelled_reaped_;
+        continue;
+      }
+      now_ = s->when;
+      s->fired = true;
+      ++executed_;
+      EventFn fn = std::move(s->fn);
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  void run_until(SimTime limit) {
+    for (;;) {
+      reap_cancelled_heads();
+      if (queue_.empty() || queue_.top()->when > limit) break;
+      if (!step()) break;
+    }
+    if (now_ < limit) now_ = limit;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t events_cancelled() const { return cancelled_reaped_; }
+  std::size_t events_pending() const { return live_; }
+  std::size_t queue_high_water() const { return queue_hwm_; }
+
+ private:
+  using StatePtr = std::shared_ptr<detail::LegacyState>;
+  struct Compare {
+    bool operator()(const StatePtr& a, const StatePtr& b) const {
+      if (a->when != b->when) return a->when > b->when;  // min-heap on time
+      return a->seq > b->seq;                            // FIFO among equals
+    }
+  };
+
+  void reap_cancelled_heads() {
+    while (!queue_.empty() && queue_.top()->cancelled) {
+      queue_.pop();
+      --live_;
+      ++cancelled_reaped_;
+    }
+  }
+
+  SimTime now_ = SimTime::epoch();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_reaped_ = 0;
+  std::size_t live_ = 0;
+  std::size_t queue_hwm_ = 0;
+  std::priority_queue<StatePtr, std::vector<StatePtr>, Compare> queue_;
+};
+
+}  // namespace nti::bench::legacy

@@ -115,8 +115,8 @@ void Comco::transmit(int tx_slot, Addr data_addr, std::size_t data_len,
   const Duration latency =
       cfg_.cmd_latency_base + rng_.uniform(Duration::zero(), cfg_.cmd_latency_jitter);
   engine_.schedule_in(latency, [this, tx_slot, data_addr, data_len, trace] {
-    net::Frame frame;
-    frame.bytes.assign(kHeaderBytes + data_len, 0);  // filled at DMA time
+    // Arena-backed buffer, zero-filled (real bytes land at DMA time).
+    net::Frame frame = medium_.make_frame(kHeaderBytes + data_len, 0);
     frame.trace_id = trace;
     // Enqueue with the medium *first*: a tail-dropped frame never gets a
     // wire start, so pushing PendingTx unconditionally would desync the

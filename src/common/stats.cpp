@@ -90,19 +90,24 @@ SampleSummary SampleSet::summary() {
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), bins_(bins, 0) {}
 
-void Histogram::add(double x) {
-  if (x < lo_) {
-    ++underflow_;
+void Histogram::add(double x) { add(x, 1); }
+
+void Histogram::add(double x, std::uint64_t count) {
+  if (bins_.empty() || x < lo_) {
+    underflow_ += count;
   } else if (x >= hi_) {
-    ++overflow_;
+    overflow_ += count;
   } else {
     const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
                                               static_cast<double>(bins_.size()));
-    ++bins_[std::min(idx, bins_.size() - 1)];
+    bins_[std::min(idx, bins_.size() - 1)] += count;
   }
 }
 
 std::string Histogram::ascii(std::size_t width) const {
+  // A zero-bin histogram has no bars to draw (and max_element over an
+  // empty range is UB); every observation sits in under-/overflow.
+  if (bins_.empty()) return std::string();
   const std::size_t peak = std::max<std::size_t>(
       1, *std::max_element(bins_.begin(), bins_.end()));
   std::string out;
@@ -111,7 +116,11 @@ std::string Histogram::ascii(std::size_t width) const {
     char head[64];
     std::snprintf(head, sizeof head, "%12.3g |", lo_ + bin_w * static_cast<double>(i));
     out += head;
-    out.append(bins_[i] * width / peak, '#');
+    // 128-bit intermediate: count * width overflows 64 bits for tally-file
+    // scale counts (e.g. 2^60 observations at width 50).
+    const auto bar = static_cast<std::size_t>(
+        static_cast<unsigned __int128>(bins_[i]) * width / peak);
+    out.append(bar, '#');
     char tail[32];
     std::snprintf(tail, sizeof tail, " %zu\n", bins_[i]);
     out += tail;

@@ -82,6 +82,8 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
   void add(double x);
+  /// Bulk insert: `count` observations of the same value (tally folding).
+  void add(double x, std::uint64_t count);
   std::string ascii(std::size_t width = 50) const;
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }

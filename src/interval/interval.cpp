@@ -76,23 +76,33 @@ std::optional<AccInterval> marzullo(std::span<const AccInterval> xs, int f) {
     return a.type < b.type;
   });
 
+  // Return the FIRST maximal quorum segment.  Latching the first lower edge
+  // that reached quorum and the last upper edge still at quorum returned the
+  // hull of all quorum segments, which spans gaps covered by fewer than
+  // (n - f) intervals when the quorum set is non-contiguous, e.g.
+  // {[0,10],[0,10],[20,30],[20,30]} with f=2 fused to [0,30] even though no
+  // point of (10,20) is in any input.  Every point of the segment returned
+  // here is genuinely quorum-covered.
   int count = 0;
-  bool found = false;
-  Duration best_lo, best_hi;
+  bool in_segment = false;
+  Duration seg_lo{};
   for (const Edge& e : edges) {
     if (e.type == 0) {
       ++count;
-      if (count >= quorum && !found) {
-        best_lo = e.pos;
-        found = true;
+      if (count >= quorum && !in_segment) {
+        seg_lo = e.pos;
+        in_segment = true;
       }
     } else {
-      if (count >= quorum) best_hi = e.pos;  // last position before quorum lost
+      // The close that takes count below quorum ends the first segment;
+      // its position is the segment's (inclusive) upper edge.
+      if (in_segment && count == quorum) {
+        return AccInterval::from_edges(seg_lo, e.pos);
+      }
       --count;
     }
   }
-  if (!found) return std::nullopt;
-  return AccInterval::from_edges(best_lo, best_hi);
+  return std::nullopt;  // count never reached quorum
 }
 
 std::optional<AccInterval> ft_edge_fusion(std::span<const AccInterval> xs, int f) {

@@ -67,10 +67,13 @@ std::optional<AccInterval> intersect(const AccInterval& a, const AccInterval& b)
 /// Smallest interval containing both (convex hull).
 AccInterval hull(const AccInterval& a, const AccInterval& b);
 
-/// Marzullo's fault-tolerant fusion M_f: the smallest interval containing
-/// every point that lies in at least (n - f) of the n input intervals
-/// [Mar84].  Returns nullopt when no point achieves the quorum (more than
-/// f inputs are mutually inconsistent).
+/// Marzullo's fault-tolerant fusion M_f: the first (leftmost) maximal
+/// segment of points that lie in at least (n - f) of the n input intervals
+/// [Mar84].  Every returned point really is covered by a quorum; when the
+/// quorum set is non-contiguous (possible only with faulty inputs) the
+/// result no longer spans the sub-quorum gap the old hull-of-quorum
+/// implementation included.  Returns nullopt when no point achieves the
+/// quorum (more than f inputs are mutually inconsistent).
 std::optional<AccInterval> marzullo(std::span<const AccInterval> xs, int f);
 
 /// Fault-tolerant edge selection: the fused lower edge is the (f+1)-th

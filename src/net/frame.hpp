@@ -1,0 +1,39 @@
+// The unit of transmission on the shared medium.
+//
+// The byte stream itself is not simulated; a frame is an opaque payload
+// plus exact wire timing: every byte's on-wire instant is computable from
+// wire_start, so the COMCO models can place their DMA accesses correctly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace nti::net {
+
+struct Frame {
+  int src_station = -1;
+  std::vector<std::uint8_t> bytes;  ///< header + payload as laid out in memory
+  std::uint64_t id = 0;             ///< unique per transmission (diagnostics)
+  /// CSP span id (obs::SpanCollector), 0 for untraced frames (background
+  /// traffic, plain data).  Simulation metadata like `id`: never on the wire.
+  std::uint64_t trace_id = 0;
+  /// Wire-level corruption: index of one flipped bit (-1 = clean).  Set by
+  /// the fault tap at wire start; since the medium is a shared bus, every
+  /// receiver sees the same flip.  The frame's `bytes` are filled *late*
+  /// (at the sender's DMA-fill instant) on shared storage, so the flip is
+  /// applied on the receive side, when the COMCO copies the byte into NTI
+  /// memory -- not by mutating the shared payload.
+  std::int64_t corrupt_bit = -1;
+};
+
+/// Timing handed to receivers along with the frame.
+struct RxTiming {
+  SimTime wire_start;  ///< first preamble bit on the wire at the sender
+  SimTime rx_start;    ///< first bit at this receiver (after propagation)
+  SimTime rx_end;      ///< last bit at this receiver
+  Duration byte_time;  ///< serialization time of one byte
+};
+
+}  // namespace nti::net

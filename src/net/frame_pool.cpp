@@ -1,0 +1,32 @@
+#include "net/frame_pool.hpp"
+
+#include <utility>
+
+namespace nti::net {
+
+std::shared_ptr<Frame> FramePool::adopt(Frame&& f) {
+  State& st = *state_;
+  Frame* slot;
+  if (!st.free.empty()) {
+    slot = st.free.back();
+    st.free.pop_back();
+    ++st.slots_reused;
+    *slot = std::move(f);
+  } else {
+    st.slab.push_back(std::make_unique<Frame>(std::move(f)));
+    slot = st.slab.back().get();
+  }
+  // The deleter keeps the pool state alive, so frames may outlive the pool.
+  return std::shared_ptr<Frame>(slot, Recycler{state_});
+}
+
+void FramePool::Recycler::operator()(Frame* f) const {
+  // Steal the byte storage (capacity intact) before resetting the slot.
+  std::vector<std::uint8_t> bytes = std::move(f->bytes);
+  bytes.clear();
+  state->buffers.push_back(std::move(bytes));
+  *f = Frame{};
+  state->free.push_back(f);
+}
+
+}  // namespace nti::net

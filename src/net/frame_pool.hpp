@@ -1,0 +1,72 @@
+// Arena-style reuse for net::Frame objects and their byte buffers.
+//
+// Every transmission used to pay two heap allocations: the frame's byte
+// vector at the producer (comco/traffic) and a make_shared<Frame> copy
+// when the MAC moved the frame into shared ownership for delivery.  Under
+// load that is the second-largest allocation source on the hot path after
+// the (now slab-backed) event queue -- see docs/PERFORMANCE.md.
+//
+// The pool recycles both:
+//   * Frame slots live in a slab of stable-address objects; releasing the
+//     last shared_ptr returns the slot to a freelist instead of freeing;
+//   * byte buffers are stolen from released frames and handed back to
+//     producers with their capacity intact, so steady-state traffic
+//     serializes frames into already-sized storage.
+//
+// The pool's state is shared_ptr-owned by every outstanding frame, so
+// frames may outlive the pool (and the Medium) safely; recycling is
+// deterministic (LIFO freelists, no time or address ordering).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace nti::net {
+
+class FramePool {
+ public:
+  FramePool() : state_(std::make_shared<State>()) {}
+
+  /// Build a frame whose byte buffer reuses recycled storage when any is
+  /// available; the buffer is sized to `nbytes` and filled with `fill`.
+  Frame make_frame(std::size_t nbytes, std::uint8_t fill) {
+    Frame f;
+    if (!state_->buffers.empty()) {
+      f.bytes = std::move(state_->buffers.back());
+      state_->buffers.pop_back();
+      ++state_->buffers_reused;
+    }
+    f.bytes.assign(nbytes, fill);
+    return f;
+  }
+
+  /// Move `f` into pool-backed shared ownership.  When the last reference
+  /// drops, the slot and its byte buffer return to the pool.
+  std::shared_ptr<Frame> adopt(Frame&& f);
+
+  /// Slots ever allocated (the high-water mark of concurrently live
+  /// frames; steady state allocates no new ones).
+  std::size_t slots_allocated() const { return state_->slab.size(); }
+  /// Times a released slot (with its buffer capacity) was handed out again.
+  std::uint64_t slots_reused() const { return state_->slots_reused; }
+  std::uint64_t buffers_reused() const { return state_->buffers_reused; }
+
+ private:
+  struct State {
+    std::vector<std::unique_ptr<Frame>> slab;
+    std::vector<Frame*> free;
+    std::vector<std::vector<std::uint8_t>> buffers;
+    std::uint64_t slots_reused = 0;
+    std::uint64_t buffers_reused = 0;
+  };
+  struct Recycler {
+    std::shared_ptr<State> state;
+    void operator()(Frame* f) const;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace nti::net

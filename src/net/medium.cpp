@@ -7,7 +7,14 @@ namespace nti::net {
 
 Medium::Medium(sim::Engine& engine, MediumConfig cfg, RngStream rng)
     : engine_(engine), cfg_(cfg), rng_(rng) {
-  byte_time_ = Duration::ps(static_cast<std::int64_t>(8.0 * 1e12 / cfg_.bit_rate_hz));
+  // Quantize the configured rate once; all wire timing derives from the
+  // integer rate so a run is exactly reproducible from the config.
+  bit_rate_hz_ = static_cast<std::int64_t>(cfg_.bit_rate_hz);
+  assert(bit_rate_hz_ > 0);
+  // Truncated per-byte serialization time, used for intra-frame DMA access
+  // placement (RxTiming::byte_time).  Whole-frame air time is NOT this
+  // value times the byte count -- see frame_air_time().
+  byte_time_ = Duration::ps(std::int64_t{8} * 1'000'000'000'000 / bit_rate_hz_);
 }
 
 MacPort& Medium::attach() {
@@ -18,7 +25,17 @@ MacPort& Medium::attach() {
 }
 
 Duration Medium::frame_air_time(std::size_t frame_bytes) const {
-  return byte_time_ * static_cast<std::int64_t>(frame_bytes + static_cast<std::size_t>(cfg_.preamble_bytes));
+  // Exact air time from the total bit count, rounded half-up to the ps
+  // grid.  Multiplying a truncated per-byte time accumulated up to one ps
+  // of error per byte for bit rates that do not divide 8e12 (e.g. 7 Mbit/s
+  // lost 62 ps on a 72-byte frame), biasing every wire occupancy and
+  // delivery instant early.  For divisible rates (10 Mbit/s default) this
+  // is bit-identical to the old per-byte product.
+  const auto total_bits = static_cast<unsigned __int128>(
+                              frame_bytes + static_cast<std::size_t>(cfg_.preamble_bytes)) * 8u;
+  const auto rate = static_cast<unsigned __int128>(bit_rate_hz_);
+  const unsigned __int128 num = total_bits * 1'000'000'000'000ULL + rate / 2;
+  return Duration::ps(static_cast<std::int64_t>(num / rate));
 }
 
 void Medium::record_drop(MacPort& station, const Frame& frame, SimTime t,
@@ -115,9 +132,19 @@ void Medium::start_contention_round(SimTime when) {
           Frame dropped = std::move(p.queue_.front());
           p.queue_.erase(p.queue_.begin());
           p.attempts_ = 0;
-          ++tx_aborts_;
-          record_drop(p, dropped, start, obs::DiscardReason::kTxAbort);
-          if (p.on_tx_abort) p.on_tx_abort(dropped);
+          // The abort happens at `start` -- a future instant this analytic
+          // resolution has already computed past.  Running the drop
+          // bookkeeping and the owner callback synchronously here stamped
+          // trace/span records with a timestamp ahead of engine_.now() and
+          // let retransmit logic react to an abort "before" it occurred;
+          // defer both to the abort's own simulated time instead.
+          engine_.schedule_at(
+              start, [this, &p, dropped = std::move(dropped)]() mutable {
+                ++tx_aborts_;
+                record_drop(p, dropped, engine_.now(),
+                            obs::DiscardReason::kTxAbort);
+                if (p.on_tx_abort) p.on_tx_abort(dropped);
+              });
           someone_aborted = true;
         }
       }
@@ -142,8 +169,10 @@ void Medium::begin_transmission(std::size_t port_idx) {
 void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
   MacPort& port = *ports_[port_idx];
   assert(!port.queue_.empty());
-  // Move the frame into shared ownership: several delivery events need it.
-  auto frame = std::make_shared<Frame>(std::move(port.queue_.front()));
+  // Move the frame into pool-backed shared ownership: several delivery
+  // events need it, and the pool recycles the slot + byte buffer once the
+  // last of them releases it.
+  std::shared_ptr<Frame> frame = pool_.adopt(std::move(port.queue_.front()));
   port.queue_.erase(port.queue_.begin());
   port.attempts_ = 0;
 

@@ -11,9 +11,10 @@
 //     the Sec. 3.1 sequence) cannot avoid but DMA-trigger timestamping
 //     (step 4) does.
 //
-// The byte stream itself is not simulated; a frame is an opaque payload
-// plus exact wire timing: every byte's on-wire instant is computable from
-// wire_start, so the COMCO models can place their DMA accesses correctly.
+// The byte stream itself is not simulated; a frame (net/frame.hpp) is an
+// opaque payload plus exact wire timing: every byte's on-wire instant is
+// computable from wire_start, so the COMCO models can place their DMA
+// accesses correctly.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +24,8 @@
 
 #include "common/rng.hpp"
 #include "common/time_types.hpp"
+#include "net/frame.hpp"
+#include "net/frame_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -39,30 +42,6 @@ struct MediumConfig {
   int max_backoff_exp = 10;
   int max_attempts = 16;
   Duration propagation_per_station = Duration::ns(50);  ///< ~10 m cable per drop
-};
-
-struct Frame {
-  int src_station = -1;
-  std::vector<std::uint8_t> bytes;  ///< header + payload as laid out in memory
-  std::uint64_t id = 0;             ///< unique per transmission (diagnostics)
-  /// CSP span id (obs::SpanCollector), 0 for untraced frames (background
-  /// traffic, plain data).  Simulation metadata like `id`: never on the wire.
-  std::uint64_t trace_id = 0;
-  /// Wire-level corruption: index of one flipped bit (-1 = clean).  Set by
-  /// the fault tap at wire start; since the medium is a shared bus, every
-  /// receiver sees the same flip.  The frame's `bytes` are filled *late*
-  /// (at the sender's DMA-fill instant) on shared storage, so the flip is
-  /// applied on the receive side, when the COMCO copies the byte into NTI
-  /// memory -- not by mutating the shared payload.
-  std::int64_t corrupt_bit = -1;
-};
-
-/// Timing handed to receivers along with the frame.
-struct RxTiming {
-  SimTime wire_start;  ///< first preamble bit on the wire at the sender
-  SimTime rx_start;    ///< first bit at this receiver (after propagation)
-  SimTime rx_end;      ///< last bit at this receiver
-  Duration byte_time;  ///< serialization time of one byte
 };
 
 class Medium;
@@ -140,6 +119,15 @@ class Medium {
   Duration frame_air_time(std::size_t frame_bytes) const;
   const MediumConfig& config() const { return cfg_; }
 
+  /// Build a frame whose byte buffer comes from the medium's arena when
+  /// recycled storage is available (producers should prefer this over a
+  /// fresh std::vector -- see net/frame_pool.hpp).
+  Frame make_frame(std::size_t nbytes, std::uint8_t fill = 0) {
+    return pool_.make_frame(nbytes, fill);
+  }
+  /// The frame arena (exposed for allocation-behaviour assertions).
+  const FramePool& frame_pool() const { return pool_; }
+
   /// Counters for the medium-access experiments.  frames_delivered counts
   /// at *delivery time* -- the instant the last receiver has the full frame
   /// (or the wire clears, for a frame with no receivers attached) -- not
@@ -188,7 +176,9 @@ class Medium {
   sim::Engine& engine_;
   MediumConfig cfg_;
   RngStream rng_;
+  std::int64_t bit_rate_hz_ = 0;  ///< cfg_.bit_rate_hz quantized to integer
   Duration byte_time_;
+  FramePool pool_;
   std::vector<std::unique_ptr<MacPort>> ports_;
   SimTime busy_until_ = SimTime::epoch();
   bool contention_scheduled_ = false;

@@ -15,9 +15,7 @@ TrafficGenerator::TrafficGenerator(sim::Engine& engine, Medium& medium,
 void TrafficGenerator::schedule_next() {
   const Duration gap = Duration::from_sec_f(rng_.exponential(mean_gap_sec_));
   engine_.schedule_in(gap, [this] {
-    Frame f;
-    f.bytes.assign(cfg_.frame_bytes, 0xBB);
-    medium_.transmit(port_, std::move(f));
+    medium_.transmit(port_, medium_.make_frame(cfg_.frame_bytes, 0xBB));
     ++sent_;
     schedule_next();
   });

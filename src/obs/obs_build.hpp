@@ -1,0 +1,21 @@
+// Compile-time observability switch.
+//
+// The default build carries full observability: TraceRing records, CSP
+// span stages, metric counters.  Configuring with -DNTI_OBS_OFF=ON (the
+// `obs-off` CMake preset) compiles TraceRing::push and SpanCollector
+// record/begin_csp into no-ops so the throughput bench can quantify the
+// observability tax (docs/PERFORMANCE.md).  The obs-off build is for
+// benchmarking only: the obs test suite legitimately fails under it, and
+// BENCH_*.json files it produces carry "obs_enabled": 0 so they are never
+// compared against default-build output.
+#pragma once
+
+namespace nti::obs {
+
+#ifdef NTI_OBS_OFF
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+}  // namespace nti::obs

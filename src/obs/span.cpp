@@ -38,6 +38,15 @@ const char* to_string(DiscardReason r) {
 
 SpanCollector::SpanCollector(std::size_t max_events) : max_events_(max_events) {}
 
+// Key packing is needed by the (unconditional) read-side accessors, so it
+// stays compiled even when the record path is compiled out.
+std::uint64_t SpanCollector::pair_key(int src, int dst, SpanStage s) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst) & 0xFFFF'FFu) << 16) |
+         static_cast<std::uint64_t>(s);
+}
+
+#ifndef NTI_OBS_OFF
 std::uint64_t SpanCollector::begin_csp(int src_node, SimTime t) {
   const std::uint64_t id = next_id_++;
   TraceState st;
@@ -45,12 +54,6 @@ std::uint64_t SpanCollector::begin_csp(int src_node, SimTime t) {
   live_.emplace(id, st);
   record(id, SpanStage::kSendRequest, t, src_node);
   return id;
-}
-
-std::uint64_t SpanCollector::pair_key(int src, int dst, SpanStage s) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
-         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst) & 0xFFFF'FFu) << 16) |
-         static_cast<std::uint64_t>(s);
 }
 
 std::int64_t SpanCollector::resolve_parent(TraceState& st, SpanStage stage,
@@ -114,9 +117,15 @@ std::int64_t SpanCollector::resolve_parent(TraceState& st, SpanStage stage,
 
 void SpanCollector::record(std::uint64_t trace, SpanStage stage, SimTime t,
                            int node, std::int64_t detail) {
-  const auto it = live_.find(trace);
-  if (it == live_.end()) return;  // trace 0 / unknown: not a CSP span
-  TraceState& st = it->second;
+  if (trace == 0) return;  // "no span" id (also the empty-cache sentinel)
+  TraceState* stp = cached_state_;
+  if (trace != cached_trace_) {
+    const auto it = live_.find(trace);
+    if (it == live_.end()) return;  // unknown trace: not a CSP span
+    cached_trace_ = trace;
+    cached_state_ = stp = &it->second;
+  }
+  TraceState& st = *stp;
 
   SpanEvent ev;
   ev.trace = trace;
@@ -130,7 +139,12 @@ void SpanCollector::record(std::uint64_t trace, SpanStage stage, SimTime t,
   if (ev.parent_ps >= 0) {
     const auto delta = static_cast<double>(ev.t_ps - ev.parent_ps);
     stage_hist_[static_cast<std::size_t>(stage)].add(delta);
-    pair_hist_[pair_key(st.src, node, stage)].add(delta);
+    const std::uint64_t key = pair_key(st.src, node, stage);
+    if (key != cached_pair_key_) {
+      cached_pair_key_ = key;
+      cached_pair_ = &pair_hist_[key];
+    }
+    cached_pair_->add(delta);
   }
 
   if (events_.size() < max_events_) {
@@ -147,6 +161,7 @@ void SpanCollector::record(std::uint64_t trace, SpanStage stage, SimTime t,
                static_cast<long long>(detail));
   }
 }
+#endif  // NTI_OBS_OFF
 
 std::vector<SpanEvent> SpanCollector::trace_events(std::uint64_t trace) const {
   std::vector<SpanEvent> out;
@@ -189,6 +204,10 @@ void SpanCollector::clear() {
   for (auto& h : stage_hist_) h.clear();
   dropped_ = 0;
   next_id_ = 1;
+  cached_trace_ = 0;
+  cached_state_ = nullptr;
+  cached_pair_key_ = ~std::uint64_t{0};
+  cached_pair_ = nullptr;
 }
 
 }  // namespace nti::obs

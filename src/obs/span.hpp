@@ -96,6 +96,13 @@ class SpanCollector {
   SpanCollector(const SpanCollector&) = delete;
   SpanCollector& operator=(const SpanCollector&) = delete;
 
+#ifdef NTI_OBS_OFF
+  // Observability-tax build (docs/PERFORMANCE.md): span recording compiles
+  // to nothing.  begin_csp returns 0, the instrumentation-wide "no span"
+  // id, so every downstream record() is a statically dead no-op.
+  std::uint64_t begin_csp(int, SimTime) { return 0; }
+  void record(std::uint64_t, SpanStage, SimTime, int, std::int64_t = 0) {}
+#else
   /// Open a span for a CSP originating at `src_node`; records the
   /// kSendRequest root event and returns the trace id (never 0 -- 0 means
   /// "no span" throughout the instrumentation).
@@ -105,6 +112,7 @@ class SpanCollector {
   /// instrumented layers can call unconditionally for non-CSP frames.
   void record(std::uint64_t trace, SpanStage stage, SimTime t, int node,
               std::int64_t detail = 0);
+#endif
 
   // ---- queries ------------------------------------------------------------
   std::uint64_t spans_started() const { return next_id_ - 1; }
@@ -159,6 +167,16 @@ class SpanCollector {
   std::map<std::uint64_t, TraceState> live_;
   LogHistogram stage_hist_[kNumSpanStages];
   std::map<std::uint64_t, LogHistogram> pair_hist_;
+  // One-entry memoization of the last trace / pair-histogram lookup.  A
+  // CSP's stage records arrive in bursts for the same trace (and often the
+  // same src->dst pair), so this folds consecutive records into a single
+  // map probe each.  Safe because std::map nodes are address-stable and
+  // live_/pair_hist_ entries are only removed by clear(), which resets the
+  // caches.
+  std::uint64_t cached_trace_ = 0;           ///< 0 = empty (never a live id)
+  TraceState* cached_state_ = nullptr;
+  std::uint64_t cached_pair_key_ = ~std::uint64_t{0};
+  LogHistogram* cached_pair_ = nullptr;
 };
 
 }  // namespace nti::obs

@@ -23,6 +23,7 @@ const char* to_string(TraceType t) {
 
 TraceRing::TraceRing(std::size_t capacity) : buf_(std::max<std::size_t>(1, capacity)) {}
 
+#ifndef NTI_OBS_OFF
 void TraceRing::push(SimTime t, TraceType type, std::int32_t node, std::int64_t a,
                      std::int64_t b) {
   TraceRecord& r = buf_[head_];
@@ -34,6 +35,7 @@ void TraceRing::push(SimTime t, TraceType type, std::int32_t node, std::int64_t 
   head_ = (head_ + 1) % buf_.size();
   ++pushed_;
 }
+#endif  // NTI_OBS_OFF
 
 std::size_t TraceRing::size() const {
   return pushed_ < buf_.size() ? static_cast<std::size_t>(pushed_) : buf_.size();

@@ -54,8 +54,15 @@ class TraceRing {
   /// Capacity must be >= 1; storage is allocated once, up front.
   explicit TraceRing(std::size_t capacity);
 
+#ifdef NTI_OBS_OFF
+  // Observability-tax build (docs/PERFORMANCE.md): tracing compiles to
+  // nothing; the ring stays empty.
+  void push(SimTime, TraceType, std::int32_t, std::int64_t = 0,
+            std::int64_t = 0) {}
+#else
   void push(SimTime t, TraceType type, std::int32_t node, std::int64_t a = 0,
             std::int64_t b = 0);
+#endif
 
   std::size_t capacity() const { return buf_.size(); }
   /// Records currently retained (<= capacity).

@@ -5,43 +5,102 @@
 namespace nti::sim {
 
 EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
-  auto state = std::make_shared<detail::EventState>();
-  state->when = (t < now_) ? now_ : t;
-  state->seq = next_seq_++;
-  state->fn = std::move(fn);
-  queue_.push(state);
+  detail::EventSlab& slab = *slab_;
+  std::uint32_t idx;
+  if (!slab.free_list.empty()) {
+    idx = slab.free_list.back();
+    slab.free_list.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slab.slots.size());
+    slab.slots.emplace_back();
+  }
+  detail::EventState& st = slab.slots[idx];
+  st.when = (t < now_) ? now_ : t;
+  st.seq = next_seq_++;
+  st.fn = std::move(fn);
+  st.cancelled = false;
+  st.live = true;
+  heap_.push_back(HeapEntry{st.when.count_ps(), st.seq, idx});
+  sift_up(heap_.size() - 1);
   ++live_;
-  if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
-  return EventHandle{state};
+  if (heap_.size() > queue_hwm_) queue_hwm_ = heap_.size();
+  return EventHandle{slab_, idx, st.gen};
+}
+
+void Engine::sift_up(std::size_t i) {
+  const HeapEntry moving = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(moving, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = moving;
+}
+
+void Engine::sift_down(std::size_t i) {
+  const HeapEntry moving = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moving;
+}
+
+Engine::HeapEntry Engine::heap_pop_root() {
+  const HeapEntry root = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return root;
+}
+
+void Engine::release_slot(std::uint32_t idx) {
+  detail::EventState& st = slab_->slots[idx];
+  st.fn = nullptr;
+  st.live = false;
+  ++st.gen;  // outstanding handles to this slot become inert
+  slab_->free_list.push_back(idx);
 }
 
 void Engine::reap_cancelled_heads() {
-  while (!queue_.empty() && queue_.top()->cancelled) {
-    queue_.pop();
+  while (!heap_.empty() && slab_->slots[heap_.front().slot].cancelled) {
+    release_slot(heap_pop_root().slot);
     --live_;
     ++cancelled_reaped_;
   }
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    StatePtr s = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const HeapEntry e = heap_pop_root();
+    detail::EventState& st = slab_->slots[e.slot];
     --live_;
-    if (s->cancelled) {
+    if (st.cancelled) {
       ++cancelled_reaped_;
+      release_slot(e.slot);
       continue;
     }
-    now_ = s->when;
-    s->fired = true;
+    now_ = SimTime::from_ps(e.when_ps);
     ++executed_;
     if (trace_ != nullptr) {
       trace_->push(now_, obs::TraceType::kEventFired, -1,
-                   static_cast<std::int64_t>(s->seq));
+                   static_cast<std::int64_t>(e.seq));
     }
-    // Move the closure out so re-entrant scheduling from inside the handler
-    // cannot alias the state we are executing.
-    EventFn fn = std::move(s->fn);
+    // Move the closure out and release the slot *before* invoking it:
+    // re-entrant scheduling from inside the handler may grow the slab
+    // (invalidating `st`) or immediately reuse this very slot.
+    EventFn fn = std::move(st.fn);
+    release_slot(e.slot);
     fn();
     return true;
   }
@@ -49,11 +108,12 @@ bool Engine::step() {
 }
 
 void Engine::run_until(SimTime limit) {
+  const std::int64_t limit_ps = limit.count_ps();
   for (;;) {
     // Reap cancelled heads *before* inspecting the guard: a cancelled event
     // with when <= limit must not admit a live event with when > limit.
     reap_cancelled_heads();
-    if (queue_.empty() || queue_.top()->when > limit) break;
+    if (heap_.empty() || heap_.front().when_ps > limit_ps) break;
     if (!step()) break;
   }
   if (now_ < limit) now_ = limit;

@@ -9,12 +9,27 @@
 //     so a handler observing now() sees exactly its own firing time;
 //   * run_until(limit) never executes an event with when > limit, even when
 //     cancelled events sit between the queue head and the next live event.
+//
+// Storage: events live in a slab (a growable vector of EventState slots
+// recycled through a freelist) and the ready queue is a 4-ary min-heap of
+// {when, seq, slot} entries -- the sort key is copied into the heap entry
+// (it is immutable once scheduled), so sift comparisons stay inside one
+// contiguous array and never chase into the slab; the fan-out of four
+// halves the number of levels (= cache misses) a sift touches on deep
+// queues compared to a binary heap.  Scheduling an event
+// therefore costs zero heap allocations in steady state (the slab and heap
+// arrays reach a high-water mark and are reused), where the previous
+// implementation paid one make_shared<EventState> plus shared_ptr refcount
+// traffic per event and a double pointer-dereference per heap comparison --
+// the dominant cost of the simulator hot path (docs/PERFORMANCE.md).
+// Handles validate against a per-slot generation counter, so a handle to a
+// fired or reaped event whose slot has been reused is inert, exactly like
+// the expired weak_ptr of the old design.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/time_types.hpp"
@@ -30,8 +45,17 @@ struct EventState {
   SimTime when;
   std::uint64_t seq = 0;
   EventFn fn;
+  std::uint32_t gen = 0;    ///< bumped every time the slot is released
   bool cancelled = false;
-  bool fired = false;
+  bool live = false;        ///< scheduled and not yet popped/reaped
+};
+
+/// The slab is shared with EventHandles through a weak_ptr so a handle
+/// that outlives its Engine stays inert (same contract as the old
+/// weak_ptr<EventState> handles) without a per-event allocation.
+struct EventSlab {
+  std::vector<EventState> slots;
+  std::vector<std::uint32_t> free_list;
 };
 }  // namespace detail
 
@@ -41,22 +65,31 @@ class EventHandle {
  public:
   EventHandle() = default;
   void cancel() {
-    if (auto s = state_.lock()) s->cancelled = true;
+    if (auto s = slab_.lock()) {
+      detail::EventState& st = s->slots[slot_];
+      if (st.gen == gen_ && st.live) st.cancelled = true;
+    }
   }
   bool pending() const {
-    const auto s = state_.lock();
-    return s && !s->cancelled && !s->fired;
+    const auto s = slab_.lock();
+    if (!s) return false;
+    const detail::EventState& st = s->slots[slot_];
+    return st.gen == gen_ && st.live && !st.cancelled;
   }
 
  private:
   friend class Engine;
-  explicit EventHandle(std::weak_ptr<detail::EventState> s) : state_(std::move(s)) {}
-  std::weak_ptr<detail::EventState> state_;
+  EventHandle(std::weak_ptr<detail::EventSlab> s, std::uint32_t slot,
+              std::uint32_t gen)
+      : slab_(std::move(s)), slot_(slot), gen_(gen) {}
+  std::weak_ptr<detail::EventSlab> slab_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Engine {
  public:
-  Engine() = default;
+  Engine() : slab_(std::make_shared<detail::EventSlab>()) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -86,6 +119,9 @@ class Engine {
   std::size_t events_pending() const { return live_; }
   /// Largest queue size ever observed (capacity planning / leak detection).
   std::size_t queue_high_water() const { return queue_hwm_; }
+  /// Slab slots currently allocated (the event-storage high-water mark;
+  /// steady-state scheduling never allocates past it).
+  std::size_t slab_capacity() const { return slab_->slots.size(); }
 
   /// Export the engine's counters into `reg` under `prefix` (e.g.
   /// "sim.engine."); the engine must outlive snapshots of `reg`.
@@ -96,13 +132,26 @@ class Engine {
   void set_trace(obs::TraceRing* ring) { trace_ = ring; }
 
  private:
-  using StatePtr = std::shared_ptr<detail::EventState>;
-  struct Compare {
-    bool operator()(const StatePtr& a, const StatePtr& b) const {
-      if (a->when != b->when) return a->when > b->when;  // min-heap on time
-      return a->seq > b->seq;                            // FIFO among equals
-    }
+  /// Heap entry: the (when, seq) sort key is immutable for the lifetime of
+  /// a scheduled event, so it is denormalized here and comparisons never
+  /// touch the slab.
+  struct HeapEntry {
+    std::int64_t when_ps;
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
+
+  /// True when entry a must pop before b: min on (when, seq).
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when_ps != b.when_ps) return a.when_ps < b.when_ps;
+    return a.seq < b.seq;  // FIFO among equals
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  HeapEntry heap_pop_root();
+  /// Return a slot to the freelist; invalidates outstanding handles to it.
+  void release_slot(std::uint32_t idx);
 
   /// Pop cancelled events off the queue head so top() is a live event.
   void reap_cancelled_heads();
@@ -114,7 +163,8 @@ class Engine {
   std::size_t live_ = 0;  // scheduled, not yet fired (cancelled still counted until popped)
   std::size_t queue_hwm_ = 0;
   obs::TraceRing* trace_ = nullptr;
-  std::priority_queue<StatePtr, std::vector<StatePtr>, Compare> queue_;
+  std::shared_ptr<detail::EventSlab> slab_;
+  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap on (when, seq)
 };
 
 }  // namespace nti::sim

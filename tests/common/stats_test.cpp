@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 
 namespace nti {
@@ -140,6 +142,44 @@ TEST(Histogram, BinsAndOverflow) {
   EXPECT_EQ(h.overflow(), 2u);
   const std::string art = h.ascii();
   EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+// Regression: ascii() ran max_element over an empty bin vector (UB) when
+// the histogram was constructed with zero bins.  Such a histogram renders
+// as nothing and tallies everything as under-/overflow.
+TEST(Histogram, ZeroBinsRendersEmptyWithoutUB) {
+  Histogram h(0.0, 10.0, 0);
+  h.add(5.0);
+  h.add(-3.0);
+  EXPECT_EQ(h.ascii(), "");
+  EXPECT_EQ(h.underflow() + h.overflow(), 2u);
+}
+
+// Regression: the bar width computed bins[i] * width before dividing by
+// the peak, overflowing 64-bit arithmetic for very large counts and
+// rendering garbage-length bars.  The bulk add() overload makes such
+// counts constructible in a test without 2^60 calls.
+TEST(Histogram, HugeCountsScaleBarsWithoutOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  h.add(1.0, huge);      // first bin: the peak
+  h.add(6.0, huge / 2);  // second bin: half-height bar
+  const std::string art = h.ascii(50);
+  // Two lines; the first bar is full width, the second exactly half.
+  const auto first_nl = art.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  const std::string line1 = art.substr(0, first_nl);
+  const std::string line2 = art.substr(first_nl + 1);
+  EXPECT_EQ(std::count(line1.begin(), line1.end(), '#'), 50);
+  EXPECT_EQ(std::count(line2.begin(), line2.end(), '#'), 25);
+}
+
+TEST(Histogram, BulkAddMatchesRepeatedAdd) {
+  Histogram a(0.0, 10.0, 4);
+  Histogram b(0.0, 10.0, 4);
+  for (int i = 0; i < 7; ++i) a.add(3.3);
+  b.add(3.3, 7);
+  EXPECT_EQ(a.ascii(), b.ascii());
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+// Oracle cross-check for the Marzullo sweep, plus the quorum-gap
+// regression.  The pre-fix implementation latched best_lo at the FIRST
+// edge that reached quorum and best_hi at the LAST close still at quorum,
+// so non-contiguous quorum sets (possible only with faulty inputs) fused
+// to the hull spanning a gap covered by fewer than n - f intervals.  The
+// fixed sweep returns the first maximal quorum segment; this file pins
+// that semantics against a brute-force point-count oracle.
+#include "interval/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nti::interval {
+namespace {
+
+struct Seg {
+  std::int64_t lo_ps;
+  std::int64_t hi_ps;
+};
+
+// Brute-force oracle: evaluate the interval-membership count at every
+// candidate point and take the first maximal run with count >= n - f.
+// Candidates are all edges plus the midpoints between consecutive distinct
+// edges, computed at 2x scale so midpoints stay exact integers; the count
+// function is piecewise constant between edges, so this candidate set
+// distinguishes every behaviour the sweep can produce (including
+// single-point segments where a close touches an open).
+std::optional<Seg> oracle_first_quorum_segment(
+    const std::vector<AccInterval>& xs, int f) {
+  const int n = static_cast<int>(xs.size());
+  const int quorum = n - f;
+  if (n == 0 || quorum <= 0) return std::nullopt;
+
+  std::vector<std::int64_t> edges2;
+  edges2.reserve(xs.size() * 2);
+  for (const auto& x : xs) {
+    edges2.push_back(2 * x.lower().count_ps());
+    edges2.push_back(2 * x.upper().count_ps());
+  }
+  std::sort(edges2.begin(), edges2.end());
+  edges2.erase(std::unique(edges2.begin(), edges2.end()), edges2.end());
+
+  std::vector<std::int64_t> cands;
+  for (std::size_t i = 0; i < edges2.size(); ++i) {
+    cands.push_back(edges2[i]);
+    if (i + 1 < edges2.size()) {
+      cands.push_back((edges2[i] + edges2[i + 1]) / 2);
+    }
+  }
+
+  const auto count_at = [&xs](std::int64_t p2) {
+    int c = 0;
+    for (const auto& x : xs) {
+      if (2 * x.lower().count_ps() <= p2 && p2 <= 2 * x.upper().count_ps()) {
+        ++c;
+      }
+    }
+    return c;
+  };
+
+  std::size_t i = 0;
+  while (i < cands.size() && count_at(cands[i]) < quorum) ++i;
+  if (i == cands.size()) return std::nullopt;
+  std::size_t j = i;
+  while (j + 1 < cands.size() && count_at(cands[j + 1]) >= quorum) ++j;
+  // A maximal run always starts and ends on interval edges (the count only
+  // changes there), so the 2x coordinates must be even.
+  EXPECT_EQ(cands[i] % 2, 0);
+  EXPECT_EQ(cands[j] % 2, 0);
+  return Seg{cands[i] / 2, cands[j] / 2};
+}
+
+// The motivating failure: two disjoint coalitions of two intervals each,
+// f=2 (quorum 2).  No point of (10, 20) lies in any input, yet the pre-fix
+// sweep returned the hull [0, 30].  The first maximal quorum segment is
+// [0, 10].
+TEST(MarzulloQuorumGap, DisjointCoalitionsDoNotFuseAcrossGap) {
+  const std::vector<AccInterval> xs = {
+      AccInterval::from_edges(Duration::ns(0), Duration::ns(10)),
+      AccInterval::from_edges(Duration::ns(0), Duration::ns(10)),
+      AccInterval::from_edges(Duration::ns(20), Duration::ns(30)),
+      AccInterval::from_edges(Duration::ns(20), Duration::ns(30)),
+  };
+  const auto m = marzullo(xs, 2);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->lower(), Duration::ns(0));
+  EXPECT_EQ(m->upper(), Duration::ns(10));
+}
+
+// A faulty straggler bridging nothing: the quorum segment around the
+// correct cluster must not be widened by a far-away pair that also happens
+// to reach quorum later on the line.
+TEST(MarzulloQuorumGap, LaterQuorumSegmentIgnored) {
+  const std::vector<AccInterval> xs = {
+      AccInterval::from_edges(Duration::ns(0), Duration::ns(4)),
+      AccInterval::from_edges(Duration::ns(1), Duration::ns(5)),
+      AccInterval::from_edges(Duration::ns(2), Duration::ns(6)),
+      AccInterval::from_edges(Duration::ns(100), Duration::ns(200)),
+      AccInterval::from_edges(Duration::ns(150), Duration::ns(250)),
+  };
+  // quorum = 3: only [2, 4] achieves it; the far pair never does.
+  const auto m = marzullo(xs, 2);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->lower(), Duration::ns(2));
+  EXPECT_EQ(m->upper(), Duration::ns(4));
+}
+
+TEST(MarzulloOracle, MatchesBruteForceOnRandomSets) {
+  // Small integer coordinates on purpose: they force edge collisions,
+  // touching opens/closes, duplicated intervals, and single-point quorum
+  // segments far more often than wide random draws would.
+  RngStream rng(0x13572468ull);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    const int f = static_cast<int>(rng.uniform_int(0, n - 1));
+    std::vector<AccInterval> xs;
+    xs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const std::int64_t lo = rng.uniform_int(0, 200);
+      const std::int64_t w = rng.uniform_int(0, 60);
+      xs.push_back(AccInterval::from_edges(Duration::ps(lo),
+                                           Duration::ps(lo + w)));
+    }
+    const auto m = marzullo(xs, f);
+    const auto want = oracle_first_quorum_segment(xs, f);
+    ASSERT_EQ(m.has_value(), want.has_value()) << "iter=" << iter;
+    if (!want) continue;
+    EXPECT_EQ(m->lower().count_ps(), want->lo_ps) << "iter=" << iter;
+    EXPECT_EQ(m->upper().count_ps(), want->hi_ps) << "iter=" << iter;
+  }
+}
+
+TEST(MarzulloOracle, EveryReturnedPointIsQuorumCovered) {
+  // The point of the fix, stated directly: sample points inside the fused
+  // interval and check each one really is covered by >= n - f inputs.
+  RngStream rng(0xA11CE5ull);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int n = static_cast<int>(rng.uniform_int(2, 8));
+    const int f = static_cast<int>(rng.uniform_int(0, n - 1));
+    std::vector<AccInterval> xs;
+    xs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const std::int64_t lo = rng.uniform_int(0, 200);
+      const std::int64_t w = rng.uniform_int(0, 60);
+      xs.push_back(AccInterval::from_edges(Duration::ps(lo),
+                                           Duration::ps(lo + w)));
+    }
+    const auto m = marzullo(xs, f);
+    if (!m) continue;
+    const int quorum = n - f;
+    for (std::int64_t p = m->lower().count_ps(); p <= m->upper().count_ps();
+         ++p) {
+      int c = 0;
+      for (const auto& x : xs) {
+        if (x.lower().count_ps() <= p && p <= x.upper().count_ps()) ++c;
+      }
+      ASSERT_GE(c, quorum) << "iter=" << iter << " point=" << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nti::interval

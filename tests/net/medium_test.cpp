@@ -205,6 +205,81 @@ TEST(Medium, ExcessiveCollisionsAbortAndCount) {
   EXPECT_EQ(reg.value("net.frames_delivered"), 1.0);
 }
 
+// Regression: during analytic backoff resolution, excessive-collision
+// aborts ran synchronously at contention time stamped with the *future*
+// abort instant.  Any station transmitting between those two instants then
+// appended trace records with earlier timestamps after the abort's record,
+// breaking TraceRing monotonicity (and retransmit logic observed
+// engine.now() earlier than the abort it reacted to).  The abort is now an
+// event at its own simulated time.
+TEST(Medium, TraceTimestampsMonotoneUnderAborts) {
+  sim::Engine engine;
+  MediumConfig mc;
+  mc.max_backoff_exp = 0;  // every contender always draws slot 0
+  Medium medium(engine, mc, RngStream(7));
+  obs::TraceRing ring(1024);
+  medium.set_trace(&ring);
+  MacPort& a = medium.attach();
+  MacPort& b = medium.attach();
+  MacPort& c = medium.attach();
+  SimTime a_abort_at = SimTime::never();
+  a.on_tx_abort = [&](const Frame&) { a_abort_at = engine.now(); };
+  b.on_tx_abort = [](const Frame&) {};
+  // c occupies the wire; a and b queue behind it and collide forever.  The
+  // abort lands ~16 slot times later; c's second frame goes out before
+  // that, so its records must precede the abort's in both time and order.
+  medium.transmit(c, make_frame(64));
+  medium.transmit(a, make_frame(64));
+  medium.transmit(b, make_frame(64));
+  engine.schedule_at(SimTime::epoch() + Duration::us(100), [&] {
+    medium.transmit(c, make_frame(64));
+  });
+  engine.run();
+  EXPECT_EQ(medium.tx_aborts(), 2u);
+  // The abort callback fires at the abort's simulated instant, not at
+  // contention-resolution time.
+  ASSERT_NE(a_abort_at, SimTime::never());
+  EXPECT_GT(a_abort_at, SimTime::epoch() + Duration::us(100));
+  for (std::size_t i = 1; i < ring.size(); ++i) {
+    EXPECT_GE(ring.at(i).t, ring.at(i - 1).t)
+        << "record " << i << " went backwards";
+  }
+}
+
+// Air time is computed exactly from the total bit count (round-half-up),
+// not by multiplying a truncated per-byte time: at 7 Mbit/s a 72-byte
+// transmission is 576/7e6 s = 82'285'714.29 ps, which per-byte truncation
+// underestimated by 10 ps (and the bias grows linearly with frame size).
+TEST(Medium, NonDivisibleRateAirTimeIsExact) {
+  sim::Engine engine;
+  MediumConfig mc;
+  mc.bit_rate_hz = 7e6;
+  Medium medium(engine, mc, RngStream(1));
+  EXPECT_EQ(medium.frame_air_time(64), Duration::ps(82'285'714));
+  // The per-byte DMA grid stays the truncated serialization time.
+  EXPECT_EQ(medium.byte_time(), Duration::ps(1'142'857));
+  // Divisible rates are unchanged (pinned by ByteTimeAt10Mbit too).
+  Medium ten(engine, MediumConfig{}, RngStream(1));
+  EXPECT_EQ(ten.frame_air_time(64), Duration::ns(57'600));
+}
+
+// The frame arena recycles slots and byte buffers: sequential traffic
+// reaches a steady state with a handful of live slots no matter how many
+// frames are sent.
+TEST(Medium, FramePoolReusesSlotsAndBuffers) {
+  Fixture f;
+  MacPort& a = f.medium.attach();
+  (void)f.medium.attach();
+  for (int i = 0; i < 50; ++i) {
+    f.medium.transmit(a, f.medium.make_frame(64, 0xAB));
+    f.engine.run();
+  }
+  EXPECT_EQ(f.medium.frames_delivered(), 50u);
+  EXPECT_LE(f.medium.frame_pool().slots_allocated(), 2u);
+  EXPECT_GE(f.medium.frame_pool().slots_reused(), 48u);
+  EXPECT_GE(f.medium.frame_pool().buffers_reused(), 48u);
+}
+
 TEST(Traffic, OfferedLoadApproximatelyMet) {
   sim::Engine engine;
   MediumConfig mc;

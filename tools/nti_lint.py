@@ -27,6 +27,13 @@ Rules (category in parentheses is the sanction key):
             add_distribution and register_metrics prefixes must be
             lowercase dotted snake_case, and full names must start with a
             documented root (see METRIC_ROOTS / docs/OBSERVABILITY.md).
+  alloc     No ``make_shared<...EventState...>`` anywhere in src/: the
+            scheduler hot path allocates event storage from the engine's
+            slab/freelist (src/sim/engine.hpp), and a per-event heap
+            allocation is exactly the regression the slab rewrite removed
+            (docs/PERFORMANCE.md).  The pre-rewrite implementation is kept
+            for comparison in bench/micro/legacy_engine.hpp, outside this
+            tool's walk.
 
 Sanction grammar (reason text after ``:`` is mandatory -- an unexplained
 exemption is itself a defect):
@@ -53,7 +60,7 @@ import re
 import sys
 import tempfile
 
-CATEGORIES = ("float", "nondet", "unordered", "offset", "metric")
+CATEGORIES = ("float", "nondet", "unordered", "offset", "metric", "alloc")
 
 # Directories (relative to the repo root) whose files are linted at all.
 SRC_ROOT = "src"
@@ -90,6 +97,7 @@ NONDET_RE = re.compile(
     r"|(?<![\w:])(?:std::)?getenv\b"
 )
 UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+ALLOC_RE = re.compile(r"\bmake_shared\s*<[^>]*EventState")
 HEX_RE = re.compile(r"0[xX][0-9a-fA-F'][0-9a-fA-F']*")
 BUS_CALL_RE = re.compile(r"\b(bus_read|bus_write|cpu_read32|cpu_write32)\s*\(")
 OFFSET_MATH_RE = re.compile(r"\bk\w*Base\s*\+\s*0[xX][0-9a-fA-F']+")
@@ -284,6 +292,12 @@ class FileLinter:
             self.report(lineno, "unordered",
                         f"hash container '{m.group(0)}': iteration order "
                         "depends on library layout; use std::map/std::set")
+        m = ALLOC_RE.search(code)
+        if m:
+            self.report(lineno, "alloc",
+                        "per-event make_shared<...EventState>: event storage "
+                        "comes from the engine slab/freelist "
+                        "(src/sim/engine.hpp); see docs/PERFORMANCE.md")
 
     def check_offsets(self, joined: str, line_starts):
         """Offset rule over the whole file text (calls span lines)."""
@@ -487,6 +501,16 @@ void hook(MetricsRegistry& reg) {
 }  // namespace nti::obs
 """
 
+FIXTURE_BAD_SIM = """\
+#include <memory>
+namespace nti::sim {
+EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
+  auto state = std::make_shared<detail::EventState>();  // alloc violation
+  return EventHandle{state};
+}
+}  // namespace nti::sim
+"""
+
 FIXTURE_GOOD_UTCSU = """\
 #include <cstdint>
 namespace nti::utcsu {
@@ -528,6 +552,7 @@ def self_test() -> int:
 
         put("src/utcsu/bad.cpp", FIXTURE_BAD_UTCSU)
         put("src/obs/bad.cpp", FIXTURE_BAD_OBS)
+        put("src/sim/bad.cpp", FIXTURE_BAD_SIM)
         v, e = lint_tree(tmp)
         cats = sorted(x.cat for x in v)
         expect(e == [], f"seeded tree: sanction errors {[str(x) for x in e]}")
@@ -537,6 +562,7 @@ def self_test() -> int:
         expect(cats.count("unordered") >= 1,
                f"want unordered violation, got {cats}")
         expect(cats.count("metric") == 2, f"want 2 metric violations, got {cats}")
+        expect(cats.count("alloc") == 1, f"want 1 alloc violation, got {cats}")
 
     with tempfile.TemporaryDirectory() as tmp:
         def put(rel, text):
