@@ -6,20 +6,26 @@
 //
 // In addition to the human-readable report, every bench serializes its key
 // scalars through BenchReport into BENCH_<name>.json (schema:
-// {"bench": ..., "metrics": {...}, "config": {...}}) so the repo's perf
-// trajectory is machine-readable PR-over-PR.  Conventions: durations are
-// reported in microseconds under keys suffixed _us; counters are raw
-// counts; the verdict lands under metrics.pass (1/0).
+// {"bench": ..., "metrics": {...}, "config": {...}, "obs": {...},
+// "prof": {...}, "manifest": {...}}) so the repo's perf trajectory is
+// machine-readable PR-over-PR.  Conventions: durations are reported in
+// microseconds under keys suffixed _us; counters are raw counts; the
+// verdict lands under metrics.pass (1/0).  The manifest section is emitted
+// unconditionally (provenance is not opt-in -- collect_bench.py --expect
+// fails reports without it); obs/prof appear when populated.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/time_types.hpp"
 #include "mc/runner.hpp"
 #include "obs/json.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 
 namespace nti::bench {
 
@@ -113,9 +119,40 @@ class BenchReport {
     metrics_.add("mc.probe_count", ens.precision_hist.count());
     config_.add("mc_replicas", static_cast<std::uint64_t>(ens.replicas));
     config_.add("mc_threads", static_cast<std::uint64_t>(ens.threads_used));
+    manifest_.threads = ens.threads_used;
   }
   /// Record the bench verdict (also what the JSON trajectory trends on).
   void pass(bool ok) { metrics_.add("pass", ok ? 1.0 : 0.0); }
+
+  /// Workload provenance for the manifest (build-side fields are stamped
+  /// automatically).  from_ensemble() also sets threads from the run.
+  void manifest_seed(std::uint64_t seed) { manifest_.seed = seed; }
+  void manifest_threads(std::size_t threads) { manifest_.threads = threads; }
+
+  /// Observability-health scalars ("obs" section): trace-record loss, span
+  /// drops -- the numbers collect_bench.py audits for silent data loss.
+  void obs_metric(const std::string& key, double v) { obs_.add(key, v); }
+  void obs_metric(const std::string& key, std::uint64_t v) { obs_.add(key, v); }
+
+  /// Attach profiler rows ("prof" section): name -> {calls, total_us,
+  /// self_us}, in snapshot()'s deterministic name order.
+  void prof_zones(const std::vector<obs::prof::ZoneStats>& zones) {
+    prof_ = zones_json(zones);
+  }
+
+  /// Render zone rows as an insertion-ordered JSON object.
+  static obs::JsonObject zones_json(
+      const std::vector<obs::prof::ZoneStats>& zones) {
+    obs::JsonObject out;
+    for (const auto& z : zones) {
+      obs::JsonObject row;
+      row.add("calls", z.calls);
+      row.add("total_us", static_cast<double>(z.total_ns) / 1e3);
+      row.add("self_us", static_cast<double>(z.self_ns) / 1e3);
+      out.add_object(z.name, row);
+    }
+    return out;
+  }
 
   /// Serialize to BENCH_<name>.json in the current working directory.
   void write() {
@@ -124,6 +161,9 @@ class BenchReport {
     root.add("bench", name_);
     root.add_object("metrics", metrics_);
     root.add_object("config", config_);
+    if (!obs_.empty()) root.add_object("obs", obs_);
+    if (!prof_.empty()) root.add_object("prof", prof_);
+    root.add_object("manifest", manifest_.to_json());
     const std::string path = "BENCH_" + name_ + ".json";
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
       const std::string body = root.str();
@@ -139,7 +179,34 @@ class BenchReport {
   std::string name_;
   obs::JsonObject metrics_;
   obs::JsonObject config_;
+  obs::JsonObject obs_;
+  obs::JsonObject prof_;
+  obs::RunManifest manifest_ = obs::RunManifest::current();
   bool written_ = false;
 };
+
+/// Standalone profiler dump: PROF_<name>.json with the zone rows plus the
+/// same manifest as the bench report (CI uploads these as artifacts; see
+/// docs/PERFORMANCE.md "Reading PROF_*.json").
+inline void write_prof_json(const std::string& name,
+                            const std::vector<obs::prof::ZoneStats>& zones,
+                            std::uint64_t seed = 0, std::size_t threads = 0) {
+  obs::RunManifest m = obs::RunManifest::current();
+  m.seed = seed;
+  if (threads != 0) m.threads = threads;
+  obs::JsonObject root;
+  root.add("bench", name);
+  root.add_object("zones", BenchReport::zones_json(zones));
+  root.add_object("manifest", m.to_json());
+  const std::string path = "PROF_" + name + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::string body = root.str();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "write_prof_json: cannot write %s\n", path.c_str());
+  }
+}
 
 }  // namespace nti::bench

@@ -60,6 +60,7 @@ mc::EnsembleResult run_ensemble(csa::Convergence conv,
       rep->from_registry(cl.metrics());
       rep->metric("alpha_minus_worst", cl.worst_alpha_minus());
       rep->metric("alpha_plus_worst", cl.worst_alpha_plus());
+      rep->obs_metric("span.events_dropped", cl.spans()->dropped_events());
       if (obs::write_chrome_trace("TRACE_e2_sixteen_node_precision.json",
                                   *cl.spans())) {
         bench::row("chrome trace", "TRACE_e2_sixteen_node_precision.json (" +
@@ -98,6 +99,7 @@ int main() {
   bench::BenchReport report("e2_sixteen_node_precision");
   report.config("num_nodes", 16.0);
   report.config("root_seed", 1616.0);
+  report.manifest_seed(1616);
   report.config("fault_tolerance", 2.0);
   report.config("sim_seconds", 300.0);
 

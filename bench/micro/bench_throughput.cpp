@@ -194,9 +194,11 @@ struct ClusterResult {
   std::uint64_t csps = 0;
   std::uint64_t events = 0;
   double wall = 0.0;
+  std::uint64_t trace_overwritten = 0;  ///< ring records lost to wraparound
+  std::uint64_t span_dropped = 0;       ///< span events past the retention cap
 };
 
-ClusterResult cluster_bench(bool smoke) {
+ClusterResult cluster_bench(bool smoke, bool profiled) {
   cluster::ClusterConfig cfg = sixteen_node_cfg();
   // The default-build row carries the full observability stack the E2
   // experiment runs with; under NTI_OBS_OFF these same knobs compile to
@@ -205,6 +207,12 @@ ClusterResult cluster_bench(bool smoke) {
   cfg.span_max_events = 50'000;
   cfg.trace_capacity = 4096;
 
+  // The profiled run measures the PROF_ZONE tax against the identical
+  // unprofiled run (docs/PERFORMANCE.md reports the delta; gate: <= 5%).
+  if (profiled) {
+    obs::prof::reset();
+    obs::prof::set_enabled(true);
+  }
   cluster::Cluster cl(cfg);
   cl.start();
   const Duration total = smoke ? Duration::sec(20) : Duration::sec(120);
@@ -212,11 +220,14 @@ ClusterResult cluster_bench(bool smoke) {
   cl.run(total, Duration::sec(5), Duration::ms(250));
   ClusterResult r;
   r.wall = seconds_since(t0);
+  if (profiled) obs::prof::set_enabled(false);
   for (int i = 0; i < cl.size(); ++i)
     r.csps += cl.node(i).driver().stats().csp_sent;
   r.events = cl.engine().events_executed();
   r.csps_per_sec = static_cast<double>(r.csps) / r.wall;
   r.events_per_sec = static_cast<double>(r.events) / r.wall;
+  if (cl.trace() != nullptr) r.trace_overwritten = cl.trace()->overwritten();
+  if (cl.spans() != nullptr) r.span_dropped = cl.spans()->dropped_events();
   return r;
 }
 
@@ -252,6 +263,7 @@ int main(int argc, char** argv) {
   report.config("smoke", smoke ? 1.0 : 0.0);
   report.config("num_nodes", 16.0);
   report.config("root_seed", 1616.0);
+  report.manifest_seed(1616);
   report.metric("obs_enabled", obs::kObsEnabled ? std::uint64_t{1}
                                                 : std::uint64_t{0});
 
@@ -294,7 +306,7 @@ int main(int argc, char** argv) {
                 counts_match ? std::uint64_t{1} : std::uint64_t{0});
 
   // --- B: 16-node cluster ---
-  const ClusterResult cl = cluster_bench(smoke);
+  const ClusterResult cl = cluster_bench(smoke, /*profiled=*/false);
   std::snprintf(buf, sizeof buf, "%.0f CSPs/sec (%llu CSPs in %.2fs wall)",
                 cl.csps_per_sec, static_cast<unsigned long long>(cl.csps),
                 cl.wall);
@@ -304,6 +316,33 @@ int main(int argc, char** argv) {
   report.metric("csps_per_sec", cl.csps_per_sec);
   report.metric("cluster_events_per_sec", cl.events_per_sec);
   report.metric("cluster_csps", cl.csps);
+  report.obs_metric("trace.overwritten", cl.trace_overwritten);
+  report.obs_metric("span.events_dropped", cl.span_dropped);
+
+  // --- B': same workload with profiler zones enabled ---
+  // Where does the wall time go?  The zone rows land in the report's
+  // `prof` section and PROF_throughput.json; the rate delta against the
+  // unprofiled run above is the profiler's own tax.
+  const ClusterResult clp = cluster_bench(smoke, /*profiled=*/true);
+  const std::vector<obs::prof::ZoneStats> zones = obs::prof::snapshot();
+  const double prof_overhead_pct =
+      cl.events_per_sec > 0.0
+          ? (1.0 - clp.events_per_sec / cl.events_per_sec) * 100.0
+          : 0.0;
+  std::snprintf(buf, sizeof buf, "%.2fM events/sec (overhead %.1f%%)",
+                clp.events_per_sec * 1e-6, prof_overhead_pct);
+  bench::row("16-node cluster, profiler on", buf);
+  for (const auto& z : zones) {
+    std::snprintf(buf, sizeof buf, "self %.0f us  total %.0f us  (%llu calls)",
+                  static_cast<double>(z.self_ns) / 1e3,
+                  static_cast<double>(z.total_ns) / 1e3,
+                  static_cast<unsigned long long>(z.calls));
+    bench::row(("  prof " + z.name).c_str(), buf);
+  }
+  report.metric("cluster_events_per_sec_profiled", clp.events_per_sec);
+  report.metric("prof_overhead_pct", prof_overhead_pct);
+  report.prof_zones(zones);
+  bench::write_prof_json("throughput", zones, /*seed=*/1616, /*threads=*/1);
 
   // --- C: MC ensemble ---
   const std::size_t replicas = smoke ? 4 : 8;

@@ -61,6 +61,11 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     for (auto& s : syncs_) s->set_trace(trace_.get());
     if (injector_ != nullptr) injector_->set_trace(trace_.get());
     if (cfg_.trace_engine_events) engine_.set_trace(trace_.get());
+    // Wraparound loss used to be silent; collect_bench.py warns loudly when
+    // this gauge is nonzero in a report's `obs` section.
+    metrics_.add_gauge("obs.trace.overwritten", [this] {
+      return static_cast<double>(trace_->overwritten());
+    });
   }
   if (cfg_.enable_spans) {
     spans_ = std::make_unique<obs::SpanCollector>(cfg_.span_max_events);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/prof.hpp"
+
 namespace nti::comco {
 
 using module::Addr;
@@ -70,6 +72,7 @@ Comco::Comco(sim::Engine& engine, module::Nti& nti, net::Medium& medium,
     // the packet (transparent mapping, Fig. 3).
     const SimTime t_fill = wire_time_of(nti_.program().tx_map_alpha + 4) - fifo_lead;
     engine_.schedule_at(t_fill, [this, hdr, tx, fp = frame, t_fill, trigger_word] {
+      PROF_ZONE("comco.dma_walk");
       nti_.set_dma_trace(tx.trace);
       fp->bytes.resize(kHeaderBytes + tx.data_len);
       for (Addr off = 0; off < kHeaderBytes; off += 4) {
@@ -166,6 +169,7 @@ void Comco::handle_rx(std::shared_ptr<const net::Frame> frame,
   const Addr rx_trig = nti_.program().rx_trigger_offset;
   const SimTime t_hdr = byte_received_at(rx_trig) + arb;
   engine_.schedule_at(t_hdr, [this, hdr, fp = frame, rx_trig, t_hdr] {
+    PROF_ZONE("comco.dma_walk");
     nti_.set_dma_trace(fp->trace_id);
     for (Addr off = 0; off <= rx_trig; off += 4) {
       std::uint32_t w = 0;
@@ -182,6 +186,7 @@ void Comco::handle_rx(std::shared_ptr<const net::Frame> frame,
       std::min(frame->bytes.size() - kHeaderBytes, slot.capacity);
   const SimTime t_rest = timing.rx_end + arb;
   engine_.schedule_at(t_rest, [this, hdr, fp = frame, slot, payload_len, rx_trig, t_rest] {
+    PROF_ZONE("comco.dma_walk");
     nti_.set_dma_trace(fp->trace_id);
     for (Addr off = rx_trig + 4; off < kHeaderBytes; off += 4) {
       std::uint32_t w = 0;

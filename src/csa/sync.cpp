@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nti/memmap.hpp"
+#include "obs/prof.hpp"
 #include "utcsu/regs.hpp"
 #include "utcsu/stamp.hpp"
 
@@ -172,6 +173,7 @@ void SyncNode::do_send() {
 }
 
 void SyncNode::handle_csp(const node::RxCsp& rx) {
+  PROF_ZONE("csa.handle_csp");
   if (!running_) return;
   const auto discard = [&](obs::DiscardReason reason) {
     if (spans_ != nullptr) {
@@ -266,6 +268,7 @@ std::optional<interval::AccInterval> SyncNode::gps_interval(Duration at_clock) {
 }
 
 void SyncNode::do_resync() {
+  PROF_ZONE("csa.round");
   const SimTime now = card_.cpu().engine().now();
   auto& nti = card_.nti();
   const Duration c_resync = resync_time_of_round(round_);

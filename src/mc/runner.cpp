@@ -108,7 +108,7 @@ EnsembleResult Runner::run() {
   // Pre-sized slot array: replica i's result lands in slots[i] no matter
   // which worker ran it or when it finished.
   std::vector<ReplicaResult> slots(n);
-  // nti-lint: allow(nondet): wall-clock throughput metric, reported only in
+  // nti-lint: allow(prof): wall-clock throughput metric, reported only in
   // the human-facing summary -- never part of deterministic results.
   const auto wall_start = std::chrono::steady_clock::now();
   if (threads <= 1) {
@@ -127,7 +127,7 @@ EnsembleResult Runner::run() {
     for (auto& th : pool) th.join();
   }
   const std::chrono::duration<double> wall =
-      // nti-lint: allow(nondet): see wall_start above.
+      // nti-lint: allow(prof): see wall_start above.
       std::chrono::steady_clock::now() - wall_start;
 
   // Reduction strictly in slot (replica) order, single-threaded: histogram

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/prof.hpp"
+
 namespace nti::net {
 
 Medium::Medium(sim::Engine& engine, MediumConfig cfg, RngStream rng)
@@ -167,6 +169,7 @@ void Medium::begin_transmission(std::size_t port_idx) {
 }
 
 void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
+  PROF_ZONE("net.medium.tx");
   MacPort& port = *ports_[port_idx];
   assert(!port.queue_.empty());
   // Move the frame into pool-backed shared ownership: several delivery
@@ -236,6 +239,7 @@ void Medium::begin_transmission(std::size_t port_idx, SimTime wire_start) {
     timing.byte_time = byte_time_;
     delivered_at = std::max(delivered_at, timing.rx_end);
     engine_.schedule_at(timing.rx_start, [this, &rx, frame, timing] {
+      PROF_ZONE("net.medium.rx");
       if (trace_ != nullptr) {
         trace_->push(timing.rx_start, obs::TraceType::kFrameRx, rx.station_,
                      static_cast<std::int64_t>(frame->id),

@@ -15,13 +15,14 @@ namespace {
 
 constexpr double kPsPerUs = 1e6;
 
-JsonObject metadata_event(const char* what, int tid, const std::string& name) {
+JsonObject metadata_event(const char* what, int tid, const std::string& name,
+                          int pid = 0) {
   JsonObject args;
   args.add("name", name);
   JsonObject ev;
   ev.add("ph", "M");
   ev.add("name", what);
-  ev.add("pid", std::int64_t{0});
+  ev.add("pid", std::int64_t{pid});
   ev.add("tid", std::int64_t{tid});
   ev.add_object("args", args);
   return ev;
@@ -82,6 +83,11 @@ JsonObject flow_event(const SpanEvent& ev, const char* phase, double ts_us) {
 }  // namespace
 
 void dump_chrome_trace(std::ostream& os, const SpanCollector& spans) {
+  dump_chrome_trace(os, spans, {});
+}
+
+void dump_chrome_trace(std::ostream& os, const SpanCollector& spans,
+                       const std::vector<prof::ZoneStats>& prof_zones) {
   const auto& events = spans.events();
 
   // Track inventory and per-trace ordering (events are recorded in global
@@ -125,13 +131,54 @@ void dump_chrome_trace(std::ostream& os, const SpanCollector& spans) {
     }
   }
 
+  // Profiler tracks (real time, not simulated): zone rows are name-sorted
+  // by snapshot(), so tids -- and the emitted JSON -- are deterministic.
+  if (!prof_zones.empty()) {
+    emit(metadata_event("process_name", 0, "nti-prof", 1));
+    int tid = 0;
+    for (const auto& z : prof_zones) {
+      emit(metadata_event("thread_name", tid, z.name, 1));
+
+      JsonObject args;
+      args.add("calls", z.calls);
+      args.add("self_us", static_cast<double>(z.self_ns) / 1e3);
+      JsonObject slice;
+      slice.add("ph", "X");
+      slice.add("name", z.name);
+      slice.add("cat", "prof");
+      slice.add("pid", std::int64_t{1});
+      slice.add("tid", std::int64_t{tid});
+      slice.add("ts", 0.0);
+      slice.add("dur", static_cast<double>(z.total_ns) / 1e3);
+      slice.add_object("args", args);
+      emit(slice);
+
+      JsonObject counter_args;
+      counter_args.add("self_us", static_cast<double>(z.self_ns) / 1e3);
+      JsonObject counter;
+      counter.add("ph", "C");
+      counter.add("name", "prof." + z.name);
+      counter.add("pid", std::int64_t{1});
+      counter.add("tid", std::int64_t{tid});
+      counter.add("ts", 0.0);
+      counter.add_object("args", counter_args);
+      emit(counter);
+      ++tid;
+    }
+  }
+
   os << "\n], \"displayTimeUnit\": \"ns\"}\n";
 }
 
 bool write_chrome_trace(const std::string& path, const SpanCollector& spans) {
+  return write_chrome_trace(path, spans, {});
+}
+
+bool write_chrome_trace(const std::string& path, const SpanCollector& spans,
+                        const std::vector<prof::ZoneStats>& prof_zones) {
   std::ofstream f(path);
   if (!f) return false;
-  dump_chrome_trace(f, spans);
+  dump_chrome_trace(f, spans, prof_zones);
   return static_cast<bool>(f);
 }
 

@@ -14,11 +14,21 @@
 //     chronologically last event -- Perfetto draws the arrows that stitch
 //     tx_trigger on the sender to rx_stamp/fused/correction_applied on
 //     every receiver.
-// No dependencies beyond obs/json.hpp.
+//
+// When profiler zone stats are supplied, they land in a second process
+// (pid 1, "nti-prof"): one track per zone carrying a ph:"X" slice of the
+// zone's total wall time (args: calls, self_us) and a ph:"C" counter of
+// its self time, so the per-subsystem obs/sim split is visible next to the
+// simulated-time spans.  Note the axes differ: pid 0 is simulated time,
+// pid 1 is real (profiled) time laid out from 0.
+// No dependencies beyond obs/json.hpp and obs/prof.hpp.
 #pragma once
 
 #include <ostream>
 #include <string>
+#include <vector>
+
+#include "obs/prof.hpp"
 
 namespace nti::obs {
 
@@ -26,8 +36,13 @@ class SpanCollector;
 
 /// Stream the full trace JSON ({"traceEvents": [...], ...}) to `os`.
 void dump_chrome_trace(std::ostream& os, const SpanCollector& spans);
+/// Same, plus profiler zone tracks under pid 1 (see header comment).
+void dump_chrome_trace(std::ostream& os, const SpanCollector& spans,
+                       const std::vector<prof::ZoneStats>& prof_zones);
 
 /// Convenience: dump_chrome_trace into `path`; false (no file) on error.
 bool write_chrome_trace(const std::string& path, const SpanCollector& spans);
+bool write_chrome_trace(const std::string& path, const SpanCollector& spans,
+                        const std::vector<prof::ZoneStats>& prof_zones);
 
 }  // namespace nti::obs

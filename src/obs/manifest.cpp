@@ -1,0 +1,44 @@
+#include "obs/manifest.hpp"
+
+#include <thread>
+
+#include <unistd.h>
+
+#include "obs/build_info_gen.hpp"
+#include "obs/obs_build.hpp"
+
+namespace nti::obs {
+
+RunManifest RunManifest::current() {
+  RunManifest m;
+  m.git_sha = NTI_BUILD_GIT_SHA;
+  m.compiler = NTI_BUILD_COMPILER;
+  m.build_type = NTI_BUILD_TYPE;
+  m.preset = NTI_BUILD_PRESET;
+  char host[256] = {};
+  // gethostname is environment description, not simulation input: the
+  // manifest is emitted alongside results, never read back by the models.
+  if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    m.host = host;
+  } else {
+    m.host = "unknown";
+  }
+  m.obs_enabled = kObsEnabled;
+  m.threads = std::thread::hardware_concurrency();
+  return m;
+}
+
+JsonObject RunManifest::to_json() const {
+  JsonObject o;
+  o.add("git_sha", git_sha);
+  o.add("compiler", compiler);
+  o.add("build_type", build_type);
+  o.add("preset", preset);
+  o.add("host", host);
+  o.add("obs_enabled", obs_enabled);
+  o.add("seed", seed);
+  o.add("threads", static_cast<std::uint64_t>(threads));
+  return o;
+}
+
+}  // namespace nti::obs

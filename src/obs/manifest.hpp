@@ -1,0 +1,42 @@
+// RunManifest -- provenance record attached to every BenchReport.
+//
+// A BENCH_*.json file without provenance is a number with no story: you
+// cannot tell which commit, compiler, preset, or machine produced it, so
+// the perf trajectory across PRs never accumulates.  The manifest stamps
+// each report with enough context to compare runs honestly
+// (tools/collect_bench.py --baseline/--compare refuses mismatched
+// build_type, and --expect fails reports missing these fields).
+//
+// Build-time fields (git sha, compiler, build type, preset) come from
+// build_info_gen.hpp, configured by CMake; run-time fields (host, threads,
+// obs_enabled) are sampled at current(); workload fields (seed, threads
+// actually used) are filled in by the bench via BenchReport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace nti::obs {
+
+struct RunManifest {
+  std::string git_sha;     ///< HEAD at configure time ("unknown" outside git)
+  std::string compiler;    ///< e.g. "GNU 12.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE (+",san:<list>" when sanitized)
+  std::string preset;      ///< CMake preset name, or "manual"
+  std::string host;        ///< gethostname()
+  bool obs_enabled = true;     ///< false in NTI_OBS_OFF builds
+  std::uint64_t seed = 0;      ///< workload base seed (bench fills in)
+  std::size_t threads = 0;     ///< worker threads used (bench fills in)
+
+  /// Manifest for this build/process; seed and threads default to 0 /
+  /// hardware_concurrency until the bench overrides them.
+  static RunManifest current();
+
+  /// Insertion-ordered JSON object, keys matching the field names above.
+  JsonObject to_json() const;
+};
+
+}  // namespace nti::obs

@@ -1,0 +1,157 @@
+#include "obs/prof.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+// Cold path of the profiler: interning, the global flushed store, the tick
+// calibration anchor, and snapshot/reset.  The per-zone hot path is inline
+// in prof.hpp.  This pair of files is the sanctioned home of every
+// wall-clock read in src/ -- the `prof` rule in tools/nti_lint.py fires on
+// chrono clocks / rdtsc anywhere else.  Profiler state is write-only from
+// the simulation's point of view: nothing outside snapshot()/enabled()
+// reads it, so it can never feed back into simulated behaviour.
+
+namespace nti::obs::prof {
+namespace {
+
+inline std::int64_t steady_ns_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// g_mutex guards the intern table, the flushed store, and the calibration
+// anchor.  The hot path (zone_enter/zone_exit) never takes it.
+std::mutex g_mutex;
+std::vector<std::string>& names() {
+  static std::vector<std::string> v;
+  return v;
+}
+std::map<std::string, ZoneId>& ids() {
+  static std::map<std::string, ZoneId> m;
+  return m;
+}
+std::vector<detail::ZoneAccum>& flushed() {
+  static std::vector<detail::ZoneAccum> v;
+  return v;
+}
+// Calibration anchor: (steady ns, ticks) pair taken at reset()/first
+// enable; the ns-per-tick ratio is measured against it at snapshot time.
+std::int64_t g_anchor_ns = 0;
+std::int64_t g_anchor_ticks = 0;
+
+void anchor_locked() {
+  g_anchor_ns = steady_ns_now();
+  g_anchor_ticks = detail::ticks_now();
+}
+
+}  // namespace
+
+#ifndef NTI_OBS_OFF
+
+namespace detail {
+
+void ThreadState::flush() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& store = flushed();
+  if (store.size() < slots.size()) store.resize(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) store[i].merge(slots[i]);
+  slots.clear();
+}
+
+}  // namespace detail
+
+ZoneId intern(const char* name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& m = ids();
+  const auto it = m.find(name);
+  if (it != m.end()) return it->second;
+  const ZoneId id = static_cast<ZoneId>(names().size());
+  names().emplace_back(name);
+  m.emplace(name, id);
+  return id;
+}
+
+#endif  // NTI_OBS_OFF
+
+void set_enabled(bool on) {
+  const bool want = kObsEnabled && on;
+  if (want && !detail::g_enabled.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_anchor_ns == 0) anchor_locked();
+  }
+  detail::g_enabled.store(want, std::memory_order_relaxed);
+}
+
+void set_sample_period(std::uint32_t period) {
+  // Round down to a power of two so the window check is a single mask.
+  std::uint32_t p = 1;
+  while (p * 2 <= period && p < (1u << 30)) p *= 2;
+  detail::g_sample_mask.store(p - 1, std::memory_order_relaxed);
+}
+
+std::uint32_t sample_period() {
+  return detail::g_sample_mask.load(std::memory_order_relaxed) + 1;
+}
+
+void reset() {
+#ifndef NTI_OBS_OFF
+  detail::ThreadState& ts = detail::tls();
+  ts.slots.clear();
+  ts.depth = 0;
+  ts.timing = false;
+  ts.window_seq = 0;  // next top-level window is a sampled one
+#endif
+  std::lock_guard<std::mutex> lock(g_mutex);
+  flushed().clear();
+  anchor_locked();
+}
+
+std::vector<ZoneStats> snapshot() {
+  std::vector<ZoneStats> out;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<detail::ZoneAccum> merged = flushed();
+#ifndef NTI_OBS_OFF
+  const auto& live = detail::tls().slots;
+  if (merged.size() < live.size()) merged.resize(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) merged[i].merge(live[i]);
+#endif
+
+  // ns-per-tick from the calibration anchor (identity when ticks already
+  // are steady_clock nanoseconds, or before the first enable).
+  double ns_per_tick = 1.0;
+  if (g_anchor_ns != 0) {
+    const std::int64_t dticks = detail::ticks_now() - g_anchor_ticks;
+    const std::int64_t dns = steady_ns_now() - g_anchor_ns;
+    if (dticks > 0 && dns > 0) {
+      ns_per_tick = static_cast<double>(dns) / static_cast<double>(dticks);
+    }
+  }
+
+  const auto& zone_names = names();
+  for (std::size_t i = 0; i < merged.size() && i < zone_names.size(); ++i) {
+    if (merged[i].calls == 0) continue;
+    ZoneStats z;
+    z.name = zone_names[i];
+    z.calls = merged[i].calls;
+    // Extrapolate from the sampled windows: a zone timed on timed_calls of
+    // calls executions scales by calls/timed_calls (1.0 at period 1).
+    const double scale =
+        merged[i].timed_calls > 0
+            ? static_cast<double>(merged[i].calls) /
+                  static_cast<double>(merged[i].timed_calls)
+            : 0.0;
+    z.total_ns = static_cast<std::int64_t>(
+        static_cast<double>(merged[i].total_ticks) * ns_per_tick * scale);
+    z.self_ns = static_cast<std::int64_t>(
+        static_cast<double>(merged[i].self_ticks) * ns_per_tick * scale);
+    out.push_back(std::move(z));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ZoneStats& a, const ZoneStats& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace nti::obs::prof

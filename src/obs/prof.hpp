@@ -1,0 +1,243 @@
+// obs::prof -- self-profiling wall-clock attribution for the simulator.
+//
+// The bench trajectory records *what* the simulator computed; this records
+// *where the real CPU time went* while computing it: engine pop/dispatch,
+// medium TX/RX, the COMCO DMA walk, CSA rounds, and the observability
+// layer's own emission cost (refining the single ~35% obs-tax number of
+// docs/PERFORMANCE.md into a per-subsystem breakdown).
+//
+// Design constraints, in priority order:
+//   1. ZERO feedback into simulation state.  Zones only ever write into
+//      thread-local accumulators that nothing in src/ reads back; a new
+//      ctest (tests/mc/prof_determinism_test.cpp) pins that simulation
+//      output stays byte-identical with profiling on/off and across
+//      NTI_MC_THREADS.  This file and prof.cpp are the only places in src/
+//      allowed to read a wall clock (tools/nti_lint.py rule `prof`).
+//   2. Near-zero cost when disabled: a PROF_ZONE site is one relaxed
+//      atomic load when profiling is off, and compiles to nothing entirely
+//      under NTI_OBS_OFF.
+//   3. Cheap when enabled: most zone executions only bump a thread-local
+//      call counter; clock reads (raw TSC, steady_clock fallback on
+//      non-x86) are confined to sampled windows -- no locks, no allocation
+//      on the hot path (per-thread zone slabs grow once per zone, then
+//      plateau).
+//
+// Attribution model: zones nest lexically (RAII).  Each zone accumulates
+//   total -- wall time between scope entry and exit (inclusive), and
+//   self  -- total minus the time spent in directly nested zones,
+// so sum(self) over all zones partitions the instrumented wall time.
+// Worker threads (mc::Runner's pool) flush their slabs into a global store
+// when they exit; snapshot() merges the flushed store with the calling
+// thread's live slab and returns name-ordered rows -- integer sums commute,
+// so the merge order never depends on thread scheduling.
+//
+// Sampling: clock reads dominate zone cost (rdtsc costs ~20 ns under some
+// hypervisors), so timing is window-sampled.  Calls are counted on every
+// zone execution, but tick reads happen only inside 1-of-N top-level
+// windows (N = set_sample_period(), default 16).  A window spans one
+// outermost zone and everything nested in it, so self/total accounting is
+// exact within a window; snapshot() extrapolates each zone's times by
+// calls/timed_calls.  Set the period to 1 to time every window.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs_build.hpp"
+
+#if !defined(__x86_64__) && !defined(__i386__)
+#include <chrono>  // steady_clock tick-source fallback (rule `prof` home)
+#endif
+
+namespace nti::obs::prof {
+
+/// One merged zone row (times in nanoseconds, calibrated from raw ticks at
+/// snapshot time and extrapolated from the sampled windows by
+/// calls/timed_calls).  Rows are sorted by name -- the deterministic merge
+/// order across any number of worker threads.
+struct ZoneStats {
+  std::string name;
+  std::uint64_t calls = 0;    ///< exact execution count
+  std::int64_t total_ns = 0;  ///< inclusive wall time (sampled estimate)
+  std::int64_t self_ns = 0;   ///< exclusive (total minus nested zones)
+};
+
+namespace detail {
+/// The global switch lives in the header so enabled() inlines to a single
+/// relaxed load at every PROF_ZONE site.  Write it through set_enabled().
+inline std::atomic<bool> g_enabled{false};
+
+/// Raw tick source: TSC on x86 (~7 ns/read, calibrated to wall ns at
+/// snapshot time), steady_clock elsewhere (ticks are already ns).  Needed
+/// unconditionally: the calibration anchor lives in prof.cpp.
+inline std::int64_t ticks_now() {
+#if defined(__x86_64__) || defined(__i386__)
+  return static_cast<std::int64_t>(__builtin_ia32_rdtsc());
+#else
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+#endif
+}
+
+/// Sampling mask (period - 1, period a power of two).  Read relaxed on the
+/// hot path; written through set_sample_period().
+inline std::atomic<std::uint32_t> g_sample_mask{15};
+
+struct ZoneAccum {
+  std::uint64_t calls = 0;        ///< every execution (exact)
+  std::uint64_t timed_calls = 0;  ///< executions inside a timed window
+  std::int64_t total_ticks = 0;   ///< summed over timed windows only
+  std::int64_t self_ticks = 0;
+
+  void merge(const ZoneAccum& o) {
+    calls += o.calls;
+    timed_calls += o.timed_calls;
+    total_ticks += o.total_ticks;
+    self_ticks += o.self_ticks;
+  }
+};
+}  // namespace detail
+
+/// Global profiling switch.  Off by default; benches turn it on around the
+/// region they attribute.  Under NTI_OBS_OFF this is forced off.
+void set_enabled(bool on);
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Time 1 of every `period` top-level zone windows (counting is always
+/// exact).  Rounded down to a power of two; 1 = time everything.  Applies
+/// to windows entered after the call; the default is 16.
+void set_sample_period(std::uint32_t period);
+std::uint32_t sample_period();
+
+/// Drop all accumulated data (flushed store + the calling thread's slab)
+/// and re-anchor the tick calibration.  Call between attribution runs,
+/// after worker threads have joined.
+void reset();
+
+/// Name-ordered merged zone rows: the flushed store (exited threads) plus
+/// the calling thread's live slab.  Call after joining any worker threads
+/// that profiled; zones with zero calls are omitted.
+std::vector<ZoneStats> snapshot();
+
+using ZoneId = std::uint32_t;
+
+#ifndef NTI_OBS_OFF
+
+/// Intern a zone name (dotted lowercase, e.g. "sim.engine.dispatch") into a
+/// process-wide id.  Slow (mutex); call once per site via the PROF_ZONE
+/// macro's function-local static.
+ZoneId intern(const char* name);
+
+// ---------------------------------------------------------------------------
+// Hot path -- header-inline so an active zone costs two raw tick reads plus
+// a handful of thread-local integer stores, with no function calls.  This
+// header is inside the src/obs/prof* lint-rule home, so the tick reads are
+// sanctioned here and nowhere else in src/.
+// ---------------------------------------------------------------------------
+namespace detail {
+
+inline constexpr int kMaxDepth = 64;
+
+struct Frame {
+  ZoneId id = 0;
+  std::int64_t start_ticks = 0;
+  std::int64_t child_ticks = 0;
+};
+
+/// Per-thread zone slab + scope stack.  The destructor merges the slab
+/// into the global flushed store (prof.cpp), so worker-pool threads hand
+/// their data over when they exit.
+struct ThreadState {
+  std::vector<ZoneAccum> slots;  ///< indexed by ZoneId; grows per first use
+  Frame stack[kMaxDepth];
+  int depth = 0;
+  bool timing = false;           ///< this window's sampling decision
+  std::uint32_t window_seq = 0;  ///< top-level windows entered so far
+
+  ~ThreadState() { flush(); }
+  /// Merge this thread's slab into the global flushed store and clear it
+  /// (out-of-line: takes the global mutex).
+  void flush();
+};
+
+inline ThreadState& tls() {
+  thread_local ThreadState state;
+  return state;
+}
+
+/// Push a frame for `id` on this thread's zone stack; read the clock only
+/// in sampled windows.  Returns the thread state for the matching
+/// zone_exit, or nullptr when the stack is at max depth (no frame pushed).
+inline ThreadState* zone_enter(ZoneId id) {
+  ThreadState& ts = tls();
+  if (ts.depth >= kMaxDepth) return nullptr;
+  if (ts.depth == 0) {
+    ts.timing = (ts.window_seq++ &
+                 g_sample_mask.load(std::memory_order_relaxed)) == 0;
+  }
+  Frame& f = ts.stack[ts.depth++];
+  f.id = id;
+  f.child_ticks = 0;
+  if (ts.timing) f.start_ticks = ticks_now();
+  return &ts;
+}
+
+/// Pop the top frame; count the call, and in sampled windows accumulate
+/// total/self and charge the parent.
+inline void zone_exit(ThreadState* tsp) {
+  ThreadState& ts = *tsp;
+  Frame& f = ts.stack[--ts.depth];
+  if (f.id >= ts.slots.size()) ts.slots.resize(f.id + 1);
+  ZoneAccum& a = ts.slots[f.id];
+  ++a.calls;
+  if (!ts.timing) return;
+  std::int64_t total = ticks_now() - f.start_ticks;
+  if (total < 0) total = 0;  // TSC migration slop; never let it go negative
+  ++a.timed_calls;
+  a.total_ticks += total;
+  const std::int64_t self = total - f.child_ticks;
+  a.self_ticks += self > 0 ? self : 0;
+  if (ts.depth > 0) ts.stack[ts.depth - 1].child_ticks += total;
+}
+
+}  // namespace detail
+
+/// RAII zone scope.  Prefer the PROF_ZONE macro, which caches the intern.
+class Scope {
+ public:
+  explicit Scope(ZoneId id)
+      : ts_(enabled() ? detail::zone_enter(id) : nullptr) {}
+  ~Scope() {
+    if (ts_ != nullptr) detail::zone_exit(ts_);
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  detail::ThreadState* ts_;
+};
+
+#define NTI_PROF_CONCAT2(a, b) a##b
+#define NTI_PROF_CONCAT(a, b) NTI_PROF_CONCAT2(a, b)
+/// Attribute the rest of the enclosing scope to zone `name`.  The intern is
+/// a function-local static, so steady-state cost is one guard check plus
+/// the Scope (one relaxed load when profiling is off).
+#define PROF_ZONE(name)                                                     \
+  static const ::nti::obs::prof::ZoneId NTI_PROF_CONCAT(                    \
+      nti_prof_zone_id_, __LINE__) = ::nti::obs::prof::intern(name);        \
+  const ::nti::obs::prof::Scope NTI_PROF_CONCAT(nti_prof_zone_scope_,       \
+                                                __LINE__)(                  \
+      NTI_PROF_CONCAT(nti_prof_zone_id_, __LINE__))
+
+#else  // NTI_OBS_OFF
+
+// Observability-tax build: zones compile to nothing, matching
+// TraceRing::push / SpanCollector::record (docs/PERFORMANCE.md).
+#define PROF_ZONE(name) static_cast<void>(0)
+
+#endif  // NTI_OBS_OFF
+
+}  // namespace nti::obs::prof

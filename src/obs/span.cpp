@@ -1,6 +1,7 @@
 #include "obs/span.hpp"
 
 #include "common/log.hpp"
+#include "obs/prof.hpp"
 
 namespace nti::obs {
 
@@ -117,6 +118,7 @@ std::int64_t SpanCollector::resolve_parent(TraceState& st, SpanStage stage,
 
 void SpanCollector::record(std::uint64_t trace, SpanStage stage, SimTime t,
                            int node, std::int64_t detail) {
+  PROF_ZONE("obs.span.record");
   if (trace == 0) return;  // "no span" id (also the empty-cache sentinel)
   TraceState* stp = cached_state_;
   if (trace != cached_trace_) {

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "obs/prof.hpp"
 
 namespace nti::obs {
 
@@ -26,6 +27,7 @@ TraceRing::TraceRing(std::size_t capacity) : buf_(std::max<std::size_t>(1, capac
 #ifndef NTI_OBS_OFF
 void TraceRing::push(SimTime t, TraceType type, std::int32_t node, std::int64_t a,
                      std::int64_t b) {
+  PROF_ZONE("obs.trace.push");
   TraceRecord& r = buf_[head_];
   r.t = t;
   r.type = type;

@@ -2,9 +2,12 @@
 
 #include <utility>
 
+#include "obs/prof.hpp"
+
 namespace nti::sim {
 
 EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
+  PROF_ZONE("sim.engine.schedule");
   detail::EventSlab& slab = *slab_;
   std::uint32_t idx;
   if (!slab.free_list.empty()) {
@@ -82,25 +85,30 @@ void Engine::reap_cancelled_heads() {
 
 bool Engine::step() {
   while (!heap_.empty()) {
-    const HeapEntry e = heap_pop_root();
-    detail::EventState& st = slab_->slots[e.slot];
-    --live_;
-    if (st.cancelled) {
-      ++cancelled_reaped_;
+    EventFn fn;
+    {
+      PROF_ZONE("sim.engine.pop");
+      const HeapEntry e = heap_pop_root();
+      detail::EventState& st = slab_->slots[e.slot];
+      --live_;
+      if (st.cancelled) {
+        ++cancelled_reaped_;
+        release_slot(e.slot);
+        continue;
+      }
+      now_ = SimTime::from_ps(e.when_ps);
+      ++executed_;
+      if (trace_ != nullptr) {
+        trace_->push(now_, obs::TraceType::kEventFired, -1,
+                     static_cast<std::int64_t>(e.seq));
+      }
+      // Move the closure out and release the slot *before* invoking it:
+      // re-entrant scheduling from inside the handler may grow the slab
+      // (invalidating `st`) or immediately reuse this very slot.
+      fn = std::move(st.fn);
       release_slot(e.slot);
-      continue;
     }
-    now_ = SimTime::from_ps(e.when_ps);
-    ++executed_;
-    if (trace_ != nullptr) {
-      trace_->push(now_, obs::TraceType::kEventFired, -1,
-                   static_cast<std::int64_t>(e.seq));
-    }
-    // Move the closure out and release the slot *before* invoking it:
-    // re-entrant scheduling from inside the handler may grow the slab
-    // (invalidating `st`) or immediately reuse this very slot.
-    EventFn fn = std::move(st.fn);
-    release_slot(e.slot);
+    PROF_ZONE("sim.engine.dispatch");
     fn();
     return true;
   }

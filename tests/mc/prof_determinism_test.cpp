@@ -1,0 +1,85 @@
+// Profiler non-interference: the acceptance gate for obs::prof.
+//
+// The profiler reads wall clocks on the hot path of the engine, medium,
+// COMCO, and CSA.  This suite pins the contract that none of that can ever
+// feed back into simulation state: the serialized ensemble output is
+// byte-identical with profiling enabled vs disabled, and -- with profiling
+// enabled -- across worker thread counts 1/2/4.  Any wall-clock-dependent
+// branch leaking into simulated behaviour diverges these strings.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mc/runner.hpp"
+#include "obs/prof.hpp"
+
+namespace nti {
+namespace {
+
+cluster::ClusterConfig small_cfg() {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.sync.fault_tolerance = 0;
+  return cfg;
+}
+
+mc::McConfig small_mc(std::size_t threads) {
+  mc::McConfig mcc;
+  mcc.replicas = 4;
+  mcc.threads = threads;
+  mcc.root_seed = 1616;
+  mcc.total = Duration::sec(4);
+  mcc.warmup = Duration::sec(1);
+  mcc.probe_period = Duration::ms(100);
+  return mcc;
+}
+
+std::string run_json(std::size_t threads, bool profiled) {
+  namespace prof = obs::prof;
+  prof::reset();
+  prof::set_enabled(profiled);
+  const std::string json =
+      mc::Runner(small_cfg(), small_mc(threads)).run().to_json();
+  prof::set_enabled(false);
+  return json;
+}
+
+TEST(ProfDeterminism, EnsembleJsonIdenticalWithProfilingOnAndOff) {
+  const std::string off = run_json(1, /*profiled=*/false);
+  const std::string on = run_json(1, /*profiled=*/true);
+  EXPECT_EQ(off, on) << "profiling changed simulation output";
+}
+
+TEST(ProfDeterminism, ProfiledEnsembleJsonThreadCountInvariant) {
+  const std::string t1 = run_json(1, /*profiled=*/true);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const std::string tn = run_json(threads, /*profiled=*/true);
+    EXPECT_EQ(t1, tn) << "thread count " << threads
+                      << " changed the profiled ensemble";
+  }
+}
+
+TEST(ProfDeterminism, ProfiledRunActuallyCollectsZones) {
+  namespace prof = obs::prof;
+  prof::reset();
+  prof::set_enabled(true);
+  if (!prof::enabled()) GTEST_SKIP() << "NTI_OBS_OFF build";
+  (void)mc::Runner(small_cfg(), small_mc(2)).run();
+  prof::set_enabled(false);
+  const auto zones = prof::snapshot();
+  prof::reset();
+  // Worker threads exited inside run(); their slabs must have been flushed
+  // and merged -- the engine hot-path zones always fire.
+  bool saw_dispatch = false;
+  for (const auto& z : zones) {
+    if (z.name == "sim.engine.dispatch") {
+      saw_dispatch = true;
+      EXPECT_GT(z.calls, 0u);
+      EXPECT_GE(z.total_ns, z.self_ns);
+    }
+  }
+  EXPECT_TRUE(saw_dispatch) << "no sim.engine.dispatch zone in snapshot";
+}
+
+}  // namespace
+}  // namespace nti

@@ -1,0 +1,64 @@
+// RunManifest: build/run provenance attached to every bench report.
+// Pins that current() captures non-empty provenance (so the collector's
+// --expect gate has something to validate) and that to_json() emits the
+// exact key set tools/collect_bench.py requires.
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/obs_build.hpp"
+
+namespace nti {
+namespace {
+
+TEST(RunManifest, CurrentCapturesBuildProvenance) {
+  const obs::RunManifest m = obs::RunManifest::current();
+  // Compile-time provenance comes from the configure step; it can say
+  // "unknown" (e.g. tarball build with no git) but never be empty.
+  EXPECT_FALSE(m.git_sha.empty());
+  EXPECT_FALSE(m.compiler.empty());
+  EXPECT_FALSE(m.build_type.empty());
+  EXPECT_FALSE(m.preset.empty());
+  EXPECT_FALSE(m.host.empty());
+  EXPECT_EQ(m.obs_enabled, obs::kObsEnabled);
+  EXPECT_GT(m.threads, 0u);
+}
+
+TEST(RunManifest, JsonContainsEveryRequiredKey) {
+  obs::RunManifest m = obs::RunManifest::current();
+  m.seed = 4242;
+  const std::string json = m.to_json().str();
+  // The key set validated by collect_bench.py --expect.
+  for (const char* key : {"\"git_sha\"", "\"compiler\"", "\"build_type\"",
+                          "\"preset\"", "\"host\"", "\"obs_enabled\"",
+                          "\"seed\"", "\"threads\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_NE(json.find("4242"), std::string::npos);
+}
+
+TEST(RunManifest, JsonReflectsFieldValues) {
+  obs::RunManifest m;
+  m.git_sha = "abc123def456";
+  m.compiler = "TestCC 1.0";
+  m.build_type = "Release";
+  m.preset = "unit-test";
+  m.host = "testhost";
+  m.obs_enabled = false;
+  m.seed = 7;
+  m.threads = 3;
+  const std::string json = m.to_json().str();
+  EXPECT_NE(json.find("\"git_sha\": \"abc123def456\""), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\": \"TestCC 1.0\""), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\": \"Release\""), std::string::npos);
+  EXPECT_NE(json.find("\"preset\": \"unit-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"host\": \"testhost\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_enabled\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nti

@@ -1,0 +1,234 @@
+// obs::prof unit tests: interning, nesting/attribution, reset, the
+// disabled-path no-op, deterministic merge across threads, and the
+// Perfetto (chrome_trace) zone-track export.
+//
+// Wall-clock assertions are deliberately loose (>=0, containment) -- the
+// profiler measures real time, and CI boxes are noisy.  Exact assertions
+// are reserved for call counts and structural properties.
+#include "obs/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/span.hpp"
+
+namespace prof = nti::obs::prof;
+
+namespace {
+
+/// Zone rows keyed by name for assertion convenience.
+const prof::ZoneStats* find(const std::vector<prof::ZoneStats>& zones,
+                            const std::string& name) {
+  for (const auto& z : zones) {
+    if (z.name == name) return &z;
+  }
+  return nullptr;
+}
+
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Time every window: assertions about total/self must not depend on
+    // which windows the default 1-of-16 sampling happens to pick.
+    prof::set_sample_period(1);
+    prof::reset();
+  }
+  void TearDown() override {
+    prof::set_enabled(false);
+    prof::set_sample_period(16);
+    prof::reset();
+  }
+};
+
+/// Burn a little real time so total_ns has something to accumulate.
+void spin() {
+  volatile std::uint64_t x = 0;
+  for (int i = 0; i < 20'000; ++i) x += static_cast<std::uint64_t>(i);
+}
+
+TEST_F(ProfTest, DisabledByDefaultAndZonesAreNoOps) {
+  EXPECT_FALSE(prof::enabled());
+  {
+    PROF_ZONE("test.disabled");
+    spin();
+  }
+  EXPECT_TRUE(prof::snapshot().empty());
+}
+
+TEST_F(ProfTest, ResetDropsAccumulatedZones) {
+  prof::set_enabled(true);
+  if (!prof::enabled()) GTEST_SKIP() << "NTI_OBS_OFF build";
+  {
+    PROF_ZONE("test.reset");
+    spin();
+  }
+  EXPECT_FALSE(prof::snapshot().empty());
+  prof::reset();
+  EXPECT_TRUE(prof::snapshot().empty());
+}
+
+TEST_F(ProfTest, CallCountsAndNameOrder) {
+  prof::set_enabled(true);
+  if (!prof::enabled()) GTEST_SKIP() << "NTI_OBS_OFF build";
+  for (int i = 0; i < 5; ++i) {
+    PROF_ZONE("test.b_zone");
+    spin();
+  }
+  for (int i = 0; i < 3; ++i) {
+    PROF_ZONE("test.a_zone");
+    spin();
+  }
+  const auto zones = prof::snapshot();
+  ASSERT_EQ(zones.size(), 2u);
+  // snapshot() is name-ordered regardless of first-use order.
+  EXPECT_EQ(zones[0].name, "test.a_zone");
+  EXPECT_EQ(zones[1].name, "test.b_zone");
+  EXPECT_EQ(zones[0].calls, 3u);
+  EXPECT_EQ(zones[1].calls, 5u);
+  for (const auto& z : zones) {
+    EXPECT_GE(z.total_ns, 0);
+    EXPECT_GE(z.self_ns, 0);
+    EXPECT_LE(z.self_ns, z.total_ns);
+  }
+}
+
+TEST_F(ProfTest, NestedZonesSplitSelfFromTotal) {
+  prof::set_enabled(true);
+  if (!prof::enabled()) GTEST_SKIP() << "NTI_OBS_OFF build";
+  {
+    PROF_ZONE("test.outer");
+    spin();
+    {
+      PROF_ZONE("test.inner");
+      spin();
+    }
+    spin();
+  }
+  const auto zones = prof::snapshot();
+  const auto* outer = find(zones, "test.outer");
+  const auto* inner = find(zones, "test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->calls, 1u);
+  EXPECT_EQ(inner->calls, 1u);
+  // The inner zone is fully contained, so outer total >= inner total and
+  // outer self excludes the inner time (within clamping slop).
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  EXPECT_LE(outer->self_ns, outer->total_ns);
+  EXPECT_GE(inner->self_ns, 0);
+}
+
+TEST_F(ProfTest, DepthOverflowIsSafe) {
+  prof::set_enabled(true);
+  if (!prof::enabled()) GTEST_SKIP() << "NTI_OBS_OFF build";
+  // Recurse far past the 64-frame stack: overflowing frames are simply not
+  // timed, and exits stay balanced (no crash, no negative depth).
+  struct Recurser {
+    static void go(int depth) {
+      PROF_ZONE("test.deep");
+      if (depth > 0) go(depth - 1);
+    }
+  };
+  Recurser::go(200);
+  const auto zones = prof::snapshot();
+  const auto* deep = find(zones, "test.deep");
+  ASSERT_NE(deep, nullptr);
+  EXPECT_LE(deep->calls, 201u);
+  EXPECT_GE(deep->calls, 1u);
+  // And the thread's zone stack unwound cleanly: a fresh zone still works.
+  {
+    PROF_ZONE("test.after_deep");
+    spin();
+  }
+  EXPECT_NE(find(prof::snapshot(), "test.after_deep"), nullptr);
+}
+
+TEST_F(ProfTest, WorkerThreadSlabsMergeDeterministically) {
+  prof::set_enabled(true);
+  if (!prof::enabled()) GTEST_SKIP() << "NTI_OBS_OFF build";
+  {
+    PROF_ZONE("test.merge");
+    spin();
+  }
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 7;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        PROF_ZONE("test.merge");
+        spin();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();  // thread exit flushes each slab
+  const auto zones = prof::snapshot();
+  const auto* merged = find(zones, "test.merge");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->calls, 1u + kThreads * kCallsPerThread);
+}
+
+TEST_F(ProfTest, SamplingCountsExactlyAndExtrapolatesTime) {
+  EXPECT_EQ(prof::sample_period(), 1u);
+  prof::set_sample_period(4);
+  EXPECT_EQ(prof::sample_period(), 4u);
+  prof::set_sample_period(10);  // rounds down to a power of two
+  EXPECT_EQ(prof::sample_period(), 8u);
+  prof::set_sample_period(0);
+  EXPECT_EQ(prof::sample_period(), 1u);
+
+  prof::set_sample_period(4);
+  prof::reset();  // re-aligns the window counter: window 0 is sampled
+  prof::set_enabled(true);
+  if (!prof::enabled()) GTEST_SKIP() << "NTI_OBS_OFF build";
+  constexpr int kWindows = 16;
+  for (int i = 0; i < kWindows; ++i) {
+    PROF_ZONE("test.sampled");
+    spin();
+  }
+  const auto zones = prof::snapshot();
+  const auto* z = find(zones, "test.sampled");
+  ASSERT_NE(z, nullptr);
+  // Counting is exact even though only 1-of-4 windows read the clock; the
+  // reported time is extrapolated from those sampled windows.
+  EXPECT_EQ(z->calls, static_cast<std::uint64_t>(kWindows));
+  EXPECT_GT(z->total_ns, 0);
+}
+
+#ifndef NTI_OBS_OFF
+TEST_F(ProfTest, InternIsStable) {
+  const prof::ZoneId a1 = prof::intern("test.intern.a");
+  const prof::ZoneId a2 = prof::intern("test.intern.a");
+  const prof::ZoneId b = prof::intern("test.intern.b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+#endif
+
+TEST_F(ProfTest, ChromeTraceExportsZoneTracks) {
+  prof::set_enabled(true);
+  if (!prof::enabled()) GTEST_SKIP() << "NTI_OBS_OFF build";
+  {
+    PROF_ZONE("test.export");
+    spin();
+  }
+  nti::obs::SpanCollector spans;
+  std::ostringstream os;
+  nti::obs::dump_chrome_trace(os, spans, prof::snapshot());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"nti-prof\""), std::string::npos);
+  EXPECT_NE(json.find("test.export"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos)
+      << "expected a counter track";
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos)
+      << "expected a slice";
+  // Without zones the prof process must not appear.
+  std::ostringstream os2;
+  nti::obs::dump_chrome_trace(os2, spans, {});
+  EXPECT_EQ(os2.str().find("nti-prof"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,267 @@
+// SpanCollector memoization tests.
+//
+// record() keeps a one-entry cache of the last trace lookup and the last
+// pair-histogram lookup.  These tests pin the property that the cache is
+// purely an access-path optimization: feeding the same per-trace event
+// sequences in cache-friendly (burst) order and in cache-hostile
+// (interleaved, pair-churning) order must leave byte-identical state, and
+// clear() must fully invalidate the cache so a reused collector matches a
+// fresh one.  Histograms are compared against an unmemoized reference walk
+// that recomputes them straight from the retained events.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/time_types.hpp"
+#include "obs/histogram.hpp"
+#include "obs/obs_build.hpp"
+
+namespace nti {
+namespace {
+
+using obs::LogHistogram;
+using obs::SpanCollector;
+using obs::SpanEvent;
+using obs::SpanStage;
+
+/// Byte-exact fingerprint of a histogram's observable state.  LogHistogram
+/// has no operator==; every accessor it exposes goes into the string, so
+/// any divergence -- count, range, shape -- shows up as a mismatch.
+std::string hist_bytes(const LogHistogram& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "n=%llu neg=%llu min=%.17g max=%.17g "
+                "mean=%.17g p50=%.17g p90=%.17g p99=%.17g buckets=%zu",
+                static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.negatives()), h.min(),
+                h.max(), h.mean(), h.percentile(50), h.percentile(90),
+                h.percentile(99), h.bucket_count());
+  return buf;
+}
+
+std::string event_bytes(const SpanEvent& ev) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%llu|%d|%d|%d|%lld|%lld|%lld\n",
+                static_cast<unsigned long long>(ev.trace),
+                static_cast<int>(ev.stage), ev.node, ev.src,
+                static_cast<long long>(ev.t_ps),
+                static_cast<long long>(ev.parent_ps),
+                static_cast<long long>(ev.detail));
+  return buf;
+}
+
+std::string events_bytes(const std::vector<SpanEvent>& evs) {
+  std::string out;
+  for (const auto& ev : evs) out += event_bytes(ev);
+  return out;
+}
+
+/// One scripted record (trace referenced by index into the begun-id list).
+struct Rec {
+  std::size_t trace_idx;
+  SpanStage stage;
+  int node;
+  std::int64_t t_ps;
+};
+
+/// The stage ladder of one CSP from src with two receivers, offset in time
+/// by `base` so traces do not collide.
+std::vector<Rec> csp_script(std::size_t trace_idx, int src, int dst_a,
+                            int dst_b, std::int64_t base) {
+  std::vector<Rec> r;
+  r.push_back({trace_idx, SpanStage::kMediumAcquire, src, base + 10});
+  r.push_back({trace_idx, SpanStage::kTxTrigger, src, base + 25});
+  r.push_back({trace_idx, SpanStage::kTxStampInsert, src, base + 27});
+  for (const int dst : {dst_a, dst_b}) {
+    const std::int64_t skew = dst * 3;
+    r.push_back({trace_idx, SpanStage::kOnWire, dst, base + 40 + skew});
+    r.push_back({trace_idx, SpanStage::kRxStamp, dst, base + 55 + skew});
+    r.push_back({trace_idx, SpanStage::kIsrAssoc, dst, base + 70 + skew});
+    r.push_back({trace_idx, SpanStage::kFused, dst, base + 90 + skew});
+    r.push_back(
+        {trace_idx, SpanStage::kCorrectionApplied, dst, base + 120 + skew});
+  }
+  return r;
+}
+
+void feed(SpanCollector& sc, const std::vector<std::uint64_t>& ids,
+          const std::vector<Rec>& script) {
+  for (const Rec& r : script) {
+    sc.record(ids[r.trace_idx], r.stage, SimTime::from_ps(r.t_ps), r.node);
+  }
+}
+
+/// Unmemoized reference walk: rebuild the stage/pair histograms directly
+/// from the retained events, with no cache and no lookup reuse.
+struct ReferenceHists {
+  LogHistogram stage[obs::kNumSpanStages];
+  // Keyed by (src, dst, stage) directly -- independent of the collector's
+  // internal key packing.
+  std::map<std::tuple<int, int, SpanStage>, LogHistogram> pair;
+
+  explicit ReferenceHists(const SpanCollector& sc) {
+    for (const SpanEvent& ev : sc.events()) {
+      if (ev.parent_ps < 0) continue;
+      const auto delta = static_cast<double>(ev.t_ps - ev.parent_ps);
+      stage[static_cast<std::size_t>(ev.stage)].add(delta);
+      pair[std::make_tuple(ev.src, ev.node, ev.stage)].add(delta);
+    }
+  }
+};
+
+/// Assert the collector's histograms are byte-identical to the reference
+/// walk over its own retained events.
+void expect_matches_reference(const SpanCollector& sc, const char* label) {
+  const ReferenceHists ref(sc);
+  for (std::size_t i = 0; i < obs::kNumSpanStages; ++i) {
+    const auto stage = static_cast<SpanStage>(i);
+    EXPECT_EQ(hist_bytes(sc.stage_histogram(stage)), hist_bytes(ref.stage[i]))
+        << label << ": stage " << to_string(stage);
+  }
+  for (const auto& [key, ref_hist] : ref.pair) {
+    const auto [src, dst, stage] = key;
+    const LogHistogram* got = sc.pair_histogram(src, dst, stage);
+    ASSERT_NE(got, nullptr)
+        << label << ": missing pair " << src << "->" << dst;
+    EXPECT_EQ(hist_bytes(*got), hist_bytes(ref_hist))
+        << label << ": pair " << src << "->" << dst << " stage "
+        << to_string(stage);
+  }
+}
+
+class SpanMemoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::kObsEnabled) GTEST_SKIP() << "NTI_OBS_OFF build";
+  }
+};
+
+TEST_F(SpanMemoTest, BurstAndInterleavedOrdersLeaveIdenticalState) {
+  // Three concurrent CSPs from different sources.  Collector A sees the
+  // records trace-by-trace (every record after the first is a cache hit);
+  // collector B sees them round-robin interleaved (the trace cache misses
+  // on almost every record, the pair cache churns constantly).
+  SpanCollector a, b;
+  std::vector<std::uint64_t> ids_a, ids_b;
+  for (int src = 0; src < 3; ++src) {
+    ids_a.push_back(a.begin_csp(src, SimTime::from_ps(src)));
+    ids_b.push_back(b.begin_csp(src, SimTime::from_ps(src)));
+  }
+  ASSERT_EQ(ids_a, ids_b);
+
+  std::vector<std::vector<Rec>> scripts;
+  for (int src = 0; src < 3; ++src) {
+    scripts.push_back(csp_script(static_cast<std::size_t>(src), src,
+                                 (src + 1) % 3, (src + 2) % 3, 1000 * src));
+  }
+
+  for (const auto& s : scripts) feed(a, ids_a, s);  // burst order
+  for (std::size_t i = 0; i < scripts[0].size(); ++i) {  // interleaved
+    for (const auto& s : scripts) {
+      ASSERT_LT(i, s.size());
+      b.record(ids_b[s[i].trace_idx], s[i].stage,
+               SimTime::from_ps(s[i].t_ps), s[i].node);
+    }
+  }
+
+  // Per-trace event streams are byte-identical (global retention order
+  // legitimately differs; per-trace order and parentage must not).
+  for (const std::uint64_t id : ids_a) {
+    EXPECT_EQ(events_bytes(a.trace_events(id)), events_bytes(b.trace_events(id)))
+        << "trace " << id;
+  }
+  EXPECT_EQ(a.event_count(), b.event_count());
+  EXPECT_EQ(a.dropped_events(), b.dropped_events());
+  // Histograms are byte-identical to each other and to the unmemoized
+  // reference walk.
+  for (std::size_t i = 0; i < obs::kNumSpanStages; ++i) {
+    const auto stage = static_cast<SpanStage>(i);
+    EXPECT_EQ(hist_bytes(a.stage_histogram(stage)),
+              hist_bytes(b.stage_histogram(stage)))
+        << "stage " << to_string(stage);
+  }
+  expect_matches_reference(a, "burst");
+  expect_matches_reference(b, "interleaved");
+}
+
+TEST_F(SpanMemoTest, PairChurnNeverCorruptsHistograms) {
+  // Alternate every record between two traces with disjoint (src, dst)
+  // pairs: the one-entry pair cache is evicted on every single add.
+  SpanCollector sc;
+  const std::uint64_t t0 = sc.begin_csp(0, SimTime::from_ps(0));
+  const std::uint64_t t1 = sc.begin_csp(7, SimTime::from_ps(1));
+  for (int i = 0; i < 50; ++i) {
+    const std::int64_t base = 100 + 10 * i;
+    sc.record(t0, SpanStage::kOnWire, SimTime::from_ps(base), 3);
+    sc.record(t1, SpanStage::kOnWire, SimTime::from_ps(base + 1), 9);
+    sc.record(t0, SpanStage::kRxStamp, SimTime::from_ps(base + 2), 3);
+    sc.record(t1, SpanStage::kRxStamp, SimTime::from_ps(base + 3), 9);
+  }
+  expect_matches_reference(sc, "pair-churn");
+  const LogHistogram* h03 = sc.pair_histogram(0, 3, SpanStage::kRxStamp);
+  const LogHistogram* h79 = sc.pair_histogram(7, 9, SpanStage::kRxStamp);
+  ASSERT_NE(h03, nullptr);
+  ASSERT_NE(h79, nullptr);
+  EXPECT_EQ(h03->count(), 50u);
+  EXPECT_EQ(h79->count(), 50u);
+}
+
+TEST_F(SpanMemoTest, ClearInvalidatesCacheAndMatchesFreshCollector) {
+  // Feed a first generation, clear(), feed a second generation; a fresh
+  // collector fed only the second generation must match byte-for-byte.
+  // A stale cached_state_/cached_pair_ surviving clear() would either
+  // corrupt the reused collector's state or crash under ASan.
+  SpanCollector reused;
+  std::vector<std::uint64_t> gen1;
+  gen1.push_back(reused.begin_csp(1, SimTime::from_ps(0)));
+  gen1.push_back(reused.begin_csp(2, SimTime::from_ps(5)));
+  feed(reused, gen1, csp_script(0, 1, 0, 2, 100));
+  feed(reused, gen1, csp_script(1, 2, 0, 1, 200));
+  ASSERT_GT(reused.event_count(), 0u);
+
+  reused.clear();
+  EXPECT_EQ(reused.event_count(), 0u);
+  EXPECT_EQ(reused.spans_started(), 0u);
+
+  SpanCollector fresh;
+  std::vector<std::uint64_t> ids_r, ids_f;
+  ids_r.push_back(reused.begin_csp(4, SimTime::from_ps(0)));
+  ids_f.push_back(fresh.begin_csp(4, SimTime::from_ps(0)));
+  ASSERT_EQ(ids_r, ids_f);  // clear() also resets the trace-id counter
+  const auto gen2 = csp_script(0, 4, 5, 6, 300);
+  feed(reused, ids_r, gen2);
+  feed(fresh, ids_f, gen2);
+
+  EXPECT_EQ(events_bytes(reused.events()), events_bytes(fresh.events()));
+  for (std::size_t i = 0; i < obs::kNumSpanStages; ++i) {
+    const auto stage = static_cast<SpanStage>(i);
+    EXPECT_EQ(hist_bytes(reused.stage_histogram(stage)),
+              hist_bytes(fresh.stage_histogram(stage)))
+        << "stage " << to_string(stage);
+  }
+  expect_matches_reference(reused, "reused");
+  // Pair histograms from generation 1 are gone entirely.
+  EXPECT_EQ(reused.pair_histogram(1, 0, SpanStage::kRxStamp), nullptr);
+}
+
+TEST_F(SpanMemoTest, UnknownAndZeroTracesBypassTheCache) {
+  SpanCollector sc;
+  const std::uint64_t id = sc.begin_csp(0, SimTime::from_ps(0));
+  sc.record(id, SpanStage::kMediumAcquire, SimTime::from_ps(10), 0);
+  const std::size_t before = sc.event_count();
+  sc.record(0, SpanStage::kRxStamp, SimTime::from_ps(20), 1);     // "no span"
+  sc.record(9999, SpanStage::kRxStamp, SimTime::from_ps(30), 1);  // unknown
+  EXPECT_EQ(sc.event_count(), before);
+  // The cached trace is still valid after the misses.
+  sc.record(id, SpanStage::kTxTrigger, SimTime::from_ps(40), 0);
+  EXPECT_EQ(sc.event_count(), before + 1);
+  expect_matches_reference(sc, "miss-then-hit");
+}
+
+}  // namespace
+}  // namespace nti

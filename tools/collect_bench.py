@@ -3,18 +3,20 @@
 
 Each experiment bench writes a flat report (see bench/bench_common.hpp):
 
-    {"bench": "<name>", "metrics": {...}, "config": {...}}
+    {"bench": "<name>", "metrics": {...}, "config": {...},
+     "obs": {...}, "prof": {...}, "manifest": {...}}
 
 This script collects them into a single machine-consumable summary -- the
 repo's perf/quality trajectory snapshot -- keyed by bench name and sorted
 deterministically:
 
     {
-      "benches": {"<name>": {"pass": true, "metrics": {...}, "config": {...}},
+      "benches": {"<name>": {"pass": true, "metrics": {...}, "config": {...},
+                             "obs": {...}, "prof": {...}, "manifest": {...}},
                   ...},
       "totals": {"count": N, "passed": N, "failed": ["<name>", ...]},
       "resilience": {...},   # distilled from BENCH_e13_resilience.json
-      "artifacts": {"traces": [...], "timeseries": [...]}
+      "artifacts": {"traces": [...], "timeseries": [...], "prof": [...]}
     }
 
 The "resilience" section (present only when the e13 fault-matrix bench ran)
@@ -24,22 +26,50 @@ precision, the degradation factor between them, per-cell p99s, and the
 crash-cell rejoin statistics.
 
 Usage: collect_bench.py [directory] [--expect name1,name2,...]
+                        [--baseline DIR --compare [--gate]]
 (default directory: current directory)
 
 --expect declares the bench reports that MUST be present: a missing
 BENCH_<name>.json is reported by name and fails the run.  A silently
 missing report used to collapse into a smaller-but-green summary -- the
 worst failure mode for a trajectory file -- so absence is now as loud as a
-failing bench.
+failing bench.  --expect also audits provenance: every collected report
+must carry a manifest with non-empty git_sha/compiler/build_type/preset/
+host fields (see src/obs/manifest.hpp) -- a bench built without provenance
+fails the run.
+
+Trace-record loss is never silent: any report whose obs section (or
+metrics) shows a nonzero *trace.overwritten* count gets a loud warning --
+the post-mortem ring wrapped and early records are gone; raise
+trace_capacity if the trace matters.
+
+--baseline DIR --compare reads the baseline summary (DIR's
+BENCH_SUMMARY.json, or its raw BENCH_*.json reports) and writes
+BENCH_DELTA.json: per-metric {base, cur, ratio} for every numeric metric
+present on both sides, plus a regression list driven by threshold
+patterns:
+
+    --min-ratio 'throughput.csps_per_sec=0.7'   # lower is worse
+    --max-ratio '*.precision_max_us.mean=1.5'   # higher is worse
+
+Patterns are fnmatch globs over "<bench>.<metric>".  Without --gate the
+compare step is informational (regressions are printed but do not fail);
+with --gate any regression exits 1.  Reports whose manifests disagree on
+build_type or obs_enabled are compared anyway but flagged in the delta's
+"mismatches" list -- a RelWithDebInfo-vs-sanitized comparison is noise.
 
 Exit status: 0 when every collected bench passed and every expected report
-exists, 1 otherwise (missing "pass", a failed bench, or a missing expected
-report), 2 when no reports were found at all.
+exists (and, with --gate, no regressions), 1 otherwise, 2 when no reports
+were found at all.
 """
 import argparse
+import fnmatch
 import json
 import sys
+import tempfile
 from pathlib import Path
+
+MANIFEST_REQUIRED = ("git_sha", "compiler", "build_type", "preset", "host")
 
 
 def resilience_section(metrics: dict) -> dict:
@@ -63,11 +93,33 @@ def resilience_section(metrics: dict) -> dict:
     return section
 
 
+def trace_loss(entry: dict) -> float:
+    """Total trace-ring records lost by a bench entry (obs + metrics keys)."""
+    lost = 0.0
+    for section in ("obs", "metrics"):
+        for key, value in entry.get(section, {}).items():
+            if "trace.overwritten" in key and isinstance(value, (int, float)):
+                lost += max(0.0, float(value))
+    return lost
+
+
+def manifest_problems(entry: dict) -> list:
+    """Names of missing/empty provenance fields in a bench entry."""
+    manifest = entry.get("manifest")
+    if not isinstance(manifest, dict) or not manifest:
+        return ["manifest"]
+    bad = [f for f in MANIFEST_REQUIRED
+           if not str(manifest.get(f, "")).strip()]
+    if "obs_enabled" not in manifest:
+        bad.append("obs_enabled")
+    return bad
+
+
 def collect(directory: Path, expected: list) -> dict:
     benches = {}
     failed = []
     for path in sorted(directory.glob("BENCH_*.json")):
-        if path.name == "BENCH_SUMMARY.json":
+        if path.name in ("BENCH_SUMMARY.json", "BENCH_DELTA.json"):
             continue
         try:
             report = json.loads(path.read_text())
@@ -80,11 +132,15 @@ def collect(directory: Path, expected: list) -> dict:
         ok = metrics.get("pass") == 1
         if not ok:
             failed.append(name)
-        benches[name] = {
+        entry = {
             "pass": ok,
             "metrics": dict(sorted(metrics.items())),
             "config": dict(sorted(report.get("config", {}).items())),
         }
+        for section in ("obs", "prof", "manifest"):
+            if section in report:
+                entry[section] = report[section]
+        benches[name] = entry
     missing = sorted(set(expected) - set(benches))
     for name in missing:
         print(f"collect_bench: MISSING expected report BENCH_{name}.json "
@@ -100,6 +156,7 @@ def collect(directory: Path, expected: list) -> dict:
         "artifacts": {
             "traces": sorted(p.name for p in directory.glob("TRACE_*.json")),
             "timeseries": sorted(p.name for p in directory.glob("TIMESERIES_*.csv")),
+            "prof": sorted(p.name for p in directory.glob("PROF_*.json")),
         },
     }
     if "e13_resilience" in benches:
@@ -108,32 +165,275 @@ def collect(directory: Path, expected: list) -> dict:
     return summary
 
 
+def warn_trace_loss(summary: dict) -> None:
+    for name, entry in sorted(summary["benches"].items()):
+        lost = trace_loss(entry)
+        if lost > 0:
+            print(f"collect_bench: WARNING: bench '{name}' LOST "
+                  f"{lost:.0f} trace record(s) to ring wraparound -- the "
+                  "post-mortem trace is incomplete; raise trace_capacity "
+                  "if the trace matters", file=sys.stderr)
+
+
+def validate_manifests(summary: dict) -> list:
+    """Benches with missing provenance (printed loudly; fails with --expect)."""
+    bad = []
+    for name, entry in sorted(summary["benches"].items()):
+        problems = manifest_problems(entry)
+        if problems:
+            bad.append(name)
+            print(f"collect_bench: bench '{name}' has NO usable provenance: "
+                  f"missing/empty {', '.join(problems)} -- rebuilt without "
+                  "the manifest wiring?", file=sys.stderr)
+    return bad
+
+
+def load_baseline(directory: Path) -> dict:
+    summary_path = directory / "BENCH_SUMMARY.json"
+    if summary_path.is_file():
+        return json.loads(summary_path.read_text())
+    return collect(directory, [])
+
+
+def parse_thresholds(specs: list, flag: str) -> list:
+    out = []
+    for spec in specs:
+        pattern, sep, ratio = spec.rpartition("=")
+        if not sep or not pattern:
+            raise SystemExit(f"collect_bench: bad {flag} '{spec}' "
+                             "(want PATTERN=RATIO)")
+        try:
+            out.append((pattern, float(ratio)))
+        except ValueError:
+            raise SystemExit(f"collect_bench: bad {flag} ratio in '{spec}'")
+    return out
+
+
+def compare(current: dict, baseline: dict, min_ratio: list,
+            max_ratio: list) -> dict:
+    """Per-metric current/baseline ratios + threshold-driven regressions."""
+    metrics = {}
+    regressions = []
+    mismatches = []
+    cur_benches = current["benches"]
+    base_benches = baseline.get("benches", {})
+    for name in sorted(set(cur_benches) & set(base_benches)):
+        cur_man = cur_benches[name].get("manifest", {})
+        base_man = base_benches[name].get("manifest", {})
+        for field in ("build_type", "obs_enabled"):
+            if cur_man.get(field) != base_man.get(field):
+                mismatches.append(f"{name}.{field}: baseline="
+                                  f"{base_man.get(field)!r} current="
+                                  f"{cur_man.get(field)!r}")
+        cur_m = cur_benches[name]["metrics"]
+        base_m = base_benches[name]["metrics"]
+        for key in sorted(set(cur_m) & set(base_m)):
+            cur_v, base_v = cur_m[key], base_m[key]
+            if not isinstance(cur_v, (int, float)) or \
+               not isinstance(base_v, (int, float)):
+                continue
+            full = f"{name}.{key}"
+            ratio = (cur_v / base_v) if base_v else None
+            metrics[full] = {"base": base_v, "cur": cur_v, "ratio": ratio}
+            if ratio is None:
+                continue
+            for pattern, floor in min_ratio:
+                if fnmatch.fnmatch(full, pattern) and ratio < floor:
+                    regressions.append(
+                        f"{full}: ratio {ratio:.3f} < floor {floor} "
+                        f"(base {base_v:.6g} -> cur {cur_v:.6g})")
+            for pattern, ceil in max_ratio:
+                if fnmatch.fnmatch(full, pattern) and ratio > ceil:
+                    regressions.append(
+                        f"{full}: ratio {ratio:.3f} > ceiling {ceil} "
+                        f"(base {base_v:.6g} -> cur {cur_v:.6g})")
+    return {
+        "thresholds": {
+            "min_ratio": [[p, r] for p, r in min_ratio],
+            "max_ratio": [[p, r] for p, r in max_ratio],
+        },
+        "metrics": metrics,
+        "mismatches": mismatches,
+        "regressions": regressions,
+    }
+
+
 def main(argv: list) -> int:
     ap = argparse.ArgumentParser(
         description="Fold BENCH_*.json reports into BENCH_SUMMARY.json")
     ap.add_argument("directory", nargs="?", default=".", type=Path)
     ap.add_argument("--expect", action="append", default=[],
-                    help="comma-separated bench names that must be present; "
-                         "repeatable")
+                    help="comma-separated bench names that must be present "
+                         "(also turns on manifest validation); repeatable")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="directory holding the baseline BENCH_SUMMARY.json "
+                         "(or raw BENCH_*.json) for --compare")
+    ap.add_argument("--compare", action="store_true",
+                    help="write BENCH_DELTA.json of current vs --baseline")
+    ap.add_argument("--min-ratio", action="append", default=[],
+                    metavar="PATTERN=R",
+                    help="regression when cur/base < R for metrics matching "
+                         "the fnmatch PATTERN (lower is worse); repeatable")
+    ap.add_argument("--max-ratio", action="append", default=[],
+                    metavar="PATTERN=R",
+                    help="regression when cur/base > R (higher is worse)")
+    ap.add_argument("--gate", action="store_true",
+                    help="fail (exit 1) on compare regressions; without this "
+                         "the compare step is informational")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in fixture suite and exit")
     args = ap.parse_args(argv[1:])
+    if args.self_test:
+        return self_test()
     expected = [n for chunk in args.expect for n in chunk.split(",") if n]
     summary = collect(args.directory, expected)
     if not summary["benches"]:
         print(f"collect_bench: no BENCH_*.json in {args.directory}",
               file=sys.stderr)
         return 2
+    warn_trace_loss(summary)
+    bad_manifests = validate_manifests(summary) if args.expect else []
     out = args.directory / "BENCH_SUMMARY.json"
     out.write_text(json.dumps(summary, indent=1, sort_keys=False) + "\n")
     totals = summary["totals"]
     print(f"collect_bench: {out} ({totals['passed']}/{totals['count']} passed)")
+
+    rc = 0
+    if args.compare:
+        if args.baseline is None:
+            print("collect_bench: --compare needs --baseline DIR",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"collect_bench: cannot read baseline from "
+                  f"{args.baseline}: {err}", file=sys.stderr)
+            return 2
+        delta = compare(summary, baseline,
+                        parse_thresholds(args.min_ratio, "--min-ratio"),
+                        parse_thresholds(args.max_ratio, "--max-ratio"))
+        delta_path = args.directory / "BENCH_DELTA.json"
+        delta_path.write_text(json.dumps(delta, indent=1) + "\n")
+        print(f"collect_bench: {delta_path} "
+              f"({len(delta['metrics'])} metrics compared, "
+              f"{len(delta['regressions'])} regression(s))")
+        for line in delta["mismatches"]:
+            print(f"collect_bench: baseline mismatch: {line}", file=sys.stderr)
+        for line in delta["regressions"]:
+            print(f"collect_bench: REGRESSION: {line}", file=sys.stderr)
+        if delta["regressions"] and args.gate:
+            rc = 1
+
     if totals["failed"]:
         print(f"collect_bench: FAILED: {', '.join(totals['failed'])}",
               file=sys.stderr)
-        return 1
+        rc = 1
     if totals["missing"]:
         print(f"collect_bench: MISSING: {', '.join(totals['missing'])}",
               file=sys.stderr)
+        rc = 1
+    if bad_manifests:
+        print(f"collect_bench: NO PROVENANCE: {', '.join(bad_manifests)}",
+              file=sys.stderr)
+        rc = 1
+    return rc
+
+
+# -- self-test ---------------------------------------------------------------
+
+GOOD_MANIFEST = {
+    "git_sha": "abc123def456", "compiler": "GNU 12.2.0",
+    "build_type": "RelWithDebInfo", "preset": "default",
+    "host": "ci-box", "obs_enabled": True, "seed": 1616, "threads": 4,
+}
+
+
+def _report(name: str, metrics: dict, manifest=None, obs=None) -> str:
+    doc = {"bench": name, "metrics": metrics, "config": {}}
+    if obs is not None:
+        doc["obs"] = obs
+    if manifest is not None:
+        doc["manifest"] = manifest
+    return json.dumps(doc)
+
+
+def self_test() -> int:
+    failures = []
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    # Collection + manifest validation + trace-loss detection.
+    with tempfile.TemporaryDirectory() as tmp:
+        d = Path(tmp)
+        (d / "BENCH_good.json").write_text(_report(
+            "good", {"pass": 1, "csps_per_sec": 100.0},
+            manifest=GOOD_MANIFEST, obs={"trace.overwritten": 0}))
+        (d / "BENCH_lossy.json").write_text(_report(
+            "lossy", {"pass": 1, "obs.trace.overwritten.mean": 12.0},
+            manifest=GOOD_MANIFEST))
+        (d / "BENCH_naked.json").write_text(_report(
+            "naked", {"pass": 1}))
+        summary = collect(d, [])
+        expect(set(summary["benches"]) == {"good", "lossy", "naked"},
+               f"collect found {sorted(summary['benches'])}")
+        expect(trace_loss(summary["benches"]["good"]) == 0,
+               "good bench misreported trace loss")
+        expect(trace_loss(summary["benches"]["lossy"]) == 12.0,
+               "lossy bench trace loss not detected")
+        expect(manifest_problems(summary["benches"]["good"]) == [],
+               "good manifest flagged")
+        expect(manifest_problems(summary["benches"]["naked"]) == ["manifest"],
+               "missing manifest not flagged")
+        incomplete = dict(GOOD_MANIFEST, git_sha="")
+        expect(manifest_problems({"manifest": incomplete}) == ["git_sha"],
+               "empty git_sha not flagged")
+
+        # End-to-end: --expect fails the run on the provenance-free report.
+        rc = main(["collect_bench.py", str(d), "--expect", "good,naked"])
+        expect(rc == 1, f"--expect with naked manifest: rc {rc} != 1")
+
+    # Compare: ratios, regression thresholds, manifest mismatch flag.
+    with tempfile.TemporaryDirectory() as tmp:
+        base_d, cur_d = Path(tmp) / "base", Path(tmp) / "cur"
+        base_d.mkdir()
+        cur_d.mkdir()
+        (base_d / "BENCH_t.json").write_text(_report(
+            "t", {"pass": 1, "csps_per_sec": 200.0, "precision_us": 1.0},
+            manifest=GOOD_MANIFEST))
+        slower = dict(GOOD_MANIFEST, build_type="RelWithDebInfo,san:address")
+        (cur_d / "BENCH_t.json").write_text(_report(
+            "t", {"pass": 1, "csps_per_sec": 100.0, "precision_us": 1.1},
+            manifest=slower))
+        cur = collect(cur_d, [])
+        base = collect(base_d, [])
+        delta = compare(cur, base,
+                        min_ratio=[("t.csps_per_sec", 0.7)],
+                        max_ratio=[("*.precision_us", 1.5)])
+        expect(delta["metrics"]["t.csps_per_sec"]["ratio"] == 0.5,
+               f"ratio {delta['metrics']['t.csps_per_sec']}")
+        expect(len(delta["regressions"]) == 1 and
+               "t.csps_per_sec" in delta["regressions"][0],
+               f"regressions {delta['regressions']}")
+        expect(any("build_type" in m for m in delta["mismatches"]),
+               f"mismatches {delta['mismatches']}")
+
+        # Informational vs gated exit codes.
+        rc = main(["collect_bench.py", str(cur_d), "--baseline", str(base_d),
+                   "--compare", "--min-ratio", "t.csps_per_sec=0.7"])
+        expect(rc == 0, f"informational compare: rc {rc} != 0")
+        expect((cur_d / "BENCH_DELTA.json").is_file(), "no BENCH_DELTA.json")
+        rc = main(["collect_bench.py", str(cur_d), "--baseline", str(base_d),
+                   "--compare", "--min-ratio", "t.csps_per_sec=0.7", "--gate"])
+        expect(rc == 1, f"gated compare: rc {rc} != 1")
+
+    if failures:
+        for f in failures:
+            print(f"collect_bench self-test FAILED: {f}", file=sys.stderr)
         return 1
+    print("collect_bench self-test: all checks passed")
     return 0
 
 

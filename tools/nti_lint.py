@@ -13,8 +13,14 @@ Rules (category in parentheses is the sanction key):
             inputs are allowed only behind an explicit sanction that states
             where the value is re-quantized to integers.
   nondet    No nondeterminism sources anywhere in src/: std::random_device,
-            rand()/srand(), time(NULL/nullptr/0), the std::chrono wall
-            clocks, getenv.
+            rand()/srand(), time(NULL/nullptr/0), getenv.
+  prof      No wall-clock reads (std::chrono system/steady/high_resolution
+            clocks, rdtsc) anywhere in src/ outside the profiler's home
+            (src/obs/prof*).  The profiler measures real time by design;
+            everything else reading a wall clock is either a determinism
+            bug or belongs behind a PROF_ZONE.  Sanctioned call sites
+            (e.g. mc::Runner's human-facing throughput figure) must state
+            why the value can never feed back into simulation state.
   unordered No std::unordered_{map,set,multimap,multiset} anywhere in src/:
             hash iteration order is layout-dependent and has already caused
             export nondeterminism once.
@@ -60,7 +66,8 @@ import re
 import sys
 import tempfile
 
-CATEGORIES = ("float", "nondet", "unordered", "offset", "metric", "alloc")
+CATEGORIES = ("float", "nondet", "unordered", "offset", "metric", "alloc",
+              "prof")
 
 # Directories (relative to the repo root) whose files are linted at all.
 SRC_ROOT = "src"
@@ -70,6 +77,9 @@ CLOCK_CORE_DIRS = ("src/utcsu", "src/csa", "src/interval")
 
 # Files allowed to define raw register offsets.
 OFFSET_HOME_FILES = ("src/nti/memmap.hpp", "src/utcsu/regs.hpp")
+
+# The profiler's home: the only path prefix allowed to read wall clocks.
+PROF_HOME_PREFIX = "src/obs/prof"
 
 # Documented metric-name roots (first dotted segment of a full name or of a
 # register_metrics prefix).  Extend here *and* in docs/STATIC_ANALYSIS.md.
@@ -93,8 +103,13 @@ NONDET_RE = re.compile(
     r"|\brandom_device\b"
     r"|(?<![\w:])s?rand\s*\("
     r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
-    r"|std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
     r"|(?<![\w:])(?:std::)?getenv\b"
+)
+PROF_RE = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+    r"|\b__builtin_ia32_rdtscp?\b"
+    r"|\b__rdtscp?\b"
+    r"|\brdtscp?\s*\("
 )
 UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
 ALLOC_RE = re.compile(r"\bmake_shared\s*<[^>]*EventState")
@@ -277,6 +292,9 @@ class FileLinter:
     def is_offset_home(self) -> bool:
         return self.relpath in OFFSET_HOME_FILES
 
+    def is_prof_home(self) -> bool:
+        return self.relpath.startswith(PROF_HOME_PREFIX)
+
     def check_line(self, lineno: int, code: str):
         if self.in_clock_core() and FLOAT_RE.search(code):
             self.report(lineno, "float",
@@ -287,6 +305,15 @@ class FileLinter:
         if m:
             self.report(lineno, "nondet",
                         f"nondeterminism source '{m.group(0).strip()}'")
+        if not self.is_prof_home():
+            m = PROF_RE.search(code)
+            if m:
+                self.report(
+                    lineno, "prof",
+                    f"wall-clock read '{m.group(0).strip()}' outside the "
+                    f"profiler home ({PROF_HOME_PREFIX}*); use PROF_ZONE, "
+                    "or sanction with a reason the value cannot feed back "
+                    "into simulation state")
         m = UNORDERED_RE.search(code)
         if m:
             self.report(lineno, "unordered",
@@ -508,7 +535,37 @@ EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
   auto state = std::make_shared<detail::EventState>();  // alloc violation
   return EventHandle{state};
 }
+double wall_seconds() {
+  auto t = std::chrono::steady_clock::now();            // prof violation
+  return std::int64_t(__builtin_ia32_rdtsc()) * 1e-9;   // prof violation
+}
 }  // namespace nti::sim
+"""
+
+# Wall-clock reads are legal in the profiler's home (src/obs/prof*) and
+# behind an explicit prof sanction elsewhere.
+FIXTURE_PROF_HOME = """\
+#include <chrono>
+namespace nti::obs::prof {
+std::int64_t ticks_now() {
+  return std::int64_t(__builtin_ia32_rdtsc());
+}
+std::int64_t steady_ns_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace nti::obs::prof
+"""
+
+FIXTURE_PROF_SANCTIONED = """\
+namespace nti::mc {
+double wall() {
+  // nti-lint: allow(prof): human-facing throughput only, never fed back.
+  return std::chrono::duration<double>(
+             // nti-lint: allow(prof): see above.
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace nti::mc
 """
 
 FIXTURE_GOOD_UTCSU = """\
@@ -563,6 +620,7 @@ def self_test() -> int:
                f"want unordered violation, got {cats}")
         expect(cats.count("metric") == 2, f"want 2 metric violations, got {cats}")
         expect(cats.count("alloc") == 1, f"want 1 alloc violation, got {cats}")
+        expect(cats.count("prof") == 2, f"want 2 prof violations, got {cats}")
 
     with tempfile.TemporaryDirectory() as tmp:
         def put(rel, text):
@@ -573,6 +631,8 @@ def self_test() -> int:
 
         put("src/utcsu/good.cpp", FIXTURE_GOOD_UTCSU)
         put("src/utcsu/strings.cpp", FIXTURE_STRINGS)
+        put("src/obs/prof_fixture.cpp", FIXTURE_PROF_HOME)
+        put("src/mc/wall.cpp", FIXTURE_PROF_SANCTIONED)
         v, e = lint_tree(tmp)
         expect(v == [], f"clean tree: violations {[str(x) for x in v]}")
         expect(e == [], f"clean tree: errors {[str(x) for x in e]}")
