@@ -1,0 +1,206 @@
+// E14: topology scale on the sharded event engine (docs/SHARDING.md).
+//
+// Three measurements on multi-segment topologies:
+//   1. events/sec vs shard count on a 1,024-node chain (32 segments x 32
+//      nodes) at 1, 2 and 4 shards -- the sharded engine should reach >= 2x
+//      the single-shard event rate at 4 shards on a >= 4-core machine
+//      (enforced there; reported-only on smaller runners, like
+//      bench_mc_scaling's honest skip);
+//   2. the determinism cross-check: the full output signature (probe
+//      trajectory + per-segment metrics) must be byte-identical for every
+//      shard count -- the differential/matrix tests pin this at unit scale,
+//      this bench re-pins it at 1,024 nodes;
+//   3. precision vs graph diameter: chains of 2/4/8 segments, where time
+//      diffuses one gateway hop per round, so global precision degrades
+//      with hop distance from the reference segment (the trade the paper's
+//      single-LAN design avoids and Pabico's ad-hoc networks accept).
+//
+// The PROF_ZONE attribution of the shard scheduler (sim.shard.drain /
+// horizon / advance / handoff) is captured from the 4-shard scale run into
+// the report's `prof` section and PROF_e14_topology_scale.json.
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nti_api.hpp"
+
+using namespace nti;
+
+namespace {
+
+struct ScaleResult {
+  std::string signature;
+  std::uint64_t events = 0;
+  std::uint64_t cross_handoffs = 0;
+  double wall_seconds = 0.0;
+};
+
+cluster::ClusterConfig scale_config() {
+  cluster::ClusterConfig cfg;
+  cfg.seed = 1414;
+  // 32 segments x 32 nodes = 1,024 nodes.  5 ms gateway latency = 5 ms of
+  // conservative lookahead per round, so shards advance in chunky windows.
+  cfg.topology = cluster::TopologySpec::chain(32, 32, Duration::ms(5));
+  return cfg;
+}
+
+ScaleResult run_scale(std::size_t shards, bool profiled) {
+  cluster::ClusterConfig cfg = scale_config();
+  cfg.topology.shards = shards;
+  cfg.topology.threads = shards;
+  cluster::ShardedCluster sc(std::move(cfg));
+  sc.start();
+  if (profiled) {
+    obs::prof::reset();
+    obs::prof::set_enabled(true);
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  sc.run(Duration::sec(3), Duration::sec(1), Duration::ms(200));
+  const auto wall_end = std::chrono::steady_clock::now();
+  if (profiled) obs::prof::set_enabled(false);
+
+  ScaleResult r;
+  r.signature = sc.output_signature();
+  r.events = sc.total_events();
+  r.cross_handoffs = sc.group().cross_shard_handoffs();
+  r.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  return r;
+}
+
+struct DiameterResult {
+  int diameter = 0;
+  int nodes = 0;
+  SampleSummary precision;
+  std::uint64_t violations = 0;
+};
+
+DiameterResult run_diameter(int segments) {
+  cluster::ClusterConfig cfg;
+  cfg.seed = 77;
+  cfg.topology = cluster::TopologySpec::chain(segments, 8, Duration::ms(1));
+  cfg.topology.shards = static_cast<std::size_t>(segments);
+  cfg.topology.threads = 0;  // NTI_MC_THREADS, then hardware
+  cluster::ShardedCluster sc(std::move(cfg));
+
+  DiameterResult r;
+  sc.start();
+  sc.run(Duration::sec(8), Duration::sec(3));
+  r.diameter = segments - 1;  // chain diameter
+  r.nodes = segments * 8;
+  r.precision = sc.precision_samples().summary();
+  r.violations = sc.containment_violations();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  bench::header(
+      "E14: multi-segment topology scale (sharded event engine)",
+      "shards scale events/sec on 1,000+-node topologies with "
+      "byte-identical output; precision degrades with graph diameter");
+
+  bench::BenchReport report("e14_topology_scale");
+  report.manifest_seed(1414);
+  report.config("segments", 32.0);
+  report.config("nodes_per_segment", 32.0);
+  report.config("total_nodes", 1024.0);
+  report.config("gateway_latency_us", 5000.0);
+  report.config("hardware_concurrency", static_cast<double>(hw));
+
+  // --- events/sec vs shard count -----------------------------------------
+  std::string reference_signature;
+  bool bytes_identical = true;
+  double wall_1 = 0.0, wall_4 = 0.0;
+  double rate_1 = 0.0, rate_4 = 0.0;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const bool profiled = shards == 4;
+    const ScaleResult r = run_scale(shards, profiled);
+    const double rate = r.wall_seconds > 0.0
+                            ? static_cast<double>(r.events) / r.wall_seconds
+                            : 0.0;
+    if (shards == 1) {
+      reference_signature = r.signature;
+      wall_1 = r.wall_seconds;
+      rate_1 = rate;
+    } else if (r.signature != reference_signature) {
+      bytes_identical = false;
+    }
+    if (shards == 4) {
+      wall_4 = r.wall_seconds;
+      rate_4 = rate;
+      report.prof_zones(obs::prof::snapshot());
+      bench::write_prof_json("e14_topology_scale", obs::prof::snapshot(),
+                             1414, shards);
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%.3g events/sec (%.2fs wall, %llu events, %llu handoffs)",
+                  rate, r.wall_seconds,
+                  static_cast<unsigned long long>(r.events),
+                  static_cast<unsigned long long>(r.cross_handoffs));
+    bench::row(("shards = " + std::to_string(shards)).c_str(), buf);
+    report.metric("events_per_sec_s" + std::to_string(shards), rate);
+    report.metric("wall_seconds_s" + std::to_string(shards), r.wall_seconds);
+    report.metric("cross_handoffs_s" + std::to_string(shards),
+                  r.cross_handoffs);
+  }
+
+  const double speedup = wall_4 > 0.0 ? wall_1 / wall_4 : 0.0;
+  {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%.2fx wall (%.3g -> %.3g ev/s; target >= 2x)",
+                  speedup, rate_1, rate_4);
+    bench::row("speedup 4 shards vs 1", buf);
+  }
+  bench::row("output byte-identical",
+             bytes_identical ? "yes (1,024 nodes, all shard counts)"
+                             : "NO -- determinism bug");
+
+  // --- precision vs graph diameter ---------------------------------------
+  std::uint64_t total_violations = 0;
+  std::vector<double> p50_by_diam;
+  for (const int segments : {2, 4, 8}) {
+    const DiameterResult d = run_diameter(segments);
+    total_violations += d.violations;
+    p50_by_diam.push_back(d.precision.p50);
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "pi p50 %.3g us  max %.3g us  (%d nodes, %llu violations)",
+                  d.precision.p50 * 1e-6, d.precision.max * 1e-6, d.nodes,
+                  static_cast<unsigned long long>(d.violations));
+    bench::row(("chain diameter = " + std::to_string(d.diameter)).c_str(), buf);
+    const std::string key = "precision_diam" + std::to_string(d.diameter);
+    report.metric(key + "_p50_us", d.precision.p50 * 1e-6);
+    report.metric(key + "_max_us", d.precision.max * 1e-6);
+    report.metric(key + "_violations", d.violations);
+  }
+  const bool diameter_trend =
+      p50_by_diam.size() == 3 && p50_by_diam.front() <= p50_by_diam.back();
+  bench::row("precision degrades with diameter",
+             diameter_trend ? "yes (p50 diam1 <= p50 diam7)" : "no (flat/noisy)");
+
+  const bool scaling_ok = hw < 4 || speedup >= 2.0;
+  if (hw < 4) {
+    bench::row("scaling target", "skipped: fewer than 4 hardware threads");
+  }
+  const bool ok = bytes_identical && scaling_ok && total_violations == 0;
+  bench::verdict(ok, "sharded topologies scale and stay byte-deterministic");
+
+  report.metric("speedup_4v1", speedup);
+  report.metric("bytes_identical",
+                bytes_identical ? std::uint64_t{1} : std::uint64_t{0});
+  report.metric("scaling_enforced",
+                hw >= 4 ? std::uint64_t{1} : std::uint64_t{0});
+  report.metric("diameter_trend",
+                diameter_trend ? std::uint64_t{1} : std::uint64_t{0});
+  report.metric("containment_violations", total_violations);
+  report.pass(ok);
+  report.write();
+  return ok ? 0 : 1;
+}

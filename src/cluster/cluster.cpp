@@ -5,7 +5,17 @@
 
 namespace nti::cluster {
 
-Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+Cluster::Cluster(ClusterConfig cfg)
+    : Cluster(std::make_unique<sim::Engine>(), nullptr, std::move(cfg)) {}
+
+Cluster::Cluster(sim::Engine& external_engine, ClusterConfig cfg)
+    : Cluster(nullptr, &external_engine, std::move(cfg)) {}
+
+Cluster::Cluster(std::unique_ptr<sim::Engine> owned, sim::Engine* external,
+                 ClusterConfig cfg)
+    : cfg_(std::move(cfg)),
+      owned_engine_(std::move(owned)),
+      engine_(external != nullptr ? *external : *owned_engine_) {
   RngStream root(cfg_.seed);
   medium_ = std::make_unique<net::Medium>(engine_, cfg_.medium, root.fork("medium"));
 
@@ -60,7 +70,11 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     medium_->set_trace(trace_.get());
     for (auto& s : syncs_) s->set_trace(trace_.get());
     if (injector_ != nullptr) injector_->set_trace(trace_.get());
-    if (cfg_.trace_engine_events) engine_.set_trace(trace_.get());
+    // Engine-event tracing only makes sense on an owned engine: a shared
+    // shard engine interleaves other segments' events into the ring.
+    if (cfg_.trace_engine_events && owned_engine_ != nullptr) {
+      engine_.set_trace(trace_.get());
+    }
     // Wraparound loss used to be silent; collect_bench.py warns loudly when
     // this gauge is nonzero in a report's `obs` section.
     metrics_.add_gauge("obs.trace.overwritten", [this] {
@@ -82,7 +96,10 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     }
     timeseries_ = std::make_unique<obs::TimeSeriesRecorder>(std::move(cols));
   }
-  engine_.register_metrics(metrics_, "sim.engine.");
+  // A shared (external) engine's counters depend on shard grouping, so they
+  // stay out of the per-segment registry; ShardedCluster reports them
+  // separately, outside the deterministic output (docs/SHARDING.md).
+  if (owned_engine_ != nullptr) engine_.register_metrics(metrics_, "sim.engine.");
   medium_->register_metrics(metrics_, "net.medium.");
   for (int i = 0; i < cfg_.num_nodes; ++i) {
     syncs_[static_cast<std::size_t>(i)]->register_metrics(

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/topology.hpp"
 #include "common/stats.hpp"
 #include "csa/sync.hpp"
 #include "fault/injector.hpp"
@@ -85,6 +86,12 @@ struct ClusterConfig {
   /// Record a pi(t) / alpha(t) / per-node-offset row on every probe into a
   /// TimeSeriesRecorder (CSV export for plotting convergence trajectories).
   bool record_timeseries = false;
+
+  /// Multi-segment topology (docs/SHARDING.md).  Ignored by the
+  /// single-segment Cluster; cluster::ShardedCluster instantiates one
+  /// Cluster per segment (num_nodes/seed taken per segment) and joins them
+  /// with gateway links on a sharded event engine.  Empty = single segment.
+  TopologySpec topology{};
 };
 
 struct ProbeSample {
@@ -99,6 +106,13 @@ struct ProbeSample {
 class Cluster {
  public:
   explicit Cluster(ClusterConfig cfg);
+  /// Build on an engine owned by someone else — the segment form used by
+  /// ShardedCluster, where several segments may share one shard engine.
+  /// Identical construction except that engine counters are NOT registered
+  /// in this cluster's metrics registry: a shared engine's counters depend
+  /// on which other segments ride the same shard, and per-segment metrics
+  /// must stay byte-identical for every shard count (docs/SHARDING.md).
+  Cluster(sim::Engine& external_engine, ClusterConfig cfg);
   ~Cluster();
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -153,8 +167,14 @@ class Cluster {
   double max_rate_spread_ppm(SimTime t);
 
  private:
+  Cluster(std::unique_ptr<sim::Engine> owned, sim::Engine* external,
+          ClusterConfig cfg);
+
   ClusterConfig cfg_;
-  sim::Engine engine_;
+  /// Set iff this cluster owns its engine (the classic single-segment
+  /// form); engine_ then refers to it.
+  std::unique_ptr<sim::Engine> owned_engine_;
+  sim::Engine& engine_;
   std::unique_ptr<net::Medium> medium_;
   std::vector<std::unique_ptr<node::NodeCard>> nodes_;
   std::vector<std::unique_ptr<csa::SyncNode>> syncs_;

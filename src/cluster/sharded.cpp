@@ -1,0 +1,206 @@
+#include "cluster/sharded.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nti::cluster {
+
+ShardedCluster::ShardedCluster(ClusterConfig cfg) : base_(std::move(cfg)) {
+  topo_ = base_.topology;
+  if (!topo_.multi_segment()) {
+    topo_.segment_sizes = {base_.num_nodes};
+    topo_.links.clear();
+  }
+  topo_.validate();
+  if (base_.trace_engine_events) {
+    throw std::invalid_argument(
+        "sharded cluster: trace_engine_events is unsupported — a shard "
+        "engine is shared between segments, so per-segment traces cannot "
+        "attribute event firings");
+  }
+  if (!topo_.links.empty() && topo_.bridge_phase >= base_.sync.round_period) {
+    throw std::invalid_argument(
+        "sharded cluster: bridge_phase must lie within one sync round");
+  }
+  int max_size = 0;
+  for (const int s : topo_.segment_sizes) max_size = std::max(max_size, s);
+  const Duration last_send =
+      base_.sync.send_stagger_slot * (max_size - 1) + base_.sync.delay_max;
+  if (last_send >= base_.sync.resync_offset) {
+    throw std::invalid_argument(
+        "sharded cluster: segment of " + std::to_string(max_size) +
+        " nodes cannot finish its staggered CSP sends before the resync "
+        "offset; shrink send_stagger_slot or segment sizes");
+  }
+
+  const int s_count = topo_.num_segments();
+  std::size_t shards = topo_.shards == 0 ? static_cast<std::size_t>(s_count)
+                                         : topo_.shards;
+  shards = std::min(shards, static_cast<std::size_t>(s_count));
+  group_ = std::make_unique<sim::ShardGroup>(shards);
+  threads_ = std::min(
+      mc::resolve_threads(topo_.threads != 0
+                              ? topo_.threads
+                              : mc::env_size("NTI_MC_THREADS", 0)),
+      shards);
+  pool_ = std::make_unique<mc::ThreadPool>(threads_);
+
+  // Contiguous block partition: segment s rides engine s*shards/S.  The
+  // grouping is invisible in every output byte (docs/SHARDING.md).
+  shard_of_.resize(static_cast<std::size_t>(s_count));
+  for (int s = 0; s < s_count; ++s) {
+    shard_of_[static_cast<std::size_t>(s)] = static_cast<int>(
+        static_cast<std::size_t>(s) * shards / static_cast<std::size_t>(s_count));
+  }
+
+  // Per-segment clusters.  Each segment's whole stochastic identity derives
+  // from (cluster seed, segment index) — never from the shard layout.
+  for (int s = 0; s < s_count; ++s) {
+    ClusterConfig seg = base_;
+    seg.topology = TopologySpec{};
+    seg.num_nodes = topo_.segment_sizes[static_cast<std::size_t>(s)];
+    seg.seed = RngStream(base_.seed).fork("segment", static_cast<std::uint64_t>(s))
+                   .next_u64();
+    if (s != 0) {
+      // The reference segment (0) keeps GPS receivers and the fault plan;
+      // node ids in those configs are segment-local.
+      seg.gps_nodes.clear();
+      seg.faults = fault::FaultPlan{};
+    }
+    segments_.push_back(std::make_unique<Cluster>(
+        group_->engine(
+            static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(s)])),
+        std::move(seg)));
+  }
+
+  // Gateway links, registered in topology order so link ids — the
+  // cross-segment delivery tie-break — never depend on the shard layout.
+  link_ids_.reserve(topo_.links.size());
+  for (const TopoLink& l : topo_.links) {
+    link_ids_.push_back(group_->add_link(
+        static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(l.src_seg)]),
+        static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(l.dst_seg)]),
+        l.latency));
+  }
+}
+
+ShardedCluster::~ShardedCluster() = default;
+
+void ShardedCluster::start() {
+  // Same cold-start advance as Cluster::start, but through the lookahead
+  // scheduler so all shards arrive at the start instant together.
+  const SimTime base =
+      SimTime::epoch() + base_.initial_offset_spread + Duration::ms(1);
+  group_->run_until(base, pool_.get());
+  for (auto& seg : segments_) seg->start();
+  arm_bridges();
+}
+
+void ShardedCluster::arm_bridges() {
+  const Duration period = base_.sync.round_period;
+  const SimTime first = SimTime::epoch() + period + topo_.bridge_phase;
+  for (std::size_t li = 0; li < topo_.links.size(); ++li) {
+    const TopoLink& l = topo_.links[li];
+    Cluster& src = *segments_[static_cast<std::size_t>(l.src_seg)];
+    const int dst_seg = l.dst_seg;
+    const Duration latency = l.latency;
+    // Pseudo-peer key: negative so it can never collide with a local node
+    // id inside the destination segment's observation map.
+    const int key = -(1 + static_cast<int>(li));
+    const std::size_t link_id = link_ids_[li];
+    bridges_.push_back(std::make_unique<sim::PeriodicTask>(
+        src.engine(), first, period,
+        [this, &src, dst_seg, latency, key, link_id](std::uint64_t) {
+          csa::SyncNode& gw = src.sync(0);
+          if (!gw.running()) return;
+          const SimTime now = src.engine().now();
+          const auto iv = gw.current_interval(now);
+          const RateStep step = src.node(0).chip().ltu().step();
+          group_->send(link_id, [this, dst_seg, key, ref = iv.ref(),
+                                 am = iv.alpha_minus(), ap = iv.alpha_plus(),
+                                 step, latency] {
+            segments_[static_cast<std::size_t>(dst_seg)]->sync(0).offer_remote(
+                key, ref, am, ap, step, latency);
+          });
+        }));
+  }
+}
+
+ProbeSample ShardedCluster::probe() {
+  const SimTime t = group_->engine(0).now();
+  ProbeSample s;
+  s.t = t;
+  const Duration truth = t - SimTime::epoch();
+
+  Duration min_c = Duration::max(), max_c = -Duration::max();
+  Duration worst_acc = Duration::zero();
+  std::int64_t alpha_acc = 0;
+  int total_nodes = 0;
+  for (auto& seg : segments_) {
+    for (int i = 0; i < seg->size(); ++i) {
+      const Duration c = seg->node(i).true_clock(t);
+      min_c = std::min(min_c, c);
+      max_c = std::max(max_c, c);
+      worst_acc = std::max(worst_acc, (c - truth).abs());
+      const auto iv = seg->sync(i).current_interval(t);
+      alpha_acc += (iv.alpha_minus() + iv.alpha_plus()).count_ps() / 2;
+      s.alpha_minus_max = std::max(s.alpha_minus_max, iv.alpha_minus());
+      s.alpha_plus_max = std::max(s.alpha_plus_max, iv.alpha_plus());
+      if (truth < iv.lower() || truth > iv.upper()) ++violations_;
+      ++total_nodes;
+    }
+  }
+  s.precision = max_c - min_c;
+  s.worst_accuracy = worst_acc;
+  s.mean_alpha = Duration::ps(alpha_acc / total_nodes);
+  return s;
+}
+
+void ShardedCluster::run(Duration total, Duration warmup, Duration probe_period) {
+  const SimTime t0 = group_->engine(0).now();
+  const SimTime t_end = t0 + total;
+  SimTime t_probe = t0 + warmup;
+  while (t_probe <= t_end) {
+    group_->run_until(t_probe, pool_.get());
+    const ProbeSample s = probe();
+    precision_.add(s.precision);
+    accuracy_.add(s.worst_accuracy);
+    alpha_.add(s.mean_alpha);
+    ++probes_;
+    trajectory_.push_back(s);
+    if (on_probe) on_probe(s);
+    t_probe += probe_period;
+  }
+  group_->run_until(t_end, pool_.get());
+}
+
+std::string ShardedCluster::output_signature() const {
+  std::ostringstream os;
+  os << "probes=" << probes_ << " violations=" << violations_ << "\n";
+  for (const ProbeSample& s : trajectory_) {
+    os << s.t.count_ps() << ',' << s.precision.count_ps() << ','
+       << s.worst_accuracy.count_ps() << ',' << s.mean_alpha.count_ps() << ','
+       << s.alpha_minus_max.count_ps() << ',' << s.alpha_plus_max.count_ps()
+       << "\n";
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    Cluster& seg = *segments_[i];
+    os << "== segment " << i << " ==\n";
+    os << seg.metrics().to_json() << "\n";
+    if (auto* ring = seg.trace(); ring != nullptr) ring->dump_csv(os);
+  }
+  return os.str();
+}
+
+std::uint64_t ShardedCluster::total_events() const {
+  std::uint64_t n = 0;
+  for (std::size_t e = 0; e < group_->num_engines(); ++e) {
+    n += const_cast<sim::ShardGroup&>(*group_).engine(e).events_executed();
+  }
+  return n;
+}
+
+}  // namespace nti::cluster

@@ -1,0 +1,111 @@
+// ShardedCluster: a multi-segment topology on the sharded event engine
+// (docs/SHARDING.md).
+//
+// One cluster::Cluster per segment — each the paper's deployment unit: a
+// broadcast CSMA/CD LAN with its own nodes, medium, RNG streams, trace
+// ring and metrics registry — wired onto a sim::ShardGroup that assigns
+// segments to shard engines in contiguous blocks and advances them under
+// the conservative lookahead rule.  Gateway links carry *time capsules*:
+// at a fixed phase of every sync round, the gateway node (node 0) of the
+// link's source segment captures its current reference interval and ships
+// it over the link; on arrival the destination gateway node feeds it into
+// its own round via SyncNode::offer_remote as a pseudo-peer keyed by
+// -(1 + link index).  Time therefore diffuses across the topology at one
+// gateway hop per round, which is exactly the precision-vs-diameter
+// trade E14 measures.
+//
+// Determinism contract (pinned by tests/sim/shard_differential_test.cpp
+// and tests/cluster/shard_matrix_test.cpp): every byte of
+// output_signature() — probe trajectory, per-segment metrics JSON,
+// per-segment traces — is invariant under the shard count and the worker
+// thread count.  Segment seeds derive from (seed, segment index) alone;
+// segments sharing a shard engine interleave events but share no mutable
+// state, and cross-segment deliveries execute in (arrival, link, seq)
+// order through the engine's front band no matter which path scheduled
+// them.  Shard-engine counters (events executed, queue depths) DO depend
+// on the grouping and are deliberately excluded, reported only through
+// informational accessors.
+//
+// Scope notes: gps_nodes and the fault plan apply to segment 0 only (the
+// reference segment of a hierarchy); trace_engine_events is rejected —
+// a shared shard engine cannot attribute event firings to one segment.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mc/pool.hpp"
+#include "sim/periodic.hpp"
+#include "sim/shard.hpp"
+
+namespace nti::cluster {
+
+class ShardedCluster {
+ public:
+  /// cfg.topology must validate; an empty topology means one segment of
+  /// cfg.num_nodes nodes (the monolithic reference shape).
+  explicit ShardedCluster(ClusterConfig cfg);
+  ~ShardedCluster();
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+  Cluster& segment(int s) { return *segments_[static_cast<std::size_t>(s)]; }
+  sim::ShardGroup& group() { return *group_; }
+  std::size_t shards() const { return group_->num_engines(); }
+  std::size_t threads() const { return threads_; }
+
+  /// Cold-start every segment (same scatter rule as Cluster::start) and arm
+  /// the gateway bridges.
+  void start();
+
+  /// Advance the whole topology with periodic global probes, exactly like
+  /// Cluster::run but through the lookahead scheduler.
+  void run(Duration total, Duration warmup,
+           Duration probe_period = Duration::ms(100));
+
+  /// One simultaneous snapshot across every node of every segment.
+  ProbeSample probe();
+
+  std::function<void(const ProbeSample&)> on_probe;
+
+  SampleSet& precision_samples() { return precision_; }
+  SampleSet& accuracy_samples() { return accuracy_; }
+  SampleSet& alpha_samples() { return alpha_; }
+  std::uint64_t containment_violations() const { return violations_; }
+  std::uint64_t probes_taken() const { return probes_; }
+
+  /// Deterministic serialization of everything observable: the full probe
+  /// trajectory plus each segment's metrics JSON and trace CSV, in segment
+  /// order.  Byte-identical across shard and thread counts.
+  std::string output_signature() const;
+
+  /// Informational (shard-grouping-dependent): total events executed
+  /// across all shard engines.
+  std::uint64_t total_events() const;
+
+ private:
+  void arm_bridges();
+
+  ClusterConfig base_;
+  TopologySpec topo_;
+  std::size_t threads_ = 1;
+  std::unique_ptr<sim::ShardGroup> group_;
+  std::unique_ptr<mc::ThreadPool> pool_;
+  std::vector<int> shard_of_;  ///< segment index -> engine index
+  std::vector<std::unique_ptr<Cluster>> segments_;
+  std::vector<std::size_t> link_ids_;  ///< topo link index -> group link id
+  std::vector<std::unique_ptr<sim::PeriodicTask>> bridges_;
+
+  SampleSet precision_;
+  SampleSet accuracy_;
+  SampleSet alpha_;
+  std::uint64_t violations_ = 0;
+  std::uint64_t probes_ = 0;
+  std::vector<ProbeSample> trajectory_;
+};
+
+}  // namespace nti::cluster

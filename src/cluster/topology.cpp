@@ -1,0 +1,161 @@
+#include "cluster/topology.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sim/shard.hpp"
+
+namespace nti::cluster {
+
+namespace {
+
+void add_bidir(TopologySpec& t, int a, int b, Duration latency) {
+  t.links.push_back(TopoLink{a, b, latency});
+  t.links.push_back(TopoLink{b, a, latency});
+}
+
+}  // namespace
+
+int TopologySpec::total_nodes() const {
+  int n = 0;
+  for (const int s : segment_sizes) n += s;
+  return n;
+}
+
+int TopologySpec::diameter() const {
+  const int s = num_segments();
+  if (s <= 1) return 0;
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(s));
+  for (const TopoLink& l : links) {
+    adj[static_cast<std::size_t>(l.src_seg)].push_back(l.dst_seg);
+    adj[static_cast<std::size_t>(l.dst_seg)].push_back(l.src_seg);
+  }
+  int diameter = 0;
+  std::vector<int> dist(static_cast<std::size_t>(s));
+  for (int start = 0; start < s; ++start) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[static_cast<std::size_t>(start)] = 0;
+    std::queue<int> q;
+    q.push(start);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (const int v : adj[static_cast<std::size_t>(u)]) {
+        if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+    for (int v = 0; v < s; ++v) {
+      if (dist[static_cast<std::size_t>(v)] < 0) return -1;  // disconnected
+      diameter = std::max(diameter, dist[static_cast<std::size_t>(v)]);
+    }
+  }
+  return diameter;
+}
+
+void TopologySpec::validate() const {
+  if (segment_sizes.empty()) {
+    throw std::invalid_argument("topology: at least one segment required");
+  }
+  for (std::size_t s = 0; s < segment_sizes.size(); ++s) {
+    if (segment_sizes[s] < 1 || segment_sizes[s] > 255) {
+      throw std::invalid_argument(
+          "topology: segment " + std::to_string(s) + " has " +
+          std::to_string(segment_sizes[s]) +
+          " nodes; sizes must be in [1, 255] (CSP source ids are one byte)");
+    }
+  }
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const TopoLink& l = links[i];
+    if (l.src_seg < 0 || l.src_seg >= num_segments() || l.dst_seg < 0 ||
+        l.dst_seg >= num_segments()) {
+      throw std::invalid_argument("topology: link " + std::to_string(i) +
+                                  " references a segment that does not exist");
+    }
+    if (l.src_seg == l.dst_seg) {
+      throw std::invalid_argument(
+          "topology: link " + std::to_string(i) +
+          " is a self-link; gateways join distinct segments");
+    }
+    if (l.latency < sim::ShardGroup::kMinLinkLatency) {
+      throw std::invalid_argument(
+          "topology: link " + std::to_string(i) + " has latency " +
+          std::to_string(l.latency.count_ps()) +
+          " ps; gateway latencies must be >= 1 ns — a zero-latency link "
+          "gives the sharded engine no conservative lookahead to advance "
+          "under (docs/SHARDING.md)");
+    }
+  }
+  if (bridge_phase <= Duration::zero()) {
+    throw std::invalid_argument("topology: bridge_phase must be positive");
+  }
+}
+
+TopologySpec TopologySpec::chain(int segments, int nodes_per_segment,
+                                 Duration latency) {
+  TopologySpec t;
+  t.segment_sizes.assign(static_cast<std::size_t>(segments), nodes_per_segment);
+  for (int i = 0; i + 1 < segments; ++i) add_bidir(t, i, i + 1, latency);
+  return t;
+}
+
+TopologySpec TopologySpec::tree(int fanout, int depth, int nodes_per_segment,
+                                Duration latency) {
+  TopologySpec t;
+  // Breadth-first construction: segment 0 is the root; children are
+  // appended level by level so parent indices are always already assigned.
+  t.segment_sizes.push_back(nodes_per_segment);
+  std::vector<int> frontier{0};
+  for (int level = 0; level < depth; ++level) {
+    std::vector<int> next;
+    for (const int parent : frontier) {
+      for (int c = 0; c < fanout; ++c) {
+        const int child = static_cast<int>(t.segment_sizes.size());
+        t.segment_sizes.push_back(nodes_per_segment);
+        add_bidir(t, parent, child, latency);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return t;
+}
+
+TopologySpec TopologySpec::mesh(int segments, int nodes_per_segment,
+                                Duration latency) {
+  TopologySpec t;
+  t.segment_sizes.assign(static_cast<std::size_t>(segments), nodes_per_segment);
+  for (int i = 0; i < segments; ++i) {
+    for (int j = i + 1; j < segments; ++j) add_bidir(t, i, j, latency);
+  }
+  return t;
+}
+
+TopologySpec TopologySpec::ad_hoc(int segments, int nodes_per_segment,
+                                  double edge_probability, Duration latency,
+                                  std::uint64_t seed) {
+  TopologySpec t;
+  t.segment_sizes.assign(static_cast<std::size_t>(segments), nodes_per_segment);
+  RngStream rng = RngStream(seed).fork("topology");
+  // Spanning tree first (connectivity guaranteed), then extra edges.
+  std::vector<std::vector<bool>> have(
+      static_cast<std::size_t>(segments),
+      std::vector<bool>(static_cast<std::size_t>(segments), false));
+  for (int i = 1; i < segments; ++i) {
+    const int j = static_cast<int>(rng.uniform_int(0, i - 1));
+    add_bidir(t, j, i, latency);
+    have[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = true;
+  }
+  for (int i = 0; i < segments; ++i) {
+    for (int j = i + 1; j < segments; ++j) {
+      if (have[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) continue;
+      if (rng.chance(edge_probability)) add_bidir(t, i, j, latency);
+    }
+  }
+  return t;
+}
+
+}  // namespace nti::cluster

@@ -1,0 +1,86 @@
+// Multi-segment topology description (docs/SHARDING.md).
+//
+// A topology is a set of broadcast *segments* — each one CSMA/CD
+// net::Medium with its own nodes, exactly the paper's LAN deployment unit —
+// joined by directed *gateway links* with a fixed positive latency.  The
+// latency doubles as the conservative lookahead bound of the sharded event
+// engine (sim::ShardGroup), so zero-latency links are rejected outright at
+// validation: they would leave the receiving shard no safe horizon to
+// advance to.
+//
+// Generators cover the shapes the scale experiments measure (E14):
+// chains and trees for the hierarchy-of-LANs story, full meshes for the
+// densest gateway coupling, and seeded Erdos-Renyi-over-a-spanning-tree
+// "ad hoc" graphs after Pabico's ad hoc clock networks (PAPERS.md), where
+// precision-vs-graph-diameter is the headline measurement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace nti::cluster {
+
+/// One directed gateway link between segments.  Bidirectional gateways are
+/// two TopoLinks; the generators emit both directions adjacently.
+struct TopoLink {
+  int src_seg = 0;
+  int dst_seg = 0;
+  Duration latency = Duration::ms(1);
+};
+
+struct TopologySpec {
+  /// Nodes per segment.  Empty means "no topology": the cluster stays the
+  /// classic single-segment build with ClusterConfig::num_nodes nodes.
+  std::vector<int> segment_sizes;
+  std::vector<TopoLink> links;
+
+  /// Event shards to run the segments on; 0 = one shard per segment.
+  /// Segments are assigned to shards in contiguous blocks, which never
+  /// changes any output byte (the determinism contract, docs/SHARDING.md).
+  std::size_t shards = 0;
+  /// Worker threads for the shard pool; 0 = NTI_MC_THREADS env, then one
+  /// per hardware core.  Also never changes any output byte.
+  std::size_t threads = 0;
+
+  /// Phase within each sync round (in simulated time) at which a gateway
+  /// captures its segment's reference interval for forwarding — after the
+  /// resync offset, so captures ship freshly fused intervals, and late
+  /// enough that the *receiving* gateway has normally finished amortizing
+  /// its own last correction by the time the capsule arrives (a 700 ms
+  /// phase clears any correction up to ~0.9 ms at the default 2e-3
+  /// amortization rate; SyncNode::offer_remote widens its margin by the
+  /// remaining slew when one is still running, so earlier phases stay
+  /// containment-correct, just wider).
+  Duration bridge_phase = Duration::ms(700);
+
+  bool multi_segment() const { return !segment_sizes.empty(); }
+  int num_segments() const { return static_cast<int>(segment_sizes.size()); }
+  int total_nodes() const;
+  /// Longest shortest path between segments over the undirected link graph
+  /// (-1 when disconnected) — the hop count precision degrades with.
+  int diameter() const;
+
+  /// Throws std::invalid_argument on structural errors: empty segments,
+  /// segment sizes outside [1, 255] (CSP source ids are one byte),
+  /// out-of-range link endpoints, self-links, and non-positive or
+  /// sub-nanosecond link latencies (no conservative lookahead).
+  void validate() const;
+
+  static TopologySpec chain(int segments, int nodes_per_segment, Duration latency);
+  /// Rooted tree: every non-leaf has `fanout` children, `depth` levels below
+  /// the root (depth 0 = just the root segment).
+  static TopologySpec tree(int fanout, int depth, int nodes_per_segment,
+                           Duration latency);
+  static TopologySpec mesh(int segments, int nodes_per_segment, Duration latency);
+  /// Random connected graph: spanning tree (each segment i >= 1 attaches to
+  /// a uniform earlier segment) plus each remaining pair independently with
+  /// `edge_probability`.  Fully seeded — same seed, same graph.
+  static TopologySpec ad_hoc(int segments, int nodes_per_segment,
+                             double edge_probability, Duration latency,
+                             std::uint64_t seed);
+};
+
+}  // namespace nti::cluster

@@ -255,6 +255,66 @@ void SyncNode::handle_csp(const node::RxCsp& rx) {
   }
 }
 
+void SyncNode::offer_remote(int peer_key, Duration remote_ref,
+                            Duration remote_alpha_minus,
+                            Duration remote_alpha_plus, RateStep remote_step,
+                            Duration link_latency) {
+  if (!running_) return;
+  const SimTime now = card_.cpu().engine().now();
+  const Duration local_r = card_.driver().read_clock(now);
+
+  // Translate to the arrival instant: the capture interval contained true
+  // time then, and exactly link_latency of true time has since elapsed, so
+  // shifting every edge by it preserves containment.  Only the capture
+  // read's granularity is added — a simulated point-to-point link has no
+  // delay uncertainty to compensate (contrast handle_csp's
+  // [d_min, d_max] bounds).
+  const Duration lo0 =
+      remote_ref - remote_alpha_minus + link_latency - cfg_.granularity;
+  const Duration hi0 =
+      remote_ref + remote_alpha_plus + link_latency + cfg_.granularity;
+
+  // Drift compensation to the local resync point, as in handle_csp.
+  const Duration sigma = resync_time_of_round(round_) - local_r;
+  if (sigma < Duration::zero()) {
+    ++csps_late_;  // capsule arrived after our resynchronization
+    return;
+  }
+  Duration margin = scaled_ppm(sigma, cfg_.rho_bound_ppm) + cfg_.granularity;
+  // Self-amortization cover: if this node is still slewing its own last
+  // correction, its clock runs at (1 +- amort_rate) x nominal until the
+  // slew drains -- three orders of magnitude outside the rho bound the
+  // sigma margin assumes, so sigma clock units can differ from true
+  // elapsed time by up to (remaining amortized span) x amort_rate.  Widen
+  // by exactly that overlap; it is zero once amortization has drained,
+  // which is the steady state for any bridge_phase past the slew window.
+  if (amort_end_clock_ > local_r) {
+    const Duration overlap = std::min(amort_end_clock_ - local_r, sigma);
+    // nti-lint: allow(float): amort_rate is a configuration fraction;
+    // scaled_ppm re-quantizes to integer picoseconds immediately.
+    margin = margin + scaled_ppm(overlap, cfg_.amort_rate * 1e6);
+  }
+  const Duration peer_ref = remote_ref + link_latency + sigma;
+  const interval::AccInterval pre = interval::AccInterval::from_edges(
+      lo0 + sigma - margin, hi0 + sigma + margin, peer_ref);
+
+  PeerObs ob;
+  ob.preprocessed = pre;
+  // Rate baseline: the remote clock read mapped to the local receive
+  // instant, against the local clock at that instant — the same pairing a
+  // CSP produces, so apply_rate_sync tracks inter-segment skew unchanged.
+  ob.remote_time = remote_ref + link_latency;
+  ob.local_time = local_r;
+  ob.remote_step = remote_step;
+  ob.trace_id = 0;
+  obs_[peer_key] = ob;
+  ++csps_used_;
+  if (trace_ != nullptr) {
+    trace_->push(now, obs::TraceType::kCspStamp, card_.id(), peer_key,
+                 remote_ref.count_ps());
+  }
+}
+
 std::optional<interval::AccInterval> SyncNode::gps_interval(Duration at_clock) {
   if (!gps_fix_.fresh) return std::nullopt;
   const SimTime now = card_.cpu().engine().now();
@@ -387,6 +447,7 @@ void SyncNode::do_resync() {
     nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegTimeSet1, static_cast<std::uint32_t>(raw >> 32));
     nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegTimeSet2, static_cast<std::uint32_t>(raw >> 64));
     nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlApplyTimeSet);
+    amort_end_clock_ = Duration::zero();  // the jump leaves no pending slew
   } else if (d != Duration::zero()) {
     nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlApplyAccSet);
     // Continuous amortization: slew at (1 +- amort_rate) x nominal speed
@@ -421,6 +482,7 @@ void SyncNode::do_resync() {
     const Duration amort_len = Phi::raw(u128{amort_step} * ticks).to_duration();
     const Duration clock_now = card_.driver().read_clock(now);
     write_duty(2, clock_now + amort_len);
+    amort_end_clock_ = clock_now + amort_len;
   } else {
     nti.cpu_write32(now, kCpuUtcsuBase + uc::kRegCtrl, uc::kCtrlApplyAccSet);
   }

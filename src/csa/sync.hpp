@@ -180,6 +180,21 @@ class SyncNode {
   /// Current locally-believed interval (for examples / probes).
   interval::AccInterval current_interval(SimTime now);
 
+  /// Inject a remote segment's reference interval, received over a gateway
+  /// link, into the current round as a pseudo-peer observation
+  /// (docs/SHARDING.md).  `peer_key` must be negative so it can never
+  /// collide with a local node id — the sharded cluster uses -(1 + link
+  /// index).  `remote_ref`/`remote_alpha_*` are the sender's
+  /// current_interval at capture; `link_latency` is the gateway's exact
+  /// simulated transit time, so the interval is translated by it without
+  /// delay uncertainty and then drift-compensated to the local resync
+  /// point exactly like a received CSP.  Capsules arriving after the
+  /// resync point count as late and are dropped (csps_late), preserving
+  /// the round structure.
+  void offer_remote(int peer_key, Duration remote_ref,
+                    Duration remote_alpha_minus, Duration remote_alpha_plus,
+                    RateStep remote_step, Duration link_latency);
+
  private:
   struct PeerObs {
     interval::AccInterval preprocessed;  ///< expressed at the resync point
@@ -233,6 +248,15 @@ class SyncNode {
   obs::TraceRing* trace_ = nullptr;
   obs::SpanCollector* spans_ = nullptr;
   Duration cum_corr_;  ///< sum of applied state corrections
+  /// Local clock value at which the most recent amortized correction is
+  /// fully absorbed (zero when the last correction was hard-set or none is
+  /// running).  offer_remote widens its drift margin by the slew still
+  /// pending past the capsule's arrival: while amortizing, the clock runs
+  /// at (1 +- amort_rate) x nominal -- far outside the rho bound the
+  /// sigma-based compensation assumes.  CSPs never need this: their
+  /// rx-to-resync window opens ~3/4 of a round after the previous resync,
+  /// long after any sub-millisecond correction has drained.
+  Duration amort_end_clock_;
 };
 
 }  // namespace nti::csa

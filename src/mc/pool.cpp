@@ -1,0 +1,77 @@
+#include "mc/pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nti::mc {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  // nti-lint: allow(nondet): worker-pool sizing only; every caller indexes
+  // results by task slot, so the env value never changes any output byte.
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;  // inline mode: no workers, no locking
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] {
+      return stop_ || (batch_ != nullptr && next_task_ < batch_->size());
+    });
+    if (stop_) return;
+    while (batch_ != nullptr && next_task_ < batch_->size()) {
+      const std::size_t i = next_task_++;
+      ++in_flight_;
+      lk.unlock();
+      (*batch_)[i]();
+      lk.lock();
+      --in_flight_;
+    }
+    if (in_flight_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
+  if (workers_.empty()) {
+    for (const auto& t : tasks) t();
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  batch_ = &tasks;
+  next_task_ = 0;
+  in_flight_ = 0;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [this, &tasks] {
+    return next_task_ >= tasks.size() && in_flight_ == 0;
+  });
+  batch_ = nullptr;
+}
+
+}  // namespace nti::mc

@@ -1,0 +1,68 @@
+// The repo's one thread pool.
+//
+// Both parallel subsystems — the Monte-Carlo replication runner and the
+// sharded event engine — have the same shape: a batch of independent tasks,
+// a barrier, then a single-threaded deterministic reduction.  This pool is
+// that shape and nothing more: run_batch() claims tasks by index off an
+// atomic counter and returns only when every task has finished, so the
+// caller's serial phase needs no synchronization of its own (the join /
+// condition-variable handoff provides the happens-before edge).
+//
+// Determinism contract: the pool never influences any output byte.  Task
+// index assignment is the only scheduling decision, and every caller indexes
+// its results by task, not by worker or completion order.  Consequently the
+// concurrency primitives of the whole tree live in this one file — enforced
+// by nti-lint's `shard` rule (docs/STATIC_ANALYSIS.md): std::thread /
+// std::mutex / std::atomic anywhere else in src/ need an explicit sanction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nti::mc {
+
+/// Resolve a requested worker count: 0 means "ask the hardware", and the
+/// result is clamped to at least 1.  (The NTI_MC_THREADS env override is
+/// applied by mc::apply_env / the sharded cluster before calling this.)
+std::size_t resolve_threads(std::size_t requested);
+
+/// Read a non-negative integer from the environment; unset, empty, or
+/// malformed values yield `fallback`.  Shared by the Monte-Carlo runner
+/// (NTI_MC_REPLICAS / NTI_MC_THREADS) and the sharded cluster — both use it
+/// strictly for worker sizing, which never changes any output byte.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` persistent workers.  threads <= 1 starts no
+  /// workers at all: run_batch() then executes inline on the caller, which
+  /// keeps single-threaded runs trivially deterministic and debuggable.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threads() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Run every task to completion and return (barrier).  Tasks are claimed
+  /// in index order; a task may not call run_batch() on the same pool.
+  void run_batch(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for a batch
+  std::condition_variable done_cv_;   ///< caller waits for completion
+  const std::vector<std::function<void()>>* batch_ = nullptr;
+  std::size_t next_task_ = 0;  ///< next unclaimed index in batch_
+  std::size_t in_flight_ = 0;  ///< claimed but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace nti::mc

@@ -1,28 +1,13 @@
 #include "mc/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <thread>
 
+#include "mc/pool.hpp"
 #include "obs/json.hpp"
 
 namespace nti::mc {
-namespace {
-
-std::size_t env_size(const char* name, std::size_t fallback) {
-  // nti-lint: allow(nondet): worker-pool sizing only; replica results are
-  // slot-ordered, so the thread count never changes any output byte.
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(v, &end, 10);
-  if (end == v || *end != '\0') return fallback;
-  return static_cast<std::size_t>(parsed);
-}
-
-}  // namespace
 
 McConfig apply_env(McConfig base) {
   base.replicas = std::max<std::size_t>(1, env_size("NTI_MC_REPLICAS", base.replicas));
@@ -99,33 +84,20 @@ ReplicaResult Runner::run_replica(std::size_t index) const {
 
 EnsembleResult Runner::run() {
   const std::size_t n = mc_.replicas;
-  std::size_t threads =
-      mc_.threads != 0
-          ? mc_.threads
-          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  threads = std::min(threads, n);
+  const std::size_t threads = std::min(resolve_threads(mc_.threads), n);
 
   // Pre-sized slot array: replica i's result lands in slots[i] no matter
   // which worker ran it or when it finished.
   std::vector<ReplicaResult> slots(n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back([this, &slots, i] { slots[i] = run_replica(i); });
+  }
   // nti-lint: allow(prof): wall-clock throughput metric, reported only in
   // the human-facing summary -- never part of deterministic results.
   const auto wall_start = std::chrono::steady_clock::now();
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) slots[i] = run_replica(i);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([this, &next, &slots, n] {
-        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-          slots[i] = run_replica(i);
-        }
-      });
-    }
-    for (auto& th : pool) th.join();
-  }
+  ThreadPool(threads).run_batch(tasks);
   const std::chrono::duration<double> wall =
       // nti-lint: allow(prof): see wall_start above.
       std::chrono::steady_clock::now() - wall_start;

@@ -4,8 +4,8 @@
 // ensembles of oscillator drifts, medium jitter and traffic patterns, not
 // over one lucky seed.  The runner executes N independent cluster replicas
 // -- each its own sim::Engine + cluster::Cluster, seeded via
-// RngStream::fork("replica", i) off one root seed -- across a std::thread
-// pool, and reduces the results into ensemble statistics (per-metric
+// RngStream::fork("replica", i) off one root seed -- across the shared
+// mc::ThreadPool, and reduces the results into ensemble statistics (per-metric
 // mean/stddev/min/max plus 95% confidence intervals, and merged
 // obs::LogHistograms of the probe trajectories).
 //
@@ -39,7 +39,7 @@ namespace nti::mc {
 struct McConfig {
   /// Number of independent replicas (env override: NTI_MC_REPLICAS).
   std::size_t replicas = 16;
-  /// Worker threads; 0 means std::thread::hardware_concurrency()
+  /// Worker threads; 0 means one per hardware core
   /// (env override: NTI_MC_THREADS).
   std::size_t threads = 0;
   /// Root seed; replica i runs with RngStream(root).fork("replica", i).

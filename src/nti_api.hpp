@@ -55,4 +55,7 @@
 #include "fault/fault.hpp"
 #include "fault/injector.hpp"
 #include "cluster/cluster.hpp"
+#include "cluster/sharded.hpp"
+#include "cluster/topology.hpp"
 #include "mc/runner.hpp"
+#include "sim/shard.hpp"

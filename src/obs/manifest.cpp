@@ -24,6 +24,8 @@ RunManifest RunManifest::current() {
     m.host = "unknown";
   }
   m.obs_enabled = kObsEnabled;
+  // nti-lint: allow(shard): hardware sizing recorded in the manifest only;
+  // never feeds back into simulation state.
   m.threads = std::thread::hardware_concurrency();
   return m;
 }

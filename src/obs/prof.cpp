@@ -12,6 +12,10 @@
 // chrono clocks / rdtsc anywhere else.  Profiler state is write-only from
 // the simulation's point of view: nothing outside snapshot()/enabled()
 // reads it, so it can never feed back into simulated behaviour.
+//
+// nti-lint: allow-file(shard): the profiler aggregates per-thread zone
+// buffers under its own mutex; it records wall-clock telemetry only and no
+// output byte of the simulation depends on it.
 
 namespace nti::obs::prof {
 namespace {

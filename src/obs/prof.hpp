@@ -16,6 +16,9 @@
 //   2. Near-zero cost when disabled: a PROF_ZONE site is one relaxed
 //      atomic load when profiling is off, and compiles to nothing entirely
 //      under NTI_OBS_OFF.
+//      nti-lint: allow-file(shard): thread-local accumulators plus relaxed
+//      config flags; telemetry-only, nothing in src/ reads it back, so no
+//      output byte can depend on it.
 //   3. Cheap when enabled: most zone executions only bump a thread-local
 //      call counter; clock reads (raw TSC, steady_clock fallback on
 //      non-x86) are confined to sampled windows -- no locks, no allocation

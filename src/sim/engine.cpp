@@ -6,7 +6,7 @@
 
 namespace nti::sim {
 
-EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
+EventHandle Engine::schedule_banded(SimTime t, std::uint32_t band, EventFn fn) {
   PROF_ZONE("sim.engine.schedule");
   detail::EventSlab& slab = *slab_;
   std::uint32_t idx;
@@ -23,7 +23,7 @@ EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
   st.fn = std::move(fn);
   st.cancelled = false;
   st.live = true;
-  heap_.push_back(HeapEntry{st.when.count_ps(), st.seq, idx});
+  heap_.push_back(HeapEntry{st.when.count_ps(), st.seq, idx, band});
   sift_up(heap_.size() - 1);
   ++live_;
   if (heap_.size() > queue_hwm_) queue_hwm_ = heap_.size();

@@ -3,7 +3,11 @@
 // This is the substrate every hardware model runs on.  Properties the rest
 // of the system relies on:
 //   * events at equal times fire in scheduling order (stable tie-break via
-//     a monotone sequence number), so runs are bit-reproducible;
+//     a monotone sequence number), so runs are bit-reproducible; the one
+//     exception is the front band (schedule_at_front), which fires before
+//     all normal events at the same time — the shard layer's handle for
+//     making cross-segment deliveries order-independent of *when* the
+//     delivery event was scheduled;
 //   * cancellation is O(1) (lazy: a cancelled event is skipped when popped);
 //   * the engine never advances past the time of the event being executed,
 //     so a handler observing now() sees exactly its own firing time;
@@ -98,10 +102,22 @@ class Engine {
   /// Schedule `fn` at absolute simulated time `t` (clamped to now() if in
   /// the past — "immediately" — so hardware models may schedule zero-delay
   /// follow-ups without special-casing).
-  EventHandle schedule_at(SimTime t, EventFn fn);
+  EventHandle schedule_at(SimTime t, EventFn fn) {
+    return schedule_banded(t, kBandNormal, std::move(fn));
+  }
   /// Schedule `fn` after a non-negative delay.
   EventHandle schedule_in(Duration d, EventFn fn) {
     return schedule_at(now_ + d, std::move(fn));
+  }
+  /// Schedule `fn` at `t` ahead of every normally-scheduled event with the
+  /// same firing time, regardless of scheduling order.  Used by the shard
+  /// layer for ingress-drain events: a cross-segment delivery at t must
+  /// execute before all local events at t in *both* the monolithic and the
+  /// sharded path, even though the two paths schedule the drain at
+  /// different moments (send time vs handoff barrier) and hence with
+  /// different sequence numbers (docs/SHARDING.md).
+  EventHandle schedule_at_front(SimTime t, EventFn fn) {
+    return schedule_banded(t, kBandFront, std::move(fn));
   }
 
   /// Execute the next event if any; returns false when the queue is empty.
@@ -132,20 +148,30 @@ class Engine {
   void set_trace(obs::TraceRing* ring) { trace_ = ring; }
 
  private:
-  /// Heap entry: the (when, seq) sort key is immutable for the lifetime of
-  /// a scheduled event, so it is denormalized here and comparisons never
-  /// touch the slab.
+  /// Priority bands within one firing time: front-band events (ingress
+  /// drains) pop before normal ones no matter when either was scheduled.
+  static constexpr std::uint32_t kBandFront = 0;
+  static constexpr std::uint32_t kBandNormal = 1;
+
+  /// Heap entry: the (when, band, seq) sort key is immutable for the
+  /// lifetime of a scheduled event, so it is denormalized here and
+  /// comparisons never touch the slab.  The band rides in what used to be
+  /// struct padding, so the entry stays 24 bytes.
   struct HeapEntry {
     std::int64_t when_ps;
     std::uint64_t seq;
     std::uint32_t slot;
+    std::uint32_t band;
   };
 
-  /// True when entry a must pop before b: min on (when, seq).
+  /// True when entry a must pop before b: min on (when, band, seq).
   static bool before(const HeapEntry& a, const HeapEntry& b) {
     if (a.when_ps != b.when_ps) return a.when_ps < b.when_ps;
+    if (a.band != b.band) return a.band < b.band;
     return a.seq < b.seq;  // FIFO among equals
   }
+
+  EventHandle schedule_banded(SimTime t, std::uint32_t band, EventFn fn);
 
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
@@ -164,7 +190,7 @@ class Engine {
   std::size_t queue_hwm_ = 0;
   obs::TraceRing* trace_ = nullptr;
   std::shared_ptr<detail::EventSlab> slab_;
-  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap on (when, seq)
+  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap on (when, band, seq)
 };
 
 }  // namespace nti::sim

@@ -1,0 +1,195 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/prof.hpp"
+
+namespace nti::sim {
+
+ShardGroup::ShardGroup(std::size_t num_engines) {
+  if (num_engines == 0) {
+    throw std::invalid_argument("ShardGroup needs at least one engine");
+  }
+  engines_.reserve(num_engines);
+  for (std::size_t i = 0; i < num_engines; ++i) {
+    engines_.push_back(std::make_unique<Engine>());
+  }
+  ingress_.resize(num_engines);
+  deliveries_by_engine_.assign(num_engines, 0);
+  records_by_engine_.resize(num_engines);
+}
+
+std::size_t ShardGroup::add_link(std::size_t src_engine, std::size_t dst_engine,
+                                 Duration latency) {
+  if (src_engine >= engines_.size() || dst_engine >= engines_.size()) {
+    throw std::invalid_argument("ShardGroup::add_link: engine index out of range");
+  }
+  if (latency < kMinLinkLatency) {
+    throw std::invalid_argument(
+        "gateway link latency must be >= 1 ns: a zero (or near-zero) latency "
+        "link provides no conservative lookahead, so the receiving shard "
+        "could never safely advance (got " + std::to_string(latency.count_ps()) +
+        " ps)");
+  }
+  links_.push_back(Link{src_engine, dst_engine, latency.count_ps(), 0, {}});
+  return links_.size() - 1;
+}
+
+void ShardGroup::send(std::size_t link, EventFn deliver) {
+  Link& l = links_[link];
+  const std::int64_t send_ps = engines_[l.src]->now().count_ps();
+  const std::int64_t arrival_ps = send_ps + l.latency_ps;
+  const std::uint64_t seq = l.next_seq++;
+  if (l.src == l.dst) {
+    // Intra-shard: enter the ingress buffer immediately.  Same buffer, same
+    // drain band, same (link, seq) ordering as the cross-shard path — only
+    // the moment of insertion differs, which the front band makes
+    // unobservable.
+    ingress_push(l.dst, arrival_ps,
+                 IngressEntry{link, seq, send_ps, std::move(deliver)});
+  } else {
+    l.pending.push_back(PendingMsg{send_ps, arrival_ps, seq, std::move(deliver)});
+  }
+}
+
+void ShardGroup::ingress_push(std::size_t dst_engine, std::int64_t arrival_ps,
+                              IngressEntry entry) {
+  Engine& eng = *engines_[dst_engine];
+  if (arrival_ps <= eng.now().count_ps()) {
+    throw std::logic_error(
+        "ShardGroup: delivery scheduled at or before the receiving shard's "
+        "virtual time — conservative lookahead violated");
+  }
+  auto [it, inserted] =
+      ingress_[dst_engine].by_arrival.try_emplace(arrival_ps);
+  it->second.push_back(std::move(entry));
+  if (inserted) {
+    // First entry for this arrival instant: schedule the (single) drain
+    // event.  Front band => it fires before every local event at that time.
+    eng.schedule_at_front(SimTime::from_ps(arrival_ps),
+                          [this, dst_engine, arrival_ps] {
+                            drain_at(dst_engine, arrival_ps);
+                          });
+  }
+}
+
+void ShardGroup::drain_at(std::size_t engine_index, std::int64_t arrival_ps) {
+  PROF_ZONE("sim.shard.drain");
+  auto& by_arrival = ingress_[engine_index].by_arrival;
+  const auto it = by_arrival.find(arrival_ps);
+  if (it == by_arrival.end()) return;
+  std::vector<IngressEntry> entries = std::move(it->second);
+  // Erase before executing: a delivery may itself send on an intra-shard
+  // link and touch the map.
+  by_arrival.erase(it);
+  std::sort(entries.begin(), entries.end(),
+            [](const IngressEntry& a, const IngressEntry& b) {
+              if (a.link != b.link) return a.link < b.link;
+              return a.seq < b.seq;
+            });
+  for (IngressEntry& e : entries) {
+    e.fn();
+    ++deliveries_by_engine_[engine_index];
+    if (record_) {
+      records_by_engine_[engine_index].push_back(
+          HandoffRecord{e.link, e.seq, e.send_ps, arrival_ps,
+                        engines_[engine_index]->now().count_ps()});
+    }
+  }
+}
+
+void ShardGroup::run_until(SimTime limit, mc::ThreadPool* pool) {
+  const std::int64_t limit_ps = limit.count_ps();
+  const std::size_t n = engines_.size();
+  std::vector<std::int64_t> target(n);
+  std::vector<std::function<void()>> tasks;
+  for (;;) {
+    bool all_at_limit = true;
+    for (std::size_t e = 0; e < n; ++e) {
+      if (engines_[e]->now().count_ps() < limit_ps) {
+        all_at_limit = false;
+        break;
+      }
+    }
+    if (all_at_limit) break;
+
+    {
+      // Conservative horizon: a shard may run to min over cross-shard
+      // in-links of (sender's committed time + latency) - 1 ps.  Everything
+      // a sender could still emit arrives strictly later than that.
+      PROF_ZONE("sim.shard.horizon");
+      for (std::size_t e = 0; e < n; ++e) target[e] = limit_ps;
+      for (const Link& l : links_) {
+        if (l.src == l.dst) continue;
+        const std::int64_t horizon =
+            engines_[l.src]->now().count_ps() + l.latency_ps - 1;
+        target[l.dst] = std::min(target[l.dst], horizon);
+      }
+    }
+
+    tasks.clear();
+    for (std::size_t e = 0; e < n; ++e) {
+      if (target[e] > engines_[e]->now().count_ps()) {
+        Engine* eng = engines_[e].get();
+        const SimTime t = SimTime::from_ps(target[e]);
+        tasks.push_back([eng, t] { eng->run_until(t); });
+      }
+    }
+    if (tasks.empty()) {
+      throw std::logic_error(
+          "ShardGroup::run_until made no progress — a gateway link cycle "
+          "with degenerate latency slipped past validation");
+    }
+    {
+      PROF_ZONE("sim.shard.advance");
+      if (pool != nullptr) {
+        pool->run_batch(tasks);
+      } else {
+        for (const auto& t : tasks) t();
+      }
+    }
+    {
+      // Barrier handoff: move everything the senders emitted into the
+      // receivers' ingress buffers.  Serial, in link-id order — though the
+      // order is immaterial, since delivery order is fixed by
+      // (arrival, link, seq) at drain time.
+      PROF_ZONE("sim.shard.handoff");
+      for (std::size_t li = 0; li < links_.size(); ++li) {
+        Link& l = links_[li];
+        if (l.src == l.dst || l.pending.empty()) continue;
+        for (PendingMsg& m : l.pending) {
+          ingress_push(l.dst, m.arrival_ps,
+                       IngressEntry{li, m.seq, m.send_ps, std::move(m.fn)});
+          ++cross_handoffs_;
+        }
+        l.pending.clear();
+      }
+    }
+    ++rounds_;
+  }
+}
+
+std::uint64_t ShardGroup::deliveries() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t d : deliveries_by_engine_) total += d;
+  return total;
+}
+
+std::vector<HandoffRecord> ShardGroup::handoff_records() const {
+  std::vector<HandoffRecord> all;
+  for (const auto& per : records_by_engine_) {
+    all.insert(all.end(), per.begin(), per.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const HandoffRecord& a, const HandoffRecord& b) {
+              if (a.arrival_ps != b.arrival_ps) return a.arrival_ps < b.arrival_ps;
+              if (a.link != b.link) return a.link < b.link;
+              return a.seq < b.seq;
+            });
+  return all;
+}
+
+}  // namespace nti::sim

@@ -1,0 +1,147 @@
+// ShardGroup: conservative parallel discrete-event simulation over a set
+// of independently scheduled engines (docs/SHARDING.md).
+//
+// Each shard is one sim::Engine (its own slab/4-ary-heap queue, its own
+// virtual time).  Shards are joined by directed *gateway links* with a
+// fixed positive latency; that latency is the classic null-message-style
+// lookahead bound: a shard may only advance to
+//
+//   min(limit, min over in-links (now(src shard) + link latency) - 1 ps)
+//
+// so every message it could still receive lies strictly in its future.
+// Cross-shard messages are handed off through per-link FIFO queues stamped
+// with the sender's virtual time; the queues are written only by the
+// sending shard during the parallel phase and drained only by the serial
+// barrier phase, so the group needs no locks of its own — the thread-pool
+// barrier provides the happens-before edges (TSan-clean by construction).
+//
+// Determinism is the hard contract here: the observable event order is
+// byte-identical no matter how segments are grouped onto shards or how
+// many pool threads run them.  Two mechanisms deliver that:
+//   1. every delivery — even on a link whose endpoints share an engine —
+//      goes through a per-engine *ingress buffer* keyed by arrival time;
+//      the buffer's drain event runs in the engine's front band
+//      (Engine::schedule_at_front), so deliveries at time t always execute
+//      before all local events at t, regardless of when the drain was
+//      scheduled (at send time intra-shard vs at a barrier cross-shard);
+//   2. within one arrival time, entries execute sorted by
+//      (link id, per-link sequence number) — both assigned by construction
+//      order, never by shard or thread.
+//
+// Progress: link latencies are validated >= kMinLinkLatency, so the shard
+// holding the minimum virtual time always advances by at least
+// latency - 1 ps per round; the loop terminates for every finite limit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/time_types.hpp"
+#include "mc/pool.hpp"
+#include "sim/engine.hpp"
+
+namespace nti::sim {
+
+/// One cross-shard delivery, retained when set_record_handoffs(true); the
+/// lookahead property test asserts delivered == send + latency for every
+/// record and that no delivery ever ran early.
+struct HandoffRecord {
+  std::size_t link = 0;
+  std::uint64_t seq = 0;
+  std::int64_t send_ps = 0;      ///< sender's virtual time at send()
+  std::int64_t arrival_ps = 0;   ///< send + link latency
+  std::int64_t delivered_ps = 0; ///< receiver's virtual time at execution
+};
+
+class ShardGroup {
+ public:
+  /// Links shorter than this cannot bound lookahead meaningfully (the
+  /// advance target is horizon - 1 ps, so latency <= 1 ps would deadlock).
+  static constexpr Duration kMinLinkLatency = Duration::ns(1);
+
+  explicit ShardGroup(std::size_t num_engines);
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  std::size_t num_engines() const { return engines_.size(); }
+  Engine& engine(std::size_t i) { return *engines_[i]; }
+
+  /// Register a directed gateway link; returns its link id (registration
+  /// order — the cross-link delivery tie-break, so register links in a
+  /// topology-determined order, never a shard-determined one).  Throws
+  /// std::invalid_argument on latency < kMinLinkLatency.
+  std::size_t add_link(std::size_t src_engine, std::size_t dst_engine,
+                       Duration latency);
+
+  /// Send `deliver` over `link` from within an event executing on the
+  /// link's source engine; it runs on the destination engine at
+  /// now(src) + latency, ahead of that instant's local events.
+  void send(std::size_t link, EventFn deliver);
+
+  /// Advance every engine to `limit` under the lookahead rule.  `pool` may
+  /// be nullptr (or single-threaded) for serial execution; with a real pool
+  /// each round's eligible shards run as one barrier batch.
+  void run_until(SimTime limit, mc::ThreadPool* pool = nullptr);
+
+  /// Lookahead rounds executed (advance + barrier iterations).
+  std::uint64_t rounds() const { return rounds_; }
+  /// Total link deliveries executed (intra- and cross-shard).
+  std::uint64_t deliveries() const;
+  /// Deliveries that crossed shards through a handoff queue (the rest were
+  /// intra-shard and entered the ingress buffer directly at send time).
+  std::uint64_t cross_shard_handoffs() const { return cross_handoffs_; }
+
+  void set_record_handoffs(bool on) { record_ = on; }
+  /// All recorded deliveries, merged across engines and sorted by
+  /// (arrival, link, seq).
+  std::vector<HandoffRecord> handoff_records() const;
+
+ private:
+  struct IngressEntry {
+    std::size_t link;
+    std::uint64_t seq;
+    std::int64_t send_ps;
+    EventFn fn;
+  };
+  struct PendingMsg {
+    std::int64_t send_ps;
+    std::int64_t arrival_ps;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Link {
+    std::size_t src;
+    std::size_t dst;
+    std::int64_t latency_ps;
+    std::uint64_t next_seq = 0;
+    /// Cross-shard handoff FIFO: appended by the src shard while it runs,
+    /// drained into the dst ingress at the next barrier.
+    std::vector<PendingMsg> pending;
+  };
+  /// Per-engine ingress: arrival time -> entries.  Creating a key
+  /// schedules exactly one front-band drain event at that time.
+  struct Ingress {
+    std::map<std::int64_t, std::vector<IngressEntry>> by_arrival;
+  };
+
+  void ingress_push(std::size_t dst_engine, std::int64_t arrival_ps,
+                    IngressEntry entry);
+  void drain_at(std::size_t engine_index, std::int64_t arrival_ps);
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<Link> links_;
+  std::vector<Ingress> ingress_;
+  std::uint64_t rounds_ = 0;       ///< serial phase only
+  std::uint64_t cross_handoffs_ = 0;  ///< serial phase only
+  /// Indexed by (destination) engine so drain events running concurrently
+  /// on different shards never share a counter or a record vector.
+  std::vector<std::uint64_t> deliveries_by_engine_;
+  bool record_ = false;
+  std::vector<std::vector<HandoffRecord>> records_by_engine_;
+};
+
+}  // namespace nti::sim

@@ -156,5 +156,45 @@ TEST(Engine, CountsExecutedAndPending) {
   EXPECT_EQ(e.events_pending(), 0u);
 }
 
+TEST(Engine, FrontBandFiresBeforeNormalAtSameTime) {
+  Engine e;
+  std::vector<int> order;
+  // Scheduled last, yet the front-band event must pop first at t = 50.
+  e.schedule_at(SimTime::from_ps(50), [&] { order.push_back(1); });
+  e.schedule_at(SimTime::from_ps(50), [&] { order.push_back(2); });
+  e.schedule_at_front(SimTime::from_ps(50), [&] { order.push_back(0); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, FrontBandStillOrderedByTime) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime::from_ps(10), [&] { order.push_back(1); });
+  e.schedule_at_front(SimTime::from_ps(20), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now().count_ps(), 20);
+}
+
+TEST(Engine, FrontBandFifoAmongItself) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    e.schedule_at_front(SimTime::from_ps(5), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, FrontBandCancellable) {
+  Engine e;
+  bool fired = false;
+  EventHandle h = e.schedule_at_front(SimTime::from_ps(5), [&] { fired = true; });
+  h.cancel();
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
 }  // namespace
 }  // namespace nti::sim

@@ -1,0 +1,134 @@
+// Differential oracle for the sharded event engine (docs/SHARDING.md).
+//
+// Dozens of seeded random multi-segment topologies run through the sharded
+// engine at several shard counts and are compared byte-for-byte — probe
+// trajectory, per-segment metrics JSON, per-segment trace CSV — against the
+// monolithic reference (every segment on one engine, executed serially).
+// A separate case pins the degenerate end: a single-segment ShardedCluster
+// must reproduce the classic Cluster's probe trajectory exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/sharded.hpp"
+#include "cluster/topology.hpp"
+#include "common/rng.hpp"
+
+namespace nti {
+namespace {
+
+cluster::ClusterConfig base_config(std::uint64_t seed) {
+  cluster::ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.sync.round_period = Duration::ms(200);
+  cfg.sync.resync_offset = Duration::ms(50);
+  cfg.initial_offset_spread = Duration::us(100);
+  cfg.trace_capacity = 2048;
+  return cfg;
+}
+
+std::string run_signature(const cluster::TopologySpec& topo, std::size_t shards,
+                          std::size_t threads, std::uint64_t seed) {
+  cluster::ClusterConfig cfg = base_config(seed);
+  cfg.topology = topo;
+  cfg.topology.shards = shards;
+  cfg.topology.threads = threads;
+  cluster::ShardedCluster sc(std::move(cfg));
+  sc.start();
+  sc.run(Duration::ms(900), Duration::ms(300));
+  return sc.output_signature();
+}
+
+TEST(ShardDifferential, RandomTopologiesMatchMonolithicOracle) {
+  int topologies = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RngStream rng(seed * 977);
+    const int segments = static_cast<int>(rng.uniform_int(2, 4));
+    const int nodes = static_cast<int>(rng.uniform_int(2, 4));
+    cluster::TopologySpec topo = cluster::TopologySpec::ad_hoc(
+        segments, nodes, 0.3, Duration::ms(1), seed);
+    // Heterogeneous gateway latencies, including asymmetric directions.
+    for (cluster::TopoLink& l : topo.links) {
+      l.latency = rng.uniform(Duration::us(50), Duration::ms(2));
+    }
+    topo.bridge_phase = Duration::ms(60);
+
+    // The monolithic reference: every segment on ONE engine, run serially.
+    const std::string oracle = run_signature(topo, 1, 1, seed);
+    ASSERT_FALSE(oracle.empty());
+
+    const auto n_seg = static_cast<std::size_t>(segments);
+    for (const std::size_t shards : {std::size_t{2}, n_seg}) {
+      const std::string sharded = run_signature(topo, shards, 2, seed);
+      ASSERT_EQ(oracle, sharded)
+          << "seed " << seed << ": " << segments << " segments x " << nodes
+          << " nodes diverged at shards=" << shards;
+    }
+    ++topologies;
+  }
+  EXPECT_EQ(topologies, 12);
+}
+
+TEST(ShardDifferential, ShardedRunActuallyCrossesShards) {
+  // Guard against a vacuous oracle: the sharded configuration must really
+  // exchange capsules across shard boundaries.
+  cluster::TopologySpec topo =
+      cluster::TopologySpec::chain(3, 2, Duration::ms(1));
+  topo.bridge_phase = Duration::ms(60);
+  cluster::ClusterConfig cfg = base_config(7);
+  cfg.topology = topo;
+  cfg.topology.shards = 3;
+  cluster::ShardedCluster sc(std::move(cfg));
+  sc.start();
+  sc.run(Duration::ms(900), Duration::ms(300));
+  EXPECT_GT(sc.group().cross_shard_handoffs(), 0u);
+  EXPECT_GT(sc.group().deliveries(), 0u);
+  EXPECT_GT(sc.probes_taken(), 0u);
+  // Non-reference segments fuse the gateway capsule as an extra
+  // (pseudo-peer) observation each round.
+  EXPECT_GT(sc.segment(1).sync(0).csps_used(), 0u);
+}
+
+TEST(ShardDifferential, SingleSegmentMatchesMonolithicCluster) {
+  // With one segment and no links the sharded machinery must be an exact
+  // identity wrapper: same trajectory as a classic Cluster built with the
+  // segment's derived seed.
+  const std::uint64_t seed = 4242;
+  cluster::ClusterConfig cfg = base_config(seed);
+  cfg.topology.segment_sizes = {4};
+
+  cluster::ShardedCluster sc(cfg);
+  sc.start();
+  std::vector<cluster::ProbeSample> sharded;
+  sc.on_probe = [&](const cluster::ProbeSample& s) { sharded.push_back(s); };
+  sc.run(Duration::ms(900), Duration::ms(300));
+
+  cluster::ClusterConfig mono = base_config(seed);
+  mono.num_nodes = 4;
+  mono.seed = RngStream(seed).fork("segment", 0).next_u64();
+  cluster::Cluster ref(std::move(mono));
+  ref.start();
+  std::vector<cluster::ProbeSample> reference;
+  ref.on_probe = [&](const cluster::ProbeSample& s) { reference.push_back(s); };
+  ref.run(Duration::ms(900), Duration::ms(300));
+
+  ASSERT_GT(sharded.size(), 0u);
+  ASSERT_EQ(sharded.size(), reference.size());
+  for (std::size_t i = 0; i < sharded.size(); ++i) {
+    EXPECT_EQ(sharded[i].t.count_ps(), reference[i].t.count_ps()) << i;
+    EXPECT_EQ(sharded[i].precision.count_ps(), reference[i].precision.count_ps())
+        << i;
+    EXPECT_EQ(sharded[i].worst_accuracy.count_ps(),
+              reference[i].worst_accuracy.count_ps())
+        << i;
+    EXPECT_EQ(sharded[i].mean_alpha.count_ps(), reference[i].mean_alpha.count_ps())
+        << i;
+  }
+  EXPECT_EQ(sc.containment_violations(), ref.containment_violations());
+}
+
+}  // namespace
+}  // namespace nti

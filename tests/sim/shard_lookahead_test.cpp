@@ -1,0 +1,159 @@
+// Lookahead property tests for the sharded event engine (docs/SHARDING.md).
+//
+// The conservative-lookahead contract under randomized link latencies and
+// send schedules: no delivery executes before send + link latency (in fact
+// exactly at it), per-shard virtual time never runs backwards as seen by
+// deliveries, per-segment trace timestamps are monotone, and zero-latency
+// gateway links — which would leave a shard no safe horizon — are rejected
+// at validation with an explanatory error.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/sharded.hpp"
+#include "cluster/topology.hpp"
+#include "common/rng.hpp"
+#include "sim/periodic.hpp"
+#include "sim/shard.hpp"
+
+namespace nti {
+namespace {
+
+TEST(ShardLookahead, DeliveredExactlyAtSendPlusLatencyRandomized) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    RngStream rng(seed * 7919 + 1);
+    sim::ShardGroup group(3);
+    struct TestLink {
+      std::size_t id;
+      std::size_t src;
+      std::int64_t latency_ps;
+    };
+    std::vector<TestLink> links;
+    for (int i = 0; i < 4; ++i) {
+      const auto src = static_cast<std::size_t>(rng.uniform_int(0, 2));
+      auto dst = static_cast<std::size_t>(rng.uniform_int(0, 2));
+      if (dst == src) dst = (dst + 1) % 3;
+      const Duration latency = rng.uniform(Duration::us(1), Duration::ms(5));
+      links.push_back(
+          TestLink{group.add_link(src, dst, latency), src, latency.count_ps()});
+    }
+    group.set_record_handoffs(true);
+
+    std::size_t expected = 0;
+    for (const TestLink& l : links) {
+      for (int k = 0; k < 25; ++k) {
+        const SimTime t =
+            SimTime::epoch() + rng.uniform(Duration::us(1), Duration::ms(80));
+        group.engine(l.src).schedule_at(
+            t, [&group, id = l.id] { group.send(id, [] {}); });
+        ++expected;
+      }
+    }
+    group.run_until(SimTime::epoch() + Duration::ms(100));
+
+    const auto records = group.handoff_records();
+    ASSERT_EQ(records.size(), expected) << "seed " << seed;
+    for (const sim::HandoffRecord& r : records) {
+      const std::int64_t latency_ps = links[r.link].latency_ps;
+      // The hard property: never early...
+      EXPECT_GE(r.delivered_ps, r.send_ps + latency_ps) << "seed " << seed;
+      // ...and this engine delivers with zero scheduling slop.
+      EXPECT_EQ(r.arrival_ps, r.send_ps + latency_ps) << "seed " << seed;
+      EXPECT_EQ(r.delivered_ps, r.arrival_ps) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ShardLookahead, DeliveryTimesMonotonePerShard) {
+  sim::ShardGroup group(2);
+  const std::size_t l01 = group.add_link(0, 1, Duration::us(10));
+  const std::size_t l10 = group.add_link(1, 0, Duration::us(17));
+
+  std::vector<std::int64_t> seen_on0;
+  std::vector<std::int64_t> seen_on1;
+  sim::PeriodicTask ping(
+      group.engine(0), SimTime::epoch() + Duration::us(3), Duration::us(7),
+      [&](std::uint64_t) {
+        group.send(l01, [&] { seen_on1.push_back(group.engine(1).now().count_ps()); });
+      });
+  sim::PeriodicTask pong(
+      group.engine(1), SimTime::epoch() + Duration::us(5), Duration::us(11),
+      [&](std::uint64_t) {
+        group.send(l10, [&] { seen_on0.push_back(group.engine(0).now().count_ps()); });
+      });
+  group.run_until(SimTime::epoch() + Duration::ms(2));
+
+  ASSERT_GT(seen_on0.size(), 50u);
+  ASSERT_GT(seen_on1.size(), 50u);
+  for (std::size_t i = 1; i < seen_on0.size(); ++i) {
+    ASSERT_LE(seen_on0[i - 1], seen_on0[i]);
+  }
+  for (std::size_t i = 1; i < seen_on1.size(); ++i) {
+    ASSERT_LE(seen_on1[i - 1], seen_on1[i]);
+  }
+  EXPECT_GT(group.cross_shard_handoffs(), 0u);
+}
+
+TEST(ShardLookahead, SegmentTraceTimestampsMonotone) {
+  cluster::ClusterConfig cfg;
+  cfg.seed = 21;
+  cfg.sync.round_period = Duration::ms(200);
+  cfg.sync.resync_offset = Duration::ms(50);
+  cfg.initial_offset_spread = Duration::us(100);
+  cfg.trace_capacity = 4096;
+  cfg.topology = cluster::TopologySpec::chain(3, 3, Duration::ms(1));
+  cfg.topology.bridge_phase = Duration::ms(60);
+
+  cluster::ShardedCluster sc(cfg);
+  sc.start();
+  sc.run(Duration::ms(900), Duration::ms(200));
+
+  for (int s = 0; s < sc.num_segments(); ++s) {
+    obs::TraceRing* ring = sc.segment(s).trace();
+    ASSERT_NE(ring, nullptr);
+    ASSERT_GT(ring->size(), 0u) << "segment " << s;
+    for (std::size_t i = 1; i < ring->size(); ++i) {
+      ASSERT_LE(ring->at(i - 1).t.count_ps(), ring->at(i).t.count_ps())
+          << "segment " << s << " record " << i;
+    }
+  }
+  EXPECT_GT(sc.group().deliveries(), 0u);
+}
+
+TEST(ShardLookahead, ZeroLatencyLinkRejectedByGroup) {
+  sim::ShardGroup group(2);
+  try {
+    group.add_link(0, 1, Duration::zero());
+    FAIL() << "zero-latency link must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("lookahead"), std::string::npos)
+        << "error should explain the lookahead rule, got: " << e.what();
+  }
+  // Sub-nanosecond is just as degenerate: the advance target is
+  // horizon - 1 ps, so a 1 ps link would deadlock the receiving shard.
+  EXPECT_THROW(group.add_link(0, 1, Duration::ps(999)), std::invalid_argument);
+  EXPECT_NO_THROW(group.add_link(0, 1, sim::ShardGroup::kMinLinkLatency));
+}
+
+TEST(ShardLookahead, ZeroLatencyLinkRejectedByTopologyValidation) {
+  cluster::TopologySpec topo;
+  topo.segment_sizes = {2, 2};
+  topo.links.push_back(cluster::TopoLink{0, 1, Duration::zero()});
+  try {
+    topo.validate();
+    FAIL() << "zero-latency gateway must be rejected at config validation";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("lookahead"), std::string::npos)
+        << "error should explain the lookahead rule, got: " << e.what();
+  }
+
+  cluster::ClusterConfig cfg;
+  cfg.topology = topo;
+  EXPECT_THROW(cluster::ShardedCluster{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nti

@@ -429,6 +429,27 @@ def self_test() -> int:
                    "--compare", "--min-ratio", "t.csps_per_sec=0.7", "--gate"])
         expect(rc == 1, f"gated compare: rc {rc} != 1")
 
+        # Gating path, exhaustively (this is what CI's sixth gate runs):
+        # a satisfied floor gates green ...
+        rc = main(["collect_bench.py", str(cur_d), "--baseline", str(base_d),
+                   "--compare", "--min-ratio", "t.csps_per_sec=0.4", "--gate"])
+        expect(rc == 0, f"gated compare, floor satisfied: rc {rc} != 0")
+        # ... a breached --max-ratio ceiling gates red ...
+        rc = main(["collect_bench.py", str(cur_d), "--baseline", str(base_d),
+                   "--compare", "--max-ratio", "*.precision_us=1.05",
+                   "--gate"])
+        expect(rc == 1, f"gated compare, ceiling breached: rc {rc} != 1")
+        # ... and a bare metric name (no "<bench>." prefix) binds NOTHING:
+        # patterns match the full "<bench>.<metric>" key, so a prefix-less
+        # threshold silently gates zero metrics.  Pinned here because the
+        # CI workflow shipped exactly this mistake for two PRs.
+        rc = main(["collect_bench.py", str(cur_d), "--baseline", str(base_d),
+                   "--compare", "--min-ratio", "csps_per_sec=0.7", "--gate"])
+        expect(rc == 0, f"gated compare, unbound bare pattern: rc {rc} != 0")
+        delta = json.loads((cur_d / "BENCH_DELTA.json").read_text())
+        expect(delta["regressions"] == [],
+               f"bare pattern unexpectedly bound: {delta['regressions']}")
+
     if failures:
         for f in failures:
             print(f"collect_bench self-test FAILED: {f}", file=sys.stderr)

@@ -40,6 +40,15 @@ Rules (category in parentheses is the sanction key):
             (docs/PERFORMANCE.md).  The pre-rewrite implementation is kept
             for comparison in bench/micro/legacy_engine.hpp, outside this
             tool's walk.
+  shard     No concurrency primitives (std::thread/mutex/atomic/
+            condition_variable/future/..., thread_local) anywhere in src/
+            outside the thread-pool home (src/mc/pool.*).  The sharded
+            engine's determinism argument rests on segments sharing *no*
+            mutable state outside the per-link handoff queues, with the
+            pool's barrier providing every happens-before edge
+            (docs/SHARDING.md); ad-hoc synchronization anywhere else is
+            either a determinism hazard or belongs in the pool.  Sanctioned
+            call sites must state why no output byte can depend on them.
 
 Sanction grammar (reason text after ``:`` is mandatory -- an unexplained
 exemption is itself a defect):
@@ -67,7 +76,7 @@ import sys
 import tempfile
 
 CATEGORIES = ("float", "nondet", "unordered", "offset", "metric", "alloc",
-              "prof")
+              "prof", "shard")
 
 # Directories (relative to the repo root) whose files are linted at all.
 SRC_ROOT = "src"
@@ -80,6 +89,10 @@ OFFSET_HOME_FILES = ("src/nti/memmap.hpp", "src/utcsu/regs.hpp")
 
 # The profiler's home: the only path prefix allowed to read wall clocks.
 PROF_HOME_PREFIX = "src/obs/prof"
+
+# The thread pool's home: the only path prefix allowed to hold concurrency
+# primitives (docs/SHARDING.md).
+POOL_HOME_PREFIX = "src/mc/pool."
 
 # Documented metric-name roots (first dotted segment of a full name or of a
 # register_metrics prefix).  Extend here *and* in docs/STATIC_ANALYSIS.md.
@@ -112,6 +125,14 @@ PROF_RE = re.compile(
     r"|\brdtscp?\s*\("
 )
 UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+SHARD_RE = re.compile(
+    r"std::(?:jthread|thread|mutex|recursive_mutex|shared_mutex|timed_mutex"
+    r"|condition_variable(?:_any)?|atomic\w*|lock_guard|unique_lock"
+    r"|scoped_lock|shared_lock|async|future|shared_future|promise|barrier"
+    r"|latch|counting_semaphore|binary_semaphore|call_once|once_flag"
+    r"|stop_token)\b"
+    r"|\bthread_local\b"
+)
 ALLOC_RE = re.compile(r"\bmake_shared\s*<[^>]*EventState")
 HEX_RE = re.compile(r"0[xX][0-9a-fA-F'][0-9a-fA-F']*")
 BUS_CALL_RE = re.compile(r"\b(bus_read|bus_write|cpu_read32|cpu_write32)\s*\(")
@@ -248,7 +269,9 @@ class FileLinter:
     def handle_sanction(self, lineno: int, comment: str):
         m = SANCTION_RE.search(comment)
         if m is None:
-            if "nti-lint" in comment:
+            # Only the directive form `nti-lint:` is parsed; prose mentions
+            # of the tool by name ("nti-lint's shard rule") are just text.
+            if "nti-lint:" in comment:
                 self.errors.append(Violation(
                     self.relpath, lineno, "sanction",
                     "unparseable nti-lint directive"))
@@ -295,6 +318,9 @@ class FileLinter:
     def is_prof_home(self) -> bool:
         return self.relpath.startswith(PROF_HOME_PREFIX)
 
+    def is_pool_home(self) -> bool:
+        return self.relpath.startswith(POOL_HOME_PREFIX)
+
     def check_line(self, lineno: int, code: str):
         if self.in_clock_core() and FLOAT_RE.search(code):
             self.report(lineno, "float",
@@ -319,6 +345,17 @@ class FileLinter:
             self.report(lineno, "unordered",
                         f"hash container '{m.group(0)}': iteration order "
                         "depends on library layout; use std::map/std::set")
+        if not self.is_pool_home():
+            m = SHARD_RE.search(code)
+            if m:
+                self.report(
+                    lineno, "shard",
+                    f"concurrency primitive '{m.group(0).strip()}' outside "
+                    f"the thread-pool home ({POOL_HOME_PREFIX}*): shards must "
+                    "share no mutable state outside the handoff queues "
+                    "(docs/SHARDING.md); route work through mc::ThreadPool, "
+                    "or sanction with a reason no output byte can depend "
+                    "on it")
         m = ALLOC_RE.search(code)
         if m:
             self.report(lineno, "alloc",
@@ -542,6 +579,40 @@ double wall_seconds() {
 }  // namespace nti::sim
 """
 
+FIXTURE_BAD_SHARD = """\
+#include <atomic>
+#include <mutex>
+namespace nti::cluster {
+std::mutex segment_lock;                              // shard violation
+std::atomic<int> shared_counter{0};                   // shard violation
+void bump() {
+  std::lock_guard<std::mutex> lk(segment_lock);       // shard violation
+  shared_counter++;
+}
+}  // namespace nti::cluster
+"""
+
+# Concurrency primitives are legal in the pool's home (src/mc/pool.*) and
+# behind an explicit shard sanction elsewhere.
+FIXTURE_POOL_HOME = """\
+#include <mutex>
+#include <thread>
+namespace nti::mc {
+std::mutex mu;
+std::thread worker;
+}  // namespace nti::mc
+"""
+
+FIXTURE_SHARD_SANCTIONED = """\
+namespace nti::obs {
+unsigned probe_cores() {
+  // nti-lint: allow(shard): sizing hint recorded in the manifest only;
+  // never feeds back into simulation state.
+  return std::thread::hardware_concurrency();
+}
+}  // namespace nti::obs
+"""
+
 # Wall-clock reads are legal in the profiler's home (src/obs/prof*) and
 # behind an explicit prof sanction elsewhere.
 FIXTURE_PROF_HOME = """\
@@ -610,6 +681,7 @@ def self_test() -> int:
         put("src/utcsu/bad.cpp", FIXTURE_BAD_UTCSU)
         put("src/obs/bad.cpp", FIXTURE_BAD_OBS)
         put("src/sim/bad.cpp", FIXTURE_BAD_SIM)
+        put("src/cluster/bad_shard.cpp", FIXTURE_BAD_SHARD)
         v, e = lint_tree(tmp)
         cats = sorted(x.cat for x in v)
         expect(e == [], f"seeded tree: sanction errors {[str(x) for x in e]}")
@@ -621,6 +693,7 @@ def self_test() -> int:
         expect(cats.count("metric") == 2, f"want 2 metric violations, got {cats}")
         expect(cats.count("alloc") == 1, f"want 1 alloc violation, got {cats}")
         expect(cats.count("prof") == 2, f"want 2 prof violations, got {cats}")
+        expect(cats.count("shard") == 3, f"want 3 shard violations, got {cats}")
 
     with tempfile.TemporaryDirectory() as tmp:
         def put(rel, text):
@@ -633,6 +706,8 @@ def self_test() -> int:
         put("src/utcsu/strings.cpp", FIXTURE_STRINGS)
         put("src/obs/prof_fixture.cpp", FIXTURE_PROF_HOME)
         put("src/mc/wall.cpp", FIXTURE_PROF_SANCTIONED)
+        put("src/mc/pool.cpp", FIXTURE_POOL_HOME)
+        put("src/obs/cores.cpp", FIXTURE_SHARD_SANCTIONED)
         v, e = lint_tree(tmp)
         expect(v == [], f"clean tree: violations {[str(x) for x in v]}")
         expect(e == [], f"clean tree: errors {[str(x) for x in e]}")
