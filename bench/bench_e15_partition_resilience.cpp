@@ -1,0 +1,301 @@
+// E15: partition resilience of the sharded topology (docs/FAULTS.md,
+// docs/SHARDING.md).
+//
+// Three measurements on gateway-partitioned multi-segment topologies:
+//   1. the partition matrix: topology shape (chain / tree / mesh) x outage
+//      duration (short / long), each cell cutting link 0 with a
+//      gateway_partition fault.  Per cell: containment violations (must be
+//      zero -- deteriorating the bound instead of freezing it is the whole
+//      point), peak holdover alpha, holdover rounds, and rounds-to-resync
+//      after heal (bounded by rejoin_rounds + capture phase);
+//   2. the deterioration law: short and long outages share every byte of
+//      pre-cut history (same seed, same grid), so the peak-alpha
+//      difference between them is a pure measurement of the holdover
+//      widening rate.  It must match the analytic rho * delta-t slope --
+//      the ACU law the guard implements -- within quantization and
+//      check-phase margin;
+//   3. the determinism cross-check: a chain with an ACTIVE fault plan
+//      (stochastic capsule loss + corruption + a partition window) must
+//      produce a byte-identical output signature across shard counts
+//      {1, 2, 4} x NTI_MC_THREADS {1, 2, 4} -- faults, holdover and
+//      rejoin transitions included.
+//
+// The PROF_ZONE attribution of the capsule tap (fault.capsule.tx / rx) and
+// the shard scheduler (sim.shard.*) is captured from the long-chain cell
+// into the report's `prof` section and PROF_e15_partition_resilience.json.
+//
+// `--smoke` shrinks segment populations and the identity horizon for the
+// CI resilience gate (ctest -L resilience); metric keys are identical in
+// both modes so the bench-delta baseline stays comparable.
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nti_api.hpp"
+
+using namespace nti;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 1515;
+const Duration kRound = Duration::ms(200);
+const SimTime kEpoch = SimTime::epoch();
+// Converged-link bound budget for the absolute peak-alpha check: the alpha
+// carried by the last accepted capsule before the cut (link alpha plus the
+// fold-in terms, ~46-52 us across the matrix) stays under this at these
+// horizons; everything above it must come from the rho * delta-t
+// deterioration itself.  The precise rate check is the slope ratio below;
+// this cap only rules out gross misbehaviour (a frozen or runaway bound).
+const Duration kAlphaBudget = Duration::us(60);
+
+cluster::ClusterConfig cell_config(cluster::TopologySpec topo) {
+  cluster::ClusterConfig cfg;
+  cfg.seed = kSeed;
+  cfg.sync.round_period = kRound;
+  cfg.sync.resync_offset = Duration::ms(50);
+  cfg.initial_offset_spread = Duration::us(100);
+  cfg.trace_capacity = 32768;
+  cfg.topology = std::move(topo);
+  cfg.topology.bridge_phase = Duration::ms(60);
+  cfg.topology.shards = static_cast<std::size_t>(cfg.topology.num_segments());
+  cfg.topology.threads = 0;  // NTI_MC_THREADS, then hardware
+  return cfg;
+}
+
+struct CellResult {
+  std::uint64_t violations = 0;
+  std::uint64_t holdover_rounds = 0;
+  std::uint64_t holdover_offers = 0;
+  std::uint64_t accuracy_broken = 0;
+  Duration peak_alpha;
+  bool resynced = false;
+  double rounds_to_resync = 0.0;
+};
+
+CellResult run_cell(cluster::TopologySpec topo, Duration outage,
+                    bool profiled) {
+  cluster::ClusterConfig cfg = cell_config(std::move(topo));
+  const SimTime cut = kEpoch + Duration::ms(1000);
+  const SimTime heal = cut + outage;
+  cfg.faults.add(fault::FaultSpec::gateway_partition(/*link=*/0, cut, heal));
+  cluster::ShardedCluster sc(std::move(cfg));
+  sc.start();
+  if (profiled) {
+    obs::prof::reset();
+    obs::prof::set_enabled(true);
+  }
+  // Heal + 1.4 s leaves the guard time to walk REJOINING back to
+  // SYNCHRONIZED and prove a few clean rounds.
+  sc.run(outage + Duration::ms(2400), Duration::ms(400), Duration::ms(100));
+  if (profiled) obs::prof::set_enabled(false);
+
+  cluster::GatewayLinkRx& rx = sc.gateway_rx(0);
+  const node::GatewayGuard& guard = rx.guard();
+  CellResult r;
+  r.violations = sc.containment_violations();
+  r.holdover_rounds = guard.holdover_rounds();
+  r.holdover_offers = rx.holdover_offers();
+  r.accuracy_broken = guard.accuracy_broken();
+  r.peak_alpha = guard.peak_holdover_alpha();
+  r.resynced = guard.state() == node::GatewayState::kSynchronized &&
+               rx.last_sync_time() > heal;
+  if (r.resynced) {
+    r.rounds_to_resync =
+        static_cast<double>((rx.last_sync_time() - heal).count_ps()) /
+        static_cast<double>(kRound.count_ps());
+  }
+  return r;
+}
+
+std::string identity_signature(std::size_t shards, bool smoke) {
+  cluster::ClusterConfig cfg;
+  cfg.seed = kSeed;
+  cfg.sync.round_period = kRound;
+  cfg.sync.resync_offset = Duration::ms(50);
+  cfg.initial_offset_spread = Duration::us(100);
+  cfg.trace_capacity = 8192;
+  cfg.topology = cluster::TopologySpec::chain(4, 3, Duration::ms(1));
+  cfg.topology.bridge_phase = Duration::ms(60);
+  cfg.topology.shards = shards;
+  cfg.topology.threads = 0;  // NTI_MC_THREADS, then hardware
+  cfg.faults.add(fault::FaultSpec::gateway_capsule_loss(0.3))
+      .add(fault::FaultSpec::capsule_corrupt(0.2, /*link=*/1))
+      .add(fault::FaultSpec::gateway_partition(
+          0, kEpoch + Duration::ms(800), kEpoch + Duration::ms(1400)));
+  cluster::ShardedCluster sc(std::move(cfg));
+  sc.start();
+  sc.run(smoke ? Duration::ms(1600) : Duration::ms(2400), Duration::ms(300),
+         Duration::ms(100));
+  return sc.output_signature();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  bench::header(
+      "E15: partition resilience (gateway holdover state machine)",
+      "on synchronization loss the bound deteriorates at rho per elapsed "
+      "tick (the ACU law) instead of lying; containment holds through "
+      "partition, holdover and rejoin");
+
+  const int nodes_per_segment = smoke ? 3 : 4;
+  const Duration lat = Duration::ms(1);
+  const Duration short_outage = Duration::ms(800);
+  const Duration long_outage = Duration::ms(1600);
+  const double rho_ppm = cluster::ClusterConfig{}.sync.rho_bound_ppm;
+
+  bench::BenchReport report("e15_partition_resilience");
+  report.manifest_seed(kSeed);
+  report.config("smoke", smoke ? 1.0 : 0.0);
+  report.config("nodes_per_segment", static_cast<double>(nodes_per_segment));
+  report.config("round_period", kRound);
+  report.config("rho_ppm", rho_ppm);
+  report.config("short_outage", short_outage);
+  report.config("long_outage", long_outage);
+
+  struct Shape {
+    const char* name;
+    cluster::TopologySpec topo;
+  };
+  const std::vector<Shape> shapes = {
+      {"chain", cluster::TopologySpec::chain(3, nodes_per_segment, lat)},
+      {"tree", cluster::TopologySpec::tree(2, 1, nodes_per_segment, lat)},
+      {"mesh", cluster::TopologySpec::mesh(3, nodes_per_segment, lat)},
+  };
+
+  // --- partition matrix: shape x outage duration -------------------------
+  std::uint64_t total_violations = 0;
+  bool holdover_within_bound = true;
+  bool resync_bounded = true;
+  for (const Shape& shape : shapes) {
+    Duration peak[2];
+    for (int d = 0; d < 2; ++d) {
+      const Duration outage = d == 0 ? short_outage : long_outage;
+      const char* dur = d == 0 ? "short" : "long";
+      // The long chain cell doubles as the profiled run (sim.shard.* +
+      // fault.capsule.* zone attribution).
+      const bool profiled =
+          d == 1 && std::strcmp(shape.name, "chain") == 0;
+      const CellResult r = run_cell(shape.topo, outage, profiled);
+      if (profiled) {
+        report.prof_zones(obs::prof::snapshot());
+        bench::write_prof_json("e15_partition_resilience",
+                               obs::prof::snapshot(), kSeed,
+                               static_cast<std::size_t>(
+                                   shape.topo.num_segments()));
+      }
+      peak[d] = r.peak_alpha;
+      total_violations += r.violations;
+
+      // Absolute sanity: the peak bound is the converged-link budget plus
+      // the analytic deterioration over the outage (the last accept can
+      // predate the cut by up to a capture period, and the last holdover
+      // check can trail the heal by one more).
+      const Duration analytic =
+          Duration::ps(static_cast<std::int64_t>(
+              rho_ppm * 1e-6 *
+              static_cast<double>((outage + kRound * 2).count_ps())));
+      const bool cell_ok = r.violations == 0 && r.holdover_rounds > 0 &&
+                           r.accuracy_broken == 0 &&
+                           r.peak_alpha > Duration::zero() &&
+                           r.peak_alpha <= kAlphaBudget + analytic;
+      holdover_within_bound = holdover_within_bound && cell_ok;
+      // Resync after heal within rejoin_rounds + capture/check phase.
+      const bool cell_resync =
+          r.resynced && r.rounds_to_resync > 0.0 &&
+          r.rounds_to_resync <=
+              static_cast<double>(shape.topo.rejoin_rounds + 2);
+      resync_bounded = resync_bounded && cell_resync;
+
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "peak alpha %.3g us (cap %.3g)  resync %.2f rounds  "
+                    "%llu holdover rounds  %llu violations",
+                    r.peak_alpha.to_us_f(),
+                    (kAlphaBudget + analytic).to_us_f(), r.rounds_to_resync,
+                    static_cast<unsigned long long>(r.holdover_rounds),
+                    static_cast<unsigned long long>(r.violations));
+      bench::row((std::string(shape.name) + " / " + dur + " outage").c_str(),
+                 buf);
+      const std::string key = std::string(shape.name) + "_" + dur;
+      report.metric(key + "_peak_holdover_alpha", r.peak_alpha);
+      report.metric(key + "_rounds_to_resync", r.rounds_to_resync);
+      report.metric(key + "_holdover_rounds", r.holdover_rounds);
+      report.metric(key + "_holdover_offers", r.holdover_offers);
+      report.metric(key + "_violations", r.violations);
+    }
+
+    // The deterioration slope: both runs share the pre-cut byte history,
+    // so peak_long - peak_short isolates rho * (long - short).  Margin
+    // covers AlphaUnits round-up and one check-grid phase slip.
+    const double measured_us = (peak[1] - peak[0]).to_us_f();
+    const double analytic_us =
+        rho_ppm * 1e-6 * (long_outage - short_outage).to_us_f();
+    const double ratio = analytic_us > 0.0 ? measured_us / analytic_us : 0.0;
+    const bool slope_ok = ratio >= 0.5 && ratio <= 1.5;
+    holdover_within_bound = holdover_within_bound && slope_ok;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "measured %.3g us vs analytic rho*dt %.3g us (ratio %.2f)",
+                  measured_us, analytic_us, ratio);
+    bench::row((std::string(shape.name) + " alpha growth").c_str(), buf);
+    report.metric(std::string(shape.name) + "_alpha_growth_measured_us",
+                  measured_us);
+    report.metric(std::string(shape.name) + "_alpha_growth_analytic_us",
+                  analytic_us);
+    report.metric(std::string(shape.name) + "_alpha_slope_ratio", ratio);
+  }
+  bench::row("containment violations (all cells)",
+             std::to_string(total_violations));
+
+  // --- byte identity under an active fault plan --------------------------
+  const char* saved_threads = std::getenv("NTI_MC_THREADS");
+  const std::string saved =
+      saved_threads != nullptr ? saved_threads : std::string();
+  std::string reference;
+  bool bytes_identical = true;
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const char* threads : {"1", "2", "4"}) {
+      setenv("NTI_MC_THREADS", threads, 1);
+      const std::string sig = identity_signature(shards, smoke);
+      if (reference.empty()) {
+        reference = sig;
+      } else if (sig != reference) {
+        bytes_identical = false;
+      }
+    }
+  }
+  if (saved_threads != nullptr) {
+    setenv("NTI_MC_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("NTI_MC_THREADS");
+  }
+  bench::row("faulted output byte-identical",
+             bytes_identical
+                 ? "yes (shards {1,2,4} x threads {1,2,4}, plan active)"
+                 : "NO -- fault injection broke shard determinism");
+
+  const bool ok = total_violations == 0 && holdover_within_bound &&
+                  resync_bounded && bytes_identical;
+  bench::verdict(ok,
+                 "partitioned gateways degrade loudly at the analytic rate "
+                 "and re-integrate deterministically");
+
+  report.metric("containment_violations", total_violations);
+  report.metric("holdover_within_bound",
+                holdover_within_bound ? std::uint64_t{1} : std::uint64_t{0});
+  report.metric("resync_bounded",
+                resync_bounded ? std::uint64_t{1} : std::uint64_t{0});
+  report.metric("bytes_identical",
+                bytes_identical ? std::uint64_t{1} : std::uint64_t{0});
+  report.pass(ok);
+  report.write();
+  return ok ? 0 : 1;
+}

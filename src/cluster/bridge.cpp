@@ -1,0 +1,264 @@
+#include "cluster/bridge.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/prof.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace nti::cluster {
+
+// ---------------------------------------------------------------------------
+// GatewayLinkTx
+
+GatewayLinkTx::GatewayLinkTx(sim::ShardGroup& group, Cluster& src_segment,
+                             GatewayLinkRx& rx, Config cfg,
+                             std::vector<ArmedSpec> specs)
+    : group_(group),
+      src_(src_segment),
+      rx_(rx),
+      cfg_(cfg),
+      specs_(std::move(specs)) {
+  task_ = std::make_unique<sim::PeriodicTask>(
+      src_.engine(), cfg_.first_capture, cfg_.round_period,
+      [this](std::uint64_t) { capture(); });
+}
+
+void GatewayLinkTx::register_metrics(obs::MetricsRegistry& reg) {
+  const std::string p =
+      "fault.capsule.link" + std::to_string(cfg_.link_index) + ".";
+  reg.add_counter(p + "captures", &captures_);
+  reg.add_counter(p + "sent", &sent_);
+  reg.add_counter(p + "dropped.partition", &dropped_partition_);
+  reg.add_counter(p + "dropped.loss", &dropped_loss_);
+  reg.add_counter(p + "corrupted", &corrupted_);
+  reg.add_counter(p + "delayed", &delayed_);
+  reg.add_counter(p + "retransmits", &retransmits_);
+  reg.add_counter(p + "retransmit_superseded", &retransmit_superseded_);
+  reg.add_counter(p + "skipped_down", &skipped_down_);
+}
+
+void GatewayLinkTx::capture() {
+  PROF_ZONE("fault.capsule.tx");
+  ++captures_;
+  csa::SyncNode& gw = src_.sync(0);
+  const SimTime now = src_.engine().now();
+  if (!gw.running()) {
+    // Crashed gateway node (segment_crash window): nothing to capture, but
+    // the skipped round is still accounted and traced.
+    ++skipped_down_;
+    if (auto* ring = src_.trace(); ring != nullptr) {
+      ring->push(now, obs::TraceType::kCapsuleDrop, 0, cfg_.link_index,
+                 static_cast<std::int64_t>(obs::DiscardReason::kNodeDown));
+    }
+    return;
+  }
+  const auto iv = gw.current_interval(now);
+  node::TimeCapsule c;
+  c.seq = ++seq_;
+  c.ref = iv.ref();
+  c.alpha_minus = iv.alpha_minus();
+  c.alpha_plus = iv.alpha_plus();
+  c.hold = Duration::zero();
+  c.step = src_.node(0).chip().ltu().step();
+  attempt(c, src_.node(0).driver().read_clock(now), 0);
+}
+
+void GatewayLinkTx::attempt(node::TimeCapsule c, Duration capture_clock,
+                            int attempt_no) {
+  PROF_ZONE("fault.capsule.tx");
+  const SimTime now = src_.engine().now();
+  Duration delay = Duration::zero();
+  for (ArmedSpec& as : specs_) {
+    const fault::FaultSpec& s = *as.spec;
+    if (now < s.start || now >= s.end) continue;
+    switch (s.kind) {
+      case fault::Kind::kGatewayPartition:
+        drop(c, capture_clock, attempt_no, obs::DiscardReason::kPartition);
+        return;
+      case fault::Kind::kGatewayCapsuleLoss:
+        if (as.rng.chance(s.rate)) {
+          drop(c, capture_clock, attempt_no, obs::DiscardReason::kInjectedLoss);
+          return;
+        }
+        break;
+      case fault::Kind::kGatewayDelaySpike:
+        if (as.rng.chance(s.rate)) delay += s.magnitude;
+        break;
+      default:
+        break;  // kCapsuleCorrupt is a wire effect, evaluated in transmit()
+    }
+  }
+  if (delay > Duration::zero()) {
+    // Held back, not dropped: the hold field keeps growing (measured in
+    // transmit()) so the receiver pays the deterioration honestly.
+    ++delayed_;
+    src_.engine().schedule_in(
+        delay, [this, c, capture_clock] { transmit(c, capture_clock); });
+    return;
+  }
+  transmit(c, capture_clock);
+}
+
+void GatewayLinkTx::drop(const node::TimeCapsule& c, Duration capture_clock,
+                         int attempt_no, obs::DiscardReason reason) {
+  if (reason == obs::DiscardReason::kPartition) {
+    ++dropped_partition_;
+  } else {
+    ++dropped_loss_;
+  }
+  if (auto* ring = src_.trace(); ring != nullptr) {
+    ring->push(src_.engine().now(), obs::TraceType::kCapsuleDrop, 0,
+               cfg_.link_index, static_cast<std::int64_t>(reason));
+  }
+  if (attempt_no >= cfg_.max_retransmit || !(cfg_.backoff0 > Duration::zero())) {
+    return;
+  }
+  // Exponential backoff: attempt k retries backoff0 * 2^k later, unless a
+  // newer capture supersedes this capsule in the meantime.
+  const Duration backoff = cfg_.backoff0 * (std::int64_t{1} << attempt_no);
+  src_.engine().schedule_in(backoff, [this, c, capture_clock, attempt_no] {
+    if (c.seq != seq_) {
+      ++retransmit_superseded_;
+      return;
+    }
+    ++retransmits_;
+    attempt(c, capture_clock, attempt_no + 1);
+  });
+}
+
+void GatewayLinkTx::transmit(node::TimeCapsule c, Duration capture_clock) {
+  PROF_ZONE("fault.capsule.tx");
+  const SimTime now = src_.engine().now();
+  // Hold: local-clock time the capsule sat between capture and transmit
+  // (retransmit backoffs, delay spikes).  Measured on the sender's own
+  // clock, exactly what a CPU reading the UTCSU before handing the frame
+  // to the COMCO would see.
+  c.hold = std::max(Duration::zero(),
+                    src_.node(0).driver().read_clock(now) - capture_clock);
+  node::TimeCapsule::Wire w = c.encode();
+  for (ArmedSpec& as : specs_) {
+    const fault::FaultSpec& s = *as.spec;
+    if (s.kind != fault::Kind::kCapsuleCorrupt) continue;
+    if (now < s.start || now >= s.end) continue;
+    if (!as.rng.chance(s.rate)) continue;
+    const std::int64_t bit = as.rng.uniform_int(
+        0, static_cast<std::int64_t>(node::TimeCapsule::kWireBytes) * 8 - 1);
+    w.bytes[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    ++corrupted_;  // still transmitted: the receiver's CRC-8 must catch it
+  }
+  ++sent_;
+  group_.send(cfg_.group_link_id, [rx = &rx_, w] { rx->on_wire(w); });
+}
+
+// ---------------------------------------------------------------------------
+// GatewayLinkRx
+
+GatewayLinkRx::GatewayLinkRx(Cluster& dst_segment, Config cfg)
+    : dst_(dst_segment), cfg_(cfg), guard_(cfg.guard) {
+  task_ = std::make_unique<sim::PeriodicTask>(
+      dst_.engine(), cfg_.first_check, cfg_.round_period,
+      [this](std::uint64_t) { round_check(); });
+}
+
+void GatewayLinkRx::register_metrics(obs::MetricsRegistry& reg) {
+  const std::string p =
+      "fault.capsule.link" + std::to_string(cfg_.link_index) + ".";
+  reg.add_counter(p + "accepted", &accepted_);
+  reg.add_counter(p + "rejected.checksum", &rejected_checksum_);
+  reg.add_counter(p + "rejected.stale", &rejected_stale_);
+  reg.add_counter(p + "rx_skipped_down", &skipped_down_);
+  reg.add_counter(p + "holdover_offers", &holdover_offers_);
+  const std::string g =
+      "cluster.gw.link" + std::to_string(cfg_.link_index) + ".";
+  reg.add_gauge(g + "state", [this] {
+    return static_cast<double>(static_cast<int>(guard_.state()));
+  });
+  reg.add_gauge(g + "transitions",
+                [this] { return static_cast<double>(guard_.transitions()); });
+  reg.add_gauge(g + "holdover_rounds", [this] {
+    return static_cast<double>(guard_.holdover_rounds());
+  });
+  reg.add_gauge(g + "accuracy_broken", [this] {
+    return static_cast<double>(guard_.accuracy_broken());
+  });
+  reg.add_gauge(g + "peak_holdover_alpha_us",
+                [this] { return guard_.peak_holdover_alpha().to_us_f(); });
+}
+
+void GatewayLinkRx::on_wire(const node::TimeCapsule::Wire& wire) {
+  PROF_ZONE("fault.capsule.rx");
+  const SimTime now = dst_.engine().now();
+  auto* ring = dst_.trace();
+  csa::SyncNode& gw = dst_.sync(0);
+  if (!gw.running()) {
+    // Destination gateway crashed: the capsule is unusable, but it is
+    // counted and traced — the no-silent-drops accounting identity
+    // (accepted + rejected + rx_skipped_down == sent) must always close.
+    ++skipped_down_;
+    if (ring != nullptr) {
+      ring->push(now, obs::TraceType::kCapsuleDrop, 0, cfg_.link_index,
+                 static_cast<std::int64_t>(obs::DiscardReason::kNodeDown));
+    }
+    return;
+  }
+  const auto c = node::TimeCapsule::decode(wire);
+  if (!c.has_value()) {
+    ++rejected_checksum_;
+    if (ring != nullptr) {
+      ring->push(now, obs::TraceType::kCapsuleDrop, 0, cfg_.link_index,
+                 static_cast<std::int64_t>(obs::DiscardReason::kCapsuleCorrupt));
+    }
+    return;
+  }
+  const Duration local = dst_.node(0).driver().read_clock(now);
+  const node::GatewayGuard::Verdict v = guard_.on_capsule(*c, local);
+  if (!v.accepted) {
+    ++rejected_stale_;
+    if (ring != nullptr) {
+      ring->push(now, obs::TraceType::kCapsuleDrop, 0, cfg_.link_index,
+                 static_cast<std::int64_t>(v.reason));
+    }
+    return;
+  }
+  ++accepted_;
+  if (v.from != v.to) {
+    trace_transition(v.from, v.to);
+    if (v.to == node::GatewayState::kSynchronized) last_sync_time_ = now;
+  }
+  gw.offer_remote(cfg_.peer_key, v.offer.ref, v.offer.alpha_minus,
+                  v.offer.alpha_plus, v.offer.step, cfg_.link_latency,
+                  /*synthetic=*/false);
+}
+
+void GatewayLinkRx::round_check() {
+  PROF_ZONE("fault.capsule.rx");
+  csa::SyncNode& gw = dst_.sync(0);
+  if (!gw.running()) return;  // crashed receiver: nothing to freewheel into
+  const SimTime now = dst_.engine().now();
+  const Duration local = dst_.node(0).driver().read_clock(now);
+  const node::GatewayGuard::RoundCheck rc = guard_.on_round_check(local);
+  if (rc.from != rc.to) trace_transition(rc.from, rc.to);
+  if (!rc.offer_valid) return;
+  ++holdover_offers_;
+  // The freewheeled reference predicts the sender's clock *now*; it rides
+  // the same latency translation as a real capsule so the fusion path is
+  // identical — only the synthetic flag (rate-baseline exclusion) differs.
+  gw.offer_remote(cfg_.peer_key, rc.offer.ref, rc.offer.alpha_minus,
+                  rc.offer.alpha_plus, rc.offer.step, cfg_.link_latency,
+                  /*synthetic=*/true);
+}
+
+void GatewayLinkRx::trace_transition(node::GatewayState from,
+                                     node::GatewayState to) {
+  if (auto* ring = dst_.trace(); ring != nullptr) {
+    ring->push(dst_.engine().now(), obs::TraceType::kGatewayState, 0,
+               cfg_.link_index,
+               (static_cast<std::int64_t>(from) << 8) |
+                   static_cast<std::int64_t>(to));
+  }
+}
+
+}  // namespace nti::cluster

@@ -1,0 +1,162 @@
+// Gateway-link bridge: hardened time-capsule transfer between segments
+// (docs/SHARDING.md, docs/FAULTS.md).
+//
+// One GatewayLinkTx/GatewayLinkRx pair per TopoLink replaces the bare
+// capture-and-send lambda of the original sharded cluster:
+//
+//   * the Tx (source engine) captures the gateway's reference interval at
+//     the bridge phase of every round, serializes it as a TimeCapsule
+//     (seq + CRC-8 + hold, node/gateway.hpp), evaluates the gateway-scoped
+//     fault specs in plan order — partition, Bernoulli capsule loss,
+//     transmit delay spikes, single-bit wire corruption — and schedules
+//     bounded retransmit-with-backoff for dropped capsules.  Every drop is
+//     accounted: a kCapsuleDrop trace record with a DiscardReason plus a
+//     fault.capsule.link<i>.* counter.  No silent drops.
+//   * the Rx (destination engine) validates the checksum and staleness,
+//     drives the per-link GatewayGuard degradation state machine
+//     (SYNCHRONIZED -> HOLDOVER -> FREE_RUNNING -> REJOINING), feeds
+//     accepted capsules — and, on missed rounds, deteriorated holdover
+//     offers — into the segment's round via SyncNode::offer_remote, and
+//     traces every state transition (kGatewayState).
+//
+// Byte-determinism (the ShardGroup contract): every stochastic fault draw
+// happens inside events on the link's *source* engine from a per-(spec,
+// link) RNG substream, counters and traces land only in the owning
+// segment's registry/ring, and the wire crossing itself goes through
+// ShardGroup::send — the path-invariant delivery the sharding proof covers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "node/gateway.hpp"
+#include "sim/periodic.hpp"
+#include "sim/shard.hpp"
+
+namespace nti::cluster {
+
+class GatewayLinkRx;
+
+/// Sending side of one gateway link: capture, fault tap, retransmit.
+class GatewayLinkTx {
+ public:
+  struct Config {
+    int link_index = 0;            ///< index into TopologySpec::links
+    std::size_t group_link_id = 0; ///< ShardGroup link id
+    Duration round_period;
+    SimTime first_capture;         ///< epoch + period + bridge_phase
+    Duration backoff0;             ///< first retransmit backoff
+    int max_retransmit = 3;
+  };
+  /// One armed gateway-scoped fault spec, with its own RNG substream
+  /// (forked per (spec index, link index) so draws stay on this engine).
+  struct ArmedSpec {
+    const fault::FaultSpec* spec = nullptr;
+    RngStream rng;
+  };
+
+  GatewayLinkTx(sim::ShardGroup& group, Cluster& src_segment,
+                GatewayLinkRx& rx, Config cfg, std::vector<ArmedSpec> specs);
+
+  /// Sender-side accounting under "fault.capsule.link<i>." in the *source*
+  /// segment's registry (counters must live where their events execute, so
+  /// per-segment metrics stay invariant under the shard grouping).
+  void register_metrics(obs::MetricsRegistry& reg);
+
+  std::uint64_t captures() const { return captures_; }
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t dropped_partition() const { return dropped_partition_; }
+  std::uint64_t dropped_loss() const { return dropped_loss_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+  std::uint64_t delayed() const { return delayed_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t retransmit_superseded() const { return retransmit_superseded_; }
+  std::uint64_t skipped_down() const { return skipped_down_; }
+
+ private:
+  void capture();
+  /// One transmit attempt for `c` (attempt 0 = the capture itself).  The
+  /// fault specs are (re-)evaluated at the attempt's own simulated time.
+  void attempt(node::TimeCapsule c, Duration capture_clock, int attempt_no);
+  void drop(const node::TimeCapsule& c, Duration capture_clock, int attempt_no,
+            obs::DiscardReason reason);
+  void transmit(node::TimeCapsule c, Duration capture_clock);
+
+  sim::ShardGroup& group_;
+  Cluster& src_;
+  GatewayLinkRx& rx_;
+  Config cfg_;
+  std::vector<ArmedSpec> specs_;
+  std::uint64_t seq_ = 0;  ///< last issued capsule sequence number
+
+  std::uint64_t captures_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_partition_ = 0;
+  std::uint64_t dropped_loss_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t retransmit_superseded_ = 0;
+  std::uint64_t skipped_down_ = 0;
+
+  std::unique_ptr<sim::PeriodicTask> task_;  ///< declared last: dies first
+};
+
+/// Receiving side of one gateway link: validation, degradation state
+/// machine, holdover synthesis.
+class GatewayLinkRx {
+ public:
+  struct Config {
+    int link_index = 0;
+    int peer_key = -1;       ///< -(1 + link index), the pseudo-peer id
+    Duration link_latency;
+    Duration round_period;
+    SimTime first_check;     ///< first_capture + latency + check_delay
+    node::GuardConfig guard{};
+  };
+
+  GatewayLinkRx(Cluster& dst_segment, Config cfg);
+
+  /// Entry point for a wire arrival (runs on the destination engine).
+  void on_wire(const node::TimeCapsule::Wire& wire);
+
+  /// Receiver-side accounting in the *destination* segment's registry:
+  /// capsule verdicts under "fault.capsule.link<i>." and the degradation
+  /// state machine under "cluster.gw.link<i>.".
+  void register_metrics(obs::MetricsRegistry& reg);
+
+  const node::GatewayGuard& guard() const { return guard_; }
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected_checksum() const { return rejected_checksum_; }
+  std::uint64_t rejected_stale() const { return rejected_stale_; }
+  /// Capsules that arrived while the destination gateway node was crashed
+  /// (segment_crash window) — accounted, never silently discarded.
+  std::uint64_t skipped_down() const { return skipped_down_; }
+  std::uint64_t holdover_offers() const { return holdover_offers_; }
+  /// Simulated time of the most recent transition back to SYNCHRONIZED
+  /// (epoch when it never happened) — E15's rounds-to-resync measurement.
+  SimTime last_sync_time() const { return last_sync_time_; }
+
+ private:
+  void round_check();
+  void trace_transition(node::GatewayState from, node::GatewayState to);
+
+  Cluster& dst_;
+  Config cfg_;
+  node::GatewayGuard guard_;
+
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_checksum_ = 0;
+  std::uint64_t rejected_stale_ = 0;
+  std::uint64_t skipped_down_ = 0;
+  std::uint64_t holdover_offers_ = 0;
+  SimTime last_sync_time_ = SimTime::epoch();
+
+  std::unique_ptr<sim::PeriodicTask> task_;  ///< declared last: dies first
+};
+
+}  // namespace nti::cluster

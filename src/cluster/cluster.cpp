@@ -16,6 +16,11 @@ Cluster::Cluster(std::unique_ptr<sim::Engine> owned, sim::Engine* external,
     : cfg_(std::move(cfg)),
       owned_engine_(std::move(owned)),
       engine_(external != nullptr ? *external : *owned_engine_) {
+  // Loud configure-time rejection of malformed plans: nonexistent targets,
+  // overlapping crash windows, and sharded-topology kinds on a
+  // single-segment cluster (ShardedCluster validates the full plan against
+  // its topology and strips the sharded kinds before this ctor runs).
+  cfg_.faults.validate(cfg_.num_nodes);
   RngStream root(cfg_.seed);
   medium_ = std::make_unique<net::Medium>(engine_, cfg_.medium, root.fork("medium"));
 

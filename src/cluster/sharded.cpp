@@ -37,6 +37,12 @@ ShardedCluster::ShardedCluster(ClusterConfig cfg) : base_(std::move(cfg)) {
   }
 
   const int s_count = topo_.num_segments();
+  // Validate the *full* plan against the topology (segment/link targets,
+  // overlapping crash windows) before anything is built; the sharded kinds
+  // are then stripped from segment 0's copy — they are enacted here, by the
+  // gateway tap and the crash scheduler, never by a per-segment Injector.
+  base_.faults.validate(topo_.segment_sizes[0], s_count,
+                        static_cast<int>(topo_.links.size()));
   std::size_t shards = topo_.shards == 0 ? static_cast<std::size_t>(s_count)
                                          : topo_.shards;
   shards = std::min(shards, static_cast<std::size_t>(s_count));
@@ -69,6 +75,12 @@ ShardedCluster::ShardedCluster(ClusterConfig cfg) : base_(std::move(cfg)) {
       // node ids in those configs are segment-local.
       seg.gps_nodes.clear();
       seg.faults = fault::FaultPlan{};
+    } else {
+      fault::FaultPlan local;
+      for (const fault::FaultSpec& fs : base_.faults.specs) {
+        if (!fault::is_sharded_kind(fs.kind)) local.add(fs);
+      }
+      seg.faults = std::move(local);
     }
     segments_.push_back(std::make_unique<Cluster>(
         group_->engine(
@@ -85,6 +97,26 @@ ShardedCluster::ShardedCluster(ClusterConfig cfg) : base_(std::move(cfg)) {
         static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(l.dst_seg)]),
         l.latency));
   }
+
+  arm_bridges();
+
+  // Per-segment crash accounting lives in the targeted segment's registry
+  // (crash events run on that segment's engine, so the counters stay
+  // invariant under the shard grouping).
+  crash_injected_.assign(static_cast<std::size_t>(s_count), 0);
+  crash_recovered_.assign(static_cast<std::size_t>(s_count), 0);
+  std::vector<bool> crash_registered(static_cast<std::size_t>(s_count), false);
+  for (const fault::FaultSpec& fs : base_.faults.specs) {
+    if (fs.kind != fault::Kind::kSegmentCrash) continue;
+    const auto seg_idx = static_cast<std::size_t>(fs.node);
+    if (crash_registered[seg_idx]) continue;  // several windows, one counter
+    crash_registered[seg_idx] = true;
+    Cluster& seg = *segments_[seg_idx];
+    seg.metrics().add_counter("fault.segment_crash.injected",
+                              &crash_injected_[seg_idx]);
+    seg.metrics().add_counter("fault.segment_crash.recovered",
+                              &crash_recovered_[seg_idx]);
+  }
 }
 
 ShardedCluster::~ShardedCluster() = default;
@@ -96,36 +128,113 @@ void ShardedCluster::start() {
       SimTime::epoch() + base_.initial_offset_spread + Duration::ms(1);
   group_->run_until(base, pool_.get());
   for (auto& seg : segments_) seg->start();
-  arm_bridges();
+  arm_segment_crashes();
 }
 
 void ShardedCluster::arm_bridges() {
   const Duration period = base_.sync.round_period;
-  const SimTime first = SimTime::epoch() + period + topo_.bridge_phase;
+  const SimTime first_capture = SimTime::epoch() + period + topo_.bridge_phase;
+  // Resolve the auto (zero) capsule knobs against the round period.
+  const Duration backoff0 = topo_.capsule_backoff > Duration::zero()
+                                ? topo_.capsule_backoff
+                                : period / 8;
+  const Duration stale_timeout = topo_.capsule_stale_timeout > Duration::zero()
+                                     ? topo_.capsule_stale_timeout
+                                     : period;
+  const Duration check_delay = topo_.capsule_check_delay > Duration::zero()
+                                   ? topo_.capsule_check_delay
+                                   : period / 8;
+  // All gateway-fault randomness forks off (seed, "gwfault", spec index,
+  // link index) — never off the shard layout, and never off the segments'
+  // own streams, so arming a fault plan does not perturb a clean run.
+  const RngStream gw_root = RngStream(base_.seed).fork("gwfault");
+
+  rxs_.reserve(topo_.links.size());
+  txs_.reserve(topo_.links.size());
   for (std::size_t li = 0; li < topo_.links.size(); ++li) {
     const TopoLink& l = topo_.links[li];
     Cluster& src = *segments_[static_cast<std::size_t>(l.src_seg)];
-    const int dst_seg = l.dst_seg;
-    const Duration latency = l.latency;
+    Cluster& dst = *segments_[static_cast<std::size_t>(l.dst_seg)];
+
+    GatewayLinkRx::Config rc;
+    rc.link_index = static_cast<int>(li);
     // Pseudo-peer key: negative so it can never collide with a local node
     // id inside the destination segment's observation map.
-    const int key = -(1 + static_cast<int>(li));
-    const std::size_t link_id = link_ids_[li];
-    bridges_.push_back(std::make_unique<sim::PeriodicTask>(
-        src.engine(), first, period,
-        [this, &src, dst_seg, latency, key, link_id](std::uint64_t) {
-          csa::SyncNode& gw = src.sync(0);
-          if (!gw.running()) return;
-          const SimTime now = src.engine().now();
-          const auto iv = gw.current_interval(now);
-          const RateStep step = src.node(0).chip().ltu().step();
-          group_->send(link_id, [this, dst_seg, key, ref = iv.ref(),
-                                 am = iv.alpha_minus(), ap = iv.alpha_plus(),
-                                 step, latency] {
-            segments_[static_cast<std::size_t>(dst_seg)]->sync(0).offer_remote(
-                key, ref, am, ap, step, latency);
-          });
-        }));
+    rc.peer_key = -(1 + static_cast<int>(li));
+    rc.link_latency = l.latency;
+    rc.round_period = period;
+    rc.first_check = first_capture + l.latency + check_delay;
+    rc.guard.rho_ppm = base_.sync.rho_bound_ppm;
+    rc.guard.granularity = base_.sync.granularity;
+    rc.guard.alpha_ceiling = topo_.holdover_ceiling;
+    rc.guard.stale_timeout = stale_timeout;
+    rc.guard.rejoin_rounds = topo_.rejoin_rounds;
+    rxs_.push_back(std::make_unique<GatewayLinkRx>(dst, rc));
+    rxs_.back()->register_metrics(dst.metrics());
+
+    GatewayLinkTx::Config tc;
+    tc.link_index = static_cast<int>(li);
+    tc.group_link_id = link_ids_[li];
+    tc.round_period = period;
+    tc.first_capture = first_capture;
+    tc.backoff0 = backoff0;
+    tc.max_retransmit = topo_.capsule_max_retransmit;
+    std::vector<GatewayLinkTx::ArmedSpec> armed;
+    for (std::size_t si = 0; si < base_.faults.specs.size(); ++si) {
+      const fault::FaultSpec& fs = base_.faults.specs[si];
+      if (!fault::is_gateway_kind(fs.kind)) continue;
+      if (fs.node >= 0 && fs.node != static_cast<int>(li)) continue;
+      armed.push_back(GatewayLinkTx::ArmedSpec{
+          &fs, gw_root.fork("spec", si).fork("link", li)});
+    }
+    txs_.push_back(std::make_unique<GatewayLinkTx>(
+        *group_, src, *rxs_.back(), tc, std::move(armed)));
+    txs_.back()->register_metrics(src.metrics());
+  }
+}
+
+void ShardedCluster::arm_segment_crashes() {
+  for (std::size_t si = 0; si < base_.faults.specs.size(); ++si) {
+    const fault::FaultSpec& fs = base_.faults.specs[si];
+    if (fs.kind != fault::Kind::kSegmentCrash) continue;
+    const auto seg_idx = static_cast<std::size_t>(fs.node);
+    Cluster& seg = *segments_[seg_idx];
+    seg.engine().schedule_at(fs.start, [this, seg_idx, &fs] {
+      Cluster& s = *segments_[seg_idx];
+      for (int i = 0; i < s.size(); ++i) s.sync(i).stop();
+      ++crash_injected_[seg_idx];
+      if (auto* ring = s.trace(); ring != nullptr) {
+        ring->push(s.engine().now(), obs::TraceType::kFaultInject, -1,
+                   static_cast<std::int64_t>(fs.kind),
+                   static_cast<std::int64_t>(seg_idx));
+      }
+    });
+    if (fs.end == SimTime::never()) continue;
+    seg.engine().schedule_at(fs.end, [this, si, seg_idx, &fs] {
+      Cluster& s = *segments_[seg_idx];
+      // Whole-segment cold rejoin, one scatter draw per node in node order
+      // (the same model as the Injector's single-node crash recovery): the
+      // rebooted CPUs know the time only roughly, and re-integration
+      // happens through ordinary CSA rounds plus the gateway capsules.
+      const SimTime now = s.engine().now();
+      const Duration truth = now - SimTime::epoch();
+      RngStream rng = RngStream(base_.seed).fork("gwfault").fork("crash", si);
+      const Duration period = base_.sync.round_period;
+      for (int i = 0; i < s.size(); ++i) {
+        const Duration scatter = rng.uniform(-fs.magnitude, fs.magnitude);
+        const Duration value = truth + scatter;
+        const Duration alpha0 = fs.magnitude + Duration::us(2);
+        const auto first_round =
+            static_cast<std::uint32_t>(value.count_ps() / period.count_ps()) + 2;
+        s.sync(i).start(value, alpha0, first_round);
+      }
+      ++crash_recovered_[seg_idx];
+      if (auto* ring = s.trace(); ring != nullptr) {
+        ring->push(now, obs::TraceType::kFaultClear, -1,
+                   static_cast<std::int64_t>(fs.kind),
+                   static_cast<std::int64_t>(seg_idx));
+      }
+    });
   }
 }
 

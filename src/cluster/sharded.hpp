@@ -26,9 +26,13 @@
 // on the grouping and are deliberately excluded, reported only through
 // informational accessors.
 //
-// Scope notes: gps_nodes and the fault plan apply to segment 0 only (the
-// reference segment of a hierarchy); trace_engine_events is rejected —
-// a shared shard engine cannot attribute event firings to one segment.
+// Scope notes: gps_nodes and the node/medium-scoped fault plan apply to
+// segment 0 only (the reference segment of a hierarchy); the sharded-
+// topology fault kinds (fault::is_sharded_kind — gateway partition/loss/
+// delay/corruption plus segment_crash) are enacted here, by the gateway
+// bridge tap and the crash scheduler, never by a per-segment Injector;
+// trace_engine_events is rejected — a shared shard engine cannot
+// attribute event firings to one segment.
 #pragma once
 
 #include <functional>
@@ -36,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/bridge.hpp"
 #include "cluster/cluster.hpp"
 #include "mc/pool.hpp"
 #include "sim/periodic.hpp"
@@ -87,8 +92,18 @@ class ShardedCluster {
   /// across all shard engines.
   std::uint64_t total_events() const;
 
+  /// The gateway bridge endpoints of topology link `li` (benches and tests
+  /// read their capsule accounting and degradation state machines).
+  GatewayLinkTx& gateway_tx(int li) {
+    return *txs_[static_cast<std::size_t>(li)];
+  }
+  GatewayLinkRx& gateway_rx(int li) {
+    return *rxs_[static_cast<std::size_t>(li)];
+  }
+
  private:
   void arm_bridges();
+  void arm_segment_crashes();
 
   ClusterConfig base_;
   TopologySpec topo_;
@@ -98,7 +113,14 @@ class ShardedCluster {
   std::vector<int> shard_of_;  ///< segment index -> engine index
   std::vector<std::unique_ptr<Cluster>> segments_;
   std::vector<std::size_t> link_ids_;  ///< topo link index -> group link id
-  std::vector<std::unique_ptr<sim::PeriodicTask>> bridges_;
+  // Per-segment crash accounting (sized once in the ctor; addresses are
+  // registered as counters in the targeted segments' registries).
+  std::vector<std::uint64_t> crash_injected_;
+  std::vector<std::uint64_t> crash_recovered_;
+  // Rx before Tx: each Tx holds a reference to its Rx, so Txs (and the
+  // periodic capture tasks inside them) must be destroyed first.
+  std::vector<std::unique_ptr<GatewayLinkRx>> rxs_;
+  std::vector<std::unique_ptr<GatewayLinkTx>> txs_;
 
   SampleSet precision_;
   SampleSet accuracy_;

@@ -92,6 +92,23 @@ void TopologySpec::validate() const {
   if (bridge_phase <= Duration::zero()) {
     throw std::invalid_argument("topology: bridge_phase must be positive");
   }
+  if (holdover_ceiling <= Duration::zero()) {
+    throw std::invalid_argument("topology: holdover_ceiling must be positive");
+  }
+  if (rejoin_rounds < 1) {
+    throw std::invalid_argument("topology: rejoin_rounds must be >= 1");
+  }
+  if (capsule_max_retransmit < 0) {
+    throw std::invalid_argument(
+        "topology: capsule_max_retransmit must be >= 0");
+  }
+  if (capsule_backoff < Duration::zero() ||
+      capsule_stale_timeout < Duration::zero() ||
+      capsule_check_delay < Duration::zero()) {
+    throw std::invalid_argument(
+        "topology: capsule backoff/staleness/check durations must be "
+        "non-negative (zero = derived from the sync round period)");
+  }
 }
 
 TopologySpec TopologySpec::chain(int segments, int nodes_per_segment,

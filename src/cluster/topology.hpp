@@ -56,6 +56,29 @@ struct TopologySpec {
   /// containment-correct, just wider).
   Duration bridge_phase = Duration::ms(700);
 
+  // -- segment-level fault tolerance (docs/SHARDING.md) --------------------
+  // A gateway that stops receiving capsules degrades through
+  // SYNCHRONIZED -> HOLDOVER -> FREE_RUNNING, widening its synthesized
+  // remote interval at the rho drift bound per elapsed tick (the ACU
+  // deterioration law, node/gateway.hpp).
+  /// Holdover bound ceiling: once the deteriorated remote alpha exceeds it,
+  /// the gateway signals accuracy-broken and stops synthesizing offers.
+  Duration holdover_ceiling = Duration::ms(2);
+  /// Consecutive accepted capsules required to leave REJOINING.
+  int rejoin_rounds = 2;
+  /// Bounded retransmit-with-backoff for capsules dropped on a partitioned
+  /// or lossy link: attempt k fires capsule_backoff * 2^(k-1) after the
+  /// drop, skipped once a newer capture supersedes it.  Zero disables.
+  int capsule_max_retransmit = 3;
+  /// First retransmit backoff; zero = round_period / 8.
+  Duration capsule_backoff = Duration::zero();
+  /// Receiver staleness cut: capsules whose capture-to-transmit hold
+  /// exceeds this are rejected (kCapsuleStale); zero = round_period.
+  Duration capsule_stale_timeout = Duration::zero();
+  /// How long after the nominal capsule arrival the receiving gateway
+  /// checks for a missed round; zero = round_period / 8.
+  Duration capsule_check_delay = Duration::zero();
+
   bool multi_segment() const { return !segment_sizes.empty(); }
   int num_segments() const { return static_cast<int>(segment_sizes.size()); }
   int total_nodes() const;

@@ -116,6 +116,11 @@ void SyncNode::start(Duration value, Duration alpha0, std::uint32_t first_round)
   obs_.clear();
   rate_hist_.clear();
   gps_fix_.fresh = false;
+  // A pending amortization slew died with the crash (the hard TimeSet above
+  // replaces the clock state outright); a stale end mark would make
+  // offer_remote widen the first post-rejoin margins for a slew that is not
+  // running.
+  amort_end_clock_ = Duration::zero();
 
   round_ = first_round;
   running_ = true;
@@ -258,7 +263,7 @@ void SyncNode::handle_csp(const node::RxCsp& rx) {
 void SyncNode::offer_remote(int peer_key, Duration remote_ref,
                             Duration remote_alpha_minus,
                             Duration remote_alpha_plus, RateStep remote_step,
-                            Duration link_latency) {
+                            Duration link_latency, bool synthetic) {
   if (!running_) return;
   const SimTime now = card_.cpu().engine().now();
   const Duration local_r = card_.driver().read_clock(now);
@@ -307,6 +312,7 @@ void SyncNode::offer_remote(int peer_key, Duration remote_ref,
   ob.local_time = local_r;
   ob.remote_step = remote_step;
   ob.trace_id = 0;
+  ob.rate_valid = !synthetic;
   obs_[peer_key] = ob;
   ++csps_used_;
   if (trace_ != nullptr) {
@@ -502,8 +508,12 @@ void SyncNode::do_resync() {
   report.alpha_plus_after = ap_set;
   if (on_round) on_round(report);
 
-  // Bookkeeping for future rate estimates, then advance.
+  // Bookkeeping for future rate estimates, then advance.  Synthetic
+  // holdover offers stay out: their reference freewheels on the local
+  // clock, so a baseline built from them would estimate a unity ratio and
+  // slowly wash out the real inter-segment skew signal.
   for (const auto& [peer, ob] : obs_) {
+    if (!ob.rate_valid) continue;
     rate_hist_[peer].push_back({round_, ob.remote_time, ob.local_time, cum_corr_});
   }
   obs_.clear();
@@ -545,6 +555,7 @@ void SyncNode::apply_rate_sync(RoundReport& report) {
   // integer STEP augend before it is written to the register.
   std::vector<double> ratios;
   for (const auto& [peer, ob] : obs_) {
+    if (!ob.rate_valid) continue;  // synthetic holdover offer: local echo
     auto& hist = rate_hist_[peer];
     while (hist.size() > 2 * static_cast<std::size_t>(baseline)) hist.pop_front();
     const RateSample* base = nullptr;

@@ -191,9 +191,20 @@ class SyncNode {
   /// point exactly like a received CSP.  Capsules arriving after the
   /// resync point count as late and are dropped (csps_late), preserving
   /// the round structure.
+  /// `synthetic` marks a holdover offer fabricated by the receiving
+  /// gateway from a stale capsule (node/gateway.hpp): it still fuses (its
+  /// widened bound is honest) but is excluded from the rate-sync baselines
+  /// — a freewheeled reference carries the *local* rate, so feeding it back
+  /// would teach the rate loop nothing but its own echo.
   void offer_remote(int peer_key, Duration remote_ref,
                     Duration remote_alpha_minus, Duration remote_alpha_plus,
-                    RateStep remote_step, Duration link_latency);
+                    RateStep remote_step, Duration link_latency,
+                    bool synthetic = false);
+
+  /// Local clock value at which the current amortized correction drains
+  /// (zero when none is running) — exposed for the cold-rejoin regression
+  /// test: start() must reset it along with the other stale history.
+  Duration amort_end_clock() const { return amort_end_clock_; }
 
  private:
   struct PeerObs {
@@ -202,6 +213,7 @@ class SyncNode {
     Duration local_time;                 ///< raw local rx stamp (rate sync)
     RateStep remote_step;                ///< peer's advertised STEP augend
     std::uint64_t trace_id = 0;          ///< span of the CSP that carried it
+    bool rate_valid = true;              ///< false: skip rate-sync baselines
   };
   struct RateSample {
     std::uint32_t round = 0;

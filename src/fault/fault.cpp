@@ -1,6 +1,9 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace nti::fault {
 
@@ -21,6 +24,11 @@ const char* to_string(Kind k) {
     case Kind::kGpsStuck: return "gps_stuck";
     case Kind::kGpsWrongSecond: return "gps_wrong_second";
     case Kind::kGpsRamp: return "gps_ramp";
+    case Kind::kGatewayPartition: return "gateway_partition";
+    case Kind::kGatewayCapsuleLoss: return "gateway_capsule_loss";
+    case Kind::kGatewayDelaySpike: return "gateway_delay_spike";
+    case Kind::kCapsuleCorrupt: return "capsule_corrupt";
+    case Kind::kSegmentCrash: return "segment_crash";
   }
   return "unknown";
 }
@@ -189,6 +197,60 @@ FaultSpec FaultSpec::gps_ramp(int node, Duration ramp_per_sec, SimTime start,
   return s;
 }
 
+FaultSpec FaultSpec::gateway_partition(int link, SimTime start, SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kGatewayPartition;
+  s.node = link;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::gateway_capsule_loss(double rate, int link, SimTime start,
+                                          SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kGatewayCapsuleLoss;
+  s.rate = rate;
+  s.node = link;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::gateway_delay_spike(double rate, Duration magnitude,
+                                         int link, SimTime start, SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kGatewayDelaySpike;
+  s.rate = rate;
+  s.magnitude = magnitude;
+  s.node = link;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::capsule_corrupt(double rate, int link, SimTime start,
+                                     SimTime end) {
+  FaultSpec s;
+  s.kind = Kind::kCapsuleCorrupt;
+  s.rate = rate;
+  s.node = link;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+FaultSpec FaultSpec::segment_crash(int segment, SimTime crash, SimTime restart,
+                                   Duration cold_scatter) {
+  FaultSpec s;
+  s.kind = Kind::kSegmentCrash;
+  s.node = segment;
+  s.start = crash;
+  s.end = restart;
+  s.magnitude = cold_scatter;
+  return s;
+}
+
 bool is_gps_kind(Kind k) {
   switch (k) {
     case Kind::kGpsOffsetSpike:
@@ -246,6 +308,115 @@ FaultSpec from_gps_window(int node, const gps::FaultWindow& w) {
       return FaultSpec::gps_ramp(node, w.ramp_per_sec, w.start, w.end);
   }
   return FaultSpec::gps_omission(node, w.start, w.end);
+}
+
+bool is_gateway_kind(Kind k) {
+  switch (k) {
+    case Kind::kGatewayPartition:
+    case Kind::kGatewayCapsuleLoss:
+    case Kind::kGatewayDelaySpike:
+    case Kind::kCapsuleCorrupt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_sharded_kind(Kind k) {
+  return is_gateway_kind(k) || k == Kind::kSegmentCrash;
+}
+
+namespace {
+
+bool windows_overlap(const FaultSpec& a, const FaultSpec& b) {
+  return std::max(a.start, b.start) < std::min(a.end, b.end);
+}
+
+[[noreturn]] void spec_error(std::size_t i, const FaultSpec& s,
+                             const std::string& what) {
+  throw std::invalid_argument("fault plan: spec " + std::to_string(i) + " (" +
+                              to_string(s.kind) + ") " + what);
+}
+
+}  // namespace
+
+void FaultPlan::validate(int num_nodes, int num_segments, int num_links) const {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FaultSpec& s = specs[i];
+    if (is_sharded_kind(s.kind) && num_segments <= 1) {
+      spec_error(i, s,
+                 "requires a multi-segment topology (docs/SHARDING.md); a "
+                 "single-segment cluster has no gateway links or segments "
+                 "to target");
+    }
+    if (is_gateway_kind(s.kind)) {
+      if (s.node < -1 || s.node >= num_links) {
+        spec_error(i, s,
+                   "targets gateway link " + std::to_string(s.node) +
+                       " but the topology has " + std::to_string(num_links) +
+                       " links (-1 = all links)");
+      }
+      continue;
+    }
+    if (s.kind == Kind::kSegmentCrash) {
+      if (s.node < 0 || s.node >= num_segments) {
+        spec_error(i, s,
+                   "targets segment " + std::to_string(s.node) +
+                       " but the topology has " + std::to_string(num_segments) +
+                       " segments");
+      }
+      continue;
+    }
+    // Node-scoped kinds of the single-segment catalogue.  Plan node ids are
+    // segment-0-local on a sharded topology (docs/SHARDING.md).
+    const bool needs_node = s.kind == Kind::kNodeCrash ||
+                            s.kind == Kind::kBabblingIdiot ||
+                            s.kind == Kind::kClockYank ||
+                            s.kind == Kind::kFreqStep;
+    if (needs_node && s.node < 0) {
+      spec_error(i, s, "requires a concrete target node (got -1)");
+    }
+    if (s.node < -1 || s.node >= num_nodes) {
+      spec_error(i, s,
+                 "targets node " + std::to_string(s.node) +
+                     " but the cluster has " + std::to_string(num_nodes) +
+                     " nodes");
+    }
+    for (const int member : s.group) {
+      if (member < 0 || member >= num_nodes) {
+        spec_error(i, s,
+                   "partition group references node " + std::to_string(member) +
+                       " but the cluster has " + std::to_string(num_nodes) +
+                       " nodes");
+      }
+    }
+  }
+  // Overlapping crash windows on one target: the injector's stop/rejoin
+  // event pairs would interleave (a node cold-restarted by one spec while
+  // another still holds it down), which has no defined semantics.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FaultSpec& a = specs[i];
+    if (a.kind != Kind::kNodeCrash && a.kind != Kind::kSegmentCrash) continue;
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      const FaultSpec& b = specs[j];
+      if (b.kind != Kind::kNodeCrash && b.kind != Kind::kSegmentCrash) continue;
+      const bool same_target = a.kind == b.kind && a.node == b.node;
+      // Plan node ids live in segment 0, so a segment 0 crash covers every
+      // node a node_crash could touch.
+      const bool seg0_vs_node =
+          (a.kind == Kind::kSegmentCrash && a.node == 0 &&
+           b.kind == Kind::kNodeCrash) ||
+          (b.kind == Kind::kSegmentCrash && b.node == 0 &&
+           a.kind == Kind::kNodeCrash);
+      if ((same_target || seg0_vs_node) && windows_overlap(a, b)) {
+        throw std::invalid_argument(
+            "fault plan: specs " + std::to_string(i) + " and " +
+            std::to_string(j) + " (" + to_string(a.kind) + " / " +
+            to_string(b.kind) + ") have overlapping crash windows for the "
+            "same target; stop/cold-rejoin pairs must not interleave");
+      }
+    }
+  }
 }
 
 std::vector<const FaultSpec*> FaultPlan::of_kind(Kind k) const {

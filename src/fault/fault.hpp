@@ -55,8 +55,16 @@ enum class Kind : std::uint8_t {
   kGpsStuck,
   kGpsWrongSecond,
   kGpsRamp,
+  // -- sharded-topology layer (docs/SHARDING.md; enacted by the gateway-side
+  // -- capsule tap in cluster::ShardedCluster, never by the per-segment
+  // -- Injector, so ShardGroup byte-determinism is preserved) --------------
+  kGatewayPartition,   ///< gateway link cut: capsules dropped (retransmits apply)
+  kGatewayCapsuleLoss, ///< per-capsule Bernoulli drop at `rate` on the link
+  kGatewayDelaySpike,  ///< capsule transmit held back by `magnitude` at `rate`
+  kCapsuleCorrupt,     ///< one wire bit flipped per capsule at `rate` (crc8-caught)
+  kSegmentCrash,       ///< whole segment dead start..end; cold rejoin at end
 };
-inline constexpr std::size_t kNumKinds = 15;
+inline constexpr std::size_t kNumKinds = 20;
 
 const char* to_string(Kind k);
 
@@ -121,10 +129,35 @@ struct FaultSpec {
                                     SimTime start, SimTime end);
   static FaultSpec gps_ramp(int node, Duration ramp_per_sec, SimTime start,
                             SimTime end);
+  // Sharded-topology kinds.  For the gateway kinds, `node` carries the
+  // *gateway link index* into TopologySpec::links (-1 = every link); for
+  // segment_crash it carries the *segment index*.
+  static FaultSpec gateway_partition(int link, SimTime start, SimTime end);
+  static FaultSpec gateway_capsule_loss(double rate, int link = -1,
+                                        SimTime start = SimTime::epoch(),
+                                        SimTime end = SimTime::never());
+  static FaultSpec gateway_delay_spike(double rate, Duration magnitude,
+                                       int link = -1,
+                                       SimTime start = SimTime::epoch(),
+                                       SimTime end = SimTime::never());
+  static FaultSpec capsule_corrupt(double rate, int link = -1,
+                                   SimTime start = SimTime::epoch(),
+                                   SimTime end = SimTime::never());
+  static FaultSpec segment_crash(int segment, SimTime crash, SimTime restart,
+                                 Duration cold_scatter = Duration::us(300));
 };
 
 /// True for the kinds that translate into gps::FaultWindow.
 bool is_gps_kind(Kind k);
+
+/// True for the kinds scoped to one gateway link (partition, capsule loss,
+/// delay spike, capsule corruption).  `FaultSpec::node` is then a link index.
+bool is_gateway_kind(Kind k);
+
+/// True for every kind that only makes sense on a multi-segment topology:
+/// the gateway kinds plus kSegmentCrash.  A single-segment Cluster rejects
+/// them at validation.
+bool is_sharded_kind(Kind k);
 
 /// Translate a GPS-kind spec into the receiver-level window (asserts on
 /// non-GPS kinds).
@@ -148,6 +181,16 @@ struct FaultPlan {
   }
   /// Specs of one kind (e.g. all partitions), preserving plan order.
   std::vector<const FaultSpec*> of_kind(Kind k) const;
+
+  /// Configure-time validation against the hosting scenario: throws
+  /// std::invalid_argument on specs referencing nonexistent nodes, segments
+  /// or gateway links, on sharded kinds handed to a single-segment cluster
+  /// (num_segments <= 1), and on overlapping crash windows for the same
+  /// target — two node_crash specs on one node, two segment_crash specs on
+  /// one segment, or a segment 0 crash overlapping any node_crash (plan
+  /// node ids are segment-0-local).  Overlapping crash windows would leave
+  /// the injector's stop/cold-rejoin pairs interleaved, which is undefined.
+  void validate(int num_nodes, int num_segments = 1, int num_links = 0) const;
 };
 
 }  // namespace nti::fault

@@ -1,8 +1,186 @@
 #include "node/gateway.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <span>
+
+#include "common/checksum.hpp"
 
 namespace nti::node {
+
+namespace {
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+/// rho-ppm deterioration margin over a locally measured elapsed time.
+// nti-lint: allow(float): rho is a spec-sheet ppm figure; the margin is
+// re-quantized to integer picoseconds (and AlphaUnits downstream).
+Duration rho_margin(Duration elapsed, double rho_ppm) {
+  return Duration::from_sec_f(elapsed.to_sec_f() * rho_ppm * 1e-6);
+}
+
+/// The ACU quantization applied to every bound this layer synthesizes:
+/// round-up saturating to 2^-24 s units, back to the duration the ALPHA
+/// registers would report.  A stale bound must never silently shrink.
+Duration quantize_alpha(Duration d) {
+  return AlphaUnits::from_duration(d).to_duration();
+}
+
+}  // namespace
+
+const char* to_string(GatewayState s) {
+  switch (s) {
+    case GatewayState::kSynchronized: return "synchronized";
+    case GatewayState::kHoldover: return "holdover";
+    case GatewayState::kFreeRunning: return "free_running";
+    case GatewayState::kRejoining: return "rejoining";
+  }
+  return "?";
+}
+
+TimeCapsule::Wire TimeCapsule::encode() const {
+  Wire w;
+  put_u64(&w.bytes[0], seq);
+  put_u64(&w.bytes[8], static_cast<std::uint64_t>(ref.count_ps()));
+  put_u64(&w.bytes[16], static_cast<std::uint64_t>(alpha_minus.count_ps()));
+  put_u64(&w.bytes[24], static_cast<std::uint64_t>(alpha_plus.count_ps()));
+  put_u64(&w.bytes[32], static_cast<std::uint64_t>(hold.count_ps()));
+  put_u64(&w.bytes[40], step.reg64());
+  w.bytes[48] = crc8(std::span<const std::uint8_t>(w.bytes.data(), 48));
+  return w;
+}
+
+std::optional<TimeCapsule> TimeCapsule::decode(const Wire& w) {
+  if (crc8(std::span<const std::uint8_t>(w.bytes.data(), 48)) != w.bytes[48]) {
+    return std::nullopt;  // CRC-8 catches every single-bit wire flip
+  }
+  TimeCapsule c;
+  c.seq = get_u64(&w.bytes[0]);
+  c.ref = Duration::ps(static_cast<std::int64_t>(get_u64(&w.bytes[8])));
+  c.alpha_minus = Duration::ps(static_cast<std::int64_t>(get_u64(&w.bytes[16])));
+  c.alpha_plus = Duration::ps(static_cast<std::int64_t>(get_u64(&w.bytes[24])));
+  c.hold = Duration::ps(static_cast<std::int64_t>(get_u64(&w.bytes[32])));
+  c.step = RateStep::raw(static_cast<std::int64_t>(get_u64(&w.bytes[40])));
+  return c;
+}
+
+GatewayState GatewayGuard::shift(GatewayState to) {
+  const GatewayState from = state_;
+  if (from != to) {
+    state_ = to;
+    ++transitions_;
+  }
+  return from;
+}
+
+GatewayGuard::Verdict GatewayGuard::on_capsule(const TimeCapsule& c,
+                                               Duration local_clock) {
+  Verdict v;
+  v.from = state_;
+  v.to = state_;
+  if (c.seq <= last_seq_ || c.hold > cfg_.stale_timeout) {
+    // Duplicate / out-of-order (a superseded retransmit racing a fresh
+    // capture) or held past the staleness cut: either way the payload is
+    // too old to bound the sender's clock usefully.
+    v.reason = obs::DiscardReason::kCapsuleStale;
+    return v;
+  }
+  v.accepted = true;
+  last_seq_ = c.seq;
+  // Fold the hold: the capture interval contained the sender's true time
+  // `hold` sender-clock units before transmit, so advance the reference by
+  // it and pay rho over it — the deterioration law, applied at the sender's
+  // advertised drift bound.
+  last_offer_.ref = c.ref + c.hold;
+  last_offer_.alpha_minus = quantize_alpha(
+      c.alpha_minus + rho_margin(c.hold, cfg_.rho_ppm) + cfg_.granularity);
+  last_offer_.alpha_plus = quantize_alpha(
+      c.alpha_plus + rho_margin(c.hold, cfg_.rho_ppm) + cfg_.granularity);
+  last_offer_.step = c.step;
+  accept_clock_ = local_clock;
+  has_baseline_ = true;
+  fresh_since_check_ = true;
+  v.offer = last_offer_;
+
+  switch (state_) {
+    case GatewayState::kSynchronized:
+      break;
+    case GatewayState::kHoldover:
+    case GatewayState::kFreeRunning:
+      rejoin_streak_ = 1;
+      v.from = shift(rejoin_streak_ >= cfg_.rejoin_rounds
+                         ? GatewayState::kSynchronized
+                         : GatewayState::kRejoining);
+      v.to = state_;
+      break;
+    case GatewayState::kRejoining:
+      ++rejoin_streak_;
+      if (rejoin_streak_ >= cfg_.rejoin_rounds) {
+        v.from = shift(GatewayState::kSynchronized);
+        v.to = state_;
+      }
+      break;
+  }
+  return v;
+}
+
+GatewayGuard::RoundCheck GatewayGuard::on_round_check(Duration local_clock) {
+  RoundCheck rc;
+  rc.from = state_;
+  rc.to = state_;
+  if (fresh_since_check_) {
+    // The round was answered by a real capsule; nothing to synthesize.
+    fresh_since_check_ = false;
+    return rc;
+  }
+  if (!has_baseline_) return rc;  // nothing ever arrived: nothing to degrade
+  ++holdover_rounds_;
+  if (state_ == GatewayState::kSynchronized ||
+      state_ == GatewayState::kRejoining) {
+    // A missed round during REJOINING resets the streak: re-integration
+    // requires rejoin_rounds *consecutive* accepts.
+    rejoin_streak_ = 0;
+    rc.from = shift(GatewayState::kHoldover);
+    rc.to = state_;
+  }
+
+  // Freewheel: the last accepted offer bounded the sender's clock at
+  // accept_clock_; `elapsed` local ticks later the reference has advanced
+  // with the local clock (the rate baseline) and the bound has deteriorated
+  // by rho per tick — exactly what the ACU does to the local interval when
+  // resynchronization input stops.
+  const Duration elapsed = std::max(Duration::zero(), local_clock - accept_clock_);
+  const Duration widen = rho_margin(elapsed, cfg_.rho_ppm) + cfg_.granularity;
+  HoldoverOffer o;
+  o.ref = last_offer_.ref + elapsed;
+  o.alpha_minus = quantize_alpha(last_offer_.alpha_minus + widen);
+  o.alpha_plus = quantize_alpha(last_offer_.alpha_plus + widen);
+  o.step = last_offer_.step;
+  const Duration worst = std::max(o.alpha_minus, o.alpha_plus);
+  if (state_ == GatewayState::kHoldover) {
+    peak_holdover_alpha_ = std::max(peak_holdover_alpha_, worst);
+  }
+  if (worst > cfg_.alpha_ceiling) {
+    if (state_ != GatewayState::kFreeRunning) {
+      rc.from = shift(GatewayState::kFreeRunning);
+      rc.to = state_;
+      rc.accuracy_broken_now = true;
+      ++accuracy_broken_;
+    }
+    return rc;  // broken accuracy is signalled, never offered
+  }
+  rc.offer_valid = true;
+  rc.offer = o;
+  return rc;
+}
 
 GatewayPort::GatewayPort(NodeCard& card, net::Medium& second_medium,
                          int ssu_index, RngStream rng,

@@ -1,4 +1,6 @@
-// Gateway port: a second network attachment served by the SAME UTCSU.
+// Gateway port: a second network attachment served by the SAME UTCSU —
+// plus the capsule wire format and the per-gateway degradation state
+// machine the sharded topology layer builds on (docs/SHARDING.md).
 //
 // The paper provides six SSUs "to facilitate fault-tolerant (redundant)
 // communications architectures or gateway nodes" (Sec. 3.3) and notes that
@@ -7,17 +9,160 @@
 // context: its own NTI memory/CPLD instance bound to a chosen SSU, its own
 // COMCO on the second medium, its own CPU context and driver.  The primary
 // driver keeps ownership of the duty-timer/GPS interrupt demux.
+//
+// TimeCapsule hardens the inter-segment time transfer the same way the NTI
+// hardens CSPs: a monotone per-link sequence number, a CRC-8 over the
+// payload (every single-bit wire corruption is detectable, exactly the
+// property the stamp checksum exists for), and a capture-to-transmit
+// `hold` so a retransmitted capsule stays usable — the receiver folds the
+// hold into the reference point and widens the bound by rho * hold, the
+// ACU deterioration law applied in software.
+//
+// GatewayGuard is the degradation state machine of a receiving gateway:
+//
+//   SYNCHRONIZED --missed/stale round--> HOLDOVER
+//   HOLDOVER     --bound > ceiling----->  FREE_RUNNING  (accuracy broken)
+//   HOLDOVER/FREE_RUNNING --capsule----> REJOINING
+//   REJOINING    --rejoin_rounds accepts--> SYNCHRONIZED
+//   REJOINING    --missed round--------> HOLDOVER
+//
+// In HOLDOVER the guard freewheels on the last accepted capsule: the
+// synthesized offer's reference advances with the local clock while the
+// offered bound deteriorates at rho per elapsed tick, quantized through
+// AlphaUnits (round-up, saturating) — the gateway degrades loudly and
+// never lies about accuracy, mirroring the hardware ACU's behaviour when
+// resynchronization input stops.  The guard is pure state (no engine or
+// hardware dependencies), so the transition law is unit-testable.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "comco/comco.hpp"
 #include "net/medium.hpp"
 #include "node/cpu.hpp"
 #include "node/driver.hpp"
 #include "node/node_card.hpp"
+#include "obs/span.hpp"
 
 namespace nti::node {
+
+/// The unit shipped over a gateway link: the sending gateway's reference
+/// interval and LTU step at capture, plus the hardening fields.
+struct TimeCapsule {
+  std::uint64_t seq = 0;   ///< per-link, monotone from 1 (0 = invalid)
+  Duration ref;            ///< sender's current_interval ref at capture
+  Duration alpha_minus;
+  Duration alpha_plus;
+  /// Capture-to-transmit delay measured on the sender's clock: zero on the
+  /// first transmit attempt, the accumulated backoff on a retransmit, the
+  /// spike size under an injected transmit delay.
+  Duration hold;
+  RateStep step;           ///< sender's STEP augend (rate sync)
+
+  /// Serialized form: six 8-byte little-endian fields + trailing CRC-8.
+  static constexpr std::size_t kWireBytes = 6 * 8 + 1;
+  struct Wire {
+    std::array<std::uint8_t, kWireBytes> bytes{};
+  };
+  Wire encode() const;
+  /// nullopt iff the CRC-8 over the payload bytes mismatches the trailer.
+  static std::optional<TimeCapsule> decode(const Wire& w);
+};
+
+/// Degradation state of a receiving gateway (one per inbound link).
+enum class GatewayState : std::uint8_t {
+  kSynchronized = 0,  ///< fresh capsules arriving every round
+  kHoldover = 1,      ///< freewheeling on the last capsule, bound widening
+  kFreeRunning = 2,   ///< bound exceeded the ceiling: accuracy broken
+  kRejoining = 3,     ///< capsules flowing again, re-integrating
+};
+
+const char* to_string(GatewayState s);
+
+struct GuardConfig {
+  /// Drift bound used for the holdover deterioration, in ppm.
+  // nti-lint: allow(float): configuration bound in ppm; the widened margin
+  // is quantized through AlphaUnits before it is offered.
+  double rho_ppm = 2.0;
+  /// Capture-read granularity added once per synthesized offer.
+  Duration granularity = Duration::ns(60);
+  /// Bound ceiling: max(alpha-, alpha+) beyond it breaks accuracy.
+  Duration alpha_ceiling = Duration::ms(2);
+  /// Capsules with hold beyond this are rejected as stale.
+  Duration stale_timeout = Duration::sec(1);
+  /// Consecutive accepted capsules needed to leave REJOINING.
+  int rejoin_rounds = 2;
+};
+
+/// What a gateway should feed into the local round in place of the missing
+/// capsule: the last accepted interval freewheeled forward and widened.
+struct HoldoverOffer {
+  Duration ref;
+  Duration alpha_minus;
+  Duration alpha_plus;
+  RateStep step;
+};
+
+class GatewayGuard {
+ public:
+  explicit GatewayGuard(GuardConfig cfg) : cfg_(cfg) {}
+
+  struct Verdict {
+    bool accepted = false;
+    /// kCapsuleStale on duplicate/out-of-order seq or hold > stale_timeout.
+    obs::DiscardReason reason = obs::DiscardReason::kNone;
+    /// Hold-folded offer (valid iff accepted): ref advanced by the hold,
+    /// bounds widened by rho * hold + granularity.
+    HoldoverOffer offer{};
+    GatewayState from = GatewayState::kSynchronized;
+    GatewayState to = GatewayState::kSynchronized;  ///< from != to: transition
+  };
+  /// Feed a decoded (checksum-valid) capsule received at destination local
+  /// clock `local_clock`.
+  Verdict on_capsule(const TimeCapsule& c, Duration local_clock);
+
+  struct RoundCheck {
+    /// True when the round went unanswered and a holdover offer should be
+    /// synthesized into it (false in FREE_RUNNING: a broken bound is
+    /// signalled, never offered).
+    bool offer_valid = false;
+    HoldoverOffer offer{};
+    bool accuracy_broken_now = false;  ///< ceiling crossed on this check
+    GatewayState from = GatewayState::kSynchronized;
+    GatewayState to = GatewayState::kSynchronized;
+  };
+  /// Called once per round, after the expected capsule arrival instant.
+  RoundCheck on_round_check(Duration local_clock);
+
+  GatewayState state() const { return state_; }
+  std::uint64_t transitions() const { return transitions_; }
+  /// Round checks that found no fresh capsule (HOLDOVER + FREE_RUNNING).
+  std::uint64_t holdover_rounds() const { return holdover_rounds_; }
+  /// Times the deteriorated bound crossed the ceiling.
+  std::uint64_t accuracy_broken() const { return accuracy_broken_; }
+  /// Widest synthesized holdover bound so far (E15's measured alpha growth).
+  Duration peak_holdover_alpha() const { return peak_holdover_alpha_; }
+  std::uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  GatewayState shift(GatewayState to);  ///< returns previous state
+
+  GuardConfig cfg_;
+  GatewayState state_ = GatewayState::kSynchronized;
+  std::uint64_t last_seq_ = 0;
+  HoldoverOffer last_offer_{};   ///< hold-folded, at accept
+  Duration accept_clock_;        ///< local clock at the last accept
+  bool has_baseline_ = false;
+  bool fresh_since_check_ = false;
+  int rejoin_streak_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t holdover_rounds_ = 0;
+  std::uint64_t accuracy_broken_ = 0;
+  Duration peak_holdover_alpha_;
+};
 
 class GatewayPort {
  public:

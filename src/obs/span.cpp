@@ -33,6 +33,8 @@ const char* to_string(DiscardReason r) {
     case DiscardReason::kInjectedLoss: return "injected_loss";
     case DiscardReason::kPartition: return "partition";
     case DiscardReason::kNodeDown: return "node_down";
+    case DiscardReason::kCapsuleStale: return "capsule_stale";
+    case DiscardReason::kCapsuleCorrupt: return "capsule_corrupt";
   }
   return "?";
 }

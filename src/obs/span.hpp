@@ -74,6 +74,8 @@ enum class DiscardReason : std::int64_t {
   kInjectedLoss = 7, ///< fault injection: stochastic frame loss
   kPartition = 8,    ///< fault injection: link partition cut this path
   kNodeDown = 9,     ///< fault injection: station's node is crashed
+  kCapsuleStale = 10,   ///< gateway capsule: duplicate seq or hold > timeout
+  kCapsuleCorrupt = 11, ///< gateway capsule: wire checksum (crc8) mismatch
 };
 
 const char* to_string(DiscardReason r);

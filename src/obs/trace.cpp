@@ -18,6 +18,8 @@ const char* to_string(TraceType t) {
     case TraceType::kFrameDrop: return "frame_drop";
     case TraceType::kFaultInject: return "fault_inject";
     case TraceType::kFaultClear: return "fault_clear";
+    case TraceType::kCapsuleDrop: return "capsule_drop";
+    case TraceType::kGatewayState: return "gateway_state";
   }
   return "?";
 }

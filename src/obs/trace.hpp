@@ -17,6 +17,9 @@
 //   kFrameDrop   node = station         a = frame id         b = DiscardReason
 //   kFaultInject node = target node     a = fault::Kind      b = detail (ps/bit)
 //   kFaultClear  node = target node     a = fault::Kind      b = detail
+//   kCapsuleDrop node = gateway node    a = gateway link     b = DiscardReason
+//   kGatewayState node = gateway node   a = gateway link     b = old<<8 | new
+//                 (GatewayState values; see node/gateway.hpp)
 #pragma once
 
 #include <cstddef>
@@ -37,6 +40,8 @@ enum class TraceType : std::uint8_t {
   kFrameDrop = 5,
   kFaultInject = 6,
   kFaultClear = 7,
+  kCapsuleDrop = 8,
+  kGatewayState = 9,
 };
 
 const char* to_string(TraceType t);

@@ -1,0 +1,198 @@
+// Segment-level fault tolerance (docs/FAULTS.md, docs/SHARDING.md): the
+// gateway capsule tap, the no-silent-drops accounting identity, the
+// holdover degradation state machine, and whole-segment crash/rejoin.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cluster/sharded.hpp"
+#include "cluster/topology.hpp"
+
+namespace nti {
+namespace {
+
+const SimTime kEpoch = SimTime::epoch();
+
+cluster::ClusterConfig two_segment_cfg() {
+  cluster::ClusterConfig cfg;
+  cfg.seed = 2026;
+  cfg.sync.round_period = Duration::ms(200);
+  cfg.sync.resync_offset = Duration::ms(50);
+  cfg.initial_offset_spread = Duration::us(100);
+  cfg.trace_capacity = 32768;
+  cfg.topology = cluster::TopologySpec::chain(2, 3, Duration::ms(1));
+  cfg.topology.bridge_phase = Duration::ms(60);
+  return cfg;
+}
+
+std::size_t count_in_csv(obs::TraceRing* ring, const std::string& needle) {
+  if (ring == nullptr) return 0;
+  std::ostringstream os;
+  ring->dump_csv(os);
+  const std::string csv = os.str();
+  std::size_t n = 0;
+  for (std::size_t pos = csv.find(needle); pos != std::string::npos;
+       pos = csv.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(GatewayFault, NoSilentDropsAccountingIdentity) {
+  cluster::ClusterConfig cfg = two_segment_cfg();
+  cfg.faults.add(fault::FaultSpec::gateway_capsule_loss(0.5, /*link=*/0))
+      .add(fault::FaultSpec::capsule_corrupt(0.3, /*link=*/0));
+  cluster::ShardedCluster sc(std::move(cfg));
+  sc.start();
+  sc.run(Duration::ms(3000), Duration::ms(400));
+
+  cluster::GatewayLinkTx& tx = sc.gateway_tx(0);
+  cluster::GatewayLinkRx& rx = sc.gateway_rx(0);
+  ASSERT_GT(tx.captures(), 10u);
+  EXPECT_GT(tx.dropped_loss(), 0u);
+  EXPECT_GT(tx.corrupted(), 0u);
+  EXPECT_GT(tx.retransmits(), 0u);
+  EXPECT_EQ(tx.dropped_partition(), 0u);
+  EXPECT_EQ(tx.skipped_down(), 0u);
+
+  // The hard invariant: every capsule that left the sender is accounted at
+  // the receiver — accepted, checksum-rejected, staleness-rejected, or
+  // skipped because the receiver was down.  Nothing vanishes.
+  EXPECT_EQ(rx.accepted() + rx.rejected_checksum() + rx.rejected_stale() +
+                rx.skipped_down(),
+            tx.sent());
+  // Single-bit corruption is always caught by the CRC-8, never fused.
+  EXPECT_EQ(rx.rejected_checksum(), tx.corrupted());
+
+  // Every sender-side drop left a kCapsuleDrop trace record in the source
+  // segment's ring; every receiver-side rejection in the destination's.
+  EXPECT_EQ(count_in_csv(sc.segment(0).trace(), "capsule_drop"),
+            tx.dropped_partition() + tx.dropped_loss() + tx.skipped_down());
+  EXPECT_EQ(count_in_csv(sc.segment(1).trace(), "capsule_drop"),
+            rx.rejected_checksum() + rx.rejected_stale() + rx.skipped_down());
+
+  // Faults on link 0 never leak onto link 1 (the reverse direction).
+  EXPECT_EQ(sc.gateway_tx(1).dropped_loss(), 0u);
+  EXPECT_EQ(sc.gateway_tx(1).corrupted(), 0u);
+
+  // The convergence rounds survived the lossy link.
+  EXPECT_EQ(sc.containment_violations(), 0u);
+}
+
+TEST(GatewayFault, PartitionDrivesHoldoverThenRejoin) {
+  cluster::ClusterConfig cfg = two_segment_cfg();
+  const SimTime cut = kEpoch + Duration::ms(1000);
+  const SimTime heal = kEpoch + Duration::ms(2200);
+  cfg.faults.add(fault::FaultSpec::gateway_partition(0, cut, heal));
+  cluster::ShardedCluster sc(std::move(cfg));
+  sc.start();
+  sc.run(Duration::ms(4000), Duration::ms(400));
+
+  cluster::GatewayLinkTx& tx = sc.gateway_tx(0);
+  cluster::GatewayLinkRx& rx = sc.gateway_rx(0);
+  EXPECT_GT(tx.dropped_partition(), 0u);
+
+  const node::GatewayGuard& guard = rx.guard();
+  // The outage pushed the link through HOLDOVER and back: deteriorated
+  // offers were synthesized while capsules were missing, and the state
+  // machine re-integrated after rejoin_rounds consecutive accepts.
+  EXPECT_GT(guard.holdover_rounds(), 0u);
+  EXPECT_GT(rx.holdover_offers(), 0u);
+  EXPECT_EQ(guard.state(), node::GatewayState::kSynchronized);
+  EXPECT_GE(guard.transitions(), 3u);  // S->H, H->R, R->S at minimum
+  EXPECT_EQ(guard.accuracy_broken(), 0u);  // 2 ppm * 1.2 s stays in bound
+
+  // Resync happened after the heal, within rejoin_rounds + 1 rounds.
+  EXPECT_GT(rx.last_sync_time(), heal);
+  EXPECT_LE(rx.last_sync_time(), heal + Duration::ms(200) * 3);
+
+  // Holdover deterioration stayed sane: positive, but far below the
+  // ceiling for a 1.2 s outage at 2 ppm.
+  EXPECT_GT(guard.peak_holdover_alpha(), Duration::zero());
+  EXPECT_LT(guard.peak_holdover_alpha(), Duration::us(100));
+
+  // The containment invariant held throughout — the whole point of
+  // deteriorating the bound instead of freezing it.
+  EXPECT_EQ(sc.containment_violations(), 0u);
+
+  // State transitions are traced in the destination segment's ring.
+  EXPECT_GE(count_in_csv(sc.segment(1).trace(), "gateway_state"), 3u);
+}
+
+TEST(GatewayFault, TinyCeilingBreaksAccuracyInsteadOfOffering) {
+  cluster::ClusterConfig cfg = two_segment_cfg();
+  cfg.topology.holdover_ceiling = Duration::ns(100);  // below any real bound
+  const SimTime cut = kEpoch + Duration::ms(1000);
+  const SimTime heal = kEpoch + Duration::ms(2200);
+  cfg.faults.add(fault::FaultSpec::gateway_partition(0, cut, heal));
+  cluster::ShardedCluster sc(std::move(cfg));
+  sc.start();
+  sc.run(Duration::ms(4000), Duration::ms(400));
+
+  cluster::GatewayLinkRx& rx = sc.gateway_rx(0);
+  const node::GatewayGuard& guard = rx.guard();
+  // Broken accuracy is signalled exactly once, and never offered: a bound
+  // past the ceiling is useless, feeding it would only poison the round.
+  EXPECT_EQ(guard.accuracy_broken(), 1u);
+  EXPECT_EQ(rx.holdover_offers(), 0u);
+  // The link still recovers once capsules flow again.
+  EXPECT_EQ(guard.state(), node::GatewayState::kSynchronized);
+  EXPECT_EQ(sc.containment_violations(), 0u);
+}
+
+TEST(GatewayFault, SegmentCrashColdRejoins) {
+  cluster::ClusterConfig cfg = two_segment_cfg();
+  const SimTime crash = kEpoch + Duration::ms(1200);
+  const SimTime restart = kEpoch + Duration::ms(1700);
+  cfg.faults.add(
+      fault::FaultSpec::segment_crash(1, crash, restart, Duration::us(300)));
+  cluster::ShardedCluster sc(std::move(cfg));
+  sc.start();
+  sc.run(Duration::ms(4000), Duration::ms(400));
+
+  // Every node of the crashed segment is back and round-executing.
+  for (int i = 0; i < sc.segment(1).size(); ++i) {
+    EXPECT_TRUE(sc.segment(1).sync(i).running());
+  }
+  // Crash accounting lives in the crashed segment's registry.
+  const std::string json = sc.segment(1).metrics().to_json();
+  EXPECT_NE(json.find("fault.segment_crash.injected"), std::string::npos);
+  EXPECT_NE(json.find("fault.segment_crash.recovered"), std::string::npos);
+
+  // While the segment was dead its gateway neither captured (link 1, the
+  // 1->0 direction) nor consumed (link 0, the 0->1 direction) capsules —
+  // both accounted, not silent.
+  EXPECT_GT(sc.gateway_tx(1).skipped_down(), 0u);
+  EXPECT_GT(sc.gateway_rx(0).skipped_down(), 0u);
+  // The full accounting identity closes on the 0->1 link even across the
+  // receiver outage.
+  cluster::GatewayLinkRx& rx = sc.gateway_rx(0);
+  EXPECT_EQ(rx.accepted() + rx.rejected_checksum() + rx.rejected_stale() +
+                rx.skipped_down(),
+            sc.gateway_tx(0).sent());
+
+  // The cold scatter was honestly covered: no containment violation at any
+  // probe, including the rejoin instant.
+  EXPECT_EQ(sc.containment_violations(), 0u);
+
+  // Crash edge events are traced in the crashed segment's ring.
+  EXPECT_GE(count_in_csv(sc.segment(1).trace(), "fault_inject"), 1u);
+  EXPECT_GE(count_in_csv(sc.segment(1).trace(), "fault_clear"), 1u);
+}
+
+TEST(GatewayFault, SingleSegmentClusterRejectsShardedKinds) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.faults.add(fault::FaultSpec::gateway_capsule_loss(0.1));
+  EXPECT_THROW(cluster::Cluster{std::move(cfg)}, std::invalid_argument);
+
+  cluster::ClusterConfig cfg2;
+  cfg2.num_nodes = 3;
+  cfg2.faults.add(fault::FaultSpec::segment_crash(
+      0, kEpoch + Duration::sec(1), kEpoch + Duration::sec(2)));
+  EXPECT_THROW(cluster::ShardedCluster{std::move(cfg2)}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nti

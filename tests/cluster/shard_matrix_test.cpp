@@ -53,5 +53,54 @@ TEST(ShardMatrix, ByteIdenticalAcrossShardAndThreadCounts) {
   unsetenv("NTI_MC_THREADS");
 }
 
+std::string run_faulted_signature(std::size_t shards) {
+  cluster::ClusterConfig cfg;
+  cfg.seed = 1998;
+  cfg.sync.round_period = Duration::ms(200);
+  cfg.sync.resync_offset = Duration::ms(50);
+  cfg.initial_offset_spread = Duration::us(100);
+  cfg.trace_capacity = 4096;
+  cfg.topology = cluster::TopologySpec::chain(3, 3, Duration::ms(1));
+  cfg.topology.bridge_phase = Duration::ms(60);
+  cfg.topology.shards = shards;
+  cfg.topology.threads = 0;  // resolve from NTI_MC_THREADS
+  // An *active* gateway fault plan: stochastic capsule loss and corruption
+  // plus a partition window that drives the holdover state machine, all
+  // drawn from per-(spec, link) streams that must never notice the shard
+  // layout.
+  cfg.faults
+      .add(fault::FaultSpec::gateway_capsule_loss(0.4))
+      .add(fault::FaultSpec::capsule_corrupt(0.25, /*link=*/1))
+      .add(fault::FaultSpec::gateway_partition(
+          0, SimTime::epoch() + Duration::ms(400),
+          SimTime::epoch() + Duration::ms(700)));
+
+  cluster::ShardedCluster sc(std::move(cfg));
+  sc.start();
+  sc.run(Duration::ms(900), Duration::ms(300));
+  return sc.output_signature();
+}
+
+TEST(ShardMatrix, ByteIdenticalWithActiveGatewayFaultPlan) {
+  std::string reference;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    for (const char* threads : {"1", "2", "4"}) {
+      // nti-lint: allow(nondet): the test drives the documented env
+      // override to prove it has no observable effect.
+      ASSERT_EQ(setenv("NTI_MC_THREADS", threads, 1), 0);
+      const std::string sig = run_faulted_signature(shards);
+      ASSERT_FALSE(sig.empty());
+      if (reference.empty()) {
+        reference = sig;
+      } else {
+        ASSERT_EQ(reference, sig)
+            << "faulted output diverged at shards=" << shards
+            << " threads=" << threads;
+      }
+    }
+  }
+  unsetenv("NTI_MC_THREADS");
+}
+
 }  // namespace
 }  // namespace nti

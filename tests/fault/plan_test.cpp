@@ -2,6 +2,8 @@
 // queries, and the round-trip to the legacy gps::FaultWindow mechanism.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "fault/fault.hpp"
 
 namespace nti::fault {
@@ -106,6 +108,124 @@ TEST(FaultPlan, ToStringCoversEveryKind) {
   for (std::size_t k = 0; k < kNumKinds; ++k) {
     EXPECT_STRNE(to_string(static_cast<Kind>(k)), "unknown");
   }
+}
+
+TEST(FaultPlan, ShardedBuildersFillTheRightFields) {
+  const FaultSpec cut = FaultSpec::gateway_partition(1, kT4, kT9);
+  EXPECT_EQ(cut.kind, Kind::kGatewayPartition);
+  EXPECT_EQ(cut.node, 1);  // link index, by convention
+  EXPECT_EQ(cut.start, kT4);
+  EXPECT_EQ(cut.end, kT9);
+
+  const FaultSpec loss = FaultSpec::gateway_capsule_loss(0.4);
+  EXPECT_EQ(loss.kind, Kind::kGatewayCapsuleLoss);
+  EXPECT_DOUBLE_EQ(loss.rate, 0.4);
+  EXPECT_EQ(loss.node, -1);  // every link by default
+
+  const FaultSpec spike =
+      FaultSpec::gateway_delay_spike(0.2, Duration::ms(5), 0, kT4, kT9);
+  EXPECT_EQ(spike.kind, Kind::kGatewayDelaySpike);
+  EXPECT_EQ(spike.magnitude, Duration::ms(5));
+  EXPECT_EQ(spike.node, 0);
+
+  const FaultSpec corrupt = FaultSpec::capsule_corrupt(0.1, 2);
+  EXPECT_EQ(corrupt.kind, Kind::kCapsuleCorrupt);
+  EXPECT_DOUBLE_EQ(corrupt.rate, 0.1);
+  EXPECT_EQ(corrupt.node, 2);
+
+  const FaultSpec crash = FaultSpec::segment_crash(1, kT4, kT9, Duration::us(80));
+  EXPECT_EQ(crash.kind, Kind::kSegmentCrash);
+  EXPECT_EQ(crash.node, 1);  // segment index, by convention
+  EXPECT_EQ(crash.magnitude, Duration::us(80));
+}
+
+TEST(FaultPlan, KindPredicates) {
+  EXPECT_TRUE(is_gateway_kind(Kind::kGatewayPartition));
+  EXPECT_TRUE(is_gateway_kind(Kind::kGatewayCapsuleLoss));
+  EXPECT_TRUE(is_gateway_kind(Kind::kGatewayDelaySpike));
+  EXPECT_TRUE(is_gateway_kind(Kind::kCapsuleCorrupt));
+  EXPECT_FALSE(is_gateway_kind(Kind::kSegmentCrash));
+  EXPECT_FALSE(is_gateway_kind(Kind::kPartition));
+  EXPECT_TRUE(is_sharded_kind(Kind::kSegmentCrash));
+  EXPECT_TRUE(is_sharded_kind(Kind::kGatewayPartition));
+  EXPECT_FALSE(is_sharded_kind(Kind::kNodeCrash));
+}
+
+TEST(FaultPlanValidate, AcceptsAWellFormedPlan) {
+  FaultPlan plan;
+  plan.add(FaultSpec::frame_loss(0.1))
+      .add(FaultSpec::node_crash(2, kT4, kT9))
+      .add(FaultSpec::partition({0, 1}, kT4, kT9))
+      .add(FaultSpec::gateway_partition(1, kT4, kT9))
+      .add(FaultSpec::gateway_capsule_loss(0.3))
+      .add(FaultSpec::segment_crash(1, kT4, kT9));
+  EXPECT_NO_THROW(plan.validate(/*num_nodes=*/3, /*num_segments=*/2,
+                                /*num_links=*/2));
+}
+
+TEST(FaultPlanValidate, RejectsNonexistentNode) {
+  FaultPlan plan;
+  plan.add(FaultSpec::node_crash(5, kT4, kT9));
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  FaultPlan group;
+  group.add(FaultSpec::partition({1, 7}, kT4, kT9));
+  EXPECT_THROW(group.validate(4), std::invalid_argument);
+  FaultPlan wildcard;
+  wildcard.add(FaultSpec::clock_yank(-1, Duration::ms(1), Duration::ms(500)));
+  EXPECT_THROW(wildcard.validate(4), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsShardedKindsOnSingleSegment) {
+  FaultPlan plan;
+  plan.add(FaultSpec::gateway_capsule_loss(0.2));
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  FaultPlan crash;
+  crash.add(FaultSpec::segment_crash(0, kT4, kT9));
+  EXPECT_THROW(crash.validate(4, /*num_segments=*/1), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsNonexistentLinkOrSegment) {
+  FaultPlan link;
+  link.add(FaultSpec::gateway_partition(3, kT4, kT9));
+  EXPECT_THROW(link.validate(4, /*num_segments=*/3, /*num_links=*/2),
+               std::invalid_argument);
+  FaultPlan seg;
+  seg.add(FaultSpec::segment_crash(3, kT4, kT9));
+  EXPECT_THROW(seg.validate(4, /*num_segments=*/3, /*num_links=*/2),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsOverlappingCrashWindows) {
+  const SimTime t6 = SimTime::epoch() + Duration::sec(6);
+  const SimTime t12 = SimTime::epoch() + Duration::sec(12);
+  FaultPlan nodes;
+  nodes.add(FaultSpec::node_crash(1, kT4, kT9))
+      .add(FaultSpec::node_crash(1, t6, t12));
+  EXPECT_THROW(nodes.validate(4), std::invalid_argument);
+
+  // Same windows on *different* targets are fine.
+  FaultPlan disjoint;
+  disjoint.add(FaultSpec::node_crash(1, kT4, kT9))
+      .add(FaultSpec::node_crash(2, t6, t12));
+  EXPECT_NO_THROW(disjoint.validate(4));
+
+  FaultPlan segs;
+  segs.add(FaultSpec::segment_crash(1, kT4, kT9))
+      .add(FaultSpec::segment_crash(1, t6, t12));
+  EXPECT_THROW(segs.validate(4, /*num_segments=*/2), std::invalid_argument);
+
+  // A segment 0 crash covers every plan-local node: overlap with any
+  // node_crash is rejected.
+  FaultPlan mixed;
+  mixed.add(FaultSpec::segment_crash(0, kT4, kT9))
+      .add(FaultSpec::node_crash(2, t6, t12));
+  EXPECT_THROW(mixed.validate(4, /*num_segments=*/2), std::invalid_argument);
+
+  // Back-to-back (touching, not overlapping) windows are fine.
+  FaultPlan touching;
+  touching.add(FaultSpec::node_crash(1, kT4, t6))
+      .add(FaultSpec::node_crash(1, t6, t12));
+  EXPECT_NO_THROW(touching.validate(4));
 }
 
 }  // namespace

@@ -1,0 +1,49 @@
+// Cold-rejoin regression: SyncNode::start() must clear the pending
+// amortization end mark along with the rest of the stale history.  Before
+// the fix, a node crash-restarted while (or after) a slew was running kept
+// the old clock-unit mark, so the first post-rejoin offer_remote calls
+// widened their margins for an amortization that was no longer running.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace nti {
+namespace {
+
+TEST(RejoinAmort, ColdRestartClearsPendingAmortizationMark) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.seed = 77;
+  cfg.sync.round_period = Duration::ms(200);
+  cfg.sync.resync_offset = Duration::ms(50);
+  cfg.initial_offset_spread = Duration::us(100);
+  cluster::Cluster c(std::move(cfg));
+  c.start();
+  c.run(Duration::ms(1600), Duration::ms(400));
+
+  // After several converged rounds the corrections are small enough to be
+  // amortized, so the end mark (a local-clock value) is nonzero somewhere.
+  bool any_amortized = false;
+  for (int i = 0; i < c.size(); ++i) {
+    any_amortized = any_amortized ||
+                    c.sync(i).amort_end_clock() > Duration::zero();
+  }
+  ASSERT_TRUE(any_amortized)
+      << "scenario produced no amortized correction; the regression check "
+         "below would be vacuous";
+
+  // Crash-restart every such node: the cold start() replaces the clock
+  // state outright, so the mark must be gone.
+  const Duration truth = c.engine().now() - SimTime::epoch();
+  for (int i = 0; i < c.size(); ++i) {
+    if (c.sync(i).amort_end_clock() <= Duration::zero()) continue;
+    c.sync(i).stop();
+    const auto first_round = static_cast<std::uint32_t>(
+        truth.count_ps() / Duration::ms(200).count_ps()) + 2;
+    c.sync(i).start(truth, Duration::us(300), first_round);
+    EXPECT_EQ(c.sync(i).amort_end_clock(), Duration::zero());
+  }
+}
+
+}  // namespace
+}  // namespace nti

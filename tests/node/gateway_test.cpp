@@ -97,5 +97,168 @@ TEST(Gateway, RejectsSsuZero) {
                "SSU 0 belongs to the primary port");
 }
 
+// ---------------------------------------------------------------------------
+// TimeCapsule wire format
+
+TimeCapsule sample_capsule() {
+  TimeCapsule c;
+  c.seq = 7;
+  c.ref = Duration::ms(1234);
+  c.alpha_minus = Duration::us(40);
+  c.alpha_plus = Duration::us(55);
+  c.hold = Duration::us(3);
+  c.step = RateStep::raw(0x123456789abcdef0);
+  return c;
+}
+
+TEST(TimeCapsule, EncodeDecodeRoundTrip) {
+  const TimeCapsule c = sample_capsule();
+  const auto back = TimeCapsule::decode(c.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, c.seq);
+  EXPECT_EQ(back->ref, c.ref);
+  EXPECT_EQ(back->alpha_minus, c.alpha_minus);
+  EXPECT_EQ(back->alpha_plus, c.alpha_plus);
+  EXPECT_EQ(back->hold, c.hold);
+  EXPECT_EQ(back->step.reg64(), c.step.reg64());
+}
+
+TEST(TimeCapsule, EverySingleBitFlipIsDetected) {
+  const TimeCapsule::Wire wire = sample_capsule().encode();
+  for (std::size_t bit = 0; bit < TimeCapsule::kWireBytes * 8; ++bit) {
+    TimeCapsule::Wire flipped = wire;
+    flipped.bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(TimeCapsule::decode(flipped).has_value())
+        << "bit " << bit << " flip slipped through the CRC";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GatewayGuard degradation state machine
+
+GuardConfig guard_cfg() {
+  GuardConfig g;
+  g.rho_ppm = 10.0;
+  g.granularity = Duration::ns(60);
+  g.alpha_ceiling = Duration::us(200);
+  g.stale_timeout = Duration::ms(50);
+  g.rejoin_rounds = 2;
+  return g;
+}
+
+TimeCapsule capsule_at(std::uint64_t seq, Duration ref) {
+  TimeCapsule c;
+  c.seq = seq;
+  c.ref = ref;
+  c.alpha_minus = Duration::us(20);
+  c.alpha_plus = Duration::us(20);
+  c.hold = Duration::zero();
+  c.step = RateStep::raw(0);
+  return c;
+}
+
+TEST(GatewayGuard, AcceptFoldsHoldIntoRefAndBound) {
+  GatewayGuard guard(guard_cfg());
+  TimeCapsule c = capsule_at(1, Duration::ms(100));
+  c.hold = Duration::ms(10);
+  const auto v = guard.on_capsule(c, /*local_clock=*/Duration::ms(100));
+  ASSERT_TRUE(v.accepted);
+  EXPECT_EQ(v.offer.ref, Duration::ms(110));  // ref advanced by the hold
+  // Bound deteriorated by rho (10 ppm over 10 ms = 100 ns) + granularity,
+  // then AlphaUnits-quantized (round-up): never below the analytic margin.
+  EXPECT_GE(v.offer.alpha_minus, Duration::us(20) + Duration::ns(160));
+  EXPECT_LE(v.offer.alpha_minus, Duration::us(21));
+  EXPECT_EQ(guard.state(), GatewayState::kSynchronized);
+}
+
+TEST(GatewayGuard, RejectsDuplicateSeqAndStaleHold) {
+  GatewayGuard guard(guard_cfg());
+  EXPECT_TRUE(guard.on_capsule(capsule_at(3, Duration::ms(1)), Duration::ms(1))
+                  .accepted);
+  // Duplicate / out-of-order sequence number.
+  const auto dup = guard.on_capsule(capsule_at(3, Duration::ms(2)), Duration::ms(2));
+  EXPECT_FALSE(dup.accepted);
+  EXPECT_EQ(dup.reason, obs::DiscardReason::kCapsuleStale);
+  // Held past the staleness cut.
+  TimeCapsule old = capsule_at(4, Duration::ms(3));
+  old.hold = Duration::ms(60);  // > 50 ms timeout
+  EXPECT_FALSE(guard.on_capsule(old, Duration::ms(3)).accepted);
+  EXPECT_EQ(guard.last_seq(), 3u);
+}
+
+TEST(GatewayGuard, HoldoverDeterioratesAtRhoPerElapsedTick) {
+  GatewayGuard guard(guard_cfg());
+  ASSERT_TRUE(
+      guard.on_capsule(capsule_at(1, Duration::ms(500)), Duration::ms(500))
+          .accepted);
+  // The accept answers the current round; the next check is the first miss:
+  // 100 ms of local elapsed time at 10 ppm = 1 us of deterioration.
+  guard.on_round_check(Duration::ms(550));
+  ASSERT_EQ(guard.state(), GatewayState::kSynchronized);
+  const auto rc = guard.on_round_check(Duration::ms(600));
+  EXPECT_EQ(guard.state(), GatewayState::kHoldover);
+  ASSERT_TRUE(rc.offer_valid);
+  EXPECT_EQ(rc.offer.ref, Duration::ms(600));  // freewheeled with local clock
+  const Duration analytic = Duration::us(20) + Duration::us(1);
+  EXPECT_GE(rc.offer.alpha_minus, analytic);
+  // Quantization + the accept-time margin stay under one ACU unit + slack.
+  EXPECT_LE(rc.offer.alpha_minus, analytic + Duration::us(1));
+  EXPECT_EQ(guard.holdover_rounds(), 1u);
+  EXPECT_GE(guard.peak_holdover_alpha(), analytic);
+}
+
+TEST(GatewayGuard, FreeRunningPastCeilingAndNoOffer) {
+  GatewayGuard guard(guard_cfg());
+  ASSERT_TRUE(guard.on_capsule(capsule_at(1, Duration::zero()), Duration::zero())
+                  .accepted);
+  guard.on_round_check(Duration::ms(100));  // answered by the accept
+  // 21 s at 10 ppm = 210 us of deterioration: past the 200 us ceiling
+  // (which sits on top of the 20 us base).
+  const auto rc = guard.on_round_check(Duration::sec(21));
+  EXPECT_EQ(guard.state(), GatewayState::kFreeRunning);
+  EXPECT_FALSE(rc.offer_valid);
+  EXPECT_TRUE(rc.accuracy_broken_now);
+  EXPECT_EQ(guard.accuracy_broken(), 1u);
+  // Still broken on the next check, but the transition fired only once.
+  const auto rc2 = guard.on_round_check(Duration::sec(22));
+  EXPECT_FALSE(rc2.offer_valid);
+  EXPECT_FALSE(rc2.accuracy_broken_now);
+  EXPECT_EQ(guard.accuracy_broken(), 1u);
+}
+
+TEST(GatewayGuard, RejoinNeedsConsecutiveAccepts) {
+  GatewayGuard guard(guard_cfg());
+  ASSERT_TRUE(guard.on_capsule(capsule_at(1, Duration::zero()), Duration::zero())
+                  .accepted);
+  guard.on_round_check(Duration::ms(50));  // answered by the accept
+  guard.on_round_check(Duration::ms(100));
+  ASSERT_EQ(guard.state(), GatewayState::kHoldover);
+  // First accept after the outage: REJOINING (rejoin_rounds = 2).
+  EXPECT_TRUE(
+      guard.on_capsule(capsule_at(2, Duration::ms(200)), Duration::ms(200))
+          .accepted);
+  EXPECT_EQ(guard.state(), GatewayState::kRejoining);
+  // A missed round resets the streak back to HOLDOVER...
+  guard.on_round_check(Duration::ms(300));
+  guard.on_round_check(Duration::ms(400));
+  EXPECT_EQ(guard.state(), GatewayState::kHoldover);
+  // ...and two consecutive accepts complete the rejoin.
+  EXPECT_TRUE(
+      guard.on_capsule(capsule_at(3, Duration::ms(500)), Duration::ms(500))
+          .accepted);
+  guard.on_round_check(Duration::ms(500));  // answered: fresh, no holdover
+  EXPECT_EQ(guard.state(), GatewayState::kRejoining);
+  const auto v = guard.on_capsule(capsule_at(4, Duration::ms(600)), Duration::ms(600));
+  EXPECT_EQ(guard.state(), GatewayState::kSynchronized);
+  EXPECT_EQ(v.to, GatewayState::kSynchronized);
+}
+
+TEST(GatewayGuard, StateNamesAreStable) {
+  EXPECT_STREQ(to_string(GatewayState::kSynchronized), "synchronized");
+  EXPECT_STREQ(to_string(GatewayState::kHoldover), "holdover");
+  EXPECT_STREQ(to_string(GatewayState::kFreeRunning), "free_running");
+  EXPECT_STREQ(to_string(GatewayState::kRejoining), "rejoining");
+}
+
 }  // namespace
 }  // namespace nti::node

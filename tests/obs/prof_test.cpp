@@ -46,7 +46,7 @@ class ProfTest : public ::testing::Test {
 /// Burn a little real time so total_ns has something to accumulate.
 void spin() {
   volatile std::uint64_t x = 0;
-  for (int i = 0; i < 20'000; ++i) x += static_cast<std::uint64_t>(i);
+  for (int i = 0; i < 20'000; ++i) x = x + static_cast<std::uint64_t>(i);
 }
 
 TEST_F(ProfTest, DisabledByDefaultAndZonesAreNoOps) {

@@ -19,11 +19,14 @@ deterministically:
       "artifacts": {"traces": [...], "timeseries": [...], "prof": [...]}
     }
 
-The "resilience" section (present only when the e13 fault-matrix bench ran)
-lifts the headline robustness figures to the summary's top level so the
-PR-over-PR trajectory trends them directly: baseline vs worst-cell
-precision, the degradation factor between them, per-cell p99s, and the
-crash-cell rejoin statistics.
+The "resilience" section (present when the e13 fault-matrix bench and/or
+the e15 partition-resilience bench ran) lifts the headline robustness
+figures to the summary's top level so the PR-over-PR trajectory trends
+them directly: baseline vs worst-cell precision, the degradation factor
+between them, per-cell p99s, the crash-cell rejoin statistics, and --
+under "partition" -- E15's per-cell holdover peaks/resync rounds, the
+measured-vs-analytic alpha-growth slope ratios, and the byte-identity /
+containment / bound verdicts.
 
 Usage: collect_bench.py [directory] [--expect name1,name2,...]
                         [--baseline DIR --compare [--gate]]
@@ -90,6 +93,30 @@ def resilience_section(metrics: dict) -> dict:
             section["cells"][cell] = value
         elif key.startswith("crash."):
             section["crash"][key.removeprefix("crash.")] = value
+    return section
+
+
+def partition_section(metrics: dict) -> dict:
+    """Distill the e15 partition-resilience metrics (gateway holdover)."""
+    section = {
+        "containment_violations": metrics.get("containment_violations"),
+        "bytes_identical": metrics.get("bytes_identical"),
+        "holdover_within_bound": metrics.get("holdover_within_bound"),
+        "resync_bounded": metrics.get("resync_bounded"),
+        "alpha_slope_ratio": {},
+        "cells": {},
+    }
+    for key, value in sorted(metrics.items()):
+        if key.endswith("_alpha_slope_ratio"):
+            shape = key.removesuffix("_alpha_slope_ratio")
+            section["alpha_slope_ratio"][shape] = value
+        elif key.endswith("_peak_holdover_alpha_us"):
+            cell = key.removesuffix("_peak_holdover_alpha_us")
+            section["cells"].setdefault(cell, {})["peak_holdover_alpha_us"] \
+                = value
+        elif key.endswith("_rounds_to_resync"):
+            cell = key.removesuffix("_rounds_to_resync")
+            section["cells"].setdefault(cell, {})["rounds_to_resync"] = value
     return section
 
 
@@ -162,6 +189,9 @@ def collect(directory: Path, expected: list) -> dict:
     if "e13_resilience" in benches:
         summary["resilience"] = resilience_section(
             benches["e13_resilience"]["metrics"])
+    if "e15_partition_resilience" in benches:
+        summary.setdefault("resilience", {})["partition"] = partition_section(
+            benches["e15_partition_resilience"]["metrics"])
     return summary
 
 
@@ -394,6 +424,35 @@ def self_test() -> int:
         # End-to-end: --expect fails the run on the provenance-free report.
         rc = main(["collect_bench.py", str(d), "--expect", "good,naked"])
         expect(rc == 1, f"--expect with naked manifest: rc {rc} != 1")
+
+    # E15 partition-resilience distillation.
+    sec = partition_section({
+        "pass": 1, "containment_violations": 0, "bytes_identical": 1,
+        "holdover_within_bound": 1, "resync_bounded": 1,
+        "chain_alpha_slope_ratio": 1.01,
+        "chain_short_peak_holdover_alpha_us": 46.7,
+        "chain_short_rounds_to_resync": 0.3,
+        "chain_short_violations": 0,
+    })
+    expect(sec["alpha_slope_ratio"] == {"chain": 1.01},
+           f"slope ratios {sec['alpha_slope_ratio']}")
+    expect(sec["cells"] == {"chain_short": {"peak_holdover_alpha_us": 46.7,
+                                            "rounds_to_resync": 0.3}},
+           f"partition cells {sec['cells']}")
+    expect(sec["bytes_identical"] == 1 and sec["containment_violations"] == 0,
+           "partition verdicts not lifted")
+
+    # The summary-level wiring: an e15 report creates resilience.partition.
+    with tempfile.TemporaryDirectory() as tmp:
+        d = Path(tmp)
+        (d / "BENCH_e15_partition_resilience.json").write_text(_report(
+            "e15_partition_resilience",
+            {"pass": 1, "bytes_identical": 1, "mesh_alpha_slope_ratio": 0.99},
+            manifest=GOOD_MANIFEST))
+        summary = collect(d, [])
+        expect(summary["resilience"]["partition"]["alpha_slope_ratio"] ==
+               {"mesh": 0.99},
+               f"resilience.partition {summary.get('resilience')}")
 
     # Compare: ratios, regression thresholds, manifest mismatch flag.
     with tempfile.TemporaryDirectory() as tmp:
