@@ -295,8 +295,8 @@ void SyncNode::offer_remote(int peer_key, Duration remote_ref,
   // which is the steady state for any bridge_phase past the slew window.
   if (amort_end_clock_ > local_r) {
     const Duration overlap = std::min(amort_end_clock_ - local_r, sigma);
-    // nti-lint: allow(float): amort_rate is a configuration fraction;
-    // scaled_ppm re-quantizes to integer picoseconds immediately.
+    // amort_rate is a configuration fraction; scaled_ppm re-quantizes
+    // to integer picoseconds immediately.
     margin = margin + scaled_ppm(overlap, cfg_.amort_rate * 1e6);
   }
   const Duration peer_ref = remote_ref + link_latency + sigma;

@@ -155,8 +155,8 @@ void Injector::arm_freq_step(std::size_t idx) {
   engine_.schedule_at(spec.start, [this, idx] {
     const FaultSpec& s = plan_.specs[idx];
     auto& ltu = target(s).card->chip().ltu();
-    // nti-lint: allow(float): fault model scales STEP by a ppm factor; the
-    // result is re-quantized to an integer augend before the register write.
+    // The fault model scales STEP by a ppm factor; the result is
+    // re-quantized to an integer augend before the register write.
     const double factor = 1.0 + s.ppm * 1e-6;
     ltu.set_step(engine_.now(),
                  RateStep::raw(std::llround(
@@ -171,7 +171,7 @@ void Injector::arm_freq_step(std::size_t idx) {
     auto& ltu = target(s).card->chip().ltu();
     // Undo multiplicatively against the *current* STEP so legitimate rate-
     // sync adjustments made during the window survive the restore.
-    // nti-lint: allow(float): see arm_freq_step above.
+    // Float use re-quantized as in arm_freq_step above.
     const double factor = 1.0 + s.ppm * 1e-6;
     ltu.set_step(engine_.now(),
                  RateStep::raw(std::llround(

@@ -21,8 +21,8 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 }
 
 /// rho-ppm deterioration margin over a locally measured elapsed time.
-// nti-lint: allow(float): rho is a spec-sheet ppm figure; the margin is
-// re-quantized to integer picoseconds (and AlphaUnits downstream).
+// rho is a spec-sheet ppm figure; the margin is re-quantized to integer
+// picoseconds (and AlphaUnits downstream).
 Duration rho_margin(Duration elapsed, double rho_ppm) {
   return Duration::from_sec_f(elapsed.to_sec_f() * rho_ppm * 1e-6);
 }

@@ -84,8 +84,8 @@ const char* to_string(GatewayState s);
 
 struct GuardConfig {
   /// Drift bound used for the holdover deterioration, in ppm.
-  // nti-lint: allow(float): configuration bound in ppm; the widened margin
-  // is quantized through AlphaUnits before it is offered.
+  // Configuration bound in ppm; the widened margin is quantized through
+  // AlphaUnits before it is offered.
   double rho_ppm = 2.0;
   /// Capture-read granularity added once per synthesized offer.
   Duration granularity = Duration::ns(60);

@@ -1,21 +1,19 @@
 // libnti umbrella header: everything a downstream user needs.
 //
-// Layering (bottom to top):
-//   common/   time types, fixed point, RNG, stats
-//   obs/      observability: metrics registry, trace ring, JSON emission
-//   sim/      discrete-event engine
-//   osc/      oscillator models
-//   interval/ accuracy-interval arithmetic & fusion
-//   utcsu/    the UTCSU-ASIC model
-//   nti/      the NTI MA-Module (memory map, CPLD, interrupts)
-//   net/      CSMA/CD broadcast medium
-//   comco/    Ethernet coprocessor (82596CA-class)
-//   gps/      GPS timing receiver (+ fault injection)
-//   node/     CPU/ISR model and the KI/NI/CI driver
-//   csa/      interval-based clock synchronization algorithms
-//   fault/    unified deterministic fault-injection plans + injector
-//   cluster/  multi-node scenarios and measurement probes
-//   mc/       parallel Monte-Carlo replication over clusters
+// Layering (bottom to top; machine-checked against tools/layering.json by
+// the nti-lint `layer` rule -- see docs/STATIC_ANALYSIS.md):
+//   common/        time types, fixed point, RNG, stats
+//   sim/ net/      discrete-event engine; CSMA/CD broadcast medium
+//   osc/ utcsu/    oscillator models; the UTCSU-ASIC model
+//   gps/           GPS timing receiver (+ fault injection)
+//   comco/ nti/    Ethernet coprocessor; the NTI MA-Module
+//   interval/ csa/ accuracy-interval arithmetic; clock-sync algorithms
+//   node/          CPU/ISR model and the KI/NI/CI driver
+//   cluster/ fault/ multi-node scenarios; deterministic fault injection
+// Cross-cutting (includable from anywhere): obs/ observability, mc/
+// parallel Monte-Carlo replication.  The one declared upward edge,
+// csa -> node, is recorded as a manifest exception until the pluggable
+// SyncAlgorithm extraction inverts it.
 #pragma once
 
 #include "common/checksum.hpp"

@@ -105,6 +105,8 @@ void ShardGroup::run_until(SimTime limit, mc::ThreadPool* pool) {
   const std::int64_t limit_ps = limit.count_ps();
   const std::size_t n = engines_.size();
   std::vector<std::int64_t> target(n);
+  // nti-lint: allow(hotpath): per-round task batch for the pool, O(shards)
+  // per conservative round, not O(events); run_batch's interface wants it.
   std::vector<std::function<void()>> tasks;
   for (;;) {
     bool all_at_limit = true;
@@ -139,6 +141,8 @@ void ShardGroup::run_until(SimTime limit, mc::ThreadPool* pool) {
       }
     }
     if (tasks.empty()) {
+      // nti-lint: allow(hotpath): unreachable progress assertion, cold by
+      // construction -- link validation rejects degenerate latencies.
       throw std::logic_error(
           "ShardGroup::run_until made no progress — a gateway link cycle "
           "with degenerate latency slipped past validation");

@@ -4,7 +4,8 @@
 
 namespace nti::utcsu {
 
-void AccuracyCell::advance(std::uint64_t n) {
+void AccuracyCell::advance(TickCount tick) {
+  const std::uint64_t n = tick.value();
   if (n <= last_tick_) return;
   const std::uint64_t k = n - last_tick_;
   last_tick_ = n;
@@ -15,23 +16,23 @@ void AccuracyCell::advance(std::uint64_t n) {
 }
 
 AlphaUnits AccuracyCell::read_at_tick(TickCount n) {
-  advance(n.value());
+  advance(n);
   return AlphaUnits::of(
       static_cast<std::uint16_t>(static_cast<std::uint64_t>(acc_) >> kAlphaShift));
 }
 
 std::uint64_t AccuracyCell::raw_at_tick(TickCount n) {
-  advance(n.value());
+  advance(n);
   return static_cast<std::uint64_t>(acc_);
 }
 
 void AccuracyCell::set(TickCount tick_now, AlphaUnits units) {
-  advance(tick_now.value());
+  advance(tick_now);
   acc_ = static_cast<std::int64_t>(std::uint64_t{units.value()} << kAlphaShift);
 }
 
 void AccuracyCell::set_lambda(TickCount tick_now, RateStep lambda) {
-  advance(tick_now.value());
+  advance(tick_now);
   lambda_ = lambda;
 }
 

@@ -42,7 +42,7 @@ class AccuracyCell {
   RateStep lambda() const { return lambda_; }
 
  private:
-  void advance(std::uint64_t n);
+  void advance(TickCount tick);
   std::int64_t acc_ = 0;              ///< phi units; clamped to [0, kSaturation]
   RateStep lambda_ = RateStep::zero();  ///< phi per tick
   std::uint64_t last_tick_ = 0;

@@ -50,7 +50,8 @@ RateStep Ltu::nominal_step(double f_osc_hz) {
   // nti-lint: end-allow(float)
 }
 
-void Ltu::advance_to_tick(std::uint64_t n) {
+void Ltu::advance_to_tick(TickCount tick) {
+  const std::uint64_t n = tick.value();
   while (last_tick_ < n) {
     const bool amortizing_now = amort_ticks_left_ > 0;
     const std::uint64_t rate = amortizing_now ? amort_step_.magnitude() : step_.magnitude();
@@ -89,7 +90,7 @@ void Ltu::advance_to_tick(std::uint64_t n) {
 }
 
 Phi Ltu::read(SimTime t) {
-  advance_to_tick(osc_.ticks_at(t));
+  advance_to_tick(TickCount::of(osc_.ticks_at(t)));
   return state_;
 }
 
@@ -148,25 +149,25 @@ TickCount Ltu::capture_tick(SimTime t, int synchronizer_stages) const {
 
 void Ltu::set_step(SimTime t, RateStep new_step) {
   assert(!new_step.negative() && "STEP register holds a non-negative augend");
-  advance_to_tick(osc_.ticks_at(t));
+  advance_to_tick(TickCount::of(osc_.ticks_at(t)));
   step_ = new_step;
 }
 
 void Ltu::set_state(SimTime t, Phi value) {
-  advance_to_tick(osc_.ticks_at(t));
+  advance_to_tick(TickCount::of(osc_.ticks_at(t)));
   state_ = value;
   amort_ticks_left_ = 0;
 }
 
 void Ltu::start_amortization(SimTime t, RateStep amort_step, TickCount ticks) {
   assert(!amort_step.negative() && "AMORTSTEP register holds a non-negative augend");
-  advance_to_tick(osc_.ticks_at(t));
+  advance_to_tick(TickCount::of(osc_.ticks_at(t)));
   amort_step_ = amort_step;
   amort_ticks_left_ = ticks.value();
 }
 
 void Ltu::abort_amortization(SimTime t) {
-  advance_to_tick(osc_.ticks_at(t));
+  advance_to_tick(TickCount::of(osc_.ticks_at(t)));
   amort_ticks_left_ = 0;
 }
 

@@ -82,7 +82,7 @@ class Ltu {
   osc::Oscillator& oscillator() const { return osc_; }
 
  private:
-  void advance_to_tick(std::uint64_t n);
+  void advance_to_tick(TickCount tick);
 
   osc::Oscillator& osc_;
   Phi state_;                   ///< register value at tick last_tick_

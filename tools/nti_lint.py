@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
-"""nti-lint: repo-specific determinism & unit-safety lint for the NTI tree.
+"""nti-lint: whole-program determinism & unit-safety analyzer for the NTI tree.
 
 The deterministic clock core must stay bit-reproducible and unit-safe, and
 those properties are invariants the compiler cannot check.  This tool walks
 ``src/`` and enforces them as a ctest (label ``lint``); see
 docs/STATIC_ANALYSIS.md for the full contract.
 
-Rules (category in parentheses is the sanction key):
+Twelve rules (category in parentheses is the sanction key):
 
   float     No ``double``/``float`` types in the deterministic clock core
             (src/utcsu, src/csa, src/interval).  Real-valued configuration
@@ -16,11 +16,7 @@ Rules (category in parentheses is the sanction key):
             rand()/srand(), time(NULL/nullptr/0), getenv.
   prof      No wall-clock reads (std::chrono system/steady/high_resolution
             clocks, rdtsc) anywhere in src/ outside the profiler's home
-            (src/obs/prof*).  The profiler measures real time by design;
-            everything else reading a wall clock is either a determinism
-            bug or belongs behind a PROF_ZONE.  Sanctioned call sites
-            (e.g. mc::Runner's human-facing throughput figure) must state
-            why the value can never feed back into simulation state.
+            (src/obs/prof*).
   unordered No std::unordered_{map,set,multimap,multiset} anywhere in src/:
             hash iteration order is layout-dependent and has already caused
             export nondeterminism once.
@@ -33,56 +29,102 @@ Rules (category in parentheses is the sanction key):
             add_distribution and register_metrics prefixes must be
             lowercase dotted snake_case, and full names must start with a
             documented root (see METRIC_ROOTS / docs/OBSERVABILITY.md).
+            Adjacent string literals are concatenated before checking.
   alloc     No ``make_shared<...EventState...>`` anywhere in src/: the
             scheduler hot path allocates event storage from the engine's
-            slab/freelist (src/sim/engine.hpp), and a per-event heap
-            allocation is exactly the regression the slab rewrite removed
-            (docs/PERFORMANCE.md).  The pre-rewrite implementation is kept
-            for comparison in bench/micro/legacy_engine.hpp, outside this
-            tool's walk.
+            slab/freelist (src/sim/engine.hpp).
   shard     No concurrency primitives (std::thread/mutex/atomic/
             condition_variable/future/..., thread_local) anywhere in src/
-            outside the thread-pool home (src/mc/pool.*).  The sharded
-            engine's determinism argument rests on segments sharing *no*
-            mutable state outside the per-link handoff queues, with the
-            pool's barrier providing every happens-before edge
-            (docs/SHARDING.md); ad-hoc synchronization anywhere else is
-            either a determinism hazard or belongs in the pool.  Sanctioned
-            call sites must state why no output byte can depend on them.
+            outside the thread-pool home (src/mc/pool.*).
+  layer     The src/ include graph must match the committed layering
+            manifest (tools/layering.json): no include cycles, no
+            undeclared upward or cross-layer edges.  Cross-cutting layers
+            (obs, mc) may be included from anywhere but may themselves
+            include only their declared dependencies.  Manifest-level
+            exceptions carry reasons and are themselves ledger-checked.
+  unitflow  Function signatures in clock-core public headers (src/utcsu,
+            src/csa, src/interval, src/osc *.hpp) must not take raw
+            int64_t/uint64_t parameters with unit-suffixed names
+            (*_ps, *_ticks, *_alpha, *_alpha_units): those values have
+            strong types (TickCount / RateStep / AlphaUnits / Duration,
+            src/common/time_types.hpp) and a raw-integer parameter
+            reopens exactly the unit-confusion hole the types closed.
+  hotpath   No ``new`` / ``make_shared`` / ``make_unique`` / ``throw`` /
+            ``std::function`` construction inside a profiled hot zone: the
+            innermost function (or lambda) body enclosing a PROF_ZONE is a
+            measured hot path, and per-call allocation or EH setup there is
+            exactly the regression the slab rewrite removed
+            (docs/PERFORMANCE.md).
+  ledger    Every sanction must suppress at least one actual match: a
+            stale ``nti-lint: allow(...)`` (or a stale manifest layer
+            exception) that no longer suppresses anything is itself an
+            error -- dead exemptions are how walls rot.
 
 Sanction grammar (reason text after ``:`` is mandatory -- an unexplained
 exemption is itself a defect):
 
-  // nti-lint: allow(CAT): reason           this line or the next line
+  // nti-lint: allow(CAT): reason           this line or the next code line
   // nti-lint: begin-allow(CAT): reason     region start
   // nti-lint: end-allow(CAT)               region end
   // nti-lint: allow-file(CAT): reason      whole file
 
 Exit status: 0 clean, 1 violations found, 2 usage/internal error.
 
-Implementation note: the container has no libclang, so this is a line
-lexer, not a parser.  It strips string literals and comments before
-matching, and understands just enough argument structure for the offset
-rule.  That makes it conservative where it must be (sanctions are explicit)
-and cheap everywhere else.
+Implementation note: the container has no libclang, so this is a shared
+preprocessor-aware lexer, not a parser.  It splices line continuations,
+understands raw string literals, masks string/char literals and comments,
+treats ``#if 0`` regions as dead code, records live ``#include`` edges for
+the layer rule, and understands just enough brace/paren structure for the
+offset, unitflow and hotpath rules.  That makes it conservative where it
+must be (sanctions are explicit) and cheap everywhere else.
+
+SARIF: ``--sarif PATH`` additionally writes the findings as a SARIF 2.1.0
+report (one rule per category), which the lint CI gate uploads so findings
+annotate pull requests.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
 import tempfile
 
 CATEGORIES = ("float", "nondet", "unordered", "offset", "metric", "alloc",
-              "prof", "shard")
+              "prof", "shard", "layer", "unitflow", "hotpath", "ledger")
+
+# `ledger` findings are meta (a sanction that suppresses nothing); they can
+# not themselves be sanctioned away.
+SANCTIONABLE = tuple(c for c in CATEGORIES if c != "ledger")
+
+RULE_DESCRIPTIONS = {
+    "float": "no floating point in the deterministic clock core",
+    "nondet": "no nondeterminism sources in src/",
+    "unordered": "no hash containers in src/ (iteration order nondeterminism)",
+    "offset": "register offsets live in the register maps",
+    "metric": "metric names are lowercase dotted snake_case from documented roots",
+    "alloc": "no per-event heap allocation in the scheduler",
+    "prof": "wall-clock reads live in the profiler",
+    "shard": "concurrency primitives live in the worker pool",
+    "layer": "src/ include graph matches the layering manifest; no cycles",
+    "unitflow": "clock-core public signatures use strong unit types",
+    "hotpath": "no allocation/EH/type-erasure construction in profiled hot zones",
+    "ledger": "every sanction must suppress at least one actual match",
+    "sanction": "sanction grammar: allow(CAT) needs a reason",
+    "config": "analyzer configuration error",
+}
 
 # Directories (relative to the repo root) whose files are linted at all.
 SRC_ROOT = "src"
 
 # The deterministic clock core: the only scope of the `float` rule.
 CLOCK_CORE_DIRS = ("src/utcsu", "src/csa", "src/interval")
+
+# Clock-core public headers: the scope of the `unitflow` rule.
+UNITFLOW_DIRS = ("src/utcsu", "src/csa", "src/interval", "src/osc")
+HEADER_EXTENSIONS = (".hpp", ".hh", ".h")
 
 # Files allowed to define raw register offsets.
 OFFSET_HOME_FILES = ("src/nti/memmap.hpp", "src/utcsu/regs.hpp")
@@ -102,6 +144,8 @@ METRIC_ROOTS = {
 }
 
 CPP_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".h")
+
+DEFAULT_MANIFEST = os.path.join("tools", "layering.json")
 
 SANCTION_RE = re.compile(
     r"//\s*nti-lint:\s*"
@@ -142,6 +186,29 @@ REGISTER_METRICS_RE = re.compile(r"\bregister_metrics\s*\(")
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_.<>]+$")  # <N> placeholders in docs
 STRING_LIT_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
+UNITFLOW_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(u?int64_t)\b"
+    r"(?:\s*const)?\s*&?\s+"
+    r"(\w+_(?:ps|ticks|alpha|alpha_units))\b"
+)
+
+PROF_ZONE_RE = re.compile(r"\bPROF_ZONE\s*\(")
+HOTPATH_BAN_RE = re.compile(
+    r"\bnew\b(?!\s*\()"          # `new Foo`, not the rare `operator new(...)`
+    r"|\bmake_shared\b"
+    r"|\bmake_unique\b"
+    r"|\bthrow\b"
+    r"|\bstd\s*::\s*function\b"
+)
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch"}
+
+DIRECTIVE_RE = re.compile(r"^\s*#\s*(\w+)")
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+RAW_STRING_OPEN_RE = re.compile(r'(?:u8|[uUL])?R"([^()\\ \t\n]{0,16})\(')
+
+COND_DIRECTIVES = {"if", "ifdef", "ifndef", "elif", "else", "endif"}
+
 
 class Violation:
     def __init__(self, path: str, line: int, cat: str, message: str):
@@ -154,59 +221,271 @@ class Violation:
         return f"{self.path}:{self.line}: [{self.cat}] {self.message}"
 
 
-def strip_noncode(line: str, in_block_comment: bool):
-    """Split a physical line into comment-free views.
+class Sanction:
+    """One allow/begin-allow/allow-file directive, tracked for staleness."""
 
-    Returns (code, code_with_strings, comment, still_in_block):
-      code              literals masked with '#' -- for keyword rules, so a
-                        "double" inside a string never trips the float rule;
-      code_with_strings literals preserved -- for the metric-name check;
-      comment           the //-comment tail (for sanction parsing).
+    def __init__(self, path: str, line: int, kind: str, cat: str):
+        self.path = path
+        self.line = line
+        self.kind = kind
+        self.cat = cat
+        self.used = False
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.cat})"
+
+
+# ---------------------------------------------------------------------------
+# The shared preprocessor-aware lexer
+# ---------------------------------------------------------------------------
+
+class LexedLine:
+    __slots__ = ("code", "lit", "comment", "dead")
+
+    def __init__(self, code: str, lit: str, comment: str, dead: bool):
+        self.code = code      # literals masked with '#', comments removed
+        self.lit = lit        # like `code`, but string *contents* preserved
+        self.comment = comment  # the //-comment tail (sanction parsing)
+        self.dead = dead      # inside an `#if 0` region
+
+
+class LexedFile:
+    def __init__(self):
+        self.lines: list[LexedLine] = []          # index 0 == line 1
+        self.includes: list[tuple[int, str]] = []  # (lineno, quoted path)
+
+    def joined_code(self) -> str:
+        return "\n".join(ln.code for ln in self.lines)
+
+    def joined_lit(self) -> str:
+        return "\n".join(ln.lit for ln in self.lines)
+
+    def line_starts(self) -> list[int]:
+        starts = [0]
+        for ln in self.lines:
+            starts.append(starts[-1] + len(ln.code) + 1)
+        return starts[:-1]
+
+
+def _cond_eval(expr: str) -> str:
+    """Classify a #if/#elif expression: 'lit0', 'lit1', or 'unknown'."""
+    expr = expr.split("//")[0]
+    expr = re.sub(r"/\*.*?\*/", " ", expr).strip()
+    if expr == "0":
+        return "lit0"
+    if expr == "1":
+        return "lit1"
+    return "unknown"
+
+
+class _CondFrame:
+    __slots__ = ("parent_dead", "branch_dead", "kind")
+
+    def __init__(self, parent_dead: bool, branch_dead: bool, kind: str):
+        self.parent_dead = parent_dead
+        self.branch_dead = branch_dead
+        self.kind = kind  # 'lit0' | 'lit1' | 'unknown'
+
+
+def lex_file(text: str) -> LexedFile:
+    """Preprocessor-aware lexer over a whole file.
+
+    Handles, beyond the old per-line stripper: line continuations (a `//`
+    comment ending in `\\` swallows the next physical line; spliced
+    directives stay directives), raw string literals (`R"delim(...)delim"`,
+    possibly spanning lines), `#if 0` dead regions (content masked, nesting
+    tracked), and `#include` capture for the layer rule.  String and char
+    literal contents are masked in the code view; string contents are
+    preserved in the lit view at identical column positions, so offsets
+    computed on one view index the other.
     """
-    code = []
-    literal = []
-    comment = ""
-    i = 0
-    n = len(line)
-    while i < n:
-        if in_block_comment:
-            end = line.find("*/", i)
+    out = LexedFile()
+    physical = text.split("\n")
+
+    in_block_comment = False
+    in_line_comment = False      # continued via trailing backslash
+    in_raw_string = None         # delimiter string when inside R"delim( ...
+    cond_stack: list[_CondFrame] = []
+    directive_cont = None        # ('cond'|'include'|'other', accumulated text,
+    #                               start lineno) while splicing a directive
+
+    def currently_dead() -> bool:
+        return any(f.parent_dead or f.branch_dead for f in cond_stack)
+
+    def handle_directive(dtext: str, lineno: int, keyword: str):
+        nonlocal cond_stack
+        if keyword in ("if", "ifdef", "ifndef"):
+            parent_dead = currently_dead()
+            if keyword == "if":
+                body = re.sub(r"^\s*#\s*if\b", "", dtext, count=1)
+                kind = _cond_eval(body)
+            else:
+                kind = "unknown"  # both branches of #ifdef/#ifndef are linted
+            cond_stack.append(
+                _CondFrame(parent_dead, kind == "lit0", kind))
+        elif keyword == "elif":
+            if cond_stack:
+                f = cond_stack[-1]
+                body = re.sub(r"^\s*#\s*elif\b", "", dtext, count=1)
+                kind = _cond_eval(body)
+                # After a live `#if 1`, every later branch is dead; after a
+                # `#if 0` or an unknown condition, the branch's own literal
+                # decides (unknown => linted).
+                if f.kind == "lit1":
+                    f.branch_dead = True
+                else:
+                    f.branch_dead = kind == "lit0"
+        elif keyword == "else":
+            if cond_stack:
+                f = cond_stack[-1]
+                if f.kind == "lit0":
+                    f.branch_dead = False
+                elif f.kind == "lit1":
+                    f.branch_dead = True
+                # unknown: both branches stay live (linted)
+        elif keyword == "endif":
+            if cond_stack:
+                cond_stack.pop()
+        elif keyword == "include":
+            if not currently_dead():
+                m = INCLUDE_RE.search(dtext)
+                if m:
+                    out.includes.append((lineno, m.group(1)))
+
+    for lineno, raw in enumerate(physical, start=1):
+        code: list[str] = []
+        lit: list[str] = []
+        comment = ""
+        dead = currently_dead()
+
+        def emit(c_code: str, c_lit: str):
+            code.append(c_code)
+            lit.append(c_lit)
+
+        # -- a directive continued from the previous physical line ----------
+        if directive_cont is not None:
+            dkind, dtext, dline, dkeyword = directive_cont
+            dtext += "\n" + raw
+            if raw.endswith("\\"):
+                directive_cont = (dkind, dtext, dline, dkeyword)
+            else:
+                directive_cont = None
+                handle_directive(dtext, dline, dkeyword)
+            out.lines.append(LexedLine("", "", "", dead))
+            continue
+
+        # -- a // comment continued from the previous physical line ---------
+        if in_line_comment:
+            comment = raw
+            in_line_comment = raw.endswith("\\")
+            out.lines.append(LexedLine("", "", comment, dead))
+            continue
+
+        # -- raw string continued from the previous physical line -----------
+        i = 0
+        n = len(raw)
+        if in_raw_string is not None:
+            closer = ")" + in_raw_string + '"'
+            end = raw.find(closer)
             if end < 0:
-                return "".join(code), "".join(literal), comment, True
-            i = end + 2
-            in_block_comment = False
-            continue
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            comment = line[i:]
-            break
-        if c == "/" and i + 1 < n and line[i + 1] == "*":
-            in_block_comment = True
-            i += 2
-            continue
-        if c == '"' or c == "'":
-            quote = c
-            code.append('"' if quote == '"' else " ")
-            literal.append(quote if quote == '"' else " ")
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
+                emit("#" * n, "#" * n)
+                out.lines.append(
+                    LexedLine("".join(code), "".join(lit), "", dead))
+                continue
+            masked = end + len(closer)
+            emit("#" * end + '"', "#" * end + '"')
+            i = masked
+            in_raw_string = None
+
+        # -- block comment continued from the previous physical line --------
+        # (handled inside the main loop via in_block_comment)
+
+        # -- preprocessor directive at line start (outside comments) --------
+        if (not in_block_comment and in_raw_string is None and i == 0):
+            m = DIRECTIVE_RE.match(raw)
+            if m:
+                keyword = m.group(1)
+                if keyword in COND_DIRECTIVES or keyword == "include":
+                    if raw.endswith("\\"):
+                        directive_cont = (
+                            "cond" if keyword in COND_DIRECTIVES else "include",
+                            raw, lineno, keyword)
+                    else:
+                        handle_directive(raw, lineno, keyword)
+                    out.lines.append(LexedLine("", "", "", dead))
                     continue
-                if line[i] == quote:
-                    break
-                code.append("#")  # placeholder, keeps column math sane
-                literal.append(line[i] if quote == '"' else " ")
-                i += 1
-            if quote == '"':
-                code.append('"')
-                literal.append('"')
-            i += 1
+                # Other directives (#define, #pragma, ...) fall through and
+                # are lexed as ordinary code so a `#define BAD getenv(...)`
+                # still trips the rules -- unless the region is dead.
+
+        if dead:
+            out.lines.append(LexedLine("", "", "", True))
             continue
-        code.append(c)
-        literal.append(c)
-        i += 1
-    return "".join(code), "".join(literal), comment, in_block_comment
+
+        # -- ordinary code lexing -------------------------------------------
+        while i < n:
+            if in_block_comment:
+                end = raw.find("*/", i)
+                if end < 0:
+                    i = n
+                    break
+                i = end + 2
+                in_block_comment = False
+                continue
+            c = raw[i]
+            if c == "/" and i + 1 < n and raw[i + 1] == "/":
+                comment = raw[i:]
+                in_line_comment = raw.endswith("\\")
+                i = n
+                break
+            if c == "/" and i + 1 < n and raw[i + 1] == "*":
+                in_block_comment = True
+                i += 2
+                continue
+            rm = RAW_STRING_OPEN_RE.match(raw, i)
+            if rm:
+                in_raw_string = rm.group(1)
+                emit('"', '"')
+                i = rm.end()
+                closer = ")" + in_raw_string + '"'
+                end = raw.find(closer, i)
+                if end < 0:
+                    pad = n - i
+                    emit("#" * pad, "#" * pad)
+                    i = n
+                else:
+                    pad = end - i
+                    emit("#" * pad + '"', "#" * pad + '"')
+                    i = end + len(closer)
+                    in_raw_string = None
+                continue
+            if c == '"' or c == "'":
+                quote = c
+                emit('"' if quote == '"' else " ",
+                     '"' if quote == '"' else " ")
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        if i + 1 < n:
+                            emit("##" if quote == '"' else "  ",
+                                 raw[i:i + 2] if quote == '"' else "  ")
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        break
+                    emit("#" if quote == '"' else " ",
+                         raw[i] if quote == '"' else " ")
+                    i += 1
+                if quote == '"':
+                    emit('"', '"')
+                i += 1
+                continue
+            emit(c, c)
+            i += 1
+
+        out.lines.append(LexedLine("".join(code), "".join(lit), comment, dead))
+
+    return out
 
 
 def split_top_level_args(argtext: str):
@@ -242,75 +521,271 @@ def extract_call_args(text: str, open_paren: int):
     return None, None
 
 
-class FileLinter:
-    def __init__(self, relpath: str, lines, repo_root: str):
-        self.relpath = relpath
-        self.lines = lines
-        self.repo_root = repo_root
-        self.violations = []
-        self.errors = []  # sanction-grammar problems (also fail the run)
-        # cat -> sanction state
-        self.file_allow = set()
-        self.region_allow = {}  # cat -> line where region began
-        self.next_line_allow = {}  # cat -> True (armed by a preceding allow)
+def concat_adjacent_strings(text: str, first: re.Match):
+    """Concatenate a run of adjacent string literals starting at `first`.
 
-    def allowed(self, cat: str) -> bool:
-        return (
-            cat in self.file_allow
-            or cat in self.region_allow
-            or self.next_line_allow.get(cat, False)
-        )
+    `"sim." "queue"` names the metric `sim.queue`; the old per-line stripper
+    saw only the first fragment.  Returns the merged contents (no quotes).
+    """
+    merged = first.group(0)[1:-1]
+    pos = first.end()
+    while True:
+        m = STRING_LIT_RE.match(text, pos) if text[pos:pos + 1] == '"' \
+            else None
+        if m is None:
+            stripped = text[pos:].lstrip()
+            if stripped.startswith('"'):
+                skip = len(text) - len(text[pos:].lstrip()) - pos + pos
+                m = STRING_LIT_RE.match(text, pos + (len(text[pos:])
+                                                     - len(stripped)))
+        if m is None:
+            break
+        merged += m.group(0)[1:-1]
+        pos = m.end()
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Brace/scope analysis (shared by the hotpath rule)
+# ---------------------------------------------------------------------------
+
+class Scope:
+    __slots__ = ("open", "close", "parent", "is_function")
+
+    def __init__(self, open_: int, parent):
+        self.open = open_
+        self.close = -1
+        self.parent = parent
+        self.is_function = False
+
+
+def _matching_open_paren(code: str, close_idx: int) -> int:
+    depth = 0
+    for i in range(close_idx, -1, -1):
+        if code[i] == ")":
+            depth += 1
+        elif code[i] == "(":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _classify_function_scope(code: str, open_brace: int) -> bool:
+    """Heuristic: does the brace at `open_brace` open a function/lambda body?
+
+    Walk backward over declarator tail tokens (const/noexcept/override/
+    trailing return types).  A `)` whose matching `(` is not headed by a
+    control keyword means a function (or lambda with parameter list); a
+    bare `]` means a capture-only lambda.  Everything else (namespace,
+    class/struct, enum, plain blocks, initializer lists) is not.
+    """
+    j = open_brace - 1
+    # Skip declarator tail: whitespace, identifiers, ::, <>, &*,, -> types.
+    while j >= 0 and (code[j].isspace() or code[j].isalnum()
+                      or code[j] in "_:<>,&*[]."):
+        if code[j] == "]":
+            # could be `[...]` lambda introducer directly before `{`
+            k = j
+            depth = 0
+            while k >= 0:
+                if code[k] == "]":
+                    depth += 1
+                elif code[k] == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k -= 1
+            # lambda introducer iff the `[` is not an array subscript:
+            # preceded by start, whitespace+punctuation, or an operator.
+            prev = code[:k].rstrip()[-1:] if k > 0 else ""
+            if prev == "" or prev in "(,=+-*/%<>!&|?:;{}":
+                return True
+            j = k - 1
+            continue
+        if code[j] == ">" and j >= 1 and code[j - 1] == "-":
+            j -= 2
+            continue
+        j -= 1
+    if j < 0:
+        return False
+    if code[j] == ")":
+        op = _matching_open_paren(code, j)
+        if op < 0:
+            return False
+        head = code[:op].rstrip()
+        m = re.search(r"(\w+)$", head)
+        if m and m.group(1) in CONTROL_KEYWORDS:
+            return False
+        if head.endswith("]"):  # lambda with parameter list
+            return True
+        return bool(m)  # named function declarator
+    return False
+
+
+def build_scopes(code: str):
+    """Build the brace-scope tree of a masked code blob.
+
+    Returns (root, all_scopes).  Unbalanced braces (macro bodies) degrade
+    gracefully: stray closers are ignored, unclosed scopes close at EOF.
+    """
+    root = Scope(-1, None)
+    root.close = len(code)
+    stack = [root]
+    scopes = []
+    for i, c in enumerate(code):
+        if c == "{":
+            s = Scope(i, stack[-1])
+            s.is_function = _classify_function_scope(code, i)
+            scopes.append(s)
+            stack.append(s)
+        elif c == "}":
+            if len(stack) > 1:
+                stack[-1].close = i
+                stack.pop()
+    for s in scopes:
+        if s.close < 0:
+            s.close = len(code)
+    return root, scopes
+
+
+def innermost_scope_at(scopes, pos: int):
+    best = None
+    for s in scopes:
+        if s.open < pos <= s.close:
+            if best is None or s.open > best.open:
+                best = s
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Per-file linting
+# ---------------------------------------------------------------------------
+
+class FileLinter:
+    def __init__(self, relpath: str, lexed: LexedFile, repo_root: str):
+        self.relpath = relpath
+        self.lexed = lexed
+        self.repo_root = repo_root
+        self.violations: list[Violation] = []
+        self.errors: list[Violation] = []  # grammar problems (fail the run)
+        self.sanctions: list[Sanction] = []
+        # lineno -> {cat: Sanction} — every sanction active on that line
+        # (file-wide, region, and line allows all folded in).
+        self.allow_map: dict[int, dict[str, Sanction]] = {}
+
+    # -- sanction collection ------------------------------------------------
+
+    def collect_sanctions(self):
+        file_allow: dict[str, Sanction] = {}
+        open_regions: dict[str, Sanction] = {}
+        region_spans: list[tuple[int, int, Sanction]] = []
+        line_allows: list[tuple[int, Sanction]] = []  # (decl line, sanction)
+
+        nlines = len(self.lexed.lines)
+        for idx in range(1, nlines + 1):
+            comment = self.lexed.lines[idx - 1].comment
+            if not comment:
+                continue
+            m = SANCTION_RE.search(comment)
+            if m is None:
+                if "nti-lint:" in comment:
+                    self.errors.append(Violation(
+                        self.relpath, idx, "sanction",
+                        "unparseable nti-lint directive"))
+                continue
+            kind, cat, reason = m.group("kind"), m.group("cat"), \
+                m.group("reason")
+            if cat not in SANCTIONABLE:
+                self.errors.append(Violation(
+                    self.relpath, idx, "sanction",
+                    f"unknown category '{cat}' "
+                    f"(known: {', '.join(SANCTIONABLE)})"))
+                continue
+            if kind != "end-allow" and (reason is None or
+                                        len(reason.lstrip(': ').strip()) == 0):
+                self.errors.append(Violation(
+                    self.relpath, idx, "sanction",
+                    f"{kind}({cat}) needs a ': reason' -- say why it is "
+                    "safe"))
+                continue
+            if kind == "allow-file":
+                s = Sanction(self.relpath, idx, kind, cat)
+                self.sanctions.append(s)
+                file_allow[cat] = s
+            elif kind == "begin-allow":
+                if cat in open_regions:
+                    self.errors.append(Violation(
+                        self.relpath, idx, "sanction",
+                        f"nested begin-allow({cat}); already open at line "
+                        f"{open_regions[cat].line}"))
+                    continue
+                s = Sanction(self.relpath, idx, kind, cat)
+                self.sanctions.append(s)
+                open_regions[cat] = s
+            elif kind == "end-allow":
+                if cat not in open_regions:
+                    self.errors.append(Violation(
+                        self.relpath, idx, "sanction",
+                        f"end-allow({cat}) without matching begin-allow"))
+                else:
+                    s = open_regions.pop(cat)
+                    region_spans.append((s.line, idx, s))
+            else:  # allow
+                s = Sanction(self.relpath, idx, kind, cat)
+                self.sanctions.append(s)
+                line_allows.append((idx, s))
+
+        for cat, s in open_regions.items():
+            self.errors.append(Violation(
+                self.relpath, s.line, "sanction",
+                f"begin-allow({cat}) never closed"))
+            # Treat as covering to EOF so the unclosed-region error is the
+            # only complaint.
+            region_spans.append((s.line, nlines, s))
+
+        # Fold into the per-line map.  Precedence within a line does not
+        # matter (any active sanction suppresses); for ledger credit the
+        # most specific wins: line > region > file.
+        for idx in range(1, nlines + 1):
+            active: dict[str, Sanction] = {}
+            for cat, s in file_allow.items():
+                active[cat] = s
+            for lo, hi, s in region_spans:
+                if lo <= idx <= hi:
+                    active[s.cat] = s
+            self.allow_map[idx] = active
+        for decl, s in line_allows:
+            # covers its own line plus the next *code* line (comment-only /
+            # blank lines in between don't consume it).
+            self.allow_map.setdefault(decl, {})[s.cat] = s
+            idx = decl + 1
+            while idx <= nlines:
+                ln = self.lexed.lines[idx - 1]
+                self.allow_map.setdefault(idx, {})[s.cat] = s
+                if ln.code.strip():
+                    break
+                idx += 1
+
+    # -- reporting ----------------------------------------------------------
 
     def report(self, lineno: int, cat: str, message: str):
-        if not self.allowed(cat):
-            self.violations.append(
-                Violation(self.relpath, lineno, cat, message))
+        s = self.allow_map.get(lineno, {}).get(cat)
+        if s is not None:
+            s.used = True
+            return
+        self.violations.append(Violation(self.relpath, lineno, cat, message))
 
-    def handle_sanction(self, lineno: int, comment: str):
-        m = SANCTION_RE.search(comment)
-        if m is None:
-            # Only the directive form `nti-lint:` is parsed; prose mentions
-            # of the tool by name ("nti-lint's shard rule") are just text.
-            if "nti-lint:" in comment:
-                self.errors.append(Violation(
-                    self.relpath, lineno, "sanction",
-                    "unparseable nti-lint directive"))
-            return None
-        kind, cat, reason = m.group("kind"), m.group("cat"), m.group("reason")
-        if cat not in CATEGORIES:
-            self.errors.append(Violation(
-                self.relpath, lineno, "sanction",
-                f"unknown category '{cat}' (known: {', '.join(CATEGORIES)})"))
-            return None
-        if kind != "end-allow" and (reason is None or
-                                    len(reason.lstrip(': ').strip()) == 0):
-            self.errors.append(Violation(
-                self.relpath, lineno, "sanction",
-                f"{kind}({cat}) needs a ': reason' -- say why it is safe"))
-            return None
-        if kind == "allow-file":
-            self.file_allow.add(cat)
-        elif kind == "begin-allow":
-            if cat in self.region_allow:
-                self.errors.append(Violation(
-                    self.relpath, lineno, "sanction",
-                    f"nested begin-allow({cat}); already open at line "
-                    f"{self.region_allow[cat]}"))
-            self.region_allow[cat] = lineno
-        elif kind == "end-allow":
-            if cat not in self.region_allow:
-                self.errors.append(Violation(
-                    self.relpath, lineno, "sanction",
-                    f"end-allow({cat}) without matching begin-allow"))
-            else:
-                del self.region_allow[cat]
-        return (kind, cat)
-
-    # -- per-rule checks ----------------------------------------------------
+    # -- scopes -------------------------------------------------------------
 
     def in_clock_core(self) -> bool:
         return any(self.relpath == d or self.relpath.startswith(d + "/")
                    for d in CLOCK_CORE_DIRS)
+
+    def in_unitflow_scope(self) -> bool:
+        return (self.relpath.endswith(HEADER_EXTENSIONS)
+                and any(self.relpath.startswith(d + "/")
+                        for d in UNITFLOW_DIRS))
 
     def is_offset_home(self) -> bool:
         return self.relpath in OFFSET_HOME_FILES
@@ -320,6 +795,8 @@ class FileLinter:
 
     def is_pool_home(self) -> bool:
         return self.relpath.startswith(POOL_HOME_PREFIX)
+
+    # -- per-line rules -----------------------------------------------------
 
     def check_line(self, lineno: int, code: str):
         if self.in_clock_core() and FLOAT_RE.search(code):
@@ -363,11 +840,10 @@ class FileLinter:
                         "comes from the engine slab/freelist "
                         "(src/sim/engine.hpp); see docs/PERFORMANCE.md")
 
-    def check_offsets(self, joined: str, line_starts):
-        """Offset rule over the whole file text (calls span lines)."""
-        if self.is_offset_home():
-            return
+    # -- whole-file rules ---------------------------------------------------
 
+    @staticmethod
+    def _lineno_fn(line_starts):
         def lineno_at(pos: int) -> int:
             lo, hi = 0, len(line_starts) - 1
             while lo < hi:
@@ -377,7 +853,12 @@ class FileLinter:
                 else:
                     hi = mid - 1
             return lo + 1
+        return lineno_at
 
+    def check_offsets(self, joined: str, line_starts):
+        if self.is_offset_home():
+            return
+        lineno_at = self._lineno_fn(line_starts)
         for m in BUS_CALL_RE.finditer(joined):
             fn = m.group(1)
             argtext, _ = extract_call_args(joined, m.end() - 1)
@@ -390,39 +871,25 @@ class FileLinter:
                 and len(args) >= 3 else args
             for a in addr_args:
                 if HEX_RE.search(a):
-                    self._offset_report(lineno_at(m.start()), fn)
+                    self.report(lineno_at(m.start()), "offset",
+                                f"raw hex register offset in {fn}: name it "
+                                "in src/nti/memmap.hpp or "
+                                "src/utcsu/regs.hpp")
                     break
         for m in OFFSET_MATH_RE.finditer(joined):
-            self._offset_report(lineno_at(m.start()), "address math")
+            self.report(lineno_at(m.start()), "offset",
+                        "raw hex register offset in address math: name it "
+                        "in src/nti/memmap.hpp or src/utcsu/regs.hpp")
 
-    def _offset_report(self, lineno: int, where: str):
-        # Region/file sanctions work naturally; line sanctions anchor at the
-        # line the call starts on.
-        saved = self.next_line_allow
-        self.next_line_allow = self.line_allow_map.get(lineno, {})
-        self.report(lineno, "offset",
-                    f"raw hex register offset in {where}: name it in "
-                    "src/nti/memmap.hpp or src/utcsu/regs.hpp")
-        self.next_line_allow = saved
+    def check_metrics(self, joined_lit: str, line_starts):
+        lineno_at = self._lineno_fn(line_starts)
 
-    def check_metrics(self, joined: str, line_starts):
-        def lineno_at(pos: int) -> int:
-            lo, hi = 0, len(line_starts) - 1
-            while lo < hi:
-                mid = (lo + hi + 1) // 2
-                if line_starts[mid] <= pos:
-                    lo = mid
-                else:
-                    hi = mid - 1
-            return lo + 1
-
-        def check_name(literal: str, lineno: int, is_prefix: bool):
-            name = literal.strip('"')
+        def check_name(name: str, lineno: int, is_prefix: bool):
             if name == "":
                 return
             if not METRIC_NAME_RE.match(name):
-                self._metric_report(
-                    lineno,
+                self.report(
+                    lineno, "metric",
                     f'metric name "{name}" must be lowercase dotted '
                     "snake_case")
                 return
@@ -432,98 +899,357 @@ class FileLinter:
             if is_prefix:
                 root = name.split(".", 1)[0]
                 if root not in METRIC_ROOTS:
-                    self._metric_report(
-                        lineno,
+                    self.report(
+                        lineno, "metric",
                         f'metric root "{root}." is not documented '
                         f"(known: {', '.join(sorted(METRIC_ROOTS))}); add it "
                         "to METRIC_ROOTS and docs/STATIC_ANALYSIS.md or fix "
                         "the name")
 
-        for m in METRIC_CALL_RE.finditer(joined):
-            argtext, _ = extract_call_args(joined, m.end() - 1)
+        def merged_literal(argtext: str):
+            """First string literal in `argtext`, with adjacent literals
+            concatenated (`"sim." "queue"` → `sim.queue`)."""
+            lit = STRING_LIT_RE.search(argtext)
+            if lit is None:
+                return None
+            merged = lit.group(0)[1:-1]
+            pos = lit.end()
+            while True:
+                rest = argtext[pos:]
+                stripped = rest.lstrip()
+                if not stripped.startswith('"'):
+                    break
+                m = STRING_LIT_RE.match(argtext,
+                                        pos + len(rest) - len(stripped))
+                if m is None:
+                    break
+                merged += m.group(0)[1:-1]
+                pos = m.end()
+            return merged
+
+        for m in METRIC_CALL_RE.finditer(joined_lit):
+            argtext, _ = extract_call_args(joined_lit, m.end() - 1)
             if argtext is None:
                 continue
             args = split_top_level_args(argtext)
             if not args:
                 continue
             first = args[0].strip()
-            lit = STRING_LIT_RE.search(first)
-            if lit is None:
+            name = merged_literal(first)
+            if name is None:
                 continue
             # `"full.name"` is anchored; `prefix + "suffix"` is not.
-            check_name(lit.group(0), lineno_at(m.start()),
+            check_name(name, lineno_at(m.start()),
                        is_prefix=first.startswith('"'))
-        for m in REGISTER_METRICS_RE.finditer(joined):
-            argtext, _ = extract_call_args(joined, m.end() - 1)
+        for m in REGISTER_METRICS_RE.finditer(joined_lit):
+            argtext, _ = extract_call_args(joined_lit, m.end() - 1)
             if argtext is None:
                 continue
             for a in split_top_level_args(argtext):
-                lit = STRING_LIT_RE.search(a.strip())
-                if lit is not None:
-                    check_name(lit.group(0), lineno_at(m.start()),
-                               is_prefix=True)
+                name = merged_literal(a.strip())
+                if name is not None:
+                    check_name(name, lineno_at(m.start()), is_prefix=True)
 
-    def _metric_report(self, lineno: int, message: str):
-        saved = self.next_line_allow
-        self.next_line_allow = self.line_allow_map.get(lineno, {})
-        self.report(lineno, "metric", message)
-        self.next_line_allow = saved
+    def check_unitflow(self, joined: str, line_starts):
+        if not self.in_unitflow_scope():
+            return
+        matches = list(UNITFLOW_RE.finditer(joined))
+        if not matches:
+            return
+        lineno_at = self._lineno_fn(line_starts)
+        # Parenthesis depth at every match position distinguishes function
+        # parameters (depth >= 1) from member/local declarations (depth 0).
+        depth = 0
+        depths = {}
+        want = sorted(m.start() for m in matches)
+        wi = 0
+        for i, c in enumerate(joined):
+            while wi < len(want) and want[wi] == i:
+                depths[i] = depth
+                wi += 1
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth = max(0, depth - 1)
+        for m in matches:
+            if depths.get(m.start(), 0) < 1:
+                continue
+            self.report(
+                lineno_at(m.start()), "unitflow",
+                f"raw {m.group(1)} parameter '{m.group(2)}' in a clock-core "
+                "public signature bypasses the strong unit types; take "
+                "TickCount / RateStep / AlphaUnits / Duration "
+                "(src/common/time_types.hpp) instead, or sanction with a "
+                "reason the raw width is required")
+
+    def check_hotpath(self, joined: str, joined_lit: str, line_starts):
+        zones = list(PROF_ZONE_RE.finditer(joined))
+        if not zones:
+            return
+        lineno_at = self._lineno_fn(line_starts)
+        _, scopes = build_scopes(joined)
+        # innermost *function* body enclosing each zone (a PROF_ZONE in a
+        # lambda times the lambda, not its lexical parent function).
+        functions = {}  # open pos -> (scope, zone names)
+        for zm in zones:
+            s = innermost_scope_at(scopes, zm.start())
+            while s is not None and not s.is_function:
+                s = s.parent
+            if s is None or s.open < 0:
+                continue  # macro definition / file scope: not a call site
+            argtext, _ = extract_call_args(joined_lit, zm.end() - 1)
+            zname = "?"
+            if argtext:
+                lit = STRING_LIT_RE.search(argtext)
+                if lit:
+                    zname = lit.group(0).strip('"')
+            functions.setdefault(s.open, (s, []))[1].append(zname)
+        for open_pos, (s, names) in sorted(functions.items()):
+            body = joined[s.open + 1:s.close]
+            for bm in HOTPATH_BAN_RE.finditer(body):
+                pos = s.open + 1 + bm.start()
+                token = re.sub(r"\s+", "", bm.group(0))
+                self.report(
+                    lineno_at(pos), "hotpath",
+                    f"'{token}' inside the profiled hot zone "
+                    f"'{'/'.join(sorted(set(names)))}': no allocation, "
+                    "exception or std::function construction in a PROF_ZONE "
+                    "function body (docs/PERFORMANCE.md); hoist it out of "
+                    "the hot path or sanction with a reason it is "
+                    "per-round, not per-event")
 
     # -- driver -------------------------------------------------------------
 
     def run(self):
-        in_block = False
-        stripped = []
-        with_strings = []
-        self.line_allow_map = {}  # lineno -> {cat: True}
-        pending = {}  # cat armed for the next code line
-        for idx, raw in enumerate(self.lines, start=1):
-            code, lit, comment, in_block = strip_noncode(raw, in_block)
-            self.next_line_allow = pending
-            sanction = None
-            if comment:
-                sanction = self.handle_sanction(idx, comment)
-            if sanction is not None and sanction[0] == "allow":
-                self.next_line_allow = dict(pending)
-                self.next_line_allow[sanction[1]] = True
-                pending = dict(pending)
-                pending[sanction[1]] = True
-            self.line_allow_map[idx] = dict(self.next_line_allow)
-            self.check_line(idx, code)
-            # A plain allow() covers its own line and the next *code* line:
-            # blank / pure-comment lines (multi-line sanction reasons) do
-            # not consume it.
-            if code.strip():
-                pending = {}
-            stripped.append(code)
-            with_strings.append(lit)
-
-        for cat, where in self.region_allow.items():
-            self.errors.append(Violation(
-                self.relpath, where, "sanction",
-                f"begin-allow({cat}) never closed"))
-
-        def starts_of(lines_list):
-            starts = [0]
-            for s in lines_list:
-                starts.append(starts[-1] + len(s) + 1)
-            return starts[:-1]
-
-        self.next_line_allow = {}
-        joined = "\n".join(stripped)
-        self.check_offsets(joined, starts_of(stripped))
-        joined_lit = "\n".join(with_strings)
-        self.check_metrics(joined_lit, starts_of(with_strings))
-        return self.violations, self.errors
+        self.collect_sanctions()
+        for idx, ln in enumerate(self.lexed.lines, start=1):
+            if ln.code:
+                self.check_line(idx, ln.code)
+        joined = self.lexed.joined_code()
+        joined_lit = self.lexed.joined_lit()
+        starts = self.lexed.line_starts()
+        self.check_offsets(joined, starts)
+        self.check_metrics(joined_lit, starts)
+        self.check_unitflow(joined, starts)
+        self.check_hotpath(joined, joined_lit, starts)
+        return self
 
 
-def lint_tree(root: str):
+# ---------------------------------------------------------------------------
+# Whole-program layer rule
+# ---------------------------------------------------------------------------
+
+class LayeringManifest:
+    def __init__(self, layer_of: dict, cross_cutting: dict, umbrella: set,
+                 exceptions: list, path: str):
+        self.layer_of = layer_of            # dir -> layer index
+        self.cross_cutting = cross_cutting  # dir -> set(allowed include dirs)
+        self.umbrella = umbrella            # basenames at src/ root
+        self.exceptions = exceptions        # list of dicts + 'used' flag
+        self.path = path
+
+
+def load_manifest(path: str):
+    """Parse tools/layering.json.  Returns (manifest, error-or-None)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, f"cannot read layering manifest {path}: {exc}"
+    try:
+        layer_of = {}
+        for idx, group in enumerate(data["layers"]):
+            for d in group:
+                if d in layer_of:
+                    return None, f"layering manifest: dir '{d}' in two layers"
+                layer_of[d] = idx
+        cross = {}
+        for d, spec in data.get("cross_cutting", {}).items():
+            if d in layer_of:
+                return None, (f"layering manifest: '{d}' is both layered "
+                              "and cross-cutting")
+            cross[d] = set(spec.get("may_include", []))
+        umbrella = set(data.get("umbrella", []))
+        exceptions = []
+        for e in data.get("exceptions", []):
+            if not e.get("reason", "").strip():
+                return None, ("layering manifest: exception "
+                              f"{e.get('from')}->{e.get('to')} needs a "
+                              "'reason'")
+            exceptions.append({"from": e["from"], "to": e["to"],
+                               "reason": e["reason"], "used": False})
+    except (KeyError, TypeError) as exc:
+        return None, f"layering manifest {path}: malformed ({exc!r})"
+    return LayeringManifest(layer_of, cross, umbrella, exceptions, path), None
+
+
+def check_layering(files: dict, manifest: LayeringManifest,
+                   manifest_rel: str):
+    """files: relpath -> FileLinter.  Returns (violations, errors).
+
+    Emits `layer` violations for undeclared cross-layer edges and include
+    cycles, and `ledger` violations for stale manifest exceptions.
+    """
+    violations = []
+    errors = []
+
+    def dir_of(rel: str):
+        parts = rel.split("/")
+        # src/<dir>/... ; bare src/<file> is umbrella-or-unknown
+        if len(parts) >= 3:
+            return parts[1]
+        return None
+
+    def resolve(rel_includer: str, inc: str):
+        if "/" in inc:
+            cand = SRC_ROOT + "/" + inc
+        else:
+            cand = rel_includer.rsplit("/", 1)[0] + "/" + inc
+        return cand if cand in files else None
+
+    # ---- edge + layer checks ----
+    graph = {}  # rel -> list[(lineno, target rel)]
+    for rel, fl in sorted(files.items()):
+        edges = []
+        for lineno, inc in fl.lexed.includes:
+            tgt = resolve(rel, inc)
+            if tgt is None:
+                continue  # system / generated / non-src header
+            edges.append((lineno, tgt))
+        graph[rel] = edges
+
+    known = set(manifest.layer_of) | set(manifest.cross_cutting)
+
+    def edge_allowed(src_dir: str, dst_dir: str):
+        """None if allowed, else a human-readable reason string."""
+        if src_dir == dst_dir:
+            return None
+        if dst_dir in manifest.cross_cutting:
+            return None  # cross-cutting layers may be included from anywhere
+        if src_dir in manifest.cross_cutting:
+            if dst_dir in manifest.cross_cutting[src_dir]:
+                return None
+            return (f"cross-cutting layer '{src_dir}' may include only "
+                    f"{sorted(manifest.cross_cutting[src_dir])} "
+                    f"(declared in {manifest_rel})")
+        li, lj = manifest.layer_of.get(src_dir), manifest.layer_of.get(dst_dir)
+        if li is None or lj is None:
+            missing = src_dir if li is None else dst_dir
+            return (f"dir 'src/{missing}' is not in the layering manifest "
+                    f"({manifest_rel}); declare its layer")
+        if lj <= li:
+            return None
+        return (f"upward layer edge: '{src_dir}' (layer {li}) may not "
+                f"include '{dst_dir}' (layer {lj})")
+
+    for rel in sorted(graph):
+        fl = files[rel]
+        src_dir = dir_of(rel)
+        if src_dir is None:
+            base = rel.split("/")[-1]
+            if base in manifest.umbrella:
+                continue  # umbrella headers may include everything
+            violations.append(Violation(
+                rel, 1, "layer",
+                f"src-root file '{base}' is not declared as an umbrella "
+                f"header in {manifest_rel}"))
+            continue
+        if src_dir not in known:
+            violations.append(Violation(
+                rel, 1, "layer",
+                f"dir 'src/{src_dir}' is not in the layering manifest "
+                f"({manifest_rel}); declare its layer"))
+            continue
+        for lineno, tgt in graph[rel]:
+            dst_dir = dir_of(tgt)
+            if dst_dir is None:
+                continue  # including the umbrella from inside src would be
+                # a cycle; the cycle check reports it
+            reason = edge_allowed(src_dir, dst_dir)
+            if reason is None:
+                continue
+            exc = next((e for e in manifest.exceptions
+                        if e["from"] == src_dir and e["to"] == dst_dir), None)
+            if exc is not None:
+                exc["used"] = True
+                continue
+            s = fl.allow_map.get(lineno, {}).get("layer")
+            if s is not None:
+                s.used = True
+                continue
+            violations.append(Violation(
+                rel, lineno, "layer",
+                f"undeclared include edge src/{src_dir} -> src/{dst_dir}: "
+                f"{reason}; break the edge or declare an exception (with a "
+                f"reason) in {manifest_rel}"))
+
+    # ---- cycle check (file granularity, always enforced) ----
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {rel: WHITE for rel in graph}
+    seen_cycles = set()
+
+    def dfs(start):
+        stack = [(start, iter(graph[start]))]
+        color[start] = GRAY
+        path = [start]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for lineno, tgt in it:
+                if color.get(tgt, BLACK) == GRAY:
+                    cyc = path[path.index(tgt):] + [tgt]
+                    key = frozenset(cyc)
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        violations.append(Violation(
+                            node, lineno, "layer",
+                            "include cycle: " + " -> ".join(cyc)))
+                elif color.get(tgt, BLACK) == WHITE:
+                    color[tgt] = GRAY
+                    stack.append((tgt, iter(graph[tgt])))
+                    path.append(tgt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+
+    for rel in sorted(graph):
+        if color[rel] == WHITE:
+            dfs(rel)
+
+    # ---- stale manifest exceptions ----
+    for e in manifest.exceptions:
+        if not e["used"]:
+            violations.append(Violation(
+                manifest_rel, 1, "ledger",
+                f"stale layering exception {e['from']} -> {e['to']}: no "
+                "such include edge exists any more; delete it"))
+
+    return violations, errors
+
+
+# ---------------------------------------------------------------------------
+# Tree driver
+# ---------------------------------------------------------------------------
+
+def lint_tree(root: str, manifest_path: str | None = None):
     violations = []
     errors = []
     src = os.path.join(root, SRC_ROOT)
     if not os.path.isdir(src):
         print(f"nti-lint: no {SRC_ROOT}/ under {root}", file=sys.stderr)
         return [], [Violation(root, 0, "config", "missing src tree")]
+
+    if manifest_path is None:
+        manifest_path = os.path.join(root, DEFAULT_MANIFEST)
+    manifest_rel = os.path.relpath(manifest_path, root).replace(os.sep, "/")
+    manifest, merr = load_manifest(manifest_path)
+    if manifest is None:
+        errors.append(Violation(manifest_rel, 1, "config", merr))
+
+    files: dict[str, FileLinter] = {}
     for dirpath, _, filenames in sorted(os.walk(src)):
         for fn in sorted(filenames):
             if not fn.endswith(CPP_EXTENSIONS):
@@ -531,14 +1257,111 @@ def lint_tree(root: str):
             path = os.path.join(dirpath, fn)
             rel = os.path.relpath(path, root).replace(os.sep, "/")
             with open(path, encoding="utf-8", errors="replace") as f:
-                lines = f.read().splitlines()
-            v, e = FileLinter(rel, lines, root).run()
-            violations.extend(v)
-            errors.extend(e)
+                text = f.read()
+            fl = FileLinter(rel, lex_file(text), root).run()
+            files[rel] = fl
+            violations.extend(fl.violations)
+            errors.extend(fl.errors)
+
+    if manifest is not None:
+        lv, le = check_layering(files, manifest, manifest_rel)
+        violations.extend(lv)
+        errors.extend(le)
+
+    # Sanction ledger: resolved last, so whole-program rules (layer) get
+    # the chance to mark their suppressions used.
+    for rel in sorted(files):
+        for s in files[rel].sanctions:
+            if not s.used:
+                violations.append(Violation(
+                    s.path, s.line, "ledger",
+                    f"stale sanction {s.describe()}: it suppresses no "
+                    "actual match; delete it (or fix the rule drift that "
+                    "orphaned it)"))
+
+    violations.sort(key=lambda v: (v.path, v.line, v.cat))
     return violations, errors
 
 
-# -- self-test ---------------------------------------------------------------
+# ---------------------------------------------------------------------------
+# SARIF output
+# ---------------------------------------------------------------------------
+
+def to_sarif(violations, errors, root: str):
+    results = []
+    for v in list(violations) + list(errors):
+        results.append({
+            "ruleId": v.cat,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": v.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, v.line)},
+                },
+            }],
+        })
+    rules = [{
+        "id": cat,
+        "name": cat,
+        "shortDescription": {"text": RULE_DESCRIPTIONS[cat]},
+        "defaultConfiguration": {"level": "error"},
+    } for cat in list(CATEGORIES) + ["sanction", "config"]]
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "nti-lint",
+                    "informationUri":
+                        "https://example.invalid/docs/STATIC_ANALYSIS.md",
+                    "version": "2.0.0",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///" + os.path.abspath(root)
+                            .replace(os.sep, "/").lstrip("/") + "/"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: str, violations, errors, root: str):
+    doc = to_sarif(violations, errors, root)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures
+# ---------------------------------------------------------------------------
+
+FIXTURE_MANIFEST = """\
+{
+  "layers": [
+    ["common"],
+    ["sim", "net"],
+    ["osc", "utcsu", "gps"],
+    ["comco", "nti"],
+    ["interval", "csa"],
+    ["node"],
+    ["cluster", "fault"]
+  ],
+  "cross_cutting": {
+    "obs": { "may_include": ["common"] },
+    "mc": { "may_include": ["common", "obs", "cluster"] }
+  },
+  "umbrella": ["nti_api.hpp"],
+  "exceptions": []
+}
+"""
 
 FIXTURE_BAD_UTCSU = """\
 #include <cstdint>
@@ -629,12 +1452,10 @@ std::int64_t steady_ns_now() {
 
 FIXTURE_PROF_SANCTIONED = """\
 namespace nti::mc {
-double wall() {
+std::int64_t wall_ns() {
   // nti-lint: allow(prof): human-facing throughput only, never fed back.
-  return std::chrono::duration<double>(
-             // nti-lint: allow(prof): see above.
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
 }
 }  // namespace nti::mc
 """
@@ -663,6 +1484,162 @@ const char* kDoc = "double float 0x1234 unordered_map";
 }  // namespace nti::utcsu
 """
 
+# -- lexer fixtures: each pins a false-negative/positive class the old
+# per-line stripper mis-handled --------------------------------------------
+
+# Raw strings: the old stripper lexed `R"(` as an ordinary string opened at
+# `"`, so the `)";` terminator left it desynchronized and real code after
+# the literal could be swallowed (false negatives) or literal content could
+# leak into the code view (false positives).
+FIXTURE_RAW_STRING = """\
+namespace nti::utcsu {
+const char* kBanner = R"(double float 0x38 std::random_device
+unordered_map rand( time(0) getenv
+)";
+const char* kDelim = R"x(quote " inside, still a string: double)x";
+double after_raw;  // float violation: lexer must resync after raw strings
+}  // namespace nti::utcsu
+"""
+
+# Line continuations: a `//` comment ending in a backslash swallows the
+# next physical line; the old stripper treated that line as live code.
+FIXTURE_CONTINUATION = """\
+namespace nti::utcsu {
+// this whole comment continues onto the next line \\
+double commented_out;
+double real_violation;  // float violation: exactly one in this file
+#define UTCSU_BAD_SEED() \\
+  std::random_device{}()
+}  // namespace nti::utcsu
+"""
+
+# `#if 0` regions are dead code: the old stripper linted them (false
+# positives); `#else` of `#if 0`, and both arms of `#ifdef`, stay live.
+FIXTURE_IF0 = """\
+namespace nti::utcsu {
+#if 0
+double dead_code;
+std::random_device dead_rd;
+#else
+double live_else;  // float violation
+#endif
+#ifdef UTCSU_EXPERIMENT
+double live_ifdef;  // float violation: #ifdef arms are linted
+#endif
+#if 1
+double live_if1;  // float violation
+#else
+double dead_else_of_1;
+#endif
+}  // namespace nti::utcsu
+"""
+
+# Adjacent string literal concatenation: `"si" "m.x"` names `sim.x` (the
+# old stripper checked the first fragment only -- a false positive on
+# split roots and a false negative on split bad casing).
+FIXTURE_CONCAT = """\
+namespace nti::obs {
+void hook(MetricsRegistry& reg) {
+  reg.add_counter("si" "m.queue_depth", &x);   // OK: concatenates to sim.*
+  reg.add_counter("sim" ".Bad.Case", &y);      // metric casing violation
+}
+}  // namespace nti::obs
+"""
+
+# unitflow: raw 64-bit parameters with unit-suffixed names in clock-core
+# public headers bypass the strong types; members/locals are exempt.
+FIXTURE_UNITFLOW = """\
+#pragma once
+namespace nti::utcsu {
+class Ltu {
+ public:
+  void set_state(std::int64_t value_ps);              // unitflow violation
+  void advance(std::uint64_t n_ticks);                // unitflow violation
+  void set_alpha(AlphaUnits a);                       // typed: fine
+  // nti-lint: allow(unitflow): wire format, width is the contract.
+  void decode(std::uint64_t raw_ticks);
+ private:
+  std::int64_t cache_ps = 0;                          // member: fine
+};
+}  // namespace nti::utcsu
+"""
+
+# hotpath: the innermost function (or lambda) body enclosing a PROF_ZONE
+# must not allocate, throw, or build std::function values.
+FIXTURE_HOTPATH = """\
+#include <memory>
+namespace nti::sim {
+void Engine::dispatch() {
+  PROF_ZONE("sim.engine.dispatch");
+  auto scratch = std::make_shared<Frame>();        // hotpath violation
+  if (scratch == nullptr) {
+    throw std::runtime_error("oom");               // hotpath violation
+  }
+  std::function<void()> cb = [] {};                // hotpath violation
+  cb();
+}
+void Engine::cold_setup() {
+  auto port = std::make_unique<Port>();            // no zone: fine
+  handlers_.push_back([this] {
+    PROF_ZONE("sim.engine.pop");
+    counters_++;                                   // lambda zone is clean
+  });
+}
+void Engine::sanctioned() {
+  PROF_ZONE("sim.engine.schedule");
+  // nti-lint: allow(hotpath): one-time arena growth, amortized per run.
+  arena_.push_back(new Slab());
+}
+}  // namespace nti::sim
+"""
+
+# layer fixtures: an upward include edge, a file-level cycle, and a clean
+# downward edge, all under the standard manifest.
+FIXTURE_LAYER_BAD_UP = """\
+#pragma once
+#include "node/card.hpp"
+namespace nti::utcsu {}
+"""
+
+FIXTURE_LAYER_NODE = """\
+#pragma once
+namespace nti::node {}
+"""
+
+FIXTURE_LAYER_CYCLE_A = """\
+#pragma once
+#include "interval/b.hpp"
+namespace nti::interval {}
+"""
+
+FIXTURE_LAYER_CYCLE_B = """\
+#pragma once
+#include "interval/a.hpp"
+namespace nti::interval {}
+"""
+
+FIXTURE_LAYER_GOOD = """\
+#pragma once
+#include "common/base.hpp"
+#include "obs/metrics_fwd.hpp"
+namespace nti::cluster {}
+"""
+
+# ledger: a sanction that suppresses nothing is itself a violation.
+FIXTURE_STALE_SANCTION = """\
+namespace nti::node {
+// nti-lint: allow(float): stale -- the float rule does not even apply here.
+int not_a_float = 0;
+}  // namespace nti::node
+"""
+
+
+def _put(tmp: str, rel: str, text: str):
+    path = os.path.join(tmp, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+
 
 def self_test() -> int:
     failures = []
@@ -671,61 +1648,169 @@ def self_test() -> int:
         if not cond:
             failures.append(what)
 
+    # ---- seeded violations: every rule must fire -------------------------
     with tempfile.TemporaryDirectory() as tmp:
-        def put(rel, text):
-            path = os.path.join(tmp, rel)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(path, "w", encoding="utf-8") as f:
-                f.write(text)
-
-        put("src/utcsu/bad.cpp", FIXTURE_BAD_UTCSU)
-        put("src/obs/bad.cpp", FIXTURE_BAD_OBS)
-        put("src/sim/bad.cpp", FIXTURE_BAD_SIM)
-        put("src/cluster/bad_shard.cpp", FIXTURE_BAD_SHARD)
+        _put(tmp, "tools/layering.json", FIXTURE_MANIFEST)
+        _put(tmp, "src/utcsu/bad.cpp", FIXTURE_BAD_UTCSU)
+        _put(tmp, "src/obs/bad.cpp", FIXTURE_BAD_OBS)
+        _put(tmp, "src/sim/bad.cpp", FIXTURE_BAD_SIM)
+        _put(tmp, "src/cluster/bad_shard.cpp", FIXTURE_BAD_SHARD)
+        _put(tmp, "src/utcsu/unitflow.hpp", FIXTURE_UNITFLOW)
+        _put(tmp, "src/sim/hotpath.cpp", FIXTURE_HOTPATH)
+        _put(tmp, "src/utcsu/layer_up.hpp", FIXTURE_LAYER_BAD_UP)
+        _put(tmp, "src/node/card.hpp", FIXTURE_LAYER_NODE)
+        _put(tmp, "src/interval/a.hpp", FIXTURE_LAYER_CYCLE_A)
+        _put(tmp, "src/interval/b.hpp", FIXTURE_LAYER_CYCLE_B)
+        _put(tmp, "src/node/stale.cpp", FIXTURE_STALE_SANCTION)
+        _put(tmp, "src/obs/concat.cpp", FIXTURE_CONCAT)
         v, e = lint_tree(tmp)
         cats = sorted(x.cat for x in v)
         expect(e == [], f"seeded tree: sanction errors {[str(x) for x in e]}")
         expect(cats.count("float") == 1, f"want 1 float violation, got {cats}")
-        expect(cats.count("offset") == 1, f"want 1 offset violation, got {cats}")
-        expect(cats.count("nondet") == 1, f"want 1 nondet violation, got {cats}")
-        expect(cats.count("unordered") >= 1,
-               f"want unordered violation, got {cats}")
-        expect(cats.count("metric") == 2, f"want 2 metric violations, got {cats}")
+        expect(cats.count("offset") == 1,
+               f"want 1 offset violation, got {cats}")
+        expect(cats.count("nondet") == 1,
+               f"want 1 nondet violation, got {cats}")
+        expect(cats.count("unordered") == 1,
+               f"want exactly 1 unordered violation (the declaration; the "
+               f"include line is preprocessor, not code), got {cats}")
+        expect(cats.count("metric") == 3,
+               f"want 3 metric violations (2 seeded + 1 concat), got {cats}")
         expect(cats.count("alloc") == 1, f"want 1 alloc violation, got {cats}")
         expect(cats.count("prof") == 2, f"want 2 prof violations, got {cats}")
-        expect(cats.count("shard") == 3, f"want 3 shard violations, got {cats}")
+        expect(cats.count("shard") == 3,
+               f"want 3 shard violations, got {cats}")
+        expect(cats.count("unitflow") == 2,
+               f"want 2 unitflow violations, got {cats}")
+        expect(cats.count("hotpath") == 3,
+               f"want 3 hotpath violations, got {cats}")
+        expect(cats.count("layer") == 2,
+               f"want 2 layer violations (upward edge + cycle), got {cats}")
+        expect(cats.count("ledger") == 1,
+               f"want 1 ledger violation (stale float allow), got {cats}")
+        layer_msgs = [x.message for x in v if x.cat == "layer"]
+        expect(any("upward layer edge" in m for m in layer_msgs),
+               f"layer: no upward-edge finding in {layer_msgs}")
+        expect(any("include cycle" in m for m in layer_msgs),
+               f"layer: no cycle finding in {layer_msgs}")
 
+        # SARIF: emit and structurally validate.
+        sarif_path = os.path.join(tmp, "out.sarif")
+        write_sarif(sarif_path, v, e, tmp)
+        with open(sarif_path, encoding="utf-8") as f:
+            doc = json.load(f)
+        expect(doc["version"] == "2.1.0", "sarif: wrong version")
+        run = doc["runs"][0]
+        expect(run["tool"]["driver"]["name"] == "nti-lint",
+               "sarif: wrong tool name")
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        expect(set(CATEGORIES) <= rule_ids, "sarif: missing rule metadata")
+        expect(len(run["results"]) == len(v) + len(e),
+               "sarif: result count mismatch")
+        r0 = run["results"][0]
+        expect(r0["ruleId"] in rule_ids and
+               r0["locations"][0]["physicalLocation"]["region"]["startLine"]
+               >= 1, "sarif: malformed result record")
+
+    # ---- clean tree: homes, sanctions, lexer resilience ------------------
     with tempfile.TemporaryDirectory() as tmp:
-        def put(rel, text):
-            path = os.path.join(tmp, rel)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(path, "w", encoding="utf-8") as f:
-                f.write(text)
-
-        put("src/utcsu/good.cpp", FIXTURE_GOOD_UTCSU)
-        put("src/utcsu/strings.cpp", FIXTURE_STRINGS)
-        put("src/obs/prof_fixture.cpp", FIXTURE_PROF_HOME)
-        put("src/mc/wall.cpp", FIXTURE_PROF_SANCTIONED)
-        put("src/mc/pool.cpp", FIXTURE_POOL_HOME)
-        put("src/obs/cores.cpp", FIXTURE_SHARD_SANCTIONED)
+        _put(tmp, "tools/layering.json", FIXTURE_MANIFEST)
+        _put(tmp, "src/utcsu/good.cpp", FIXTURE_GOOD_UTCSU)
+        _put(tmp, "src/utcsu/strings.cpp", FIXTURE_STRINGS)
+        _put(tmp, "src/obs/prof_fixture.cpp", FIXTURE_PROF_HOME)
+        _put(tmp, "src/mc/wall.cpp", FIXTURE_PROF_SANCTIONED)
+        _put(tmp, "src/mc/pool.cpp", FIXTURE_POOL_HOME)
+        _put(tmp, "src/obs/cores.cpp", FIXTURE_SHARD_SANCTIONED)
+        _put(tmp, "src/cluster/good_layer.hpp", FIXTURE_LAYER_GOOD)
+        _put(tmp, "src/common/base.hpp", "#pragma once\n")
+        _put(tmp, "src/obs/metrics_fwd.hpp", "#pragma once\n")
         v, e = lint_tree(tmp)
         expect(v == [], f"clean tree: violations {[str(x) for x in v]}")
         expect(e == [], f"clean tree: errors {[str(x) for x in e]}")
 
-    # Sanction grammar: a reasonless allow is an error.
+    # ---- lexer fixtures: each mis-handled by the old per-line stripper ---
     with tempfile.TemporaryDirectory() as tmp:
-        path = os.path.join(tmp, "src", "utcsu")
-        os.makedirs(path, exist_ok=True)
-        with open(os.path.join(path, "x.cpp"), "w", encoding="utf-8") as f:
-            f.write("// nti-lint: allow(float)\ndouble d;\n")
+        _put(tmp, "tools/layering.json", FIXTURE_MANIFEST)
+        _put(tmp, "src/utcsu/raw.cpp", FIXTURE_RAW_STRING)
         v, e = lint_tree(tmp)
-        expect(len(e) == 1, f"want 1 grammar error, got {[str(x) for x in e]}")
+        cats = [x.cat for x in v]
+        expect(cats == ["float"],
+               f"raw strings: want exactly the trailing float violation, "
+               f"got {[str(x) for x in v]}")
+        expect(v and v[0].line == 6,
+               f"raw strings: violation must anchor after the literals, "
+               f"got {[str(x) for x in v]}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        _put(tmp, "tools/layering.json", FIXTURE_MANIFEST)
+        _put(tmp, "src/utcsu/cont.cpp", FIXTURE_CONTINUATION)
+        v, e = lint_tree(tmp)
+        floats = [x for x in v if x.cat == "float"]
+        nondets = [x for x in v if x.cat == "nondet"]
+        expect(len(floats) == 1 and floats[0].line == 4,
+               f"continuation: comment must swallow the continued line, "
+               f"got {[str(x) for x in v]}")
+        expect(len(nondets) == 1,
+               f"continuation: #define body must still be linted, "
+               f"got {[str(x) for x in v]}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        _put(tmp, "tools/layering.json", FIXTURE_MANIFEST)
+        _put(tmp, "src/utcsu/if0.cpp", FIXTURE_IF0)
+        v, e = lint_tree(tmp)
+        cats = sorted(x.cat for x in v)
+        lines = sorted(x.line for x in v if x.cat == "float")
+        expect(cats.count("nondet") == 0,
+               f"#if 0: dead region must not be linted, got "
+               f"{[str(x) for x in v]}")
+        expect(lines == [6, 9, 12],
+               f"#if 0: want float violations exactly on the live arms "
+               f"(lines 6, 9, 12), got {[str(x) for x in v]}")
+
+    # ---- sanction grammar: a reasonless allow is an error ----------------
+    with tempfile.TemporaryDirectory() as tmp:
+        _put(tmp, "tools/layering.json", FIXTURE_MANIFEST)
+        _put(tmp, "src/utcsu/x.cpp",
+             "// nti-lint: allow(float)\ndouble d;\n")
+        v, e = lint_tree(tmp)
+        expect(len(e) == 1,
+               f"want 1 grammar error, got {[str(x) for x in e]}")
+
+    # ---- layer: declared exceptions suppress, stale exceptions flag ------
+    with tempfile.TemporaryDirectory() as tmp:
+        manifest = json.loads(FIXTURE_MANIFEST)
+        manifest["exceptions"] = [
+            {"from": "utcsu", "to": "node",
+             "reason": "fixture: declared upward edge"},
+            {"from": "gps", "to": "fault",
+             "reason": "fixture: stale, no such edge"},
+        ]
+        _put(tmp, "tools/layering.json", json.dumps(manifest))
+        _put(tmp, "src/utcsu/layer_up.hpp", FIXTURE_LAYER_BAD_UP)
+        _put(tmp, "src/node/card.hpp", FIXTURE_LAYER_NODE)
+        v, e = lint_tree(tmp)
+        cats = sorted(x.cat for x in v)
+        expect(cats.count("layer") == 0,
+               f"declared exception must suppress the edge, got "
+               f"{[str(x) for x in v]}")
+        expect(cats.count("ledger") == 1,
+               f"stale manifest exception must flag, got "
+               f"{[str(x) for x in v]}")
+
+    # ---- missing manifest is a config error, not a silent skip -----------
+    with tempfile.TemporaryDirectory() as tmp:
+        _put(tmp, "src/common/base.hpp", "#pragma once\n")
+        v, e = lint_tree(tmp)
+        expect(any(x.cat == "config" for x in e),
+               f"missing manifest must be a config error, got "
+               f"{[str(x) for x in e]}")
 
     if failures:
         for f in failures:
             print(f"nti-lint self-test FAILED: {f}", file=sys.stderr)
         return 1
-    print("nti-lint self-test: all checks passed")
+    print("nti-lint self-test: all checks passed "
+          f"({len(CATEGORIES)} rules exercised)")
     return 0
 
 
@@ -733,6 +1818,11 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", default=None,
                     help="repository root (default: parent of tools/)")
+    ap.add_argument("--manifest", default=None,
+                    help="layering manifest (default: <root>/tools/"
+                         "layering.json)")
+    ap.add_argument("--sarif", default=None, metavar="PATH",
+                    help="also write findings as a SARIF 2.1.0 report")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in fixture suite and exit")
     args = ap.parse_args()
@@ -742,11 +1832,15 @@ def main() -> int:
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
-    violations, errors = lint_tree(root)
+    violations, errors = lint_tree(root, args.manifest)
     for v in violations:
         print(str(v))
     for e in errors:
         print(str(e))
+    if args.sarif:
+        write_sarif(args.sarif, violations, errors, root)
+        print(f"nti-lint: SARIF report written to {args.sarif}",
+              file=sys.stderr)
     if violations or errors:
         n = len(violations) + len(errors)
         print(f"nti-lint: {n} problem(s)", file=sys.stderr)
